@@ -1,0 +1,452 @@
+package disco
+
+// Benchmarks regenerating the per-experiment measurements indexed in
+// DESIGN.md (run: go test -bench=. -benchmem). The corresponding
+// human-readable tables come from cmd/disco-bench; these give the
+// machine-readable timings per operation, plus ablations for the design
+// choices DESIGN.md calls out (join algorithm, Earley recognition, plan
+// caching, wire encoding).
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"disco/internal/algebra"
+	"disco/internal/capability"
+	"disco/internal/core"
+	"disco/internal/costmodel"
+	"disco/internal/harness"
+	"disco/internal/oql"
+	"disco/internal/partial"
+	"disco/internal/physical"
+	"disco/internal/types"
+)
+
+const paperQuery = `select x.name from x in person where x.salary > 10`
+
+// BenchmarkFigure1Architecture measures the full Figure 1 round trip:
+// application -> mediator -> wrappers -> two TCP sources and back.
+func BenchmarkFigure1Architecture(b *testing.B) {
+	f, err := harness.NewPersonFleet(harness.FleetConfig{Sources: 2, RowsPerSource: 100, TCP: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.M.Query(paperQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure2Pipeline measures the Prototype 0 stages separately.
+func BenchmarkFigure2Pipeline(b *testing.B) {
+	f, err := harness.NewPersonFleet(harness.FleetConfig{Sources: 2, RowsPerSource: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+
+	b.Run("parse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := oql.ParseQuery(paperQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepare-warm", func(b *testing.B) {
+		// Parse + expand + compile + optimize with a hot plan cache.
+		if _, _, err := f.M.Prepare(paperQuery); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := f.M.Prepare(paperQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("execute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := f.M.Query(paperQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAvailabilityScaling measures query latency as sources are added,
+// all available (the E1 denominator; unavailable-source latency is the
+// evaluation deadline by construction).
+func BenchmarkAvailabilityScaling(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("sources=%d", n), func(b *testing.B) {
+			f, err := harness.NewPersonFleet(harness.FleetConfig{Sources: n, RowsPerSource: 20, TCP: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.M.Query(paperQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartialEvaluation measures residual construction — the cost the
+// §4 semantics adds once outcomes are known (the wait for the deadline is
+// workload, not overhead).
+func BenchmarkPartialEvaluation(b *testing.B) {
+	ref := algebra.ExtentRef{Extent: "person0", Repo: "r0", Source: "person0",
+		Iface: "Person", Attrs: []string{"id", "name", "salary"}}
+	ref1 := ref
+	ref1.Extent, ref1.Repo, ref1.Source = "person1", "r1", "person1"
+	sub0 := &algebra.Submit{Repo: "r0", Input: &algebra.Get{Ref: ref}}
+	sub1 := &algebra.Submit{Repo: "r1", Input: &algebra.Get{Ref: ref1}}
+	pred, err := oql.ParseQuery(`x.salary > 10`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proj, err := oql.ParseQuery(`x.name`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkBranch := func(sub *algebra.Submit) algebra.Node {
+		return &algebra.Map{Expr: proj, Input: &algebra.Select{Pred: pred, Input: &algebra.Bind{Var: "x", Input: sub}}}
+	}
+	plan := &algebra.Union{Inputs: []algebra.Node{mkBranch(sub0), mkBranch(sub1)}}
+
+	rows := make([]types.Value, 100)
+	for i := range rows {
+		rows[i] = types.NewStruct(
+			types.Field{Name: "id", Value: types.Int(int64(i))},
+			types.Field{Name: "name", Value: types.Str(fmt.Sprintf("p%d", i))},
+			types.Field{Name: "salary", Value: types.Int(int64(i))},
+		)
+	}
+	outcomes := map[*algebra.Submit]physical.Outcome{
+		sub0: {Err: &physical.UnavailableError{Repo: "r0", Err: context.DeadlineExceeded}},
+		sub1: {Bag: types.NewBag(rows...)},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partial.Residual(plan, outcomes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPushdown sweeps wrapper capability (E3): the same query against
+// the same 2000-row TCP source under increasingly capable wrappers.
+func BenchmarkPushdown(b *testing.B) {
+	levels := []struct {
+		name string
+		odl  string
+	}{
+		{"get", `w0 := Wrapper("sql", ops="get");`},
+		{"get-select", `w0 := Wrapper("sql", ops="get,select");`},
+		{"get-select-project", `w0 := Wrapper("sql", ops="get,select,project");`},
+	}
+	const query = `select x.name from x in person0 where x.salary < 100`
+	for _, level := range levels {
+		b.Run(level.name, func(b *testing.B) {
+			f, err := harness.NewPersonFleet(harness.FleetConfig{
+				Sources: 1, RowsPerSource: 2000, TCP: true, WrapperODL: level.odl,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.M.Query(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if q := f.TotalQueries(); q > 0 {
+				b.ReportMetric(float64(f.TotalBytesOut())/float64(q), "source-bytes/query")
+			}
+		})
+	}
+}
+
+// BenchmarkCostLearning measures the cost model's record and estimate
+// operations (E4's mechanism).
+func BenchmarkCostLearning(b *testing.B) {
+	h := costmodel.New()
+	pred, err := oql.ParseQuery(`salary > 10`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	expr := &algebra.Select{Pred: pred, Input: &algebra.Get{
+		Ref: algebra.ExtentRef{Extent: "person0", Source: "person0", Attrs: []string{"id", "name", "salary"}},
+	}}
+	b.Run("record", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Record("r0", expr, time.Millisecond, 10)
+		}
+	})
+	b.Run("estimate-exact", func(b *testing.B) {
+		h.Record("r0", expr, time.Millisecond, 10)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if est := h.Estimate("r0", expr); est.Basis != costmodel.BasisExact {
+				b.Fatal("expected exact basis")
+			}
+		}
+	})
+	b.Run("estimate-default", func(b *testing.B) {
+		fresh := costmodel.New()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if est := fresh.Estimate("r0", expr); est.Basis != costmodel.BasisDefault {
+				b.Fatal("expected default basis")
+			}
+		}
+	})
+}
+
+// BenchmarkSourceScaling measures in-process query latency as the DBA adds
+// same-type sources (E5).
+func BenchmarkSourceScaling(b *testing.B) {
+	for _, n := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("sources=%d", n), func(b *testing.B) {
+			f, err := harness.NewPersonFleet(harness.FleetConfig{Sources: n, RowsPerSource: 50})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.M.Query(paperQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModelingTools compares direct extents, mapped types and views
+// over the same data (E6).
+func BenchmarkModelingTools(b *testing.B) {
+	f, err := harness.NewPersonFleet(harness.FleetConfig{Sources: 2, RowsPerSource: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.M.ExecODL(`
+		interface PersonPrime {
+		    attribute String n;
+		    attribute Short s;
+		}
+		extent personprime0 of PersonPrime wrapper w0 repository r0
+		    map ((person0=personprime0),(name=n),(salary=s));
+		define wealthy as
+		    select struct(name: x.name, salary: x.salary)
+		    from x in person where x.salary > 500;
+	`); err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct{ name, q string }{
+		{"direct", `select x.name from x in person0 where x.salary > 500`},
+		{"mapped", `select x.n from x in personprime0 where x.s > 500`},
+		{"view", `select w.name from w in wealthy`},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.M.Query(c.q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- ablations ---------------------------------------------------------------
+
+// BenchmarkJoinAlgorithms compares the two join implementations on the same
+// equi-join input (the implementation rule prefers hash).
+func BenchmarkJoinAlgorithms(b *testing.B) {
+	mkRows := func(n int, field string) *types.Bag {
+		rows := make([]types.Value, n)
+		for i := range rows {
+			rows[i] = types.NewStruct(
+				types.Field{Name: field, Value: types.NewStruct(
+					types.Field{Name: "id", Value: types.Int(int64(i))},
+				)},
+			)
+		}
+		return types.NewBag(rows...)
+	}
+	const n = 300
+	left, right := mkRows(n, "x"), mkRows(n, "y")
+	pred, err := oql.ParseQuery(`x.id = y.id`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lk, _ := oql.ParseQuery(`x.id`)
+	rk, _ := oql.ParseQuery(`y.id`)
+	rt := &physical.Runtime{}
+
+	b.Run("hash", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op := &physical.HashJoin{
+				L: &physical.ConstScan{Bag: left}, R: &physical.ConstScan{Bag: right},
+				LKey: lk, RKey: rk,
+			}
+			out, err := physical.Drain(context.Background(), op)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != n {
+				b.Fatalf("rows = %d", len(out))
+			}
+		}
+	})
+	b.Run("nested-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op := &physical.NLJoin{
+				L: &physical.ConstScan{Bag: left}, R: &physical.ConstScan{Bag: right},
+				Pred: pred,
+			}
+			out, err := physical.Drain(context.Background(), op)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) != n {
+				b.Fatalf("rows = %d", len(out))
+			}
+		}
+	})
+	_ = rt
+}
+
+// BenchmarkEarleyRecognizer measures the wrapper grammar check the
+// optimizer performs per candidate submit.
+func BenchmarkEarleyRecognizer(b *testing.B) {
+	g := capability.Standard(capability.FullOpSet())
+	pred, err := oql.ParseQuery(`salary > 10 and name != "Bob"`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	expr := &algebra.Project{
+		Cols: []algebra.Col{{Name: "name", Expr: &oql.Ident{Name: "name"}}},
+		Input: &algebra.Select{Pred: pred, Input: &algebra.Get{
+			Ref: algebra.ExtentRef{Extent: "person0", Source: "person0"},
+		}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !g.AcceptsExpr(expr) {
+			b.Fatal("grammar should accept")
+		}
+	}
+}
+
+// BenchmarkPlanCache measures optimization with and without the plan cache
+// (§3.3's cached-plan requirement).
+func BenchmarkPlanCache(b *testing.B) {
+	f, err := harness.NewPersonFleet(harness.FleetConfig{Sources: 4, RowsPerSource: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	b.Run("hit", func(b *testing.B) {
+		if _, _, err := f.M.Prepare(paperQuery); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, tr, err := f.M.Prepare(paperQuery); err != nil || !tr.CacheHit {
+				b.Fatal("expected cache hit")
+			}
+		}
+	})
+}
+
+// BenchmarkWireValueCodec measures the tagged value encoding used on every
+// source round trip.
+func BenchmarkWireValueCodec(b *testing.B) {
+	rows := make([]types.Value, 100)
+	for i := range rows {
+		rows[i] = types.NewStruct(
+			types.Field{Name: "id", Value: types.Int(int64(i))},
+			types.Field{Name: "name", Value: types.Str(fmt.Sprintf("person-%d", i))},
+			types.Field{Name: "salary", Value: types.Float(float64(i) * 1.5)},
+		)
+	}
+	bag := types.NewBag(rows...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := types.EncodeValue(bag)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := types.DecodeValue(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMediatorComposition measures the M-over-M round trip of
+// Figure 1: an upper mediator reaching data through a lower mediator that
+// federates two TCP sources.
+func BenchmarkMediatorComposition(b *testing.B) {
+	lower, err := harness.NewPersonFleet(harness.FleetConfig{Sources: 2, RowsPerSource: 50, TCP: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lower.Close()
+	lowerSrv, err := lower.M.Serve("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lowerSrv.Close()
+
+	upper := harnessUpper(b, lowerSrv.Addr())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := upper.Query(paperQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func harnessUpper(b *testing.B, lowerAddr string) *core.Mediator {
+	b.Helper()
+	upper := core.New(core.WithTimeout(5 * time.Second))
+	if err := upper.ExecODL(`
+		rlower := Repository(address="` + lowerAddr + `");
+		wmed := Wrapper("mediator");
+		interface Person (extent staff) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent person of Person wrapper wmed repository rlower;
+	`); err != nil {
+		b.Fatal(err)
+	}
+	return upper
+}
+
+// BenchmarkOQLParse measures the front of the pipeline on a representative
+// reconciliation view.
+func BenchmarkOQLParse(b *testing.B) {
+	const src = `select struct(name: x.name, salary: sum(select z.salary from z in person where x.id = z.id))
+		from x in person* where x.salary > 10 and x.name != "nobody"`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := oql.ParseQuery(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunQuickSubset(t *testing.T) {
+	// The fast experiments run end to end at quick sizes.
+	if err := run([]string{"f2", "e5", "e6"}, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"e99"}, true); err == nil {
+		t.Error("unknown experiment id should fail")
+	}
+}
+
+func TestRunEmptyIDsSkipped(t *testing.T) {
+	if err := run([]string{""}, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+// Command disco-mediator runs a DISCO mediator as a network service — an M
+// box of the paper's Figure 1. It loads an ODL schema describing the data
+// sources it federates and then serves OQL over the wire protocol, so that
+// applications (and other mediators: the composition arrow of Figure 1)
+// can query it.
+//
+// Usage:
+//
+//	disco-mediator -addr 127.0.0.1:4000 -odl federation.odl [-timeout 2s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"disco/internal/core"
+	"disco/internal/wire"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:4000", "listen address")
+		odlPath = flag.String("odl", "", "ODL schema file (required)")
+		timeout = flag.Duration("timeout", core.DefaultTimeout, "evaluation deadline for data sources")
+	)
+	flag.Parse()
+	if err := run(*addr, *odlPath, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "disco-mediator:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, odlPath string, timeout time.Duration) error {
+	srv, extents, err := start(addr, odlPath, timeout)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("disco-mediator: serving OQL on %s over extents %v\n", srv.Addr(), extents)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return srv.Close()
+}
+
+// start loads the schema and begins serving; separated from run so tests
+// can drive a live server without signals.
+func start(addr, odlPath string, timeout time.Duration) (*wire.Server, []string, error) {
+	if odlPath == "" {
+		return nil, nil, fmt.Errorf("-odl is required")
+	}
+	odl, err := os.ReadFile(odlPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := core.New(core.WithTimeout(timeout))
+	if err := m.ExecODL(string(odl)); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", odlPath, err)
+	}
+	srv, err := m.Serve(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	extents := make([]string, 0)
+	for _, me := range m.Catalog().Extents() {
+		extents = append(extents, me.Name)
+	}
+	return srv, extents, nil
+}

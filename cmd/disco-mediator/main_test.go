@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"disco/internal/core"
+	"disco/internal/source"
+	"disco/internal/types"
+	"disco/internal/wire"
+)
+
+func TestStartServesOQL(t *testing.T) {
+	// A real data-source server for the mediator to federate.
+	store := source.NewRelStore()
+	if err := source.ExecScript(store, `
+		CREATE TABLE person0 (id, name, salary);
+		INSERT INTO person0 VALUES (1, 'Mary', 200);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	srcSrv, err := wire.NewServer("127.0.0.1:0", core.EngineHandler{Engine: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srcSrv.Close()
+
+	dir := t.TempDir()
+	odlPath := filepath.Join(dir, "federation.odl")
+	odl := `
+		r0 := Repository(address="` + srcSrv.Addr() + `");
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent person0 of Person wrapper w0 repository r0;
+	`
+	if err := os.WriteFile(odlPath, []byte(odl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, extents, err := start("127.0.0.1:0", odlPath, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if len(extents) != 1 || extents[0] != "person0" {
+		t.Errorf("extents = %v", extents)
+	}
+
+	// Query the mediator over the wire like an application would.
+	c := wire.NewClient(srv.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	raw, err := c.Query(ctx, wire.LangOQL, `select x.name from x in person`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := types.DecodeValue(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(types.NewBag(types.Str("Mary"))) {
+		t.Errorf("answer = %s", v)
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	if _, _, err := start("127.0.0.1:0", "", time.Second); err == nil {
+		t.Error("missing -odl should fail")
+	}
+	if _, _, err := start("127.0.0.1:0", "/nonexistent.odl", time.Second); err == nil {
+		t.Error("missing file should fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.odl")
+	if err := os.WriteFile(bad, []byte("not odl at all %"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := start("127.0.0.1:0", bad, time.Second); err == nil {
+		t.Error("bad schema should fail")
+	}
+}

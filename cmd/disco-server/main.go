@@ -1,0 +1,114 @@
+// Command disco-server runs a standalone data-source server speaking the
+// DISCO wire protocol — one of the D boxes of the paper's Figure 1.
+//
+// Usage:
+//
+//	disco-server -addr 127.0.0.1:4001 -kind sql -data people.sql
+//	disco-server -addr 127.0.0.1:4002 -kind doc -docs sites.csv
+//
+// A sql server loads a CREATE TABLE/INSERT script and answers the SQL
+// dialect; a doc server loads one CSV file as a document collection and
+// answers the keyword language. -latency injects per-reply delay so that
+// wide-area behaviour can be reproduced locally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"disco/internal/core"
+	"disco/internal/source"
+	"disco/internal/types"
+	"disco/internal/wire"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:4001", "listen address")
+		kind    = flag.String("kind", "sql", "engine kind: sql or doc")
+		data    = flag.String("data", "", "SQL script for -kind sql")
+		docs    = flag.String("docs", "", "CSV file served as a collection for -kind doc")
+		latency = flag.Duration("latency", 0, "injected reply latency")
+	)
+	flag.Parse()
+	if err := run(*addr, *kind, *data, *docs, *latency); err != nil {
+		fmt.Fprintln(os.Stderr, "disco-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, kind, data, docs string, latency time.Duration) error {
+	var engine source.Engine
+	switch kind {
+	case "sql":
+		store := source.NewRelStore()
+		if data != "" {
+			script, err := os.ReadFile(data)
+			if err != nil {
+				return err
+			}
+			if err := source.ExecScript(store, string(script)); err != nil {
+				return fmt.Errorf("%s: %w", data, err)
+			}
+		}
+		engine = store
+	case "doc":
+		store := source.NewDocStore()
+		if docs != "" {
+			if err := loadDocsCSV(store, docs); err != nil {
+				return err
+			}
+		}
+		engine = store
+	default:
+		return fmt.Errorf("unknown engine kind %q", kind)
+	}
+
+	srv, err := wire.NewServer(addr, core.EngineHandler{Engine: engine})
+	if err != nil {
+		return err
+	}
+	if latency > 0 {
+		srv.SetLatency(latency)
+	}
+	fmt.Printf("disco-server: %s engine on %s serving %v\n", kind, srv.Addr(), engine.Collections())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return srv.Close()
+}
+
+// loadDocsCSV loads a CSV file (header row first) as one document
+// collection named after the file.
+func loadDocsCSV(store *source.DocStore, path string) error {
+	collection := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 1 {
+		return fmt.Errorf("%s: empty file", path)
+	}
+	header := strings.Split(lines[0], ",")
+	for _, line := range lines[1:] {
+		cells := strings.Split(line, ",")
+		fields := make([]types.Field, 0, len(header))
+		for i, h := range header {
+			v := ""
+			if i < len(cells) {
+				v = strings.TrimSpace(cells[i])
+			}
+			fields = append(fields, types.Field{Name: strings.TrimSpace(h), Value: types.Str(v)})
+		}
+		store.AddDocument(collection, types.NewStruct(fields...))
+	}
+	return nil
+}

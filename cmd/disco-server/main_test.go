@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"disco/internal/source"
+	"disco/internal/types"
+)
+
+func TestLoadDocsCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sites.csv")
+	if err := os.WriteFile(path, []byte("station,quality\namont,good\naval,poor\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store := source.NewDocStore()
+	if err := loadDocsCSV(store, path); err != nil {
+		t.Fatal(err)
+	}
+	// Collection named after the file.
+	b, err := store.Query("SCAN sites")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("docs = %d", b.Len())
+	}
+	doc := b.At(0).(*types.Struct)
+	if v, ok := doc.Get("station"); !ok || v.Kind() != types.KindString {
+		t.Errorf("doc = %s", doc)
+	}
+	// Ragged rows pad with empty strings rather than failing.
+	path2 := filepath.Join(dir, "ragged.csv")
+	if err := os.WriteFile(path2, []byte("a,b\nonly\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadDocsCSV(store, path2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadDocsCSVMissing(t *testing.T) {
+	if err := loadDocsCSV(source.NewDocStore(), "/nonexistent.csv"); err == nil {
+		t.Error("missing file should fail")
+	}
+}

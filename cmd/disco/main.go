@@ -1,0 +1,171 @@
+// Command disco is an interactive DISCO mediator shell: it loads ODL
+// definitions, registers in-process or remote data sources, and evaluates
+// OQL queries with either strict or partial-answer semantics.
+//
+// Usage:
+//
+//	disco [-odl schema.odl] [-data name=script.sql ...] [-timeout 2s] \
+//	      [-q query] [-partial] [-explain]
+//
+// Each -data flag loads a RelStore from a CREATE TABLE/INSERT script and
+// registers it as the in-process engine NAME, reachable from ODL as
+// address="mem:NAME". Without -q, the shell reads commands from stdin:
+//
+//	disco> select x.name from x in person where x.salary > 10
+//	disco> .partial select x.name from x in person
+//	disco> .explain select x.name from x in person
+//	disco> .odl extent person2 of Person wrapper w0 repository r2;
+//	disco> .quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"disco/internal/core"
+	"disco/internal/source"
+)
+
+type dataFlags []string
+
+func (d *dataFlags) String() string { return strings.Join(*d, ",") }
+
+func (d *dataFlags) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+func main() {
+	var (
+		odlPath = flag.String("odl", "", "ODL schema file to load at startup")
+		query   = flag.String("q", "", "evaluate one query and exit")
+		partial = flag.Bool("partial", false, "use partial-answer semantics for -q")
+		explain = flag.Bool("explain", false, "print the optimizer report for -q instead of executing")
+		timeout = flag.Duration("timeout", core.DefaultTimeout, "evaluation deadline for data sources")
+		data    dataFlags
+	)
+	flag.Var(&data, "data", "NAME=SCRIPT.sql: load a relational store and register it as mem:NAME (repeatable)")
+	flag.Parse()
+
+	if err := run(*odlPath, *query, *partial, *explain, *timeout, data); err != nil {
+		fmt.Fprintln(os.Stderr, "disco:", err)
+		os.Exit(1)
+	}
+}
+
+func run(odlPath, query string, partial, explain bool, timeout time.Duration, data dataFlags) error {
+	m := core.New(core.WithTimeout(timeout))
+
+	for _, spec := range data {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-data wants NAME=SCRIPT, got %q", spec)
+		}
+		script, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		store := source.NewRelStore()
+		if err := source.ExecScript(store, string(script)); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		m.RegisterEngine(name, store)
+	}
+
+	if odlPath != "" {
+		odl, err := os.ReadFile(odlPath)
+		if err != nil {
+			return err
+		}
+		if err := m.ExecODL(string(odl)); err != nil {
+			return fmt.Errorf("%s: %w", odlPath, err)
+		}
+	}
+
+	if query != "" {
+		return runOne(m, query, partial, explain)
+	}
+	return repl(m)
+}
+
+func runOne(m *core.Mediator, query string, partial, explain bool) error {
+	switch {
+	case explain:
+		report, err := m.Explain(query)
+		if err != nil {
+			return err
+		}
+		fmt.Print(report)
+	case partial:
+		ans, err := m.QueryPartial(query)
+		if err != nil {
+			return err
+		}
+		if !ans.Complete {
+			fmt.Printf("-- partial answer (unavailable: %s); resubmit when sources recover:\n",
+				strings.Join(ans.Unavailable, ", "))
+		}
+		fmt.Println(ans)
+	default:
+		v, err := m.Query(query)
+		if err != nil {
+			return err
+		}
+		fmt.Println(v)
+	}
+	return nil
+}
+
+func repl(m *core.Mediator) error {
+	fmt.Println("DISCO mediator shell. Commands: .odl <stmt>, .partial <q>, .explain <q>, .plan <q>, .schema, .quit")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	fmt.Print("disco> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			return nil
+		case strings.HasPrefix(line, ".odl "):
+			if err := m.ExecODL(strings.TrimPrefix(line, ".odl ")); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		case strings.HasPrefix(line, ".partial "):
+			if err := runOne(m, strings.TrimPrefix(line, ".partial "), true, false); err != nil {
+				fmt.Println("error:", err)
+			}
+		case strings.HasPrefix(line, ".explain "):
+			if err := runOne(m, strings.TrimPrefix(line, ".explain "), false, true); err != nil {
+				fmt.Println("error:", err)
+			}
+		case strings.HasPrefix(line, ".plan "):
+			tree, err := m.ExplainPlan(strings.TrimPrefix(line, ".plan "))
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(tree)
+			}
+		case line == ".schema":
+			fmt.Print(m.DumpODL())
+		case strings.HasPrefix(line, "define "):
+			if err := m.Define(line); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("ok")
+			}
+		default:
+			if err := runOne(m, line, false, false); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+		fmt.Print("disco> ")
+	}
+	return scanner.Err()
+}

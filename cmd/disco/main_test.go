@@ -1,0 +1,162 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture redirects stdout around f and returns what was printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 0, 4096)
+	tmp := make([]byte, 4096)
+	for {
+		n, rerr := r.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	return string(buf), ferr
+}
+
+func fixtureFiles(t *testing.T) (odlPath string, data dataFlags) {
+	t.Helper()
+	dir := t.TempDir()
+	script := writeFile(t, dir, "r0.sql", `
+		CREATE TABLE person0 (id, name, salary);
+		INSERT INTO person0 VALUES (1, 'Mary', 200), (2, 'Sam', 5);
+	`)
+	odlPath = writeFile(t, dir, "schema.odl", `
+		r0 := Repository(address="mem:r0");
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent person0 of Person wrapper w0 repository r0;
+	`)
+	return odlPath, dataFlags{"r0=" + script}
+}
+
+func TestRunOneShotQuery(t *testing.T) {
+	odlPath, data := fixtureFiles(t)
+	out, err := capture(t, func() error {
+		return run(odlPath, `select x.name from x in person where x.salary > 10`, false, false, time.Second, data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `bag("Mary")`) {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	odlPath, data := fixtureFiles(t)
+	out, err := capture(t, func() error {
+		return run(odlPath, `select x.name from x in person`, false, true, time.Second, data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "=>") || !strings.Contains(out, "submit(r0") {
+		t.Errorf("explain output = %q", out)
+	}
+}
+
+func TestRunPartialCompleteAnswer(t *testing.T) {
+	odlPath, data := fixtureFiles(t)
+	out, err := capture(t, func() error {
+		return run(odlPath, `count(person)`, true, false, time.Second, data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", false, false, time.Second, dataFlags{"malformed"}); err == nil {
+		t.Error("malformed -data should fail")
+	}
+	if err := run("/nonexistent.odl", "x", false, false, time.Second, nil); err == nil {
+		t.Error("missing odl file should fail")
+	}
+	odlPath, data := fixtureFiles(t)
+	_, err := capture(t, func() error {
+		return run(odlPath, `select broken from`, false, false, time.Second, data)
+	})
+	if err == nil {
+		t.Error("broken query should fail")
+	}
+}
+
+func TestReplSession(t *testing.T) {
+	odlPath, data := fixtureFiles(t)
+	// Drive the repl through a pipe standing in for stdin.
+	inR, inW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldIn := os.Stdin
+	os.Stdin = inR
+	defer func() { os.Stdin = oldIn }()
+
+	go func() {
+		inW.WriteString("select x.name from x in person where x.salary > 10\n")
+		inW.WriteString(".explain select x.name from x in person\n")
+		inW.WriteString(".plan select x.name from x in person\n")
+		inW.WriteString(".schema\n")
+		inW.WriteString(".odl drop extent person0;\n")
+		inW.WriteString("define v as select p from p in person\n")
+		inW.WriteString("count(v)\n")
+		inW.WriteString("not a query\n")
+		inW.WriteString(".quit\n")
+		inW.Close()
+	}()
+
+	out, err := capture(t, func() error {
+		return run(odlPath, "", false, false, time.Second, data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		`bag("Mary")`,      // query result
+		"=>",               // explain marker
+		"map(x.name)",      // plan tree
+		"interface Person", // schema dump
+		"ok",               // .odl ack
+		"0",                // count over the view after the drop
+		"error:",           // bad query reported, repl continues
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("repl output missing %q:\n%s", frag, out)
+		}
+	}
+}

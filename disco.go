@@ -1,0 +1,121 @@
+// Package disco is a Go implementation of DISCO — the Distributed
+// Information Search COmponent (Tomasic, Raschid, Valduriez; ICDCS 1996) —
+// a distributed mediator system for querying large numbers of
+// heterogeneous, autonomous data sources.
+//
+// A Mediator accepts ODMG-style ODL definitions that model data sources as
+// first-class objects (repositories, wrappers, extents with local
+// transformation maps), evaluates OQL queries across the registered
+// sources, pushes work to each source as far as that source's wrapper
+// grammar allows, learns per-source costs from observed exec calls, and —
+// when sources fail to answer in time — returns partial answers that are
+// themselves OQL queries, resubmittable once the sources recover.
+//
+// Quick start:
+//
+//	m := disco.New()
+//	store := disco.NewRelStore()
+//	store.CreateTable("person0", "id", "name", "salary")
+//	store.Insert("person0", disco.Int(1), disco.Str("Mary"), disco.Int(200))
+//	m.RegisterEngine("r0", store)
+//	m.ExecODL(`
+//	    r0 := Repository(address="mem:r0");
+//	    w0 := WrapperPostgres();
+//	    interface Person (extent person) {
+//	        attribute Short id;
+//	        attribute String name;
+//	        attribute Short salary;
+//	    }
+//	    extent person0 of Person wrapper w0 repository r0;
+//	`)
+//	v, err := m.Query(`select x.name from x in person where x.salary > 10`)
+//
+// See the examples directory for multi-source federations, wide-area
+// deployments over TCP, partial answers and mediator composition.
+package disco
+
+import (
+	"disco/internal/core"
+	"disco/internal/partial"
+	"disco/internal/source"
+	"disco/internal/types"
+	"disco/internal/wire"
+)
+
+// Mediator is a DISCO mediator: the query processor that federates data
+// sources. Create one with New.
+type Mediator = core.Mediator
+
+// Option configures a Mediator.
+type Option = core.Option
+
+// Trace carries per-stage pipeline timings for one query (Figure 2 of the
+// paper: parse, view expansion, compile, optimize, execute).
+type Trace = core.Trace
+
+// Answer is a query result under partial-evaluation semantics: either a
+// complete value or a residual query over the unavailable sources.
+type Answer = partial.Answer
+
+// New returns an empty mediator.
+func New(opts ...Option) *Mediator { return core.New(opts...) }
+
+// WithTimeout sets the evaluation deadline after which silent sources are
+// classified unavailable (the paper's "designated time", §4).
+var WithTimeout = core.WithTimeout
+
+// Value is a runtime value of the DISCO data model: scalars, structs and
+// the bag/list/set collections.
+type Value = types.Value
+
+// Scalar and collection values.
+type (
+	// Null is the absent value.
+	Null = types.Null
+	// Bool is a boolean value.
+	Bool = types.Bool
+	// Int is an integer value (ODL Short/Long).
+	Int = types.Int
+	// Float is a floating-point value.
+	Float = types.Float
+	// Str is a string value.
+	Str = types.Str
+	// Struct is an ordered record of named fields.
+	Struct = types.Struct
+	// Bag is an unordered collection preserving duplicates — the answer
+	// collection of DISCO.
+	Bag = types.Bag
+	// Field is one named field of a Struct.
+	Field = types.Field
+)
+
+// NewBag constructs a bag value.
+func NewBag(elems ...Value) *Bag { return types.NewBag(elems...) }
+
+// NewStruct constructs a struct value.
+func NewStruct(fields ...Field) *Struct { return types.NewStruct(fields...) }
+
+// Engine is an in-process data source that can be registered on a mediator
+// under a mem: repository address.
+type Engine = source.Engine
+
+// RelStore is the bundled relational engine (SQL dialect).
+type RelStore = source.RelStore
+
+// DocStore is the bundled keyword-search document store.
+type DocStore = source.DocStore
+
+// NewRelStore returns an empty relational store.
+func NewRelStore() *RelStore { return source.NewRelStore() }
+
+// NewDocStore returns an empty document store.
+func NewDocStore() *DocStore { return source.NewDocStore() }
+
+// Server is a running wire-protocol server (data source or mediator).
+type Server = wire.Server
+
+// ServeEngine exposes an engine as a networked data source on addr
+// (use "127.0.0.1:0" to pick a free port).
+func ServeEngine(addr string, e Engine) (*Server, error) {
+	return wire.NewServer(addr, core.EngineHandler{Engine: e})
+}

@@ -1,0 +1,141 @@
+package disco_test
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"disco"
+)
+
+// Example federates two relational sources under one mediator type and
+// queries them through a single extent (the paper's §1.2 example).
+func Example() {
+	r0 := disco.NewRelStore()
+	r0.CreateTable("person0", "id", "name", "salary")
+	r0.Insert("person0", disco.Int(1), disco.Str("Mary"), disco.Int(200))
+	r1 := disco.NewRelStore()
+	r1.CreateTable("person1", "id", "name", "salary")
+	r1.Insert("person1", disco.Int(2), disco.Str("Sam"), disco.Int(50))
+
+	m := disco.New()
+	m.RegisterEngine("r0", r0)
+	m.RegisterEngine("r1", r1)
+	if err := m.ExecODL(`
+		r0 := Repository(address="mem:r0");
+		r1 := Repository(address="mem:r1");
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent person0 of Person wrapper w0 repository r0;
+		extent person1 of Person wrapper w0 repository r1;
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	v, err := m.Query(`select x.name from x in person where x.salary > 10`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v)
+	// Output: bag("Mary", "Sam")
+}
+
+// Example_partialAnswers shows the §4 semantics: an unavailable source
+// turns the answer into a resubmittable query.
+func Example_partialAnswers() {
+	r0 := disco.NewRelStore()
+	r0.CreateTable("person0", "id", "name", "salary")
+	r0.Insert("person0", disco.Int(1), disco.Str("Mary"), disco.Int(200))
+	srv0, err := disco.ServeEngine("127.0.0.1:0", r0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv0.Close()
+
+	r1 := disco.NewRelStore()
+	r1.CreateTable("person1", "id", "name", "salary")
+	r1.Insert("person1", disco.Int(2), disco.Str("Sam"), disco.Int(50))
+	srv1, err := disco.ServeEngine("127.0.0.1:0", r1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv1.Close()
+
+	m := disco.New(disco.WithTimeout(200 * time.Millisecond))
+	if err := m.ExecODL(fmt.Sprintf(`
+		r0 := Repository(address=%q);
+		r1 := Repository(address=%q);
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent person0 of Person wrapper w0 repository r0;
+		extent person1 of Person wrapper w0 repository r1;
+	`, srv0.Addr(), srv1.Addr())); err != nil {
+		log.Fatal(err)
+	}
+
+	srv0.SetAvailable(false) // r0 stops answering
+	ans, err := m.QueryPartial(`select x.name from x in person where x.salary > 10`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("complete:", ans.Complete)
+	fmt.Println("answer-as-query:", ans.Residual)
+
+	srv0.SetAvailable(true) // recovery: resubmit the answer
+	again, err := m.QueryPartial(ans.Residual.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("resubmitted:", again)
+	// Output:
+	// complete: false
+	// answer-as-query: union(select x.name from x in person0 where x.salary > 10, bag("Sam"))
+	// resubmitted: bag("Mary", "Sam")
+}
+
+// Example_views defines the paper's double reconciliation view (§2.2.3).
+func Example_views() {
+	r0 := disco.NewRelStore()
+	r0.CreateTable("person0", "id", "name", "salary")
+	r0.Insert("person0", disco.Int(1), disco.Str("Mary"), disco.Int(200))
+	r1 := disco.NewRelStore()
+	r1.CreateTable("person1", "id", "name", "salary")
+	r1.Insert("person1", disco.Int(1), disco.Str("Mary"), disco.Int(55))
+
+	m := disco.New()
+	m.RegisterEngine("r0", r0)
+	m.RegisterEngine("r1", r1)
+	if err := m.ExecODL(`
+		r0 := Repository(address="mem:r0");
+		r1 := Repository(address="mem:r1");
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent person0 of Person wrapper w0 repository r0;
+		extent person1 of Person wrapper w0 repository r1;
+
+		define double as
+		    select struct(name: x.name, salary: x.salary + y.salary)
+		    from x in person0 and y in person1
+		    where x.id = y.id;
+	`); err != nil {
+		log.Fatal(err)
+	}
+	v, err := m.Query(`select d from d in double`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v)
+	// Output: bag(struct(name: "Mary", salary: 255))
+}

@@ -1,0 +1,114 @@
+// Federation — the full Figure 1 topology over real sockets: data-source
+// servers, a lower mediator federating them, and an upper mediator that
+// uses the lower one as a data source (mediator composition). Ends with the
+// §1.3 unavailable-source scenario: the partial answer, and its
+// resubmission after recovery.
+//
+//	go run ./examples/federation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"disco"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- two data-source servers (D boxes) -----------------------------
+	mk := func(table, name string, id, salary int64) (*disco.Server, error) {
+		s := disco.NewRelStore()
+		if err := s.CreateTable(table, "id", "name", "salary"); err != nil {
+			return nil, err
+		}
+		if err := s.Insert(table, disco.Int(id), disco.Str(name), disco.Int(salary)); err != nil {
+			return nil, err
+		}
+		return disco.ServeEngine("127.0.0.1:0", s)
+	}
+	src0, err := mk("person0", "Mary", 1, 200)
+	if err != nil {
+		return err
+	}
+	defer src0.Close()
+	src1, err := mk("person1", "Sam", 2, 50)
+	if err != nil {
+		return err
+	}
+	defer src1.Close()
+	fmt.Printf("data sources listening on %s and %s\n", src0.Addr(), src1.Addr())
+
+	// --- lower mediator (M box) federating both sources ----------------
+	lower := disco.New(disco.WithTimeout(400 * time.Millisecond))
+	if err := lower.ExecODL(fmt.Sprintf(`
+		r0 := Repository(address=%q);
+		r1 := Repository(address=%q);
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent person0 of Person wrapper w0 repository r0;
+		extent person1 of Person wrapper w0 repository r1;
+	`, src0.Addr(), src1.Addr())); err != nil {
+		return err
+	}
+	lowerSrv, err := lower.Serve("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer lowerSrv.Close()
+	fmt.Printf("lower mediator serving OQL on %s\n", lowerSrv.Addr())
+
+	// --- upper mediator using the lower one as a source (M above M) ----
+	upper := disco.New(disco.WithTimeout(2 * time.Second))
+	if err := upper.ExecODL(fmt.Sprintf(`
+		rlower := Repository(address=%q);
+		wmed := Wrapper("mediator");
+		interface Person (extent staff) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent person of Person wrapper wmed repository rlower;
+	`, lowerSrv.Addr())); err != nil {
+		return err
+	}
+
+	const q = `select x.name from x in person where x.salary > 10`
+	v, err := upper.Query(q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nupper mediator: %s\n=> %s\n", q, v)
+
+	// --- §1.3: a source stops answering ---------------------------------
+	fmt.Println("\nsource r0 stops answering...")
+	src0.SetAvailable(false)
+	ans, err := lower.QueryPartial(q)
+	if err != nil {
+		return err
+	}
+	if ans.Complete {
+		return fmt.Errorf("expected a partial answer")
+	}
+	fmt.Printf("lower mediator's partial answer (a query!):\n  %s\n", ans.Residual)
+	fmt.Printf("unavailable sources: %v\n", ans.Unavailable)
+
+	fmt.Println("\nsource r0 recovers; resubmitting the answer as a query...")
+	src0.SetAvailable(true)
+	re, err := lower.QueryPartial(ans.Residual.String())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=> %s\n", re)
+	return nil
+}

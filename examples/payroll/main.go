@@ -1,0 +1,152 @@
+// Payroll modeling — a walkthrough of the paper's §2 data-model features on
+// personnel data: explicit and implicit extents, subtyping with the T*
+// closure, local transformation maps for renamed schemas, and the double /
+// multiple / personnew reconciliation views, each printed with its result.
+//
+//	go run ./examples/payroll
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"disco"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	m := disco.New()
+
+	// r0 and r1: Person sources sharing ids (Mary appears in both).
+	r0 := disco.NewRelStore()
+	if err := r0.CreateTable("person0", "id", "name", "salary"); err != nil {
+		return err
+	}
+	for _, p := range [][3]interface{}{{1, "Mary", 200}, {2, "Ann", 90}} {
+		if err := r0.Insert("person0", disco.Int(int64(p[0].(int))), disco.Str(p[1].(string)), disco.Int(int64(p[2].(int)))); err != nil {
+			return err
+		}
+	}
+	r1 := disco.NewRelStore()
+	if err := r1.CreateTable("person1", "id", "name", "salary"); err != nil {
+		return err
+	}
+	for _, p := range [][3]interface{}{{1, "Mary", 55}, {3, "Sam", 50}} {
+		if err := r1.Insert("person1", disco.Int(int64(p[0].(int))), disco.Str(p[1].(string)), disco.Int(int64(p[2].(int)))); err != nil {
+			return err
+		}
+	}
+	// r2: students (a Person subtype) with the same structure.
+	r2 := disco.NewRelStore()
+	if err := r2.CreateTable("student0", "id", "name", "salary"); err != nil {
+		return err
+	}
+	if err := r2.Insert("student0", disco.Int(4), disco.Str("Stu"), disco.Int(12)); err != nil {
+		return err
+	}
+	// r5: PersonTwo splits pay into regular and consulting (§2.3).
+	r5 := disco.NewRelStore()
+	if err := r5.CreateTable("persontwo0", "name", "regular", "consult"); err != nil {
+		return err
+	}
+	if err := r5.Insert("persontwo0", disco.Str("Cal"), disco.Int(30), disco.Int(25)); err != nil {
+		return err
+	}
+
+	m.RegisterEngine("r0", r0)
+	m.RegisterEngine("r1", r1)
+	m.RegisterEngine("r2", r2)
+	m.RegisterEngine("r5", r5)
+
+	if err := m.ExecODL(`
+		r0 := Repository(address="mem:r0");
+		r1 := Repository(address="mem:r1");
+		r2 := Repository(address="mem:r2");
+		r5 := Repository(address="mem:r5");
+		w0 := WrapperPostgres();
+
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent person0 of Person wrapper w0 repository r0;
+		extent person1 of Person wrapper w0 repository r1;
+
+		interface Student:Person { }
+		extent student0 of Student wrapper w0 repository r2;
+
+		-- §2.2.2: a differently-named mediator type over the same relation,
+		-- reconciled by the local transformation map.
+		interface PersonPrime {
+		    attribute String n;
+		    attribute Short s;
+		}
+		extent personprime0 of PersonPrime wrapper w0 repository r0
+		    map ((person0=personprime0),(name=n),(salary=s));
+
+		interface PersonTwo {
+		    attribute String name;
+		    attribute Short regular;
+		    attribute Short consult;
+		}
+		extent persontwo0 of PersonTwo wrapper w0 repository r5;
+
+		-- §2.2.3: reconciliation views.
+		define double as
+		    select struct(name: x.name, salary: x.salary + y.salary)
+		    from x in person0 and y in person1
+		    where x.id = y.id;
+
+		define multiple as
+		    select struct(name: x.name,
+		                  salary: sum(select z.salary from z in person where x.id = z.id))
+		    from x in person*;
+
+		-- §2.3: integrating a dissimilar structure.
+		define personnew as
+		    union(select struct(name: x.name, salary: x.salary) from x in person,
+		          select struct(name: x.name, salary: x.regular + x.consult) from x in persontwo0);
+	`); err != nil {
+		return err
+	}
+
+	show := func(title, q string) error {
+		v, err := m.Query(q)
+		if err != nil {
+			return fmt.Errorf("%s: %w", title, err)
+		}
+		fmt.Printf("-- %s\n   %s\n   => %s\n\n", title, q, v)
+		return nil
+	}
+
+	steps := []struct{ title, q string }{
+		{"implicit extent spans person0 and person1 (§2.1)",
+			`select x.name from x in person where x.salary > 10`},
+		{"person does not include subtype extents (§2.2.1)",
+			`count(person)`},
+		{"person* closes over Student extents (§2.2.1)",
+			`count(person*)`},
+		{"the mapped PersonPrime type reads the same relation (§2.2.2)",
+			`select p.n from p in personprime0 where p.s > 100`},
+		{"double: reconciliation by addition over shared ids (§2.2.3)",
+			`select d from d in double`},
+		{"multiple: aggregate over an arbitrary number of sources (§2.2.3)",
+			`select v from v in multiple where v.name = "Mary"`},
+		{"personnew: dissimilar structures unified by a view (§2.3)",
+			`select p.name from p in personnew where p.salary > 54`},
+		{"the catalog itself is queryable (§2.1)",
+			`select e.name from e in metaextent where e.interface = "Person"`},
+	}
+	for _, s := range steps {
+		if err := show(s.title, s.q); err != nil {
+			return err
+		}
+	}
+	return nil
+}

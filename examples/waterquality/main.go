@@ -1,0 +1,146 @@
+// Water quality monitoring — the paper's motivating application (§1): many
+// geographically distributed stations measure the same quantities, and the
+// DBA integrates each new station with a single extent declaration. The
+// example also mixes in a keyword-search document source (station notes)
+// with weak query capabilities, shows an aggregate view spanning every
+// station, and demonstrates a partial answer when one station's link dies.
+//
+//	go run ./examples/waterquality
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"disco"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	m := disco.New(disco.WithTimeout(300 * time.Millisecond))
+
+	// Five monitoring stations, each an autonomous relational source
+	// served over TCP (so that availability is real, not simulated).
+	stations := []string{"amont", "aval", "marne", "oise", "yonne"}
+	var servers []*disco.Server
+	odl := `w0 := WrapperPostgres();
+interface Reading (extent readings) {
+    attribute String station;
+    attribute Short day;
+    attribute Float ph;
+    attribute Float oxygen;
+}
+`
+	rng := rand.New(rand.NewSource(42))
+	for i, st := range stations {
+		store := disco.NewRelStore()
+		table := fmt.Sprintf("readings%d", i)
+		if err := store.CreateTable(table, "station", "day", "ph", "oxygen"); err != nil {
+			return err
+		}
+		for day := 0; day < 30; day++ {
+			if err := store.Insert(table,
+				disco.Str(st), disco.Int(int64(day)),
+				disco.Float(6.0+2*rng.Float64()), disco.Float(5.0+6*rng.Float64()),
+			); err != nil {
+				return err
+			}
+		}
+		srv, err := disco.ServeEngine("127.0.0.1:0", store)
+		if err != nil {
+			return err
+		}
+		servers = append(servers, srv)
+		defer srv.Close()
+		// Integrating a station = one repository + one extent declaration.
+		odl += fmt.Sprintf("r%d := Repository(address=%q);\n", i, srv.Addr())
+		odl += fmt.Sprintf("extent %s of Reading wrapper w0 repository r%d;\n", table, i)
+	}
+
+	// A keyword-search source (WAIS-like) holds free-text station notes;
+	// its wrapper only supports scans and equality matches.
+	notes := disco.NewDocStore()
+	for _, n := range []struct{ station, note string }{
+		{"amont", "upstream reference site"},
+		{"aval", "downstream of the treatment plant"},
+		{"marne", "confluence site"},
+	} {
+		notes.AddDocument("notes", disco.NewStruct(
+			disco.Field{Name: "station", Value: disco.Str(n.station)},
+			disco.Field{Name: "note", Value: disco.Str(n.note)},
+		))
+	}
+	m.RegisterEngine("notesbox", notes)
+	odl += `
+rnotes := Repository(address="mem:notesbox");
+wdoc := Wrapper("doc");
+interface Note (extent allnotes) {
+    attribute String station;
+    attribute String note;
+}
+extent notes of Note wrapper wdoc repository rnotes;
+`
+	if err := m.ExecODL(odl); err != nil {
+		return err
+	}
+
+	// A reconciliation view spanning every station (§2.2.3 style).
+	if err := m.Define(`define acidity as
+		select struct(station: r.station, ph: r.ph)
+		from r in readings
+		where r.ph < 6.5`); err != nil {
+		return err
+	}
+
+	fmt.Println("-- average oxygen across all five stations:")
+	v, err := m.Query(`avg(select r.oxygen from r in readings)`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %s\n", v)
+
+	fmt.Println("-- acidic readings per station (view over every source):")
+	v, err = m.Query(`select distinct a.station from a in acidity`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %s\n", v)
+
+	fmt.Println("-- join quantitative data with the keyword source:")
+	v, err = m.Query(`select struct(station: n.station, note: n.note, days: count(
+			select r from r in readings where r.station = n.station and r.ph < 6.5))
+		from n in notes`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   %s\n", v)
+
+	// One station's link goes down; the answer becomes a query.
+	servers[2].SetAvailable(false)
+	fmt.Println("-- station 'marne' stops answering; partial answer:")
+	ans, err := m.QueryPartial(`select r.ph from r in readings where r.station = "marne"`)
+	if err != nil {
+		return err
+	}
+	if ans.Complete {
+		return fmt.Errorf("expected a partial answer")
+	}
+	fmt.Printf("   unavailable: %v\n   answer-as-query: %.100s...\n", ans.Unavailable, ans.Residual)
+
+	// The link recovers; resubmitting the answer yields the data.
+	servers[2].SetAvailable(true)
+	re, err := m.QueryPartial(ans.Residual.String())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- after recovery, resubmission returns %d readings\n",
+		re.Value.(*disco.Bag).Len())
+	return nil
+}

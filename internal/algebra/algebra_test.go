@@ -1,0 +1,620 @@
+package algebra
+
+import (
+	"fmt"
+	"testing"
+
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+// --- shared fixture: the paper's two-source person schema -----------------
+
+func personRef(extent, repo string) ExtentRef {
+	return ExtentRef{
+		Extent: extent,
+		Repo:   repo,
+		Source: extent,
+		Iface:  "Person",
+		Attrs:  []string{"id", "name", "salary"},
+	}
+}
+
+// fixtureResolver resolves person0/person1 extents and the implicit person
+// extent that unions them.
+type fixtureResolver struct{}
+
+func (fixtureResolver) ResolvePlan(name string, star bool) (Node, error) {
+	switch name {
+	case "person0":
+		return &Submit{Repo: "r0", Input: &Get{Ref: personRef("person0", "r0")}}, nil
+	case "person1":
+		return &Submit{Repo: "r1", Input: &Get{Ref: personRef("person1", "r1")}}, nil
+	case "person":
+		return &Union{Inputs: []Node{
+			&Submit{Repo: "r0", Input: &Get{Ref: personRef("person0", "r0")}},
+			&Submit{Repo: "r1", Input: &Get{Ref: personRef("person1", "r1")}},
+		}}, nil
+	case "employee0":
+		return &Submit{Repo: "r0", Input: &Get{Ref: ExtentRef{
+			Extent: "employee0", Repo: "r0", Source: "employee0", Iface: "Employee",
+			Attrs: []string{"ename", "dept"},
+		}}}, nil
+	case "manager0":
+		return &Submit{Repo: "r0", Input: &Get{Ref: ExtentRef{
+			Extent: "manager0", Repo: "r0", Source: "manager0", Iface: "Manager",
+			Attrs: []string{"mname", "mdept"},
+		}}}, nil
+	default:
+		return nil, fmt.Errorf("unknown extent %q", name)
+	}
+}
+
+func person(id int64, name string, salary int64) *types.Struct {
+	return types.NewStruct(
+		types.Field{Name: "id", Value: types.Int(id)},
+		types.Field{Name: "name", Value: types.Str(name)},
+		types.Field{Name: "salary", Value: types.Int(salary)},
+	)
+}
+
+// stores returns the per-repository source data.
+func stores() map[string]CollectionsMap {
+	return map[string]CollectionsMap{
+		"r0": {
+			"person0": types.NewBag(person(1, "Mary", 200), person(3, "Ann", 5)),
+			"employee0": types.NewBag(
+				types.NewStruct(types.Field{Name: "ename", Value: types.Str("Bob")}, types.Field{Name: "dept", Value: types.Str("db")}),
+				types.NewStruct(types.Field{Name: "ename", Value: types.Str("Eve")}, types.Field{Name: "dept", Value: types.Str("os")}),
+			),
+			"manager0": types.NewBag(
+				types.NewStruct(types.Field{Name: "mname", Value: types.Str("Kim")}, types.Field{Name: "mdept", Value: types.Str("db")}),
+			),
+		},
+		"r1": {
+			"person1": types.NewBag(person(2, "Sam", 50), person(1, "Mary", 55)),
+		},
+	}
+}
+
+// testSubmitter executes submit expressions against the in-memory stores,
+// mimicking the wrapper: translate to source namespace, run, rename back.
+func testSubmitter(data map[string]CollectionsMap) func(string, Node) (types.Value, error) {
+	return func(repo string, expr Node) (types.Value, error) {
+		cols, ok := data[repo]
+		if !ok {
+			return nil, fmt.Errorf("unknown repo %q", repo)
+		}
+		src, err := ToSource(expr)
+		if err != nil {
+			return nil, err
+		}
+		in := &Interp{Cols: cols}
+		v, err := in.Run(src)
+		if err != nil {
+			return nil, err
+		}
+		bag, ok := v.(*types.Bag)
+		if !ok {
+			return nil, fmt.Errorf("source returned %s", v.Kind())
+		}
+		// Rename attributes back to the mediator namespace.
+		var refs []ExtentRef
+		Walk(expr, func(m Node) {
+			if g, ok := m.(*Get); ok {
+				refs = append(refs, g.Ref)
+			}
+		})
+		return types.BagMap(bag, func(e types.Value) (types.Value, error) {
+			st, ok := e.(*types.Struct)
+			if !ok {
+				return e, nil
+			}
+			for _, ref := range refs {
+				st = FromSource(ref, st)
+			}
+			return st, nil
+		})
+	}
+}
+
+// referenceResolver materializes extents for the reference evaluator.
+func referenceResolver(data map[string]CollectionsMap) oql.Resolver {
+	return oql.ResolverFunc(func(name string, star bool) (types.Value, error) {
+		plan, err := fixtureResolver{}.ResolvePlan(name, star)
+		if err != nil {
+			return nil, err
+		}
+		in := &Interp{Submitter: testSubmitter(data)}
+		return in.Run(plan)
+	})
+}
+
+func mustCompile(t *testing.T, src string) Node {
+	t.Helper()
+	e, err := oql.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	n, err := Compile(e, fixtureResolver{})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return n
+}
+
+func runPlan(t *testing.T, n Node) types.Value {
+	t.Helper()
+	in := &Interp{Submitter: testSubmitter(stores()), Resolver: referenceResolver(stores())}
+	v, err := in.Run(n)
+	if err != nil {
+		t.Fatalf("run %s: %v", n, err)
+	}
+	return v
+}
+
+// --- compilation ----------------------------------------------------------
+
+func TestCompilePaperQueryShape(t *testing.T) {
+	n := mustCompile(t, `select x.name from x in person where x.salary > 10`)
+	want := "map(x.name, select(x.salary > 10, bind(x, union(submit(r0, get(person0)), submit(r1, get(person1))))))"
+	if n.String() != want {
+		t.Errorf("plan = %s\nwant   %s", n, want)
+	}
+}
+
+func TestCompileStructProjection(t *testing.T) {
+	n := mustCompile(t, `select struct(name: x.name, salary: x.salary) from x in person0`)
+	want := "project([name: x.name, salary: x.salary], bind(x, submit(r0, get(person0))))"
+	if n.String() != want {
+		t.Errorf("plan = %s\nwant   %s", n, want)
+	}
+}
+
+func TestCompileJoin(t *testing.T) {
+	n := mustCompile(t, `select struct(a: x.name, b: y.name) from x in person0, y in person1 where x.id = y.id`)
+	if _, ok := n.(*Project); !ok {
+		t.Fatalf("top = %T", n)
+	}
+	found := false
+	Walk(n, func(m Node) {
+		if _, ok := m.(*Join); ok {
+			found = true
+		}
+	})
+	if !found {
+		t.Errorf("expected a join in %s", n)
+	}
+}
+
+func TestCompileDependentBinding(t *testing.T) {
+	e, err := oql.ParseQuery(`select m from g in person0, m in g.name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Compile(e, fixtureResolver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	Walk(n, func(m Node) {
+		if _, ok := m.(*Depend); ok {
+			found = true
+		}
+	})
+	if !found {
+		t.Errorf("expected depend node in %s", n)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	for _, src := range []string{
+		`select x from x in nosuch`,
+		`select x from x in 5`,
+	} {
+		e, err := oql.ParseQuery(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Compile(e, fixtureResolver{}); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestCompileAggregates(t *testing.T) {
+	n := mustCompile(t, `count(person0)`)
+	if _, ok := n.(*Agg); !ok {
+		t.Fatalf("top = %T", n)
+	}
+	got := runPlan(t, n)
+	if !got.Equal(types.Int(2)) {
+		t.Errorf("count = %s", got)
+	}
+}
+
+// --- normalization and pushdown -------------------------------------------
+
+func TestNormalizeDistributesOverUnion(t *testing.T) {
+	n := mustCompile(t, `select x.name from x in person where x.salary > 10`)
+	norm := Normalize(n)
+	top, ok := norm.(*Union)
+	if !ok {
+		t.Fatalf("normalized top = %T: %s", norm, norm)
+	}
+	if len(top.Inputs) != 2 {
+		t.Fatalf("union arity = %d", len(top.Inputs))
+	}
+	// Each branch is a full map/select/bind pyramid over one submit.
+	want0 := "map(x.name, select(x.salary > 10, bind(x, submit(r0, get(person0)))))"
+	if top.Inputs[0].String() != want0 {
+		t.Errorf("branch0 = %s\nwant     %s", top.Inputs[0], want0)
+	}
+}
+
+func TestPushSelectIntoSubmit(t *testing.T) {
+	n := Normalize(mustCompile(t, `select x.name from x in person0 where x.salary > 10`))
+	pushed := Push(n, AcceptAll{}, PushOptions{Select: true})
+	want := "map(x.name, bind(x, submit(r0, select(salary > 10, get(person0)))))"
+	if pushed.String() != want {
+		t.Errorf("pushed = %s\nwant    %s", pushed, want)
+	}
+	// With no capabilities nothing moves.
+	same := Push(n, AcceptNone{}, PushOptions{Select: true})
+	if !Equal(same, n) {
+		t.Errorf("pushdown without capability should be identity, got %s", same)
+	}
+}
+
+func TestPushProjectIntoSubmit(t *testing.T) {
+	n := Normalize(mustCompile(t, `select x.name from x in person0`))
+	pushed := Push(n, AcceptAll{}, PushOptions{Project: true})
+	want := "map(x.name, bind(x, submit(r0, project([name], get(person0)))))"
+	if pushed.String() != want {
+		t.Errorf("pushed = %s\nwant    %s", pushed, want)
+	}
+}
+
+func TestPushSelectAndProject(t *testing.T) {
+	n := Normalize(mustCompile(t, `select x.name from x in person0 where x.salary > 10`))
+	pushed := Push(n, AcceptAll{}, PushOptions{Select: true, Project: true})
+	// Select pushes below; project prunes to the used columns above it.
+	want := "map(x.name, bind(x, submit(r0, project([name], select(salary > 10, get(person0))))))"
+	if pushed.String() != want {
+		t.Errorf("pushed = %s\nwant    %s", pushed, want)
+	}
+}
+
+func TestPushJoinSameRepo(t *testing.T) {
+	// The paper's §3.2 example: employees and managers in the same
+	// repository joined on department.
+	n := Normalize(mustCompile(t,
+		`select struct(e: x.ename, m: y.mname) from x in employee0, y in manager0 where x.dept = y.mdept`))
+	pushed := Push(n, AcceptAll{}, PushOptions{Join: true})
+	foundNest := false
+	Walk(pushed, func(m Node) {
+		if nest, ok := m.(*Nest); ok {
+			foundNest = true
+			if _, ok := nest.Input.(*Submit); !ok {
+				t.Errorf("nest input should be submit, got %T", nest.Input)
+			}
+		}
+	})
+	if !foundNest {
+		t.Fatalf("join was not pushed: %s", pushed)
+	}
+	// The submitted expression contains the join.
+	subs := Submits(pushed)
+	if len(subs) != 1 {
+		t.Fatalf("submit count = %d", len(subs))
+	}
+	if _, ok := subs[0].Input.(*Join); !ok {
+		t.Errorf("submitted expr = %s", subs[0].Input)
+	}
+}
+
+func TestJoinNotPushedAcrossRepos(t *testing.T) {
+	n := Normalize(mustCompile(t,
+		`select struct(a: x.name, b: y.name) from x in person0, y in person1 where x.id = y.id`))
+	pushed := Push(n, AcceptAll{}, PushOptions{Select: true, Project: true, Join: true})
+	// person0 and person1 live in different repositories (and share
+	// attribute names); the join must stay at the mediator.
+	subs := Submits(pushed)
+	for _, s := range subs {
+		if _, ok := s.Input.(*Join); ok {
+			t.Errorf("join pushed across repositories: %s", pushed)
+		}
+	}
+}
+
+func TestNonPushablePredicateStays(t *testing.T) {
+	// The predicate references a nested query: not pushable.
+	n := Normalize(mustCompile(t,
+		`select x.name from x in person0 where x.salary > count(person1)`))
+	pushed := Push(n, AcceptAll{}, PushOptions{Select: true})
+	subs := Submits(pushed)
+	for _, s := range subs {
+		if _, ok := s.Input.(*Select); ok {
+			t.Errorf("nested-query predicate must not push: %s", pushed)
+		}
+	}
+}
+
+// --- execution equivalence (optimized plans agree with the reference) ------
+
+var equivalenceQueries = []string{
+	`select x.name from x in person where x.salary > 10`,
+	`select x.name from x in person0 where x.salary > 10`,
+	`select x.name from x in union(person0, person1) where x.salary > 10`,
+	`select struct(name: x.name, salary: x.salary) from x in person`,
+	`select struct(a: x.name, b: y.name) from x in person0, y in person1 where x.id = y.id`,
+	`select struct(e: x.ename, m: y.mname) from x in employee0, y in manager0 where x.dept = y.mdept`,
+	`select distinct x.name from x in person`,
+	`count(person)`,
+	`sum(select x.salary from x in person)`,
+	`select x.salary * 2 from x in person0`,
+	`select x.name from x in person where x.salary > 10 and x.id = 1`,
+	`union(select x.name from x in person0, bag("Sam"))`,
+	`flatten(bag(bag(1), bag(2)))`,
+	`select x.name from x in person where x.name = "Mary" or x.salary < 20`,
+}
+
+func TestOptimizedPlansAgreeWithReference(t *testing.T) {
+	data := stores()
+	ref := referenceResolver(data)
+	options := []PushOptions{
+		{},
+		{Select: true},
+		{Project: true},
+		{Join: true},
+		{Select: true, Project: true},
+		{Select: true, Project: true, Join: true},
+	}
+	for _, src := range equivalenceQueries {
+		e, err := oql.ParseQuery(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		want, err := oql.Eval(e, nil, ref)
+		if err != nil {
+			t.Fatalf("reference eval %q: %v", src, err)
+		}
+		for _, opt := range options {
+			plan, err := Compile(e, fixtureResolver{})
+			if err != nil {
+				t.Fatalf("compile %q: %v", src, err)
+			}
+			plan = Push(Normalize(plan), AcceptAll{}, opt)
+			in := &Interp{Submitter: testSubmitter(data), Resolver: ref}
+			got, err := in.Run(plan)
+			if err != nil {
+				t.Errorf("run %q with %+v: %v\nplan: %s", src, opt, err, plan)
+				continue
+			}
+			if !got.Equal(want) {
+				t.Errorf("%q with %+v:\n got  %s\n want %s\n plan %s", src, opt, got, want, plan)
+			}
+		}
+	}
+}
+
+// --- plan → OQL (the §4 closure property) ----------------------------------
+
+func TestToOQLAgreesWithPlan(t *testing.T) {
+	data := stores()
+	ref := referenceResolver(data)
+	for _, src := range equivalenceQueries {
+		e, err := oql.ParseQuery(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		for _, opt := range []PushOptions{{}, {Select: true, Project: true, Join: true}} {
+			plan, err := Compile(e, fixtureResolver{})
+			if err != nil {
+				t.Fatalf("compile %q: %v", src, err)
+			}
+			plan = Push(Normalize(plan), AcceptAll{}, opt)
+			back, err := ToOQL(plan)
+			if err != nil {
+				t.Errorf("ToOQL(%s): %v", plan, err)
+				continue
+			}
+			// The reconstructed query must be parseable...
+			if _, err := oql.ParseQuery(back.String()); err != nil {
+				t.Errorf("reconstructed OQL does not parse: %q: %v", back, err)
+				continue
+			}
+			// ... and evaluate to the same answer as the plan.
+			want, err := oql.Eval(e, nil, ref)
+			if err != nil {
+				t.Fatalf("reference eval: %v", err)
+			}
+			got, err := oql.Eval(back, nil, ref)
+			if err != nil {
+				t.Errorf("eval of reconstructed %q: %v", back, err)
+				continue
+			}
+			if !got.Equal(want) {
+				t.Errorf("%q: reconstructed %q\n got  %s\n want %s", src, back, got, want)
+			}
+		}
+	}
+}
+
+func TestToOQLSimpleShapes(t *testing.T) {
+	plan := mustCompile(t, `select x.name from x in person0 where x.salary > 10`)
+	back, err := ToOQL(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `select x.name from x in person0 where x.salary > 10`
+	if back.String() != want {
+		t.Errorf("ToOQL = %q, want %q", back, want)
+	}
+}
+
+// --- source namespace translation (§2.2.2 maps) -----------------------------
+
+func TestToSourceAppliesMap(t *testing.T) {
+	// PersonPrime: mediator attrs n, s map to source name, salary; the
+	// mediator extent personprime0 reads source relation person0.
+	ref := ExtentRef{
+		Extent:  "personprime0",
+		Repo:    "r0",
+		Source:  "person0",
+		Iface:   "PersonPrime",
+		Attrs:   []string{"n", "s"},
+		AttrMap: map[string]string{"n": "name", "s": "salary"},
+	}
+	pred, err := oql.ParseQuery(`s > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &Project{
+		Cols:  []Col{{Name: "n", Expr: &oql.Ident{Name: "n"}}},
+		Input: &Select{Pred: pred, Input: &Get{Ref: ref}},
+	}
+	src, err := ToSource(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "project([name], select(salary > 10, get(person0)))"
+	if src.String() != want {
+		t.Errorf("ToSource = %s, want %s", src, want)
+	}
+	// Executing against the store works end to end.
+	in := &Interp{Cols: stores()["r0"]}
+	v, err := in.Run(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.(*types.Bag)
+	if got.Len() != 1 {
+		t.Errorf("rows = %d, want 1 (only Mary earns > 10)", got.Len())
+	}
+	// And FromSource renames the tuple back into the mediator namespace,
+	// where the attribute is called n.
+	tuple := got.At(0).(*types.Struct)
+	back := FromSource(ref, tuple)
+	if v, ok := back.Get("n"); !ok || !v.Equal(types.Str("Mary")) {
+		t.Errorf("renamed tuple = %s, want field n = Mary", back)
+	}
+}
+
+func TestToSourceConflictingMaps(t *testing.T) {
+	a := ExtentRef{Extent: "e1", Repo: "r0", Source: "s1", Attrs: []string{"x"}, AttrMap: map[string]string{"x": "a"}}
+	b := ExtentRef{Extent: "e2", Repo: "r0", Source: "s2", Attrs: []string{"x"}, AttrMap: map[string]string{"x": "b"}}
+	plan := &Join{L: &Get{Ref: a}, R: &Get{Ref: b}}
+	if _, err := ToSource(plan); err == nil {
+		t.Error("ambiguous attribute mapping should fail")
+	}
+}
+
+// --- node plumbing -----------------------------------------------------------
+
+func TestTransformRebuilds(t *testing.T) {
+	n := mustCompile(t, `select x.name from x in person0`)
+	// Replace all Get extents with a marker name.
+	out := Transform(n, func(m Node) Node {
+		if g, ok := m.(*Get); ok {
+			ref := g.Ref
+			ref.Extent = "marked"
+			return &Get{Ref: ref}
+		}
+		return m
+	})
+	if out.String() == n.String() {
+		t.Error("transform should have rebuilt the tree")
+	}
+	found := false
+	Walk(out, func(m Node) {
+		if g, ok := m.(*Get); ok && g.Ref.Extent == "marked" {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("marker not found after transform")
+	}
+}
+
+func TestOutputAttrs(t *testing.T) {
+	get := &Get{Ref: personRef("person0", "r0")}
+	attrs, ok := OutputAttrs(get)
+	if !ok || len(attrs) != 3 {
+		t.Fatalf("attrs = %v, %v", attrs, ok)
+	}
+	proj := &Project{Cols: []Col{{Name: "name", Expr: &oql.Ident{Name: "name"}}}, Input: get}
+	attrs, ok = OutputAttrs(proj)
+	if !ok || len(attrs) != 1 || attrs[0] != "name" {
+		t.Fatalf("project attrs = %v, %v", attrs, ok)
+	}
+	if _, ok := OutputAttrs(&Map{Expr: &oql.Ident{Name: "x"}, Input: get}); ok {
+		t.Error("map output attrs should be unknown")
+	}
+}
+
+// --- normalization simplifications -------------------------------------------
+
+func TestNormalizeEmptyPropagation(t *testing.T) {
+	empty := &Const{Data: types.NewBag()}
+	nonEmpty := &Const{Data: types.NewBag(types.Int(1))}
+	pred, err := oql.ParseQuery(`x > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		plan Node
+	}{
+		{"select over empty", &Select{Pred: pred, Input: empty}},
+		{"map over empty", &Map{Expr: pred, Input: empty}},
+		{"bind over empty", &Bind{Var: "x", Input: empty}},
+		{"join with empty side", &Join{L: nonEmpty, R: empty}},
+		{"distinct over empty", &Distinct{Input: empty}},
+		{"flatten over empty", &Flatten{Input: empty}},
+		{"union of empties", &Union{Inputs: []Node{empty, empty}}},
+	}
+	for _, tt := range cases {
+		got := Normalize(tt.plan)
+		if !isEmptyConst(got) {
+			t.Errorf("%s: normalized to %s, want empty const", tt.name, got)
+		}
+	}
+}
+
+func TestNormalizeConstantPredicates(t *testing.T) {
+	input := &Const{Data: types.NewBag(types.Int(1), types.Int(2))}
+	trueSel := &Select{Pred: &oql.Literal{Val: types.Bool(true)}, Input: input}
+	if got := Normalize(trueSel); !Equal(got, input) {
+		t.Errorf("select(true) should vanish: %s", got)
+	}
+	falseSel := &Select{Pred: &oql.Literal{Val: types.Bool(false)}, Input: input}
+	if got := Normalize(falseSel); !isEmptyConst(got) {
+		t.Errorf("select(false) should empty: %s", got)
+	}
+}
+
+func TestNormalizeDropsEmptyUnionBranches(t *testing.T) {
+	empty := &Const{Data: types.NewBag()}
+	keep := &Const{Data: types.NewBag(types.Int(7))}
+	u := &Union{Inputs: []Node{empty, keep, empty}}
+	got := Normalize(u)
+	if !Equal(got, keep) {
+		t.Errorf("union with empty branches should reduce to the survivor: %s", got)
+	}
+}
+
+// TestPushableContains: contains() predicates participate in pushdown.
+func TestPushableContains(t *testing.T) {
+	n := Normalize(mustCompile(t, `select x.name from x in person0 where contains(x.name, "Mar")`))
+	pushed := Push(n, AcceptAll{}, PushOptions{Select: true})
+	want := `map(x.name, bind(x, submit(r0, select(contains(name, "Mar"), get(person0)))))`
+	if pushed.String() != want {
+		t.Errorf("pushed = %s\nwant    %s", pushed, want)
+	}
+	// And the source-translated form renames attributes through maps.
+	subs := Submits(pushed)
+	if len(subs) != 1 {
+		t.Fatalf("submits = %d", len(subs))
+	}
+}

@@ -1,0 +1,156 @@
+package algebra
+
+import (
+	"fmt"
+
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+// NameResolver supplies plans for free collection names: extents resolve to
+// submit(get(...)) trees (or unions of them for multi-extent types), views
+// are substituted before compilation and so never reach the resolver.
+type NameResolver interface {
+	ResolvePlan(name string, star bool) (Node, error)
+}
+
+// Compile translates an OQL query into a logical plan. Constructs outside
+// the planned fragment compile to Eval fallback nodes, which execute with
+// reference semantics but cannot be optimized or partially evaluated.
+func Compile(e oql.Expr, r NameResolver) (Node, error) {
+	switch x := e.(type) {
+	case *oql.Select:
+		return compileSelect(x, r)
+	case *oql.Ident:
+		return r.ResolvePlan(x.Name, x.Star)
+	case *oql.Literal:
+		if b, ok := x.Val.(*types.Bag); ok {
+			return &Const{Data: b}, nil
+		}
+		return &Eval{Expr: x}, nil
+	case *oql.Call:
+		return compileCall(x, r)
+	default:
+		return &Eval{Expr: e}, nil
+	}
+}
+
+func compileCall(x *oql.Call, r NameResolver) (Node, error) {
+	switch x.Fn {
+	case "union":
+		inputs := make([]Node, 0, len(x.Args))
+		for _, a := range x.Args {
+			n, err := Compile(a, r)
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, n)
+		}
+		return &Union{Inputs: inputs}, nil
+	case "flatten":
+		if len(x.Args) == 1 {
+			in, err := Compile(x.Args[0], r)
+			if err != nil {
+				return nil, err
+			}
+			return &Flatten{Input: in}, nil
+		}
+	case "distinct":
+		if len(x.Args) == 1 {
+			in, err := Compile(x.Args[0], r)
+			if err != nil {
+				return nil, err
+			}
+			return &Distinct{Input: in}, nil
+		}
+	case "count", "sum", "min", "max", "avg", "exists", "element":
+		if len(x.Args) == 1 {
+			in, err := Compile(x.Args[0], r)
+			if err != nil {
+				return nil, err
+			}
+			return &Agg{Fn: x.Fn, Input: in}, nil
+		}
+	}
+	return &Eval{Expr: x}, nil
+}
+
+func compileSelect(sel *oql.Select, r NameResolver) (Node, error) {
+	bound := map[string]bool{}
+	var plan Node
+	for _, b := range sel.From {
+		if b.Var == "" {
+			return nil, fmt.Errorf("compile: empty binding variable")
+		}
+		dependent := false
+		for _, name := range oql.FreeNames(b.Domain) {
+			if bound[name] {
+				dependent = true
+				break
+			}
+		}
+		switch {
+		case dependent && plan == nil:
+			return nil, fmt.Errorf("compile: first binding %s cannot be dependent", b.Var)
+		case dependent:
+			plan = &Depend{Var: b.Var, Domain: b.Domain, Input: plan}
+		default:
+			dnode, err := compileCollection(b.Domain, r)
+			if err != nil {
+				return nil, err
+			}
+			bind := &Bind{Var: b.Var, Input: dnode}
+			if plan == nil {
+				plan = bind
+			} else {
+				plan = &Join{L: plan, R: bind}
+			}
+		}
+		bound[b.Var] = true
+	}
+	if plan == nil {
+		return nil, fmt.Errorf("compile: select without bindings")
+	}
+	if sel.Where != nil {
+		plan = &Select{Pred: sel.Where, Input: plan}
+	}
+	if ctor, ok := sel.Proj.(*oql.StructCtor); ok {
+		cols := make([]Col, 0, len(ctor.Fields))
+		for _, f := range ctor.Fields {
+			cols = append(cols, Col{Name: f.Name, Expr: f.Expr})
+		}
+		plan = &Project{Cols: cols, Input: plan}
+	} else {
+		plan = &Map{Expr: sel.Proj, Input: plan}
+	}
+	if sel.Distinct {
+		plan = &Distinct{Input: plan}
+	}
+	return plan, nil
+}
+
+// compileCollection compiles a from-clause domain. Scalar literals and
+// unplannable forms fall back to Eval.
+func compileCollection(e oql.Expr, r NameResolver) (Node, error) {
+	switch x := e.(type) {
+	case *oql.Ident:
+		return r.ResolvePlan(x.Name, x.Star)
+	case *oql.Literal:
+		switch v := x.Val.(type) {
+		case *types.Bag:
+			return &Const{Data: v}, nil
+		case *types.List:
+			return &Const{Data: types.NewBag(v.Elems()...)}, nil
+		case *types.Set:
+			return &Const{Data: types.NewBag(v.Elems()...)}, nil
+		default:
+			return nil, fmt.Errorf("compile: %s is not a collection", x.Val.Kind())
+		}
+	case *oql.Select:
+		return compileSelect(x, r)
+	case *oql.Call:
+		return compileCall(x, r)
+	default:
+		return &Eval{Expr: e}, nil
+	}
+}

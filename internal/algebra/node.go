@@ -1,0 +1,548 @@
+// Package algebra implements DISCO's logical algebra (paper §3.1-3.2): the
+// operators get, select (filter), project, join, union, flatten and the
+// submit operator that locates a subexpression at a data source. Plans
+// compile from OQL, rewrite under capability-checked transformation rules,
+// and convert back to OQL — the property partial evaluation relies on
+// (§4: "each logical operation has a corresponding OQL expression").
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+// Node is a logical operator. Nodes form immutable trees; rewrites build new
+// trees via WithChildren.
+type Node interface {
+	// String renders the node in the paper's prefix syntax, e.g.
+	// project(name, get(person0)).
+	String() string
+	// Children returns the input operators in order.
+	Children() []Node
+	// WithChildren returns a copy of the node with the inputs replaced.
+	// The slice length must match Children.
+	WithChildren(children []Node) Node
+}
+
+// ExtentRef identifies one data-source extent as registered in the catalog.
+// Attribute names and predicates in plans always use the mediator namespace;
+// AttrMap carries the local transformation map (paper §2.2.2) that exec
+// applies when translating the expression for the wrapper.
+type ExtentRef struct {
+	// Extent is the extent name in the mediator (e.g. person0).
+	Extent string
+	// Repo is the repository object name (e.g. r0).
+	Repo string
+	// Source is the collection name inside the data source, after applying
+	// the local transformation map. Equal to Extent when no map is set.
+	Source string
+	// Iface is the mediator interface name of the extent's objects.
+	Iface string
+	// Attrs lists the mediator-side attribute names of Iface.
+	Attrs []string
+	// AttrMap maps mediator attribute names to source attribute names for
+	// attributes renamed by the local transformation map.
+	AttrMap map[string]string
+}
+
+// SourceAttr translates a mediator attribute name to the source namespace.
+func (r ExtentRef) SourceAttr(name string) string {
+	if s, ok := r.AttrMap[name]; ok {
+		return s
+	}
+	return name
+}
+
+// Get retrieves all objects of one data-source extent (the paper's
+// get(person0)). It is the leaf of source-side expressions.
+type Get struct {
+	Ref ExtentRef
+}
+
+// String implements Node.
+func (g *Get) String() string { return "get(" + g.Ref.Extent + ")" }
+
+// Children implements Node.
+func (*Get) Children() []Node { return nil }
+
+// WithChildren implements Node.
+func (g *Get) WithChildren(children []Node) Node {
+	mustArity("get", children, 0)
+	return g
+}
+
+// Const is literal data embedded in a plan: bag literals in queries and the
+// data part of partial answers.
+type Const struct {
+	Data *types.Bag
+}
+
+// String implements Node.
+func (c *Const) String() string { return "const(" + c.Data.String() + ")" }
+
+// Children implements Node.
+func (*Const) Children() []Node { return nil }
+
+// WithChildren implements Node.
+func (c *Const) WithChildren(children []Node) Node {
+	mustArity("const", children, 0)
+	return c
+}
+
+// Union is n-ary bag union (duplicates preserved).
+type Union struct {
+	Inputs []Node
+}
+
+// String implements Node.
+func (u *Union) String() string {
+	parts := make([]string, len(u.Inputs))
+	for i, in := range u.Inputs {
+		parts[i] = in.String()
+	}
+	return "union(" + strings.Join(parts, ", ") + ")"
+}
+
+// Children implements Node.
+func (u *Union) Children() []Node { return u.Inputs }
+
+// WithChildren implements Node.
+func (u *Union) WithChildren(children []Node) Node {
+	mustArity("union", children, len(u.Inputs))
+	return &Union{Inputs: children}
+}
+
+// Submit locates the evaluation of Input at a data source (paper §3.2).
+// It has remote-procedure-call semantics: the input expression travels to
+// the wrapper, data comes back. It cannot accept data from another source,
+// which is why semijoins are inexpressible (a restriction the paper states).
+type Submit struct {
+	Repo  string
+	Input Node
+}
+
+// String implements Node.
+func (s *Submit) String() string {
+	return "submit(" + s.Repo + ", " + s.Input.String() + ")"
+}
+
+// Children implements Node.
+func (s *Submit) Children() []Node { return []Node{s.Input} }
+
+// WithChildren implements Node.
+func (s *Submit) WithChildren(children []Node) Node {
+	mustArity("submit", children, 1)
+	return &Submit{Repo: s.Repo, Input: children[0]}
+}
+
+// Bind wraps each element e of the input into a one-field struct {Var: e},
+// introducing the OQL variable naming that downstream predicates use.
+type Bind struct {
+	Var   string
+	Input Node
+}
+
+// String implements Node.
+func (b *Bind) String() string {
+	return "bind(" + b.Var + ", " + b.Input.String() + ")"
+}
+
+// Children implements Node.
+func (b *Bind) Children() []Node { return []Node{b.Input} }
+
+// WithChildren implements Node.
+func (b *Bind) WithChildren(children []Node) Node {
+	mustArity("bind", children, 1)
+	return &Bind{Var: b.Var, Input: children[0]}
+}
+
+// Select filters elements by a predicate (the paper's select operator; the
+// runtime name Filter avoids clashing with OQL select). The predicate is an
+// OQL expression evaluated with the element's struct fields bound as
+// variables: source-side that means attribute names (salary > 10),
+// mediator-side the bind variables (x.salary > 10).
+type Select struct {
+	Pred  oql.Expr
+	Input Node
+}
+
+// String implements Node.
+func (s *Select) String() string {
+	return "select(" + s.Pred.String() + ", " + s.Input.String() + ")"
+}
+
+// Children implements Node.
+func (s *Select) Children() []Node { return []Node{s.Input} }
+
+// WithChildren implements Node.
+func (s *Select) WithChildren(children []Node) Node {
+	mustArity("select", children, 1)
+	return &Select{Pred: s.Pred, Input: children[0]}
+}
+
+// Col is one output column of a Project.
+type Col struct {
+	Name string
+	Expr oql.Expr
+}
+
+// Project maps each element to a struct of named columns (the paper's
+// project operator).
+type Project struct {
+	Cols  []Col
+	Input Node
+}
+
+// String implements Node.
+func (p *Project) String() string {
+	parts := make([]string, len(p.Cols))
+	for i, c := range p.Cols {
+		if id, ok := c.Expr.(*oql.Ident); ok && id.Name == c.Name && !id.Star {
+			parts[i] = c.Name
+		} else {
+			parts[i] = c.Name + ": " + c.Expr.String()
+		}
+	}
+	return "project([" + strings.Join(parts, ", ") + "], " + p.Input.String() + ")"
+}
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Input} }
+
+// WithChildren implements Node.
+func (p *Project) WithChildren(children []Node) Node {
+	mustArity("project", children, 1)
+	return &Project{Cols: p.Cols, Input: children[0]}
+}
+
+// Map evaluates an arbitrary OQL expression per element (the final
+// projection step when the result is not a struct, e.g. select x.name).
+type Map struct {
+	Expr  oql.Expr
+	Input Node
+}
+
+// String implements Node.
+func (m *Map) String() string {
+	return "map(" + m.Expr.String() + ", " + m.Input.String() + ")"
+}
+
+// Children implements Node.
+func (m *Map) Children() []Node { return []Node{m.Input} }
+
+// WithChildren implements Node.
+func (m *Map) WithChildren(children []Node) Node {
+	mustArity("map", children, 1)
+	return &Map{Expr: m.Expr, Input: children[0]}
+}
+
+// Join combines two inputs of struct elements into merged structs, keeping
+// pairs that satisfy Pred. Field sets of the two sides must be disjoint.
+type Join struct {
+	L, R Node
+	Pred oql.Expr // nil means cross product
+}
+
+// String implements Node.
+func (j *Join) String() string {
+	pred := "true"
+	if j.Pred != nil {
+		pred = j.Pred.String()
+	}
+	return "join(" + j.L.String() + ", " + j.R.String() + ", " + pred + ")"
+}
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.L, j.R} }
+
+// WithChildren implements Node.
+func (j *Join) WithChildren(children []Node) Node {
+	mustArity("join", children, 2)
+	return &Join{L: children[0], R: children[1], Pred: j.Pred}
+}
+
+// NestGroup names one variable of a Nest and the attributes it owns.
+type NestGroup struct {
+	Var   string
+	Attrs []string
+}
+
+// Nest re-nests flat joined tuples into per-variable structs: a flat tuple
+// {a, b, c, d} with groups x→{a,b}, y→{c,d} becomes
+// {x: struct(a, b), y: struct(c, d)}. It is the mediator-side complement of
+// join pushdown.
+type Nest struct {
+	Groups []NestGroup
+	Input  Node
+}
+
+// String implements Node.
+func (n *Nest) String() string {
+	parts := make([]string, len(n.Groups))
+	for i, g := range n.Groups {
+		parts[i] = g.Var + ": {" + strings.Join(g.Attrs, ", ") + "}"
+	}
+	return "nest([" + strings.Join(parts, ", ") + "], " + n.Input.String() + ")"
+}
+
+// Children implements Node.
+func (n *Nest) Children() []Node { return []Node{n.Input} }
+
+// WithChildren implements Node.
+func (n *Nest) WithChildren(children []Node) Node {
+	mustArity("nest", children, 1)
+	return &Nest{Groups: n.Groups, Input: children[0]}
+}
+
+// Depend binds Var to the elements of a domain expression evaluated per
+// input element (a dependent from-clause binding such as m in g.members).
+type Depend struct {
+	Var    string
+	Domain oql.Expr
+	Input  Node
+}
+
+// String implements Node.
+func (d *Depend) String() string {
+	return "depend(" + d.Var + ", " + d.Domain.String() + ", " + d.Input.String() + ")"
+}
+
+// Children implements Node.
+func (d *Depend) Children() []Node { return []Node{d.Input} }
+
+// WithChildren implements Node.
+func (d *Depend) WithChildren(children []Node) Node {
+	mustArity("depend", children, 1)
+	return &Depend{Var: d.Var, Domain: d.Domain, Input: children[0]}
+}
+
+// Distinct removes duplicate elements.
+type Distinct struct {
+	Input Node
+}
+
+// String implements Node.
+func (d *Distinct) String() string { return "distinct(" + d.Input.String() + ")" }
+
+// Children implements Node.
+func (d *Distinct) Children() []Node { return []Node{d.Input} }
+
+// WithChildren implements Node.
+func (d *Distinct) WithChildren(children []Node) Node {
+	mustArity("distinct", children, 1)
+	return &Distinct{Input: children[0]}
+}
+
+// Flatten concatenates a bag of collections.
+type Flatten struct {
+	Input Node
+}
+
+// String implements Node.
+func (f *Flatten) String() string { return "flatten(" + f.Input.String() + ")" }
+
+// Children implements Node.
+func (f *Flatten) Children() []Node { return []Node{f.Input} }
+
+// WithChildren implements Node.
+func (f *Flatten) WithChildren(children []Node) Node {
+	mustArity("flatten", children, 1)
+	return &Flatten{Input: children[0]}
+}
+
+// Agg applies an aggregate function (count, sum, min, max, avg, exists,
+// element) to the whole input, producing a single-element bag holding the
+// scalar.
+type Agg struct {
+	Fn    string
+	Input Node
+}
+
+// String implements Node.
+func (a *Agg) String() string { return a.Fn + "(" + a.Input.String() + ")" }
+
+// Children implements Node.
+func (a *Agg) Children() []Node { return []Node{a.Input} }
+
+// WithChildren implements Node.
+func (a *Agg) WithChildren(children []Node) Node {
+	mustArity(a.Fn, children, 1)
+	return &Agg{Fn: a.Fn, Input: children[0]}
+}
+
+// Eval is the generic fallback: evaluate an arbitrary OQL expression with
+// the reference evaluator against the mediator's name resolver. Plans never
+// push through it; it exists so every OQL query is executable even when it
+// falls outside the planned fragment.
+type Eval struct {
+	Expr oql.Expr
+}
+
+// String implements Node.
+func (e *Eval) String() string { return "eval(" + e.Expr.String() + ")" }
+
+// Children implements Node.
+func (*Eval) Children() []Node { return nil }
+
+// WithChildren implements Node.
+func (e *Eval) WithChildren(children []Node) Node {
+	mustArity("eval", children, 0)
+	return e
+}
+
+// Compile-time conformance checks.
+var (
+	_ Node = (*Get)(nil)
+	_ Node = (*Const)(nil)
+	_ Node = (*Union)(nil)
+	_ Node = (*Submit)(nil)
+	_ Node = (*Bind)(nil)
+	_ Node = (*Select)(nil)
+	_ Node = (*Project)(nil)
+	_ Node = (*Map)(nil)
+	_ Node = (*Join)(nil)
+	_ Node = (*Nest)(nil)
+	_ Node = (*Depend)(nil)
+	_ Node = (*Distinct)(nil)
+	_ Node = (*Flatten)(nil)
+	_ Node = (*Agg)(nil)
+	_ Node = (*Eval)(nil)
+)
+
+func mustArity(op string, children []Node, n int) {
+	if len(children) != n {
+		panic(fmt.Sprintf("algebra: %s takes %d children, got %d", op, n, len(children)))
+	}
+}
+
+// Equal reports whether two plans are structurally identical. The canonical
+// string rendering carries every semantically relevant detail, so string
+// comparison is the definition.
+func Equal(a, b Node) bool { return a.String() == b.String() }
+
+// Transform applies f bottom-up over the plan, rebuilding nodes whose
+// children changed.
+func Transform(n Node, f func(Node) Node) Node {
+	children := n.Children()
+	if len(children) > 0 {
+		rebuilt := make([]Node, len(children))
+		changed := false
+		for i, c := range children {
+			rebuilt[i] = Transform(c, f)
+			if rebuilt[i] != c {
+				changed = true
+			}
+		}
+		if changed {
+			n = n.WithChildren(rebuilt)
+		}
+	}
+	return f(n)
+}
+
+// Walk visits every node of the plan top-down.
+func Walk(n Node, visit func(Node)) {
+	visit(n)
+	for _, c := range n.Children() {
+		Walk(c, visit)
+	}
+}
+
+// Submits returns all submit nodes in the plan in visit order.
+func Submits(n Node) []*Submit {
+	var out []*Submit
+	Walk(n, func(m Node) {
+		if s, ok := m.(*Submit); ok {
+			out = append(out, s)
+		}
+	})
+	return out
+}
+
+// OutputAttrs computes the attribute names of the structs a source-side
+// node produces, in the mediator namespace. It reports ok=false for nodes
+// whose output is not a flat struct relation (e.g. Map).
+func OutputAttrs(n Node) ([]string, bool) {
+	switch x := n.(type) {
+	case *Get:
+		return append([]string(nil), x.Ref.Attrs...), true
+	case *Const:
+		// Uniform struct data exposes its field names (partial answers
+		// substitute constants for submits, so this keeps residual
+		// rendering working above them).
+		if x.Data.Len() == 0 {
+			return nil, false
+		}
+		first, ok := x.Data.At(0).(*types.Struct)
+		if !ok {
+			return nil, false
+		}
+		names := first.FieldNames()
+		for _, e := range x.Data.Elems()[1:] {
+			st, ok := e.(*types.Struct)
+			if !ok || !sameStrings(names, st.FieldNames()) {
+				return nil, false
+			}
+		}
+		return names, true
+	case *Select:
+		return OutputAttrs(x.Input)
+	case *Distinct:
+		return OutputAttrs(x.Input)
+	case *Project:
+		attrs := make([]string, len(x.Cols))
+		for i, c := range x.Cols {
+			attrs[i] = c.Name
+		}
+		return attrs, true
+	case *Join:
+		l, ok := OutputAttrs(x.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := OutputAttrs(x.R)
+		if !ok {
+			return nil, false
+		}
+		return append(l, r...), true
+	case *Union:
+		if len(x.Inputs) == 0 {
+			return nil, false
+		}
+		first, ok := OutputAttrs(x.Inputs[0])
+		if !ok {
+			return nil, false
+		}
+		for _, in := range x.Inputs[1:] {
+			rest, ok := OutputAttrs(in)
+			if !ok || !sameStrings(first, rest) {
+				return nil, false
+			}
+		}
+		return first, true
+	case *Submit:
+		return OutputAttrs(x.Input)
+	default:
+		return nil, false
+	}
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,430 @@
+package algebra
+
+import (
+	"fmt"
+
+	"disco/internal/oql"
+)
+
+// ToOQL converts a logical plan back into an OQL expression over mediator
+// names. This realizes the paper's §4 requirement that "each logical
+// operation has a corresponding OQL expression": partial evaluation turns
+// the unevaluated remainder of a physical plan into a high-level query by
+// way of this function.
+//
+// The conversion is semantics-preserving: evaluating the returned expression
+// with the mediator's resolver yields the same bag as executing the plan
+// (a property the tests check).
+func ToOQL(n Node) (oql.Expr, error) {
+	switch x := n.(type) {
+	case *Get:
+		return &oql.Ident{Name: x.Ref.Extent}, nil
+	case *Const:
+		return &oql.Literal{Val: x.Data}, nil
+	case *Eval:
+		return x.Expr, nil
+	case *Submit:
+		// Location is transparent in OQL: the repository is recoverable
+		// from the extent names referenced inside.
+		return ToOQL(x.Input)
+	case *Union:
+		args := make([]oql.Expr, 0, len(x.Inputs))
+		for _, in := range x.Inputs {
+			e, err := ToOQL(in)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+		}
+		return &oql.Call{Fn: "union", Args: args}, nil
+	case *Flatten:
+		in, err := ToOQL(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &oql.Call{Fn: "flatten", Args: []oql.Expr{in}}, nil
+	case *Agg:
+		in, err := ToOQL(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &oql.Call{Fn: x.Fn, Args: []oql.Expr{in}}, nil
+	case *Distinct:
+		in, err := ToOQL(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &oql.Call{Fn: "distinct", Args: []oql.Expr{in}}, nil
+	case *Map:
+		return selectOQL(x.Expr, x.Input)
+	case *Project:
+		ctor := &oql.StructCtor{Fields: make([]oql.StructField, 0, len(x.Cols))}
+		for _, c := range x.Cols {
+			ctor.Fields = append(ctor.Fields, oql.StructField{Name: c.Name, Expr: c.Expr})
+		}
+		return selectOQL(ctor, x.Input)
+	case *Select:
+		return filterOQL(x)
+	case *Bind:
+		// A bare bind renames elements into {var: elem} structs.
+		in, err := ToOQL(x.Input)
+		if err != nil {
+			return nil, err
+		}
+		v := freshVar(x.Var)
+		ctor := &oql.StructCtor{Fields: []oql.StructField{{Name: x.Var, Expr: &oql.Ident{Name: v}}}}
+		return &oql.Select{Proj: ctor, From: []oql.Binding{{Var: v, Domain: in}}}, nil
+	case *Join:
+		return joinOQL(x)
+	case *Nest:
+		return nestOQL(x)
+	case *Depend:
+		binds, where, err := collectEnv(x)
+		if err != nil {
+			return nil, err
+		}
+		// Standalone depend produces env-structs of all bound vars.
+		vars := envVars(x)
+		ctor := &oql.StructCtor{}
+		for _, v := range vars {
+			ctor.Fields = append(ctor.Fields, oql.StructField{Name: v, Expr: &oql.Ident{Name: v}})
+		}
+		return &oql.Select{Proj: ctor, From: binds, Where: where}, nil
+	default:
+		return nil, fmt.Errorf("algebra: no OQL form for %T", n)
+	}
+}
+
+// selectOQL builds "select proj from ... where ..." for a projection over
+// an input that produces env-structs, or falls back to a fresh-variable
+// select for raw inputs.
+func selectOQL(proj oql.Expr, input Node) (oql.Expr, error) {
+	if binds, where, err := collectEnv(input); err == nil {
+		return &oql.Select{Proj: proj, From: binds, Where: where}, nil
+	}
+	// Raw input (e.g. a projected submit result): elements are structs whose
+	// fields the projection references as free attribute names or, for
+	// env-shaped elements, as variables. Rewrite both to v.name paths.
+	in, err := ToOQL(input)
+	if err != nil {
+		return nil, err
+	}
+	names, err := elementFields(input)
+	if err != nil {
+		return nil, err
+	}
+	v := freshVar("")
+	return &oql.Select{
+		Proj: substFree(proj, names, v),
+		From: []oql.Binding{{Var: v, Domain: in}},
+	}, nil
+}
+
+// filterOQL renders select(pred, input).
+func filterOQL(x *Select) (oql.Expr, error) {
+	if vars := envVars(x.Input); len(vars) > 0 {
+		binds, where, err := collectEnv(x)
+		if err != nil {
+			return nil, err
+		}
+		// The elements are env-structs; reproduce them.
+		ctor := &oql.StructCtor{}
+		for _, v := range vars {
+			ctor.Fields = append(ctor.Fields, oql.StructField{Name: v, Expr: &oql.Ident{Name: v}})
+		}
+		return &oql.Select{Proj: ctor, From: binds, Where: where}, nil
+	}
+	in, err := ToOQL(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	names, err := elementFields(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	v := freshVar("")
+	return &oql.Select{
+		Proj:  &oql.Ident{Name: v},
+		From:  []oql.Binding{{Var: v, Domain: in}},
+		Where: substFree(x.Pred, names, v),
+	}, nil
+}
+
+func joinOQL(x *Join) (oql.Expr, error) {
+	binds, where, err := collectEnv(x)
+	if err == nil {
+		vars := envVars(x)
+		ctor := &oql.StructCtor{}
+		for _, v := range vars {
+			ctor.Fields = append(ctor.Fields, oql.StructField{Name: v, Expr: &oql.Ident{Name: v}})
+		}
+		return &oql.Select{Proj: ctor, From: binds, Where: where}, nil
+	}
+	// Raw join (source side): merge attribute sets.
+	lAttrs, okL := OutputAttrs(x.L)
+	rAttrs, okR := OutputAttrs(x.R)
+	if !okL || !okR {
+		return nil, fmt.Errorf("algebra: cannot render join over unknown attributes")
+	}
+	lIn, err := ToOQL(x.L)
+	if err != nil {
+		return nil, err
+	}
+	rIn, err := ToOQL(x.R)
+	if err != nil {
+		return nil, err
+	}
+	lv, rv := freshVar("l"), freshVar("r")
+	ctor := &oql.StructCtor{}
+	for _, a := range lAttrs {
+		ctor.Fields = append(ctor.Fields, oql.StructField{Name: a, Expr: &oql.Path{Base: &oql.Ident{Name: lv}, Field: a}})
+	}
+	for _, a := range rAttrs {
+		ctor.Fields = append(ctor.Fields, oql.StructField{Name: a, Expr: &oql.Path{Base: &oql.Ident{Name: rv}, Field: a}})
+	}
+	var where2 oql.Expr
+	if x.Pred != nil {
+		where2 = substFree(substFree(x.Pred, toSet(lAttrs), lv), toSet(rAttrs), rv)
+	}
+	return &oql.Select{
+		Proj:  ctor,
+		From:  []oql.Binding{{Var: lv, Domain: lIn}, {Var: rv, Domain: rIn}},
+		Where: where2,
+	}, nil
+}
+
+func nestOQL(x *Nest) (oql.Expr, error) {
+	in, err := ToOQL(x.Input)
+	if err != nil {
+		return nil, err
+	}
+	v := freshVar("")
+	ctor := &oql.StructCtor{}
+	for _, g := range x.Groups {
+		inner := &oql.StructCtor{}
+		for _, a := range g.Attrs {
+			inner.Fields = append(inner.Fields, oql.StructField{Name: a, Expr: &oql.Path{Base: &oql.Ident{Name: v}, Field: a}})
+		}
+		ctor.Fields = append(ctor.Fields, oql.StructField{Name: g.Var, Expr: inner})
+	}
+	return &oql.Select{Proj: ctor, From: []oql.Binding{{Var: v, Domain: in}}}, nil
+}
+
+// collectEnv deconstructs a tree of Bind/Join/Select/Depend nodes over
+// env-structs into from-clause bindings and a where predicate.
+func collectEnv(n Node) ([]oql.Binding, oql.Expr, error) {
+	var binds []oql.Binding
+	var conj []oql.Expr
+	var walk func(n Node) error
+	walk = func(n Node) error {
+		switch x := n.(type) {
+		case *Bind:
+			// A bind over a submit whose expression is a pushed-down
+			// select/project pyramid unrolls back into from/where form,
+			// reproducing the query the pushdown came from (pushed
+			// projections are safe to drop: column pruning guarantees the
+			// outer query touches only projected attributes).
+			if sub, ok := x.Input.(*Submit); ok {
+				if dom, preds, ok := unrollSubmit(sub.Input, x.Var); ok {
+					binds = append(binds, oql.Binding{Var: x.Var, Domain: dom})
+					conj = append(conj, preds...)
+					return nil
+				}
+			}
+			in, err := ToOQL(x.Input)
+			if err != nil {
+				return err
+			}
+			binds = append(binds, oql.Binding{Var: x.Var, Domain: in})
+			return nil
+		case *Depend:
+			if err := walk(x.Input); err != nil {
+				return err
+			}
+			binds = append(binds, oql.Binding{Var: x.Var, Domain: x.Domain})
+			return nil
+		case *Join:
+			if len(envVars(x.L)) == 0 || len(envVars(x.R)) == 0 {
+				return fmt.Errorf("algebra: raw join inside env tree")
+			}
+			if err := walk(x.L); err != nil {
+				return err
+			}
+			if err := walk(x.R); err != nil {
+				return err
+			}
+			if x.Pred != nil {
+				conj = append(conj, x.Pred)
+			}
+			return nil
+		case *Select:
+			if err := walk(x.Input); err != nil {
+				return err
+			}
+			conj = append(conj, x.Pred)
+			return nil
+		default:
+			return fmt.Errorf("algebra: %T does not produce env-structs", n)
+		}
+	}
+	if err := walk(n); err != nil {
+		return nil, nil, err
+	}
+	return binds, conjoin(conj), nil
+}
+
+// unrollSubmit deconstructs a source-side select/project pyramid over a
+// single get into a from-clause domain plus predicate conjuncts referencing
+// the binding variable. Predicates rewrite from attribute idents back to
+// v.attr paths (the inverse of the pushdown's stripVars).
+func unrollSubmit(n Node, v string) (domain oql.Expr, preds []oql.Expr, ok bool) {
+	for {
+		switch x := n.(type) {
+		case *Project:
+			n = x.Input
+		case *Select:
+			attrSet := toSet(oql.FreeNames(x.Pred))
+			preds = append(preds, substFree(x.Pred, attrSet, v))
+			n = x.Input
+		case *Get:
+			return &oql.Ident{Name: x.Ref.Extent}, preds, true
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+func conjoin(conj []oql.Expr) oql.Expr {
+	var out oql.Expr
+	for _, c := range conj {
+		if out == nil {
+			out = c
+		} else {
+			out = &oql.Binary{Op: oql.OpAnd, L: out, R: c}
+		}
+	}
+	return out
+}
+
+// EnvVars lists the environment variables carried by a node's elements, or
+// nil when the node produces raw data. The physical implementation rules
+// use it to split join predicates into probe and build keys.
+func EnvVars(n Node) []string { return envVars(n) }
+
+// envVars lists the environment variables carried by a node's elements, or
+// nil when the node produces raw data.
+func envVars(n Node) []string {
+	switch x := n.(type) {
+	case *Bind:
+		return []string{x.Var}
+	case *Depend:
+		return append(envVars(x.Input), x.Var)
+	case *Join:
+		l := envVars(x.L)
+		r := envVars(x.R)
+		if len(l) == 0 || len(r) == 0 {
+			return nil
+		}
+		return append(l, r...)
+	case *Select:
+		return envVars(x.Input)
+	case *Distinct:
+		return envVars(x.Input)
+	case *Nest:
+		vars := make([]string, len(x.Groups))
+		for i, g := range x.Groups {
+			vars[i] = g.Var
+		}
+		return vars
+	default:
+		return nil
+	}
+}
+
+// elementFields lists the struct field names of a node's elements, whether
+// env variables or source attributes.
+func elementFields(n Node) (map[string]bool, error) {
+	if vars := envVars(n); len(vars) > 0 {
+		return toSet(vars), nil
+	}
+	attrs, ok := OutputAttrs(n)
+	if !ok {
+		return nil, fmt.Errorf("algebra: unknown element fields for %T", n)
+	}
+	return toSet(attrs), nil
+}
+
+func toSet(names []string) map[string]bool {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return set
+}
+
+// substFree replaces every free identifier X from names with v.X, honoring
+// variable shadowing inside nested selects.
+func substFree(e oql.Expr, names map[string]bool, v string) oql.Expr {
+	return substExpr(e, names, v, map[string]bool{})
+}
+
+func substExpr(e oql.Expr, names map[string]bool, v string, bound map[string]bool) oql.Expr {
+	switch x := e.(type) {
+	case *oql.Ident:
+		if !x.Star && names[x.Name] && !bound[x.Name] {
+			return &oql.Path{Base: &oql.Ident{Name: v}, Field: x.Name}
+		}
+		return x
+	case *oql.Literal:
+		return x
+	case *oql.Path:
+		return &oql.Path{Base: substExpr(x.Base, names, v, bound), Field: x.Field}
+	case *oql.Unary:
+		return &oql.Unary{Op: x.Op, X: substExpr(x.X, names, v, bound)}
+	case *oql.Binary:
+		return &oql.Binary{Op: x.Op, L: substExpr(x.L, names, v, bound), R: substExpr(x.R, names, v, bound)}
+	case *oql.StructCtor:
+		fields := make([]oql.StructField, len(x.Fields))
+		for i, f := range x.Fields {
+			fields[i] = oql.StructField{Name: f.Name, Expr: substExpr(f.Expr, names, v, bound)}
+		}
+		return &oql.StructCtor{Fields: fields}
+	case *oql.Call:
+		args := make([]oql.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = substExpr(a, names, v, bound)
+		}
+		return &oql.Call{Fn: x.Fn, Args: args}
+	case *oql.Select:
+		inner := make(map[string]bool, len(bound)+len(x.From))
+		for k := range bound {
+			inner[k] = true
+		}
+		from := make([]oql.Binding, len(x.From))
+		for i, b := range x.From {
+			from[i] = oql.Binding{Var: b.Var, Domain: substExpr(b.Domain, names, v, inner)}
+			inner[b.Var] = true
+		}
+		out := &oql.Select{
+			Distinct: x.Distinct,
+			Proj:     substExpr(x.Proj, names, v, inner),
+			From:     from,
+		}
+		if x.Where != nil {
+			out.Where = substExpr(x.Where, names, v, inner)
+		}
+		return out
+	default:
+		return e
+	}
+}
+
+// freshVar returns a variable name that cannot collide with user variables
+// (user identifiers cannot contain "$"... they can, underscore-only; use a
+// reserved prefix that the lexer accepts but examples avoid).
+func freshVar(hint string) string {
+	if hint == "" {
+		hint = "v"
+	}
+	return "_" + hint
+}

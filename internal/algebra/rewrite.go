@@ -1,0 +1,547 @@
+package algebra
+
+import (
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+// Capabilities answers whether the wrapper serving a repository can evaluate
+// a logical expression — the optimizer-side view of the wrapper interface's
+// submit-functionality call (paper §3.2). Implementations consult the
+// wrapper's operator grammar.
+type Capabilities interface {
+	Accepts(repo string, expr Node) bool
+}
+
+// AcceptAll is a Capabilities that accepts everything; useful in tests.
+type AcceptAll struct{}
+
+// Accepts implements Capabilities.
+func (AcceptAll) Accepts(string, Node) bool { return true }
+
+// AcceptNone is a Capabilities that rejects all pushdown beyond plain get.
+type AcceptNone struct{}
+
+// Accepts implements Capabilities.
+func (AcceptNone) Accepts(_ string, expr Node) bool {
+	_, ok := expr.(*Get)
+	return ok
+}
+
+// PushOptions selects which operator classes the optimizer may push to
+// wrappers; the cost-based search enumerates combinations.
+type PushOptions struct {
+	Select  bool
+	Project bool
+	Join    bool
+}
+
+// Normalize rewrites a plan into the canonical form the pushdown rules
+// expect: binds, selects and projections distribute over unions, conjunctive
+// predicates split, and join predicates migrate from enclosing selects into
+// the joins themselves. Normalization never needs capability checks — it is
+// pure mediator-side algebra.
+func Normalize(n Node) Node {
+	for {
+		next := Transform(n, normalizeOnce)
+		if Equal(next, n) {
+			return next
+		}
+		n = next
+	}
+}
+
+func normalizeOnce(n Node) Node {
+	switch x := n.(type) {
+	case *Union:
+		// union of unions flattens; empty constant branches vanish;
+		// single-input union unwraps.
+		flat := make([]Node, 0, len(x.Inputs))
+		changed := false
+		for _, in := range x.Inputs {
+			switch c := in.(type) {
+			case *Union:
+				flat = append(flat, c.Inputs...)
+				changed = true
+			case *Const:
+				if c.Data.Len() == 0 {
+					changed = true
+					continue
+				}
+				flat = append(flat, in)
+			default:
+				flat = append(flat, in)
+			}
+		}
+		switch {
+		case len(flat) == 0:
+			return emptyConst()
+		case len(flat) == 1:
+			return flat[0]
+		case changed:
+			return &Union{Inputs: flat}
+		default:
+			return x
+		}
+	case *Bind:
+		if isEmptyConst(x.Input) {
+			return emptyConst()
+		}
+		if u, ok := x.Input.(*Union); ok {
+			out := make([]Node, len(u.Inputs))
+			for i, in := range u.Inputs {
+				out[i] = &Bind{Var: x.Var, Input: in}
+			}
+			return &Union{Inputs: out}
+		}
+		return x
+	case *Select:
+		return normalizeSelect(x)
+	case *Map:
+		if isEmptyConst(x.Input) {
+			return emptyConst()
+		}
+		if u, ok := x.Input.(*Union); ok {
+			out := make([]Node, len(u.Inputs))
+			for i, in := range u.Inputs {
+				out[i] = &Map{Expr: x.Expr, Input: in}
+			}
+			return &Union{Inputs: out}
+		}
+		return x
+	case *Project:
+		if isEmptyConst(x.Input) {
+			return emptyConst()
+		}
+		if u, ok := x.Input.(*Union); ok {
+			out := make([]Node, len(u.Inputs))
+			for i, in := range u.Inputs {
+				out[i] = &Project{Cols: x.Cols, Input: in}
+			}
+			return &Union{Inputs: out}
+		}
+		return x
+	case *Join:
+		// A join with a provably empty side is empty.
+		if isEmptyConst(x.L) || isEmptyConst(x.R) {
+			return emptyConst()
+		}
+		return x
+	case *Distinct:
+		if isEmptyConst(x.Input) {
+			return emptyConst()
+		}
+		return x
+	case *Flatten:
+		if isEmptyConst(x.Input) {
+			return emptyConst()
+		}
+		return x
+	default:
+		return n
+	}
+}
+
+func emptyConst() Node { return &Const{Data: types.NewBag()} }
+
+func isEmptyConst(n Node) bool {
+	c, ok := n.(*Const)
+	return ok && c.Data.Len() == 0
+}
+
+func normalizeSelect(x *Select) Node {
+	// Constant predicates: true vanishes, false empties the input.
+	if lit, ok := x.Pred.(*oql.Literal); ok {
+		if b, ok := lit.Val.(types.Bool); ok {
+			if b {
+				return x.Input
+			}
+			return emptyConst()
+		}
+	}
+	// Selection over an empty input is empty.
+	if isEmptyConst(x.Input) {
+		return emptyConst()
+	}
+	// Conjunctions split into stacked selects so conjuncts push
+	// independently.
+	if bin, ok := x.Pred.(*oql.Binary); ok && bin.Op == oql.OpAnd {
+		return &Select{Pred: bin.L, Input: &Select{Pred: bin.R, Input: x.Input}}
+	}
+	switch in := x.Input.(type) {
+	case *Union:
+		out := make([]Node, len(in.Inputs))
+		for i, c := range in.Inputs {
+			out[i] = &Select{Pred: x.Pred, Input: c}
+		}
+		return &Union{Inputs: out}
+	case *Select:
+		// Canonical stacking order (by predicate text) so equal plans
+		// normalize identically.
+		if x.Pred.String() < in.Pred.String() {
+			return &Select{Pred: in.Pred, Input: &Select{Pred: x.Pred, Input: in.Input}}
+		}
+		return x
+	case *Join:
+		vars := toSet(referencedVars(x.Pred))
+		lVars, rVars := toSet(envVars(in.L)), toSet(envVars(in.R))
+		switch {
+		case len(lVars) == 0 || len(rVars) == 0:
+			return x // raw join: leave alone
+		case subset(vars, lVars):
+			return &Join{L: &Select{Pred: x.Pred, Input: in.L}, R: in.R, Pred: in.Pred}
+		case subset(vars, rVars):
+			return &Join{L: in.L, R: &Select{Pred: x.Pred, Input: in.R}, Pred: in.Pred}
+		default:
+			// References both sides: merge into the join predicate.
+			pred := x.Pred
+			if in.Pred != nil {
+				pred = &oql.Binary{Op: oql.OpAnd, L: in.Pred, R: pred}
+			}
+			return &Join{L: in.L, R: in.R, Pred: pred}
+		}
+	default:
+		return x
+	}
+}
+
+// Push greedily applies the selected pushdown rules everywhere the wrapper
+// capabilities accept the resulting submit expression. The input should be
+// normalized first.
+func Push(n Node, caps Capabilities, opt PushOptions) Node {
+	for {
+		next := Transform(n, func(m Node) Node { return pushOnce(m, caps, opt) })
+		if Equal(next, n) {
+			return next
+		}
+		n = next
+	}
+}
+
+func pushOnce(n Node, caps Capabilities, opt PushOptions) Node {
+	switch x := n.(type) {
+	case *Select:
+		if opt.Select {
+			if out, ok := pushSelect(x, caps); ok {
+				return out
+			}
+		}
+	case *Map:
+		if opt.Project {
+			if out, ok := pruneColumns(x.Expr, nil, x.Input, caps); ok {
+				return &Map{Expr: x.Expr, Input: out}
+			}
+		}
+	case *Project:
+		if opt.Project {
+			exprs := make([]oql.Expr, len(x.Cols))
+			for i, c := range x.Cols {
+				exprs[i] = c.Expr
+			}
+			if out, ok := pruneColumns(nil, exprs, x.Input, caps); ok {
+				return &Project{Cols: x.Cols, Input: out}
+			}
+		}
+	case *Join:
+		if opt.Join {
+			if out, ok := pushJoin(x, caps); ok {
+				return out
+			}
+		}
+	}
+	return n
+}
+
+// pushSelect moves select(pred, bind(x, submit(r, inner))) into the submit:
+// bind(x, submit(r, select(pred', inner))). It also pushes through Nest for
+// predicates over nested join results.
+func pushSelect(x *Select, caps Capabilities) (Node, bool) {
+	switch in := x.Input.(type) {
+	case *Bind:
+		sub, ok := in.Input.(*Submit)
+		if !ok {
+			return nil, false
+		}
+		attrs, ok := OutputAttrs(sub.Input)
+		if !ok {
+			return nil, false
+		}
+		pred, ok := stripVars(x.Pred, map[string][]string{in.Var: attrs})
+		if !ok {
+			return nil, false
+		}
+		pushed := &Select{Pred: pred, Input: sub.Input}
+		if !caps.Accepts(sub.Repo, pushed) {
+			return nil, false
+		}
+		return &Bind{Var: in.Var, Input: &Submit{Repo: sub.Repo, Input: pushed}}, true
+	case *Nest:
+		sub, ok := in.Input.(*Submit)
+		if !ok {
+			return nil, false
+		}
+		groups := make(map[string][]string, len(in.Groups))
+		for _, g := range in.Groups {
+			groups[g.Var] = g.Attrs
+		}
+		pred, ok := stripVars(x.Pred, groups)
+		if !ok {
+			return nil, false
+		}
+		pushed := &Select{Pred: pred, Input: sub.Input}
+		if !caps.Accepts(sub.Repo, pushed) {
+			return nil, false
+		}
+		return &Nest{Groups: in.Groups, Input: &Submit{Repo: sub.Repo, Input: pushed}}, true
+	default:
+		return nil, false
+	}
+}
+
+// pruneColumns pushes a project of only the attributes the final projection
+// uses into the submit feeding a bind: map(e, bind(x, submit(r, inner)))
+// becomes map(e, bind(x, submit(r, project(used, inner)))).
+func pruneColumns(single oql.Expr, several []oql.Expr, input Node, caps Capabilities) (Node, bool) {
+	bind, ok := input.(*Bind)
+	if !ok {
+		return nil, false
+	}
+	sub, ok := bind.Input.(*Submit)
+	if !ok {
+		return nil, false
+	}
+	if _, already := sub.Input.(*Project); already {
+		return nil, false
+	}
+	attrs, ok := OutputAttrs(sub.Input)
+	if !ok {
+		return nil, false
+	}
+	exprs := several
+	if single != nil {
+		exprs = []oql.Expr{single}
+	}
+	used, ok := attrsUsed(exprs, bind.Var, attrs)
+	if !ok || len(used) == 0 || len(used) >= len(attrs) {
+		return nil, false
+	}
+	cols := make([]Col, 0, len(used))
+	for _, a := range used {
+		cols = append(cols, Col{Name: a, Expr: &oql.Ident{Name: a}})
+	}
+	pushed := &Project{Cols: cols, Input: sub.Input}
+	if !caps.Accepts(sub.Repo, pushed) {
+		return nil, false
+	}
+	return &Bind{Var: bind.Var, Input: &Submit{Repo: sub.Repo, Input: pushed}}, true
+}
+
+// pushJoin rewrites join(bind(x, submit(r, A)), bind(y, submit(r, B)), p)
+// into nest([x, y], submit(r, join(A, B, p'))) when both sides live at the
+// same repository, the wrapper accepts joins, and the attribute sets are
+// disjoint (paper §3.2's employee/manager example).
+func pushJoin(x *Join, caps Capabilities) (Node, bool) {
+	lb, ok := x.L.(*Bind)
+	if !ok {
+		return nil, false
+	}
+	rb, ok := x.R.(*Bind)
+	if !ok {
+		return nil, false
+	}
+	ls, ok := lb.Input.(*Submit)
+	if !ok {
+		return nil, false
+	}
+	rs, ok := rb.Input.(*Submit)
+	if !ok {
+		return nil, false
+	}
+	if ls.Repo != rs.Repo {
+		return nil, false
+	}
+	lAttrs, ok := OutputAttrs(ls.Input)
+	if !ok {
+		return nil, false
+	}
+	rAttrs, ok := OutputAttrs(rs.Input)
+	if !ok {
+		return nil, false
+	}
+	if overlap(lAttrs, rAttrs) {
+		return nil, false
+	}
+	var pred oql.Expr
+	if x.Pred != nil {
+		pred, ok = stripVars(x.Pred, map[string][]string{lb.Var: lAttrs, rb.Var: rAttrs})
+		if !ok {
+			return nil, false
+		}
+	}
+	pushed := &Join{L: ls.Input, R: rs.Input, Pred: pred}
+	if !caps.Accepts(ls.Repo, pushed) {
+		return nil, false
+	}
+	return &Nest{
+		Groups: []NestGroup{{Var: lb.Var, Attrs: lAttrs}, {Var: rb.Var, Attrs: rAttrs}},
+		Input:  &Submit{Repo: ls.Repo, Input: pushed},
+	}, true
+}
+
+// referencedVars lists base variables referenced by an expression: both
+// bare identifiers and path bases.
+func referencedVars(e oql.Expr) []string {
+	return oql.FreeNames(e)
+}
+
+// stripVars rewrites a mediator-side predicate into the source namespace:
+// x.attr becomes attr. It fails (ok=false) when the expression uses
+// anything a wrapper cannot see: whole-tuple variables, unknown attributes,
+// nested queries, calls, or multi-step paths.
+func stripVars(e oql.Expr, groups map[string][]string) (oql.Expr, bool) {
+	attrOf := func(v, a string) bool {
+		for _, attr := range groups[v] {
+			if attr == a {
+				return true
+			}
+		}
+		return false
+	}
+	var walk func(e oql.Expr) (oql.Expr, bool)
+	walk = func(e oql.Expr) (oql.Expr, bool) {
+		switch x := e.(type) {
+		case *oql.Literal:
+			return x, true
+		case *oql.Path:
+			base, ok := x.Base.(*oql.Ident)
+			if !ok || base.Star {
+				return nil, false
+			}
+			if _, isVar := groups[base.Name]; !isVar || !attrOf(base.Name, x.Field) {
+				return nil, false
+			}
+			return &oql.Ident{Name: x.Field}, true
+		case *oql.Unary:
+			inner, ok := walk(x.X)
+			if !ok {
+				return nil, false
+			}
+			return &oql.Unary{Op: x.Op, X: inner}, true
+		case *oql.Binary:
+			l, ok := walk(x.L)
+			if !ok {
+				return nil, false
+			}
+			r, ok := walk(x.R)
+			if !ok {
+				return nil, false
+			}
+			return &oql.Binary{Op: x.Op, L: l, R: r}, true
+		case *oql.Call:
+			// contains(x.attr, "text") pushes as a source-side substring
+			// predicate; no other call does.
+			if x.Fn != "contains" || len(x.Args) != 2 {
+				return nil, false
+			}
+			l, ok := walk(x.Args[0])
+			if !ok {
+				return nil, false
+			}
+			r, ok := walk(x.Args[1])
+			if !ok {
+				return nil, false
+			}
+			return &oql.Call{Fn: "contains", Args: []oql.Expr{l, r}}, true
+		default:
+			// Bare idents, selects, struct ctors: not pushable.
+			return nil, false
+		}
+	}
+	return walk(e)
+}
+
+// attrsUsed collects which attributes of var v the expressions touch. It
+// reports ok=false when v is used other than through single-step paths
+// (e.g. projected whole), which makes column pruning unsound.
+func attrsUsed(exprs []oql.Expr, v string, attrs []string) ([]string, bool) {
+	attrSet := toSet(attrs)
+	used := map[string]bool{}
+	ok := true
+	var walk func(e oql.Expr, bound map[string]bool)
+	walk = func(e oql.Expr, bound map[string]bool) {
+		switch x := e.(type) {
+		case *oql.Ident:
+			if x.Name == v && !bound[v] {
+				ok = false // whole-tuple use
+			}
+		case *oql.Path:
+			if base, isIdent := x.Base.(*oql.Ident); isIdent && base.Name == v && !bound[v] {
+				if !attrSet[x.Field] {
+					ok = false
+				}
+				used[x.Field] = true
+				return
+			}
+			walk(x.Base, bound)
+		case *oql.Unary:
+			walk(x.X, bound)
+		case *oql.Binary:
+			walk(x.L, bound)
+			walk(x.R, bound)
+		case *oql.StructCtor:
+			for _, f := range x.Fields {
+				walk(f.Expr, bound)
+			}
+		case *oql.Call:
+			for _, a := range x.Args {
+				walk(a, bound)
+			}
+		case *oql.Select:
+			inner := map[string]bool{}
+			for k := range bound {
+				inner[k] = true
+			}
+			for _, b := range x.From {
+				walk(b.Domain, inner)
+				inner[b.Var] = true
+			}
+			walk(x.Proj, inner)
+			if x.Where != nil {
+				walk(x.Where, inner)
+			}
+		}
+	}
+	for _, e := range exprs {
+		walk(e, map[string]bool{})
+	}
+	if !ok {
+		return nil, false
+	}
+	// Preserve the extent's attribute order.
+	var out []string
+	for _, a := range attrs {
+		if used[a] {
+			out = append(out, a)
+		}
+	}
+	return out, true
+}
+
+func subset(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func overlap(a, b []string) bool {
+	set := toSet(a)
+	for _, x := range b {
+		if set[x] {
+			return true
+		}
+	}
+	return false
+}

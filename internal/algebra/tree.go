@@ -1,0 +1,78 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TreeString renders a plan as an indented operator tree for EXPLAIN-style
+// output: each node on its own line with box-drawing connectors, carrying
+// the node's own parameters but not its inputs (which appear as children).
+func TreeString(n Node) string {
+	var b strings.Builder
+	writeTree(&b, n, "", "")
+	return b.String()
+}
+
+func writeTree(b *strings.Builder, n Node, prefix, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(nodeLabel(n))
+	b.WriteByte('\n')
+	children := n.Children()
+	for i, c := range children {
+		if i == len(children)-1 {
+			writeTree(b, c, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			writeTree(b, c, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}
+
+// nodeLabel renders one operator without its inputs.
+func nodeLabel(n Node) string {
+	switch x := n.(type) {
+	case *Get:
+		return fmt.Sprintf("get(%s)", x.Ref.Extent)
+	case *Const:
+		return fmt.Sprintf("const(%d rows)", x.Data.Len())
+	case *Union:
+		return fmt.Sprintf("union[%d]", len(x.Inputs))
+	case *Submit:
+		return fmt.Sprintf("submit(%s)", x.Repo)
+	case *Bind:
+		return fmt.Sprintf("bind(%s)", x.Var)
+	case *Select:
+		return fmt.Sprintf("select(%s)", x.Pred)
+	case *Project:
+		cols := make([]string, len(x.Cols))
+		for i, c := range x.Cols {
+			cols[i] = c.Name
+		}
+		return fmt.Sprintf("project(%s)", strings.Join(cols, ", "))
+	case *Map:
+		return fmt.Sprintf("map(%s)", x.Expr)
+	case *Join:
+		if x.Pred == nil {
+			return "join(cross)"
+		}
+		return fmt.Sprintf("join(%s)", x.Pred)
+	case *Nest:
+		vars := make([]string, len(x.Groups))
+		for i, g := range x.Groups {
+			vars[i] = g.Var
+		}
+		return fmt.Sprintf("nest(%s)", strings.Join(vars, ", "))
+	case *Depend:
+		return fmt.Sprintf("depend(%s in %s)", x.Var, x.Domain)
+	case *Distinct:
+		return "distinct"
+	case *Flatten:
+		return "flatten"
+	case *Agg:
+		return x.Fn
+	case *Eval:
+		return fmt.Sprintf("eval(%s)", x.Expr)
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}

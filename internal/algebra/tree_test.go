@@ -1,0 +1,41 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTreeString(t *testing.T) {
+	n := mustCompile(t, `select x.name from x in person where x.salary > 10`)
+	tree := TreeString(n)
+	// Top operator first, leaves indented below, both union branches shown.
+	lines := strings.Split(strings.TrimRight(tree, "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "map(x.name)") {
+		t.Errorf("first line = %q", lines[0])
+	}
+	for _, frag := range []string{"select(x.salary > 10)", "bind(x)", "union[2]", "submit(r0)", "submit(r1)", "get(person0)", "get(person1)", "└─", "├─"} {
+		if !strings.Contains(tree, frag) {
+			t.Errorf("tree missing %q:\n%s", frag, tree)
+		}
+	}
+	// Leaves are the deepest-indented lines.
+	if !strings.Contains(tree, "   │  └─ get(person0)") && !strings.Contains(tree, "│     └─ get(person0)") {
+		t.Logf("tree layout:\n%s", tree)
+	}
+}
+
+func TestTreeStringAllNodeKinds(t *testing.T) {
+	queries := []string{
+		`select struct(a: x.name) from x in person0, y in person1 where x.id = y.id`,
+		`select distinct x.name from x in person*`,
+		`count(person)`,
+		`flatten(bag(bag(1)))`,
+		`select m from g in person0, m in g.name`,
+	}
+	for _, q := range queries {
+		n := mustCompile(t, q)
+		if tree := TreeString(n); len(tree) == 0 {
+			t.Errorf("empty tree for %q", q)
+		}
+	}
+}

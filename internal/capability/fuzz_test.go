@@ -1,0 +1,24 @@
+package capability
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzGrammar checks that grammar parsing and Earley recognition never
+// panic, whatever grammar text a wrapper returns and whatever token string
+// is checked against it.
+func FuzzGrammar(f *testing.F) {
+	f.Add("a :- get OPEN SOURCE CLOSE", "get OPEN SOURCE CLOSE")
+	f.Add("a :- b\nb :- a", "get")
+	f.Add("a :- a a a", "")
+	f.Add("a :-", "OPEN CLOSE")
+	f.Add("x :- y\ny :-", "SOURCE")
+	f.Fuzz(func(t *testing.T, grammar, tokens string) {
+		g, err := Parse(grammar)
+		if err != nil {
+			return
+		}
+		_ = g.Accepts(strings.Fields(tokens)) // must terminate without panic
+	})
+}

@@ -1,0 +1,232 @@
+// Package capability implements the wrapper functionality grammars of paper
+// §3.2. A wrapper describes the logical expressions it can evaluate by
+// returning a context-free grammar over predefined terminal symbols; the
+// optimizer serializes a candidate submit expression into a terminal string
+// and asks whether the grammar derives it. This lets a wrapper express not
+// only which operators it supports but whether it supports composing them,
+// which comparison operators it understands, and so on.
+package capability
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Terminal vocabulary. Every symbol here is a terminal in grammars; all
+// other symbols are nonterminals. OPEN and CLOSE mean "(" and ")" as in the
+// paper.
+const (
+	TokGet      = "get"
+	TokProject  = "project"
+	TokSelect   = "select"
+	TokJoin     = "join"
+	TokUnion    = "union"
+	TokDistinct = "distinct"
+	TokOpen     = "OPEN"
+	TokClose    = "CLOSE"
+	TokComma    = "COMMA"
+	TokSource   = "SOURCE"
+	TokAttr     = "ATTRIBUTE"
+	TokConst    = "CONST"
+	TokEq       = "EQ"
+	TokNe       = "NE"
+	TokLt       = "LT"
+	TokLe       = "LE"
+	TokGt       = "GT"
+	TokGe       = "GE"
+	TokIn       = "IN"
+	TokAnd      = "AND"
+	TokOr       = "OR"
+	TokNot      = "NOT"
+	TokNeg      = "NEG"
+	TokAdd      = "ADD"
+	TokSub      = "SUB"
+	TokMul      = "MUL"
+	TokDiv      = "DIV"
+	TokMod      = "MOD"
+	// TokContains is the substring-search predicate keyword-class servers
+	// support (contains(attr, 'text') pushes down as a GREP).
+	TokContains = "CONTAINS"
+	// TokUnsupported marks constructs outside the terminal vocabulary; no
+	// grammar includes it, so expressions containing it are always rejected.
+	TokUnsupported = "UNSUPPORTED"
+)
+
+var terminals = map[string]bool{
+	TokGet: true, TokProject: true, TokSelect: true, TokJoin: true,
+	TokUnion: true, TokDistinct: true,
+	TokOpen: true, TokClose: true, TokComma: true,
+	TokSource: true, TokAttr: true, TokConst: true,
+	TokEq: true, TokNe: true, TokLt: true, TokLe: true, TokGt: true, TokGe: true,
+	TokIn: true, TokAnd: true, TokOr: true, TokNot: true, TokNeg: true,
+	TokAdd: true, TokSub: true, TokMul: true, TokDiv: true, TokMod: true,
+	TokContains:    true,
+	TokUnsupported: true,
+}
+
+// IsTerminal reports whether sym belongs to the predefined terminal
+// vocabulary.
+func IsTerminal(sym string) bool { return terminals[sym] }
+
+// Production is one grammar rule: Head derives Body (a possibly empty
+// sequence of terminals and nonterminals).
+type Production struct {
+	Head string
+	Body []string
+}
+
+// String renders the production in the paper's ":-" notation.
+func (p Production) String() string {
+	if len(p.Body) == 0 {
+		return p.Head + " :-"
+	}
+	return p.Head + " :- " + strings.Join(p.Body, " ")
+}
+
+// Grammar is a context-free grammar over the terminal vocabulary. The zero
+// value accepts nothing.
+type Grammar struct {
+	Start string
+	Prods []Production
+}
+
+// String renders the grammar one production per line, as a wrapper would
+// return it from the submit-functionality call.
+func (g *Grammar) String() string {
+	lines := make([]string, len(g.Prods))
+	for i, p := range g.Prods {
+		lines[i] = p.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Parse reads a grammar in the paper's notation: one production per line,
+// "head :- sym sym ...". The head of the first production is the start
+// symbol. Blank lines and "--" comments are ignored. Alternatives are
+// separate lines with the same head.
+func Parse(src string) (*Grammar, error) {
+	g := &Grammar{}
+	for lineNo, line := range strings.Split(src, "\n") {
+		if i := strings.Index(line, "--"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, ":-", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("grammar line %d: missing \":-\"", lineNo+1)
+		}
+		head := strings.TrimSpace(parts[0])
+		if head == "" {
+			return nil, fmt.Errorf("grammar line %d: empty head", lineNo+1)
+		}
+		if IsTerminal(head) {
+			return nil, fmt.Errorf("grammar line %d: terminal %q cannot be a head", lineNo+1, head)
+		}
+		body := strings.Fields(parts[1])
+		g.Prods = append(g.Prods, Production{Head: head, Body: body})
+		if g.Start == "" {
+			g.Start = head
+		}
+	}
+	if g.Start == "" {
+		return nil, fmt.Errorf("grammar: no productions")
+	}
+	return g, g.validate()
+}
+
+func (g *Grammar) validate() error {
+	heads := map[string]bool{}
+	for _, p := range g.Prods {
+		heads[p.Head] = true
+	}
+	for _, p := range g.Prods {
+		for _, sym := range p.Body {
+			if !IsTerminal(sym) && !heads[sym] {
+				return fmt.Errorf("grammar: nonterminal %q has no productions", sym)
+			}
+		}
+	}
+	return nil
+}
+
+// Accepts reports whether the grammar derives the token string. It runs the
+// Earley recognition algorithm, which handles any context-free grammar a
+// wrapper might return (ambiguity, left recursion and empty productions
+// included). Submit expressions are short, so cubic worst case is
+// irrelevant.
+func (g *Grammar) Accepts(tokens []string) bool {
+	if g.Start == "" {
+		return false
+	}
+	type item struct {
+		prod   int // index into g.Prods
+		dot    int // position in body
+		origin int // chart column where the item started
+	}
+	n := len(tokens)
+	chart := make([][]item, n+1)
+	seen := make([]map[item]bool, n+1)
+	for i := range seen {
+		seen[i] = make(map[item]bool)
+	}
+	add := func(col int, it item) {
+		if !seen[col][it] {
+			seen[col][it] = true
+			chart[col] = append(chart[col], it)
+		}
+	}
+	for pi, p := range g.Prods {
+		if p.Head == g.Start {
+			add(0, item{prod: pi})
+		}
+	}
+	for col := 0; col <= n; col++ {
+		// chart[col] grows while we scan it.
+		for idx := 0; idx < len(chart[col]); idx++ {
+			it := chart[col][idx]
+			body := g.Prods[it.prod].Body
+			if it.dot < len(body) {
+				sym := body[it.dot]
+				if IsTerminal(sym) {
+					// Scanner.
+					if col < n && tokens[col] == sym {
+						add(col+1, item{prod: it.prod, dot: it.dot + 1, origin: it.origin})
+					}
+				} else {
+					// Predictor.
+					for pi, p := range g.Prods {
+						if p.Head == sym {
+							add(col, item{prod: pi, origin: col})
+						}
+					}
+					// Magic completion for nullable nonterminals (Aycock &
+					// Horspool): if sym derives empty directly, advance.
+					for _, p := range g.Prods {
+						if p.Head == sym && len(p.Body) == 0 {
+							add(col, item{prod: it.prod, dot: it.dot + 1, origin: it.origin})
+							break
+						}
+					}
+				}
+			} else {
+				// Completer.
+				head := g.Prods[it.prod].Head
+				for _, back := range chart[it.origin] {
+					b := g.Prods[back.prod].Body
+					if back.dot < len(b) && b[back.dot] == head {
+						add(col, item{prod: back.prod, dot: back.dot + 1, origin: back.origin})
+					}
+				}
+			}
+		}
+	}
+	for _, it := range chart[n] {
+		if g.Prods[it.prod].Head == g.Start && it.dot == len(g.Prods[it.prod].Body) && it.origin == 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,274 @@
+package capability
+
+import (
+	"strings"
+	"testing"
+
+	"disco/internal/algebra"
+	"disco/internal/oql"
+)
+
+// The paper's first example grammar (§3.2): get and project of sources, no
+// composition.
+const paperNoCompose = `
+a :- b
+a :- c
+b :- get OPEN SOURCE CLOSE
+c :- project OPEN ATTRIBUTE COMMA b CLOSE
+`
+
+// The paper's second example grammar: get and project with composition.
+// (The paper writes project's input as s; sources always arrive wrapped in
+// get, so s covers b, c and nothing else here.)
+const paperCompose = `
+a :- b
+a :- c
+b :- get OPEN s CLOSE
+c :- project OPEN ATTRIBUTE COMMA s CLOSE
+s :- b
+s :- c
+s :- SOURCE
+`
+
+func ref(extent string) algebra.ExtentRef {
+	return algebra.ExtentRef{Extent: extent, Repo: "r0", Source: extent, Attrs: []string{"name", "salary"}}
+}
+
+func getNode() algebra.Node { return &algebra.Get{Ref: ref("person0")} }
+
+func projectNode(in algebra.Node) algebra.Node {
+	return &algebra.Project{Cols: []algebra.Col{{Name: "name", Expr: &oql.Ident{Name: "name"}}}, Input: in}
+}
+
+func selectNode(in algebra.Node) algebra.Node {
+	pred, err := oql.ParseQuery(`salary > 10`)
+	if err != nil {
+		panic(err)
+	}
+	return &algebra.Select{Pred: pred, Input: in}
+}
+
+func TestParsePaperGrammars(t *testing.T) {
+	for _, src := range []string{paperNoCompose, paperCompose} {
+		g, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		if g.Start != "a" {
+			t.Errorf("start = %q", g.Start)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`a b c`,                 // no :-
+		`:- x`,                  // empty head
+		`get :- SOURCE`,         // terminal head
+		`a :- undefined_symbol`, // nonterminal without productions
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	g, err := Parse("a :- get OPEN SOURCE CLOSE -- the only rule\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Prods) != 1 {
+		t.Errorf("prods = %d", len(g.Prods))
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		node algebra.Node
+		want string
+	}{
+		{getNode(), "get OPEN SOURCE CLOSE"},
+		{projectNode(getNode()), "project OPEN ATTRIBUTE COMMA get OPEN SOURCE CLOSE CLOSE"},
+		{selectNode(getNode()), "select OPEN GT OPEN ATTRIBUTE COMMA CONST CLOSE COMMA get OPEN SOURCE CLOSE CLOSE"},
+	}
+	for _, tt := range tests {
+		got := strings.Join(Tokenize(tt.node), " ")
+		if got != tt.want {
+			t.Errorf("Tokenize(%s) = %q, want %q", tt.node, got, tt.want)
+		}
+	}
+}
+
+// TestPaperGrammarBehaviour reproduces the functional difference between
+// the paper's two grammars: both accept get and project-of-get, only the
+// compose grammar accepts project over project.
+func TestPaperGrammarBehaviour(t *testing.T) {
+	noCompose, err := Parse(paperNoCompose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compose, err := Parse(paperCompose)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	get := getNode()
+	projGet := projectNode(get)
+	projProj := projectNode(projGet)
+
+	for _, tt := range []struct {
+		name string
+		g    *Grammar
+		n    algebra.Node
+		want bool
+	}{
+		{"nocompose get", noCompose, get, true},
+		{"nocompose project(get)", noCompose, projGet, true},
+		{"nocompose project(project(get))", noCompose, projProj, false},
+		{"nocompose select", noCompose, selectNode(get), false},
+		{"compose get", compose, get, true},
+		{"compose project(get)", compose, projGet, true},
+		{"compose project(project(get))", compose, projProj, true},
+		{"compose select", compose, selectNode(get), false},
+	} {
+		if got := tt.g.AcceptsExpr(tt.n); got != tt.want {
+			t.Errorf("%s: AcceptsExpr = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestStandardFull(t *testing.T) {
+	g := Standard(FullOpSet())
+	pred, err := oql.ParseQuery(`salary > 10 and name != "Bob"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	join := &algebra.Join{
+		L:    getNode(),
+		R:    &algebra.Get{Ref: ref("manager0")},
+		Pred: mustExpr(t, `dept = mdept`),
+	}
+	accept := []algebra.Node{
+		getNode(),
+		projectNode(getNode()),
+		selectNode(getNode()),
+		projectNode(selectNode(getNode())),
+		&algebra.Select{Pred: pred, Input: getNode()},
+		join,
+		&algebra.Union{Inputs: []algebra.Node{getNode(), getNode()}},
+		&algebra.Distinct{Input: getNode()},
+		&algebra.Join{L: getNode(), R: getNode()}, // cross product
+	}
+	for _, n := range accept {
+		if !g.AcceptsExpr(n) {
+			t.Errorf("full grammar should accept %s\ntokens: %v", n, Tokenize(n))
+		}
+	}
+}
+
+func TestStandardScanOnly(t *testing.T) {
+	g := Standard(ScanOpSet())
+	if !g.AcceptsExpr(getNode()) {
+		t.Error("scan wrapper should accept get")
+	}
+	for _, n := range []algebra.Node{
+		projectNode(getNode()),
+		selectNode(getNode()),
+	} {
+		if g.AcceptsExpr(n) {
+			t.Errorf("scan wrapper should reject %s", n)
+		}
+	}
+}
+
+func TestStandardNoCompose(t *testing.T) {
+	g := Standard(OpSet{Get: true, Project: true, Select: true, Connectives: true})
+	if !g.AcceptsExpr(projectNode(getNode())) {
+		t.Error("should accept project(get)")
+	}
+	if !g.AcceptsExpr(selectNode(getNode())) {
+		t.Error("should accept select(get)")
+	}
+	if g.AcceptsExpr(projectNode(selectNode(getNode()))) {
+		t.Error("should reject composition project(select(get))")
+	}
+}
+
+func TestStandardComparisonRestriction(t *testing.T) {
+	// A wrapper that only understands equality predicates.
+	g := Standard(OpSet{Get: true, Select: true, Compose: true, Comparisons: []string{TokEq}})
+	eq := &algebra.Select{Pred: mustExpr(t, `name = "Mary"`), Input: getNode()}
+	gt := &algebra.Select{Pred: mustExpr(t, `salary > 10`), Input: getNode()}
+	if !g.AcceptsExpr(eq) {
+		t.Error("equality select should be accepted")
+	}
+	if g.AcceptsExpr(gt) {
+		t.Error("range select should be rejected")
+	}
+}
+
+func TestUnsupportedConstructsRejected(t *testing.T) {
+	g := Standard(FullOpSet())
+	// A predicate containing a nested query serializes to UNSUPPORTED.
+	nested := &algebra.Select{Pred: mustExpr(t, `salary > count(q)`), Input: getNode()}
+	if g.AcceptsExpr(nested) {
+		t.Error("nested query predicates must be rejected even by full wrappers")
+	}
+	// So does an unknown node type.
+	if g.AcceptsExpr(&algebra.Const{}) {
+		t.Error("const nodes are not part of the wrapper interface")
+	}
+}
+
+func TestGrammarStringRoundTrip(t *testing.T) {
+	g := Standard(OpSet{Get: true, Project: true, Compose: true})
+	parsed, err := Parse(g.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	// Same behaviour on a few probes.
+	probes := []algebra.Node{getNode(), projectNode(getNode()), projectNode(projectNode(getNode())), selectNode(getNode())}
+	for _, n := range probes {
+		if g.AcceptsExpr(n) != parsed.AcceptsExpr(n) {
+			t.Errorf("round-tripped grammar disagrees on %s", n)
+		}
+	}
+}
+
+func TestEmptyProductionGrammar(t *testing.T) {
+	// Earley must handle empty bodies.
+	g, err := Parse("a :- opt get OPEN SOURCE CLOSE\nopt :-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Accepts([]string{TokGet, TokOpen, TokSource, TokClose}) {
+		t.Error("nullable prefix should be accepted")
+	}
+}
+
+func TestLeftRecursiveGrammar(t *testing.T) {
+	// Earley handles left recursion that would loop a naive recursive
+	// descent matcher.
+	g, err := Parse("a :- a COMMA SOURCE\na :- SOURCE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Accepts([]string{TokSource, TokComma, TokSource, TokComma, TokSource}) {
+		t.Error("left-recursive list should be accepted")
+	}
+	if g.Accepts([]string{TokComma}) {
+		t.Error("bare comma should be rejected")
+	}
+}
+
+func mustExpr(t *testing.T, src string) oql.Expr {
+	t.Helper()
+	e, err := oql.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

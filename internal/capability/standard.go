@@ -1,0 +1,136 @@
+package capability
+
+// OpSet is a convenience description of a wrapper's capabilities from which
+// Standard builds the corresponding grammar. It covers the lattice the
+// paper discusses: which logical operators are supported, whether they
+// compose, which comparison operators predicates may use, and whether
+// boolean connectives and arithmetic are available inside predicates.
+type OpSet struct {
+	Get      bool
+	Project  bool
+	Select   bool
+	Join     bool
+	Union    bool
+	Distinct bool
+
+	// Compose permits operators to take operator expressions (not just
+	// get(SOURCE)) as inputs — the difference between the paper's two
+	// example grammars.
+	Compose bool
+
+	// Comparisons lists the comparison terminals predicates may use
+	// (TokEq, TokLt, ...). Nil means all comparisons including IN.
+	Comparisons []string
+
+	// Connectives enables and/or/not in predicates.
+	Connectives bool
+
+	// Arithmetic enables +,-,*,/,mod and unary minus in predicate operands.
+	Arithmetic bool
+}
+
+// FullOpSet returns the capabilities of a complete SQL-class wrapper.
+func FullOpSet() OpSet {
+	return OpSet{
+		Get: true, Project: true, Select: true, Join: true,
+		Union: true, Distinct: true, Compose: true,
+		Connectives: true, Arithmetic: true,
+	}
+}
+
+// ScanOpSet returns the weakest useful wrapper: get only.
+func ScanOpSet() OpSet { return OpSet{Get: true} }
+
+// allComparisons is the default comparison set.
+var allComparisons = []string{TokEq, TokNe, TokLt, TokLe, TokGt, TokGe, TokIn}
+
+// Standard builds the grammar for an operator set. The result is a plain
+// Grammar: wrappers with needs beyond the standard lattice return a
+// hand-written grammar instead (Parse accepts the paper's notation).
+func Standard(ops OpSet) *Grammar {
+	g := &Grammar{Start: "a"}
+	add := func(head string, body ...string) {
+		g.Prods = append(g.Prods, Production{Head: head, Body: body})
+	}
+
+	inner := "s" // symbol for operator inputs
+	if !ops.Compose {
+		inner = "leaf"
+	}
+
+	type opRule struct {
+		enabled bool
+		head    string
+		body    []string
+	}
+	rules := []opRule{
+		{ops.Get, "opget", []string{TokGet, TokOpen, TokSource, TokClose}},
+		{ops.Project, "opproject", []string{TokProject, TokOpen, "alist", TokComma, inner, TokClose}},
+		{ops.Select, "opselect", []string{TokSelect, TokOpen, "pred", TokComma, inner, TokClose}},
+		{ops.Join, "opjoin", []string{TokJoin, TokOpen, inner, TokComma, inner, TokComma, "jpred", TokClose}},
+		{ops.Union, "opunion", []string{TokUnion, TokOpen, "ulist", TokClose}},
+		{ops.Distinct, "opdistinct", []string{TokDistinct, TokOpen, inner, TokClose}},
+	}
+
+	needPred := false
+	needAlist := false
+	needUlist := false
+	for _, r := range rules {
+		if !r.enabled {
+			continue
+		}
+		add("a", r.head)
+		add(r.head, r.body...)
+		if ops.Compose {
+			add("s", r.head)
+		}
+		switch r.head {
+		case "opselect":
+			needPred = true
+		case "opjoin":
+			needPred = true
+		case "opproject":
+			needAlist = true
+		case "opunion":
+			needUlist = true
+		}
+	}
+	if !ops.Compose && ops.Get {
+		add("leaf", "opget")
+	}
+
+	if needAlist {
+		add("alist", TokAttr)
+		add("alist", TokAttr, TokComma, "alist")
+	}
+	if needUlist {
+		add("ulist", inner)
+		add("ulist", inner, TokComma, "ulist")
+	}
+	if needPred {
+		cmps := ops.Comparisons
+		if cmps == nil {
+			cmps = allComparisons
+		}
+		for _, c := range cmps {
+			add("pred", c, TokOpen, "operand", TokComma, "operand", TokClose)
+		}
+		if ops.Connectives {
+			add("pred", TokAnd, TokOpen, "pred", TokComma, "pred", TokClose)
+			add("pred", TokOr, TokOpen, "pred", TokComma, "pred", TokClose)
+			add("pred", TokNot, TokOpen, "pred", TokClose)
+		}
+		// Cross products serialize their nil predicate as CONST.
+		add("jpred", "pred")
+		add("jpred", TokConst)
+		add("operand", TokAttr)
+		add("operand", TokConst)
+		if ops.Arithmetic {
+			for _, op := range []string{TokAdd, TokSub, TokMul, TokDiv, TokMod} {
+				add("operand", op, TokOpen, "operand", TokComma, "operand", TokClose)
+			}
+			add("operand", TokNeg, TokOpen, "operand", TokClose)
+		}
+	}
+	return g
+}

@@ -1,0 +1,138 @@
+package capability
+
+import (
+	"disco/internal/algebra"
+	"disco/internal/oql"
+)
+
+// Tokenize serializes a logical expression into the terminal string that
+// wrapper grammars are matched against. Operators become their name plus
+// OPEN/COMMA/CLOSE structure; sources and attributes become the SOURCE and
+// ATTRIBUTE category terminals; predicate operators serialize in prefix
+// form (GT OPEN ATTRIBUTE COMMA CONST CLOSE), which lets a grammar state
+// precisely which comparison operators and connectives it supports.
+func Tokenize(n algebra.Node) []string {
+	var out []string
+	out = appendNode(out, n)
+	return out
+}
+
+func appendNode(out []string, n algebra.Node) []string {
+	switch x := n.(type) {
+	case *algebra.Get:
+		return append(out, TokGet, TokOpen, TokSource, TokClose)
+	case *algebra.Select:
+		out = append(out, TokSelect, TokOpen)
+		out = appendExpr(out, x.Pred)
+		out = append(out, TokComma)
+		out = appendNode(out, x.Input)
+		return append(out, TokClose)
+	case *algebra.Project:
+		out = append(out, TokProject, TokOpen)
+		for i, c := range x.Cols {
+			if i > 0 {
+				out = append(out, TokComma)
+			}
+			if id, ok := c.Expr.(*oql.Ident); ok && !id.Star {
+				out = append(out, TokAttr)
+			} else {
+				out = appendExpr(out, c.Expr)
+			}
+		}
+		out = append(out, TokComma)
+		out = appendNode(out, x.Input)
+		return append(out, TokClose)
+	case *algebra.Join:
+		out = append(out, TokJoin, TokOpen)
+		out = appendNode(out, x.L)
+		out = append(out, TokComma)
+		out = appendNode(out, x.R)
+		out = append(out, TokComma)
+		if x.Pred != nil {
+			out = appendExpr(out, x.Pred)
+		} else {
+			out = append(out, TokConst)
+		}
+		return append(out, TokClose)
+	case *algebra.Union:
+		out = append(out, TokUnion, TokOpen)
+		for i, in := range x.Inputs {
+			if i > 0 {
+				out = append(out, TokComma)
+			}
+			out = appendNode(out, in)
+		}
+		return append(out, TokClose)
+	case *algebra.Distinct:
+		out = append(out, TokDistinct, TokOpen)
+		out = appendNode(out, x.Input)
+		return append(out, TokClose)
+	default:
+		return append(out, TokUnsupported)
+	}
+}
+
+func appendExpr(out []string, e oql.Expr) []string {
+	switch x := e.(type) {
+	case *oql.Ident:
+		if x.Star {
+			return append(out, TokUnsupported)
+		}
+		return append(out, TokAttr)
+	case *oql.Literal:
+		return append(out, TokConst)
+	case *oql.Unary:
+		op := TokNeg
+		if x.Op == oql.OpNot {
+			op = TokNot
+		}
+		out = append(out, op, TokOpen)
+		out = appendExpr(out, x.X)
+		return append(out, TokClose)
+	case *oql.Binary:
+		op, ok := binTok[x.Op]
+		if !ok {
+			return append(out, TokUnsupported)
+		}
+		out = append(out, op, TokOpen)
+		out = appendExpr(out, x.L)
+		out = append(out, TokComma)
+		out = appendExpr(out, x.R)
+		return append(out, TokClose)
+	case *oql.Call:
+		if x.Fn == "contains" && len(x.Args) == 2 {
+			out = append(out, TokContains, TokOpen)
+			out = appendExpr(out, x.Args[0])
+			out = append(out, TokComma)
+			out = appendExpr(out, x.Args[1])
+			return append(out, TokClose)
+		}
+		return append(out, TokUnsupported)
+	default:
+		return append(out, TokUnsupported)
+	}
+}
+
+var binTok = map[oql.BinaryOp]string{
+	oql.OpEq:  TokEq,
+	oql.OpNe:  TokNe,
+	oql.OpLt:  TokLt,
+	oql.OpLe:  TokLe,
+	oql.OpGt:  TokGt,
+	oql.OpGe:  TokGe,
+	oql.OpIn:  TokIn,
+	oql.OpAnd: TokAnd,
+	oql.OpOr:  TokOr,
+	oql.OpAdd: TokAdd,
+	oql.OpSub: TokSub,
+	oql.OpMul: TokMul,
+	oql.OpDiv: TokDiv,
+	oql.OpMod: TokMod,
+}
+
+// AcceptsExpr reports whether the grammar derives the serialization of the
+// logical expression. This is the optimizer-facing form of the wrapper
+// interface's submit-functionality check.
+func (g *Grammar) AcceptsExpr(n algebra.Node) bool {
+	return g.Accepts(Tokenize(n))
+}

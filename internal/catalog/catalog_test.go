@@ -1,0 +1,316 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+// paperCatalog builds the catalog from the paper's running example:
+// Person with extents person0 (r0) and person1 (r1), Student subtype with
+// student0/student1, and the PersonPrime mapped type.
+func paperCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.DefineInterface(&types.Interface{
+		Name:       "Person",
+		ExtentName: "person",
+		Attrs: []types.Attribute{
+			{Name: "id", Type: types.ScalarAttr(types.TInt)},
+			{Name: "name", Type: types.ScalarAttr(types.TString)},
+			{Name: "salary", Type: types.ScalarAttr(types.TInt)},
+		},
+	}))
+	must(c.DefineInterface(&types.Interface{Name: "Student", Super: "Person", ExtentName: "student"}))
+	must(c.DefineInterface(&types.Interface{
+		Name: "PersonPrime",
+		Attrs: []types.Attribute{
+			{Name: "n", Type: types.ScalarAttr(types.TString)},
+			{Name: "s", Type: types.ScalarAttr(types.TInt)},
+		},
+	}))
+	for _, r := range []string{"r0", "r1", "r2", "r3"} {
+		must(c.AddRepository(&Repository{Name: r, Host: "rodin", Address: "mem:" + r}))
+	}
+	must(c.AddWrapper(&Wrapper{Name: "w0", Kind: "sql"}))
+	must(c.AddExtent(&MetaExtent{Name: "person0", Iface: "Person", Wrapper: "w0", Repository: "r0"}))
+	must(c.AddExtent(&MetaExtent{Name: "person1", Iface: "Person", Wrapper: "w0", Repository: "r1"}))
+	must(c.AddExtent(&MetaExtent{Name: "student0", Iface: "Student", Wrapper: "w0", Repository: "r2"}))
+	must(c.AddExtent(&MetaExtent{Name: "student1", Iface: "Student", Wrapper: "w0", Repository: "r3"}))
+	must(c.AddExtent(&MetaExtent{
+		Name: "personprime0", Iface: "PersonPrime", Wrapper: "w0", Repository: "r0",
+		SourceName: "person0",
+		AttrMap:    map[string]string{"n": "name", "s": "salary"},
+	}))
+	return c
+}
+
+func TestExtentsOfExcludesSubtypes(t *testing.T) {
+	c := paperCatalog(t)
+	// §2.2.1: "The person extent still contains only the two extents."
+	got := c.ExtentsOf("Person")
+	if len(got) != 2 {
+		t.Fatalf("ExtentsOf(Person) = %d extents, want 2", len(got))
+	}
+	if got[0].Name != "person0" || got[1].Name != "person1" {
+		t.Errorf("extents = %v, %v", got[0].Name, got[1].Name)
+	}
+}
+
+func TestExtentsOfStarIncludesSubtypes(t *testing.T) {
+	c := paperCatalog(t)
+	// §2.2.1: "The person* extent now contains four extents."
+	got := c.ExtentsOfStar("Person")
+	if len(got) != 4 {
+		t.Fatalf("ExtentsOfStar(Person) = %d extents, want 4", len(got))
+	}
+}
+
+func TestAddExtentValidation(t *testing.T) {
+	c := paperCatalog(t)
+	cases := []struct {
+		name string
+		m    *MetaExtent
+		frag string
+	}{
+		{"dup", &MetaExtent{Name: "person0", Iface: "Person", Wrapper: "w0", Repository: "r0"}, "already defined"},
+		{"no iface", &MetaExtent{Name: "x", Iface: "Nope", Wrapper: "w0", Repository: "r0"}, "interface"},
+		{"no wrapper", &MetaExtent{Name: "x", Iface: "Person", Wrapper: "nope", Repository: "r0"}, "wrapper"},
+		{"no repo", &MetaExtent{Name: "x", Iface: "Person", Wrapper: "w0", Repository: "nope"}, "repository"},
+		{"bad map", &MetaExtent{Name: "x", Iface: "Person", Wrapper: "w0", Repository: "r0",
+			AttrMap: map[string]string{"ghost": "g"}}, "unknown attribute"},
+		{"empty", &MetaExtent{}, "empty name"},
+	}
+	for _, tt := range cases {
+		err := c.AddExtent(tt.m)
+		if err == nil {
+			t.Errorf("%s: AddExtent should fail", tt.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.frag) {
+			t.Errorf("%s: error %q does not mention %q", tt.name, err, tt.frag)
+		}
+	}
+}
+
+func TestDropExtent(t *testing.T) {
+	c := paperCatalog(t)
+	v := c.Version()
+	if err := c.DropExtent("person1"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() == v {
+		t.Error("version should bump on drop")
+	}
+	if got := c.ExtentsOf("Person"); len(got) != 1 {
+		t.Errorf("after drop: %d extents", len(got))
+	}
+	if err := c.DropExtent("person1"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestVersionBumps(t *testing.T) {
+	c := New()
+	v0 := c.Version()
+	if err := c.DefineInterface(&types.Interface{Name: "T"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() == v0 {
+		t.Error("DefineInterface should bump version")
+	}
+}
+
+func TestSourceNameDefaults(t *testing.T) {
+	c := paperCatalog(t)
+	m, err := c.Extent("person0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SourceName != "person0" {
+		t.Errorf("SourceName = %q, want the extent name", m.SourceName)
+	}
+	mp, err := c.Extent("personprime0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.SourceName != "person0" {
+		t.Errorf("mapped SourceName = %q, want person0", mp.SourceName)
+	}
+}
+
+func TestExtentRef(t *testing.T) {
+	c := paperCatalog(t)
+	m, err := c.Extent("personprime0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := c.ExtentRef(m)
+	if ref.Extent != "personprime0" || ref.Repo != "r0" || ref.Source != "person0" {
+		t.Errorf("ref = %+v", ref)
+	}
+	if len(ref.Attrs) != 2 || ref.SourceAttr("n") != "name" || ref.SourceAttr("s") != "salary" {
+		t.Errorf("attrs = %v, map = %v", ref.Attrs, ref.AttrMap)
+	}
+	// Inherited attributes appear for subtypes.
+	st, err := c.Extent("student0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sref := c.ExtentRef(st)
+	if len(sref.Attrs) != 3 {
+		t.Errorf("student attrs = %v, want the 3 inherited from Person", sref.Attrs)
+	}
+}
+
+func TestViews(t *testing.T) {
+	c := paperCatalog(t)
+	q, err := oql.ParseQuery(`select x.name from x in person0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DefineView("names", q); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.View("names"); !ok {
+		t.Error("view not found")
+	}
+	if err := c.DefineView("names", q); err == nil {
+		t.Error("duplicate view should fail")
+	}
+	if err := c.DefineView("person0", q); err == nil {
+		t.Error("view colliding with extent should fail")
+	}
+	// Views can reference views.
+	q2, err := oql.ParseQuery(`select n from n in names`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DefineView("names2", q2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Views(); len(got) != 2 || got[0] != "names" {
+		t.Errorf("Views() = %v", got)
+	}
+}
+
+func TestViewCycleDetection(t *testing.T) {
+	c := paperCatalog(t)
+	qa, err := oql.ParseQuery(`select x from x in vb`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DefineView("va", qa); err != nil {
+		t.Fatal(err) // vb not yet a view: legal (resolves later or errors)
+	}
+	qb, err := oql.ParseQuery(`select x from x in va`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DefineView("vb", qb); err == nil {
+		t.Error("view cycle va <-> vb should be rejected")
+	} else if !strings.Contains(err.Error(), "cyclic") {
+		t.Errorf("error = %v", err)
+	}
+	// Direct self-reference.
+	qs, err := oql.ParseQuery(`select x from x in vs`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DefineView("vs", qs); err == nil {
+		t.Error("self-referencing view should be rejected")
+	}
+}
+
+func TestMetaExtentBag(t *testing.T) {
+	c := paperCatalog(t)
+	bag := c.MetaExtentBag()
+	if bag.Len() != 5 {
+		t.Fatalf("metaextent has %d entries, want 5", bag.Len())
+	}
+	// The §2.1 query: which extents belong to Person?
+	q, err := oql.ParseQuery(`select x.e from x in metaextent where x.interface = "Person"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := oql.ResolverFunc(func(name string, _ bool) (types.Value, error) {
+		if name == "metaextent" {
+			return c.MetaExtentBag(), nil
+		}
+		return nil, &ErrNotFound{Kind: "name", Name: name}
+	})
+	got, err := oql.Eval(q, nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := types.NewBag(types.Str("person0"), types.Str("person1"))
+	if !got.Equal(want) {
+		t.Errorf("metaextent query = %s, want %s", got, want)
+	}
+}
+
+func TestInterfaceByExtentName(t *testing.T) {
+	c := paperCatalog(t)
+	i, ok := c.InterfaceByExtentName("person")
+	if !ok || i.Name != "Person" {
+		t.Errorf("InterfaceByExtentName(person) = %v, %v", i, ok)
+	}
+	if _, ok := c.InterfaceByExtentName("nothing"); ok {
+		t.Error("unknown implicit extent should not resolve")
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	c := New()
+	if _, err := c.Repository("r9"); err == nil {
+		t.Error("missing repository should error")
+	}
+	if _, err := c.Wrapper("w9"); err == nil {
+		t.Error("missing wrapper should error")
+	}
+	if _, err := c.Extent("e9"); err == nil {
+		t.Error("missing extent should error")
+	}
+	var nf *ErrNotFound
+	_, err := c.Extent("e9")
+	if !asErr(err, &nf) || nf.Kind != "extent" {
+		t.Errorf("error type = %T", err)
+	}
+}
+
+func asErr(err error, target interface{}) bool {
+	switch t := target.(type) {
+	case **ErrNotFound:
+		e, ok := err.(*ErrNotFound)
+		if ok {
+			*t = e
+		}
+		return ok
+	default:
+		return false
+	}
+}
+
+func TestDuplicateRepoWrapper(t *testing.T) {
+	c := paperCatalog(t)
+	if err := c.AddRepository(&Repository{Name: "r0"}); err == nil {
+		t.Error("duplicate repository should fail")
+	}
+	if err := c.AddWrapper(&Wrapper{Name: "w0"}); err == nil {
+		t.Error("duplicate wrapper should fail")
+	}
+	if err := c.AddRepository(&Repository{}); err == nil {
+		t.Error("empty repository name should fail")
+	}
+	if err := c.AddWrapper(&Wrapper{}); err == nil {
+		t.Error("empty wrapper name should fail")
+	}
+}

@@ -1,0 +1,126 @@
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DumpODL renders the catalog's current state as ODL text that, applied to
+// an empty mediator (with the same engines registered), reproduces it.
+// It backs the shell's .schema command and catalog persistence: a
+// mediator's configuration is its ODL.
+func (c *Catalog) DumpODL() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+
+	var b strings.Builder
+
+	// Repositories, in name order for stable output.
+	repoNames := make([]string, 0, len(c.repos))
+	for n := range c.repos {
+		repoNames = append(repoNames, n)
+	}
+	sort.Strings(repoNames)
+	for _, n := range repoNames {
+		r := c.repos[n]
+		fmt.Fprintf(&b, "%s := Repository(", r.Name)
+		wrote := false
+		writeProp := func(k, v string) {
+			if v == "" {
+				return
+			}
+			if wrote {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s=%q", k, v)
+			wrote = true
+		}
+		writeProp("host", r.Host)
+		writeProp("name", r.DB)
+		writeProp("address", r.Address)
+		// Extra properties beyond the modeled ones.
+		extra := make([]string, 0, len(r.Props))
+		for k := range r.Props {
+			if k != "host" && k != "name" && k != "address" {
+				extra = append(extra, k)
+			}
+		}
+		sort.Strings(extra)
+		for _, k := range extra {
+			writeProp(k, r.Props[k])
+		}
+		b.WriteString(");\n")
+	}
+
+	// Wrappers.
+	wrapperNames := make([]string, 0, len(c.wrappers))
+	for n := range c.wrappers {
+		wrapperNames = append(wrapperNames, n)
+	}
+	sort.Strings(wrapperNames)
+	for _, n := range wrapperNames {
+		w := c.wrappers[n]
+		fmt.Fprintf(&b, "%s := Wrapper(%q", w.Name, w.Kind)
+		keys := make([]string, 0, len(w.Props))
+		for k := range w.Props {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, ", %s=%q", k, w.Props[k])
+		}
+		b.WriteString(");\n")
+	}
+
+	// Interfaces, in definition order (supertypes precede subtypes by
+	// construction).
+	for _, i := range c.schema.Interfaces() {
+		fmt.Fprintf(&b, "\ninterface %s", i.Name)
+		if i.Super != "" {
+			fmt.Fprintf(&b, ":%s", i.Super)
+		}
+		if i.ExtentName != "" {
+			fmt.Fprintf(&b, " (extent %s)", i.ExtentName)
+		}
+		b.WriteString(" {\n")
+		for _, a := range i.Attrs {
+			fmt.Fprintf(&b, "    attribute %s %s;\n", a.Type, a.Name)
+		}
+		b.WriteString("}\n")
+	}
+
+	// Extents, in declaration order.
+	if len(c.extOrder) > 0 {
+		b.WriteString("\n")
+	}
+	for _, n := range c.extOrder {
+		m := c.extents[n]
+		fmt.Fprintf(&b, "extent %s of %s wrapper %s repository %s", m.Name, m.Iface, m.Wrapper, m.Repository)
+		var pairs []string
+		if m.SourceName != "" && m.SourceName != m.Name {
+			pairs = append(pairs, fmt.Sprintf("(%s=%s)", m.SourceName, m.Name))
+		}
+		attrs := make([]string, 0, len(m.AttrMap))
+		for med := range m.AttrMap {
+			attrs = append(attrs, med)
+		}
+		sort.Strings(attrs)
+		for _, med := range attrs {
+			pairs = append(pairs, fmt.Sprintf("(%s=%s)", m.AttrMap[med], med))
+		}
+		if len(pairs) > 0 {
+			fmt.Fprintf(&b, "\n    map (%s)", strings.Join(pairs, ","))
+		}
+		b.WriteString(";\n")
+	}
+
+	// Views, in definition order.
+	if len(c.vOrder) > 0 {
+		b.WriteString("\n")
+	}
+	for _, n := range c.vOrder {
+		fmt.Fprintf(&b, "define %s as\n    %s;\n", n, c.views[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"disco/internal/odl"
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+// applyStatements loads parsed ODL statements into a catalog (the test-side
+// equivalent of the mediator's Apply).
+func applyStatements(t *testing.T, c *Catalog, stmts []odl.Statement) {
+	t.Helper()
+	for _, s := range stmts {
+		var err error
+		switch x := s.(type) {
+		case *odl.InterfaceDecl:
+			err = c.DefineInterface(x.Iface)
+		case *odl.RepositoryDecl:
+			err = c.AddRepository(&Repository{
+				Name: x.Name, Host: x.Props["host"], Address: x.Props["address"],
+				DB: x.Props["name"], Props: x.Props,
+			})
+		case *odl.WrapperDecl:
+			err = c.AddWrapper(&Wrapper{Name: x.Name, Kind: x.Kind, Props: x.Props})
+		case *odl.ExtentDecl:
+			err = c.AddExtent(&MetaExtent{
+				Name: x.Name, Iface: x.Iface, Wrapper: x.Wrapper,
+				Repository: x.Repository, SourceName: x.SourceName, AttrMap: x.AttrMap,
+			})
+		case *odl.ViewDecl:
+			err = c.DefineView(x.Name, x.Query)
+		default:
+			t.Fatalf("unexpected statement %T", s)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDumpODLRoundTrip(t *testing.T) {
+	c := paperCatalog(t)
+	q, err := oql.ParseQuery(`select x.name from x in person0 where x.salary > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DefineView("names", q); err != nil {
+		t.Fatal(err)
+	}
+
+	dump := c.DumpODL()
+	stmts, err := odl.Parse(dump)
+	if err != nil {
+		t.Fatalf("dump does not reparse: %v\n%s", err, dump)
+	}
+	c2 := New()
+	applyStatements(t, c2, stmts)
+
+	// The second dump must equal the first (dump is a fixpoint).
+	dump2 := c2.DumpODL()
+	if dump != dump2 {
+		t.Errorf("dump round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", dump, dump2)
+	}
+	// Structure survives.
+	if len(c2.ExtentsOf("Person")) != 2 {
+		t.Errorf("Person extents lost: %d", len(c2.ExtentsOf("Person")))
+	}
+	me, err := c2.Extent("personprime0")
+	if err != nil || me.SourceName != "person0" || me.AttrMap["n"] != "name" {
+		t.Errorf("map lost: %+v, %v", me, err)
+	}
+	if _, ok := c2.View("names"); !ok {
+		t.Error("view lost")
+	}
+	if !c2.Schema().IsSubtype("Student", "Person") {
+		t.Error("subtype lost")
+	}
+}
+
+func TestDumpODLContainsMapClause(t *testing.T) {
+	c := paperCatalog(t)
+	dump := c.DumpODL()
+	if !strings.Contains(dump, "map ((person0=personprime0),(name=n),(salary=s))") {
+		t.Errorf("dump should render the transformation map:\n%s", dump)
+	}
+}
+
+func TestDumpODLCollectionAttrTypes(t *testing.T) {
+	c := New()
+	elem := types.ScalarAttr(types.TFloat)
+	if err := c.DefineInterface(&types.Interface{
+		Name: "Series",
+		Attrs: []types.Attribute{
+			{Name: "points", Type: types.AttrType{Kind: types.TBagOf, Elem: &elem}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dump := c.DumpODL()
+	if !strings.Contains(dump, "attribute Bag<Float> points;") {
+		t.Errorf("collection attribute lost:\n%s", dump)
+	}
+	if _, err := odl.Parse(dump); err != nil {
+		t.Errorf("dump does not reparse: %v", err)
+	}
+}
+
+func TestDumpODLEmptyCatalog(t *testing.T) {
+	c := New()
+	if dump := c.DumpODL(); strings.TrimSpace(dump) != "" {
+		t.Errorf("empty catalog should dump empty: %q", dump)
+	}
+}

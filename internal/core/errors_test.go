@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"disco/internal/wire"
+)
+
+func TestStarOnExplicitExtentFails(t *testing.T) {
+	m := paperMediator(t)
+	if _, err := m.Query(`select x from x in person0*`); err == nil ||
+		!strings.Contains(err.Error(), "type extents") {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := m.Query(`select x from x in metaextent*`); err == nil {
+		t.Error("metaextent* should fail")
+	}
+}
+
+func TestRepositoryWithoutAddress(t *testing.T) {
+	m := New()
+	if err := m.ExecODL(`
+		rempty := Repository(host="somewhere");
+		w0 := WrapperPostgres();
+		interface T (extent ts) { attribute String a; }
+		extent t0 of T wrapper w0 repository rempty;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(`select t from t in t0`); err == nil ||
+		!strings.Contains(err.Error(), "no address") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMemEngineNotRegistered(t *testing.T) {
+	m := New()
+	if err := m.ExecODL(`
+		r0 := Repository(address="mem:ghost");
+		w0 := WrapperPostgres();
+		interface T (extent ts) { attribute String a; }
+		extent t0 of T wrapper w0 repository r0;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(`select t from t in t0`); err == nil ||
+		!strings.Contains(err.Error(), "no in-process engine") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMediatorWrapperNeedsNetworkAddress(t *testing.T) {
+	m := New()
+	if err := m.ExecODL(`
+		r0 := Repository(address="mem:x");
+		wmed := Wrapper("mediator");
+		interface T (extent ts) { attribute String a; }
+		extent t0 of T wrapper wmed repository r0;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(`select t from t in t0`); err == nil ||
+		!strings.Contains(err.Error(), "network address") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnknownWrapperKindAtUse(t *testing.T) {
+	m := paperMediator(t)
+	if err := m.ExecODL(`
+		w9 := Wrapper("hologram");
+		extent hx of Person wrapper w9 repository r0;
+	`); err != nil {
+		t.Fatal(err) // declaration is lazy
+	}
+	if _, err := m.Query(`select x from x in hx`); err == nil ||
+		!strings.Contains(err.Error(), "unknown wrapper kind") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBadOpsSpec(t *testing.T) {
+	m := paperMediator(t)
+	if err := m.ExecODL(`
+		wops := Wrapper("sql", ops="get,teleport");
+		extent ox of Person wrapper wops repository r0
+		    map ((person0=ox));
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(`select x from x in ox`); err == nil ||
+		!strings.Contains(err.Error(), "teleport") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestExplainAndPlanErrors(t *testing.T) {
+	m := paperMediator(t)
+	if _, err := m.Explain(`not valid ~`); err == nil {
+		t.Error("Explain of garbage should fail")
+	}
+	if _, err := m.ExplainPlan(`select x from x in nowhere`); err == nil {
+		t.Error("ExplainPlan of unknown extent should fail")
+	}
+	if err := m.Define(`define broken as`); err == nil {
+		t.Error("Define of garbage should fail")
+	}
+}
+
+func TestExplainPlanTree(t *testing.T) {
+	m := paperMediator(t)
+	tree, err := m.ExplainPlan(`select x.name from x in person where x.salary > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"union[2]", "submit(r0)", "get(person0)"} {
+		if !strings.Contains(tree, frag) {
+			t.Errorf("plan tree missing %q:\n%s", frag, tree)
+		}
+	}
+}
+
+func TestMediatorServerRejectsWrongLanguage(t *testing.T) {
+	m := paperMediator(t)
+	srv, err := m.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := wire.NewClient(srv.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := c.Query(ctx, wire.LangSQL, "SELECT 1"); err == nil ||
+		!strings.Contains(err.Error(), "mediator serves oql") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMediatorWrapperRejectsNonBagAnswers(t *testing.T) {
+	// A lower mediator whose collection is a scalar view: the upper's
+	// mediator wrapper must reject the non-bag payload cleanly.
+	lower := paperMediator(t)
+	if err := lower.Define(`define total as count(person)`); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := lower.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	upper := New(WithTimeout(2 * time.Second))
+	if err := upper.ExecODL(`
+		rlower := Repository(address="` + srv.Addr() + `");
+		wmed := Wrapper("mediator");
+		interface T (extent ts) { attribute String a; }
+		extent total of T wrapper wmed repository rlower;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := upper.Query(`select t from t in total`); err == nil ||
+		!strings.Contains(err.Error(), "want bag") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDumpODLFromMediator(t *testing.T) {
+	m := paperMediator(t)
+	dump := m.DumpODL()
+	for _, frag := range []string{"interface Person", "extent person0", "WrapperPostgres"} {
+		if !strings.Contains(dump, frag) {
+			// The wrapper kind is normalized to sql, so the constructor
+			// spelling differs; accept the normalized form.
+			if frag == "WrapperPostgres" && strings.Contains(dump, `Wrapper("sql")`) {
+				continue
+			}
+			t.Errorf("dump missing %q:\n%s", frag, dump)
+		}
+	}
+	// The dump reloads into a fresh mediator with the same engines.
+	m2 := New(WithTimeout(500 * time.Millisecond))
+	r0, r1 := paperStores(t)
+	m2.RegisterEngine("r0", r0)
+	m2.RegisterEngine("r1", r1)
+	if err := m2.ExecODL(dump); err != nil {
+		t.Fatalf("dump does not reload: %v\n%s", err, dump)
+	}
+	v, err := m2.Query(`count(person)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != "2" {
+		t.Errorf("reloaded federation count = %s", v)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"strings"
+
+	"disco/internal/algebra"
+	"disco/internal/partial"
+	"disco/internal/source"
+	"disco/internal/wire"
+)
+
+// This file implements the §4 staleness extension the paper sketches: "it
+// would be convenient for the user to be able to check if the data [baked
+// into a partial answer] was still valid". Sources version their
+// collections; when a partial answer embeds data from the sources that did
+// answer, the mediator snapshots those versions, and CheckFresh later
+// reports which of them have changed — telling the user whether
+// resubmitting the answer would mix stale data with fresh.
+
+// snapshotPartial records, on a partial answer, the data versions of every
+// collection the plan read from the sources that did answer.
+func (m *Mediator) snapshotPartial(plan algebra.Node, ans *partial.Answer) {
+	if ans.Complete {
+		return
+	}
+	down := map[string]bool{}
+	for _, r := range ans.Unavailable {
+		down[r] = true
+	}
+	// Which source collections did each answering repository contribute?
+	read := map[string]map[string]bool{}
+	for _, sub := range algebra.Submits(plan) {
+		if down[sub.Repo] {
+			continue
+		}
+		algebra.Walk(sub.Input, func(n algebra.Node) {
+			if g, ok := n.(*algebra.Get); ok {
+				if read[sub.Repo] == nil {
+					read[sub.Repo] = map[string]bool{}
+				}
+				read[sub.Repo][g.Ref.Source] = true
+			}
+		})
+	}
+	snapshot := map[string]map[string]int64{}
+	for repo, colls := range read {
+		versions, err := m.sourceVersions(repo)
+		if err != nil || versions == nil {
+			continue // unversioned or unreachable: nothing to record
+		}
+		for coll := range colls {
+			v, ok := versions[coll]
+			if !ok {
+				continue
+			}
+			if snapshot[repo] == nil {
+				snapshot[repo] = map[string]int64{}
+			}
+			snapshot[repo][coll] = v
+		}
+	}
+	if len(snapshot) > 0 {
+		ans.Snapshot = snapshot
+	}
+}
+
+// CheckFresh reports which repositories' embedded data has changed since a
+// partial answer was produced. An empty result means every source that
+// contributed data is unchanged (or does not track versions).
+func (m *Mediator) CheckFresh(ans *partial.Answer) ([]string, error) {
+	var stale []string
+	for repo, snap := range ans.Snapshot {
+		current, err := m.sourceVersions(repo)
+		if err != nil {
+			return nil, err
+		}
+		for coll, v := range snap {
+			if current[coll] != v {
+				stale = append(stale, repo)
+				break
+			}
+		}
+	}
+	sort.Strings(stale)
+	return stale, nil
+}
+
+// sourceVersions reads the current collection versions of a repository's
+// source: directly for in-process engines, over the wire otherwise. A nil
+// map means the source does not track versions.
+func (m *Mediator) sourceVersions(repo string) (map[string]int64, error) {
+	r, err := m.catalog.Repository(repo)
+	if err != nil {
+		return nil, err
+	}
+	if name, ok := strings.CutPrefix(r.Address, "mem:"); ok {
+		m.mu.Lock()
+		eng, found := m.engines[name]
+		m.mu.Unlock()
+		if !found {
+			return nil, nil
+		}
+		if v, ok := eng.(source.Versioned); ok {
+			return v.Versions(), nil
+		}
+		return nil, nil
+	}
+	if r.Address == "" || strings.HasPrefix(r.Address, "file:") {
+		return nil, nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
+	defer cancel()
+	client := wire.NewClient(strings.TrimPrefix(r.Address, "tcp://"))
+	return client.Versions(ctx)
+}

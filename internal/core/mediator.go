@@ -1,0 +1,165 @@
+// Package core implements the DISCO mediator: the component that accepts
+// ODL definitions and OQL queries, models data sources as first-class
+// objects through the catalog, optimizes queries against wrapper
+// capabilities and learned costs, executes them across data sources, and
+// answers with partial-evaluation semantics when sources are unavailable.
+//
+// It is the paper's Mediator Prototype 0 (Figure 2) grown to the full
+// design: OQL/ODL parsers feed the internal database (catalog), the query
+// optimizer produces trees, the run-time system drives wrappers, and the
+// result — possibly a query — returns to the caller.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"disco/internal/catalog"
+	"disco/internal/costmodel"
+	"disco/internal/odl"
+	"disco/internal/optimizer"
+	"disco/internal/source"
+	"disco/internal/wrapper"
+)
+
+// DefaultTimeout is the §4 "designated time" after which data sources that
+// have not answered are classified unavailable.
+const DefaultTimeout = 2 * time.Second
+
+// Mediator is a DISCO mediator instance. It is safe for concurrent use.
+type Mediator struct {
+	catalog *catalog.Catalog
+	history *costmodel.History
+	opt     *optimizer.Optimizer
+
+	// Timeout bounds query evaluation; sources that do not answer within
+	// it yield partial answers (QueryPartial) or errors (Query).
+	timeout time.Duration
+
+	mu       sync.Mutex
+	engines  map[string]source.Engine   // in-process engines by mem: name
+	wrappers map[string]wrapper.Wrapper // instantiated per wrapper/repo pair
+}
+
+// Option configures a Mediator.
+type Option func(*Mediator)
+
+// WithTimeout sets the evaluation deadline for sources.
+func WithTimeout(d time.Duration) Option {
+	return func(m *Mediator) {
+		if d > 0 {
+			m.timeout = d
+		}
+	}
+}
+
+// WithHistory shares a cost history (useful for tests and for warm starts).
+func WithHistory(h *costmodel.History) Option {
+	return func(m *Mediator) { m.history = h }
+}
+
+// New returns an empty mediator.
+func New(opts ...Option) *Mediator {
+	m := &Mediator{
+		catalog:  catalog.New(),
+		history:  costmodel.New(),
+		timeout:  DefaultTimeout,
+		engines:  make(map[string]source.Engine),
+		wrappers: make(map[string]wrapper.Wrapper),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	m.opt = optimizer.NewWithCapabilities(&mediatorCaps{m: m}, m.history)
+	return m
+}
+
+// Catalog exposes the mediator's internal database.
+func (m *Mediator) Catalog() *catalog.Catalog { return m.catalog }
+
+// History exposes the learned cost history.
+func (m *Mediator) History() *costmodel.History { return m.history }
+
+// Timeout reports the evaluation deadline.
+func (m *Mediator) Timeout() time.Duration { return m.timeout }
+
+// RegisterEngine attaches an in-process data source under a mem: name:
+// a repository declared with address="mem:NAME" resolves to it.
+func (m *Mediator) RegisterEngine(name string, e source.Engine) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.engines[name] = e
+}
+
+// ExecODL parses and applies a sequence of ODL statements: interface and
+// extent declarations, Repository/Wrapper construction, view definitions
+// and extent drops.
+func (m *Mediator) ExecODL(src string) error {
+	stmts, err := odl.Parse(src)
+	if err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		if err := m.Apply(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Apply applies one parsed ODL statement to the catalog.
+func (m *Mediator) Apply(stmt odl.Statement) error {
+	switch s := stmt.(type) {
+	case *odl.InterfaceDecl:
+		return m.catalog.DefineInterface(s.Iface)
+	case *odl.RepositoryDecl:
+		return m.catalog.AddRepository(&catalog.Repository{
+			Name:    s.Name,
+			Host:    s.Props["host"],
+			Address: s.Props["address"],
+			DB:      s.Props["name"],
+			Props:   s.Props,
+		})
+	case *odl.WrapperDecl:
+		return m.catalog.AddWrapper(&catalog.Wrapper{
+			Name:  s.Name,
+			Kind:  normalizeWrapperKind(s.Kind),
+			Props: s.Props,
+		})
+	case *odl.ExtentDecl:
+		return m.catalog.AddExtent(&catalog.MetaExtent{
+			Name:       s.Name,
+			Iface:      s.Iface,
+			Wrapper:    s.Wrapper,
+			Repository: s.Repository,
+			SourceName: s.SourceName,
+			AttrMap:    s.AttrMap,
+		})
+	case *odl.ViewDecl:
+		return m.catalog.DefineView(s.Name, s.Query)
+	case *odl.DropExtentDecl:
+		return m.catalog.DropExtent(s.Name)
+	default:
+		return fmt.Errorf("mediator: unknown statement %T", stmt)
+	}
+}
+
+// normalizeWrapperKind maps the WrapperX() constructor suffixes onto the
+// implemented wrapper kinds.
+func normalizeWrapperKind(kind string) string {
+	switch kind {
+	case "postgres", "sql", "relational", "oracle", "sybase":
+		return "sql"
+	case "scan", "file":
+		return "scan"
+	case "doc", "wais", "keyword":
+		return "doc"
+	case "csv":
+		return "csv"
+	case "mediator", "disco":
+		return "mediator"
+	default:
+		return kind
+	}
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"disco/internal/oql"
+	"disco/internal/source"
+	"disco/internal/types"
+)
+
+// TestRandomQueriesMatchReference is the system-level soundness property:
+// for randomly generated queries, the full pipeline (view expansion,
+// compilation, capability-checked pushdown, cost-based choice, physical
+// execution across wrappers) produces exactly what the reference OQL
+// evaluator produces on materialized extents.
+func TestRandomQueriesMatchReference(t *testing.T) {
+	m, data := propertyMediator(t)
+	ref := referenceDataResolver(data)
+	rng := rand.New(rand.NewSource(1996))
+
+	const cases = 150
+	for i := 0; i < cases; i++ {
+		q := randomQuery(rng)
+		want, refErr := oql.Eval(mustParseQ(t, q), nil, ref)
+		got, gotErr := m.Query(q)
+		switch {
+		case refErr != nil && gotErr != nil:
+			// Both reject (e.g. type errors): fine.
+		case refErr != nil:
+			t.Errorf("case %d %q: reference errors (%v) but mediator answers %s", i, q, refErr, got)
+		case gotErr != nil:
+			t.Errorf("case %d %q: mediator errors (%v) but reference answers %s", i, q, gotErr, want)
+		case !got.Equal(want):
+			t.Errorf("case %d %q:\n mediator  %s\n reference %s", i, q, got, want)
+		}
+	}
+}
+
+// propertyMediator builds a two-source federation with deterministic data
+// and returns the raw data for the reference resolver.
+func propertyMediator(t *testing.T) (*Mediator, map[string]*types.Bag) {
+	t.Helper()
+	m := New()
+	data := map[string]*types.Bag{}
+	for si, names := range [][]string{
+		{"Mary", "Ann", "Bob", "Dee"},
+		{"Sam", "Eve", "Maryam"},
+	} {
+		table := fmt.Sprintf("person%d", si)
+		store := source.NewRelStore()
+		if err := store.CreateTable(table, "id", "name", "salary"); err != nil {
+			t.Fatal(err)
+		}
+		var rows []types.Value
+		for i, n := range names {
+			id := types.Int(int64(si*100 + i))
+			sal := types.Int(int64((i*37 + si*11) % 100))
+			if err := store.Insert(table, id, types.Str(n), sal); err != nil {
+				t.Fatal(err)
+			}
+			rows = append(rows, types.NewStruct(
+				types.Field{Name: "id", Value: id},
+				types.Field{Name: "name", Value: types.Str(n)},
+				types.Field{Name: "salary", Value: sal},
+			))
+		}
+		data[table] = types.NewBag(rows...)
+		m.RegisterEngine(fmt.Sprintf("r%d", si), store)
+	}
+	if err := m.ExecODL(`
+		r0 := Repository(address="mem:r0");
+		r1 := Repository(address="mem:r1");
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent person0 of Person wrapper w0 repository r0;
+		extent person1 of Person wrapper w0 repository r1;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return m, data
+}
+
+func referenceDataResolver(data map[string]*types.Bag) oql.Resolver {
+	return oql.ResolverFunc(func(name string, star bool) (types.Value, error) {
+		switch name {
+		case "person0", "person1":
+			return data[name], nil
+		case "person":
+			return types.BagUnion(data["person0"], data["person1"]), nil
+		default:
+			return nil, fmt.Errorf("unknown name %q", name)
+		}
+	})
+}
+
+func mustParseQ(t *testing.T, src string) oql.Expr {
+	t.Helper()
+	e, err := oql.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return e
+}
+
+// randomQuery generates a random but well-typed query over the Person
+// schema.
+func randomQuery(r *rand.Rand) string {
+	sel := randomSelect(r, "x")
+	switch r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("count(%s)", sel)
+	case 1:
+		return fmt.Sprintf("sum(select x.salary from x in %s)", randomDomain(r))
+	default:
+		return sel
+	}
+}
+
+func randomSelect(r *rand.Rand, v string) string {
+	proj := randomProj(r, v)
+	domain := randomDomain(r)
+	distinct := ""
+	if r.Intn(4) == 0 {
+		distinct = "distinct "
+	}
+	if r.Intn(5) == 0 {
+		return fmt.Sprintf("select %s%s from %s in %s", distinct, proj, v, domain)
+	}
+	return fmt.Sprintf("select %s%s from %s in %s where %s",
+		distinct, proj, v, domain, randomPred(r, v, 2))
+}
+
+func randomDomain(r *rand.Rand) string {
+	switch r.Intn(5) {
+	case 0:
+		return "person0"
+	case 1:
+		return "person1"
+	case 2:
+		return "union(person0, person1)"
+	default:
+		return "person"
+	}
+}
+
+func randomProj(r *rand.Rand, v string) string {
+	switch r.Intn(6) {
+	case 0:
+		return v + ".name"
+	case 1:
+		return v + ".salary"
+	case 2:
+		return v
+	case 3:
+		return fmt.Sprintf("struct(n: %s.name, double: %s.salary * 2)", v, v)
+	case 4:
+		return fmt.Sprintf("%s.salary + %s.id", v, v)
+	default:
+		return fmt.Sprintf("struct(who: %s.name)", v)
+	}
+}
+
+func randomPred(r *rand.Rand, v string, depth int) string {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return randomComparison(r, v)
+	}
+	switch r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%s and %s", randomPred(r, v, depth-1), randomPred(r, v, depth-1))
+	case 1:
+		return fmt.Sprintf("%s or %s", randomPred(r, v, depth-1), randomPred(r, v, depth-1))
+	case 2:
+		return fmt.Sprintf("not (%s)", randomPred(r, v, depth-1))
+	default:
+		return randomComparison(r, v)
+	}
+}
+
+func randomComparison(r *rand.Rand, v string) string {
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	switch r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%s.name = %q", v, []string{"Mary", "Sam", "Zoe"}[r.Intn(3)])
+	case 1:
+		return fmt.Sprintf("contains(%s.name, %q)", v, []string{"Mar", "a", "q"}[r.Intn(3)])
+	case 2:
+		return fmt.Sprintf("%s.id in bag(%d, %d)", v, r.Intn(110), r.Intn(110))
+	default:
+		return fmt.Sprintf("%s.salary %s %d", v, ops[r.Intn(len(ops))], r.Intn(100))
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"disco/internal/algebra"
+	"disco/internal/oql"
+	"disco/internal/partial"
+	"disco/internal/types"
+)
+
+// Trace records the Figure 2 pipeline stages for one query.
+type Trace struct {
+	Parse    time.Duration
+	Expand   time.Duration // view expansion against the internal db
+	Compile  time.Duration
+	Optimize time.Duration
+	Execute  time.Duration
+	Plan     string
+	CacheHit bool
+}
+
+// Prepare runs the front half of the pipeline: parse, view expansion,
+// compilation and optimization. The returned plan can be executed multiple
+// times.
+func (m *Mediator) Prepare(src string) (algebra.Node, *Trace, error) {
+	tr := &Trace{}
+	t0 := time.Now()
+	expr, err := oql.ParseQuery(src)
+	if err != nil {
+		return nil, tr, err
+	}
+	tr.Parse = time.Since(t0)
+
+	t0 = time.Now()
+	expanded, err := m.expandViews(expr)
+	if err != nil {
+		return nil, tr, err
+	}
+	tr.Expand = time.Since(t0)
+
+	t0 = time.Now()
+	plan, err := algebra.Compile(expanded, planResolver{m: m})
+	if err != nil {
+		return nil, tr, err
+	}
+	tr.Compile = time.Since(t0)
+
+	t0 = time.Now()
+	optimized, report := m.opt.Optimize(plan, m.catalog.Version())
+	tr.Optimize = time.Since(t0)
+	tr.Plan = optimized.String()
+	tr.CacheHit = report.CacheHit
+	return optimized, tr, nil
+}
+
+// Query evaluates an OQL query and returns its value. Unavailable sources
+// surface as errors; use QueryPartial for the §4 semantics.
+func (m *Mediator) Query(src string) (types.Value, error) {
+	v, _, err := m.QueryTraced(src)
+	return v, err
+}
+
+// QueryTraced is Query with pipeline stage timings.
+func (m *Mediator) QueryTraced(src string) (types.Value, *Trace, error) {
+	plan, tr, err := m.Prepare(src)
+	if err != nil {
+		return nil, tr, err
+	}
+	p, err := m.buildPhysical(plan)
+	if err != nil {
+		return nil, tr, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
+	defer cancel()
+	t0 := time.Now()
+	v, err := p.Run(ctx)
+	tr.Execute = time.Since(t0)
+	if err != nil {
+		return nil, tr, err
+	}
+	return v, tr, nil
+}
+
+// QueryPartial evaluates a query under partial-evaluation semantics: if
+// some sources do not answer before the deadline, the answer is another
+// query (§4).
+func (m *Mediator) QueryPartial(src string) (*partial.Answer, error) {
+	plan, _, err := m.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	p, err := m.buildPhysical(plan)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
+	defer cancel()
+	ans, err := partial.Evaluate(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	m.snapshotPartial(plan, ans)
+	return ans, nil
+}
+
+// Explain returns the optimizer's report for a query: every candidate plan
+// with its estimated cost, the chosen one marked.
+func (m *Mediator) Explain(src string) (string, error) {
+	expr, err := oql.ParseQuery(src)
+	if err != nil {
+		return "", err
+	}
+	expanded, err := m.expandViews(expr)
+	if err != nil {
+		return "", err
+	}
+	plan, err := algebra.Compile(expanded, planResolver{m: m})
+	if err != nil {
+		return "", err
+	}
+	_, report := m.opt.Optimize(plan, m.catalog.Version())
+	return report.String(), nil
+}
+
+// ExplainPlan returns the chosen plan for a query rendered as an indented
+// operator tree.
+func (m *Mediator) ExplainPlan(src string) (string, error) {
+	plan, _, err := m.Prepare(src)
+	if err != nil {
+		return "", err
+	}
+	return algebra.TreeString(plan), nil
+}
+
+// DumpODL renders the mediator's catalog as ODL text that reproduces it.
+func (m *Mediator) DumpODL() string { return m.catalog.DumpODL() }
+
+// Define registers a view from OQL text (define name as query).
+func (m *Mediator) Define(src string) error {
+	d, err := oql.ParseDefine(src)
+	if err != nil {
+		return err
+	}
+	return m.catalog.DefineView(d.Name, d.Query)
+}
+
+// MustQuery is Query for examples and tests that treat failure as fatal.
+func (m *Mediator) MustQuery(src string) types.Value {
+	v, err := m.Query(src)
+	if err != nil {
+		panic(fmt.Sprintf("query %q: %v", src, err))
+	}
+	return v
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"disco/internal/algebra"
+	"disco/internal/catalog"
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+// MetaExtentName is the reserved collection of extent metadata (§2.1).
+const MetaExtentName = "metaextent"
+
+// planResolver implements algebra.NameResolver over the catalog: extents
+// resolve to submit(get(...)) plans, implicit type extents to unions over
+// their declared extents, and T* to the subtype closure.
+type planResolver struct {
+	m *Mediator
+}
+
+// ResolvePlan implements algebra.NameResolver.
+func (r planResolver) ResolvePlan(name string, star bool) (algebra.Node, error) {
+	cat := r.m.catalog
+	if name == MetaExtentName {
+		if star {
+			return nil, fmt.Errorf("mediator: metaextent has no subtype closure")
+		}
+		return &algebra.Const{Data: cat.MetaExtentBag()}, nil
+	}
+	// An explicit extent (person0).
+	if me, err := cat.Extent(name); err == nil {
+		if star {
+			return nil, fmt.Errorf("mediator: %s* applies to type extents, not data-source extents", name)
+		}
+		return r.extentPlan(me), nil
+	}
+	// The implicit extent of an interface (person, person*): realize the
+	// §2.1 definition flatten(select x.e from x in metaextent where
+	// x.interface = T) natively as a union over the registered extents.
+	if iface, ok := cat.InterfaceByExtentName(name); ok {
+		var extents []*catalog.MetaExtent
+		if star {
+			extents = cat.ExtentsOfStar(iface.Name)
+		} else {
+			extents = cat.ExtentsOf(iface.Name)
+		}
+		inputs := make([]algebra.Node, 0, len(extents))
+		for _, me := range extents {
+			inputs = append(inputs, r.extentPlan(me))
+		}
+		switch len(inputs) {
+		case 0:
+			// A type with no extents yet: the collection is empty.
+			return &algebra.Const{Data: types.NewBag()}, nil
+		case 1:
+			return inputs[0], nil
+		default:
+			return &algebra.Union{Inputs: inputs}, nil
+		}
+	}
+	return nil, fmt.Errorf("mediator: unknown collection %q", name)
+}
+
+func (r planResolver) extentPlan(me *catalog.MetaExtent) algebra.Node {
+	ref := r.m.catalog.ExtentRef(me)
+	return &algebra.Submit{Repo: me.Repository, Input: &algebra.Get{Ref: ref}}
+}
+
+// valueResolver implements oql.Resolver for the reference evaluation of
+// correlated subqueries: names materialize by planning and running them.
+type valueResolver struct {
+	m *Mediator
+}
+
+// Resolve implements oql.Resolver.
+func (r valueResolver) Resolve(name string, star bool) (types.Value, error) {
+	// Views materialize by evaluating their expanded body.
+	if body, ok := r.m.catalog.View(name); ok && !star {
+		expanded, err := r.m.expandViews(body)
+		if err != nil {
+			return nil, err
+		}
+		return oql.Eval(expanded, nil, r)
+	}
+	plan, err := planResolver{m: r.m}.ResolvePlan(name, star)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.m.timeout)
+	defer cancel()
+	p, err := r.m.buildPhysical(plan)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(ctx)
+}
+
+// expandViews substitutes view bodies for view references, recursively.
+// The catalog guarantees acyclicity, so expansion terminates.
+func (m *Mediator) expandViews(e oql.Expr) (oql.Expr, error) {
+	return m.expandViewsBound(e, map[string]bool{})
+}
+
+func (m *Mediator) expandViewsBound(e oql.Expr, bound map[string]bool) (oql.Expr, error) {
+	switch x := e.(type) {
+	case *oql.Ident:
+		if x.Star || bound[x.Name] {
+			return x, nil
+		}
+		body, ok := m.catalog.View(x.Name)
+		if !ok {
+			return x, nil
+		}
+		return m.expandViewsBound(body, map[string]bool{})
+	case *oql.Literal:
+		return x, nil
+	case *oql.Path:
+		base, err := m.expandViewsBound(x.Base, bound)
+		if err != nil {
+			return nil, err
+		}
+		return &oql.Path{Base: base, Field: x.Field}, nil
+	case *oql.Unary:
+		inner, err := m.expandViewsBound(x.X, bound)
+		if err != nil {
+			return nil, err
+		}
+		return &oql.Unary{Op: x.Op, X: inner}, nil
+	case *oql.Binary:
+		l, err := m.expandViewsBound(x.L, bound)
+		if err != nil {
+			return nil, err
+		}
+		r, err := m.expandViewsBound(x.R, bound)
+		if err != nil {
+			return nil, err
+		}
+		return &oql.Binary{Op: x.Op, L: l, R: r}, nil
+	case *oql.StructCtor:
+		fields := make([]oql.StructField, len(x.Fields))
+		for i, f := range x.Fields {
+			fe, err := m.expandViewsBound(f.Expr, bound)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = oql.StructField{Name: f.Name, Expr: fe}
+		}
+		return &oql.StructCtor{Fields: fields}, nil
+	case *oql.Call:
+		args := make([]oql.Expr, len(x.Args))
+		for i, a := range x.Args {
+			ae, err := m.expandViewsBound(a, bound)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ae
+		}
+		return &oql.Call{Fn: x.Fn, Args: args}, nil
+	case *oql.Select:
+		inner := make(map[string]bool, len(bound)+len(x.From))
+		for k := range bound {
+			inner[k] = true
+		}
+		from := make([]oql.Binding, len(x.From))
+		for i, b := range x.From {
+			dom, err := m.expandViewsBound(b.Domain, inner)
+			if err != nil {
+				return nil, err
+			}
+			from[i] = oql.Binding{Var: b.Var, Domain: dom}
+			inner[b.Var] = true
+		}
+		proj, err := m.expandViewsBound(x.Proj, inner)
+		if err != nil {
+			return nil, err
+		}
+		out := &oql.Select{Distinct: x.Distinct, Proj: proj, From: from}
+		if x.Where != nil {
+			w, err := m.expandViewsBound(x.Where, inner)
+			if err != nil {
+				return nil, err
+			}
+			out.Where = w
+		}
+		return out, nil
+	default:
+		return e, nil
+	}
+}
+
+// mediatorCaps implements algebra.Capabilities: a submit expression is
+// acceptable when every extent it reads is served by the same wrapper and
+// that wrapper's grammar derives the expression.
+type mediatorCaps struct {
+	m *Mediator
+}
+
+// Accepts implements algebra.Capabilities.
+func (c *mediatorCaps) Accepts(repo string, expr algebra.Node) bool {
+	w, err := c.m.wrapperForExpr(repo, expr)
+	if err != nil {
+		return false
+	}
+	return w.Grammar().AcceptsExpr(expr)
+}

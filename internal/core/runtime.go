@@ -1,0 +1,278 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"disco/internal/algebra"
+	"disco/internal/capability"
+	"disco/internal/catalog"
+	"disco/internal/physical"
+	"disco/internal/types"
+	"disco/internal/wire"
+	"disco/internal/wrapper"
+)
+
+// buildPhysical wires a logical plan to the mediator's runtime.
+func (m *Mediator) buildPhysical(plan algebra.Node) (*physical.Plan, error) {
+	rt := &physical.Runtime{
+		Submit:   m.submit,
+		Resolver: valueResolver{m: m},
+	}
+	return physical.Build(plan, rt)
+}
+
+// submit is the mediator side of the exec physical algorithm (§3.3): it
+// finds the wrapper serving the expression, translates the expression into
+// the source namespace via the local transformation maps, executes it,
+// renames and type-checks the results, and records the call in the cost
+// history.
+func (m *Mediator) submit(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
+	w, err := m.wrapperForExpr(repo, expr)
+	if err != nil {
+		return nil, err
+	}
+	src, err := algebra.ToSource(expr)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	bag, err := w.Execute(ctx, src)
+	if err != nil {
+		return nil, classifySourceError(repo, err)
+	}
+	elapsed := time.Since(start)
+
+	// Reformat: rename attributes back into the mediator namespace.
+	refs := exprRefs(expr)
+	bag, err = types.BagMap(bag, func(e types.Value) (types.Value, error) {
+		st, ok := e.(*types.Struct)
+		if !ok {
+			return e, nil
+		}
+		for _, ref := range refs {
+			st = algebra.FromSource(ref, st)
+		}
+		return st, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Run-time type check (§2.1): full-object retrievals must conform to
+	// the mediator interface.
+	if get, ok := expr.(*algebra.Get); ok && get.Ref.Iface != "" {
+		if err := wrapper.CheckResult(m.catalog.Schema(), get.Ref.Iface, bag); err != nil {
+			return nil, err
+		}
+	}
+
+	// Learn the call's cost (§3.3).
+	m.history.Record(repo, expr, elapsed, bag.Len())
+	return bag, nil
+}
+
+func exprRefs(expr algebra.Node) []algebra.ExtentRef {
+	var refs []algebra.ExtentRef
+	algebra.Walk(expr, func(n algebra.Node) {
+		if g, ok := n.(*algebra.Get); ok {
+			refs = append(refs, g.Ref)
+		}
+	})
+	return refs
+}
+
+// classifySourceError separates unavailability (no answer: timeouts,
+// refused connections) from genuine query failures reported by a live
+// source. Partial evaluation applies only to the former.
+func classifySourceError(repo string, err error) error {
+	var already *physical.UnavailableError
+	if errors.As(err, &already) {
+		return err
+	}
+	var upstream *wire.PartialUpstreamError
+	if errors.As(err, &upstream) {
+		// A mediator source answered partially: from here that is an
+		// unavailability, and this mediator's partial evaluation produces
+		// its own resubmittable answer.
+		return &physical.UnavailableError{Repo: repo, Err: err}
+	}
+	var remote *wire.RemoteError
+	if errors.As(err, &remote) {
+		return err // the source answered: a real error
+	}
+	var netErr net.Error
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return &physical.UnavailableError{Repo: repo, Err: err}
+	case errors.As(err, &netErr):
+		return &physical.UnavailableError{Repo: repo, Err: err}
+	case isConnRefused(err):
+		return &physical.UnavailableError{Repo: repo, Err: err}
+	default:
+		return err
+	}
+}
+
+func isConnRefused(err error) bool {
+	var opErr *net.OpError
+	return errors.As(err, &opErr)
+}
+
+// wrapperForExpr locates the wrapper instance serving a submit expression:
+// every extent read by the expression must be declared with the same
+// wrapper object.
+func (m *Mediator) wrapperForExpr(repo string, expr algebra.Node) (wrapper.Wrapper, error) {
+	refs := exprRefs(expr)
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("mediator: submit to %s reads no extents", repo)
+	}
+	wrapperName := ""
+	for _, ref := range refs {
+		me, err := m.catalog.Extent(ref.Extent)
+		if err != nil {
+			return nil, err
+		}
+		if me.Repository != repo {
+			return nil, fmt.Errorf("mediator: extent %s lives at %s, not %s", ref.Extent, me.Repository, repo)
+		}
+		if wrapperName == "" {
+			wrapperName = me.Wrapper
+		} else if me.Wrapper != wrapperName {
+			return nil, fmt.Errorf("mediator: extents of one submit use different wrappers (%s, %s)", wrapperName, me.Wrapper)
+		}
+	}
+	return m.wrapperInstance(wrapperName, repo)
+}
+
+// wrapperInstance returns (instantiating on first use) the wrapper object
+// bound to a repository.
+func (m *Mediator) wrapperInstance(wrapperName, repoName string) (wrapper.Wrapper, error) {
+	key := wrapperName + "@" + repoName
+	m.mu.Lock()
+	if w, ok := m.wrappers[key]; ok {
+		m.mu.Unlock()
+		return w, nil
+	}
+	m.mu.Unlock()
+
+	wdecl, err := m.catalog.Wrapper(wrapperName)
+	if err != nil {
+		return nil, err
+	}
+	repo, err := m.catalog.Repository(repoName)
+	if err != nil {
+		return nil, err
+	}
+	w, err := m.instantiate(wdecl, repo)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.wrappers[key] = w
+	m.mu.Unlock()
+	return w, nil
+}
+
+// instantiate builds a wrapper implementation for a wrapper declaration and
+// repository address.
+func (m *Mediator) instantiate(w *catalog.Wrapper, repo *catalog.Repository) (wrapper.Wrapper, error) {
+	switch w.Kind {
+	case "sql":
+		q, err := m.querierFor(repo, wire.LangSQL)
+		if err != nil {
+			return nil, err
+		}
+		// An ops property restricts the advertised operator set, e.g.
+		// Wrapper("sql", ops="get,select") models a server that filters
+		// but cannot project or join.
+		if spec := w.Props["ops"]; spec != "" {
+			ops, err := parseOpsSpec(spec)
+			if err != nil {
+				return nil, fmt.Errorf("mediator: wrapper %s: %w", w.Name, err)
+			}
+			return wrapper.NewSQLWithOps(q, ops), nil
+		}
+		return wrapper.NewSQL(q), nil
+	case "scan":
+		q, err := m.querierFor(repo, wire.LangSQL)
+		if err != nil {
+			return nil, err
+		}
+		return wrapper.NewScan(wrapper.NewSQL(q)), nil
+	case "doc":
+		q, err := m.querierFor(repo, wire.LangDoc)
+		if err != nil {
+			return nil, err
+		}
+		return wrapper.NewDoc(q), nil
+	case "csv":
+		path := w.Props["path"]
+		collection := w.Props["collection"]
+		if path == "" || collection == "" {
+			return nil, fmt.Errorf("mediator: csv wrapper %s needs path and collection properties", w.Name)
+		}
+		return wrapper.NewCSV(collection, path)
+	case "mediator":
+		addr := repo.Address
+		if strings.HasPrefix(addr, "mem:") {
+			return nil, fmt.Errorf("mediator: mediator wrapper %s needs a network address", w.Name)
+		}
+		return &mediatorWrapper{client: wire.NewClient(addr)}, nil
+	default:
+		return nil, fmt.Errorf("mediator: unknown wrapper kind %q", w.Kind)
+	}
+}
+
+// parseOpsSpec parses an ops="get,select,..." wrapper property into an
+// operator set. Composition, connectives and all comparisons are enabled
+// whenever any operator beyond get is present.
+func parseOpsSpec(spec string) (capability.OpSet, error) {
+	ops := capability.OpSet{}
+	for _, tok := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(strings.ToLower(tok)) {
+		case "get":
+			ops.Get = true
+		case "select":
+			ops.Select = true
+		case "project":
+			ops.Project = true
+		case "join":
+			ops.Join = true
+		case "distinct":
+			ops.Distinct = true
+		case "":
+		default:
+			return ops, fmt.Errorf("unknown operator %q in ops spec", tok)
+		}
+	}
+	if ops.Select || ops.Project || ops.Join || ops.Distinct {
+		ops.Compose = true
+		ops.Connectives = true
+	}
+	return ops, nil
+}
+
+// querierFor resolves a repository address to a querier: mem: addresses
+// bind to registered in-process engines, everything else dials TCP.
+func (m *Mediator) querierFor(repo *catalog.Repository, lang string) (wrapper.Querier, error) {
+	addr := repo.Address
+	if name, ok := strings.CutPrefix(addr, "mem:"); ok {
+		m.mu.Lock()
+		eng, found := m.engines[name]
+		m.mu.Unlock()
+		if !found {
+			return nil, fmt.Errorf("mediator: no in-process engine %q (repository %s)", name, repo.Name)
+		}
+		return wrapper.EngineQuerier{Engine: eng}, nil
+	}
+	if addr == "" {
+		return nil, fmt.Errorf("mediator: repository %s has no address", repo.Name)
+	}
+	addr = strings.TrimPrefix(addr, "tcp://")
+	return wrapper.RemoteQuerier{Client: wire.NewClient(addr), Lang: lang}, nil
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"disco/internal/algebra"
+	"disco/internal/capability"
+	"disco/internal/source"
+	"disco/internal/types"
+	"disco/internal/wire"
+)
+
+// Handler adapts a Mediator to the wire protocol so that mediators compose:
+// one mediator serves as a data source of another (the M-above-M shape of
+// Figure 1). It answers OQL queries and advertises a full-capability
+// grammar.
+type Handler struct {
+	M *Mediator
+}
+
+var (
+	_ wire.Handler        = Handler{}
+	_ wire.PartialHandler = Handler{}
+)
+
+// HandleQuery implements wire.Handler.
+func (h Handler) HandleQuery(_ context.Context, lang, text string) (json.RawMessage, error) {
+	if lang != wire.LangOQL {
+		return nil, fmt.Errorf("mediator serves %s, got %q", wire.LangOQL, lang)
+	}
+	v, err := h.M.Query(text)
+	if err != nil {
+		return nil, err
+	}
+	return types.EncodeValue(v)
+}
+
+// HandleQueryPartial implements wire.PartialHandler: when this mediator's
+// own sources are unavailable it answers with the residual query, which
+// the querying mediator treats as (partial) unavailability of this source
+// — partial answers compose across mediator levels because answers are
+// queries.
+func (h Handler) HandleQueryPartial(_ context.Context, lang, text string) (json.RawMessage, string, []string, error) {
+	if lang != wire.LangOQL {
+		return nil, "", nil, fmt.Errorf("mediator serves %s, got %q", wire.LangOQL, lang)
+	}
+	ans, err := h.M.QueryPartial(text)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	if !ans.Complete {
+		return nil, ans.Residual.String(), ans.Unavailable, nil
+	}
+	value, err := types.EncodeValue(ans.Value)
+	return value, "", nil, err
+}
+
+// Capability implements wire.Handler.
+func (h Handler) Capability() string {
+	return capability.Standard(capability.FullOpSet()).String()
+}
+
+// Collections implements wire.Handler.
+func (h Handler) Collections() []string {
+	var names []string
+	for _, me := range h.M.Catalog().Extents() {
+		names = append(names, me.Name)
+	}
+	return names
+}
+
+// Serve starts a wire server exposing the mediator as a data source.
+func (m *Mediator) Serve(addr string) (*wire.Server, error) {
+	return wire.NewServer(addr, Handler{M: m})
+}
+
+// EngineHandler adapts an in-process source.Engine to the wire protocol,
+// used by cmd/disco-server and the experiment harness to run data-source
+// servers.
+type EngineHandler struct {
+	Engine source.Engine
+	// Grammar is the capability text served to mediators; data-source
+	// servers advertise what their wrapper kind supports.
+	Grammar string
+	// Langs lists accepted query languages (defaults to any).
+	Langs []string
+}
+
+var _ wire.Handler = EngineHandler{}
+
+// HandleQuery implements wire.Handler.
+func (h EngineHandler) HandleQuery(_ context.Context, lang, text string) (json.RawMessage, error) {
+	if len(h.Langs) > 0 {
+		ok := false
+		for _, l := range h.Langs {
+			if l == lang {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("source serves %v, got %q", h.Langs, lang)
+		}
+	}
+	b, err := h.Engine.Query(text)
+	if err != nil {
+		return nil, err
+	}
+	return types.EncodeValue(b)
+}
+
+// Capability implements wire.Handler.
+func (h EngineHandler) Capability() string { return h.Grammar }
+
+// Collections implements wire.Handler.
+func (h EngineHandler) Collections() []string { return h.Engine.Collections() }
+
+// Versions implements wire.VersionedHandler when the engine tracks
+// versions; it returns nil otherwise.
+func (h EngineHandler) Versions() map[string]int64 {
+	if v, ok := h.Engine.(source.Versioned); ok {
+		return v.Versions()
+	}
+	return nil
+}
+
+// mediatorWrapper lets one mediator act as a data source of another: it
+// converts the submitted logical expression back to OQL (location
+// transparency) and ships the text to the remote mediator.
+type mediatorWrapper struct {
+	client *wire.Client
+}
+
+// Grammar implements wrapper.Wrapper: a mediator evaluates full OQL, so
+// every operator composes.
+func (*mediatorWrapper) Grammar() *capability.Grammar {
+	return capability.Standard(capability.FullOpSet())
+}
+
+// Execute implements wrapper.Wrapper.
+func (w *mediatorWrapper) Execute(ctx context.Context, expr algebra.Node) (*types.Bag, error) {
+	q, err := algebra.ToOQL(expr)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := w.client.Query(ctx, wire.LangOQL, q.String())
+	if err != nil {
+		return nil, err
+	}
+	v, err := types.DecodeValue(raw)
+	if err != nil {
+		return nil, err
+	}
+	b, ok := v.(*types.Bag)
+	if !ok {
+		return nil, fmt.Errorf("remote mediator returned %s, want bag", v.Kind())
+	}
+	return b, nil
+}

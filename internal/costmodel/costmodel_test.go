@@ -1,0 +1,210 @@
+package costmodel
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"disco/internal/algebra"
+	"disco/internal/oql"
+)
+
+func get(table string) *algebra.Get {
+	return &algebra.Get{Ref: algebra.ExtentRef{Extent: table, Source: table, Attrs: []string{"a"}}}
+}
+
+func sel(t *testing.T, pred string, in algebra.Node) *algebra.Select {
+	t.Helper()
+	e, err := oql.ParseQuery(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &algebra.Select{Pred: e, Input: in}
+}
+
+func TestDefaultEstimate(t *testing.T) {
+	h := New()
+	est := h.Estimate("r0", get("t"))
+	if est.Basis != BasisDefault {
+		t.Fatalf("basis = %s", est.Basis)
+	}
+	// §3.3: "a default time cost of 0 and a data cost of 1 is used".
+	if est.Time != 0 || est.Rows != 1 {
+		t.Errorf("default = (%v, %v), want (0, 1)", est.Time, est.Rows)
+	}
+}
+
+func TestExactMatch(t *testing.T) {
+	h := New()
+	expr := sel(t, `a > 10`, get("t"))
+	h.Record("r0", expr, 100*time.Millisecond, 50)
+	est := h.Estimate("r0", expr)
+	if est.Basis != BasisExact {
+		t.Fatalf("basis = %s", est.Basis)
+	}
+	if est.Time != 100*time.Millisecond || est.Rows != 50 {
+		t.Errorf("estimate = %+v", est)
+	}
+}
+
+func TestExactMatchIsPerRepo(t *testing.T) {
+	h := New()
+	expr := sel(t, `a > 10`, get("t"))
+	h.Record("r0", expr, 100*time.Millisecond, 50)
+	if est := h.Estimate("r1", expr); est.Basis != BasisDefault {
+		t.Errorf("another repo should not match: %s", est.Basis)
+	}
+}
+
+func TestSmoothingConverges(t *testing.T) {
+	h := New(WithAlpha(0.5))
+	expr := get("t")
+	// Observations trend from 100ms to 200ms; the smoothed estimate must
+	// land between, closer to recent values.
+	h.Record("r0", expr, 100*time.Millisecond, 10)
+	h.Record("r0", expr, 200*time.Millisecond, 20)
+	est := h.Estimate("r0", expr)
+	if est.Time <= 100*time.Millisecond || est.Time >= 200*time.Millisecond {
+		t.Errorf("smoothed time = %v, want between observations", est.Time)
+	}
+	if est.Time < 150*time.Millisecond {
+		t.Errorf("smoothed time = %v, should weight the recent observation", est.Time)
+	}
+}
+
+func TestBoundedHistory(t *testing.T) {
+	h := New(WithMaxKeep(3))
+	expr := get("t")
+	// Early outliers fall out of the bounded window entirely.
+	h.Record("r0", expr, time.Hour, 1000000)
+	for i := 0; i < 3; i++ {
+		h.Record("r0", expr, 10*time.Millisecond, 5)
+	}
+	est := h.Estimate("r0", expr)
+	if est.Time > 20*time.Millisecond {
+		t.Errorf("outlier should have aged out: %v", est.Time)
+	}
+	if got := h.Observations("r0", expr); got != 3 {
+		t.Errorf("observations = %d, want 3", got)
+	}
+}
+
+func TestCloseMatch(t *testing.T) {
+	h := New()
+	seen := sel(t, `a > 10`, get("t"))
+	similar := sel(t, `a > 99`, get("t"))     // same shape, new constant
+	differentOp := sel(t, `a = 10`, get("t")) // comparison operator differs
+	h.Record("r0", seen, 80*time.Millisecond, 40)
+
+	est := h.Estimate("r0", similar)
+	if est.Basis != BasisClose {
+		t.Fatalf("basis = %s, want close", est.Basis)
+	}
+	if est.Rows != 40 {
+		t.Errorf("close rows = %v", est.Rows)
+	}
+	// §3.3: a close match is one "whose comparisons operators match but
+	// whose constants do not match".
+	if est := h.Estimate("r0", differentOp); est.Basis != BasisDefault {
+		t.Errorf("different operator should not close-match: %s", est.Basis)
+	}
+}
+
+func TestExactPreferredOverClose(t *testing.T) {
+	h := New()
+	a := sel(t, `a > 10`, get("t"))
+	b := sel(t, `a > 20`, get("t"))
+	h.Record("r0", a, 10*time.Millisecond, 1)
+	h.Record("r0", b, 90*time.Millisecond, 9)
+	est := h.Estimate("r0", a)
+	if est.Basis != BasisExact {
+		t.Fatalf("basis = %s", est.Basis)
+	}
+	if est.Rows != 1 {
+		t.Errorf("exact estimate contaminated by close observations: %+v", est)
+	}
+}
+
+func TestShapeSignature(t *testing.T) {
+	a := ShapeSignature(sel(t, `a > 10`, get("t")))
+	b := ShapeSignature(sel(t, `a > 42`, get("t")))
+	c := ShapeSignature(sel(t, `a = 10`, get("t")))
+	if a != b {
+		t.Errorf("same shape should share signatures:\n%s\n%s", a, b)
+	}
+	if a == c {
+		t.Errorf("different comparison operators must not share signatures: %s", a)
+	}
+	// Wildcarding reaches join predicates and projections.
+	j := &algebra.Join{L: get("t"), R: get("u"), Pred: mustParse(t, `x = 1`)}
+	j2 := &algebra.Join{L: get("t"), R: get("u"), Pred: mustParse(t, `x = 2`)}
+	if ShapeSignature(j) != ShapeSignature(j2) {
+		t.Error("join constants should wildcard")
+	}
+}
+
+func mustParse(t *testing.T, src string) oql.Expr {
+	t.Helper()
+	e, err := oql.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestConcurrentRecordEstimate(t *testing.T) {
+	h := New()
+	done := make(chan struct{})
+	expr := get("t")
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			h.Record("r0", expr, time.Duration(i)*time.Millisecond, i)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_ = h.Estimate("r0", expr)
+	}
+	<-done
+}
+
+func TestEstimateErrorShrinksWithObservations(t *testing.T) {
+	// The calibration property behind experiment E4: more recorded calls
+	// bring the estimate closer to the steady-state cost.
+	steady := 100 * time.Millisecond
+	var errs []float64
+	for _, k := range []int{1, 2, 4, 8} {
+		h := New()
+		expr := get("t")
+		// First observation is an outlier; the rest are steady.
+		h.Record("r0", expr, 500*time.Millisecond, 10)
+		for i := 1; i < k; i++ {
+			h.Record("r0", expr, steady, 10)
+		}
+		est := h.Estimate("r0", expr)
+		diff := est.Time - steady
+		if diff < 0 {
+			diff = -diff
+		}
+		errs = append(errs, float64(diff))
+	}
+	for i := 1; i < len(errs); i++ {
+		if errs[i] > errs[i-1] {
+			t.Fatalf("estimate error should shrink with more observations: %v", errs)
+		}
+	}
+	if errs[len(errs)-1] >= errs[0]/4 {
+		t.Errorf("error after 8 observations (%v) should be well below after 1 (%v)", errs[3], errs[0])
+	}
+}
+
+func ExampleHistory_Estimate() {
+	h := New()
+	expr := &algebra.Get{Ref: algebra.ExtentRef{Extent: "person0", Source: "person0"}}
+	fmt.Println(h.Estimate("r0", expr).Basis)
+	h.Record("r0", expr, 50*time.Millisecond, 2)
+	fmt.Println(h.Estimate("r0", expr).Basis)
+	// Output:
+	// default
+	// exact
+}

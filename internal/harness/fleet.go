@@ -1,0 +1,203 @@
+// Package harness assembles reproducible experiment federations and runs
+// the experiment suite indexed in DESIGN.md (F1, F2, E1–E6). The same
+// functions back cmd/disco-bench (which prints the tables recorded in
+// EXPERIMENTS.md) and the repository's Go benchmarks.
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"disco/internal/core"
+	"disco/internal/source"
+	"disco/internal/wire"
+)
+
+// Fleet is a mediator federating n homogeneous person sources, optionally
+// served over TCP with controllable availability and latency — the §1.2
+// configuration scaled up.
+type Fleet struct {
+	M       *core.Mediator
+	Servers []*wire.Server // nil entries when in-process
+	Stores  []*source.RelStore
+	// RowsPerSource is the number of person rows in each source.
+	RowsPerSource int
+}
+
+// FleetConfig configures NewPersonFleet.
+type FleetConfig struct {
+	// Sources is the number of data sources (and extents).
+	Sources int
+	// RowsPerSource is the table size at each source.
+	RowsPerSource int
+	// TCP serves each source over a real socket; otherwise sources are
+	// in-process engines.
+	TCP bool
+	// Latency is injected per TCP reply.
+	Latency time.Duration
+	// Timeout is the mediator's evaluation deadline.
+	Timeout time.Duration
+	// WrapperODL overrides the wrapper declaration; default full SQL.
+	WrapperODL string
+}
+
+// NewPersonFleet builds the fleet. Each source i holds table person<i> of
+// synthetic people (deterministic per i).
+func NewPersonFleet(cfg FleetConfig) (*Fleet, error) {
+	if cfg.Sources <= 0 {
+		return nil, fmt.Errorf("harness: fleet needs at least one source")
+	}
+	if cfg.RowsPerSource <= 0 {
+		cfg.RowsPerSource = 50
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	f := &Fleet{
+		M:             core.New(core.WithTimeout(cfg.Timeout)),
+		RowsPerSource: cfg.RowsPerSource,
+	}
+	wrapperODL := cfg.WrapperODL
+	if wrapperODL == "" {
+		wrapperODL = `w0 := WrapperPostgres();`
+	}
+
+	var odl strings.Builder
+	odl.WriteString(wrapperODL + "\n")
+	odl.WriteString(`
+interface Person (extent person) {
+    attribute Short id;
+    attribute String name;
+    attribute Short salary;
+}
+`)
+	for i := 0; i < cfg.Sources; i++ {
+		table := fmt.Sprintf("person%d", i)
+		store := source.NewRelStore()
+		if err := source.GenPeople(store, table, cfg.RowsPerSource, int64(i)); err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Stores = append(f.Stores, store)
+
+		addr := fmt.Sprintf("mem:r%d", i)
+		if cfg.TCP {
+			srv, err := wire.NewServer("127.0.0.1:0", core.EngineHandler{Engine: store})
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			if cfg.Latency > 0 {
+				srv.SetLatency(cfg.Latency)
+			}
+			f.Servers = append(f.Servers, srv)
+			addr = srv.Addr()
+		} else {
+			f.Servers = append(f.Servers, nil)
+			f.M.RegisterEngine(fmt.Sprintf("r%d", i), store)
+		}
+		fmt.Fprintf(&odl, "r%d := Repository(address=%q);\n", i, addr)
+		fmt.Fprintf(&odl, "extent %s of Person wrapper w0 repository r%d;\n", table, i)
+	}
+	if err := f.M.ExecODL(odl.String()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// Close shuts down any TCP servers.
+func (f *Fleet) Close() {
+	for _, s := range f.Servers {
+		if s != nil {
+			s.Close()
+		}
+	}
+}
+
+// SetAvailable flips the availability of source i (TCP fleets only).
+func (f *Fleet) SetAvailable(i int, up bool) {
+	if f.Servers[i] != nil {
+		f.Servers[i].SetAvailable(up)
+	}
+}
+
+// AllAvailable restores every source.
+func (f *Fleet) AllAvailable() {
+	for i := range f.Servers {
+		f.SetAvailable(i, true)
+	}
+}
+
+// TotalBytesOut sums the bytes every source shipped to the mediator.
+func (f *Fleet) TotalBytesOut() int64 {
+	var total int64
+	for _, s := range f.Servers {
+		if s != nil {
+			total += s.Stats().BytesOut.Load()
+		}
+	}
+	return total
+}
+
+// TotalQueries sums the queries the sources served.
+func (f *Fleet) TotalQueries() int64 {
+	var total int64
+	for _, s := range f.Servers {
+		if s != nil {
+			total += s.Stats().Queries.Load()
+		}
+	}
+	return total
+}
+
+// Table is one experiment's printable result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table in aligned plain text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestResubmissionInvariantRandomOutages is the §4 property under random
+// failure patterns: whatever subset of sources is down when a query runs,
+// resubmitting the partial answer after full recovery yields exactly the
+// answer the original query gives with everything up.
+func TestResubmissionInvariantRandomOutages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timeout-bound test")
+	}
+	f, err := NewPersonFleet(FleetConfig{
+		Sources: 3, RowsPerSource: 10, TCP: true, Timeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	queries := []string{
+		`select x.name from x in person where x.salary > 500`,
+		`select struct(n: x.name, s: x.salary) from x in person where x.salary < 100`,
+		`count(person)`,
+		`select distinct x.name from x in person`,
+		`sum(select x.salary from x in person)`,
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		q := queries[trial%len(queries)]
+
+		// Ground truth with everything available.
+		f.AllAvailable()
+		want, err := f.M.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Random non-empty outage.
+		down := 0
+		for i := 0; i < 3; i++ {
+			avail := rng.Intn(2) == 0
+			f.SetAvailable(i, avail)
+			if !avail {
+				down++
+			}
+		}
+		if down == 0 {
+			f.SetAvailable(rng.Intn(3), false)
+			down = 1
+		}
+
+		ans, err := f.M.QueryPartial(q)
+		if err != nil {
+			t.Fatalf("trial %d %q: %v", trial, q, err)
+		}
+		if ans.Complete {
+			t.Fatalf("trial %d: answer complete with %d sources down", trial, down)
+		}
+		if len(ans.Unavailable) != down {
+			t.Errorf("trial %d: unavailable = %v, want %d repos", trial, ans.Unavailable, down)
+		}
+
+		// Recovery + resubmission.
+		f.AllAvailable()
+		re, err := f.M.QueryPartial(ans.Residual.String())
+		if err != nil {
+			t.Fatalf("trial %d resubmit %q: %v", trial, ans.Residual, err)
+		}
+		if !re.Complete {
+			t.Fatalf("trial %d: resubmission still partial: %s", trial, re.Residual)
+		}
+		if !re.Value.Equal(want) {
+			t.Errorf("trial %d %q (down=%d):\n resubmitted %s\n want        %s\n residual    %s",
+				trial, q, down, re.Value, want, ans.Residual)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"disco/internal/oql"
+)
+
+// TestSoakConcurrentQueriesWithFlappingSources drives a federation with
+// parallel clients while sources flap, asserting the system's contract the
+// whole time: every call returns either a complete answer or a parseable
+// partial answer — never a crash, deadlock or malformed residual.
+func TestSoakConcurrentQueriesWithFlappingSources(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	f, err := NewPersonFleet(FleetConfig{
+		Sources: 4, RowsPerSource: 25, TCP: true, Timeout: 120 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const duration = 2 * time.Second
+	stop := make(chan struct{})
+
+	// The flapper randomly toggles source availability.
+	var flapWG sync.WaitGroup
+	flapWG.Add(1)
+	go func() {
+		defer flapWG.Done()
+		r := rand.New(rand.NewSource(7))
+		ticker := time.NewTicker(40 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				f.AllAvailable()
+				return
+			case <-ticker.C:
+				f.SetAvailable(r.Intn(4), r.Intn(2) == 0)
+			}
+		}
+	}()
+
+	queries := []string{
+		`select x.name from x in person where x.salary > 500`,
+		`count(person)`,
+		`select struct(n: x.name, s: x.salary) from x in person where x.salary < 250`,
+		`select distinct x.name from x in person1`,
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	partials := make(chan string, 4096)
+	deadline := time.Now().Add(duration)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				ans, err := f.M.QueryPartial(queries[(c+i)%len(queries)])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !ans.Complete {
+					select {
+					case partials <- ans.Residual.String():
+					default:
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	flapWG.Wait()
+	close(errs)
+	close(partials)
+
+	for err := range errs {
+		t.Errorf("soak error: %v", err)
+	}
+	seen := 0
+	for residual := range partials {
+		seen++
+		if _, err := oql.ParseQuery(residual); err != nil {
+			t.Fatalf("malformed residual under churn: %q: %v", residual, err)
+		}
+	}
+	t.Logf("soak: %d partial answers, all parseable", seen)
+}

@@ -1,0 +1,25 @@
+package odl
+
+import "testing"
+
+// FuzzParse checks that the ODL parser never panics on arbitrary input.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`interface Person (extent person) { attribute String name; }`,
+		`extent e of T wrapper w repository r map ((a=b),(c=d));`,
+		`r0 := Repository(host="h", name="n", address="1.2.3.4");`,
+		`w0 := WrapperPostgres();`,
+		`define v as select x.a from x in c;`,
+		`drop extent e;`,
+		`interface :`,
+		`extent`,
+		`x := (`,
+		"`",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Parse(src) // must not panic
+	})
+}

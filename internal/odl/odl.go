@@ -1,0 +1,579 @@
+// Package odl parses the ODMG object definition language subset DISCO uses,
+// plus the paper's extensions (§2): interface declarations with implicit
+// extents, the special extent syntax binding an extent to a wrapper and
+// repository with an optional local transformation map, Repository and
+// Wrapper object construction, view definitions, and extent removal.
+//
+// The grammar, one statement per ";":
+//
+//	interface NAME [:SUPER] [(extent ENAME)] { attribute TYPE NAME; ... };
+//	extent NAME of IFACE wrapper W repository R [map ((a=b), ...)];
+//	NAME := Repository(key="value", ...);
+//	NAME := WrapperKIND(key="value", ...);   -- e.g. WrapperPostgres()
+//	NAME := Wrapper("kind", key="value", ...);
+//	define NAME as OQL-QUERY;
+//	drop extent NAME;
+package odl
+
+import (
+	"fmt"
+	"strings"
+
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+// Statement is one parsed ODL statement.
+type Statement interface{ stmt() }
+
+// InterfaceDecl declares a mediator interface.
+type InterfaceDecl struct {
+	Iface *types.Interface
+}
+
+func (*InterfaceDecl) stmt() {}
+
+// ExtentDecl is the DISCO extent extension:
+// extent person0 of Person wrapper w0 repository r0 map ((name=n));
+type ExtentDecl struct {
+	Name       string
+	Iface      string
+	Wrapper    string
+	Repository string
+	// SourceName is the data-source collection name from the map clause
+	// (empty means same as Name).
+	SourceName string
+	// AttrMap maps mediator attribute names to source attribute names.
+	AttrMap map[string]string
+}
+
+func (*ExtentDecl) stmt() {}
+
+// RepositoryDecl constructs a Repository object:
+// r0 := Repository(host="rodin", name="db", address="123.45.6.7").
+type RepositoryDecl struct {
+	Name  string
+	Props map[string]string
+}
+
+func (*RepositoryDecl) stmt() {}
+
+// WrapperDecl constructs a Wrapper object: w0 := WrapperPostgres().
+type WrapperDecl struct {
+	Name  string
+	Kind  string
+	Props map[string]string
+}
+
+func (*WrapperDecl) stmt() {}
+
+// ViewDecl is an OQL view definition: define double as select ... .
+type ViewDecl struct {
+	Name  string
+	Query oql.Expr
+}
+
+func (*ViewDecl) stmt() {}
+
+// DropExtentDecl removes an extent: drop extent person0.
+type DropExtentDecl struct {
+	Name string
+}
+
+func (*DropExtentDecl) stmt() {}
+
+// Error is an ODL parse error with its byte offset.
+type Error struct {
+	Off int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("odl: offset %d: %s", e.Off, e.Msg) }
+
+// Parse parses a sequence of ODL statements.
+func Parse(src string) ([]Statement, error) {
+	p := &parser{src: src}
+	if err := p.lex(); err != nil {
+		return nil, err
+	}
+	var out []Statement
+	for !p.atEOF() {
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// --- lexer -----------------------------------------------------------------
+
+type tkind uint8
+
+const (
+	tEOF tkind = iota + 1
+	tIdent
+	tString
+	tNumber
+	tPunct
+)
+
+type tok struct {
+	kind tkind
+	text string
+	off  int
+}
+
+type parser struct {
+	src  string
+	toks []tok
+	i    int
+}
+
+func (p *parser) lex() error {
+	i := 0
+	src := p.src
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case isLetter(c):
+			start := i
+			for i < len(src) && (isLetter(src[i]) || isDigit(src[i])) {
+				i++
+			}
+			p.toks = append(p.toks, tok{kind: tIdent, text: src[start:i], off: start})
+		case isDigit(c):
+			start := i
+			for i < len(src) && (isDigit(src[i]) || src[i] == '.') {
+				i++
+			}
+			p.toks = append(p.toks, tok{kind: tNumber, text: src[start:i], off: start})
+		case c == '"':
+			start := i
+			i++
+			var b strings.Builder
+			for {
+				if i >= len(src) {
+					return &Error{Off: start, Msg: "unterminated string"}
+				}
+				if src[i] == '"' {
+					i++
+					break
+				}
+				if src[i] == '\\' && i+1 < len(src) {
+					i++
+				}
+				b.WriteByte(src[i])
+				i++
+			}
+			p.toks = append(p.toks, tok{kind: tString, text: b.String(), off: start})
+		case c == ':' && i+1 < len(src) && src[i+1] == '=':
+			p.toks = append(p.toks, tok{kind: tPunct, text: ":=", off: i})
+			i += 2
+		// The set includes OQL operator characters so that define bodies
+		// (sliced as raw text and reparsed by the OQL parser) lex through.
+		case strings.IndexByte("{}():;,=<>*.+-/!", c) >= 0:
+			p.toks = append(p.toks, tok{kind: tPunct, text: string(c), off: i})
+			i++
+		default:
+			return &Error{Off: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	p.toks = append(p.toks, tok{kind: tEOF, off: len(src)})
+	return nil
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// --- parser helpers ---------------------------------------------------------
+
+func (p *parser) cur() tok { return p.toks[p.i] }
+
+func (p *parser) atEOF() bool { return p.cur().kind == tEOF }
+
+func (p *parser) advance() tok {
+	t := p.toks[p.i]
+	if t.kind != tEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return &Error{Off: p.cur().off, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) isIdent(text string) bool {
+	t := p.cur()
+	return t.kind == tIdent && t.text == text
+}
+
+func (p *parser) isPunct(text string) bool {
+	t := p.cur()
+	return t.kind == tPunct && t.text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.isIdent(text) || p.isPunct(text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errorf("expected %q, found %q", text, p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tIdent {
+		return "", p.errorf("expected identifier, found %q", t.text)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+// --- statements --------------------------------------------------------------
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch {
+	case p.isIdent("interface"):
+		return p.parseInterface()
+	case p.isIdent("extent"):
+		return p.parseExtent()
+	case p.isIdent("define"):
+		return p.parseDefine()
+	case p.isIdent("drop"):
+		return p.parseDrop()
+	case p.cur().kind == tIdent && p.toks[p.i+1].kind == tPunct && p.toks[p.i+1].text == ":=":
+		return p.parseAssign()
+	default:
+		return nil, p.errorf("unexpected %q at statement start", p.cur().text)
+	}
+}
+
+func (p *parser) parseInterface() (Statement, error) {
+	p.advance() // interface
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	iface := &types.Interface{Name: name}
+	if p.accept(":") {
+		super, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		iface.Super = super
+	}
+	if p.accept("(") {
+		if err := p.expect("extent"); err != nil {
+			return nil, err
+		}
+		ext, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		iface.ExtentName = ext
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.accept("}") {
+		if err := p.expect("attribute"); err != nil {
+			return nil, err
+		}
+		at, err := p.parseAttrType()
+		if err != nil {
+			return nil, err
+		}
+		aname, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		iface.Attrs = append(iface.Attrs, types.Attribute{Name: aname, Type: at})
+	}
+	p.accept(";") // optional trailing semicolon
+	return &InterfaceDecl{Iface: iface}, nil
+}
+
+func (p *parser) parseAttrType() (types.AttrType, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return types.AttrType{}, err
+	}
+	switch name {
+	case "String":
+		return types.ScalarAttr(types.TString), nil
+	case "Short", "Long", "Int", "Integer":
+		return types.ScalarAttr(types.TInt), nil
+	case "Float", "Double":
+		return types.ScalarAttr(types.TFloat), nil
+	case "Boolean", "Bool":
+		return types.ScalarAttr(types.TBool), nil
+	case "Any":
+		return types.ScalarAttr(types.TAny), nil
+	case "Bag", "List", "Set":
+		if err := p.expect("<"); err != nil {
+			return types.AttrType{}, err
+		}
+		elem, err := p.parseAttrType()
+		if err != nil {
+			return types.AttrType{}, err
+		}
+		if err := p.expect(">"); err != nil {
+			return types.AttrType{}, err
+		}
+		kind := types.TBagOf
+		switch name {
+		case "List":
+			kind = types.TListOf
+		case "Set":
+			kind = types.TSetOf
+		}
+		return types.AttrType{Kind: kind, Elem: &elem}, nil
+	default:
+		// A mediator interface name.
+		return types.AttrType{Kind: types.TInterface, Iface: name}, nil
+	}
+}
+
+func (p *parser) parseExtent() (Statement, error) {
+	p.advance() // extent
+	d := &ExtentDecl{AttrMap: map[string]string{}}
+	var err error
+	if d.Name, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("of"); err != nil {
+		return nil, err
+	}
+	if d.Iface, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("wrapper"); err != nil {
+		return nil, err
+	}
+	if d.Wrapper, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("repository"); err != nil {
+		return nil, err
+	}
+	if d.Repository, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if p.accept("map") {
+		if err := p.parseMap(d); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseMap parses map ((person0=personprime0),(name=n),(salary=s)). Each
+// pair is (sourceName=mediatorName); the pair whose mediator side equals the
+// extent name renames the source collection, the others rename attributes
+// (§2.2.2).
+func (p *parser) parseMap(d *ExtentDecl) error {
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	for {
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		src, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("="); err != nil {
+			return err
+		}
+		med, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		if med == d.Name {
+			d.SourceName = src
+		} else {
+			if _, dup := d.AttrMap[med]; dup {
+				return p.errorf("map lists attribute %q twice", med)
+			}
+			d.AttrMap[med] = src
+		}
+		if !p.accept(",") {
+			break
+		}
+	}
+	return p.expect(")")
+}
+
+func (p *parser) parseAssign() (Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":="); err != nil {
+		return nil, err
+	}
+	ctor, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	props, err := p.parseProps()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	switch {
+	case ctor == "Repository":
+		return &RepositoryDecl{Name: name, Props: props}, nil
+	case ctor == "Wrapper":
+		kind := props["kind"]
+		if kind == "" {
+			return nil, p.errorf("Wrapper(...) needs kind=\"...\"")
+		}
+		delete(props, "kind")
+		return &WrapperDecl{Name: name, Kind: strings.ToLower(kind), Props: props}, nil
+	case strings.HasPrefix(ctor, "Wrapper"):
+		// WrapperPostgres() and friends: the suffix is the kind.
+		return &WrapperDecl{Name: name, Kind: strings.ToLower(ctor[len("Wrapper"):]), Props: props}, nil
+	default:
+		return nil, p.errorf("unknown constructor %q (want Repository or Wrapper*)", ctor)
+	}
+}
+
+func (p *parser) parseProps() (map[string]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	props := map[string]string{}
+	if p.accept(")") {
+		return props, nil
+	}
+	for {
+		t := p.cur()
+		switch t.kind {
+		case tString:
+			// Positional string argument: Wrapper("sql").
+			p.advance()
+			props["kind"] = t.text
+		case tIdent:
+			key, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			v := p.cur()
+			if v.kind != tString && v.kind != tNumber && v.kind != tIdent {
+				return nil, p.errorf("expected value for %q, found %q", key, v.text)
+			}
+			p.advance()
+			if _, dup := props[key]; dup {
+				return nil, p.errorf("property %q given twice", key)
+			}
+			props[key] = v.text
+		default:
+			return nil, p.errorf("expected property, found %q", t.text)
+		}
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return props, nil
+}
+
+// parseDefine slices the raw OQL text between "as" and the statement's
+// terminating semicolon and hands it to the OQL parser.
+func (p *parser) parseDefine() (Statement, error) {
+	p.advance() // define
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("as"); err != nil {
+		return nil, err
+	}
+	start := p.cur().off
+	// Scan tokens until the terminating semicolon.
+	depth := 0
+	for {
+		t := p.cur()
+		if t.kind == tEOF {
+			return nil, p.errorf("unterminated define %s (missing ';')", name)
+		}
+		if t.kind == tPunct {
+			switch t.text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			case ";":
+				if depth == 0 {
+					text := p.src[start:t.off]
+					p.advance() // consume ;
+					q, err := oql.ParseQuery(text)
+					if err != nil {
+						return nil, fmt.Errorf("in define %s: %w", name, err)
+					}
+					return &ViewDecl{Name: name, Query: q}, nil
+				}
+			}
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	p.advance() // drop
+	if err := p.expect("extent"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &DropExtentDecl{Name: name}, nil
+}

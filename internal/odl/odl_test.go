@@ -1,0 +1,241 @@
+package odl
+
+import (
+	"strings"
+	"testing"
+
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+// paperODL is the complete schema definition of the paper's running
+// example, §2.1-§2.3, in DISCO's extended ODL.
+const paperODL = `
+r0 := Repository(host="rodin", name="db", address="123.45.6.7");
+r1 := Repository(host="rodin", name="db2", address="123.45.6.8");
+w0 := WrapperPostgres();
+
+interface Person (extent person) {
+    attribute String name;
+    attribute Short salary;
+}
+
+extent person0 of Person wrapper w0 repository r0;
+extent person1 of Person wrapper w0 repository r1;
+
+interface Student:Person { }
+extent student0 of Student wrapper w0 repository r0;
+
+interface PersonPrime {
+    attribute String n;
+    attribute Short s;
+}
+extent personprime0 of PersonPrime wrapper w0 repository r0
+    map ((person0=personprime0),(name=n),(salary=s));
+
+define double as
+    select struct(name: x.name, salary: x.salary + y.salary)
+    from x in person0 and y in person1
+    where x.id = y.id;
+`
+
+func TestParsePaperODL(t *testing.T) {
+	stmts, err := Parse(paperODL)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(stmts) != 11 {
+		t.Fatalf("statements = %d, want 11", len(stmts))
+	}
+
+	r0, ok := stmts[0].(*RepositoryDecl)
+	if !ok || r0.Name != "r0" {
+		t.Fatalf("stmt0 = %#v", stmts[0])
+	}
+	if r0.Props["host"] != "rodin" || r0.Props["address"] != "123.45.6.7" {
+		t.Errorf("r0 props = %v", r0.Props)
+	}
+
+	w0, ok := stmts[2].(*WrapperDecl)
+	if !ok || w0.Name != "w0" || w0.Kind != "postgres" {
+		t.Fatalf("stmt2 = %#v", stmts[2])
+	}
+
+	person, ok := stmts[3].(*InterfaceDecl)
+	if !ok || person.Iface.Name != "Person" {
+		t.Fatalf("stmt3 = %#v", stmts[3])
+	}
+	if person.Iface.ExtentName != "person" {
+		t.Errorf("implicit extent = %q", person.Iface.ExtentName)
+	}
+	if len(person.Iface.Attrs) != 2 || person.Iface.Attrs[1].Type.Kind != types.TInt {
+		t.Errorf("attrs = %+v", person.Iface.Attrs)
+	}
+
+	e0, ok := stmts[4].(*ExtentDecl)
+	if !ok || e0.Name != "person0" || e0.Iface != "Person" || e0.Wrapper != "w0" || e0.Repository != "r0" {
+		t.Fatalf("stmt4 = %#v", stmts[4])
+	}
+
+	student, ok := stmts[6].(*InterfaceDecl)
+	if !ok || student.Iface.Super != "Person" {
+		t.Fatalf("stmt6 = %#v", stmts[6])
+	}
+
+	prime, ok := stmts[9].(*ExtentDecl)
+	if !ok {
+		t.Fatalf("stmt9 = %#v", stmts[9])
+	}
+	if prime.SourceName != "person0" {
+		t.Errorf("SourceName = %q", prime.SourceName)
+	}
+	if prime.AttrMap["n"] != "name" || prime.AttrMap["s"] != "salary" {
+		t.Errorf("AttrMap = %v", prime.AttrMap)
+	}
+
+	view, ok := stmts[10].(*ViewDecl)
+	if !ok || view.Name != "double" {
+		t.Fatalf("stmt10 = %#v", stmts[10])
+	}
+	if _, ok := view.Query.(*oql.Select); !ok {
+		t.Errorf("view query = %T", view.Query)
+	}
+}
+
+func TestParseCollectionAttrs(t *testing.T) {
+	stmts, err := Parse(`interface Site { attribute Bag<Float> readings; attribute List<String> tags; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := stmts[0].(*InterfaceDecl).Iface
+	if i.Attrs[0].Type.Kind != types.TBagOf || i.Attrs[0].Type.Elem.Kind != types.TFloat {
+		t.Errorf("readings type = %v", i.Attrs[0].Type)
+	}
+	if i.Attrs[1].Type.Kind != types.TListOf {
+		t.Errorf("tags type = %v", i.Attrs[1].Type)
+	}
+}
+
+func TestParseInterfaceTypedAttr(t *testing.T) {
+	stmts, err := Parse(`interface Emp { attribute Dept dept; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := stmts[0].(*InterfaceDecl).Iface
+	if i.Attrs[0].Type.Kind != types.TInterface || i.Attrs[0].Type.Iface != "Dept" {
+		t.Errorf("dept type = %v", i.Attrs[0].Type)
+	}
+}
+
+func TestParseWrapperForms(t *testing.T) {
+	stmts, err := Parse(`
+		w1 := WrapperPostgres();
+		w2 := Wrapper("scan");
+		w3 := Wrapper(kind="doc", lang="keyword");
+		w4 := WrapperCSV(path="/data/f.csv");
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct{ name, kind string }{
+		{"w1", "postgres"}, {"w2", "scan"}, {"w3", "doc"}, {"w4", "csv"},
+	}
+	for i, w := range want {
+		d := stmts[i].(*WrapperDecl)
+		if d.Name != w.name || d.Kind != w.kind {
+			t.Errorf("stmt %d = %+v, want %+v", i, d, w)
+		}
+	}
+	if stmts[3].(*WrapperDecl).Props["path"] != "/data/f.csv" {
+		t.Errorf("w4 props = %v", stmts[3].(*WrapperDecl).Props)
+	}
+}
+
+func TestParseDropExtent(t *testing.T) {
+	stmts, err := Parse(`drop extent person0;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := stmts[0].(*DropExtentDecl)
+	if !ok || d.Name != "person0" {
+		t.Fatalf("stmt = %#v", stmts[0])
+	}
+}
+
+func TestParseRepositoryNumericProps(t *testing.T) {
+	stmts, err := Parse(`r := Repository(address="127.0.0.1:4001", timeoutMillis=250);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stmts[0].(*RepositoryDecl)
+	if r.Props["timeoutMillis"] != "250" {
+		t.Errorf("props = %v", r.Props)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct{ src, frag string }{
+		{`interface`, "identifier"},
+		{`interface P { attribute String; }`, "expected"},
+		{`extent e of T wrapper w;`, "repository"},
+		{`extent e of T wrapper w repository r map ((a=b);`, "expected"},
+		{`x := Mystery();`, "unknown constructor"},
+		{`x := Wrapper();`, "kind"},
+		{`define v as select x from;`, "oql"},
+		{`define v as select x from x in c`, "missing ';'"},
+		{`drop x;`, "extent"},
+		{`@`, "unexpected character"},
+		{`r := Repository(a="1", a="2");`, "twice"},
+		{`extent e of T wrapper w repository r map ((a=e),(n=x),(m=x));`, "twice"},
+		{`interface P : { }`, "identifier"},
+		{`;`, "statement start"},
+		{`r := Repository(k="unterminated);`, "unterminated string"},
+	}
+	for _, tt := range bad {
+		_, err := Parse(tt.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", tt.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.frag) {
+			t.Errorf("Parse(%q) error = %q, want fragment %q", tt.src, err, tt.frag)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	stmts, err := Parse(`
+		-- line comment
+		// another comment style
+		interface T { } -- trailing
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 1 {
+		t.Errorf("statements = %d", len(stmts))
+	}
+}
+
+func TestDefineWithNestedSemicolonFreeParens(t *testing.T) {
+	// The define body may contain parenthesized subqueries with commas.
+	stmts, err := Parse(`define v as union(select x.a from x in c, bag(1));`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := stmts[0].(*ViewDecl)
+	if _, ok := v.Query.(*oql.Call); !ok {
+		t.Errorf("query = %T", v.Query)
+	}
+}
+
+func TestEmptyInterfaceBody(t *testing.T) {
+	stmts, err := Parse(`interface Student:Person { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := stmts[0].(*InterfaceDecl).Iface
+	if i.Super != "Person" || len(i.Attrs) != 0 {
+		t.Errorf("iface = %+v", i)
+	}
+}

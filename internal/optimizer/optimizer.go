@@ -1,0 +1,189 @@
+// Package optimizer implements DISCO's mediator query optimizer (paper §3):
+// it normalizes logical plans, enumerates capability-checked pushdown
+// alternatives, estimates each alternative's cost with the learned cost
+// model, and picks the cheapest. Optimized plans are cached per catalog
+// version, implementing §3.3's requirement that cached plans be invalidated
+// when extents change.
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"disco/internal/algebra"
+	"disco/internal/capability"
+	"disco/internal/costmodel"
+)
+
+// CapabilitySource supplies the wrapper grammar serving each repository —
+// the optimizer's view of the submit-functionality call.
+type CapabilitySource interface {
+	GrammarFor(repo string) (*capability.Grammar, error)
+}
+
+// Candidate is one enumerated alternative with its estimated cost.
+type Candidate struct {
+	Options algebra.PushOptions
+	Plan    algebra.Node
+	Cost    Cost
+}
+
+// Report describes an optimization decision, for EXPLAIN-style output and
+// the experiment harness.
+type Report struct {
+	Candidates []Candidate
+	Chosen     int
+	CacheHit   bool
+}
+
+// Chosen returns the selected candidate.
+func (r *Report) ChosenCandidate() Candidate { return r.Candidates[r.Chosen] }
+
+// Optimizer searches for the cheapest capability-legal plan.
+type Optimizer struct {
+	caps    algebra.Capabilities
+	history *costmodel.History
+
+	mu      sync.Mutex
+	cache   map[string]cached
+	version int64
+	hits    int64
+	misses  int64
+}
+
+type cached struct {
+	plan   algebra.Node
+	report *Report
+}
+
+// New returns an optimizer resolving wrapper grammars per repository.
+func New(caps CapabilitySource, history *costmodel.History) *Optimizer {
+	return NewWithCapabilities(capsAdapter{src: caps}, history)
+}
+
+// NewWithCapabilities returns an optimizer using a general capability
+// oracle (the mediator supplies one that resolves wrappers per extent).
+func NewWithCapabilities(caps algebra.Capabilities, history *costmodel.History) *Optimizer {
+	return &Optimizer{
+		caps:    caps,
+		history: history,
+		cache:   make(map[string]cached),
+	}
+}
+
+// capsAdapter implements algebra.Capabilities on top of a CapabilitySource.
+type capsAdapter struct {
+	src CapabilitySource
+}
+
+// Accepts implements algebra.Capabilities.
+func (c capsAdapter) Accepts(repo string, expr algebra.Node) bool {
+	g, err := c.src.GrammarFor(repo)
+	if err != nil || g == nil {
+		return false
+	}
+	return g.AcceptsExpr(expr)
+}
+
+// pushCombos is the enumerated search space: which operator classes to
+// offer each wrapper. Grammar checks then decide per-submit whether the
+// offer lands.
+var pushCombos = []algebra.PushOptions{
+	{},
+	{Select: true},
+	{Project: true},
+	{Select: true, Project: true},
+	{Select: true, Join: true},
+	{Select: true, Project: true, Join: true},
+}
+
+// Optimize returns the cheapest plan for the (already compiled) logical
+// plan. version is the catalog version the plan was compiled against;
+// cached results from other versions are discarded.
+func (o *Optimizer) Optimize(plan algebra.Node, version int64) (algebra.Node, *Report) {
+	key := plan.String()
+	o.mu.Lock()
+	if o.version != version {
+		// The catalog changed: every cached plan may reference stale
+		// extents (§3.3).
+		o.cache = make(map[string]cached)
+		o.version = version
+	}
+	if c, ok := o.cache[key]; ok {
+		o.hits++
+		o.mu.Unlock()
+		r := *c.report
+		r.CacheHit = true
+		return c.plan, &r
+	}
+	o.misses++
+	o.mu.Unlock()
+
+	norm := algebra.Normalize(plan)
+
+	seen := map[string]bool{}
+	report := &Report{}
+	for _, opt := range pushCombos {
+		candidate := algebra.Push(norm, o.caps, opt)
+		s := candidate.String()
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		report.Candidates = append(report.Candidates, Candidate{
+			Options: opt,
+			Plan:    candidate,
+			Cost:    o.estimate(candidate),
+		})
+	}
+	// Deterministic choice: lowest total cost, ties broken by most-pushed
+	// (fewest mediator-side operators, i.e. shortest plan string), then by
+	// string order.
+	sort.SliceStable(report.Candidates, func(i, j int) bool {
+		ci, cj := report.Candidates[i], report.Candidates[j]
+		if ci.Cost.Total != cj.Cost.Total {
+			return ci.Cost.Total < cj.Cost.Total
+		}
+		si, sj := ci.Plan.String(), cj.Plan.String()
+		if len(si) != len(sj) {
+			return len(si) < len(sj)
+		}
+		return si < sj
+	})
+	report.Chosen = 0
+	chosen := report.Candidates[0].Plan
+
+	o.mu.Lock()
+	o.cache[key] = cached{plan: chosen, report: report}
+	o.mu.Unlock()
+	return chosen, report
+}
+
+// CacheStats reports plan-cache hits and misses.
+func (o *Optimizer) CacheStats() (hits, misses int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.hits, o.misses
+}
+
+// InvalidateCache drops every cached plan (used when cost history shifts
+// enough that cached choices are suspect).
+func (o *Optimizer) InvalidateCache() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.cache = make(map[string]cached)
+}
+
+// String renders a report for EXPLAIN output.
+func (r *Report) String() string {
+	out := ""
+	for i, c := range r.Candidates {
+		marker := "  "
+		if i == r.Chosen {
+			marker = "=>"
+		}
+		out += fmt.Sprintf("%s cost=%.3f net=%.0fvals %s\n", marker, c.Cost.Total, c.Cost.TransferValues, c.Plan)
+	}
+	return out
+}

@@ -1,0 +1,468 @@
+package oql
+
+import (
+	"fmt"
+	"strings"
+
+	"disco/internal/types"
+)
+
+// Expr is a node of the OQL abstract syntax tree. Every expression prints
+// back to parseable OQL via String; Precedence drives parenthesization so
+// that parse(print(e)) reproduces e.
+type Expr interface {
+	// String renders the expression in canonical OQL.
+	String() string
+	// Precedence returns the binding strength of the node's top operator;
+	// larger binds tighter.
+	Precedence() int
+}
+
+// Operator precedence levels, loosest first. These are shared by the parser
+// and the printer.
+const (
+	precSelect = 1
+	precOr     = 2
+	precAnd    = 3
+	precNot    = 4
+	precCmp    = 5
+	precAdd    = 6
+	precMul    = 7
+	precUnary  = 8
+	precPath   = 9
+	precAtom   = 10
+)
+
+// BinaryOp enumerates binary operators.
+type BinaryOp uint8
+
+// Binary operators.
+const (
+	OpOr BinaryOp = iota + 1
+	OpAnd
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpIn
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+// String returns the OQL spelling of the operator.
+func (op BinaryOp) String() string {
+	switch op {
+	case OpOr:
+		return "or"
+	case OpAnd:
+		return "and"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpIn:
+		return "in"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "mod"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// precedence returns the precedence level of the operator.
+func (op BinaryOp) precedence() int {
+	switch op {
+	case OpOr:
+		return precOr
+	case OpAnd:
+		return precAnd
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpIn:
+		return precCmp
+	case OpAdd, OpSub:
+		return precAdd
+	default:
+		return precMul
+	}
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp uint8
+
+// Unary operators.
+const (
+	OpNot UnaryOp = iota + 1
+	OpNeg
+)
+
+// Ident references a named collection (an extent, a view, or a bound
+// variable). Star marks the DISCO T* syntax that closes over subtype
+// extents (paper §2.2.1).
+type Ident struct {
+	Name string
+	Star bool
+}
+
+// Precedence implements Expr.
+func (*Ident) Precedence() int { return precAtom }
+
+// String implements Expr.
+func (e *Ident) String() string {
+	if e.Star {
+		return e.Name + "*"
+	}
+	return e.Name
+}
+
+// Literal is an embedded constant value. Collection and struct literals are
+// what let answers carry data (paper §4: answers combine a residual query
+// with a bag of data).
+type Literal struct {
+	Val types.Value
+}
+
+// Precedence implements Expr. Negative numeric literals print with a sign
+// and therefore bind like a unary expression.
+func (e *Literal) Precedence() int {
+	if n, ok := types.Numeric(e.Val); ok && n < 0 {
+		return precUnary
+	}
+	return precAtom
+}
+
+// String implements Expr.
+func (e *Literal) String() string { return e.Val.String() }
+
+// Path is attribute access, x.name.
+type Path struct {
+	Base  Expr
+	Field string
+}
+
+// Precedence implements Expr.
+func (*Path) Precedence() int { return precPath }
+
+// String implements Expr.
+func (e *Path) String() string {
+	return childString(e.Base, precPath) + "." + e.Field
+}
+
+// Unary is a prefix operator application.
+type Unary struct {
+	Op UnaryOp
+	X  Expr
+}
+
+// Precedence implements Expr.
+func (e *Unary) Precedence() int {
+	if e.Op == OpNot {
+		return precNot
+	}
+	return precUnary
+}
+
+// String implements Expr.
+func (e *Unary) String() string {
+	if e.Op == OpNot {
+		return "not " + childString(e.X, precNot)
+	}
+	s := childString(e.X, precUnary)
+	if strings.HasPrefix(s, "-") {
+		// Double negation must not print "--", which lexes as a comment.
+		s = "(" + s + ")"
+	}
+	return "-" + s
+}
+
+// Binary is an infix operator application.
+type Binary struct {
+	Op   BinaryOp
+	L, R Expr
+}
+
+// Precedence implements Expr.
+func (e *Binary) Precedence() int { return e.Op.precedence() }
+
+// String implements Expr.
+func (e *Binary) String() string {
+	p := e.Op.precedence()
+	// Left-associative: the right child needs parens at equal precedence.
+	return childString(e.L, p) + " " + e.Op.String() + " " + childString(e.R, p+1)
+}
+
+// StructField is one named field of a struct constructor.
+type StructField struct {
+	Name string
+	Expr Expr
+}
+
+// StructCtor is the OQL struct(name: e1, ...) constructor.
+type StructCtor struct {
+	Fields []StructField
+}
+
+// Precedence implements Expr.
+func (*StructCtor) Precedence() int { return precAtom }
+
+// String implements Expr.
+func (e *StructCtor) String() string {
+	var b strings.Builder
+	b.WriteString("struct(")
+	for i, f := range e.Fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+		b.WriteString(": ")
+		b.WriteString(f.Expr.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Call is a function-style form: union, flatten, bag, list, set, count,
+// sum, min, max, avg, element. Function names are case-insensitive in the
+// parser and stored lowercase.
+type Call struct {
+	Fn   string
+	Args []Expr
+}
+
+// Precedence implements Expr.
+func (*Call) Precedence() int { return precAtom }
+
+// String implements Expr.
+func (e *Call) String() string {
+	var b strings.Builder
+	b.WriteString(e.Fn)
+	b.WriteByte('(')
+	for i, a := range e.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Binding is one variable binding of a from clause (x in person).
+type Binding struct {
+	Var    string
+	Domain Expr
+}
+
+// Select is the select-from-where expression. Proj is the projection
+// expression over the bound variables; Where may be nil.
+type Select struct {
+	Distinct bool
+	Proj     Expr
+	From     []Binding
+	Where    Expr
+}
+
+// Precedence implements Expr.
+func (*Select) Precedence() int { return precSelect }
+
+// String implements Expr.
+func (e *Select) String() string {
+	var b strings.Builder
+	b.WriteString("select ")
+	if e.Distinct {
+		b.WriteString("distinct ")
+	}
+	// A select-valued projection must be parenthesized or it would swallow
+	// the enclosing from clause on reparse; a projection starting with
+	// "distinct(" must be parenthesized or it would reparse as the
+	// distinct modifier.
+	proj := childString(e.Proj, precOr)
+	if !e.Distinct && strings.HasPrefix(proj, "distinct(") {
+		proj = "(" + proj + ")"
+	}
+	b.WriteString(proj)
+	b.WriteString(" from ")
+	for i, bind := range e.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(bind.Var)
+		b.WriteString(" in ")
+		// Domains parse above comparison level (so the "and" binding
+		// separator is unambiguous); print with matching parentheses.
+		b.WriteString(childString(bind.Domain, precAdd))
+	}
+	if e.Where != nil {
+		b.WriteString(" where ")
+		b.WriteString(e.Where.String())
+	}
+	return b.String()
+}
+
+// Define is the OQL view definition statement: define name as query
+// (paper §2.2.3). It is a statement, not an expression.
+type Define struct {
+	Name  string
+	Query Expr
+}
+
+// String renders the statement in OQL.
+func (d *Define) String() string {
+	return "define " + d.Name + " as " + d.Query.String()
+}
+
+// childString prints child with parentheses when its precedence is below
+// what the context requires.
+func childString(child Expr, contextPrec int) string {
+	if child.Precedence() < contextPrec {
+		return "(" + child.String() + ")"
+	}
+	return child.String()
+}
+
+// Compile-time conformance checks.
+var (
+	_ Expr = (*Ident)(nil)
+	_ Expr = (*Literal)(nil)
+	_ Expr = (*Path)(nil)
+	_ Expr = (*Unary)(nil)
+	_ Expr = (*Binary)(nil)
+	_ Expr = (*StructCtor)(nil)
+	_ Expr = (*Call)(nil)
+	_ Expr = (*Select)(nil)
+)
+
+// Equal reports structural equality of two expressions. It is used by the
+// round-trip property tests and by plan caching.
+func Equal(a, b Expr) bool {
+	switch x := a.(type) {
+	case *Ident:
+		y, ok := b.(*Ident)
+		return ok && x.Name == y.Name && x.Star == y.Star
+	case *Literal:
+		y, ok := b.(*Literal)
+		return ok && x.Val.Equal(y.Val) && x.Val.Kind() == y.Val.Kind()
+	case *Path:
+		y, ok := b.(*Path)
+		return ok && x.Field == y.Field && Equal(x.Base, y.Base)
+	case *Unary:
+		y, ok := b.(*Unary)
+		return ok && x.Op == y.Op && Equal(x.X, y.X)
+	case *Binary:
+		y, ok := b.(*Binary)
+		return ok && x.Op == y.Op && Equal(x.L, y.L) && Equal(x.R, y.R)
+	case *StructCtor:
+		y, ok := b.(*StructCtor)
+		if !ok || len(x.Fields) != len(y.Fields) {
+			return false
+		}
+		for i := range x.Fields {
+			if x.Fields[i].Name != y.Fields[i].Name || !Equal(x.Fields[i].Expr, y.Fields[i].Expr) {
+				return false
+			}
+		}
+		return true
+	case *Call:
+		y, ok := b.(*Call)
+		if !ok || x.Fn != y.Fn || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !Equal(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	case *Select:
+		y, ok := b.(*Select)
+		if !ok || x.Distinct != y.Distinct || len(x.From) != len(y.From) {
+			return false
+		}
+		if !Equal(x.Proj, y.Proj) {
+			return false
+		}
+		for i := range x.From {
+			if x.From[i].Var != y.From[i].Var || !Equal(x.From[i].Domain, y.From[i].Domain) {
+				return false
+			}
+		}
+		switch {
+		case x.Where == nil && y.Where == nil:
+			return true
+		case x.Where == nil || y.Where == nil:
+			return false
+		default:
+			return Equal(x.Where, y.Where)
+		}
+	default:
+		return false
+	}
+}
+
+// FreeNames reports the free collection names referenced by e: identifiers
+// that are not bound by an enclosing from clause. The mediator uses it to
+// resolve extents and views, and the plan cache uses it for invalidation.
+func FreeNames(e Expr) []string {
+	seen := map[string]bool{}
+	var order []string
+	var walk func(e Expr, bound map[string]bool)
+	walk = func(e Expr, bound map[string]bool) {
+		switch x := e.(type) {
+		case *Ident:
+			if !bound[x.Name] && !seen[x.Name] {
+				seen[x.Name] = true
+				order = append(order, x.Name)
+			}
+		case *Path:
+			walk(x.Base, bound)
+		case *Unary:
+			walk(x.X, bound)
+		case *Binary:
+			walk(x.L, bound)
+			walk(x.R, bound)
+		case *StructCtor:
+			for _, f := range x.Fields {
+				walk(f.Expr, bound)
+			}
+		case *Call:
+			for _, a := range x.Args {
+				walk(a, bound)
+			}
+		case *Select:
+			inner := make(map[string]bool, len(bound)+len(x.From))
+			for k := range bound {
+				inner[k] = true
+			}
+			for _, b := range x.From {
+				// Domains may reference earlier bindings.
+				walk(b.Domain, inner)
+				inner[b.Var] = true
+			}
+			walk(x.Proj, inner)
+			if x.Where != nil {
+				walk(x.Where, inner)
+			}
+		}
+	}
+	walk(e, map[string]bool{})
+	return order
+}

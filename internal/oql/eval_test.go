@@ -1,0 +1,326 @@
+package oql
+
+import (
+	"strings"
+	"testing"
+
+	"disco/internal/types"
+)
+
+// paperData resolves person, person0 and person1 with the data from §1.2:
+// r0 holds Mary (salary 200), r1 holds Sam (salary 50).
+func paperData() Resolver {
+	mary := types.NewStruct(
+		types.Field{Name: "id", Value: types.Int(1)},
+		types.Field{Name: "name", Value: types.Str("Mary")},
+		types.Field{Name: "salary", Value: types.Int(200)},
+	)
+	sam := types.NewStruct(
+		types.Field{Name: "id", Value: types.Int(2)},
+		types.Field{Name: "name", Value: types.Str("Sam")},
+		types.Field{Name: "salary", Value: types.Int(50)},
+	)
+	p0 := types.NewBag(mary)
+	p1 := types.NewBag(sam)
+	return ResolverFunc(func(name string, star bool) (types.Value, error) {
+		switch name {
+		case "person0":
+			return p0, nil
+		case "person1":
+			return p1, nil
+		case "person":
+			return types.BagUnion(p0, p1), nil
+		default:
+			return EmptyResolver.Resolve(name, star)
+		}
+	})
+}
+
+func evalSrc(t *testing.T, src string, r Resolver) types.Value {
+	t.Helper()
+	e, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := Eval(e, nil, r)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+// TestPaperIntroductionQuery reproduces the §1.2 example: the answer is
+// Bag("Mary", "Sam").
+func TestPaperIntroductionQuery(t *testing.T) {
+	got := evalSrc(t, `select x.name from x in person where x.salary > 10`, paperData())
+	want := types.NewBag(types.Str("Mary"), types.Str("Sam"))
+	if !got.Equal(want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+// TestPaperUnionQuery reproduces the explicit-extent §2.1 example.
+func TestPaperUnionQuery(t *testing.T) {
+	got := evalSrc(t, `select x.name from x in union(person0, person1) where x.salary > 10`, paperData())
+	want := types.NewBag(types.Str("Mary"), types.Str("Sam"))
+	if !got.Equal(want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+	// Against one extent only: Bag("Mary").
+	got = evalSrc(t, `select x.name from x in person0 where x.salary > 10`, paperData())
+	if !got.Equal(types.NewBag(types.Str("Mary"))) {
+		t.Errorf("person0 only: got %s", got)
+	}
+}
+
+// TestPaperPartialAnswerResubmission evaluates the §1.3 partial answer when
+// r0 is available again: it must produce the full answer.
+func TestPaperPartialAnswerResubmission(t *testing.T) {
+	got := evalSrc(t, `union(select y.name from y in person0 where y.salary > 10, bag("Sam"))`, paperData())
+	want := types.NewBag(types.Str("Mary"), types.Str("Sam"))
+	if !got.Equal(want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+// TestPaperDoubleView evaluates the §2.2.3 reconciliation view over two
+// sources that share ids.
+func TestPaperDoubleView(t *testing.T) {
+	shared := func(id int64, name string, sal int64) *types.Struct {
+		return types.NewStruct(
+			types.Field{Name: "id", Value: types.Int(id)},
+			types.Field{Name: "name", Value: types.Str(name)},
+			types.Field{Name: "salary", Value: types.Int(sal)},
+		)
+	}
+	p0 := types.NewBag(shared(1, "Mary", 200), shared(2, "Sam", 10))
+	p1 := types.NewBag(shared(1, "Mary", 55), shared(3, "Ann", 70))
+	r := ResolverFunc(func(name string, _ bool) (types.Value, error) {
+		switch name {
+		case "person0":
+			return p0, nil
+		case "person1":
+			return p1, nil
+		}
+		return nil, &EvalError{Expr: &Ident{Name: name}, Err: errUnknown}
+	})
+	got := evalSrc(t, `select struct(name: x.name, salary: x.salary + y.salary)
+		from x in person0 and y in person1
+		where x.id = y.id`, r)
+	want := types.NewBag(types.NewStruct(
+		types.Field{Name: "name", Value: types.Str("Mary")},
+		types.Field{Name: "salary", Value: types.Int(255)},
+	))
+	if !got.Equal(want) {
+		t.Errorf("double view: got %s, want %s", got, want)
+	}
+}
+
+var errUnknown = &SyntaxError{Msg: "unknown name"}
+
+func TestScalarOperators(t *testing.T) {
+	tests := []struct {
+		src  string
+		want types.Value
+	}{
+		{`1 + 2`, types.Int(3)},
+		{`1 + 2.5`, types.Float(3.5)},
+		{`7 / 2`, types.Int(3)},
+		{`7.0 / 2`, types.Float(3.5)},
+		{`7 mod 2`, types.Int(1)},
+		{`"a" + "b"`, types.Str("ab")},
+		{`2 * 3 + 1`, types.Int(7)},
+		{`-(1 + 2)`, types.Int(-3)},
+		{`1 < 2`, types.Bool(true)},
+		{`"a" < "b"`, types.Bool(true)},
+		{`1 = 1.0`, types.Bool(true)},
+		{`1 != 2`, types.Bool(true)},
+		{`true and false`, types.Bool(false)},
+		{`true or false`, types.Bool(true)},
+		{`not false`, types.Bool(true)},
+		{`2 in bag(1, 2, 3)`, types.Bool(true)},
+		{`5 in bag(1, 2, 3)`, types.Bool(false)},
+		{`count(bag(1, 1, 2))`, types.Int(3)},
+		{`sum(bag(1, 2, 3))`, types.Int(6)},
+		{`sum(bag(1, 2.5))`, types.Float(3.5)},
+		{`sum(bag())`, types.Int(0)},
+		{`avg(bag(1, 2, 3))`, types.Float(2)},
+		{`min(bag(3, 1, 2))`, types.Int(1)},
+		{`max(bag("a", "c", "b"))`, types.Str("c")},
+		{`element(bag(7))`, types.Int(7)},
+		{`exists(bag(1))`, types.Bool(true)},
+		{`exists(bag())`, types.Bool(false)},
+		{`count(distinct(bag(1, 1, 2)))`, types.Int(2)},
+		{`flatten(bag(bag(1), bag(2, 3)))`, types.NewBag(types.Int(1), types.Int(2), types.Int(3))},
+		{`union(bag(1), bag(1, 2))`, types.NewBag(types.Int(1), types.Int(1), types.Int(2))},
+		{`union(set(1), list(2))`, types.NewBag(types.Int(1), types.Int(2))},
+		{`struct(a: 1 + 1)`, types.NewStruct(types.Field{Name: "a", Value: types.Int(2)})},
+	}
+	for _, tt := range tests {
+		got := evalSrc(t, tt.src, EmptyResolver)
+		if !got.Equal(tt.want) {
+			t.Errorf("%q = %s, want %s", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// The right side would fail; short-circuit must skip it.
+	if got := evalSrc(t, `false and (1 = "x")`, EmptyResolver); !got.Equal(types.Bool(false)) {
+		t.Errorf("short-circuit and: %s", got)
+	}
+	if got := evalSrc(t, `true or (1 = "x")`, EmptyResolver); !got.Equal(types.Bool(true)) {
+		t.Errorf("short-circuit or: %s", got)
+	}
+	// Non-boolean condition is an error even short-circuited on the left.
+	if _, err := evalErr(`1 and true`, EmptyResolver); err == nil {
+		t.Error("1 and true should fail")
+	}
+}
+
+func evalErr(src string, r Resolver) (types.Value, error) {
+	e, err := ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return Eval(e, nil, r)
+}
+
+func TestEvalErrors(t *testing.T) {
+	bad := []struct {
+		src  string
+		frag string
+	}{
+		{`1 / 0`, "division by zero"},
+		{`1 mod 0`, "modulo by zero"},
+		{`1.0 mod 2`, "mod requires integers"},
+		{`"a" + 1`, "cannot add"},
+		{`1 < "a"`, "cannot compare"},
+		{`-"a"`, "cannot negate"},
+		{`x.name`, "unknown name"},
+		{`count(1)`, "not a collection"},
+		{`element(bag(1, 2))`, "2 elements"},
+		{`element(bag())`, "0 elements"},
+		{`sum(bag("a"))`, "non-numeric"},
+		{`nosuchfn(1)`, "unknown function"},
+		{`select x.name from x in 5`, "not a collection"},
+		{`5 in 6`, "not a collection"},
+		{`flatten(bag(1))`, "not a collection"},
+		{`struct(a: 1).b`, "no attribute"},
+		{`count(bag(1), bag(2))`, "1 argument"},
+		{`select x from x in bag(1) where x`, "not boolean"},
+	}
+	for _, tt := range bad {
+		_, err := evalErr(tt.src, EmptyResolver)
+		if err == nil {
+			t.Errorf("%q should fail", tt.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.frag) {
+			t.Errorf("%q error = %q, want fragment %q", tt.src, err, tt.frag)
+		}
+	}
+}
+
+func TestAggregatesOnEmpty(t *testing.T) {
+	for _, src := range []string{`min(bag())`, `max(bag())`, `avg(bag())`} {
+		got := evalSrc(t, src, EmptyResolver)
+		if got.Kind() != types.KindNull {
+			t.Errorf("%q = %s, want nil", src, got)
+		}
+	}
+}
+
+func TestDependentBindings(t *testing.T) {
+	// The second binding ranges over an attribute of the first.
+	groups := types.NewBag(
+		types.NewStruct(
+			types.Field{Name: "label", Value: types.Str("g1")},
+			types.Field{Name: "members", Value: types.NewBag(types.Str("a"), types.Str("b"))},
+		),
+		types.NewStruct(
+			types.Field{Name: "label", Value: types.Str("g2")},
+			types.Field{Name: "members", Value: types.NewBag(types.Str("c"))},
+		),
+	)
+	r := ResolverFunc(func(name string, _ bool) (types.Value, error) {
+		if name == "groups" {
+			return groups, nil
+		}
+		return nil, errUnknown
+	})
+	got := evalSrc(t, `select m from g in groups, m in g.members`, r)
+	want := types.NewBag(types.Str("a"), types.Str("b"), types.Str("c"))
+	if !got.Equal(want) {
+		t.Errorf("dependent bindings: got %s, want %s", got, want)
+	}
+}
+
+func TestSelectDistinctEval(t *testing.T) {
+	got := evalSrc(t, `select distinct x from x in bag(1, 1, 2)`, EmptyResolver)
+	if !got.Equal(types.NewBag(types.Int(1), types.Int(2))) {
+		t.Errorf("distinct: %s", got)
+	}
+}
+
+func TestNestedAggregateQuery(t *testing.T) {
+	// The §2.2.3 multiple view shape: a correlated aggregate subquery.
+	got := evalSrc(t, `select struct(name: x.name,
+			total: sum(select z.salary from z in person where z.name = x.name))
+		from x in person0`, paperData())
+	want := types.NewBag(types.NewStruct(
+		types.Field{Name: "name", Value: types.Str("Mary")},
+		types.Field{Name: "total", Value: types.Int(200)},
+	))
+	if !got.Equal(want) {
+		t.Errorf("nested aggregate: got %s, want %s", got, want)
+	}
+}
+
+func TestEnvShadowing(t *testing.T) {
+	// An inner binding shadows an outer one of the same name.
+	got := evalSrc(t, `select (select x from x in bag(2)) from x in bag(1)`, EmptyResolver)
+	want := types.NewBag(types.NewBag(types.Int(2)))
+	if !got.Equal(want) {
+		t.Errorf("shadowing: got %s, want %s", got, want)
+	}
+}
+
+func TestResolverSeesStarFlag(t *testing.T) {
+	var gotStar bool
+	r := ResolverFunc(func(name string, star bool) (types.Value, error) {
+		gotStar = star
+		return types.NewBag(), nil
+	})
+	if _, err := evalErr(`select x from x in person*`, r); err != nil {
+		t.Fatal(err)
+	}
+	if !gotStar {
+		t.Error("star flag should reach the resolver")
+	}
+}
+
+func TestSortBuiltin(t *testing.T) {
+	got := evalSrc(t, `sort(bag(3, 1, 2))`, EmptyResolver)
+	if !got.Equal(types.NewList(types.Int(1), types.Int(2), types.Int(3))) {
+		t.Errorf("sort = %s", got)
+	}
+	// Strings order lexically.
+	got = evalSrc(t, `sort(bag("b", "a"))`, EmptyResolver)
+	if !got.Equal(types.NewList(types.Str("a"), types.Str("b"))) {
+		t.Errorf("sort strings = %s", got)
+	}
+	// Structs fall back to canonical-key order: stable and deterministic.
+	got = evalSrc(t, `sort(bag(struct(a: 2), struct(a: 1)))`, EmptyResolver)
+	l := got.(*types.List)
+	if v, _ := l.At(0).(*types.Struct).Get("a"); !v.Equal(types.Int(1)) {
+		t.Errorf("struct sort = %s", got)
+	}
+	// Errors.
+	if _, err := evalErr(`sort(5)`, EmptyResolver); err == nil {
+		t.Error("sort of a scalar should fail")
+	}
+	if _, err := evalErr(`sort(bag(), bag())`, EmptyResolver); err == nil {
+		t.Error("sort arity should be checked")
+	}
+}

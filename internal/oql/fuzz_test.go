@@ -1,0 +1,61 @@
+package oql
+
+import "testing"
+
+// FuzzParseQuery checks that the parser never panics and that successful
+// parses satisfy the print/reparse closure property on arbitrary input.
+// Run with `go test -fuzz=FuzzParseQuery ./internal/oql` to explore beyond
+// the seed corpus.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		`select x.name from x in person where x.salary > 10`,
+		`union(select y.name from y in person0 where y.salary > 10, bag("Sam"))`,
+		`select struct(a: x.b + 1) from x in c, y in d where not x.a = y.a or true`,
+		`flatten(select x.e from x in metaextent where x.interface = p)`,
+		`count(distinct(bag(1, 1, 2.5, "x", nil)))`,
+		`select distinct x from x in person*`,
+		`a mod 2 = 0 and contains(n, "q")`,
+		`-5 + -2.5 * (3 - x)`,
+		`""`,
+		`select`,
+		`((((`,
+		"\"unterminated",
+		`x in bag(1) in bag(2)`,
+		`bag(`,
+		`1e999`,
+		`select x from x in a, y in x.kids where y in x.kids`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseQuery(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := e.String()
+		back, err := ParseQuery(printed)
+		if err != nil {
+			t.Fatalf("print of parsed %q does not reparse: %q: %v", src, printed, err)
+		}
+		if !Equal(e, back) {
+			t.Fatalf("round trip mismatch for %q:\n first  %s\n second %s", src, e, back)
+		}
+	})
+}
+
+// FuzzParseDefine covers the statement form.
+func FuzzParseDefine(f *testing.F) {
+	f.Add(`define v as select x from x in c;`)
+	f.Add(`define double as select struct(a: x.a + y.a) from x in p and y in q where x.id = y.id`)
+	f.Add(`define as`)
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ParseDefine(src)
+		if err != nil {
+			return
+		}
+		if _, err := ParseDefine(d.String()); err != nil {
+			t.Fatalf("define print does not reparse: %q: %v", d, err)
+		}
+	})
+}

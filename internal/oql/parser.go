@@ -1,0 +1,531 @@
+package oql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"disco/internal/types"
+)
+
+// ParseQuery parses a complete OQL query expression, allowing one trailing
+// semicolon.
+func ParseQuery(src string) (Expr, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr(precSelect)
+	if err != nil {
+		return nil, err
+	}
+	p.acceptPunct(";")
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// ParseDefine parses a view definition: define name as query.
+func ParseDefine(src string) (*Define, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	d, err := p.parseDefine()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptPunct(";")
+	if err := p.expectEOF(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+func (p *parser) peek(n int) token {
+	if p.i+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.i+n]
+}
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return &SyntaxError{Off: p.cur().off, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && t.text == s
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errorf("expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) acceptKeyword(s string) bool {
+	if p.isKeyword(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(s string) error {
+	if !p.acceptKeyword(s) {
+		return p.errorf("expected %q, found %s", s, p.cur())
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", p.errorf("expected identifier, found %s", t)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *parser) expectEOF() error {
+	if p.cur().kind != tokEOF {
+		return p.errorf("unexpected %s after end of query", p.cur())
+	}
+	return nil
+}
+
+func (p *parser) parseDefine() (*Define, error) {
+	if err := p.expectKeyword("define"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("as"); err != nil {
+		return nil, err
+	}
+	q, err := p.parseExpr(precSelect)
+	if err != nil {
+		return nil, err
+	}
+	return &Define{Name: name, Query: q}, nil
+}
+
+// parseExpr parses an expression whose operators all bind at least as
+// tightly as minPrec (precedence climbing).
+func (p *parser) parseExpr(minPrec int) (Expr, error) {
+	left, err := p.parseUnary(minPrec)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, prec, width, ok := p.peekBinary()
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		for k := 0; k < width; k++ {
+			p.advance()
+		}
+		right, err := p.parseExpr(prec + 1) // all binary ops are left-associative
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op, L: left, R: right}
+	}
+}
+
+// peekBinary identifies a binary operator at the cursor. width is the number
+// of tokens the operator occupies (always 1 with the current lexer).
+func (p *parser) peekBinary() (op BinaryOp, prec, width int, ok bool) {
+	t := p.cur()
+	var o BinaryOp
+	switch {
+	case t.kind == tokKeyword && t.text == "or":
+		o = OpOr
+	case t.kind == tokKeyword && t.text == "and":
+		o = OpAnd
+	case t.kind == tokKeyword && t.text == "in":
+		o = OpIn
+	case t.kind == tokIdent && strings.EqualFold(t.text, "mod") && p.canStartExpr(p.peek(1)):
+		o = OpMod
+	case t.kind == tokPunct:
+		switch t.text {
+		case "=":
+			o = OpEq
+		case "!=", "<>":
+			o = OpNe
+		case "<":
+			o = OpLt
+		case "<=":
+			o = OpLe
+		case ">":
+			o = OpGt
+		case ">=":
+			o = OpGe
+		case "+":
+			o = OpAdd
+		case "-":
+			o = OpSub
+		case "*":
+			o = OpMul
+		case "/":
+			o = OpDiv
+		default:
+			return 0, 0, 0, false
+		}
+	default:
+		return 0, 0, 0, false
+	}
+	return o, o.precedence(), 1, true
+}
+
+func (p *parser) parseUnary(minPrec int) (Expr, error) {
+	switch {
+	case p.isKeyword("not"):
+		p.advance()
+		x, err := p.parseExpr(precNot)
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNot, X: x}, nil
+	case p.isPunct("-"):
+		p.advance()
+		x, err := p.parseExpr(precUnary)
+		if err != nil {
+			return nil, err
+		}
+		return foldNeg(x), nil
+	default:
+		return p.parsePostfix()
+	}
+}
+
+// foldNeg folds unary minus over numeric literals so that -5 parses as the
+// literal it prints as.
+func foldNeg(x Expr) Expr {
+	if lit, ok := x.(*Literal); ok {
+		switch v := lit.Val.(type) {
+		case types.Int:
+			return &Literal{Val: types.Int(-v)}
+		case types.Float:
+			return &Literal{Val: types.Float(-v)}
+		}
+	}
+	return &Unary{Op: OpNeg, X: x}
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isPunct("."):
+			p.advance()
+			field, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			e = &Path{Base: e, Field: field}
+		case p.isPunct("*") && p.isStarClosure(e):
+			p.advance()
+			e.(*Ident).Star = true
+		default:
+			return e, nil
+		}
+	}
+}
+
+// isStarClosure decides whether a "*" after e is the DISCO subtype-closure
+// suffix rather than multiplication. It is a closure exactly when the base
+// is a plain identifier and the token after "*" cannot start an expression
+// (multiplication always needs a right operand).
+func (p *parser) isStarClosure(e Expr) bool {
+	id, ok := e.(*Ident)
+	if !ok || id.Star {
+		return false
+	}
+	return !p.canStartExpr(p.peek(1))
+}
+
+// canStartExpr reports whether t can begin an expression.
+func (p *parser) canStartExpr(t token) bool {
+	switch t.kind {
+	case tokIdent, tokInt, tokFloat, tokString:
+		return true
+	case tokKeyword:
+		switch t.text {
+		case "select", "not", "true", "false", "nil", "distinct":
+			return true
+		}
+		return false
+	case tokPunct:
+		return t.text == "(" || t.text == "-"
+	default:
+		return false
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer literal %q: %v", t.text, err)
+		}
+		return &Literal{Val: types.Int(n)}, nil
+	case tokFloat:
+		p.advance()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float literal %q: %v", t.text, err)
+		}
+		return &Literal{Val: types.Float(f)}, nil
+	case tokString:
+		p.advance()
+		return &Literal{Val: types.Str(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "true":
+			p.advance()
+			return &Literal{Val: types.Bool(true)}, nil
+		case "false":
+			p.advance()
+			return &Literal{Val: types.Bool(false)}, nil
+		case "nil":
+			p.advance()
+			return &Literal{Val: types.Null{}}, nil
+		case "select":
+			return p.parseSelect()
+		case "distinct":
+			// distinct(expr) is a call form; the keyword otherwise only
+			// appears in "select distinct".
+			if p.peek(1).kind == tokPunct && p.peek(1).text == "(" {
+				return p.parseCall()
+			}
+			return nil, p.errorf("unexpected keyword %s", t)
+		default:
+			return nil, p.errorf("unexpected keyword %s", t)
+		}
+	case tokPunct:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseExpr(precSelect)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errorf("unexpected %s", t)
+	case tokIdent:
+		if p.peek(1).kind == tokPunct && p.peek(1).text == "(" {
+			if strings.EqualFold(t.text, "struct") {
+				return p.parseStructCtor()
+			}
+			return p.parseCall()
+		}
+		p.advance()
+		return &Ident{Name: t.text}, nil
+	default:
+		return nil, p.errorf("unexpected %s", t)
+	}
+}
+
+func (p *parser) parseCall() (Expr, error) {
+	name := strings.ToLower(p.advance().text)
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if !p.isPunct(")") {
+		for {
+			a, err := p.parseExpr(precSelect)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return foldCall(&Call{Fn: name, Args: args}), nil
+}
+
+// foldCall turns bag/list/set constructors with all-literal arguments into
+// collection literals, making the printed form of data canonical.
+func foldCall(c *Call) Expr {
+	switch c.Fn {
+	case "bag", "list", "set":
+	default:
+		return c
+	}
+	vals := make([]types.Value, 0, len(c.Args))
+	for _, a := range c.Args {
+		lit, ok := a.(*Literal)
+		if !ok {
+			return c
+		}
+		vals = append(vals, lit.Val)
+	}
+	switch c.Fn {
+	case "bag":
+		return &Literal{Val: types.NewBag(vals...)}
+	case "list":
+		return &Literal{Val: types.NewList(vals...)}
+	default:
+		return &Literal{Val: types.NewSet(vals...)}
+	}
+}
+
+func (p *parser) parseStructCtor() (Expr, error) {
+	p.advance() // struct
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var fields []StructField
+	if !p.isPunct(")") {
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(":"); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr(precSelect)
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, StructField{Name: name, Expr: e})
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return foldStructCtor(&StructCtor{Fields: fields}), nil
+}
+
+// foldStructCtor turns struct constructors with all-literal fields into
+// struct literals.
+func foldStructCtor(s *StructCtor) Expr {
+	fields := make([]types.Field, 0, len(s.Fields))
+	for _, f := range s.Fields {
+		lit, ok := f.Expr.(*Literal)
+		if !ok {
+			return s
+		}
+		fields = append(fields, types.Field{Name: f.Name, Value: lit.Val})
+	}
+	return &Literal{Val: types.NewStruct(fields...)}
+}
+
+func (p *parser) parseSelect() (Expr, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	if p.acceptKeyword("distinct") {
+		sel.Distinct = true
+	}
+	proj, err := p.parseExpr(precOr)
+	if err != nil {
+		return nil, err
+	}
+	sel.Proj = proj
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		v, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("in"); err != nil {
+			return nil, err
+		}
+		// Domains parse above and/or and comparison level so that the
+		// "and" binding separator (paper §2.2.3 writes
+		// "from x in person0 and y in person1") is never swallowed.
+		dom, err := p.parseExpr(precAdd)
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, Binding{Var: v, Domain: dom})
+		if !p.moreBindings() {
+			break
+		}
+		p.advance() // the "," or "and" separator
+	}
+	if p.acceptKeyword("where") {
+		w, err := p.parseExpr(precOr)
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	return sel, nil
+}
+
+// moreBindings reports whether the cursor sits on a binding separator that
+// is followed by another "ident in ..." binding. The lookahead resolves the
+// ambiguity between from-clause commas and argument-list commas, and between
+// the "and" separator and a boolean operator.
+func (p *parser) moreBindings() bool {
+	t := p.cur()
+	isSep := (t.kind == tokPunct && t.text == ",") || (t.kind == tokKeyword && t.text == "and")
+	if !isSep {
+		return false
+	}
+	return p.peek(1).kind == tokIdent && p.peek(2).kind == tokKeyword && p.peek(2).text == "in"
+}

@@ -1,0 +1,300 @@
+package oql
+
+import (
+	"strings"
+	"testing"
+
+	"disco/internal/types"
+)
+
+func mustParse(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("ParseQuery(%q): %v", src, err)
+	}
+	return e
+}
+
+// TestParsePaperQueries parses every query that appears in the paper.
+func TestParsePaperQueries(t *testing.T) {
+	queries := []string{
+		// §1.2
+		`select x.name from x in person where x.salary > 10`,
+		// §1.3 partial answer
+		`union(select y.name from y in person0 where y.salary > 10, bag("Sam"))`,
+		// §2.1
+		`select x.name from x in person0 where x.salary > 10`,
+		`select x.name from x in union(person0, person1) where x.salary > 10`,
+		`flatten(select x.e from x in metaextent where x.interface = Person)`,
+		// §2.2.3 views
+		`select struct(name: x.name, salary: x.salary + y.salary)
+		 from x in person0 and y in person1
+		 where x.id = y.id`,
+		`select struct(name: x.name,
+		               salary: sum(select z.salary from z in person where x.id = z.id))
+		 from x in person*`,
+		// §2.3 dissimilar structures
+		`bag(select struct(name: x.name, salary: x.salary) from x in person,
+		     select struct(name: x.name, salary: x.regular + x.consult) from x in persontwo0)`,
+		// §4 partial answer without where
+		`union(select x.name from x in person0, bag("Sam"))`,
+	}
+	for _, q := range queries {
+		if _, err := ParseQuery(q); err != nil {
+			t.Errorf("paper query failed to parse: %q: %v", q, err)
+		}
+	}
+}
+
+func TestParseSelectShape(t *testing.T) {
+	e := mustParse(t, `select x.name from x in person where x.salary > 10`)
+	sel, ok := e.(*Select)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if len(sel.From) != 1 || sel.From[0].Var != "x" {
+		t.Errorf("from = %+v", sel.From)
+	}
+	if p, ok := sel.Proj.(*Path); !ok || p.Field != "name" {
+		t.Errorf("proj = %s", sel.Proj)
+	}
+	w, ok := sel.Where.(*Binary)
+	if !ok || w.Op != OpGt {
+		t.Fatalf("where = %s", sel.Where)
+	}
+	if lit, ok := w.R.(*Literal); !ok || !lit.Val.Equal(types.Int(10)) {
+		t.Errorf("where rhs = %s", w.R)
+	}
+}
+
+func TestParseBindingSeparators(t *testing.T) {
+	// "," and "and" are interchangeable binding separators (§2.2.3).
+	a := mustParse(t, `select x.name from x in a, y in b where x.id = y.id`)
+	b := mustParse(t, `select x.name from x in a and y in b where x.id = y.id`)
+	if !Equal(a, b) {
+		t.Errorf("comma and and-separated bindings should parse identically:\n%s\n%s", a, b)
+	}
+	sel := a.(*Select)
+	if len(sel.From) != 2 {
+		t.Fatalf("bindings = %+v", sel.From)
+	}
+}
+
+func TestParseAndIsNotABindingWhenWherePrefixed(t *testing.T) {
+	// The "and" here is a boolean connective inside where, not a separator.
+	e := mustParse(t, `select x.a from x in c where x.a = 1 and x.b = 2`)
+	sel := e.(*Select)
+	if len(sel.From) != 1 {
+		t.Fatalf("bindings = %+v", sel.From)
+	}
+	w, ok := sel.Where.(*Binary)
+	if !ok || w.Op != OpAnd {
+		t.Errorf("where = %s", sel.Where)
+	}
+}
+
+func TestParseStarClosure(t *testing.T) {
+	e := mustParse(t, `select x.name from x in person* where x.salary > 10`)
+	sel := e.(*Select)
+	id, ok := sel.From[0].Domain.(*Ident)
+	if !ok || !id.Star || id.Name != "person" {
+		t.Fatalf("domain = %s", sel.From[0].Domain)
+	}
+}
+
+func TestStarVersusMultiplication(t *testing.T) {
+	// "salary * 2" is multiplication; "person*" in a domain is closure.
+	e := mustParse(t, `select x.salary * 2 from x in person*`)
+	sel := e.(*Select)
+	mul, ok := sel.Proj.(*Binary)
+	if !ok || mul.Op != OpMul {
+		t.Fatalf("proj = %s", sel.Proj)
+	}
+	id := sel.From[0].Domain.(*Ident)
+	if !id.Star {
+		t.Errorf("domain should be star closure")
+	}
+	// Star closure inside parens and before commas.
+	e2 := mustParse(t, `union(person*, student)`)
+	call := e2.(*Call)
+	if id := call.Args[0].(*Ident); !id.Star {
+		t.Errorf("person* before comma should be closure")
+	}
+	e3 := mustParse(t, `count((person*))`)
+	if _, err := ParseQuery(e3.String()); err != nil {
+		t.Errorf("reprint of %s failed: %v", e3, err)
+	}
+	// Multiplication between identifiers still works.
+	e4 := mustParse(t, `select x.a * x.b from x in c`)
+	if mul := e4.(*Select).Proj.(*Binary); mul.Op != OpMul {
+		t.Errorf("a * b should be multiplication")
+	}
+}
+
+func TestParseLiteralFolding(t *testing.T) {
+	tests := []struct {
+		src  string
+		want types.Value
+	}{
+		{`bag("Mary", "Sam")`, types.NewBag(types.Str("Mary"), types.Str("Sam"))},
+		{`list(1, 2, 3)`, types.NewList(types.Int(1), types.Int(2), types.Int(3))},
+		{`set(1, 1)`, types.NewSet(types.Int(1))},
+		{`struct(name: "Mary", salary: 200)`,
+			types.NewStruct(types.Field{Name: "name", Value: types.Str("Mary")}, types.Field{Name: "salary", Value: types.Int(200)})},
+		{`-5`, types.Int(-5)},
+		{`-2.5`, types.Float(-2.5)},
+		{`bag(struct(a: 1), struct(a: 2))`,
+			types.NewBag(
+				types.NewStruct(types.Field{Name: "a", Value: types.Int(1)}),
+				types.NewStruct(types.Field{Name: "a", Value: types.Int(2)}))},
+	}
+	for _, tt := range tests {
+		e := mustParse(t, tt.src)
+		lit, ok := e.(*Literal)
+		if !ok {
+			t.Errorf("%q should fold to a literal, got %T", tt.src, e)
+			continue
+		}
+		if !lit.Val.Equal(tt.want) {
+			t.Errorf("%q = %s, want %s", tt.src, lit.Val, tt.want)
+		}
+	}
+	// Mixed constructor args stay calls.
+	e := mustParse(t, `bag(x, 1)`)
+	if _, ok := e.(*Call); !ok {
+		t.Errorf("bag with non-literal args should stay a call, got %T", e)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	tests := []struct{ src, canonical string }{
+		{`1 + 2 * 3`, `1 + 2 * 3`},
+		{`(1 + 2) * 3`, `(1 + 2) * 3`},
+		{`a or b and c`, `a or b and c`},
+		{`(a or b) and c`, `(a or b) and c`},
+		{`not a = b`, `not a = b`},     // not binds looser than =
+		{`(not a) = b`, `(not a) = b`}, // forced grouping preserved
+		{`1 - 2 - 3`, `1 - 2 - 3`},     // left assoc
+		{`1 - (2 - 3)`, `1 - (2 - 3)`}, // right grouping preserved
+		{`x.a in bag(1, 2)`, `x.a in bag(1, 2)`},
+		{`a mod 2 = 0`, `a mod 2 = 0`},
+	}
+	for _, tt := range tests {
+		e := mustParse(t, tt.src)
+		if got := e.String(); got != tt.canonical {
+			t.Errorf("%q prints as %q, want %q", tt.src, got, tt.canonical)
+		}
+	}
+}
+
+func TestParseDefine(t *testing.T) {
+	d, err := ParseDefine(`define double as
+		select struct(name: x.name, salary: x.salary + y.salary)
+		from x in person0 and y in person1
+		where x.id = y.id;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "double" {
+		t.Errorf("name = %s", d.Name)
+	}
+	if _, ok := d.Query.(*Select); !ok {
+		t.Errorf("query = %T", d.Query)
+	}
+	// Round trip.
+	d2, err := ParseDefine(d.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !Equal(d.Query, d2.Query) || d.Name != d2.Name {
+		t.Errorf("define round trip failed: %s vs %s", d, d2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`select`,
+		`select x from`,
+		`select x from x`,
+		`select x from x in`,
+		`select x.name from x in person where`,
+		`1 +`,
+		`(1`,
+		`"unterminated`,
+		`struct(a 1)`,
+		`bag(1,`,
+		`select x from x in a, from`,
+		`define as x`,
+		`define v x`,
+		`x.`,
+		`@`,
+		`"bad \q escape"`,
+		`select x from x in a; extra`,
+	}
+	for _, src := range bad {
+		if _, err := ParseQuery(src); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	e := mustParse(t, `select x.name -- project the name
+		from x in person -- the implicit extent
+		where x.salary > 10`)
+	if _, ok := e.(*Select); !ok {
+		t.Fatalf("got %T", e)
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	tests := []struct {
+		src  string
+		want types.Value
+	}{
+		{`42`, types.Int(42)},
+		{`2.5`, types.Float(2.5)},
+		{`1e3`, types.Float(1000)},
+		{`1.5e-2`, types.Float(0.015)},
+		{`2.0`, types.Float(2)},
+	}
+	for _, tt := range tests {
+		e := mustParse(t, tt.src)
+		lit := e.(*Literal)
+		if !lit.Val.Equal(tt.want) || lit.Val.Kind() != tt.want.Kind() {
+			t.Errorf("%q = %s (%s), want %s (%s)", tt.src, lit.Val, lit.Val.Kind(), tt.want, tt.want.Kind())
+		}
+	}
+}
+
+func TestFreeNames(t *testing.T) {
+	e := mustParse(t, `select struct(a: x.name, t: sum(select z.salary from z in person where x.id = z.id))
+		from x in person0 and y in view1 where x.id = y.id`)
+	got := FreeNames(e)
+	want := []string{"person0", "view1", "person"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("FreeNames = %v, want %v", got, want)
+	}
+	// Bound variables are not free.
+	e2 := mustParse(t, `select x.a from x in c where x.b > 1`)
+	if got := FreeNames(e2); len(got) != 1 || got[0] != "c" {
+		t.Errorf("FreeNames = %v, want [c]", got)
+	}
+	// A domain may reference an earlier binding without it being free.
+	e3 := mustParse(t, `select y from x in c, y in x.children`)
+	if got := FreeNames(e3); len(got) != 1 || got[0] != "c" {
+		t.Errorf("FreeNames = %v, want [c]", got)
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	e := mustParse(t, `select distinct x.name from x in person`)
+	if !e.(*Select).Distinct {
+		t.Error("distinct flag not set")
+	}
+	if got := e.String(); got != `select distinct x.name from x in person` {
+		t.Errorf("print = %q", got)
+	}
+}

@@ -1,0 +1,238 @@
+package oql
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"disco/internal/types"
+)
+
+// randomExpr generates a canonical random OQL AST: one the parser itself
+// could have produced (constructor calls over literals are folded, unary
+// minus over numeric literals is folded, identifiers avoid reserved and
+// operator-like words).
+func randomExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		return randomLeaf(r)
+	}
+	switch r.Intn(10) {
+	case 0, 1:
+		return randomLeaf(r)
+	case 2:
+		return &Path{Base: randomExpr(r, depth-1), Field: randomIdentName(r)}
+	case 3:
+		return &Unary{Op: OpNot, X: randomExpr(r, depth-1)}
+	case 4:
+		// Unary minus over a non-literal operand only.
+		return &Unary{Op: OpNeg, X: &Path{Base: &Ident{Name: randomIdentName(r)}, Field: randomIdentName(r)}}
+	case 5:
+		ops := []BinaryOp{OpOr, OpAnd, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpIn, OpAdd, OpSub, OpMul, OpDiv, OpMod}
+		return &Binary{Op: ops[r.Intn(len(ops))], L: randomExpr(r, depth-1), R: randomExpr(r, depth-1)}
+	case 6:
+		n := 1 + r.Intn(3)
+		fields := make([]StructField, 0, n)
+		nonLit := false
+		for i := 0; i < n; i++ {
+			e := randomExpr(r, depth-1)
+			if _, ok := e.(*Literal); !ok {
+				nonLit = true
+			}
+			fields = append(fields, StructField{Name: randomIdentName(r), Expr: e})
+		}
+		if !nonLit {
+			// Would fold; force one non-literal field.
+			fields[0].Expr = &Ident{Name: randomIdentName(r)}
+		}
+		// The parser keeps the last duplicate name; avoid duplicates.
+		seen := map[string]bool{}
+		for i := range fields {
+			for seen[fields[i].Name] {
+				fields[i].Name += "x"
+			}
+			seen[fields[i].Name] = true
+		}
+		return &StructCtor{Fields: fields}
+	case 7:
+		fns := []string{"union", "flatten", "count", "sum", "min", "max", "avg", "element", "distinct", "exists"}
+		fn := fns[r.Intn(len(fns))]
+		n := 1
+		if fn == "union" {
+			n = 1 + r.Intn(3)
+		}
+		args := make([]Expr, 0, n)
+		for i := 0; i < n; i++ {
+			args = append(args, randomExpr(r, depth-1))
+		}
+		return &Call{Fn: fn, Args: args}
+	case 8:
+		// bag/list/set constructor with at least one non-literal argument.
+		fns := []string{"bag", "list", "set"}
+		args := []Expr{&Ident{Name: randomIdentName(r)}}
+		if r.Intn(2) == 0 {
+			args = append(args, randomExpr(r, depth-1))
+		}
+		return &Call{Fn: fns[r.Intn(len(fns))], Args: args}
+	default:
+		return randomSelect(r, depth-1)
+	}
+}
+
+func randomSelect(r *rand.Rand, depth int) *Select {
+	sel := &Select{Distinct: r.Intn(3) == 0, Proj: randomExpr(r, depth)}
+	n := 1 + r.Intn(2)
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		v := randomIdentName(r)
+		for seen[v] {
+			v += "v"
+		}
+		seen[v] = true
+		sel.From = append(sel.From, Binding{Var: v, Domain: randomDomain(r, depth)})
+	}
+	if r.Intn(2) == 0 {
+		sel.Where = randomExpr(r, depth)
+	}
+	return sel
+}
+
+// randomDomain produces domain expressions, weighted toward extents with an
+// occasional star closure.
+func randomDomain(r *rand.Rand, depth int) Expr {
+	switch r.Intn(4) {
+	case 0:
+		return &Ident{Name: randomIdentName(r), Star: true}
+	case 1:
+		if depth > 0 {
+			return &Call{Fn: "union", Args: []Expr{randomDomain(r, depth-1), randomDomain(r, depth-1)}}
+		}
+		return &Ident{Name: randomIdentName(r)}
+	default:
+		return &Ident{Name: randomIdentName(r)}
+	}
+}
+
+func randomLeaf(r *rand.Rand) Expr {
+	switch r.Intn(7) {
+	case 0:
+		return &Literal{Val: types.Int(r.Int63n(2001) - 1000)}
+	case 1:
+		return &Literal{Val: types.Float(float64(r.Int63n(1000)) + 0.25)}
+	case 2:
+		return &Literal{Val: types.Str(randomIdentName(r))}
+	case 3:
+		return &Literal{Val: types.Bool(r.Intn(2) == 0)}
+	case 4:
+		return &Literal{Val: randomLiteralCollection(r)}
+	case 5:
+		return &Ident{Name: randomIdentName(r)}
+	default:
+		return &Literal{Val: types.Null{}}
+	}
+}
+
+// randomLiteralCollection builds collection literals the folding parser can
+// reproduce: bags and lists of scalars, sets built through NewSet (deduped).
+func randomLiteralCollection(r *rand.Rand) types.Value {
+	n := r.Intn(3)
+	elems := make([]types.Value, 0, n)
+	for i := 0; i < n; i++ {
+		switch r.Intn(3) {
+		case 0:
+			elems = append(elems, types.Int(r.Int63n(100)))
+		case 1:
+			elems = append(elems, types.Str(randomIdentName(r)))
+		default:
+			elems = append(elems, types.Bool(true))
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return types.NewBag(elems...)
+	case 1:
+		return types.NewList(elems...)
+	default:
+		return types.NewSet(elems...)
+	}
+}
+
+var identLetters = []string{"alpha", "beta", "gamma", "delta", "extent", "person", "salary", "name", "src", "q"}
+
+func randomIdentName(r *rand.Rand) string {
+	return identLetters[r.Intn(len(identLetters))]
+}
+
+type genExpr struct{ E Expr }
+
+func (genExpr) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(genExpr{E: randomExpr(r, 3)})
+}
+
+// TestPrintParseRoundTripProperty is the closure property the partial
+// evaluation semantics depends on (paper §4): every AST prints to OQL text
+// that parses back to the same AST.
+func TestPrintParseRoundTripProperty(t *testing.T) {
+	f := func(g genExpr) bool {
+		src := g.E.String()
+		parsed, err := ParseQuery(src)
+		if err != nil {
+			t.Logf("parse %q: %v", src, err)
+			return false
+		}
+		if !Equal(parsed, g.E) {
+			t.Logf("round trip mismatch:\n  ast:     %s\n  reparse: %s", g.E, parsed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPrintIsStableProperty: printing is a fixpoint — parse(print(e)) prints
+// to the same text.
+func TestPrintIsStableProperty(t *testing.T) {
+	f := func(g genExpr) bool {
+		src := g.E.String()
+		parsed, err := ParseQuery(src)
+		if err != nil {
+			return false
+		}
+		return parsed.String() == src
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrintPaperPartialAnswer(t *testing.T) {
+	// The §1.3 partial answer must print exactly as a legal query.
+	inner := &Select{
+		Proj:  &Path{Base: &Ident{Name: "y"}, Field: "name"},
+		From:  []Binding{{Var: "y", Domain: &Ident{Name: "person0"}}},
+		Where: &Binary{Op: OpGt, L: &Path{Base: &Ident{Name: "y"}, Field: "salary"}, R: &Literal{Val: types.Int(10)}},
+	}
+	ans := &Call{Fn: "union", Args: []Expr{inner, &Literal{Val: types.NewBag(types.Str("Sam"))}}}
+	want := `union(select y.name from y in person0 where y.salary > 10, bag("Sam"))`
+	if got := ans.String(); got != want {
+		t.Errorf("partial answer prints as %q, want %q", got, want)
+	}
+	if _, err := ParseQuery(ans.String()); err != nil {
+		t.Errorf("partial answer does not reparse: %v", err)
+	}
+}
+
+func TestNestedSelectProjectionParenthesized(t *testing.T) {
+	inner := &Select{Proj: &Ident{Name: "y"}, From: []Binding{{Var: "y", Domain: &Ident{Name: "b"}}}}
+	outer := &Select{Proj: inner, From: []Binding{{Var: "x", Domain: &Ident{Name: "a"}}}}
+	src := outer.String()
+	parsed, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if !Equal(parsed, outer) {
+		t.Errorf("nested select round trip failed: %q", src)
+	}
+}

@@ -1,0 +1,272 @@
+package physical
+
+import (
+	"context"
+	"fmt"
+
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+// NLJoin is the nested-loop join: it materializes the right input and scans
+// it once per left element. It handles arbitrary predicates (including
+// cross products when Pred is nil).
+type NLJoin struct {
+	L, R Operator
+	Pred oql.Expr
+	rt   *Runtime
+
+	right   []types.Value
+	curLeft *types.Struct
+	ri      int
+}
+
+// Open implements Operator.
+func (j *NLJoin) Open(ctx context.Context) error {
+	if err := j.L.Open(ctx); err != nil {
+		return err
+	}
+	right, err := Drain(ctx, j.R)
+	if err != nil {
+		return err
+	}
+	j.right = right
+	j.curLeft = nil
+	j.ri = 0
+	return nil
+}
+
+// Next implements Operator.
+func (j *NLJoin) Next() (types.Value, error) {
+	for {
+		if j.curLeft == nil {
+			v, err := j.L.Next()
+			if err != nil {
+				return nil, err
+			}
+			st, ok := v.(*types.Struct)
+			if !ok {
+				return nil, fmt.Errorf("physical: join over %s elements", v.Kind())
+			}
+			j.curLeft = st
+			j.ri = 0
+		}
+		for j.ri < len(j.right) {
+			rs, ok := j.right[j.ri].(*types.Struct)
+			if !ok {
+				return nil, fmt.Errorf("physical: join over %s elements", j.right[j.ri].Kind())
+			}
+			j.ri++
+			merged := types.NewStruct(append(j.curLeft.Fields(), rs.Fields()...)...)
+			if j.Pred != nil {
+				cond, err := evalWith(j.Pred, merged, j.rt)
+				if err != nil {
+					return nil, err
+				}
+				keep, err := types.Truthy(cond)
+				if err != nil {
+					return nil, err
+				}
+				if !keep {
+					continue
+				}
+			}
+			return merged, nil
+		}
+		j.curLeft = nil
+	}
+}
+
+// Close implements Operator.
+func (j *NLJoin) Close() error {
+	errL := j.L.Close()
+	errR := j.R.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+// HashJoin implements equi-joins: it builds a hash table over the right
+// input keyed by RKey and probes it with LKey per left element. Residual
+// carries any non-equi conjuncts evaluated after the probe.
+type HashJoin struct {
+	L, R       Operator
+	LKey, RKey oql.Expr
+	Residual   oql.Expr
+	rt         *Runtime
+
+	table   map[string][]*types.Struct
+	matches []*types.Struct
+	curLeft *types.Struct
+}
+
+// Open implements Operator.
+func (j *HashJoin) Open(ctx context.Context) error {
+	if err := j.L.Open(ctx); err != nil {
+		return err
+	}
+	right, err := Drain(ctx, j.R)
+	if err != nil {
+		return err
+	}
+	j.table = make(map[string][]*types.Struct, len(right))
+	for _, v := range right {
+		st, ok := v.(*types.Struct)
+		if !ok {
+			return fmt.Errorf("physical: join over %s elements", v.Kind())
+		}
+		key, err := evalWith(j.RKey, st, j.rt)
+		if err != nil {
+			return err
+		}
+		k := types.CanonicalKey(key)
+		j.table[k] = append(j.table[k], st)
+	}
+	j.matches = nil
+	j.curLeft = nil
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (types.Value, error) {
+	for {
+		if len(j.matches) > 0 {
+			rs := j.matches[0]
+			j.matches = j.matches[1:]
+			merged := types.NewStruct(append(j.curLeft.Fields(), rs.Fields()...)...)
+			if j.Residual != nil {
+				cond, err := evalWith(j.Residual, merged, j.rt)
+				if err != nil {
+					return nil, err
+				}
+				keep, err := types.Truthy(cond)
+				if err != nil {
+					return nil, err
+				}
+				if !keep {
+					continue
+				}
+			}
+			return merged, nil
+		}
+		v, err := j.L.Next()
+		if err != nil {
+			return nil, err
+		}
+		st, ok := v.(*types.Struct)
+		if !ok {
+			return nil, fmt.Errorf("physical: join over %s elements", v.Kind())
+		}
+		key, err := evalWith(j.LKey, st, j.rt)
+		if err != nil {
+			return nil, err
+		}
+		j.curLeft = st
+		j.matches = j.table[types.CanonicalKey(key)]
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	errL := j.L.Close()
+	errR := j.R.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+// equiKey deconstructs a join predicate into an equality between a
+// left-side and a right-side expression, plus a residual conjunct. It
+// returns ok=false when no usable equality exists, in which case the
+// implementation rule falls back to a nested loop.
+func equiKey(pred oql.Expr, lVars, rVars map[string]bool) (lk, rk, residual oql.Expr, ok bool) {
+	conjuncts := splitAnd(pred)
+	for i, c := range conjuncts {
+		bin, isBin := c.(*oql.Binary)
+		if !isBin || bin.Op != oql.OpEq {
+			continue
+		}
+		lSide, rSide := sideOf(bin.L, lVars, rVars), sideOf(bin.R, lVars, rVars)
+		var l, r oql.Expr
+		switch {
+		case lSide == "l" && rSide == "r":
+			l, r = bin.L, bin.R
+		case lSide == "r" && rSide == "l":
+			l, r = bin.R, bin.L
+		default:
+			continue
+		}
+		rest := append(append([]oql.Expr{}, conjuncts[:i]...), conjuncts[i+1:]...)
+		return l, r, conjoinExprs(rest), true
+	}
+	return nil, nil, nil, false
+}
+
+func splitAnd(e oql.Expr) []oql.Expr {
+	if bin, ok := e.(*oql.Binary); ok && bin.Op == oql.OpAnd {
+		return append(splitAnd(bin.L), splitAnd(bin.R)...)
+	}
+	return []oql.Expr{e}
+}
+
+func conjoinExprs(conj []oql.Expr) oql.Expr {
+	var out oql.Expr
+	for _, c := range conj {
+		if out == nil {
+			out = c
+		} else {
+			out = &oql.Binary{Op: oql.OpAnd, L: out, R: c}
+		}
+	}
+	return out
+}
+
+// sideOf classifies which join side an expression's free names belong to:
+// "l", "r", "const" (neither) or "mixed".
+func sideOf(e oql.Expr, lVars, rVars map[string]bool) string {
+	names := oql.FreeNames(e)
+	usesL, usesR := false, false
+	for _, n := range names {
+		switch {
+		case lVars[n]:
+			usesL = true
+		case rVars[n]:
+			usesR = true
+		default:
+			// A free name outside both sides (extent reference in a
+			// correlated predicate): treat as mixed so the rule backs off.
+			return "mixed"
+		}
+	}
+	switch {
+	case usesL && usesR:
+		return "mixed"
+	case usesL:
+		return "l"
+	case usesR:
+		return "r"
+	default:
+		return "const"
+	}
+}
+
+// compile-time checks
+var (
+	_ Operator = (*NLJoin)(nil)
+	_ Operator = (*HashJoin)(nil)
+	_ Operator = (*Exec)(nil)
+	_ Operator = (*ConstScan)(nil)
+	_ Operator = (*EvalScan)(nil)
+	_ Operator = (*MkBind)(nil)
+	_ Operator = (*MkSelect)(nil)
+	_ Operator = (*MkProj)(nil)
+	_ Operator = (*MkMap)(nil)
+	_ Operator = (*MkNest)(nil)
+	_ Operator = (*MkDepend)(nil)
+	_ Operator = (*MkUnion)(nil)
+	_ Operator = (*MkDistinct)(nil)
+	_ Operator = (*MkFlatten)(nil)
+	_ Operator = (*MkAgg)(nil)
+)

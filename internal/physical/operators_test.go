@@ -1,0 +1,150 @@
+package physical
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"disco/internal/algebra"
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+func parseExpr(t *testing.T, src string) oql.Expr {
+	t.Helper()
+	e, err := oql.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEvalScan(t *testing.T) {
+	rt := &Runtime{}
+	op := &EvalScan{Expr: parseExpr(t, `1 + 2`), rt: rt}
+	out, err := Drain(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !out[0].Equal(types.Int(3)) {
+		t.Errorf("eval scan = %v", out)
+	}
+	// Reopen rewinds.
+	out, err = Drain(context.Background(), op)
+	if err != nil || len(out) != 1 {
+		t.Errorf("reopen: %v, %v", out, err)
+	}
+	// Errors propagate.
+	bad := &EvalScan{Expr: parseExpr(t, `1 / 0`), rt: rt}
+	if _, err := Drain(context.Background(), bad); err == nil {
+		t.Error("division by zero should surface")
+	}
+}
+
+func TestMkNestErrors(t *testing.T) {
+	groups := []algebra.NestGroup{{Var: "x", Attrs: []string{"a"}}}
+	// Missing attribute.
+	op := &MkNest{Groups: groups, Input: &ConstScan{Bag: types.NewBag(
+		types.NewStruct(types.Field{Name: "other", Value: types.Int(1)}),
+	)}}
+	if _, err := Drain(context.Background(), op); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("err = %v", err)
+	}
+	// Non-struct element.
+	op2 := &MkNest{Groups: groups, Input: &ConstScan{Bag: types.NewBag(types.Int(5))}}
+	if _, err := Drain(context.Background(), op2); err == nil {
+		t.Error("nest over scalar should fail")
+	}
+}
+
+func TestMkDependDirect(t *testing.T) {
+	rt := &Runtime{}
+	envs := types.NewBag(
+		types.NewStruct(types.Field{Name: "g", Value: types.NewStruct(
+			types.Field{Name: "kids", Value: types.NewBag(types.Int(1), types.Int(2))},
+		)}),
+	)
+	op := &MkDepend{Var: "k", Domain: parseExpr(t, `g.kids`), Input: &ConstScan{Bag: envs}, rt: rt}
+	out, err := Drain(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("depend fan-out = %d", len(out))
+	}
+	st := out[0].(*types.Struct)
+	if _, ok := st.Get("k"); !ok {
+		t.Errorf("bound var missing: %s", st)
+	}
+	// Non-collection domain errors.
+	bad := &MkDepend{Var: "k", Domain: parseExpr(t, `5`), Input: &ConstScan{Bag: envs}, rt: rt}
+	if _, err := Drain(context.Background(), bad); err == nil {
+		t.Error("scalar domain should fail")
+	}
+	// Non-struct env errors.
+	bad2 := &MkDepend{Var: "k", Domain: parseExpr(t, `g`), Input: &ConstScan{Bag: types.NewBag(types.Int(1))}, rt: rt}
+	if _, err := Drain(context.Background(), bad2); err == nil {
+		t.Error("scalar env should fail")
+	}
+}
+
+func TestMkAggEmptyInput(t *testing.T) {
+	op := &MkAgg{Fn: "sum", Input: &ConstScan{Bag: types.NewBag()}}
+	out, err := Drain(context.Background(), op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !out[0].Equal(types.Int(0)) {
+		t.Errorf("sum of empty = %v", out)
+	}
+}
+
+func TestMkUnionScalarOperandMustBeCollection(t *testing.T) {
+	// A scalar-producing input whose single value is not a collection
+	// (count) cannot union.
+	agg := &MkAgg{Fn: "count", Input: &ConstScan{Bag: types.NewBag(types.Int(1))}}
+	op := &MkUnion{Inputs: []Operator{agg}, scalarInput: []bool{true}}
+	if _, err := Drain(context.Background(), op); err == nil {
+		t.Error("union over a scalar aggregate should fail like the reference evaluator")
+	}
+	// But an eval producing a bag splices.
+	ev := &EvalScan{Expr: parseExpr(t, `bag(1, 2)`), rt: &Runtime{}}
+	op2 := &MkUnion{Inputs: []Operator{ev}, scalarInput: []bool{true}}
+	out, err := Drain(context.Background(), op2)
+	if err != nil || len(out) != 2 {
+		t.Errorf("union splice = %v, %v", out, err)
+	}
+}
+
+func TestExecWaitWithoutStart(t *testing.T) {
+	e := NewExec("r0", &algebra.Const{Data: types.NewBag()}, &Runtime{})
+	if _, err := e.Wait(); err == nil {
+		t.Error("wait before start should fail")
+	}
+}
+
+func TestUnavailableErrorString(t *testing.T) {
+	err := &UnavailableError{Repo: "r0", Err: context.DeadlineExceeded}
+	if !strings.Contains(err.Error(), "r0") || !strings.Contains(err.Error(), "unavailable") {
+		t.Errorf("error text = %q", err)
+	}
+}
+
+func TestMkSelectNonBooleanPredicate(t *testing.T) {
+	rt := &Runtime{}
+	op := &MkSelect{
+		Pred:  parseExpr(t, `x`),
+		Input: &MkBind{Var: "x", Input: &ConstScan{Bag: types.NewBag(types.Int(1))}},
+		rt:    rt,
+	}
+	if _, err := Drain(context.Background(), op); err == nil {
+		t.Error("non-boolean predicate should fail")
+	}
+}
+
+func TestMkFlattenNonCollection(t *testing.T) {
+	op := &MkFlatten{Input: &ConstScan{Bag: types.NewBag(types.Int(1))}}
+	if _, err := Drain(context.Background(), op); err == nil {
+		t.Error("flatten of scalars should fail")
+	}
+}

@@ -1,0 +1,597 @@
+// Package physical implements DISCO's physical algebra (paper §3.3): the
+// Volcano-style iterator operators the run-time system executes, including
+// the exec physical algorithm that implements the submit logical operator.
+//
+// exec calls "proceed in parallel; calls to available data sources succeed;
+// calls to unavailable data sources block" (§4) — every exec in a plan is
+// launched concurrently when the plan starts, and a blocked call surfaces
+// as an UnavailableError when the evaluation deadline passes, which is what
+// partial evaluation reacts to.
+package physical
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"disco/internal/algebra"
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+// Operator is a Volcano-style iterator. Operators are single-use: Open,
+// Next until io.EOF, Close.
+type Operator interface {
+	Open(ctx context.Context) error
+	Next() (types.Value, error)
+	Close() error
+}
+
+// UnavailableError marks a data source that did not answer before the
+// evaluation deadline — the §4 trigger for partial answers.
+type UnavailableError struct {
+	Repo string
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("data source %s unavailable: %v", e.Repo, e.Err)
+}
+
+// Unwrap supports errors.Is/As.
+func (e *UnavailableError) Unwrap() error { return e.Err }
+
+// SubmitFunc executes a submit expression at a repository: the runtime
+// binds it to wrapper lookup, namespace translation, execution and cost
+// recording. It must return *UnavailableError (possibly wrapped) when the
+// source does not respond.
+type SubmitFunc func(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error)
+
+// Runtime supplies the environment operators need.
+type Runtime struct {
+	// Submit executes source calls.
+	Submit SubmitFunc
+	// Resolver resolves free collection names in scalar expressions
+	// (correlated subqueries in projections and predicates).
+	Resolver oql.Resolver
+}
+
+// resolver tolerates a nil receiver so operators constructed directly
+// (tests, benchmarks) evaluate pure expressions without a runtime.
+func (rt *Runtime) resolver() oql.Resolver {
+	if rt == nil || rt.Resolver == nil {
+		return oql.EmptyResolver
+	}
+	return rt.Resolver
+}
+
+// --- exec -------------------------------------------------------------------
+
+type execResult struct {
+	bag *types.Bag
+	err error
+}
+
+// Exec is the physical algorithm for submit. Start launches the remote
+// call; Next streams the materialized result.
+type Exec struct {
+	Repo string
+	Expr algebra.Node // source-side logical expression, mediator namespace
+
+	rt      *Runtime
+	startMu sync.Mutex
+	resCh   chan execResult
+	res     execResult
+	waited  bool
+	idx     int
+}
+
+// NewExec returns an exec operator for a submit node.
+func NewExec(repo string, expr algebra.Node, rt *Runtime) *Exec {
+	return &Exec{Repo: repo, Expr: expr, rt: rt}
+}
+
+// Start launches the source call in the background. It is idempotent.
+func (e *Exec) Start(ctx context.Context) {
+	e.startMu.Lock()
+	defer e.startMu.Unlock()
+	if e.resCh != nil {
+		return
+	}
+	e.resCh = make(chan execResult, 1)
+	go func() {
+		bag, err := e.rt.Submit(ctx, e.Repo, e.Expr)
+		e.resCh <- execResult{bag: bag, err: err}
+	}()
+}
+
+// Wait blocks until the call completes (the submit function itself honors
+// the context deadline) and returns its outcome.
+func (e *Exec) Wait() (*types.Bag, error) {
+	e.startMu.Lock()
+	ch := e.resCh
+	e.startMu.Unlock()
+	if ch == nil {
+		return nil, fmt.Errorf("physical: exec %s not started", e.Repo)
+	}
+	if !e.waited {
+		e.res = <-ch
+		e.waited = true
+	}
+	return e.res.bag, e.res.err
+}
+
+// Open implements Operator.
+func (e *Exec) Open(ctx context.Context) error {
+	e.Start(ctx)
+	e.idx = 0
+	return nil
+}
+
+// Next implements Operator.
+func (e *Exec) Next() (types.Value, error) {
+	bag, err := e.Wait()
+	if err != nil {
+		return nil, err
+	}
+	if e.idx >= bag.Len() {
+		return nil, io.EOF
+	}
+	v := bag.At(e.idx)
+	e.idx++
+	return v, nil
+}
+
+// Close implements Operator.
+func (e *Exec) Close() error { return nil }
+
+// --- scan-like operators ------------------------------------------------------
+
+// ConstScan streams an in-memory bag (the paper's file-scan analog for
+// embedded data).
+type ConstScan struct {
+	Bag *types.Bag
+	idx int
+}
+
+// Open implements Operator.
+func (c *ConstScan) Open(context.Context) error {
+	c.idx = 0
+	return nil
+}
+
+// Next implements Operator.
+func (c *ConstScan) Next() (types.Value, error) {
+	if c.idx >= c.Bag.Len() {
+		return nil, io.EOF
+	}
+	v := c.Bag.At(c.idx)
+	c.idx++
+	return v, nil
+}
+
+// Close implements Operator.
+func (c *ConstScan) Close() error { return nil }
+
+// EvalScan evaluates an arbitrary OQL expression with the reference
+// evaluator and yields the single resulting value.
+type EvalScan struct {
+	Expr oql.Expr
+	rt   *Runtime
+	done bool
+}
+
+// Open implements Operator.
+func (s *EvalScan) Open(context.Context) error {
+	s.done = false
+	return nil
+}
+
+// Next implements Operator.
+func (s *EvalScan) Next() (types.Value, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	s.done = true
+	return oql.Eval(s.Expr, nil, s.rt.resolver())
+}
+
+// Close implements Operator.
+func (s *EvalScan) Close() error { return nil }
+
+// --- element-wise operators ---------------------------------------------------
+
+// MkBind wraps each input element into a {var: elem} struct.
+type MkBind struct {
+	Var   string
+	Input Operator
+}
+
+// Open implements Operator.
+func (b *MkBind) Open(ctx context.Context) error { return b.Input.Open(ctx) }
+
+// Next implements Operator.
+func (b *MkBind) Next() (types.Value, error) {
+	v, err := b.Input.Next()
+	if err != nil {
+		return nil, err
+	}
+	return types.NewStruct(types.Field{Name: b.Var, Value: v}), nil
+}
+
+// Close implements Operator.
+func (b *MkBind) Close() error { return b.Input.Close() }
+
+// MkSelect filters elements by a predicate.
+type MkSelect struct {
+	Pred  oql.Expr
+	Input Operator
+	rt    *Runtime
+}
+
+// Open implements Operator.
+func (s *MkSelect) Open(ctx context.Context) error { return s.Input.Open(ctx) }
+
+// Next implements Operator.
+func (s *MkSelect) Next() (types.Value, error) {
+	for {
+		v, err := s.Input.Next()
+		if err != nil {
+			return nil, err
+		}
+		cond, err := evalWith(s.Pred, v, s.rt)
+		if err != nil {
+			return nil, err
+		}
+		keep, err := types.Truthy(cond)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			return v, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (s *MkSelect) Close() error { return s.Input.Close() }
+
+// MkProj projects each element to a struct of named columns.
+type MkProj struct {
+	Cols  []algebra.Col
+	Input Operator
+	rt    *Runtime
+}
+
+// Open implements Operator.
+func (p *MkProj) Open(ctx context.Context) error { return p.Input.Open(ctx) }
+
+// Next implements Operator.
+func (p *MkProj) Next() (types.Value, error) {
+	v, err := p.Input.Next()
+	if err != nil {
+		return nil, err
+	}
+	fields := make([]types.Field, 0, len(p.Cols))
+	for _, c := range p.Cols {
+		fv, err := evalWith(c.Expr, v, p.rt)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, types.Field{Name: c.Name, Value: fv})
+	}
+	return types.NewStruct(fields...), nil
+}
+
+// Close implements Operator.
+func (p *MkProj) Close() error { return p.Input.Close() }
+
+// MkMap evaluates an arbitrary expression per element.
+type MkMap struct {
+	Expr  oql.Expr
+	Input Operator
+	rt    *Runtime
+}
+
+// Open implements Operator.
+func (m *MkMap) Open(ctx context.Context) error { return m.Input.Open(ctx) }
+
+// Next implements Operator.
+func (m *MkMap) Next() (types.Value, error) {
+	v, err := m.Input.Next()
+	if err != nil {
+		return nil, err
+	}
+	return evalWith(m.Expr, v, m.rt)
+}
+
+// Close implements Operator.
+func (m *MkMap) Close() error { return m.Input.Close() }
+
+// MkNest regroups flat joined tuples into per-variable structs.
+type MkNest struct {
+	Groups []algebra.NestGroup
+	Input  Operator
+}
+
+// Open implements Operator.
+func (n *MkNest) Open(ctx context.Context) error { return n.Input.Open(ctx) }
+
+// Next implements Operator.
+func (n *MkNest) Next() (types.Value, error) {
+	v, err := n.Input.Next()
+	if err != nil {
+		return nil, err
+	}
+	st, ok := v.(*types.Struct)
+	if !ok {
+		return nil, fmt.Errorf("physical: nest over %s", v.Kind())
+	}
+	outer := make([]types.Field, 0, len(n.Groups))
+	for _, g := range n.Groups {
+		inner := make([]types.Field, 0, len(g.Attrs))
+		for _, a := range g.Attrs {
+			fv, ok := st.Get(a)
+			if !ok {
+				return nil, fmt.Errorf("physical: nest attribute %q missing in %s", a, st)
+			}
+			inner = append(inner, types.Field{Name: a, Value: fv})
+		}
+		outer = append(outer, types.Field{Name: g.Var, Value: types.NewStruct(inner...)})
+	}
+	return types.NewStruct(outer...), nil
+}
+
+// Close implements Operator.
+func (n *MkNest) Close() error { return n.Input.Close() }
+
+// MkDepend expands a dependent binding: for each input env it evaluates the
+// domain expression and emits one extended env per domain element.
+type MkDepend struct {
+	Var    string
+	Domain oql.Expr
+	Input  Operator
+	rt     *Runtime
+
+	pending []types.Value
+}
+
+// Open implements Operator.
+func (d *MkDepend) Open(ctx context.Context) error {
+	d.pending = nil
+	return d.Input.Open(ctx)
+}
+
+// Next implements Operator.
+func (d *MkDepend) Next() (types.Value, error) {
+	for {
+		if len(d.pending) > 0 {
+			v := d.pending[0]
+			d.pending = d.pending[1:]
+			return v, nil
+		}
+		env, err := d.Input.Next()
+		if err != nil {
+			return nil, err
+		}
+		st, ok := env.(*types.Struct)
+		if !ok {
+			return nil, fmt.Errorf("physical: depend over %s", env.Kind())
+		}
+		dom, err := evalWith(d.Domain, env, d.rt)
+		if err != nil {
+			return nil, err
+		}
+		elems, err := types.Elements(dom)
+		if err != nil {
+			return nil, fmt.Errorf("physical: dependent domain for %s: %w", d.Var, err)
+		}
+		for _, e := range elems {
+			d.pending = append(d.pending, types.NewStruct(append(st.Fields(), types.Field{Name: d.Var, Value: e})...))
+		}
+	}
+}
+
+// Close implements Operator.
+func (d *MkDepend) Close() error { return d.Input.Close() }
+
+// MkUnion concatenates its inputs (bag union).
+type MkUnion struct {
+	Inputs []Operator
+	// scalar marks inputs whose single element is itself a collection to
+	// splice (aggregate results used as union operands).
+	scalarInput []bool
+	cur         int
+	pending     []types.Value
+}
+
+// Open implements Operator.
+func (u *MkUnion) Open(ctx context.Context) error {
+	u.cur = 0
+	u.pending = nil
+	for _, in := range u.Inputs {
+		if err := in.Open(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (u *MkUnion) Next() (types.Value, error) {
+	for {
+		if len(u.pending) > 0 {
+			v := u.pending[0]
+			u.pending = u.pending[1:]
+			return v, nil
+		}
+		if u.cur >= len(u.Inputs) {
+			return nil, io.EOF
+		}
+		v, err := u.Inputs[u.cur].Next()
+		if err == io.EOF {
+			u.cur++
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if u.scalarInput != nil && u.scalarInput[u.cur] {
+			elems, err := types.Elements(v)
+			if err != nil {
+				return nil, fmt.Errorf("physical: union operand: %w", err)
+			}
+			u.pending = elems
+			continue
+		}
+		return v, nil
+	}
+}
+
+// Close implements Operator.
+func (u *MkUnion) Close() error {
+	var first error
+	for _, in := range u.Inputs {
+		if err := in.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// MkDistinct removes duplicates.
+type MkDistinct struct {
+	Input Operator
+	seen  map[string]bool
+}
+
+// Open implements Operator.
+func (d *MkDistinct) Open(ctx context.Context) error {
+	d.seen = make(map[string]bool)
+	return d.Input.Open(ctx)
+}
+
+// Next implements Operator.
+func (d *MkDistinct) Next() (types.Value, error) {
+	for {
+		v, err := d.Input.Next()
+		if err != nil {
+			return nil, err
+		}
+		k := types.CanonicalKey(v)
+		if !d.seen[k] {
+			d.seen[k] = true
+			return v, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (d *MkDistinct) Close() error { return d.Input.Close() }
+
+// MkFlatten splices the elements of collection-valued elements.
+type MkFlatten struct {
+	Input   Operator
+	pending []types.Value
+}
+
+// Open implements Operator.
+func (f *MkFlatten) Open(ctx context.Context) error {
+	f.pending = nil
+	return f.Input.Open(ctx)
+}
+
+// Next implements Operator.
+func (f *MkFlatten) Next() (types.Value, error) {
+	for {
+		if len(f.pending) > 0 {
+			v := f.pending[0]
+			f.pending = f.pending[1:]
+			return v, nil
+		}
+		v, err := f.Input.Next()
+		if err != nil {
+			return nil, err
+		}
+		elems, err := types.Elements(v)
+		if err != nil {
+			return nil, fmt.Errorf("physical: flatten: %w", err)
+		}
+		f.pending = elems
+	}
+}
+
+// Close implements Operator.
+func (f *MkFlatten) Close() error { return f.Input.Close() }
+
+// MkAgg drains its input and yields the single aggregate value.
+type MkAgg struct {
+	Fn    string
+	Input Operator
+	done  bool
+}
+
+// Open implements Operator.
+func (a *MkAgg) Open(ctx context.Context) error {
+	a.done = false
+	return a.Input.Open(ctx)
+}
+
+// Next implements Operator.
+func (a *MkAgg) Next() (types.Value, error) {
+	if a.done {
+		return nil, io.EOF
+	}
+	a.done = true
+	var elems []types.Value
+	for {
+		v, err := a.Input.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, v)
+	}
+	return oql.ApplyCall(a.Fn, []types.Value{types.NewBag(elems...)})
+}
+
+// Close implements Operator.
+func (a *MkAgg) Close() error { return a.Input.Close() }
+
+// evalWith evaluates an expression with the element's struct fields bound
+// as variables.
+func evalWith(e oql.Expr, elem types.Value, rt *Runtime) (types.Value, error) {
+	st, ok := elem.(*types.Struct)
+	if !ok {
+		return nil, fmt.Errorf("physical: expression %s over non-struct element %s", e, elem)
+	}
+	var env *oql.Env
+	for _, f := range st.Fields() {
+		env = env.Bind(f.Name, f.Value)
+	}
+	return oql.Eval(e, env, rt.resolver())
+}
+
+// Drain runs an operator to exhaustion and returns its elements.
+func Drain(ctx context.Context, op Operator) ([]types.Value, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []types.Value
+	for {
+		v, err := op.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+}

@@ -1,0 +1,60 @@
+package source
+
+import (
+	"testing"
+
+	"disco/internal/types"
+)
+
+// FuzzSQL checks that the SQL dialect parser and executor never panic on
+// arbitrary query text.
+func FuzzSQL(f *testing.F) {
+	seeds := []string{
+		`SELECT * FROM person0`,
+		`SELECT name, salary FROM person0 WHERE salary > 10 AND name <> 'x'`,
+		`SELECT DISTINCT a FROM t WHERE a IN (1, 2, 'three')`,
+		`SELECT e FROM a JOIN b ON x = y WHERE NOT (p = q)`,
+		`SELECT * FROM (SELECT * FROM t)`,
+		`SELECT`,
+		`'unterminated`,
+		`SELECT * FROM t WHERE ''''''`,
+		`select 1 from from`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	store := NewRelStore()
+	if err := store.CreateTable("person0", "id", "name", "salary"); err != nil {
+		f.Fatal(err)
+	}
+	if err := store.Insert("person0", types.Int(1), types.Str("Mary"), types.Int(200)); err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		_, _ = store.Query(q) // must not panic
+	})
+}
+
+// FuzzExecScript checks the DDL/DML script loader.
+func FuzzExecScript(f *testing.F) {
+	f.Add("CREATE TABLE t (a, b);\nINSERT INTO t VALUES (1, 'x');")
+	f.Add("CREATE TABLE t (a INT);")
+	f.Add("INSERT INTO nowhere VALUES (1);")
+	f.Add("CREATE TABLE t (a); INSERT INTO t VALUES (1), (2), (3);")
+	f.Fuzz(func(t *testing.T, script string) {
+		_ = ExecScript(NewRelStore(), script) // must not panic
+	})
+}
+
+// FuzzDocQuery checks the keyword language.
+func FuzzDocQuery(f *testing.F) {
+	f.Add(`SCAN sites`)
+	f.Add(`MATCH sites quality 'good'`)
+	f.Add(`GREP sites note 'reference site'`)
+	f.Add(`MATCH 'odd quoting`)
+	d := NewDocStore()
+	d.AddDocument("sites", types.NewStruct(types.Field{Name: "quality", Value: types.Str("good")}))
+	f.Fuzz(func(t *testing.T, q string) {
+		_, _ = d.Query(q) // must not panic
+	})
+}

@@ -1,0 +1,175 @@
+package source
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+// ExecScript loads a data-definition script into a RelStore. The script
+// language is the DDL/DML half of the SQL dialect:
+//
+//	CREATE TABLE person0 (id, name, salary);
+//	INSERT INTO person0 VALUES (1, 'Mary', 200);
+//
+// Statements end with ";"; "--" comments run to end of line.
+func ExecScript(s *RelStore, script string) error {
+	toks, err := sqlLex(script)
+	if err != nil {
+		return err
+	}
+	p := &sqlParser{toks: toks}
+	for p.cur().kind != sqlEOF {
+		switch {
+		case p.isKeyword("create"):
+			if err := parseCreate(p, s); err != nil {
+				return err
+			}
+		case p.isKeyword("insert"):
+			if err := parseInsert(p, s); err != nil {
+				return err
+			}
+		default:
+			return p.errorf("expected CREATE or INSERT, found %q", p.cur().text)
+		}
+	}
+	return nil
+}
+
+func parseCreate(p *sqlParser, s *RelStore) error {
+	p.advance() // create
+	if err := p.expectKeyword("table"); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	var cols []string
+	for {
+		c, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		// Optional type annotation after the column name is accepted and
+		// ignored (the store is dynamically typed).
+		if p.cur().kind == sqlIdent && !p.isKeyword("") {
+			switch strings.ToLower(p.cur().text) {
+			case "int", "integer", "short", "long", "text", "varchar", "float", "double", "boolean", "string":
+				p.advance()
+			}
+		}
+		cols = append(cols, c)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	return s.CreateTable(name, cols...)
+}
+
+func parseInsert(p *sqlParser, s *RelStore) error {
+	p.advance() // insert
+	if err := p.expectKeyword("into"); err != nil {
+		return err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return err
+	}
+	for {
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		var vals []types.Value
+		for {
+			lit, err := p.parseOperand()
+			if err != nil {
+				return err
+			}
+			v, ok := literalOf(lit)
+			if !ok {
+				return p.errorf("INSERT values must be literals")
+			}
+			vals = append(vals, v)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		if err := s.Insert(name, vals...); err != nil {
+			return err
+		}
+		// Multiple tuples: VALUES (...), (...), ...
+		if !p.accept(",") {
+			break
+		}
+	}
+	return p.expect(";")
+}
+
+// literalOf extracts the value of a literal operand expression.
+func literalOf(e oql.Expr) (types.Value, bool) {
+	if l, ok := e.(*oql.Literal); ok {
+		return l.Val, true
+	}
+	return nil, false
+}
+
+// GenPeople fills a store with n deterministic synthetic person rows
+// (table name given), used by the experiment harness and benchmarks. Ids
+// are unique per (seed, i); salaries spread over [0, 1000).
+func GenPeople(s *RelStore, table string, n int, seed int64) error {
+	if err := s.CreateTable(table, "id", "name", "salary"); err != nil {
+		return err
+	}
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("p%d_%d", seed, i)
+		if err := s.Insert(table,
+			types.Int(int64(i)),
+			types.Str(name),
+			types.Int(r.Int63n(1000)),
+		); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GenReadings fills a store with synthetic water-quality readings — the
+// paper's motivating application (§1): geographically distributed stations
+// measuring the same quantities.
+func GenReadings(s *RelStore, table string, station string, n int, seed int64) error {
+	if err := s.CreateTable(table, "station", "day", "ph", "oxygen"); err != nil {
+		return err
+	}
+	r := rand.New(rand.NewSource(seed))
+	for day := 0; day < n; day++ {
+		if err := s.Insert(table,
+			types.Str(station),
+			types.Int(int64(day)),
+			types.Float(6.0+2*r.Float64()),
+			types.Float(5.0+6*r.Float64()),
+		); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package source
+
+import (
+	"strings"
+	"testing"
+
+	"disco/internal/types"
+)
+
+func TestExecScript(t *testing.T) {
+	s := NewRelStore()
+	err := ExecScript(s, `
+		-- the paper's r0 source
+		CREATE TABLE person0 (id, name, salary);
+		INSERT INTO person0 VALUES (1, 'Mary', 200);
+		INSERT INTO person0 VALUES (2, 'Ann', 5), (3, 'Bob', 42);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.Rows("person0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 3 {
+		t.Errorf("rows = %d", rows.Len())
+	}
+	b, err := s.Query(`SELECT name FROM person0 WHERE salary > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Errorf("query rows = %d", b.Len())
+	}
+}
+
+func TestExecScriptTypeAnnotations(t *testing.T) {
+	s := NewRelStore()
+	err := ExecScript(s, `
+		CREATE TABLE t (id INT, name VARCHAR, ratio FLOAT);
+		INSERT INTO t VALUES (1, 'x', 2.5);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.Rows("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows.At(0).(*types.Struct)
+	if v, _ := row.Get("ratio"); v.Kind() != types.KindFloat {
+		t.Errorf("ratio kind = %s", v.Kind())
+	}
+}
+
+func TestExecScriptErrors(t *testing.T) {
+	bad := []struct{ script, frag string }{
+		{`DROP TABLE x;`, "CREATE or INSERT"},
+		{`CREATE TABLE;`, "identifier"},
+		{`CREATE TABLE t (a); INSERT INTO t VALUES (a);`, "literals"},
+		{`INSERT INTO ghost VALUES (1);`, "no table"},
+		{`CREATE TABLE t (a); INSERT INTO t VALUES (1, 2);`, "columns"},
+		{`CREATE TABLE t (a)`, "expected"},
+	}
+	for _, tt := range bad {
+		err := ExecScript(NewRelStore(), tt.script)
+		if err == nil {
+			t.Errorf("ExecScript(%q) should fail", tt.script)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.frag) {
+			t.Errorf("ExecScript(%q) error = %q, want fragment %q", tt.script, err, tt.frag)
+		}
+	}
+}
+
+func TestGenPeople(t *testing.T) {
+	s := NewRelStore()
+	if err := GenPeople(s, "person0", 100, 7); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.Rows("person0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 100 {
+		t.Fatalf("rows = %d", rows.Len())
+	}
+	// Deterministic for a fixed seed.
+	s2 := NewRelStore()
+	if err := GenPeople(s2, "person0", 100, 7); err != nil {
+		t.Fatal(err)
+	}
+	rows2, _ := s2.Rows("person0")
+	if !rows.Equal(rows2) {
+		t.Error("GenPeople should be deterministic per seed")
+	}
+	// Salaries within range.
+	b, err := s.Query(`SELECT * FROM person0 WHERE salary >= 1000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("salaries out of range: %d rows", b.Len())
+	}
+}
+
+func TestGenReadings(t *testing.T) {
+	s := NewRelStore()
+	if err := GenReadings(s, "readings0", "amont", 30, 3); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Query(`SELECT * FROM readings0 WHERE station = 'amont'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 30 {
+		t.Errorf("rows = %d", b.Len())
+	}
+	row := b.At(0).(*types.Struct)
+	ph, _ := row.Get("ph")
+	if n, ok := types.Numeric(ph); !ok || n < 6.0 || n > 8.0 {
+		t.Errorf("ph out of range: %s", ph)
+	}
+}

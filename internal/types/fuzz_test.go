@@ -1,0 +1,41 @@
+package types
+
+import "testing"
+
+// FuzzDecodeValue checks that the wire decoder never panics on arbitrary
+// bytes and that anything it accepts re-encodes and decodes to an equal
+// value.
+func FuzzDecodeValue(f *testing.F) {
+	for _, v := range []Value{
+		Int(5),
+		Str("x"),
+		NewBag(NewStruct(Field{"a", Float(1.5)})),
+		NewSet(Bool(true), Null{}),
+	} {
+		data, err := EncodeValue(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"k":"int"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"k":"struct","n":["a","b"],"e":[{"k":"int","i":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := DecodeValue(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeValue(v)
+		if err != nil {
+			t.Fatalf("decoded value %s does not re-encode: %v", v, err)
+		}
+		back, err := DecodeValue(re)
+		if err != nil {
+			t.Fatalf("re-encoded value does not decode: %v", err)
+		}
+		if !back.Equal(v) {
+			t.Fatalf("codec round trip mismatch: %s vs %s", v, back)
+		}
+	})
+}

@@ -1,0 +1,150 @@
+package types
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Wire encoding of values. Components in Figure 1 exchange queries and
+// answers over the network; this file defines the tagged JSON encoding both
+// for answers (values) travelling mediator-ward and for tuples returned by
+// data sources. The encoding is self-describing so that kind information
+// survives the round trip (plain JSON would collapse Int/Float and has no
+// bag/set/list distinction).
+
+type wireValue struct {
+	K string            `json:"k"`
+	B *bool             `json:"b,omitempty"`
+	I *int64            `json:"i,omitempty"`
+	F *float64          `json:"f,omitempty"`
+	S *string           `json:"s,omitempty"`
+	N []string          `json:"n,omitempty"` // struct field names
+	E []json.RawMessage `json:"e,omitempty"` // struct field values / collection elements
+}
+
+// EncodeValue serializes a value into the tagged JSON wire form.
+func EncodeValue(v Value) ([]byte, error) {
+	w, err := toWire(v)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(w)
+}
+
+// DecodeValue parses the tagged JSON wire form produced by EncodeValue.
+func DecodeValue(data []byte) (Value, error) {
+	var w wireValue
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("decode value: %w", err)
+	}
+	return fromWire(&w)
+}
+
+func toWire(v Value) (*wireValue, error) {
+	switch x := v.(type) {
+	case Null:
+		return &wireValue{K: "null"}, nil
+	case Bool:
+		b := bool(x)
+		return &wireValue{K: "bool", B: &b}, nil
+	case Int:
+		i := int64(x)
+		return &wireValue{K: "int", I: &i}, nil
+	case Float:
+		f := float64(x)
+		return &wireValue{K: "float", F: &f}, nil
+	case Str:
+		s := string(x)
+		return &wireValue{K: "str", S: &s}, nil
+	case *Struct:
+		w := &wireValue{K: "struct"}
+		for _, f := range x.Fields() {
+			raw, err := EncodeValue(f.Value)
+			if err != nil {
+				return nil, err
+			}
+			w.N = append(w.N, f.Name)
+			w.E = append(w.E, raw)
+		}
+		return w, nil
+	case *Bag:
+		return collectionToWire("bag", x.Elems())
+	case *List:
+		return collectionToWire("list", x.Elems())
+	case *Set:
+		return collectionToWire("set", x.Elems())
+	default:
+		return nil, fmt.Errorf("encode: unsupported value %T", v)
+	}
+}
+
+func collectionToWire(kind string, elems []Value) (*wireValue, error) {
+	w := &wireValue{K: kind, E: make([]json.RawMessage, 0, len(elems))}
+	for _, e := range elems {
+		raw, err := EncodeValue(e)
+		if err != nil {
+			return nil, err
+		}
+		w.E = append(w.E, raw)
+	}
+	return w, nil
+}
+
+func fromWire(w *wireValue) (Value, error) {
+	switch w.K {
+	case "null":
+		return Null{}, nil
+	case "bool":
+		if w.B == nil {
+			return nil, fmt.Errorf("decode: bool without payload")
+		}
+		return Bool(*w.B), nil
+	case "int":
+		if w.I == nil {
+			return nil, fmt.Errorf("decode: int without payload")
+		}
+		return Int(*w.I), nil
+	case "float":
+		if w.F == nil {
+			return nil, fmt.Errorf("decode: float without payload")
+		}
+		return Float(*w.F), nil
+	case "str":
+		if w.S == nil {
+			return nil, fmt.Errorf("decode: str without payload")
+		}
+		return Str(*w.S), nil
+	case "struct":
+		if len(w.N) != len(w.E) {
+			return nil, fmt.Errorf("decode: struct has %d names but %d values", len(w.N), len(w.E))
+		}
+		fields := make([]Field, 0, len(w.N))
+		for i, name := range w.N {
+			v, err := DecodeValue(w.E[i])
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, Field{Name: name, Value: v})
+		}
+		return NewStruct(fields...), nil
+	case "bag", "list", "set":
+		elems := make([]Value, 0, len(w.E))
+		for _, raw := range w.E {
+			v, err := DecodeValue(raw)
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, v)
+		}
+		switch w.K {
+		case "bag":
+			return NewBag(elems...), nil
+		case "list":
+			return NewList(elems...), nil
+		default:
+			return NewSet(elems...), nil
+		}
+	default:
+		return nil, fmt.Errorf("decode: unknown kind %q", w.K)
+	}
+}

@@ -1,0 +1,96 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWireRoundTripExamples(t *testing.T) {
+	values := []Value{
+		Null{},
+		Bool(true),
+		Int(-42),
+		Float(2.5),
+		Str(`quoted "text"`),
+		NewStruct(Field{"name", Str("Mary")}, Field{"salary", Int(200)}),
+		NewBag(Str("Mary"), Str("Sam"), Str("Mary")),
+		NewList(Int(1), Int(2), Int(3)),
+		NewSet(Int(1), Int(2)),
+		NewBag(NewStruct(Field{"inner", NewBag(Int(1))})),
+	}
+	for _, v := range values {
+		data, err := EncodeValue(v)
+		if err != nil {
+			t.Fatalf("encode %s: %v", v, err)
+		}
+		got, err := DecodeValue(data)
+		if err != nil {
+			t.Fatalf("decode %s: %v", v, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip: got %s, want %s", got, v)
+		}
+	}
+}
+
+func TestWireKindsPreserved(t *testing.T) {
+	// Plain JSON would conflate these; the tagged encoding must not.
+	data, err := EncodeValue(Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := DecodeValue(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind() != KindInt {
+		t.Errorf("Int decoded as %s", v.Kind())
+	}
+
+	data, err = EncodeValue(Float(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = DecodeValue(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind() != KindFloat {
+		t.Errorf("Float decoded as %s", v.Kind())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		[]byte(`{`),
+		[]byte(`{"k":"mystery"}`),
+		[]byte(`{"k":"int"}`),
+		[]byte(`{"k":"bool"}`),
+		[]byte(`{"k":"float"}`),
+		[]byte(`{"k":"str"}`),
+		[]byte(`{"k":"struct","n":["a"],"e":[]}`),
+	}
+	for _, data := range bad {
+		if _, err := DecodeValue(data); err == nil {
+			t.Errorf("DecodeValue(%s) should fail", data)
+		}
+	}
+}
+
+// Property: encode/decode is the identity on arbitrary values.
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(g genValue) bool {
+		data, err := EncodeValue(g.V)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeValue(data)
+		if err != nil {
+			return false
+		}
+		return got.Equal(g.V)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package types
+
+// Bag algebra helpers. DISCO's answer model is multiset-based: "In DISCO,
+// the union of two bags is a bag" (paper §1.3). These operations implement
+// the collection semantics the runtime and the property tests rely on.
+
+// BagUnion returns the multiset union of the given bags: every element of
+// every argument appears with summed multiplicity.
+func BagUnion(bags ...*Bag) *Bag {
+	n := 0
+	for _, b := range bags {
+		n += b.Len()
+	}
+	elems := make([]Value, 0, n)
+	for _, b := range bags {
+		elems = append(elems, b.elems...)
+	}
+	return &Bag{elems: elems}
+}
+
+// BagMap applies f to every element of b and collects the results.
+func BagMap(b *Bag, f func(Value) (Value, error)) (*Bag, error) {
+	out := make([]Value, 0, b.Len())
+	for _, e := range b.elems {
+		v, err := f(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return &Bag{elems: out}, nil
+}
+
+// BagFilter keeps the elements of b for which pred returns true.
+func BagFilter(b *Bag, pred func(Value) (bool, error)) (*Bag, error) {
+	out := make([]Value, 0, b.Len())
+	for _, e := range b.elems {
+		keep, err := pred(e)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			out = append(out, e)
+		}
+	}
+	return &Bag{elems: out}, nil
+}
+
+// BagDistinct returns a bag with one occurrence of each distinct element.
+func BagDistinct(b *Bag) *Bag {
+	seen := make(map[string]bool, b.Len())
+	out := make([]Value, 0, b.Len())
+	for _, e := range b.elems {
+		k := CanonicalKey(e)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	return &Bag{elems: out}
+}
+
+// Flatten concatenates a bag of collections into a single bag of their
+// elements, implementing the OQL flatten operator used by the implicit
+// extent definition (paper §2.1).
+func Flatten(b *Bag) (*Bag, error) {
+	out := make([]Value, 0, b.Len())
+	for _, e := range b.elems {
+		elems, err := Elements(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, elems...)
+	}
+	return &Bag{elems: out}, nil
+}
+
+// Multiplicity reports how many elements of b are model-equal to v.
+func Multiplicity(b *Bag, v Value) int {
+	key := CanonicalKey(v)
+	n := 0
+	for _, e := range b.elems {
+		if CanonicalKey(e) == key {
+			n++
+		}
+	}
+	return n
+}

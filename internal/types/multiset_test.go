@@ -1,0 +1,111 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBagUnion(t *testing.T) {
+	a := NewBag(Str("Mary"))
+	b := NewBag(Str("Sam"), Str("Mary"))
+	u := BagUnion(a, b)
+	if u.Len() != 3 {
+		t.Fatalf("union len = %d, want 3", u.Len())
+	}
+	if got := Multiplicity(u, Str("Mary")); got != 2 {
+		t.Errorf("multiplicity(Mary) = %d, want 2 (bag union preserves duplicates)", got)
+	}
+}
+
+func TestBagUnionEmpty(t *testing.T) {
+	if got := BagUnion().Len(); got != 0 {
+		t.Errorf("empty union len = %d", got)
+	}
+	if got := BagUnion(NewBag(), NewBag(Int(1))).Len(); got != 1 {
+		t.Errorf("union with empty bag len = %d, want 1", got)
+	}
+}
+
+func TestBagDistinct(t *testing.T) {
+	b := NewBag(Int(1), Int(1), Int(2), Float(2))
+	d := BagDistinct(b)
+	if d.Len() != 2 {
+		t.Errorf("distinct len = %d, want 2 (Int(2) and Float(2) are model-equal)", d.Len())
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	b := NewBag(NewBag(Int(1), Int(2)), NewList(Int(3)), NewSet(Int(4)))
+	f, err := Flatten(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(NewBag(Int(1), Int(2), Int(3), Int(4))) {
+		t.Errorf("flatten = %s", f)
+	}
+	if _, err := Flatten(NewBag(Int(1))); err == nil {
+		t.Errorf("flatten of non-collection elements should fail")
+	}
+}
+
+func TestBagMapFilter(t *testing.T) {
+	b := NewBag(Int(1), Int(2), Int(3))
+	doubled, err := BagMap(b, func(v Value) (Value, error) { return Int(v.(Int) * 2), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doubled.Equal(NewBag(Int(2), Int(4), Int(6))) {
+		t.Errorf("map = %s", doubled)
+	}
+	big, err := BagFilter(b, func(v Value) (bool, error) { return v.(Int) > 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !big.Equal(NewBag(Int(2), Int(3))) {
+		t.Errorf("filter = %s", big)
+	}
+}
+
+// Property: bag union is commutative under multiset equality (§1.3: the
+// union of two bags is a bag).
+func TestBagUnionCommutativeProperty(t *testing.T) {
+	f := func(a, b genValue) bool {
+		ba := asBag(a.V)
+		bb := asBag(b.V)
+		return BagUnion(ba, bb).Equal(BagUnion(bb, ba))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bag union is associative under multiset equality.
+func TestBagUnionAssociativeProperty(t *testing.T) {
+	f := func(a, b, c genValue) bool {
+		ba, bb, bc := asBag(a.V), asBag(b.V), asBag(c.V)
+		return BagUnion(BagUnion(ba, bb), bc).Equal(BagUnion(ba, BagUnion(bb, bc)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |a ∪ b| = |a| + |b| for bags.
+func TestBagUnionCardinalityProperty(t *testing.T) {
+	f := func(a, b genValue) bool {
+		ba, bb := asBag(a.V), asBag(b.V)
+		return BagUnion(ba, bb).Len() == ba.Len()+bb.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// asBag wraps any generated value into a bag so the union properties can
+// reuse the generic value generator.
+func asBag(v Value) *Bag {
+	if b, ok := v.(*Bag); ok {
+		return b
+	}
+	return NewBag(v)
+}

@@ -1,0 +1,288 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind classifies ODL attribute types.
+type TypeKind uint8
+
+// Attribute type kinds. The scalar kinds mirror the ODL spellings used in
+// the paper: String, Short (and Long), Float (and Double), Boolean.
+const (
+	TString TypeKind = iota + 1
+	TInt
+	TFloat
+	TBool
+	TBagOf
+	TListOf
+	TSetOf
+	TInterface
+	TAny // used where the model does not constrain the attribute
+)
+
+// AttrType is the type of an ODL attribute. Collection kinds carry an Elem;
+// TInterface carries the interface name (resolved against a Schema).
+type AttrType struct {
+	Kind  TypeKind
+	Elem  *AttrType // element type for TBagOf/TListOf/TSetOf
+	Iface string    // interface name for TInterface
+}
+
+// String renders the type in ODL syntax.
+func (t AttrType) String() string {
+	switch t.Kind {
+	case TString:
+		return "String"
+	case TInt:
+		return "Short"
+	case TFloat:
+		return "Float"
+	case TBool:
+		return "Boolean"
+	case TBagOf:
+		return "Bag<" + t.Elem.String() + ">"
+	case TListOf:
+		return "List<" + t.Elem.String() + ">"
+	case TSetOf:
+		return "Set<" + t.Elem.String() + ">"
+	case TInterface:
+		return t.Iface
+	case TAny:
+		return "Any"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t.Kind))
+	}
+}
+
+// ScalarAttr constructs a scalar attribute type.
+func ScalarAttr(k TypeKind) AttrType { return AttrType{Kind: k} }
+
+// Attribute is one attribute of an ODL interface signature.
+type Attribute struct {
+	Name string
+	Type AttrType
+}
+
+// Interface is an ODL interface (a type signature for objects, paper §2).
+// Super is the name of the supertype, empty for root interfaces.
+// ExtentName is the implicit extent declared in the interface header
+// ("interface Person (extent person) {...}"), empty when none was declared.
+type Interface struct {
+	Name       string
+	Super      string
+	ExtentName string
+	Attrs      []Attribute
+}
+
+// Attr returns the named attribute, searching this interface only (use
+// Schema.AttrOf to search the supertype chain).
+func (i *Interface) Attr(name string) (Attribute, bool) {
+	for _, a := range i.Attrs {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// String renders the interface header in ODL syntax.
+func (i *Interface) String() string {
+	var b strings.Builder
+	b.WriteString("interface ")
+	b.WriteString(i.Name)
+	if i.Super != "" {
+		b.WriteString(":")
+		b.WriteString(i.Super)
+	}
+	if i.ExtentName != "" {
+		fmt.Fprintf(&b, " (extent %s)", i.ExtentName)
+	}
+	return b.String()
+}
+
+// Schema is a set of interfaces closed under supertype references. It is the
+// type-level half of the mediator's internal database.
+type Schema struct {
+	ifaces map[string]*Interface
+	order  []string
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{ifaces: make(map[string]*Interface)}
+}
+
+// Define adds an interface. The supertype, if named, must already exist.
+// Redefining an existing interface is an error (ODL definitions are
+// declarations, not updates).
+func (s *Schema) Define(i *Interface) error {
+	if i.Name == "" {
+		return fmt.Errorf("interface with empty name")
+	}
+	if _, exists := s.ifaces[i.Name]; exists {
+		return fmt.Errorf("interface %s already defined", i.Name)
+	}
+	if i.Super != "" {
+		if _, ok := s.ifaces[i.Super]; !ok {
+			return fmt.Errorf("interface %s: unknown supertype %s", i.Name, i.Super)
+		}
+	}
+	s.ifaces[i.Name] = i
+	s.order = append(s.order, i.Name)
+	return nil
+}
+
+// Lookup returns the named interface.
+func (s *Schema) Lookup(name string) (*Interface, bool) {
+	i, ok := s.ifaces[name]
+	return i, ok
+}
+
+// Interfaces returns all interfaces in definition order.
+func (s *Schema) Interfaces() []*Interface {
+	out := make([]*Interface, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.ifaces[n])
+	}
+	return out
+}
+
+// IsSubtype reports whether sub equals sup or transitively names sup as a
+// supertype.
+func (s *Schema) IsSubtype(sub, sup string) bool {
+	for name := sub; name != ""; {
+		if name == sup {
+			return true
+		}
+		i, ok := s.ifaces[name]
+		if !ok {
+			return false
+		}
+		name = i.Super
+	}
+	return false
+}
+
+// Subtypes returns sup and every interface that is a (transitive) subtype of
+// it, in definition order. This backs the paper's T* syntax (§2.2.1).
+func (s *Schema) Subtypes(sup string) []string {
+	var out []string
+	for _, name := range s.order {
+		if s.IsSubtype(name, sup) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// AttrOf resolves an attribute on an interface, walking the supertype chain
+// (subtypes inherit attributes, §2.2.1).
+func (s *Schema) AttrOf(iface, attr string) (Attribute, bool) {
+	for name := iface; name != ""; {
+		i, ok := s.ifaces[name]
+		if !ok {
+			return Attribute{}, false
+		}
+		if a, ok := i.Attr(attr); ok {
+			return a, true
+		}
+		name = i.Super
+	}
+	return Attribute{}, false
+}
+
+// AllAttrs returns the attributes visible on iface including inherited ones,
+// supertype attributes first.
+func (s *Schema) AllAttrs(iface string) []Attribute {
+	var chain []*Interface
+	for name := iface; name != ""; {
+		i, ok := s.ifaces[name]
+		if !ok {
+			break
+		}
+		chain = append(chain, i)
+		name = i.Super
+	}
+	var out []Attribute
+	for k := len(chain) - 1; k >= 0; k-- {
+		out = append(out, chain[k].Attrs...)
+	}
+	return out
+}
+
+// ConformanceError reports why a value does not conform to an expected type.
+// Wrappers raise it at run time when a data source's objects do not match
+// the mediator type (paper §2.1: "the wrapper checks that these types are
+// indeed the same ... a run-time error will occur").
+type ConformanceError struct {
+	Expected string // type description
+	Got      Value
+	Detail   string
+}
+
+// Error implements the error interface.
+func (e *ConformanceError) Error() string {
+	return fmt.Sprintf("type mismatch: expected %s, got %s (%s)", e.Expected, e.Got.Kind(), e.Detail)
+}
+
+// CheckConforms verifies that v is a struct carrying every attribute of the
+// interface (including inherited attributes) with a conforming kind. Extra
+// fields are permitted: a data source may expose more than the mediator
+// models.
+func (s *Schema) CheckConforms(v Value, iface string) error {
+	st, ok := v.(*Struct)
+	if !ok {
+		return &ConformanceError{Expected: iface, Got: v, Detail: "not a struct"}
+	}
+	for _, a := range s.AllAttrs(iface) {
+		fv, ok := st.Get(a.Name)
+		if !ok {
+			return &ConformanceError{Expected: iface, Got: v, Detail: "missing attribute " + a.Name}
+		}
+		if err := checkAttrKind(fv, a.Type); err != nil {
+			return &ConformanceError{Expected: iface, Got: v, Detail: fmt.Sprintf("attribute %s: %v", a.Name, err)}
+		}
+	}
+	return nil
+}
+
+func checkAttrKind(v Value, t AttrType) error {
+	if v.Kind() == KindNull || t.Kind == TAny {
+		return nil // nulls conform to every attribute type
+	}
+	switch t.Kind {
+	case TString:
+		if v.Kind() != KindString {
+			return fmt.Errorf("want String, got %s", v.Kind())
+		}
+	case TInt:
+		if v.Kind() != KindInt {
+			return fmt.Errorf("want Short, got %s", v.Kind())
+		}
+	case TFloat:
+		if v.Kind() != KindFloat && v.Kind() != KindInt {
+			return fmt.Errorf("want Float, got %s", v.Kind())
+		}
+	case TBool:
+		if v.Kind() != KindBool {
+			return fmt.Errorf("want Boolean, got %s", v.Kind())
+		}
+	case TBagOf, TListOf, TSetOf:
+		elems, err := Elements(v)
+		if err != nil {
+			return err
+		}
+		for _, e := range elems {
+			if err := checkAttrKind(e, *t.Elem); err != nil {
+				return err
+			}
+		}
+	case TInterface:
+		if v.Kind() != KindStruct {
+			return fmt.Errorf("want %s object, got %s", t.Iface, v.Kind())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperSchema builds the Person/Student hierarchy from paper §2.
+func paperSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	person := &Interface{
+		Name:       "Person",
+		ExtentName: "person",
+		Attrs: []Attribute{
+			{Name: "name", Type: ScalarAttr(TString)},
+			{Name: "salary", Type: ScalarAttr(TInt)},
+		},
+	}
+	if err := s.Define(person); err != nil {
+		t.Fatal(err)
+	}
+	student := &Interface{Name: "Student", Super: "Person"}
+	if err := s.Define(student); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaDefine(t *testing.T) {
+	s := paperSchema(t)
+	if _, ok := s.Lookup("Person"); !ok {
+		t.Fatal("Person not found")
+	}
+	if err := s.Define(&Interface{Name: "Person"}); err == nil {
+		t.Error("redefinition should fail")
+	}
+	if err := s.Define(&Interface{Name: "Ghost", Super: "Nobody"}); err == nil {
+		t.Error("unknown supertype should fail")
+	}
+	if err := s.Define(&Interface{}); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestSubtyping(t *testing.T) {
+	s := paperSchema(t)
+	if !s.IsSubtype("Student", "Person") {
+		t.Error("Student should be a subtype of Person")
+	}
+	if !s.IsSubtype("Person", "Person") {
+		t.Error("subtyping is reflexive")
+	}
+	if s.IsSubtype("Person", "Student") {
+		t.Error("Person is not a subtype of Student")
+	}
+	subs := s.Subtypes("Person")
+	if len(subs) != 2 || subs[0] != "Person" || subs[1] != "Student" {
+		t.Errorf("Subtypes(Person) = %v", subs)
+	}
+}
+
+func TestAttributeInheritance(t *testing.T) {
+	s := paperSchema(t)
+	a, ok := s.AttrOf("Student", "salary")
+	if !ok {
+		t.Fatal("Student should inherit salary from Person")
+	}
+	if a.Type.Kind != TInt {
+		t.Errorf("salary type = %v", a.Type)
+	}
+	attrs := s.AllAttrs("Student")
+	if len(attrs) != 2 {
+		t.Errorf("AllAttrs(Student) = %v, want the 2 inherited attributes", attrs)
+	}
+	if _, ok := s.AttrOf("Student", "gpa"); ok {
+		t.Error("gpa should not resolve")
+	}
+}
+
+func TestConformance(t *testing.T) {
+	s := paperSchema(t)
+	mary := NewStruct(Field{"name", Str("Mary")}, Field{"salary", Int(200)})
+	if err := s.CheckConforms(mary, "Person"); err != nil {
+		t.Errorf("Mary should conform to Person: %v", err)
+	}
+	// Extra fields are fine: sources may expose more than the mediator models.
+	rich := NewStruct(Field{"name", Str("Ann")}, Field{"salary", Int(5)}, Field{"bonus", Int(9)})
+	if err := s.CheckConforms(rich, "Person"); err != nil {
+		t.Errorf("extra fields should be tolerated: %v", err)
+	}
+	// Missing attribute fails.
+	anon := NewStruct(Field{"salary", Int(1)})
+	if err := s.CheckConforms(anon, "Person"); err == nil {
+		t.Error("missing name should fail conformance")
+	} else if !strings.Contains(err.Error(), "name") {
+		t.Errorf("error should mention the missing attribute: %v", err)
+	}
+	// Wrong kind fails.
+	odd := NewStruct(Field{"name", Int(3)}, Field{"salary", Int(1)})
+	if err := s.CheckConforms(odd, "Person"); err == nil {
+		t.Error("string attribute holding an int should fail")
+	}
+	// Non-struct fails.
+	if err := s.CheckConforms(Int(3), "Person"); err == nil {
+		t.Error("non-struct should fail conformance")
+	}
+	// Nulls conform to any attribute type.
+	ghost := NewStruct(Field{"name", Null{}}, Field{"salary", Null{}})
+	if err := s.CheckConforms(ghost, "Person"); err != nil {
+		t.Errorf("null attributes should conform: %v", err)
+	}
+}
+
+func TestConformanceCollections(t *testing.T) {
+	s := NewSchema()
+	elem := ScalarAttr(TInt)
+	iface := &Interface{
+		Name: "Series",
+		Attrs: []Attribute{
+			{Name: "points", Type: AttrType{Kind: TBagOf, Elem: &elem}},
+		},
+	}
+	if err := s.Define(iface); err != nil {
+		t.Fatal(err)
+	}
+	good := NewStruct(Field{"points", NewBag(Int(1), Int(2))})
+	if err := s.CheckConforms(good, "Series"); err != nil {
+		t.Errorf("bag of ints should conform: %v", err)
+	}
+	bad := NewStruct(Field{"points", NewBag(Str("x"))})
+	if err := s.CheckConforms(bad, "Series"); err == nil {
+		t.Error("bag of strings should not conform to Bag<Short>")
+	}
+}
+
+func TestAttrTypeString(t *testing.T) {
+	elem := ScalarAttr(TString)
+	tests := []struct {
+		t    AttrType
+		want string
+	}{
+		{ScalarAttr(TString), "String"},
+		{ScalarAttr(TInt), "Short"},
+		{ScalarAttr(TFloat), "Float"},
+		{ScalarAttr(TBool), "Boolean"},
+		{AttrType{Kind: TBagOf, Elem: &elem}, "Bag<String>"},
+		{AttrType{Kind: TInterface, Iface: "Person"}, "Person"},
+	}
+	for _, tt := range tests {
+		if got := tt.t.String(); got != tt.want {
+			t.Errorf("String() = %s, want %s", got, tt.want)
+		}
+	}
+}
+
+func TestInterfaceString(t *testing.T) {
+	i := &Interface{Name: "Student", Super: "Person", ExtentName: "student"}
+	want := "interface Student:Person (extent student)"
+	if got := i.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,629 @@
+// Package types implements the ODMG-93 style value and type system that the
+// DISCO mediator is built on (paper §2). Values are immutable once
+// constructed and print in OQL literal syntax, which is what makes the query
+// language closed under data: any value can be embedded back into a query
+// (paper §4, "OQL is closed with respect to queries and data").
+package types
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic kind of a Value.
+type Kind uint8
+
+// The value kinds of the DISCO data model. Scalar kinds (Bool..String) map
+// onto ODL attribute types; collection kinds carry element values; Struct is
+// the ODMG struct constructor used in select projections.
+const (
+	KindNull Kind = iota + 1
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindStruct
+	KindBag
+	KindList
+	KindSet
+)
+
+// String returns the lowercase name of the kind as used in error messages.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "boolean"
+	case KindInt:
+		return "integer"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindStruct:
+		return "struct"
+	case KindBag:
+		return "bag"
+	case KindList:
+		return "list"
+	case KindSet:
+		return "set"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a runtime value of the DISCO data model.
+//
+// Implementations are Null, Bool, Int, Float, Str, *Struct, *Bag, *List and
+// *Set. Equal implements the model's notion of equality: numeric values
+// compare across Int/Float, bags compare as multisets, sets as sets, lists
+// positionally, and structs field-by-field in declaration order.
+type Value interface {
+	// Kind reports the dynamic kind of the value.
+	Kind() Kind
+	// Equal reports whether the value equals other under model equality.
+	Equal(other Value) bool
+	// String renders the value in OQL literal syntax, e.g.
+	// bag(struct(name: "Mary", salary: 200)).
+	String() string
+}
+
+// Null is the absent value (used for missing attributes and outer results).
+type Null struct{}
+
+// Kind implements Value.
+func (Null) Kind() Kind { return KindNull }
+
+// Equal implements Value.
+func (Null) Equal(other Value) bool { return other != nil && other.Kind() == KindNull }
+
+// String implements Value.
+func (Null) String() string { return "nil" }
+
+// Bool is a boolean value.
+type Bool bool
+
+// Kind implements Value.
+func (Bool) Kind() Kind { return KindBool }
+
+// Equal implements Value.
+func (b Bool) Equal(other Value) bool {
+	o, ok := other.(Bool)
+	return ok && b == o
+}
+
+// String implements Value.
+func (b Bool) String() string { return strconv.FormatBool(bool(b)) }
+
+// Int is a 64-bit integer value (covers ODL Short, Long and friends).
+type Int int64
+
+// Kind implements Value.
+func (Int) Kind() Kind { return KindInt }
+
+// Equal implements Value. Ints equal Floats with the same numeric value.
+func (i Int) Equal(other Value) bool {
+	switch o := other.(type) {
+	case Int:
+		return i == o
+	case Float:
+		return float64(i) == float64(o)
+	default:
+		return false
+	}
+}
+
+// String implements Value.
+func (i Int) String() string { return strconv.FormatInt(int64(i), 10) }
+
+// Float is a 64-bit floating point value (ODL Float and Double).
+type Float float64
+
+// Kind implements Value.
+func (Float) Kind() Kind { return KindFloat }
+
+// Equal implements Value. Floats equal Ints with the same numeric value.
+func (f Float) Equal(other Value) bool {
+	switch o := other.(type) {
+	case Float:
+		return f == o
+	case Int:
+		return float64(f) == float64(o)
+	default:
+		return false
+	}
+}
+
+// String implements Value.
+func (f Float) String() string {
+	s := strconv.FormatFloat(float64(f), 'g', -1, 64)
+	// Keep the literal recognizable as a float so answers round-trip
+	// through the OQL parser with the same kind.
+	if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") && !strings.Contains(s, "NaN") {
+		s += ".0"
+	}
+	return s
+}
+
+// Str is a string value.
+type Str string
+
+// Kind implements Value.
+func (Str) Kind() Kind { return KindString }
+
+// Equal implements Value.
+func (s Str) Equal(other Value) bool {
+	o, ok := other.(Str)
+	return ok && s == o
+}
+
+// String implements Value. The result is a double-quoted OQL string literal.
+func (s Str) String() string { return strconv.Quote(string(s)) }
+
+// Field is one named field of a Struct.
+type Field struct {
+	Name  string
+	Value Value
+}
+
+// Struct is an ordered sequence of named fields, as produced by the OQL
+// struct(...) constructor and by data sources returning tuples.
+type Struct struct {
+	fields []Field
+	index  map[string]int
+}
+
+// NewStruct constructs a struct value from fields in order. Duplicate field
+// names keep the last occurrence, mirroring struct construction in OQL.
+func NewStruct(fields ...Field) *Struct {
+	s := &Struct{
+		fields: make([]Field, 0, len(fields)),
+		index:  make(map[string]int, len(fields)),
+	}
+	for _, f := range fields {
+		if i, ok := s.index[f.Name]; ok {
+			s.fields[i].Value = f.Value
+			continue
+		}
+		s.index[f.Name] = len(s.fields)
+		s.fields = append(s.fields, f)
+	}
+	return s
+}
+
+// Kind implements Value.
+func (*Struct) Kind() Kind { return KindStruct }
+
+// Len reports the number of fields.
+func (s *Struct) Len() int { return len(s.fields) }
+
+// Fields returns a copy of the field list in declaration order.
+func (s *Struct) Fields() []Field {
+	out := make([]Field, len(s.fields))
+	copy(out, s.fields)
+	return out
+}
+
+// FieldNames returns the field names in declaration order.
+func (s *Struct) FieldNames() []string {
+	out := make([]string, len(s.fields))
+	for i, f := range s.fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Get returns the value of the named field.
+func (s *Struct) Get(name string) (Value, bool) {
+	i, ok := s.index[name]
+	if !ok {
+		return nil, false
+	}
+	return s.fields[i].Value, true
+}
+
+// Equal implements Value. Structs are equal when they have the same field
+// names in the same order with equal values.
+func (s *Struct) Equal(other Value) bool {
+	o, ok := other.(*Struct)
+	if !ok || len(s.fields) != len(o.fields) {
+		return false
+	}
+	for i, f := range s.fields {
+		g := o.fields[i]
+		if f.Name != g.Name || !f.Value.Equal(g.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Value.
+func (s *Struct) String() string {
+	var b strings.Builder
+	b.WriteString("struct(")
+	for i, f := range s.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+		b.WriteString(": ")
+		b.WriteString(f.Value.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Bag is an unordered collection that preserves duplicates (a multiset).
+// It is the fundamental collection of DISCO query answers: "the union of two
+// bags is a bag" (paper §1.3).
+type Bag struct {
+	elems []Value
+}
+
+// NewBag constructs a bag from the given elements. The slice is copied.
+func NewBag(elems ...Value) *Bag {
+	b := &Bag{elems: make([]Value, len(elems))}
+	copy(b.elems, elems)
+	return b
+}
+
+// Kind implements Value.
+func (*Bag) Kind() Kind { return KindBag }
+
+// Len reports the number of elements, counting duplicates.
+func (b *Bag) Len() int { return len(b.elems) }
+
+// Elems returns a copy of the element slice. Order is an implementation
+// detail and carries no meaning.
+func (b *Bag) Elems() []Value {
+	out := make([]Value, len(b.elems))
+	copy(out, b.elems)
+	return out
+}
+
+// At returns the i-th element in internal order; it exists for iteration and
+// must not be used to assign meaning to positions.
+func (b *Bag) At(i int) Value { return b.elems[i] }
+
+// Equal implements Value using multiset equality: same elements with the
+// same multiplicities, regardless of order.
+func (b *Bag) Equal(other Value) bool {
+	o, ok := other.(*Bag)
+	if !ok {
+		return false
+	}
+	return multisetEqual(b.elems, o.elems)
+}
+
+// String implements Value. Elements print in a canonical sorted order so
+// that equal bags print identically, which keeps partial answers and test
+// goldens deterministic.
+func (b *Bag) String() string { return collectionString("bag", canonicalOrder(b.elems)) }
+
+// List is an ordered collection.
+type List struct {
+	elems []Value
+}
+
+// NewList constructs a list from the given elements. The slice is copied.
+func NewList(elems ...Value) *List {
+	l := &List{elems: make([]Value, len(elems))}
+	copy(l.elems, elems)
+	return l
+}
+
+// Kind implements Value.
+func (*List) Kind() Kind { return KindList }
+
+// Len reports the number of elements.
+func (l *List) Len() int { return len(l.elems) }
+
+// Elems returns a copy of the element slice in list order.
+func (l *List) Elems() []Value {
+	out := make([]Value, len(l.elems))
+	copy(out, l.elems)
+	return out
+}
+
+// At returns the i-th element.
+func (l *List) At(i int) Value { return l.elems[i] }
+
+// Equal implements Value using positional equality.
+func (l *List) Equal(other Value) bool {
+	o, ok := other.(*List)
+	if !ok || len(l.elems) != len(o.elems) {
+		return false
+	}
+	for i, e := range l.elems {
+		if !e.Equal(o.elems[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Value.
+func (l *List) String() string { return collectionString("list", l.elems) }
+
+// Set is an unordered collection without duplicates.
+type Set struct {
+	elems []Value
+}
+
+// NewSet constructs a set, discarding duplicate elements (model equality).
+func NewSet(elems ...Value) *Set {
+	s := &Set{}
+	for _, e := range elems {
+		if !s.Contains(e) {
+			s.elems = append(s.elems, e)
+		}
+	}
+	return s
+}
+
+// Kind implements Value.
+func (*Set) Kind() Kind { return KindSet }
+
+// Len reports the number of distinct elements.
+func (s *Set) Len() int { return len(s.elems) }
+
+// Elems returns a copy of the element slice. Order carries no meaning.
+func (s *Set) Elems() []Value {
+	out := make([]Value, len(s.elems))
+	copy(out, s.elems)
+	return out
+}
+
+// Contains reports whether the set contains an element equal to v.
+func (s *Set) Contains(v Value) bool {
+	for _, e := range s.elems {
+		if e.Equal(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal implements Value using set equality.
+func (s *Set) Equal(other Value) bool {
+	o, ok := other.(*Set)
+	if !ok || len(s.elems) != len(o.elems) {
+		return false
+	}
+	for _, e := range s.elems {
+		if !o.Contains(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Value. Elements print in canonical sorted order.
+func (s *Set) String() string { return collectionString("set", canonicalOrder(s.elems)) }
+
+// Compile-time interface conformance checks.
+var (
+	_ Value = Null{}
+	_ Value = Bool(false)
+	_ Value = Int(0)
+	_ Value = Float(0)
+	_ Value = Str("")
+	_ Value = (*Struct)(nil)
+	_ Value = (*Bag)(nil)
+	_ Value = (*List)(nil)
+	_ Value = (*Set)(nil)
+)
+
+// Compare orders two values. It returns a negative, zero or positive integer
+// in the manner of strings.Compare. Only scalars of comparable kinds order:
+// numerics against numerics, strings against strings, booleans against
+// booleans (false < true). Comparing anything else is an error, matching the
+// run-time errors the paper prescribes for type mismatches (§2.1).
+func Compare(a, b Value) (int, error) {
+	switch x := a.(type) {
+	case Int:
+		switch y := b.(type) {
+		case Int:
+			return cmpInt64(int64(x), int64(y)), nil
+		case Float:
+			return cmpFloat64(float64(x), float64(y)), nil
+		}
+	case Float:
+		switch y := b.(type) {
+		case Int:
+			return cmpFloat64(float64(x), float64(y)), nil
+		case Float:
+			return cmpFloat64(float64(x), float64(y)), nil
+		}
+	case Str:
+		if y, ok := b.(Str); ok {
+			return strings.Compare(string(x), string(y)), nil
+		}
+	case Bool:
+		if y, ok := b.(Bool); ok {
+			switch {
+			case bool(x) == bool(y):
+				return 0, nil
+			case bool(y):
+				return -1, nil
+			default:
+				return 1, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("cannot compare %s with %s", a.Kind(), b.Kind())
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat64(a, b float64) int {
+	switch {
+	case a < b || (math.IsNaN(a) && !math.IsNaN(b)):
+		return -1
+	case a > b || (!math.IsNaN(a) && math.IsNaN(b)):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Numeric extracts the float64 numeric value of an Int or Float.
+func Numeric(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case Int:
+		return float64(x), true
+	case Float:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// Truthy interprets a value as a boolean condition. Only Bool values carry
+// truth; everything else is an error to keep predicate typing strict.
+func Truthy(v Value) (bool, error) {
+	b, ok := v.(Bool)
+	if !ok {
+		return false, fmt.Errorf("condition is %s, not boolean", v.Kind())
+	}
+	return bool(b), nil
+}
+
+// Elements returns the elements of any collection value, or an error for
+// non-collections. Bags and sets yield elements in internal order.
+func Elements(v Value) ([]Value, error) {
+	switch c := v.(type) {
+	case *Bag:
+		return c.Elems(), nil
+	case *List:
+		return c.Elems(), nil
+	case *Set:
+		return c.Elems(), nil
+	default:
+		return nil, fmt.Errorf("%s is not a collection", v.Kind())
+	}
+}
+
+// canonicalOrder returns the elements sorted by canonical key, used only for
+// printing so equal collections print identically.
+func canonicalOrder(elems []Value) []Value {
+	out := make([]Value, len(elems))
+	copy(out, elems)
+	sort.SliceStable(out, func(i, j int) bool {
+		return CanonicalKey(out[i]) < CanonicalKey(out[j])
+	})
+	return out
+}
+
+// CanonicalKey returns a string that is identical for model-equal values and
+// (for practical purposes) distinct otherwise. It backs multiset equality,
+// set deduplication in hash contexts, and deterministic printing.
+func CanonicalKey(v Value) string {
+	var b strings.Builder
+	writeCanonical(&b, v)
+	return b.String()
+}
+
+func writeCanonical(b *strings.Builder, v Value) {
+	switch x := v.(type) {
+	case Null:
+		b.WriteString("N")
+	case Bool:
+		if x {
+			b.WriteString("b1")
+		} else {
+			b.WriteString("b0")
+		}
+	case Int:
+		// Numeric canonical form is shared between Int and Float so
+		// Int(2).Equal(Float(2)) pairs with equal keys.
+		fmt.Fprintf(b, "n%g", float64(x))
+	case Float:
+		fmt.Fprintf(b, "n%g", float64(x))
+	case Str:
+		fmt.Fprintf(b, "s%q", string(x))
+	case *Struct:
+		b.WriteString("t{")
+		for _, f := range x.fields {
+			fmt.Fprintf(b, "%q=", f.Name)
+			writeCanonical(b, f.Value)
+			b.WriteByte(';')
+		}
+		b.WriteByte('}')
+	case *Bag:
+		writeCanonicalMulti(b, "B", x.elems)
+	case *Set:
+		writeCanonicalMulti(b, "S", x.elems)
+	case *List:
+		b.WriteString("L[")
+		for _, e := range x.elems {
+			writeCanonical(b, e)
+			b.WriteByte(';')
+		}
+		b.WriteByte(']')
+	default:
+		fmt.Fprintf(b, "?%T", v)
+	}
+}
+
+func writeCanonicalMulti(b *strings.Builder, tag string, elems []Value) {
+	keys := make([]string, len(elems))
+	for i, e := range elems {
+		keys[i] = CanonicalKey(e)
+	}
+	sort.Strings(keys)
+	b.WriteString(tag)
+	b.WriteByte('[')
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte(';')
+	}
+	b.WriteByte(']')
+}
+
+func multisetEqual(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[string]int, len(a))
+	for _, e := range a {
+		counts[CanonicalKey(e)]++
+	}
+	for _, e := range b {
+		k := CanonicalKey(e)
+		counts[k]--
+		if counts[k] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func collectionString(name string, elems []Value) string {
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('(')
+	for i, e := range elems {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

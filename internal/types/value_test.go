@@ -1,0 +1,298 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomValue generates an arbitrary value of bounded depth for property
+// tests. It is shared by the json and multiset tests.
+func randomValue(r *rand.Rand, depth int) Value {
+	max := 9
+	if depth <= 0 {
+		max = 4 // scalars only at the leaves
+	}
+	switch r.Intn(max) {
+	case 0:
+		return Null{}
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(r.Int63n(2000) - 1000)
+	case 3:
+		return Str(randomName(r))
+	case 4:
+		return Float(float64(r.Int63n(1000)) + 0.5)
+	case 5:
+		n := r.Intn(4)
+		fields := make([]Field, 0, n)
+		for i := 0; i < n; i++ {
+			fields = append(fields, Field{Name: randomName(r), Value: randomValue(r, depth-1)})
+		}
+		return NewStruct(fields...)
+	case 6:
+		return NewBag(randomValues(r, depth-1)...)
+	case 7:
+		return NewList(randomValues(r, depth-1)...)
+	default:
+		return NewSet(randomValues(r, depth-1)...)
+	}
+}
+
+func randomValues(r *rand.Rand, depth int) []Value {
+	n := r.Intn(4)
+	out := make([]Value, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, randomValue(r, depth))
+	}
+	return out
+}
+
+func randomName(r *rand.Rand) string {
+	letters := "abcdefg"
+	n := 1 + r.Intn(5)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(letters[r.Intn(len(letters))])
+	}
+	return b.String()
+}
+
+// genValue adapts randomValue to testing/quick.
+type genValue struct{ V Value }
+
+func (genValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(genValue{V: randomValue(r, 3)})
+}
+
+func TestScalarEquality(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Value
+		want bool
+	}{
+		{"int equal", Int(5), Int(5), true},
+		{"int not equal", Int(5), Int(6), false},
+		{"int float cross", Int(5), Float(5), true},
+		{"float int cross", Float(2.5), Int(2), false},
+		{"string equal", Str("Mary"), Str("Mary"), true},
+		{"string case", Str("Mary"), Str("mary"), false},
+		{"bool", Bool(true), Bool(true), true},
+		{"null", Null{}, Null{}, true},
+		{"null vs int", Null{}, Int(0), false},
+		{"string vs int", Str("5"), Int(5), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.want {
+				t.Errorf("(%s).Equal(%s) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+			if got := tt.b.Equal(tt.a); got != tt.want {
+				t.Errorf("symmetry: (%s).Equal(%s) = %v, want %v", tt.b, tt.a, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBagMultisetEquality(t *testing.T) {
+	a := NewBag(Str("Mary"), Str("Sam"), Str("Mary"))
+	b := NewBag(Str("Sam"), Str("Mary"), Str("Mary"))
+	c := NewBag(Str("Mary"), Str("Sam"))
+	d := NewBag(Str("Mary"), Str("Sam"), Str("Sam"))
+
+	if !a.Equal(b) {
+		t.Errorf("bags with same multiplicities in different order should be equal")
+	}
+	if a.Equal(c) {
+		t.Errorf("bags with different cardinality should differ")
+	}
+	if a.Equal(d) {
+		t.Errorf("bags with different multiplicities should differ")
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	s := NewSet(Int(1), Int(2), Int(1), Float(2))
+	if s.Len() != 2 {
+		t.Fatalf("set dedup: len = %d, want 2 (Int(1), Int(2)~Float(2))", s.Len())
+	}
+	if !s.Contains(Float(1)) {
+		t.Errorf("set should contain Float(1) via numeric equality")
+	}
+	if !s.Equal(NewSet(Int(2), Int(1))) {
+		t.Errorf("set equality should ignore order")
+	}
+}
+
+func TestListPositionalEquality(t *testing.T) {
+	a := NewList(Int(1), Int(2))
+	b := NewList(Int(2), Int(1))
+	if a.Equal(b) {
+		t.Errorf("lists are ordered; reordering must break equality")
+	}
+	if !a.Equal(NewList(Int(1), Int(2))) {
+		t.Errorf("identical lists should be equal")
+	}
+}
+
+func TestStructFieldAccess(t *testing.T) {
+	s := NewStruct(Field{"name", Str("Mary")}, Field{"salary", Int(200)})
+	v, ok := s.Get("salary")
+	if !ok || !v.Equal(Int(200)) {
+		t.Fatalf("Get(salary) = %v, %v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Errorf("Get(missing) should fail")
+	}
+	if got := s.String(); got != `struct(name: "Mary", salary: 200)` {
+		t.Errorf("String() = %s", got)
+	}
+}
+
+func TestStructDuplicateFieldKeepsLast(t *testing.T) {
+	s := NewStruct(Field{"a", Int(1)}, Field{"a", Int(2)})
+	if s.Len() != 1 {
+		t.Fatalf("duplicate field collapsed: len = %d", s.Len())
+	}
+	v, _ := s.Get("a")
+	if !v.Equal(Int(2)) {
+		t.Errorf("duplicate field should keep last value, got %s", v)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b    Value
+		want    int
+		wantErr bool
+	}{
+		{Int(1), Int(2), -1, false},
+		{Int(2), Int(2), 0, false},
+		{Int(3), Float(2.5), 1, false},
+		{Float(1.5), Int(2), -1, false},
+		{Str("a"), Str("b"), -1, false},
+		{Bool(false), Bool(true), -1, false},
+		{Str("a"), Int(1), 0, true},
+		{NewBag(), NewBag(), 0, true},
+	}
+	for _, tt := range tests {
+		got, err := Compare(tt.a, tt.b)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("Compare(%s, %s) error = %v, wantErr %v", tt.a, tt.b, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("Compare(%s, %s) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	if v, err := Truthy(Bool(true)); err != nil || !v {
+		t.Errorf("Truthy(true) = %v, %v", v, err)
+	}
+	if _, err := Truthy(Int(1)); err == nil {
+		t.Errorf("Truthy(Int) should error: predicates are strictly boolean")
+	}
+}
+
+func TestValueStringsAreDeterministic(t *testing.T) {
+	a := NewBag(Str("Sam"), Str("Mary"))
+	b := NewBag(Str("Mary"), Str("Sam"))
+	if a.String() != b.String() {
+		t.Errorf("equal bags should print identically: %s vs %s", a, b)
+	}
+	want := `bag("Mary", "Sam")`
+	if a.String() != want {
+		t.Errorf("bag printing: got %s, want %s", a, want)
+	}
+}
+
+// Property: Equal is reflexive for arbitrary values.
+func TestEqualReflexiveProperty(t *testing.T) {
+	f := func(g genValue) bool { return g.V.Equal(g.V) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CanonicalKey agrees with Equal (equal values share keys, and
+// values sharing keys are equal).
+func TestCanonicalKeyAgreesWithEqualProperty(t *testing.T) {
+	f := func(a, b genValue) bool {
+		return (CanonicalKey(a.V) == CanonicalKey(b.V)) == a.V.Equal(b.V)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal is symmetric.
+func TestEqualSymmetricProperty(t *testing.T) {
+	f := func(a, b genValue) bool {
+		return a.V.Equal(b.V) == b.V.Equal(a.V)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric on comparable scalars.
+func TestCompareAntisymmetricProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Int(a), Int(b)
+		ab, err1 := Compare(x, y)
+		ba, err2 := Compare(y, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return ab == -ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is transitive on mixed numerics.
+func TestCompareTransitiveProperty(t *testing.T) {
+	toVal := func(n int16, float bool) Value {
+		if float {
+			return Float(float64(n)) // exact in float64: transitivity is testable
+		}
+		return Int(int64(n))
+	}
+	f := func(a, b, c int16, fa, fb, fc bool) bool {
+		x, y, z := toVal(a, fa), toVal(b, fb), toVal(c, fc)
+		xy, _ := Compare(x, y)
+		yz, _ := Compare(y, z)
+		xz, _ := Compare(x, z)
+		if xy <= 0 && yz <= 0 && xz > 0 {
+			return false
+		}
+		if xy >= 0 && yz >= 0 && xz < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare agrees with Equal on numerics (Compare==0 iff Equal).
+func TestCompareAgreesWithEqualProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := Int(int64(a)), Float(float64(b))
+		c, err := Compare(x, y)
+		if err != nil {
+			return false
+		}
+		return (c == 0) == x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"disco/internal/types"
+)
+
+// TestNoGoroutineLeakAfterClose: a server with hung (never-answered)
+// clients must release every goroutine when closed.
+func TestNoGoroutineLeakAfterClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s, err := NewServer("127.0.0.1:0", echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetAvailable(false)
+
+	// Several clients block against the unavailable server.
+	done := make(chan struct{}, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			c := NewClient(s.Addr())
+			_, _ = c.Query(ctx, LangSQL, "SELECT 1")
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("client still blocked after server close")
+		}
+	}
+
+	// Allow the runtime to settle, then compare goroutine counts.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestPipelinedRequestsOnOneConnection: the server answers a sequence of
+// frames on a single connection in order.
+func TestPipelinedRequestsOnOneConnection(t *testing.T) {
+	s := newTestServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Write three requests back to back.
+	for i := 1; i <= 3; i++ {
+		req, err := json.Marshal(Request{ID: int64(i), Op: "query", Lang: "sql", Text: fmt.Sprintf("q%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(append(req, '\n')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read three responses, IDs in order.
+	dec := json.NewDecoder(conn)
+	for i := 1; i <= 3; i++ {
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.ID != int64(i) {
+			t.Errorf("response %d has id %d", i, resp.ID)
+		}
+		v, err := types.DecodeValue(resp.Value)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Equal(types.Str(fmt.Sprintf("sql:q%d", i))) {
+			t.Errorf("response %d = %s", i, v)
+		}
+	}
+}
+
+// TestLargePayloadRoundTrip: multi-megabyte answers survive the framing.
+func TestLargePayloadRoundTrip(t *testing.T) {
+	big := strings.Repeat("x", 4<<20) // 4 MiB
+	h := payloadHandler{payload: big}
+	s, err := NewServer("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c := NewClient(s.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	raw, err := c.Query(ctx, LangSQL, "anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := types.DecodeValue(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(types.Str(big)) {
+		t.Error("large payload corrupted")
+	}
+}
+
+type payloadHandler struct{ payload string }
+
+func (h payloadHandler) HandleQuery(context.Context, string, string) (json.RawMessage, error) {
+	return types.EncodeValue(types.Str(h.payload))
+}
+func (payloadHandler) Capability() string    { return "" }
+func (payloadHandler) Collections() []string { return nil }
+
+// TestFlappingAvailability: rapid availability flips never wedge the
+// server; available windows answer, unavailable ones time out.
+func TestFlappingAvailability(t *testing.T) {
+	s := newTestServer(t)
+	c := NewClient(s.Addr())
+	for i := 0; i < 6; i++ {
+		up := i%2 == 0
+		s.SetAvailable(up)
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		_, err := c.Query(ctx, LangSQL, "SELECT 1")
+		cancel()
+		if up && err != nil {
+			t.Errorf("round %d (up): %v", i, err)
+		}
+		if !up && err == nil {
+			t.Errorf("round %d (down): query should time out", i)
+		}
+	}
+}

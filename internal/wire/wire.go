@@ -1,0 +1,425 @@
+// Package wire implements the network protocol between DISCO components
+// (Figure 1): newline-delimited JSON frames over TCP. Data-source servers
+// and mediator servers both speak it.
+//
+// The package also provides the fault injection the paper's unavailability
+// semantics is about: a server can be made unavailable, in which case it
+// accepts connections but never answers — exactly the "data source does not
+// respond" behaviour that partial evaluation (§4) classifies by timeout —
+// and can be given artificial latency to model wide-area links.
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Query languages understood by data-source servers.
+const (
+	LangSQL = "sql" // RelStore SQL dialect
+	LangDoc = "doc" // DocStore keyword language
+	LangOQL = "oql" // full OQL (mediator servers)
+)
+
+// Request is one client frame.
+type Request struct {
+	ID int64  `json:"id"`
+	Op string `json:"op"` // "query", "capability", "collections", "ping"
+	// Lang and Text carry the query for Op == "query".
+	Lang string `json:"lang,omitempty"`
+	Text string `json:"text,omitempty"`
+}
+
+// Response is one server frame. Payload fields are op-specific.
+type Response struct {
+	ID  int64  `json:"id"`
+	Err string `json:"err,omitempty"`
+	// Value is the tagged encoding of the query result (op "query").
+	Value json.RawMessage `json:"value,omitempty"`
+	// Residual carries a partial answer-as-query when the server is a
+	// mediator that could not reach all of its own sources (answers are
+	// queries, so partial answers compose across mediator levels).
+	Residual string `json:"residual,omitempty"`
+	// Unavailable lists the server's unreachable sources for Residual.
+	Unavailable []string `json:"unavailable,omitempty"`
+	// Grammar is the capability grammar text (op "capability").
+	Grammar string `json:"grammar,omitempty"`
+	// Collections lists collection names (op "collections").
+	Collections []string `json:"collections,omitempty"`
+	// Versions maps collection names to their current data versions
+	// (op "versions"); nil when the source does not track versions.
+	Versions map[string]int64 `json:"versions,omitempty"`
+}
+
+// Handler is the server-side service implementation.
+type Handler interface {
+	// HandleQuery executes a query in the given language.
+	HandleQuery(ctx context.Context, lang, text string) (json.RawMessage, error)
+	// Capability returns the wrapper grammar text for this source.
+	Capability() string
+	// Collections lists the served collection names.
+	Collections() []string
+}
+
+// VersionedHandler is implemented by handlers whose source tracks data
+// versions per collection (the §4 staleness extension).
+type VersionedHandler interface {
+	Versions() map[string]int64
+}
+
+// PartialHandler is implemented by handlers (mediator servers) that can
+// answer with a residual query when their own sources are unavailable. The
+// server prefers it over HandleQuery when present.
+type PartialHandler interface {
+	// HandleQueryPartial returns either a complete value or a residual
+	// answer-as-query plus the names of the unreachable sources.
+	HandleQueryPartial(ctx context.Context, lang, text string) (value json.RawMessage, residual string, unavailable []string, err error)
+}
+
+// PartialUpstreamError reports that a queried mediator could only answer
+// partially: from the caller's point of view the source is (partly)
+// unavailable, and its own partial-evaluation machinery takes over.
+type PartialUpstreamError struct {
+	Addr        string
+	Residual    string
+	Unavailable []string
+}
+
+// Error implements the error interface.
+func (e *PartialUpstreamError) Error() string {
+	return fmt.Sprintf("wire: %s answered partially (unavailable: %v)", e.Addr, e.Unavailable)
+}
+
+// Stats counts server traffic; the benchmark harness reads it to measure
+// data movement under different pushdown regimes.
+type Stats struct {
+	Queries  atomic.Int64
+	BytesIn  atomic.Int64
+	BytesOut atomic.Int64
+}
+
+// Server serves the wire protocol for a Handler.
+type Server struct {
+	handler Handler
+
+	lis  net.Listener
+	wg   sync.WaitGroup
+	done chan struct{}
+
+	unavailable atomic.Bool
+	latencyNs   atomic.Int64
+
+	stats Stats
+}
+
+// NewServer starts a server on addr ("127.0.0.1:0" picks a free port).
+func NewServer(addr string, h Handler) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s := &Server{handler: h, lis: lis, done: make(chan struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Stats exposes the traffic counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// SetAvailable controls fault injection: an unavailable server accepts
+// connections and reads requests but never replies.
+func (s *Server) SetAvailable(up bool) { s.unavailable.Store(!up) }
+
+// Available reports whether the server answers queries.
+func (s *Server) Available() bool { return !s.unavailable.Load() }
+
+// SetLatency injects a fixed delay before each reply, modeling link and
+// processing latency.
+func (s *Server) SetLatency(d time.Duration) { s.latencyNs.Store(int64(d)) }
+
+// Close stops the server and waits for connection goroutines to exit.
+func (s *Server) Close() error {
+	select {
+	case <-s.done:
+		return nil // already closed
+	default:
+	}
+	close(s.done)
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+
+	// Close the connection when the server shuts down so blocked clients
+	// unblock on EOF rather than leaking.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-s.done:
+			conn.Close()
+		case <-stop:
+		}
+	}()
+
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		s.stats.BytesIn.Add(int64(len(line)) + 1)
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			// Malformed frame: answer once, then drop the connection.
+			_ = enc.Encode(Response{Err: "malformed request: " + err.Error()})
+			return
+		}
+		if s.unavailable.Load() {
+			// The source "does not respond": swallow the request. The
+			// client's deadline, not an error, ends the exchange.
+			continue
+		}
+		if d := time.Duration(s.latencyNs.Load()); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-s.done:
+				return
+			}
+		}
+		resp := s.dispatch(&req)
+		buf, err := json.Marshal(resp)
+		if err != nil {
+			buf, _ = json.Marshal(Response{ID: req.ID, Err: "marshal response: " + err.Error()})
+		}
+		buf = append(buf, '\n')
+		n, err := conn.Write(buf)
+		s.stats.BytesOut.Add(int64(n))
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *Request) Response {
+	resp := Response{ID: req.ID}
+	switch req.Op {
+	case "ping":
+		// Empty success.
+	case "query":
+		s.stats.Queries.Add(1)
+		if ph, ok := s.handler.(PartialHandler); ok {
+			value, residual, unavailable, err := ph.HandleQueryPartial(context.Background(), req.Lang, req.Text)
+			switch {
+			case err != nil:
+				resp.Err = err.Error()
+			case residual != "":
+				resp.Residual = residual
+				resp.Unavailable = unavailable
+			default:
+				resp.Value = value
+			}
+			break
+		}
+		value, err := s.handler.HandleQuery(context.Background(), req.Lang, req.Text)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Value = value
+		}
+	case "capability":
+		resp.Grammar = s.handler.Capability()
+	case "collections":
+		resp.Collections = s.handler.Collections()
+	case "versions":
+		if vh, ok := s.handler.(VersionedHandler); ok {
+			resp.Versions = vh.Versions()
+		}
+	default:
+		resp.Err = fmt.Sprintf("unknown op %q", req.Op)
+	}
+	return resp
+}
+
+// Client issues wire requests. Each call dials a fresh connection, which
+// keeps fault handling simple (a hung server only ever blocks the call that
+// hit it) at the cost of a dial per request.
+type Client struct {
+	addr   string
+	nextID atomic.Int64
+}
+
+// NewClient returns a client for the given server address.
+func NewClient(addr string) *Client { return &Client{addr: addr} }
+
+// Addr returns the target address.
+func (c *Client) Addr() string { return c.addr }
+
+// Do sends one request and waits for the matching response, honoring the
+// context deadline both for dialing and for the exchange. A deadline
+// exceeded error is how callers observe unavailable sources.
+func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
+	req.ID = c.nextID.Add(1)
+
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("wire: set deadline: %w", err)
+		}
+	}
+	// Cancel the exchange if the context dies while we block on the read.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal: %w", err)
+	}
+	buf = append(buf, '\n')
+	if _, err := conn.Write(buf); err != nil {
+		return nil, wrapCtx(ctx, fmt.Errorf("wire: write %s: %w", c.addr, err))
+	}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	if !scanner.Scan() {
+		err := scanner.Err()
+		if err == nil {
+			err = fmt.Errorf("connection closed")
+		}
+		return nil, wrapCtx(ctx, fmt.Errorf("wire: read %s: %w", c.addr, err))
+	}
+	var resp Response
+	if err := json.Unmarshal(scanner.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("wire: decode response: %w", err)
+	}
+	return &resp, nil
+}
+
+// wrapCtx prefers the context's error (deadline, cancel) over the raw
+// network error it caused, so callers can match context.DeadlineExceeded.
+// The connection deadline is set from the context's, so a net timeout maps
+// to DeadlineExceeded even when it fires a moment before ctx.Err() does.
+func wrapCtx(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return fmt.Errorf("%w (%v)", ctx.Err(), err)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w (%v)", context.DeadlineExceeded, err)
+	}
+	return err
+}
+
+// Ping checks liveness within the context deadline.
+func (c *Client) Ping(ctx context.Context) error {
+	resp, err := c.Do(ctx, Request{Op: "ping"})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("wire: ping: %s", resp.Err)
+	}
+	return nil
+}
+
+// Query executes a query in the named language and returns the raw tagged
+// value payload. A partially-answering mediator surfaces as a
+// *PartialUpstreamError carrying its residual query.
+func (c *Client) Query(ctx context.Context, lang, text string) (json.RawMessage, error) {
+	resp, err := c.Do(ctx, Request{Op: "query", Lang: lang, Text: text})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Addr: c.addr, Msg: resp.Err}
+	}
+	if resp.Residual != "" {
+		return nil, &PartialUpstreamError{Addr: c.addr, Residual: resp.Residual, Unavailable: resp.Unavailable}
+	}
+	return resp.Value, nil
+}
+
+// Capability fetches the server's wrapper grammar text.
+func (c *Client) Capability(ctx context.Context) (string, error) {
+	resp, err := c.Do(ctx, Request{Op: "capability"})
+	if err != nil {
+		return "", err
+	}
+	if resp.Err != "" {
+		return "", &RemoteError{Addr: c.addr, Msg: resp.Err}
+	}
+	return resp.Grammar, nil
+}
+
+// Versions fetches the server's per-collection data versions; nil when the
+// source does not track them.
+func (c *Client) Versions(ctx context.Context) (map[string]int64, error) {
+	resp, err := c.Do(ctx, Request{Op: "versions"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Addr: c.addr, Msg: resp.Err}
+	}
+	return resp.Versions, nil
+}
+
+// Collections fetches the server's collection names.
+func (c *Client) Collections(ctx context.Context) ([]string, error) {
+	resp, err := c.Do(ctx, Request{Op: "collections"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Addr: c.addr, Msg: resp.Err}
+	}
+	return resp.Collections, nil
+}
+
+// RemoteError is an error reported by the remote server (as opposed to a
+// transport failure).
+type RemoteError struct {
+	Addr string
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return fmt.Sprintf("wire: %s: %s", e.Addr, e.Msg) }

@@ -1,0 +1,272 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"disco/internal/types"
+)
+
+// echoHandler answers queries by echoing the text as a string value.
+type echoHandler struct{}
+
+func (echoHandler) HandleQuery(_ context.Context, lang, text string) (json.RawMessage, error) {
+	if lang == "fail" {
+		return nil, fmt.Errorf("boom: %s", text)
+	}
+	return types.EncodeValue(types.Str(lang + ":" + text))
+}
+
+func (echoHandler) Capability() string { return "a :- get OPEN SOURCE CLOSE" }
+
+func (echoHandler) Collections() []string { return []string{"c1", "c2"} }
+
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0", echoHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	s := newTestServer(t)
+	c := NewClient(s.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	raw, err := c.Query(ctx, LangSQL, "SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := types.DecodeValue(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(types.Str("sql:SELECT 1")) {
+		t.Errorf("value = %s", v)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	s := newTestServer(t)
+	c := NewClient(s.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := c.Query(ctx, "fail", "x")
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error = %v (%T)", err, err)
+	}
+	if !strings.Contains(re.Msg, "boom") {
+		t.Errorf("msg = %q", re.Msg)
+	}
+}
+
+func TestCapabilityAndCollections(t *testing.T) {
+	s := newTestServer(t)
+	c := NewClient(s.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	g, err := c.Capability(ctx)
+	if err != nil || !strings.Contains(g, "get") {
+		t.Errorf("capability = %q, %v", g, err)
+	}
+	cols, err := c.Collections(ctx)
+	if err != nil || len(cols) != 2 {
+		t.Errorf("collections = %v, %v", cols, err)
+	}
+}
+
+func TestPing(t *testing.T) {
+	s := newTestServer(t)
+	c := NewClient(s.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnavailableServerBlocksUntilDeadline is the behaviour partial
+// evaluation depends on: an unavailable source accepts the connection and
+// never answers, so the caller's deadline fires.
+func TestUnavailableServerBlocksUntilDeadline(t *testing.T) {
+	s := newTestServer(t)
+	s.SetAvailable(false)
+	c := NewClient(s.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Query(ctx, LangSQL, "SELECT 1")
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed < 100*time.Millisecond {
+		t.Errorf("returned after %v, should have blocked until the deadline", elapsed)
+	}
+	// Recovery: the same server answers again once available.
+	s.SetAvailable(true)
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if _, err := c.Query(ctx2, LangSQL, "SELECT 1"); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	s := newTestServer(t)
+	s.SetLatency(120 * time.Millisecond)
+	c := NewClient(s.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Query(ctx, LangSQL, "SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("reply after %v, want >= latency", elapsed)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	s := newTestServer(t)
+	c := NewClient(s.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Query(ctx, LangSQL, "SELECT 1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if got := st.Queries.Load(); got != 3 {
+		t.Errorf("queries = %d", got)
+	}
+	if st.BytesIn.Load() == 0 || st.BytesOut.Load() == 0 {
+		t.Errorf("byte counters not advancing: in=%d out=%d", st.BytesIn.Load(), st.BytesOut.Load())
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s := newTestServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewClient(s.Addr())
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			raw, err := c.Query(ctx, LangSQL, fmt.Sprintf("q%d", i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			v, err := types.DecodeValue(raw)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !v.Equal(types.Str(fmt.Sprintf("sql:q%d", i))) {
+				errs <- fmt.Errorf("wrong answer %s for q%d", v, i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	s := newTestServer(t)
+	c := NewClient(s.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := c.Do(ctx, Request{Op: "explode"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Err, "unknown op") {
+		t.Errorf("err = %q", resp.Err)
+	}
+}
+
+func TestMalformedFrame(t *testing.T) {
+	s := newTestServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if err := conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf[:n]), "malformed") {
+		t.Errorf("response = %q", buf[:n])
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	s := newTestServer(t)
+	s.SetAvailable(false)
+	c := NewClient(s.Addr())
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, err := c.Query(ctx, LangSQL, "SELECT 1")
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("blocked query should fail when server closes")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client still blocked after server close")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s := newTestServer(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	c := NewClient("127.0.0.1:1") // nothing listens there
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := c.Query(ctx, LangSQL, "SELECT 1"); err == nil {
+		t.Error("dial to dead address should fail")
+	}
+}

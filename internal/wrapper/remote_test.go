@@ -1,0 +1,144 @@
+package wrapper
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"disco/internal/algebra"
+	"disco/internal/source"
+	"disco/internal/types"
+	"disco/internal/wire"
+)
+
+// sqlServerHandler serves a RelStore over the wire for RemoteQuerier tests.
+type sqlServerHandler struct {
+	store   *source.RelStore
+	scalar  bool // answer with a non-bag value to exercise the error path
+	badJSON bool
+}
+
+func (h sqlServerHandler) HandleQuery(_ context.Context, lang, text string) (json.RawMessage, error) {
+	if h.badJSON {
+		return json.RawMessage(`{"k":"mystery"}`), nil
+	}
+	if h.scalar {
+		return types.EncodeValue(types.Int(7))
+	}
+	b, err := h.store.Query(text)
+	if err != nil {
+		return nil, err
+	}
+	return types.EncodeValue(b)
+}
+func (sqlServerHandler) Capability() string    { return "" }
+func (sqlServerHandler) Collections() []string { return nil }
+
+func remoteStore(t *testing.T) *source.RelStore {
+	t.Helper()
+	s := source.NewRelStore()
+	if err := s.CreateTable("person0", "id", "name", "salary"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("person0", types.Int(1), types.Str("Mary"), types.Int(200)); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRemoteQuerierSQLWrapper(t *testing.T) {
+	srv, err := wire.NewServer("127.0.0.1:0", sqlServerHandler{store: remoteStore(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	w := NewSQL(RemoteQuerier{Client: wire.NewClient(srv.Addr()), Lang: wire.LangSQL})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	b, err := w.Execute(ctx, get("person0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1 {
+		t.Errorf("rows = %d", b.Len())
+	}
+}
+
+func TestRemoteQuerierNonBagResult(t *testing.T) {
+	srv, err := wire.NewServer("127.0.0.1:0", sqlServerHandler{scalar: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	q := RemoteQuerier{Client: wire.NewClient(srv.Addr()), Lang: wire.LangSQL}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err = q.Query(ctx, "anything")
+	if err == nil || !strings.Contains(err.Error(), "want bag") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRemoteQuerierDecodeError(t *testing.T) {
+	srv, err := wire.NewServer("127.0.0.1:0", sqlServerHandler{badJSON: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	q := RemoteQuerier{Client: wire.NewClient(srv.Addr()), Lang: wire.LangSQL}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := q.Query(ctx, "anything"); err == nil {
+		t.Error("undecodable payload should fail")
+	}
+}
+
+func TestUnsupportedErrorText(t *testing.T) {
+	err := &UnsupportedError{Expr: get("t"), Wrapper: "doc"}
+	if !strings.Contains(err.Error(), "doc") || !strings.Contains(err.Error(), "get(t)") {
+		t.Errorf("error text = %q", err)
+	}
+}
+
+func TestSQLLiteralForms(t *testing.T) {
+	// Booleans and escaped strings render; collections are rejected.
+	w := NewSQL(EngineQuerier{Engine: remoteStore(t)})
+	sqlText, err := ToSQL(&algebra.Select{Pred: pred(t, `name = "O'Brien"`), Input: get("person0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sqlText, "'O''Brien'") {
+		t.Errorf("quote escaping: %s", sqlText)
+	}
+	boolSQL, err := ToSQL(&algebra.Select{Pred: pred(t, `flag = true`), Input: get("person0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(boolSQL, "TRUE") {
+		t.Errorf("bool literal: %s", boolSQL)
+	}
+	if _, err := ToSQL(&algebra.Select{Pred: pred(t, `x = struct(a: bag(1))`), Input: get("person0")}); err == nil {
+		t.Error("struct literal should be unsupported in SQL")
+	}
+	_ = w
+}
+
+func TestContainsPartsOrientations(t *testing.T) {
+	field, value, ok := containsParts(pred(t, `contains(note, "ref")`))
+	if !ok || field != "note" || value != "ref" {
+		t.Errorf("containsParts = %q %q %v", field, value, ok)
+	}
+	for _, bad := range []string{
+		`contains(note, 5)`,     // non-string needle
+		`contains(a.b, "x")`,    // path, not ident
+		`startswith(note, "x")`, // wrong function
+		`note = "x"`,            // not a call
+	} {
+		if _, _, ok := containsParts(pred(t, bad)); ok {
+			t.Errorf("containsParts(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package wrapper
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"disco/internal/algebra"
+	"disco/internal/oql"
+	"disco/internal/source"
+	"disco/internal/types"
+)
+
+func relStore(t *testing.T) *source.RelStore {
+	t.Helper()
+	s := source.NewRelStore()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.CreateTable("person0", "id", "name", "salary"))
+	must(s.Insert("person0", types.Int(1), types.Str("Mary"), types.Int(200)))
+	must(s.Insert("person0", types.Int(3), types.Str("Ann"), types.Int(5)))
+	must(s.CreateTable("manager0", "mname", "mdept"))
+	must(s.Insert("manager0", types.Str("Kim"), types.Str("db")))
+	must(s.CreateTable("employee0", "ename", "dept"))
+	must(s.Insert("employee0", types.Str("Bob"), types.Str("db")))
+	return s
+}
+
+func get(table string, attrs ...string) *algebra.Get {
+	return &algebra.Get{Ref: algebra.ExtentRef{Extent: table, Source: table, Attrs: attrs}}
+}
+
+func pred(t *testing.T, src string) oql.Expr {
+	t.Helper()
+	e, err := oql.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestToSQLShapes(t *testing.T) {
+	tests := []struct {
+		expr algebra.Node
+		want string
+	}{
+		{get("person0"), `SELECT * FROM person0`},
+		{
+			&algebra.Select{Pred: pred(t, `salary > 10`), Input: get("person0")},
+			`SELECT * FROM person0 WHERE salary > 10`,
+		},
+		{
+			&algebra.Project{
+				Cols:  []algebra.Col{{Name: "name", Expr: &oql.Ident{Name: "name"}}},
+				Input: &algebra.Select{Pred: pred(t, `salary > 10 and name != "Bob"`), Input: get("person0")},
+			},
+			`SELECT name FROM person0 WHERE (salary > 10) AND (name <> 'Bob')`,
+		},
+		{
+			&algebra.Join{L: get("employee0"), R: get("manager0"), Pred: pred(t, `dept = mdept`)},
+			`SELECT * FROM employee0 JOIN manager0 ON dept = mdept`,
+		},
+		{
+			&algebra.Distinct{Input: &algebra.Project{
+				Cols:  []algebra.Col{{Name: "name", Expr: &oql.Ident{Name: "name"}}},
+				Input: get("person0"),
+			}},
+			`SELECT DISTINCT name FROM person0`,
+		},
+		{
+			&algebra.Select{Pred: pred(t, `id in bag(1, 3)`), Input: get("person0")},
+			`SELECT * FROM person0 WHERE id IN (1, 3)`,
+		},
+		{
+			// Composition beyond one select/project level nests subqueries.
+			&algebra.Select{
+				Pred:  pred(t, `salary > 10`),
+				Input: &algebra.Project{Cols: []algebra.Col{{Name: "salary", Expr: &oql.Ident{Name: "salary"}}}, Input: get("person0")},
+			},
+			`SELECT * FROM (SELECT salary FROM person0) WHERE salary > 10`,
+		},
+		{
+			&algebra.Select{Pred: pred(t, `not name = "Ann"`), Input: get("person0")},
+			`SELECT * FROM person0 WHERE NOT (name = 'Ann')`,
+		},
+	}
+	for _, tt := range tests {
+		got, err := ToSQL(tt.expr)
+		if err != nil {
+			t.Errorf("ToSQL(%s): %v", tt.expr, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ToSQL(%s)\n got  %s\n want %s", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestSQLWrapperExecute(t *testing.T) {
+	w := NewSQL(EngineQuerier{Engine: relStore(t)})
+	expr := &algebra.Project{
+		Cols:  []algebra.Col{{Name: "name", Expr: &oql.Ident{Name: "name"}}},
+		Input: &algebra.Select{Pred: pred(t, `salary > 10`), Input: get("person0")},
+	}
+	if !w.Grammar().AcceptsExpr(expr) {
+		t.Fatal("grammar should accept select+project composition")
+	}
+	b, err := w.Execute(context.Background(), expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := types.NewBag(types.NewStruct(types.Field{Name: "name", Value: types.Str("Mary")}))
+	if !b.Equal(want) {
+		t.Errorf("result = %s, want %s", b, want)
+	}
+}
+
+func TestSQLWrapperJoin(t *testing.T) {
+	w := NewSQL(EngineQuerier{Engine: relStore(t)})
+	expr := &algebra.Join{L: get("employee0"), R: get("manager0"), Pred: pred(t, `dept = mdept`)}
+	if !w.Grammar().AcceptsExpr(expr) {
+		t.Fatal("grammar should accept join")
+	}
+	b, err := w.Execute(context.Background(), expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1 {
+		t.Errorf("join rows = %d", b.Len())
+	}
+}
+
+// TestSQLWrapperSemanticsMatchInterp verifies the §3.2 requirement: the
+// translated SQL means exactly what the mediator's algebra means.
+func TestSQLWrapperSemanticsMatchInterp(t *testing.T) {
+	s := relStore(t)
+	w := NewSQL(EngineQuerier{Engine: s})
+	exprs := []algebra.Node{
+		get("person0"),
+		&algebra.Select{Pred: pred(t, `salary > 10`), Input: get("person0")},
+		&algebra.Select{Pred: pred(t, `salary > 10 or name = "Ann"`), Input: get("person0")},
+		&algebra.Select{Pred: pred(t, `not salary > 10`), Input: get("person0")},
+		&algebra.Project{Cols: []algebra.Col{{Name: "id", Expr: &oql.Ident{Name: "id"}}}, Input: get("person0")},
+		&algebra.Join{L: get("employee0"), R: get("manager0"), Pred: pred(t, `dept = mdept`)},
+		&algebra.Distinct{Input: &algebra.Project{Cols: []algebra.Col{{Name: "dept", Expr: &oql.Ident{Name: "dept"}}}, Input: get("employee0")}},
+	}
+	for _, expr := range exprs {
+		viaSQL, err := w.Execute(context.Background(), expr)
+		if err != nil {
+			t.Errorf("Execute(%s): %v", expr, err)
+			continue
+		}
+		in := &algebra.Interp{Cols: s}
+		ref, err := in.Run(expr)
+		if err != nil {
+			t.Fatalf("interp(%s): %v", expr, err)
+		}
+		if !viaSQL.Equal(ref.(*types.Bag)) {
+			t.Errorf("%s:\n sql    %s\n interp %s", expr, viaSQL, ref)
+		}
+	}
+}
+
+func TestSQLWrapperRejectsComputedColumns(t *testing.T) {
+	w := NewSQL(EngineQuerier{Engine: relStore(t)})
+	expr := &algebra.Project{
+		Cols:  []algebra.Col{{Name: "double", Expr: pred(t, `salary * 2`)}},
+		Input: get("person0"),
+	}
+	if _, err := w.Execute(context.Background(), expr); err == nil {
+		t.Error("computed projection should be unsupported")
+	}
+}
+
+func TestScanWrapper(t *testing.T) {
+	inner := NewSQL(EngineQuerier{Engine: relStore(t)})
+	w := NewScan(inner)
+	if !w.Grammar().AcceptsExpr(get("person0")) {
+		t.Error("scan grammar should accept get")
+	}
+	sel := &algebra.Select{Pred: pred(t, `salary > 10`), Input: get("person0")}
+	if w.Grammar().AcceptsExpr(sel) {
+		t.Error("scan grammar should reject select")
+	}
+	if _, err := w.Execute(context.Background(), sel); err == nil {
+		t.Error("scan wrapper must refuse selects even if asked")
+	}
+	b, err := w.Execute(context.Background(), get("person0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Errorf("rows = %d", b.Len())
+	}
+}
+
+func docStore() *source.DocStore {
+	d := source.NewDocStore()
+	d.AddDocument("sites", types.NewStruct(
+		types.Field{Name: "site", Value: types.Str("amont")},
+		types.Field{Name: "quality", Value: types.Str("good")},
+	))
+	d.AddDocument("sites", types.NewStruct(
+		types.Field{Name: "site", Value: types.Str("aval")},
+		types.Field{Name: "quality", Value: types.Str("poor")},
+	))
+	return d
+}
+
+func TestDocWrapper(t *testing.T) {
+	w := NewDoc(EngineQuerier{Engine: docStore()})
+	g := w.Grammar()
+
+	scan := get("sites")
+	eq := &algebra.Select{Pred: pred(t, `quality = "good"`), Input: scan}
+	rng := &algebra.Select{Pred: pred(t, `quality > "a"`), Input: scan}
+	conj := &algebra.Select{Pred: pred(t, `quality = "good" and site = "amont"`), Input: scan}
+
+	if !g.AcceptsExpr(scan) || !g.AcceptsExpr(eq) {
+		t.Error("doc grammar should accept scan and equality select")
+	}
+	if g.AcceptsExpr(rng) {
+		t.Error("doc grammar must reject range predicates")
+	}
+	if g.AcceptsExpr(conj) {
+		t.Error("doc grammar must reject conjunctions")
+	}
+
+	b, err := w.Execute(context.Background(), eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("rows = %d", b.Len())
+	}
+	if _, err := w.Execute(context.Background(), rng); err == nil {
+		t.Error("doc wrapper must refuse range selects")
+	}
+	// Mirrored equality order works too.
+	mirror := &algebra.Select{Pred: pred(t, `"good" = quality`), Input: scan}
+	if _, err := w.Execute(context.Background(), mirror); err != nil {
+		t.Errorf("mirrored equality: %v", err)
+	}
+}
+
+func TestCSVWrapper(t *testing.T) {
+	data := "site,ph,flow\namont,7.1,120\naval,6.2,80\n"
+	w, err := NewCSVFromReader("readings", strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Typed parsing: ph floats, flow ints, site strings.
+	b, err := w.Execute(context.Background(), get("readings"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("rows = %d", b.Len())
+	}
+	row := b.At(0).(*types.Struct)
+	if v, _ := row.Get("ph"); v.Kind() != types.KindFloat {
+		t.Errorf("ph kind = %s", v.Kind())
+	}
+	if v, _ := row.Get("flow"); v.Kind() != types.KindInt {
+		t.Errorf("flow kind = %s", v.Kind())
+	}
+	// The wrapper itself implements selections.
+	sel := &algebra.Select{Pred: pred(t, `ph > 7.0`), Input: get("readings")}
+	if !w.Grammar().AcceptsExpr(sel) {
+		t.Error("csv grammar should accept selects")
+	}
+	got, err := w.Execute(context.Background(), sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Errorf("filtered rows = %d", got.Len())
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := NewCSV("x", "/nonexistent/file.csv"); err == nil {
+		t.Error("missing file should fail")
+	}
+	if _, err := NewCSVFromReader("x", strings.NewReader("")); err == nil {
+		t.Error("empty file should fail")
+	}
+	if _, err := NewCSVFromReader("x", strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged rows should fail")
+	}
+}
+
+func TestCheckResult(t *testing.T) {
+	schema := types.NewSchema()
+	if err := schema.Define(&types.Interface{
+		Name: "Person",
+		Attrs: []types.Attribute{
+			{Name: "name", Type: types.ScalarAttr(types.TString)},
+			{Name: "salary", Type: types.ScalarAttr(types.TInt)},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	good := types.NewBag(types.NewStruct(
+		types.Field{Name: "name", Value: types.Str("Mary")},
+		types.Field{Name: "salary", Value: types.Int(200)},
+	))
+	if err := CheckResult(schema, "Person", good); err != nil {
+		t.Errorf("conforming bag rejected: %v", err)
+	}
+	bad := types.NewBag(types.NewStruct(
+		types.Field{Name: "name", Value: types.Int(7)},
+		types.Field{Name: "salary", Value: types.Int(200)},
+	))
+	if err := CheckResult(schema, "Person", bad); err == nil {
+		t.Error("non-conforming bag accepted")
+	}
+}
