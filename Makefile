@@ -1,0 +1,34 @@
+# Development targets. `make check` is the gate a change must pass:
+# formatting, vet, and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check fmt vet test test-race bench build
+
+check: fmt vet test-race
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# The perf trajectory: scatter-gather fan-out across 1/4/16 partitions plus
+# the standing paper-experiment benchmarks.
+bench:
+	$(GO) test -run xxx -bench 'ScatterGather' -benchmem .
+
+bench-all:
+	$(GO) test -run xxx -bench . -benchmem .

@@ -30,8 +30,36 @@
 //	`)
 //	v, err := m.Query(`select x.name from x in person where x.salary > 10`)
 //
+// # Scaling out
+//
+// One logical extent can be horizontally partitioned across several
+// repositories with the "at" form of the extent declaration:
+//
+//	extent people of Person wrapper w0 at r0, r1, r2;
+//
+// A query over people fans out: the optimizer rewrites Get(people) into a
+// parallel union of per-partition submits — pushing selections and
+// projections down to each shard as its wrapper allows — and the physical
+// layer executes the fan-out with a bounded-concurrency scatter-gather
+// operator (see WithMaxFanout) that merges shard streams as they arrive and
+// fuses distinct semantics into the merge where the plan requires it. Each
+// shard call is recorded separately in the learned cost history, so the
+// optimizer knows which shards are slow.
+//
+// Partial answers compose with partitioning: if a shard fails to answer
+// before the deadline, QueryPartial keeps the answered shards' data and
+// returns a residual query over only the missing partitions, written with
+// the shard-addressing form extent@repository:
+//
+//	union(select x.name from x in people@r2 where x.salary > 60, bag("Ben", "Mary"))
+//
+// Resubmitting that answer once r2 recovers touches only r2. The
+// extent@repository name is ordinary OQL here and can also be queried
+// directly to address one shard. See examples/sharding for the full
+// scenario.
+//
 // See the examples directory for multi-source federations, wide-area
-// deployments over TCP, partial answers and mediator composition.
+// deployments over TCP, partial answers, mediator composition and sharding.
 package disco
 
 import (
@@ -63,6 +91,10 @@ func New(opts ...Option) *Mediator { return core.New(opts...) }
 // WithTimeout sets the evaluation deadline after which silent sources are
 // classified unavailable (the paper's "designated time", §4).
 var WithTimeout = core.WithTimeout
+
+// WithMaxFanout bounds how many partitions of a sharded extent the mediator
+// queries concurrently (0 = all at once).
+var WithMaxFanout = core.WithMaxFanout
 
 // Value is a runtime value of the DISCO data model: scalars, structs and
 // the bag/list/set collections.

@@ -1,0 +1,126 @@
+// Sharding — one logical extent horizontally partitioned across four
+// repositories. The mediator rewrites Get(people) into a parallel union of
+// per-partition submits, executes the fan-out with the bounded-concurrency
+// scatter-gather operator, and — when a shard dies — degrades to a §4
+// partial answer whose residual query names only the missing partition.
+//
+//	go run ./examples/sharding
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"disco"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- four shard servers, each holding a slice of the people extent --
+	shards := [][][2]interface{}{
+		{{"Mary", 200}, {"Ann", 5}},
+		{{"Sam", 50}},
+		{{"Cal", 55}, {"Zoe", 120}},
+		{{"Ben", 80}},
+	}
+	var servers []*disco.Server
+	var odl strings.Builder
+	var repos []string
+	for i, rows := range shards {
+		s := disco.NewRelStore()
+		if err := s.CreateTable("people", "id", "name", "salary"); err != nil {
+			return err
+		}
+		for j, r := range rows {
+			if err := s.Insert("people",
+				disco.Int(int64(i*10+j)), disco.Str(r[0].(string)), disco.Int(int64(r[1].(int)))); err != nil {
+				return err
+			}
+		}
+		srv, err := disco.ServeEngine("127.0.0.1:0", s)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		servers = append(servers, srv)
+		repo := fmt.Sprintf("r%d", i)
+		repos = append(repos, repo)
+		fmt.Fprintf(&odl, "%s := Repository(address=%q);\n", repo, srv.Addr())
+	}
+	fmt.Printf("%d shard servers up\n", len(servers))
+
+	// --- one mediator, one partitioned extent ---------------------------
+	m := disco.New(disco.WithTimeout(400 * time.Millisecond))
+	odl.WriteString(`
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent people of Person wrapper w0 at ` + strings.Join(repos, ", ") + `;
+	`)
+	if err := m.ExecODL(odl.String()); err != nil {
+		return err
+	}
+
+	// The selection is pushed down to every shard; the four submits run
+	// concurrently and merge as they arrive.
+	plan, err := m.ExplainPlan(`select x.name from x in people where x.salary > 60`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fan-out plan:\n%s", indent(plan))
+
+	v, err := m.Query(`select x.name from x in people where x.salary > 60`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("salary > 60 across all shards: %s\n", sorted(v))
+
+	// --- one shard dies: the query degrades, not fails ------------------
+	servers[2].SetAvailable(false)
+	ans, err := m.QueryPartial(`select x.name from x in people where x.salary > 60`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard r2 down -> unavailable: %v\n", ans.Unavailable)
+	fmt.Printf("partial answer (a query): %s\n", ans)
+
+	// --- the shard recovers: resubmit the answer itself -----------------
+	servers[2].SetAvailable(true)
+	re, err := m.QueryPartial(ans.String())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resubmitted after recovery: %s\n", sorted(re.Value))
+	return nil
+}
+
+// sorted renders a bag of strings in name order, so the output is stable
+// under the scatter-gather's arrival-order merge.
+func sorted(v disco.Value) string {
+	bag, ok := v.(*disco.Bag)
+	if !ok {
+		return v.String()
+	}
+	names := make([]string, 0, bag.Len())
+	for i := 0; i < bag.Len(); i++ {
+		names = append(names, bag.At(i).String())
+	}
+	sort.Strings(names)
+	return "[" + strings.Join(names, ", ") + "]"
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "  " + strings.Join(lines, "\n  ") + "\n"
+}

@@ -1,0 +1,70 @@
+// Package examples holds no library code — each subdirectory is a runnable
+// program. This harness builds and runs every example and asserts on its
+// stdout, so the examples cannot rot as the mediator evolves.
+package examples
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smoke lists, per example, substrings its stdout must contain. Dynamic
+// content (ports, arrival order) is deliberately not asserted.
+var smoke = map[string][]string{
+	"quickstart": {
+		`=> bag("Mary", "Sam")`,
+		"plan candidates:",
+	},
+	"payroll": {
+		`=> bag("Ann", "Mary", "Mary", "Sam")`,
+		"person* closes over Student extents",
+		`=> bag(struct(name: "Mary", salary: 255))`,
+	},
+	"waterquality": {
+		"average oxygen across all five stations:",
+		"unavailable: [r2]",
+		"after recovery, resubmission returns 30 readings",
+	},
+	"federation": {
+		`=> bag("Mary", "Sam")`,
+		`union(select x.name from x in person0 where x.salary > 10, bag("Sam"))`,
+		"unavailable sources: [r0]",
+	},
+	"sharding": {
+		"4 shard servers up",
+		"punion[4] (parallel scatter-gather)",
+		`salary > 60 across all shards: ["Ben", "Mary", "Zoe"]`,
+		"shard r2 down -> unavailable: [r2]",
+		`union(select x.name from x in people@r2 where x.salary > 60, bag("Ben", "Mary"))`,
+		`resubmitted after recovery: ["Ben", "Mary", "Zoe"]`,
+	},
+}
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples build and run real servers; skipped in -short mode")
+	}
+	for dir, wants := range smoke {
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			// Bounded so one hung example fails its own subtest instead of
+			// wedging the suite (the bound covers the go build step too).
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./"+dir)
+			start := time.Now()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./%s failed after %v: %v\n%s", dir, time.Since(start), err, out)
+			}
+			for _, want := range wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("output of %s lacks %q:\n%s", dir, want, out)
+				}
+			}
+		})
+	}
+}

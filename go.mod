@@ -1,0 +1,3 @@
+module disco
+
+go 1.24

@@ -312,6 +312,11 @@ func ToSource(n Node) (Node, error) {
 		case *Get:
 			ref := x.Ref
 			ref.Extent = ref.Source
+			// Shard addressing is local to this mediator: the submit already
+			// routes the call to the right repository, and a downstream
+			// source (e.g. a composed mediator) knows the collection by its
+			// plain name, not by this mediator's extent@repo form.
+			ref.Partition = ""
 			return &Get{Ref: ref}
 		case *Select:
 			return &Select{Pred: renameIdents(x.Pred, rename), Input: x.Input}

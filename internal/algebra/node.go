@@ -47,6 +47,20 @@ type ExtentRef struct {
 	// AttrMap maps mediator attribute names to source attribute names for
 	// attributes renamed by the local transformation map.
 	AttrMap map[string]string
+	// Partition is set when this ref is one shard of a horizontally
+	// partitioned extent: the repository name of the shard. Partitioned gets
+	// render as extent@repo so a residual query can name exactly the shards
+	// that did not answer.
+	Partition string
+}
+
+// QualifiedName is the OQL-level name of the extent this ref reads: the
+// plain extent name, or extent@repo for one shard of a partitioned extent.
+func (r ExtentRef) QualifiedName() string {
+	if r.Partition == "" {
+		return r.Extent
+	}
+	return r.Extent + "@" + r.Partition
 }
 
 // SourceAttr translates a mediator attribute name to the source namespace.
@@ -64,7 +78,7 @@ type Get struct {
 }
 
 // String implements Node.
-func (g *Get) String() string { return "get(" + g.Ref.Extent + ")" }
+func (g *Get) String() string { return "get(" + g.Ref.QualifiedName() + ")" }
 
 // Children implements Node.
 func (*Get) Children() []Node { return nil }
@@ -93,9 +107,15 @@ func (c *Const) WithChildren(children []Node) Node {
 	return c
 }
 
-// Union is n-ary bag union (duplicates preserved).
+// Union is n-ary bag union (duplicates preserved). A Par union is the
+// fan-out over the shards of one horizontally partitioned extent: the
+// physical layer executes its inputs with a scatter-gather operator that
+// merges shard streams as they arrive instead of draining them in order.
 type Union struct {
 	Inputs []Node
+	// Par marks a partition fan-out whose branches may merge in arrival
+	// order (bag semantics make the reordering sound).
+	Par bool
 }
 
 // String implements Node.
@@ -104,7 +124,11 @@ func (u *Union) String() string {
 	for i, in := range u.Inputs {
 		parts[i] = in.String()
 	}
-	return "union(" + strings.Join(parts, ", ") + ")"
+	op := "union"
+	if u.Par {
+		op = "punion"
+	}
+	return op + "(" + strings.Join(parts, ", ") + ")"
 }
 
 // Children implements Node.
@@ -113,7 +137,7 @@ func (u *Union) Children() []Node { return u.Inputs }
 // WithChildren implements Node.
 func (u *Union) WithChildren(children []Node) Node {
 	mustArity("union", children, len(u.Inputs))
-	return &Union{Inputs: children}
+	return &Union{Inputs: children, Par: u.Par}
 }
 
 // Submit locates the evaluation of Input at a data source (paper §3.2).

@@ -18,7 +18,9 @@ import (
 func ToOQL(n Node) (oql.Expr, error) {
 	switch x := n.(type) {
 	case *Get:
-		return &oql.Ident{Name: x.Ref.Extent}, nil
+		// Partitioned gets render as extent@repo, so a residual query names
+		// exactly the shards it still has to read.
+		return &oql.Ident{Name: x.Ref.QualifiedName()}, nil
 	case *Const:
 		return &oql.Literal{Val: x.Data}, nil
 	case *Eval:
@@ -287,7 +289,7 @@ func unrollSubmit(n Node, v string) (domain oql.Expr, preds []oql.Expr, ok bool)
 			preds = append(preds, substFree(x.Pred, attrSet, v))
 			n = x.Input
 		case *Get:
-			return &oql.Ident{Name: x.Ref.Extent}, preds, true
+			return &oql.Ident{Name: x.Ref.QualifiedName()}, preds, true
 		default:
 			return nil, nil, false
 		}

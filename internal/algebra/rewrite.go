@@ -55,12 +55,18 @@ func normalizeOnce(n Node) Node {
 	switch x := n.(type) {
 	case *Union:
 		// union of unions flattens; empty constant branches vanish;
-		// single-input union unwraps.
+		// single-input union unwraps. A nested union of the other flavor
+		// (Par vs ordered) stays intact: flattening a partition fan-out into
+		// an ordered union would lose its parallel merge.
 		flat := make([]Node, 0, len(x.Inputs))
 		changed := false
 		for _, in := range x.Inputs {
 			switch c := in.(type) {
 			case *Union:
+				if c.Par != x.Par {
+					flat = append(flat, in)
+					continue
+				}
 				flat = append(flat, c.Inputs...)
 				changed = true
 			case *Const:
@@ -79,7 +85,7 @@ func normalizeOnce(n Node) Node {
 		case len(flat) == 1:
 			return flat[0]
 		case changed:
-			return &Union{Inputs: flat}
+			return &Union{Inputs: flat, Par: x.Par}
 		default:
 			return x
 		}
@@ -92,7 +98,7 @@ func normalizeOnce(n Node) Node {
 			for i, in := range u.Inputs {
 				out[i] = &Bind{Var: x.Var, Input: in}
 			}
-			return &Union{Inputs: out}
+			return &Union{Inputs: out, Par: u.Par}
 		}
 		return x
 	case *Select:
@@ -106,7 +112,7 @@ func normalizeOnce(n Node) Node {
 			for i, in := range u.Inputs {
 				out[i] = &Map{Expr: x.Expr, Input: in}
 			}
-			return &Union{Inputs: out}
+			return &Union{Inputs: out, Par: u.Par}
 		}
 		return x
 	case *Project:
@@ -118,7 +124,7 @@ func normalizeOnce(n Node) Node {
 			for i, in := range u.Inputs {
 				out[i] = &Project{Cols: x.Cols, Input: in}
 			}
-			return &Union{Inputs: out}
+			return &Union{Inputs: out, Par: u.Par}
 		}
 		return x
 	case *Join:
@@ -174,7 +180,7 @@ func normalizeSelect(x *Select) Node {
 		for i, c := range in.Inputs {
 			out[i] = &Select{Pred: x.Pred, Input: c}
 		}
-		return &Union{Inputs: out}
+		return &Union{Inputs: out, Par: in.Par}
 	case *Select:
 		// Canonical stacking order (by predicate text) so equal plans
 		// normalize identically.

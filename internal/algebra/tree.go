@@ -32,10 +32,13 @@ func writeTree(b *strings.Builder, n Node, prefix, childPrefix string) {
 func nodeLabel(n Node) string {
 	switch x := n.(type) {
 	case *Get:
-		return fmt.Sprintf("get(%s)", x.Ref.Extent)
+		return fmt.Sprintf("get(%s)", x.Ref.QualifiedName())
 	case *Const:
 		return fmt.Sprintf("const(%d rows)", x.Data.Len())
 	case *Union:
+		if x.Par {
+			return fmt.Sprintf("punion[%d] (parallel scatter-gather)", len(x.Inputs))
+		}
 		return fmt.Sprintf("union[%d]", len(x.Inputs))
 	case *Submit:
 		return fmt.Sprintf("submit(%s)", x.Repo)

@@ -11,6 +11,7 @@ package catalog
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"disco/internal/algebra"
@@ -54,9 +55,14 @@ type MetaExtent struct {
 	// Iface is the mediator interface whose extent this is.
 	Iface string
 	// Wrapper and Repository name the catalog objects used to reach the
-	// data source.
+	// data source. For a horizontally partitioned extent Repository is the
+	// first partition; Repositories carries the full list.
 	Wrapper    string
 	Repository string
+	// Repositories lists every repository holding a horizontal partition of
+	// the extent, in declaration order (extent e of T wrapper w at r0, r1).
+	// Empty or single-element for unpartitioned extents.
+	Repositories []string
 	// SourceName is the collection name at the data source; it defaults to
 	// Name and is overridden by the local transformation map's
 	// (source=extent) entry (§2.2.2).
@@ -64,6 +70,30 @@ type MetaExtent struct {
 	// AttrMap maps mediator attribute names to source attribute names for
 	// attributes renamed by the local transformation map.
 	AttrMap map[string]string
+}
+
+// Partitions returns the repositories holding the extent's data: the
+// declared partition list, or the single repository for unpartitioned
+// extents.
+func (m *MetaExtent) Partitions() []string {
+	if len(m.Repositories) > 0 {
+		return m.Repositories
+	}
+	return []string{m.Repository}
+}
+
+// Partitioned reports whether the extent is split across more than one
+// repository.
+func (m *MetaExtent) Partitioned() bool { return len(m.Repositories) > 1 }
+
+// HasPartition reports whether the extent stores data at the repository.
+func (m *MetaExtent) HasPartition(repo string) bool {
+	for _, p := range m.Partitions() {
+		if p == repo {
+			return true
+		}
+	}
+	return false
 }
 
 // ErrNotFound reports a missing catalog object.
@@ -202,6 +232,19 @@ func (c *Catalog) AddExtent(m *MetaExtent) error {
 	}
 	if _, ok := c.wrappers[m.Wrapper]; !ok {
 		return &ErrNotFound{Kind: "wrapper", Name: m.Wrapper}
+	}
+	if len(m.Repositories) > 0 {
+		seen := map[string]bool{}
+		for _, r := range m.Repositories {
+			if _, ok := c.repos[r]; !ok {
+				return &ErrNotFound{Kind: "repository", Name: r}
+			}
+			if seen[r] {
+				return fmt.Errorf("catalog: extent %q lists partition %q twice", m.Name, r)
+			}
+			seen[r] = true
+		}
+		m.Repository = m.Repositories[0]
 	}
 	if _, ok := c.repos[m.Repository]; !ok {
 		return &ErrNotFound{Kind: "repository", Name: m.Repository}
@@ -386,6 +429,17 @@ func (c *Catalog) ExtentRef(m *MetaExtent) algebra.ExtentRef {
 	}
 }
 
+// PartitionRef is ExtentRef for one shard of a partitioned extent: the ref
+// reads the shard at the given repository and renders as extent@repo.
+func (c *Catalog) PartitionRef(m *MetaExtent, repo string) algebra.ExtentRef {
+	ref := c.ExtentRef(m)
+	ref.Repo = repo
+	if m.Partitioned() {
+		ref.Partition = repo
+	}
+	return ref
+}
+
 // MetaExtentBag materializes the metaextent collection (§2.1): one struct
 // per extent with attributes name, e, interface, wrapper, repository and
 // map. The e attribute carries the extent name; the mediator's resolver
@@ -406,7 +460,7 @@ func (c *Catalog) MetaExtentBag() *types.Bag {
 			types.Field{Name: "e", Value: types.Str(m.Name)},
 			types.Field{Name: "interface", Value: types.Str(m.Iface)},
 			types.Field{Name: "wrapper", Value: types.Str(m.Wrapper)},
-			types.Field{Name: "repository", Value: types.Str(m.Repository)},
+			types.Field{Name: "repository", Value: types.Str(strings.Join(m.Partitions(), ","))},
 			types.Field{Name: "map", Value: types.NewSet(mapPairs...)},
 		))
 	}

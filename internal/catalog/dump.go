@@ -96,7 +96,11 @@ func (c *Catalog) DumpODL() string {
 	}
 	for _, n := range c.extOrder {
 		m := c.extents[n]
-		fmt.Fprintf(&b, "extent %s of %s wrapper %s repository %s", m.Name, m.Iface, m.Wrapper, m.Repository)
+		if m.Partitioned() {
+			fmt.Fprintf(&b, "extent %s of %s wrapper %s at %s", m.Name, m.Iface, m.Wrapper, strings.Join(m.Repositories, ", "))
+		} else {
+			fmt.Fprintf(&b, "extent %s of %s wrapper %s repository %s", m.Name, m.Iface, m.Wrapper, m.Repository)
+		}
 		var pairs []string
 		if m.SourceName != "" && m.SourceName != m.Name {
 			pairs = append(pairs, fmt.Sprintf("(%s=%s)", m.SourceName, m.Name))

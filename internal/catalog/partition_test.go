@@ -1,0 +1,110 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"disco/internal/types"
+)
+
+func partitionCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := New()
+	if err := c.DefineInterface(&types.Interface{
+		Name: "Person", ExtentName: "person",
+		Attrs: []types.Attribute{{Name: "name", Type: types.ScalarAttr(types.TString)}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddWrapper(&Wrapper{Name: "w0", Kind: "sql"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"r0", "r1", "r2"} {
+		if err := c.AddRepository(&Repository{Name: r, Address: "mem:" + r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestAddPartitionedExtent(t *testing.T) {
+	c := partitionCatalog(t)
+	if err := c.AddExtent(&MetaExtent{
+		Name: "people", Iface: "Person", Wrapper: "w0",
+		Repositories: []string{"r0", "r1", "r2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Extent("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Partitioned() {
+		t.Error("extent should report Partitioned")
+	}
+	if m.Repository != "r0" {
+		t.Errorf("Repository = %q, want first partition", m.Repository)
+	}
+	if got := strings.Join(m.Partitions(), ","); got != "r0,r1,r2" {
+		t.Errorf("Partitions = %q", got)
+	}
+	ref := c.PartitionRef(m, "r1")
+	if ref.Repo != "r1" || ref.Partition != "r1" || ref.QualifiedName() != "people@r1" {
+		t.Errorf("PartitionRef = %+v", ref)
+	}
+}
+
+func TestAddPartitionedExtentUnknownRepository(t *testing.T) {
+	c := partitionCatalog(t)
+	err := c.AddExtent(&MetaExtent{
+		Name: "people", Iface: "Person", Wrapper: "w0",
+		Repositories: []string{"r0", "r9"},
+	})
+	if err == nil || !strings.Contains(err.Error(), `repository "r9"`) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAddPartitionedExtentDuplicatePartition(t *testing.T) {
+	c := partitionCatalog(t)
+	err := c.AddExtent(&MetaExtent{
+		Name: "people", Iface: "Person", Wrapper: "w0",
+		Repositories: []string{"r0", "r1", "r0"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnpartitionedPartitionRefHasNoQualifier(t *testing.T) {
+	c := partitionCatalog(t)
+	if err := c.AddExtent(&MetaExtent{
+		Name: "person0", Iface: "Person", Wrapper: "w0", Repository: "r0",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := c.Extent("person0")
+	if m.Partitioned() {
+		t.Error("single-repo extent reports Partitioned")
+	}
+	ref := c.PartitionRef(m, "r0")
+	if ref.Partition != "" || ref.QualifiedName() != "person0" {
+		t.Errorf("ref = %+v", ref)
+	}
+}
+
+func TestPartitionedMetaExtentBag(t *testing.T) {
+	c := partitionCatalog(t)
+	if err := c.AddExtent(&MetaExtent{
+		Name: "people", Iface: "Person", Wrapper: "w0",
+		Repositories: []string{"r0", "r1", "r2"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bag := c.MetaExtentBag()
+	st := bag.At(0).(*types.Struct)
+	repo, _ := st.Get("repository")
+	if !repo.Equal(types.Str("r0,r1,r2")) {
+		t.Errorf("metaextent repository = %s", repo)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"disco/internal/physical"
+	"disco/internal/types"
+)
+
+// timeoutErr is a minimal net.Error with Timeout() = true.
+type timeoutErr struct{}
+
+func (timeoutErr) Error() string   { return "i/o timeout" }
+func (timeoutErr) Timeout() bool   { return true }
+func (timeoutErr) Temporary() bool { return true }
+
+// TestClassifySourceError is the regression suite for the unavailability
+// classifier: only "no answer" conditions (timeouts, refused or failed
+// dials, expired deadlines) may become partial answers. A source that was
+// reached and then failed mid-answer produced a genuine error — degrading
+// it silently into a partial answer hides real failures.
+func TestClassifySourceError(t *testing.T) {
+	cases := []struct {
+		name        string
+		err         error
+		unavailable bool
+	}{
+		{
+			name:        "deadline exceeded",
+			err:         context.DeadlineExceeded,
+			unavailable: true,
+		},
+		{
+			name:        "wrapped cancellation",
+			err:         fmt.Errorf("exec: %w", context.Canceled),
+			unavailable: true,
+		},
+		{
+			name:        "network timeout",
+			err:         timeoutErr{},
+			unavailable: true,
+		},
+		{
+			name: "connection refused at dial",
+			err: &net.OpError{Op: "dial", Net: "tcp",
+				Err: os.NewSyscallError("connect", syscall.ECONNREFUSED)},
+			unavailable: true,
+		},
+		{
+			name: "host unreachable at dial",
+			err: &net.OpError{Op: "dial", Net: "tcp",
+				Err: os.NewSyscallError("connect", syscall.EHOSTUNREACH)},
+			unavailable: true,
+		},
+		{
+			name: "bare ECONNREFUSED",
+			err:  syscall.ECONNREFUSED,
+			// e.g. surfaced by a local proxy without the OpError wrapping.
+			unavailable: true,
+		},
+		{
+			name: "reset mid-answer is a real failure",
+			err: &net.OpError{Op: "read", Net: "tcp",
+				Err: os.NewSyscallError("read", syscall.ECONNRESET)},
+			unavailable: false,
+		},
+		{
+			name: "write failure on an established connection",
+			err: &net.OpError{Op: "write", Net: "tcp",
+				Err: os.NewSyscallError("write", syscall.EPIPE)},
+			unavailable: false,
+		},
+		{
+			name:        "plain source error",
+			err:         errors.New("table people does not exist"),
+			unavailable: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := classifySourceError("r0", tc.err)
+			var ue *physical.UnavailableError
+			isUnavailable := errors.As(got, &ue)
+			if isUnavailable != tc.unavailable {
+				t.Errorf("classifySourceError(%v): unavailable = %v, want %v", tc.err, isUnavailable, tc.unavailable)
+			}
+			if isUnavailable && ue.Repo != "r0" {
+				t.Errorf("UnavailableError.Repo = %q, want r0", ue.Repo)
+			}
+			if !isUnavailable && !errors.Is(got, tc.err) {
+				t.Errorf("real error was rewrapped beyond recognition: %v", got)
+			}
+		})
+	}
+}
+
+// TestRealSourceFailureAbortsQueryOverPartitions: a live shard answering
+// with an error must fail the whole query, not shrink it to a partial
+// answer (the mis-classification this fix removes).
+func TestRealSourceFailureAbortsQueryOverPartitions(t *testing.T) {
+	m := New(WithTimeout(2 * time.Second))
+	m.RegisterEngine("r0", shardStore(t, shardRows[0]))
+	// r1's engine lacks the people table: a genuine query failure from a
+	// live source.
+	m.RegisterEngine("r1", failingEngine{})
+	if err := m.ExecODL(`
+		r0 := Repository(address="mem:r0");
+		r1 := Repository(address="mem:r1");
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent people of Person wrapper w0 at r0, r1;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.QueryPartial(`select x from x in people`); err == nil {
+		t.Fatal("real shard failure must abort the query, not yield a partial answer")
+	}
+}
+
+type failingEngine struct{}
+
+func (failingEngine) Query(string) (*types.Bag, error) {
+	return nil, errors.New("disk corrupted")
+}
+func (failingEngine) Collections() []string { return nil }

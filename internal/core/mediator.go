@@ -36,6 +36,9 @@ type Mediator struct {
 	// Timeout bounds query evaluation; sources that do not answer within
 	// it yield partial answers (QueryPartial) or errors (Query).
 	timeout time.Duration
+	// maxFanout bounds how many partition shards one scatter-gather drains
+	// concurrently; 0 means unbounded.
+	maxFanout int
 
 	mu       sync.Mutex
 	engines  map[string]source.Engine   // in-process engines by mem: name
@@ -57,6 +60,16 @@ func WithTimeout(d time.Duration) Option {
 // WithHistory shares a cost history (useful for tests and for warm starts).
 func WithHistory(h *costmodel.History) Option {
 	return func(m *Mediator) { m.history = h }
+}
+
+// WithMaxFanout bounds how many partitions of a sharded extent the mediator
+// queries concurrently (0 = all at once).
+func WithMaxFanout(n int) Option {
+	return func(m *Mediator) {
+		if n > 0 {
+			m.maxFanout = n
+		}
+	}
 }
 
 // New returns an empty mediator.
@@ -129,12 +142,13 @@ func (m *Mediator) Apply(stmt odl.Statement) error {
 		})
 	case *odl.ExtentDecl:
 		return m.catalog.AddExtent(&catalog.MetaExtent{
-			Name:       s.Name,
-			Iface:      s.Iface,
-			Wrapper:    s.Wrapper,
-			Repository: s.Repository,
-			SourceName: s.SourceName,
-			AttrMap:    s.AttrMap,
+			Name:         s.Name,
+			Iface:        s.Iface,
+			Wrapper:      s.Wrapper,
+			Repository:   s.Repository,
+			Repositories: s.Repositories,
+			SourceName:   s.SourceName,
+			AttrMap:      s.AttrMap,
 		})
 	case *odl.ViewDecl:
 		return m.catalog.DefineView(s.Name, s.Query)

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"disco/internal/algebra"
+	"disco/internal/source"
+	"disco/internal/types"
+	"disco/internal/wire"
+)
+
+// shardRows is the people data spread over four shards; shard 3 repeats
+// Mary so distinct semantics across shards is observable.
+var shardRows = [][][3]interface{}{
+	{{1, "Mary", 200}},
+	{{2, "Sam", 50}, {3, "Ann", 5}},
+	{{4, "Cal", 55}},
+	{{5, "Zoe", 120}, {1, "Mary", 200}},
+}
+
+func shardStore(t *testing.T, rows [][3]interface{}) *source.RelStore {
+	t.Helper()
+	s := source.NewRelStore()
+	if err := s.CreateTable("people", "id", "name", "salary"); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := s.Insert("people", types.Int(int64(r[0].(int))), types.Str(r[1].(string)), types.Int(int64(r[2].(int)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+const shardSchema = `
+r0 := Repository(address="mem:r0");
+r1 := Repository(address="mem:r1");
+r2 := Repository(address="mem:r2");
+r3 := Repository(address="mem:r3");
+w0 := WrapperPostgres();
+
+interface Person (extent person) {
+    attribute Short id;
+    attribute String name;
+    attribute Short salary;
+}
+
+extent people of Person wrapper w0 at r0, r1, r2, r3;
+`
+
+// shardedMediator declares one logical extent partitioned across four
+// in-process repositories.
+func shardedMediator(t *testing.T, opts ...Option) *Mediator {
+	t.Helper()
+	m := New(append([]Option{WithTimeout(2 * time.Second)}, opts...)...)
+	for i, rows := range shardRows {
+		m.RegisterEngine("r"+string(rune('0'+i)), shardStore(t, rows))
+	}
+	if err := m.ExecODL(shardSchema); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// singleMediator holds the same people rows in one repository.
+func singleMediator(t *testing.T) *Mediator {
+	t.Helper()
+	var all [][3]interface{}
+	for _, rows := range shardRows {
+		all = append(all, rows...)
+	}
+	m := New(WithTimeout(2 * time.Second))
+	m.RegisterEngine("r0", shardStore(t, all))
+	if err := m.ExecODL(`
+		r0 := Repository(address="mem:r0");
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent people of Person wrapper w0 repository r0;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestPartitionedExtentMatchesSingleRepo: the acceptance property — a query
+// over a 4-partition extent returns the same bag as the single-repository
+// equivalent, including duplicates and distinct semantics.
+func TestPartitionedExtentMatchesSingleRepo(t *testing.T) {
+	sharded := shardedMediator(t)
+	single := singleMediator(t)
+	queries := []string{
+		`select x from x in people`,
+		`select x.name from x in people where x.salary > 10`,
+		`select struct(n: x.name, s: x.salary) from x in people where x.salary < 100`,
+		`select distinct x.name from x in people`,
+		`count(people)`,
+		`sum(select x.salary from x in people)`,
+	}
+	for _, q := range queries {
+		got, err := sharded.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		want, err := single.Query(q)
+		if err != nil {
+			t.Fatalf("%s (single): %v", q, err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s:\n sharded %s\n single  %s", q, got, want)
+		}
+	}
+}
+
+// TestPartitionedPlanShape: the optimizer rewrites Get(people) into a
+// parallel union of per-partition submits with the selection pushed down to
+// every shard.
+func TestPartitionedPlanShape(t *testing.T) {
+	m := shardedMediator(t)
+	plan, _, err := m.Prepare(`select x.name from x in people where x.salary > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	if !strings.Contains(s, "punion(") {
+		t.Errorf("plan is not a parallel union: %s", s)
+	}
+	subs := algebra.Submits(plan)
+	if len(subs) != 4 {
+		t.Fatalf("plan has %d submits, want 4: %s", len(subs), s)
+	}
+	seen := map[string]bool{}
+	for _, sub := range subs {
+		seen[sub.Repo] = true
+		if !strings.Contains(sub.Input.String(), "select(") {
+			t.Errorf("shard %s did not get the pushed selection: %s", sub.Repo, sub.Input)
+		}
+	}
+	for _, r := range []string{"r0", "r1", "r2", "r3"} {
+		if !seen[r] {
+			t.Errorf("no submit for partition %s in %s", r, s)
+		}
+	}
+}
+
+// barrierEngine wraps an engine so every Query blocks until `width` queries
+// are in flight at once: the test deadlocks (and the barrier times out)
+// unless the mediator really fans out in parallel.
+type barrierEngine struct {
+	inner   source.Engine
+	arrive  *sync.WaitGroup
+	release chan struct{}
+}
+
+func (b barrierEngine) Query(q string) (*types.Bag, error) {
+	b.arrive.Done()
+	select {
+	case <-b.release:
+	case <-time.After(2 * time.Second):
+		return nil, &testBarrierError{}
+	}
+	return b.inner.Query(q)
+}
+
+func (b barrierEngine) Collections() []string { return b.inner.Collections() }
+
+type testBarrierError struct{}
+
+func (*testBarrierError) Error() string {
+	return "barrier never filled: partition submits did not run concurrently"
+}
+
+// TestPartitionSubmitsRunConcurrently is the acceptance concurrency check:
+// all four shard submits must be in flight at the same time. Run under
+// -race it also exercises the scatter-gather merge for data races.
+func TestPartitionSubmitsRunConcurrently(t *testing.T) {
+	m := New(WithTimeout(5 * time.Second))
+	var arrivals sync.WaitGroup
+	arrivals.Add(len(shardRows))
+	release := make(chan struct{})
+	go func() {
+		arrivals.Wait()
+		close(release)
+	}()
+	for i, rows := range shardRows {
+		m.RegisterEngine("r"+string(rune('0'+i)), barrierEngine{
+			inner:   shardStore(t, rows),
+			arrive:  &arrivals,
+			release: release,
+		})
+	}
+	if err := m.ExecODL(shardSchema); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Query(`select x.name from x in people where x.salary > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := types.NewBag(types.Str("Mary"), types.Str("Zoe"), types.Str("Mary"))
+	if !got.Equal(want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+// TestPartitionQueryBySingleShard: extent@repo addresses one partition
+// directly — the form residual queries use.
+func TestPartitionQueryBySingleShard(t *testing.T) {
+	m := shardedMediator(t)
+	got := m.MustQuery(`select x.name from x in people@r1`)
+	if !got.Equal(types.NewBag(types.Str("Sam"), types.Str("Ann"))) {
+		t.Errorf("people@r1 = %s", got)
+	}
+	if _, err := m.Query(`select x from x in people@r9`); err == nil ||
+		!strings.Contains(err.Error(), "no partition") {
+		t.Errorf("unknown partition err = %v", err)
+	}
+}
+
+// TestPartitionDownYieldsResidualOverMissingPartition is the §4 acceptance
+// scenario on the wire: with one of four partitions down the answer is
+// partial, keeps the answered shards' data, and its residual query names
+// only the missing partition; resubmission after recovery completes it.
+func TestPartitionDownYieldsResidualOverMissingPartition(t *testing.T) {
+	servers := make([]*wire.Server, len(shardRows))
+	odl := &strings.Builder{}
+	for i, rows := range shardRows {
+		srv, err := wire.NewServer("127.0.0.1:0", EngineHandler{Engine: shardStore(t, rows)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		servers[i] = srv
+		odl.WriteString("r" + string(rune('0'+i)) + ` := Repository(address="` + srv.Addr() + `");` + "\n")
+	}
+	odl.WriteString(`
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent people of Person wrapper w0 at r0, r1, r2, r3;
+	`)
+	m := New(WithTimeout(400 * time.Millisecond))
+	if err := m.ExecODL(odl.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	const q = `select x.name from x in people where x.salary > 10`
+
+	ans, err := m.QueryPartial(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Complete {
+		t.Fatalf("all shards up: expected complete answer, got %s", ans)
+	}
+	full := ans.Value
+
+	// Shard r2 goes silent.
+	servers[2].SetAvailable(false)
+	ans, err = m.QueryPartial(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Complete {
+		t.Fatal("expected partial answer with r2 down")
+	}
+	if len(ans.Unavailable) != 1 || ans.Unavailable[0] != "r2" {
+		t.Errorf("unavailable = %v, want [r2]", ans.Unavailable)
+	}
+	residual := ans.Residual.String()
+	if !strings.Contains(residual, "people@r2") {
+		t.Errorf("residual does not name the missing partition: %s", residual)
+	}
+	for _, alive := range []string{"people@r0", "people@r1", "people@r3"} {
+		if strings.Contains(residual, alive) {
+			t.Errorf("residual re-reads answered partition %s: %s", alive, residual)
+		}
+	}
+	// The answered shards' data is kept in the partial answer.
+	for _, name := range []string{"Mary", "Sam", "Zoe"} {
+		if !strings.Contains(residual, `"`+name+`"`) {
+			t.Errorf("partial answer lost %s from an answered shard: %s", name, residual)
+		}
+	}
+
+	// r2 recovers: resubmitting the answer-as-query completes it.
+	servers[2].SetAvailable(true)
+	re, err := m.QueryPartial(residual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Complete {
+		t.Fatalf("resubmission should complete: %s", re.Residual)
+	}
+	if !re.Value.Equal(full) {
+		t.Errorf("resubmitted = %s, want %s", re.Value, full)
+	}
+}
+
+// TestPartitionTimingsRecorded: every shard call lands in the cost history
+// under its own repository, so the optimizer can learn slow shards.
+func TestPartitionTimingsRecorded(t *testing.T) {
+	m := shardedMediator(t)
+	const q = `select x from x in people`
+	plan, _, err := m.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MustQuery(q)
+	subs := algebra.Submits(plan)
+	if len(subs) != 4 {
+		t.Fatalf("plan has %d submits, want 4", len(subs))
+	}
+	for _, sub := range subs {
+		if n := m.History().Observations(sub.Repo, sub.Input); n == 0 {
+			t.Errorf("no cost observations for shard %s", sub.Repo)
+		}
+	}
+}
+
+// TestPartitionedDumpRoundTrips: DumpODL renders the partition list and the
+// dump reproduces the catalog.
+func TestPartitionedDumpRoundTrips(t *testing.T) {
+	m := shardedMediator(t)
+	dump := m.DumpODL()
+	if !strings.Contains(dump, "at r0, r1, r2, r3") {
+		t.Errorf("dump lacks partition list:\n%s", dump)
+	}
+	m2 := New(WithTimeout(2 * time.Second))
+	for i, rows := range shardRows {
+		m2.RegisterEngine("r"+string(rune('0'+i)), shardStore(t, rows))
+	}
+	if err := m2.ExecODL(dump); err != nil {
+		t.Fatalf("reapplying dump: %v\n%s", err, dump)
+	}
+	if got, want := m2.MustQuery(`count(people)`), m.MustQuery(`count(people)`); !got.Equal(want) {
+		t.Errorf("round-tripped catalog answers %s, want %s", got, want)
+	}
+}
+
+// TestPartitionedExtentOverComposedMediators: the shards of a partitioned
+// extent may themselves be mediators (Figure 1 composition). The upstream's
+// shard addressing (people@m0) is local — the OQL shipped downstream must
+// name the collection plainly, or the downstream mediator rejects it.
+func TestPartitionedExtentOverComposedMediators(t *testing.T) {
+	var addrs []string
+	for i, rows := range shardRows[:2] {
+		repo := "r" + string(rune('0'+i))
+		lower := New(WithTimeout(250 * time.Millisecond))
+		lower.RegisterEngine(repo, shardStore(t, rows))
+		if err := lower.ExecODL(`
+			` + repo + ` := Repository(address="mem:` + repo + `");
+			w0 := WrapperPostgres();
+			interface Person (extent person) {
+			    attribute Short id;
+			    attribute String name;
+			    attribute Short salary;
+			}
+			extent people of Person wrapper w0 repository ` + repo + `;
+		`); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := lower.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, srv.Addr())
+	}
+	upper := New(WithTimeout(2 * time.Second))
+	if err := upper.ExecODL(`
+		m0 := Repository(address="` + addrs[0] + `");
+		m1 := Repository(address="` + addrs[1] + `");
+		wmed := Wrapper("mediator");
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent people of Person wrapper wmed at m0, m1;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	got, err := upper.Query(`select x.name from x in people where x.salary > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := types.NewBag(types.Str("Mary"), types.Str("Sam"))
+	if !got.Equal(want) {
+		t.Errorf("got %s, want %s", got, want)
+	}
+}
+
+// TestPartitionMaxFanout: a bounded fan-out still drains every shard.
+func TestPartitionMaxFanout(t *testing.T) {
+	m := shardedMediator(t, WithMaxFanout(2))
+	if got := m.MustQuery(`count(people)`); !got.Equal(types.Int(6)) {
+		t.Errorf("count = %s, want 6", got)
+	}
+}

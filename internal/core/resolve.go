@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"disco/internal/algebra"
 	"disco/internal/catalog"
@@ -23,6 +24,22 @@ type planResolver struct {
 // ResolvePlan implements algebra.NameResolver.
 func (r planResolver) ResolvePlan(name string, star bool) (algebra.Node, error) {
 	cat := r.m.catalog
+	// extent@repo names one shard of a partitioned extent — the form
+	// residual queries use so resubmission touches only the missing
+	// partitions.
+	if ext, repo, ok := strings.Cut(name, "@"); ok {
+		if star {
+			return nil, fmt.Errorf("mediator: %s* applies to type extents, not partitions", name)
+		}
+		me, err := cat.Extent(ext)
+		if err != nil {
+			return nil, err
+		}
+		if !me.HasPartition(repo) {
+			return nil, fmt.Errorf("mediator: extent %s has no partition at %q", ext, repo)
+		}
+		return &algebra.Submit{Repo: repo, Input: &algebra.Get{Ref: cat.PartitionRef(me, repo)}}, nil
+	}
 	if name == MetaExtentName {
 		if star {
 			return nil, fmt.Errorf("mediator: metaextent has no subtype closure")
@@ -63,9 +80,20 @@ func (r planResolver) ResolvePlan(name string, star bool) (algebra.Node, error) 
 	return nil, fmt.Errorf("mediator: unknown collection %q", name)
 }
 
+// extentPlan produces the access plan for one extent: a single submit, or —
+// for a horizontally partitioned extent — a parallel union of per-partition
+// submits that the physical layer executes with scatter-gather.
 func (r planResolver) extentPlan(me *catalog.MetaExtent) algebra.Node {
-	ref := r.m.catalog.ExtentRef(me)
-	return &algebra.Submit{Repo: me.Repository, Input: &algebra.Get{Ref: ref}}
+	parts := me.Partitions()
+	if len(parts) == 1 {
+		ref := r.m.catalog.ExtentRef(me)
+		return &algebra.Submit{Repo: parts[0], Input: &algebra.Get{Ref: ref}}
+	}
+	inputs := make([]algebra.Node, len(parts))
+	for i, repo := range parts {
+		inputs[i] = &algebra.Submit{Repo: repo, Input: &algebra.Get{Ref: r.m.catalog.PartitionRef(me, repo)}}
+	}
+	return &algebra.Union{Inputs: inputs, Par: true}
 }
 
 // valueResolver implements oql.Resolver for the reference evaluation of

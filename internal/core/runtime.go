@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"syscall"
 	"time"
 
 	"disco/internal/algebra"
@@ -20,8 +21,9 @@ import (
 // buildPhysical wires a logical plan to the mediator's runtime.
 func (m *Mediator) buildPhysical(plan algebra.Node) (*physical.Plan, error) {
 	rt := &physical.Runtime{
-		Submit:   m.submit,
-		Resolver: valueResolver{m: m},
+		Submit:    m.submit,
+		Resolver:  valueResolver{m: m},
+		MaxFanout: m.maxFanout,
 	}
 	return physical.Build(plan, rt)
 }
@@ -105,22 +107,35 @@ func classifySourceError(repo string, err error) error {
 	if errors.As(err, &remote) {
 		return err // the source answered: a real error
 	}
-	var netErr net.Error
 	switch {
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		return &physical.UnavailableError{Repo: repo, Err: err}
-	case errors.As(err, &netErr):
-		return &physical.UnavailableError{Repo: repo, Err: err}
-	case isConnRefused(err):
+	case isUnavailableNetErr(err):
 		return &physical.UnavailableError{Repo: repo, Err: err}
 	default:
 		return err
 	}
 }
 
-func isConnRefused(err error) bool {
+// isUnavailableNetErr recognizes network errors that mean "no answer" —
+// timeouts, refused connections and dial-phase failures. Errors from a
+// source that was reached and answered (e.g. a reset mid-answer) are NOT
+// unavailability: partial evaluation must not silently degrade genuine
+// source-side failures into partial answers.
+func isUnavailableNetErr(err error) bool {
+	var netErr net.Error
+	if errors.As(err, &netErr) && netErr.Timeout() {
+		return true
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) {
+		return true
+	}
 	var opErr *net.OpError
-	return errors.As(err, &opErr)
+	if errors.As(err, &opErr) && opErr.Op == "dial" {
+		// The connection was never established: the source is unreachable.
+		return true
+	}
+	return false
 }
 
 // wrapperForExpr locates the wrapper instance serving a submit expression:
@@ -137,8 +152,8 @@ func (m *Mediator) wrapperForExpr(repo string, expr algebra.Node) (wrapper.Wrapp
 		if err != nil {
 			return nil, err
 		}
-		if me.Repository != repo {
-			return nil, fmt.Errorf("mediator: extent %s lives at %s, not %s", ref.Extent, me.Repository, repo)
+		if !me.HasPartition(repo) {
+			return nil, fmt.Errorf("mediator: extent %s lives at %s, not %s", ref.Extent, strings.Join(me.Partitions(), ","), repo)
 		}
 		if wrapperName == "" {
 			wrapperName = me.Wrapper

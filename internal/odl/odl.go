@@ -8,6 +8,7 @@
 //
 //	interface NAME [:SUPER] [(extent ENAME)] { attribute TYPE NAME; ... };
 //	extent NAME of IFACE wrapper W repository R [map ((a=b), ...)];
+//	extent NAME of IFACE wrapper W at R1, R2, ... [map ((a=b), ...)];
 //	NAME := Repository(key="value", ...);
 //	NAME := WrapperKIND(key="value", ...);   -- e.g. WrapperPostgres()
 //	NAME := Wrapper("kind", key="value", ...);
@@ -34,12 +35,21 @@ type InterfaceDecl struct {
 func (*InterfaceDecl) stmt() {}
 
 // ExtentDecl is the DISCO extent extension:
-// extent person0 of Person wrapper w0 repository r0 map ((name=n));
+//
+//	extent person0 of Person wrapper w0 repository r0 map ((name=n));
+//	extent person of Person wrapper w0 at r0, r1, r2;
+//
+// The "at" form declares a horizontally partitioned extent stored across
+// several repositories; "repository" also accepts a comma-separated list.
 type ExtentDecl struct {
-	Name       string
-	Iface      string
-	Wrapper    string
+	Name    string
+	Iface   string
+	Wrapper string
+	// Repository is the single repository, or the first partition of a
+	// partitioned extent.
 	Repository string
+	// Repositories is the full partition list (len > 1 when partitioned).
+	Repositories []string
 	// SourceName is the data-source collection name from the map clause
 	// (empty means same as Name).
 	SourceName string
@@ -382,11 +392,26 @@ func (p *parser) parseExtent() (Statement, error) {
 	if d.Wrapper, err = p.expectIdent(); err != nil {
 		return nil, err
 	}
-	if err := p.expect("repository"); err != nil {
-		return nil, err
+	// "repository r0" for a single source, "at r0, r1, ..." for a
+	// horizontally partitioned extent; both accept a comma-separated list.
+	if !p.accept("repository") {
+		if err := p.expect("at"); err != nil {
+			return nil, p.errorf("expected \"repository\" or \"at\" after wrapper")
+		}
 	}
-	if d.Repository, err = p.expectIdent(); err != nil {
-		return nil, err
+	for {
+		repo, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d.Repositories = append(d.Repositories, repo)
+		if !p.accept(",") {
+			break
+		}
+	}
+	d.Repository = d.Repositories[0]
+	if len(d.Repositories) == 1 {
+		d.Repositories = nil
 	}
 	if p.accept("map") {
 		if err := p.parseMap(d); err != nil {

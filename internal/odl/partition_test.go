@@ -1,0 +1,76 @@
+package odl
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParsePartitionedExtent covers the "at r0, r1, ..." extension and the
+// comma-separated repository list.
+func TestParsePartitionedExtent(t *testing.T) {
+	stmts, err := Parse(`
+		extent people of Person wrapper w0 at r0, r1, r2;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := stmts[0].(*ExtentDecl)
+	if !ok {
+		t.Fatalf("parsed %T", stmts[0])
+	}
+	if d.Name != "people" || d.Iface != "Person" || d.Wrapper != "w0" {
+		t.Errorf("decl = %+v", d)
+	}
+	if d.Repository != "r0" {
+		t.Errorf("Repository = %q, want first partition r0", d.Repository)
+	}
+	if got := strings.Join(d.Repositories, ","); got != "r0,r1,r2" {
+		t.Errorf("Repositories = %q, want r0,r1,r2", got)
+	}
+}
+
+func TestParsePartitionedExtentWithMap(t *testing.T) {
+	stmts, err := Parse(`
+		extent people of Person wrapper w0 at r0, r1 map ((folk=people),(n=name));
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := stmts[0].(*ExtentDecl)
+	if len(d.Repositories) != 2 || d.SourceName != "folk" || d.AttrMap["name"] != "n" {
+		t.Errorf("decl = %+v", d)
+	}
+}
+
+func TestParseRepositoryListIsPartitioned(t *testing.T) {
+	stmts, err := Parse(`
+		extent people of Person wrapper w0 repository r0, r1;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := stmts[0].(*ExtentDecl)
+	if len(d.Repositories) != 2 {
+		t.Errorf("repository list form: Repositories = %v", d.Repositories)
+	}
+}
+
+func TestParseSingleRepositoryStaysUnpartitioned(t *testing.T) {
+	stmts, err := Parse(`
+		extent person0 of Person wrapper w0 repository r0;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := stmts[0].(*ExtentDecl)
+	if d.Repository != "r0" || d.Repositories != nil {
+		t.Errorf("single-repo decl = %+v", d)
+	}
+}
+
+func TestParseExtentMissingRepositoryClause(t *testing.T) {
+	if _, err := Parse(`extent people of Person wrapper w0;`); err == nil ||
+		!strings.Contains(err.Error(), `"repository" or "at"`) {
+		t.Errorf("err = %v", err)
+	}
+}

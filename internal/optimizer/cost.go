@@ -82,6 +82,24 @@ func (c *costing) visit(n algebra.Node) float64 {
 	case *algebra.Const:
 		return float64(x.Data.Len())
 	case *algebra.Union:
+		if x.Par {
+			// A partition fan-out runs its shards concurrently: the elapsed
+			// source time is the slowest shard, not the sum — which is how
+			// the optimizer learns that one slow shard gates the whole
+			// extent while transfer and CPU costs still accumulate.
+			total, slowest := 0.0, 0.0
+			for _, in := range x.Inputs {
+				before := c.cost.SourceTime
+				total += c.visit(in)
+				shard := c.cost.SourceTime - before
+				c.cost.SourceTime = before
+				if shard > slowest {
+					slowest = shard
+				}
+			}
+			c.cost.SourceTime += slowest
+			return total
+		}
 		total := 0.0
 		for _, in := range x.Inputs {
 			total += c.visit(in)

@@ -217,6 +217,9 @@ func isIdentStart(c byte) bool {
 	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
 }
 
+// isIdentPart accepts '@' inside (not starting) an identifier: extent@repo
+// names one shard of a horizontally partitioned extent, and residual queries
+// over partitioned extents must round-trip through the parser.
 func isIdentPart(c byte) bool {
-	return isIdentStart(c) || (c >= '0' && c <= '9')
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '@'
 }

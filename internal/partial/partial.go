@@ -262,6 +262,6 @@ func mergeUnionData(n algebra.Node) algebra.Node {
 	case len(data) == 0:
 		return n
 	default:
-		return &algebra.Union{Inputs: append(queries, &algebra.Const{Data: merged})}
+		return &algebra.Union{Inputs: append(queries, &algebra.Const{Data: merged}), Par: u.Par}
 	}
 }

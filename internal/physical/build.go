@@ -19,6 +19,9 @@ type Plan struct {
 	Scalar bool
 	// Execs maps each logical submit node to its exec operator.
 	Execs map[*algebra.Submit]*Exec
+	// gated marks execs owned by a scatter-gather operator: Run must not
+	// pre-start them, or the operator's concurrency bound would be moot.
+	gated map[*Exec]bool
 }
 
 // Build translates a logical plan into a physical plan by the
@@ -26,7 +29,7 @@ type Plan struct {
 // equi-joins become hash joins, everything else nested loops and
 // element-wise operators.
 func Build(logical algebra.Node, rt *Runtime) (*Plan, error) {
-	p := &Plan{Logical: logical, Execs: make(map[*algebra.Submit]*Exec)}
+	p := &Plan{Logical: logical, Execs: make(map[*algebra.Submit]*Exec), gated: make(map[*Exec]bool)}
 	root, err := p.build(logical, rt)
 	if err != nil {
 		return nil, err
@@ -52,6 +55,9 @@ func (p *Plan) build(n algebra.Node, rt *Runtime) (Operator, error) {
 	case *algebra.Eval:
 		return &EvalScan{Expr: x.Expr, rt: rt}, nil
 	case *algebra.Union:
+		if x.Par && len(x.Inputs) > 1 {
+			return p.buildScatterGather(x, false, rt)
+		}
 		inputs := make([]Operator, len(x.Inputs))
 		scalar := make([]bool, len(x.Inputs))
 		for i, in := range x.Inputs {
@@ -105,6 +111,11 @@ func (p *Plan) build(n algebra.Node, rt *Runtime) (Operator, error) {
 		}
 		return &MkDepend{Var: x.Var, Domain: x.Domain, Input: in, rt: rt}, nil
 	case *algebra.Distinct:
+		// distinct over a partition fan-out fuses into the merge: duplicates
+		// are dropped across shard streams as they arrive.
+		if u, ok := x.Input.(*algebra.Union); ok && u.Par && len(u.Inputs) > 1 {
+			return p.buildScatterGather(u, true, rt)
+		}
 		in, err := p.build(x.Input, rt)
 		if err != nil {
 			return nil, err
@@ -125,6 +136,32 @@ func (p *Plan) build(n algebra.Node, rt *Runtime) (Operator, error) {
 	default:
 		return nil, fmt.Errorf("physical: no implementation rule for %T", n)
 	}
+}
+
+// buildScatterGather translates a parallel (partition fan-out) union into
+// the scatter-gather merge operator, marking the branch execs as gated so
+// Run leaves their launch to the operator's concurrency bound.
+func (p *Plan) buildScatterGather(u *algebra.Union, distinct bool, rt *Runtime) (Operator, error) {
+	branches := make([]Operator, len(u.Inputs))
+	for i, in := range u.Inputs {
+		op, err := p.build(in, rt)
+		if err != nil {
+			return nil, err
+		}
+		branches[i] = op
+		algebra.Walk(in, func(n algebra.Node) {
+			if sub, ok := n.(*algebra.Submit); ok {
+				if e := p.Execs[sub]; e != nil {
+					p.gated[e] = true
+				}
+			}
+		})
+	}
+	maxPar := 0
+	if rt != nil {
+		maxPar = rt.MaxFanout
+	}
+	return &ScatterGather{Branches: branches, MaxParallel: maxPar, Distinct: distinct}, nil
 }
 
 // buildJoin picks hash join for equi-predicates and nested loops otherwise.
@@ -159,9 +196,13 @@ func toSet(names []string) map[string]bool {
 
 // Run executes the plan. All exec calls launch in parallel first (§4);
 // the context's deadline bounds them, and a source that fails to answer
-// surfaces as an UnavailableError from the draining pass.
+// surfaces as an UnavailableError from the draining pass. Execs gated by a
+// scatter-gather operator launch under its concurrency bound instead.
 func (p *Plan) Run(ctx context.Context) (types.Value, error) {
 	for _, e := range p.Execs {
+		if p.gated[e] {
+			continue
+		}
 		e.Start(ctx)
 	}
 	elems, err := Drain(ctx, p.Root)
@@ -190,8 +231,7 @@ type Outcome struct {
 func (p *Plan) Outcomes() map[*algebra.Submit]Outcome {
 	out := make(map[*algebra.Submit]Outcome, len(p.Execs))
 	for sub, e := range p.Execs {
-		bag, err := e.Wait()
-		out[sub] = Outcome{Bag: bag, Err: err}
+		out[sub] = e.Outcome()
 	}
 	return out
 }

@@ -57,6 +57,10 @@ type Runtime struct {
 	// Resolver resolves free collection names in scalar expressions
 	// (correlated subqueries in projections and predicates).
 	Resolver oql.Resolver
+	// MaxFanout bounds how many partition shards a scatter-gather operator
+	// drains concurrently; 0 or negative means unbounded (every shard at
+	// once, the paper's §4 "calls proceed in parallel").
+	MaxFanout int
 }
 
 // resolver tolerates a nil receiver so operators constructed directly
@@ -81,12 +85,12 @@ type Exec struct {
 	Repo string
 	Expr algebra.Node // source-side logical expression, mediator namespace
 
-	rt      *Runtime
-	startMu sync.Mutex
-	resCh   chan execResult
-	res     execResult
-	waited  bool
-	idx     int
+	rt       *Runtime
+	startMu  sync.Mutex
+	resCh    chan execResult
+	waitOnce sync.Once
+	res      execResult
+	idx      int
 }
 
 // NewExec returns an exec operator for a submit node.
@@ -109,7 +113,9 @@ func (e *Exec) Start(ctx context.Context) {
 }
 
 // Wait blocks until the call completes (the submit function itself honors
-// the context deadline) and returns its outcome.
+// the context deadline) and returns its outcome. It is safe for concurrent
+// callers: the scatter-gather operator and the plan's outcome collection may
+// both wait on the same exec.
 func (e *Exec) Wait() (*types.Bag, error) {
 	e.startMu.Lock()
 	ch := e.resCh
@@ -117,11 +123,23 @@ func (e *Exec) Wait() (*types.Bag, error) {
 	if ch == nil {
 		return nil, fmt.Errorf("physical: exec %s not started", e.Repo)
 	}
-	if !e.waited {
-		e.res = <-ch
-		e.waited = true
-	}
+	e.waitOnce.Do(func() { e.res = <-ch })
 	return e.res.bag, e.res.err
+}
+
+// Outcome reports the call's result for partial evaluation. An exec that
+// was never started (its scatter-gather slot never came up before the plan
+// aborted) counts as unavailable: the mediator has no data from it, so its
+// subtree must stay in the residual query.
+func (e *Exec) Outcome() Outcome {
+	e.startMu.Lock()
+	ch := e.resCh
+	e.startMu.Unlock()
+	if ch == nil {
+		return Outcome{Err: &UnavailableError{Repo: e.Repo, Err: errors.New("source call not attempted")}}
+	}
+	bag, err := e.Wait()
+	return Outcome{Bag: bag, Err: err}
 }
 
 // Open implements Operator.

@@ -1,0 +1,167 @@
+package physical
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+
+	"disco/internal/types"
+)
+
+// ScatterGather executes the branches of a partition fan-out concurrently
+// and merges their streams in arrival order — the physical operator behind
+// a parallel union over the shards of a horizontally partitioned extent.
+//
+// Semantics:
+//   - every branch runs in its own goroutine, gated by a semaphore of
+//     MaxParallel slots (0 = unbounded), so a thousand-shard extent cannot
+//     stampede its sources;
+//   - values stream to the consumer as shards produce them (bag semantics
+//     make the arrival-order merge sound);
+//   - a failing shard does not abort the others: all branches run to
+//     completion and the first error surfaces only after the surviving
+//     shards have been drained, which is what lets partial evaluation keep
+//     the answered shards' data and leave only the missing partitions in
+//     the residual query;
+//   - with Distinct set, duplicates are removed across all shards as they
+//     arrive (set semantics fused into the merge).
+type ScatterGather struct {
+	Branches []Operator
+	// MaxParallel bounds concurrently draining branches; 0 = all at once.
+	MaxParallel int
+	// Distinct applies set semantics across the merged shard streams.
+	Distinct bool
+
+	ch       chan types.Value
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	errMu sync.Mutex
+	err   error
+
+	seen map[string]bool
+}
+
+// Open implements Operator: it launches one goroutine per branch. Each
+// goroutine owns its branch operator (opens, drains and closes it), so no
+// operator is ever touched from two goroutines.
+func (s *ScatterGather) Open(ctx context.Context) error {
+	s.ch = make(chan types.Value, 16)
+	s.stop = make(chan struct{})
+	s.stopOnce = sync.Once{}
+	s.err = nil
+	if s.Distinct {
+		s.seen = make(map[string]bool)
+	}
+	bound := s.MaxParallel
+	if bound <= 0 || bound > len(s.Branches) {
+		bound = len(s.Branches)
+	}
+	sem := make(chan struct{}, bound)
+	var wg sync.WaitGroup
+	for _, br := range s.Branches {
+		wg.Add(1)
+		go func(br Operator) {
+			defer wg.Done()
+			acquired := false
+			select {
+			case sem <- struct{}{}:
+				acquired = true
+			case <-s.stop:
+				return
+			case <-ctx.Done():
+				// Deadline passed while queued: run anyway — the branch's
+				// submit observes the dead context and reports its shard
+				// unavailable, which partial evaluation needs on record.
+			}
+			if acquired {
+				defer func() { <-sem }()
+			}
+			s.drainBranch(ctx, br)
+		}(br)
+	}
+	go func() {
+		wg.Wait()
+		close(s.ch)
+	}()
+	return nil
+}
+
+// drainBranch runs one branch to exhaustion, streaming its values into the
+// merge channel.
+func (s *ScatterGather) drainBranch(ctx context.Context, br Operator) {
+	defer br.Close()
+	if err := br.Open(ctx); err != nil {
+		s.setErr(err)
+		return
+	}
+	for {
+		v, err := br.Next()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			s.setErr(err)
+			return
+		}
+		select {
+		case s.ch <- v:
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// setErr records the fan-out's error. A genuine source failure takes
+// precedence over unavailability (it aborts the whole query, §4); among
+// errors of equal rank the first one wins.
+func (s *ScatterGather) setErr(err error) {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	if s.err == nil || (!isUnavailable(err) && isUnavailable(s.err)) {
+		s.err = err
+	}
+}
+
+func (s *ScatterGather) drainErr() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+func isUnavailable(err error) bool {
+	var ue *UnavailableError
+	return errors.As(err, &ue)
+}
+
+// Next implements Operator: it returns merged values in arrival order and,
+// once every branch has finished, the recorded error (if any) or io.EOF.
+func (s *ScatterGather) Next() (types.Value, error) {
+	for {
+		v, ok := <-s.ch
+		if !ok {
+			if err := s.drainErr(); err != nil {
+				return nil, err
+			}
+			return nil, io.EOF
+		}
+		if s.Distinct {
+			k := types.CanonicalKey(v)
+			if s.seen[k] {
+				continue
+			}
+			s.seen[k] = true
+		}
+		return v, nil
+	}
+}
+
+// Close implements Operator. It signals the branch goroutines to stop and
+// returns without waiting: a branch blocked on a silent shard holds no
+// resources beyond its context-bounded source call, which expires at the
+// evaluation deadline.
+func (s *ScatterGather) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	return nil
+}

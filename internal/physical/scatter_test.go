@@ -1,0 +1,348 @@
+package physical
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"disco/internal/algebra"
+	"disco/internal/types"
+)
+
+// shardRef builds the ref for one shard of a partitioned extent.
+func shardRef(extent, repo string) algebra.ExtentRef {
+	return algebra.ExtentRef{
+		Extent: extent, Repo: repo, Source: extent, Iface: "Person",
+		Attrs: []string{"id", "name", "salary"}, Partition: repo,
+	}
+}
+
+// shardPlan is the logical partition fan-out: punion of per-shard submits.
+func shardPlan(extent string, repos ...string) *algebra.Union {
+	inputs := make([]algebra.Node, len(repos))
+	for i, r := range repos {
+		inputs[i] = &algebra.Submit{Repo: r, Input: &algebra.Get{Ref: shardRef(extent, r)}}
+	}
+	return &algebra.Union{Inputs: inputs, Par: true}
+}
+
+// shardData spreads people rows over repos r0..rN-1.
+func shardData(rows map[string]*types.Bag) map[string]algebra.CollectionsMap {
+	out := map[string]algebra.CollectionsMap{}
+	for repo, bag := range rows {
+		out[repo] = algebra.CollectionsMap{"people": bag}
+	}
+	return out
+}
+
+func runPlan(t *testing.T, logical algebra.Node, rt *Runtime) (types.Value, error) {
+	t.Helper()
+	p, err := Build(logical, rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return p.Run(ctx)
+}
+
+// TestScatterGatherMerge is the table-driven contract of the merge
+// operator: the result bag is independent of shard arrival order, keeps
+// cross-shard duplicates under bag semantics, and drops them under fused
+// distinct.
+func TestScatterGatherMerge(t *testing.T) {
+	mary := person(1, "Mary", 200)
+	sam := person(2, "Sam", 50)
+	ann := person(3, "Ann", 5)
+	maryDup := person(1, "Mary", 200)
+
+	cases := []struct {
+		name     string
+		data     map[string]*types.Bag
+		latency  map[string]time.Duration
+		distinct bool
+		want     *types.Bag
+	}{
+		{
+			name: "merge preserves the union bag",
+			data: map[string]*types.Bag{
+				"r0": types.NewBag(mary),
+				"r1": types.NewBag(sam),
+				"r2": types.NewBag(ann),
+			},
+			want: types.NewBag(mary, sam, ann),
+		},
+		{
+			name: "ordering independence: slow first shard",
+			data: map[string]*types.Bag{
+				"r0": types.NewBag(mary),
+				"r1": types.NewBag(sam),
+				"r2": types.NewBag(ann),
+			},
+			latency: map[string]time.Duration{"r0": 80 * time.Millisecond, "r1": 10 * time.Millisecond},
+			want:    types.NewBag(mary, sam, ann),
+		},
+		{
+			name: "cross-shard duplicates preserved under bag semantics",
+			data: map[string]*types.Bag{
+				"r0": types.NewBag(mary),
+				"r1": types.NewBag(maryDup, sam),
+			},
+			want: types.NewBag(mary, mary, sam),
+		},
+		{
+			name: "distinct fused into the merge",
+			data: map[string]*types.Bag{
+				"r0": types.NewBag(mary, sam),
+				"r1": types.NewBag(maryDup, ann),
+			},
+			distinct: true,
+			want:     types.NewBag(mary, sam, ann),
+		},
+		{
+			name: "empty shards contribute nothing",
+			data: map[string]*types.Bag{
+				"r0": types.NewBag(),
+				"r1": types.NewBag(sam),
+				"r2": types.NewBag(),
+			},
+			want: types.NewBag(sam),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			repos := make([]string, 0, len(tc.data))
+			for r := range tc.data {
+				repos = append(repos, r)
+			}
+			f := &fixtureRuntime{data: shardData(tc.data), latency: tc.latency}
+			var logical algebra.Node = shardPlan("people", repos...)
+			if tc.distinct {
+				logical = &algebra.Distinct{Input: logical}
+			}
+			got, err := runPlan(t, logical, f.runtime())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(tc.want) {
+				t.Errorf("got %s, want %s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestScatterGatherBuildsForParUnion checks the implementation rule: a Par
+// union becomes a ScatterGather, an ordered union stays a MkUnion.
+func TestScatterGatherBuildsForParUnion(t *testing.T) {
+	f := &fixtureRuntime{data: shardData(map[string]*types.Bag{"r0": types.NewBag(), "r1": types.NewBag()})}
+	par := shardPlan("people", "r0", "r1")
+	p, err := Build(par, f.runtime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Root.(*ScatterGather); !ok {
+		t.Errorf("Par union built %T, want *ScatterGather", p.Root)
+	}
+	ordered := &algebra.Union{Inputs: par.Inputs}
+	p, err = Build(ordered, f.runtime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.Root.(*MkUnion); !ok {
+		t.Errorf("ordered union built %T, want *MkUnion", p.Root)
+	}
+	fused := &algebra.Distinct{Input: par}
+	p, err = Build(fused, f.runtime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, ok := p.Root.(*ScatterGather)
+	if !ok || !sg.Distinct {
+		t.Errorf("distinct over Par union built %T (distinct fused: %v), want fused *ScatterGather", p.Root, ok && sg.Distinct)
+	}
+}
+
+// TestScatterGatherOneShardUnavailable: a dead shard degrades the fan-out
+// instead of killing it — the data of the answering shards is still
+// collected (visible through Outcomes) and the error names only the
+// missing partition.
+func TestScatterGatherOneShardUnavailable(t *testing.T) {
+	mary := person(1, "Mary", 200)
+	sam := person(2, "Sam", 50)
+	f := &fixtureRuntime{
+		data: shardData(map[string]*types.Bag{
+			"r0": types.NewBag(mary),
+			"r1": types.NewBag(sam),
+			"r2": types.NewBag(person(3, "Ann", 5)),
+		}),
+		down: map[string]bool{"r2": true},
+	}
+	logical := shardPlan("people", "r0", "r1", "r2")
+	p, err := Build(logical, f.runtime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	_, err = p.Run(ctx)
+	var ue *UnavailableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("Run err = %v, want UnavailableError", err)
+	}
+	if ue.Repo != "r2" {
+		t.Errorf("UnavailableError.Repo = %q, want the missing partition r2", ue.Repo)
+	}
+	// The answering shards' outcomes carry their data; only r2 failed.
+	for sub, o := range p.Outcomes() {
+		switch sub.Repo {
+		case "r2":
+			if !errors.As(o.Err, &ue) {
+				t.Errorf("r2 outcome err = %v, want UnavailableError", o.Err)
+			}
+		default:
+			if o.Err != nil {
+				t.Errorf("%s outcome err = %v, want data", sub.Repo, o.Err)
+			} else if o.Bag.Len() != 1 {
+				t.Errorf("%s outcome = %s, want 1 row", sub.Repo, o.Bag)
+			}
+		}
+	}
+}
+
+// TestScatterGatherRealErrorAborts: a live shard answering with a genuine
+// error fails the query — it must not degrade into a partial answer.
+func TestScatterGatherRealErrorAborts(t *testing.T) {
+	boom := errors.New("syntax error at shard")
+	rt := &Runtime{}
+	rt.Submit = func(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
+		if repo == "r1" {
+			return nil, boom
+		}
+		return types.NewBag(person(1, "Mary", 200)), nil
+	}
+	_, err := runPlan(t, shardPlan("people", "r0", "r1", "r2"), rt)
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run err = %v, want the shard's real error", err)
+	}
+	var ue *UnavailableError
+	if errors.As(err, &ue) {
+		t.Fatalf("real shard error surfaced as UnavailableError: %v", err)
+	}
+}
+
+// TestScatterGatherRunsShardsConcurrently executes 8 shards whose submits
+// all rendezvous at a barrier before answering: the test can only pass if
+// every submit is in flight at once. Run under -race this also checks the
+// merge path for data races.
+func TestScatterGatherRunsShardsConcurrently(t *testing.T) {
+	const shards = 8
+	repos := make([]string, shards)
+	var arrivals sync.WaitGroup
+	arrivals.Add(shards)
+	release := make(chan struct{})
+	go func() {
+		arrivals.Wait()
+		close(release)
+	}()
+	rt := &Runtime{}
+	rt.Submit = func(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
+		arrivals.Done()
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, &UnavailableError{Repo: repo, Err: fmt.Errorf("barrier never filled: shards did not run concurrently")}
+		}
+		return types.NewBag(types.Str(repo)), nil
+	}
+	want := make([]types.Value, shards)
+	for i := range repos {
+		repos[i] = fmt.Sprintf("r%d", i)
+		want[i] = types.Str(repos[i])
+	}
+	got, err := runPlan(t, shardPlan("people", repos...), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(types.NewBag(want...)) {
+		t.Errorf("got %s", got)
+	}
+}
+
+// TestScatterGatherBoundedConcurrency: with MaxFanout = 2, no more than two
+// shard submits are ever in flight, yet all shards are eventually drained.
+func TestScatterGatherBoundedConcurrency(t *testing.T) {
+	const shards = 8
+	var inFlight, peak atomic.Int64
+	rt := &Runtime{MaxFanout: 2}
+	rt.Submit = func(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		return types.NewBag(types.Str(repo)), nil
+	}
+	repos := make([]string, shards)
+	for i := range repos {
+		repos[i] = fmt.Sprintf("r%d", i)
+	}
+	got, err := runPlan(t, shardPlan("people", repos...), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*types.Bag).Len() != shards {
+		t.Errorf("drained %d shards, want %d", got.(*types.Bag).Len(), shards)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrency %d exceeds MaxFanout 2", p)
+	}
+}
+
+// TestScatterGatherCloseEarly: closing the operator mid-stream must not
+// deadlock the branch goroutines, and unattempted execs must count as
+// unavailable so partial evaluation keeps them in the residual.
+func TestScatterGatherCloseEarly(t *testing.T) {
+	const shards = 4
+	rt := &Runtime{MaxFanout: 1}
+	rt.Submit = func(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
+		return types.NewBag(types.Str(repo)), nil
+	}
+	repos := make([]string, shards)
+	for i := range repos {
+		repos[i] = fmt.Sprintf("r%d", i)
+	}
+	p, err := Build(shardPlan("people", repos...), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := p.Root.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Root.Next(); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if err := p.Root.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Outcomes must not hang and must classify whatever never ran as
+	// unavailable rather than erroring.
+	for sub, o := range p.Outcomes() {
+		if o.Err != nil {
+			var ue *UnavailableError
+			if !errors.As(o.Err, &ue) {
+				t.Errorf("%s outcome err = %v, want nil or UnavailableError", sub.Repo, o.Err)
+			}
+		}
+	}
+}
