@@ -25,10 +25,12 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# The perf trajectory: scatter-gather fan-out across 1/4/16 partitions plus
-# the standing paper-experiment benchmarks.
+# The perf trajectory: scatter-gather fan-out and partition pruning across
+# 1/4/16 partitions. The benchstat-compatible output lands in
+# BENCH_PR2.json so runs can be diffed across PRs
+# (benchstat old.json new.json).
 bench:
-	$(GO) test -run xxx -bench 'ScatterGather' -benchmem .
+	$(GO) test -run xxx -bench 'ScatterGather|PartitionPruning' -benchmem . | tee BENCH_PR2.json
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -77,6 +77,16 @@ func BenchmarkFigure2Pipeline(b *testing.B) {
 			}
 		}
 	})
+	b.Run("execute-distinct", func(b *testing.B) {
+		// The distinct path keys every merged row (CanonicalKey); it is
+		// where the reusable key buffer shows up.
+		const q = `select distinct x.name from x in person where x.salary > 10`
+		for i := 0; i < b.N; i++ {
+			if _, err := f.M.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAvailabilityScaling measures query latency as sources are added,
@@ -199,6 +209,70 @@ func BenchmarkScatterGather(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Query(`select x.name from x in people where x.salary > 32`); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartitionPruning measures placement-aware routing: one logical
+// extent hash-partitioned by id over 1, 4 and 16 repositories (2ms service
+// time each, fan-out bounded at 4 concurrent shard calls, as a production
+// mediator would bound it). The "scan" case touches every shard, so its
+// latency grows with the partition count (ceil(n/4) waves of 2ms); the
+// "pruned" case routes the point query to the key's home shard and stays
+// flat at ~one service time regardless of scale.
+func BenchmarkPartitionPruning(b *testing.B) {
+	for _, parts := range []int{1, 4, 16} {
+		m := core.New(core.WithTimeout(10*time.Second), core.WithMaxFanout(4))
+		odl := ""
+		repos := ""
+		for i := 0; i < parts; i++ {
+			s := source.NewRelStore()
+			if err := s.CreateTable("people", "id", "name", "salary"); err != nil {
+				b.Fatal(err)
+			}
+			// Place each row at its hash shard, matching the declared scheme.
+			for id := 0; id < 64; id++ {
+				if int(algebra.HashValue(types.Int(int64(id)))%uint64(parts)) != i {
+					continue
+				}
+				if err := s.Insert("people", types.Int(int64(id)),
+					types.Str(fmt.Sprintf("p%d", id)), types.Int(int64(id%97))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			repo := fmt.Sprintf("r%d", i)
+			m.RegisterEngine(repo, delayEngine{inner: s, d: 2 * time.Millisecond})
+			odl += repo + ` := Repository(address="mem:` + repo + `");` + "\n"
+			if i > 0 {
+				repos += ", "
+			}
+			repos += repo
+		}
+		odl += `
+			w0 := WrapperPostgres();
+			interface Person (extent person) {
+			    attribute Short id;
+			    attribute String name;
+			    attribute Short salary;
+			}
+			extent people of Person wrapper w0 at ` + repos + `
+			    partition by hash(id);`
+		if err := m.ExecODL(odl); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("pruned/partitions=%d", parts), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Query(`select x.name from x in people where x.id = 7`); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("scan/partitions=%d", parts), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := m.Query(`select x.name from x in people where x.salary > 32`); err != nil {
 					b.Fatal(err)

@@ -46,6 +46,33 @@
 // shard call is recorded separately in the learned cost history, so the
 // optimizer knows which shards are slow.
 //
+// The extent declaration can also carry the placement itself — how rows
+// distribute over the repository list:
+//
+//	extent people of Person wrapper w0 at r0, r1, r2
+//	    partition by hash(id);
+//	extent orders of Order wrapper w0 at r0, r1, r2
+//	    partition by range(total) (..100, 100..1000, 1000..);
+//
+// The clause is a contract (rows must live where the scheme says; range
+// bounds are inclusive below, exclusive above), and the optimizer prunes
+// with it: a point predicate over the partition attribute (id = 7, id in
+// bag(3, 11)) eliminates every shard but the keys' home shards before the
+// fan-out is built, so a point query over a 16-way extent performs exactly
+// one source call, and contradictory predicates answer the empty bag with
+// zero calls. Range schemes additionally prune on order predicates
+// (total < 100 reads one shard). Explain names the skipped shards in a
+// "pruned shards:" line.
+//
+// Placement also rewrites joins: when two extents are co-partitioned (same
+// scheme and attribute, same partition count) and joined on the partition
+// attribute, the optimizer replaces the all-pairs cross-shard join with a
+// parallel union of per-shard joins, priced by the cost model's
+// max-of-survivors rule — and when the two extents share repositories,
+// each per-shard join is itself eligible for whole-join pushdown into the
+// shard's wrapper. Shards pruned from one side of the join drop their
+// counterpart on the other side.
+//
 // Partial answers compose with partitioning: if a shard fails to answer
 // before the deadline, QueryPartial keeps the answered shards' data and
 // returns a residual query over only the missing partitions, written with

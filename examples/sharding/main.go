@@ -4,6 +4,11 @@
 // scatter-gather operator, and — when a shard dies — degrades to a §4
 // partial answer whose residual query names only the missing partition.
 //
+// The extent also declares its placement (partition by range(id)), so the
+// optimizer prunes shards a predicate provably excludes: a point query on
+// id routes to the key's home shard and the other three repositories are
+// never contacted.
+//
 //	go run ./examples/sharding
 package main
 
@@ -58,6 +63,8 @@ func run() error {
 	fmt.Printf("%d shard servers up\n", len(servers))
 
 	// --- one mediator, one partitioned extent ---------------------------
+	// The partition clause is the placement contract: shard i holds the
+	// ids in [10i, 10(i+1)), which is how the rows were inserted above.
 	m := disco.New(disco.WithTimeout(400 * time.Millisecond))
 	odl.WriteString(`
 		w0 := WrapperPostgres();
@@ -66,7 +73,8 @@ func run() error {
 		    attribute String name;
 		    attribute Short salary;
 		}
-		extent people of Person wrapper w0 at ` + strings.Join(repos, ", ") + `;
+		extent people of Person wrapper w0 at ` + strings.Join(repos, ", ") + `
+		    partition by range(id) (..10, 10..20, 20..30, 30..);
 	`)
 	if err := m.ExecODL(odl.String()); err != nil {
 		return err
@@ -85,6 +93,29 @@ func run() error {
 		return err
 	}
 	fmt.Printf("salary > 60 across all shards: %s\n", sorted(v))
+
+	// --- placement-aware routing: a point query touches one shard -------
+	const pointQuery = `select x.name from x in people where x.id = 21`
+	report, err := m.Explain(pointQuery)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\npoint query x.id = 21 against the range-partitioned extent:")
+	for _, line := range strings.Split(report, "\n") {
+		if strings.HasPrefix(line, "pruned shards:") {
+			fmt.Println("  " + line)
+		}
+	}
+	routed, err := m.ExplainPlan(pointQuery)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("routed plan (only the id's home shard):\n%s", indent(routed))
+	v, err = m.Query(pointQuery)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("point query answered by 1 shard: %s\n", sorted(v))
 
 	// --- one shard dies: the query degrades, not fails ------------------
 	servers[2].SetAvailable(false)

@@ -37,6 +37,8 @@ var smoke = map[string][]string{
 		"4 shard servers up",
 		"punion[4] (parallel scatter-gather)",
 		`salary > 60 across all shards: ["Ben", "Mary", "Zoe"]`,
+		"pruned shards: people@r0, people@r1, people@r3",
+		`point query answered by 1 shard: ["Zoe"]`,
 		"shard r2 down -> unavailable: [r2]",
 		`union(select x.name from x in people@r2 where x.salary > 60, bag("Ben", "Mary"))`,
 		`resubmitted after recovery: ["Ben", "Mary", "Zoe"]`,

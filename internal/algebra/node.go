@@ -52,6 +52,14 @@ type ExtentRef struct {
 	// render as extent@repo so a residual query can name exactly the shards
 	// that did not answer.
 	Partition string
+	// PartSpec is the extent's declared partitioning scheme (nil when none).
+	// It does not render into the plan string: the (Extent, Partition) pair
+	// already identifies the shard, and the scheme is catalog metadata.
+	PartSpec *PartitionSpec
+	// PartIndex and PartCount locate this shard within the scheme: the
+	// shard's position in the declared repository list and the total number
+	// of partitions. Meaningful only when PartSpec is set.
+	PartIndex, PartCount int
 }
 
 // QualifiedName is the OQL-level name of the extent this ref reads: the

@@ -332,6 +332,16 @@ func envVars(n Node) []string {
 		return envVars(x.Input)
 	case *Distinct:
 		return envVars(x.Input)
+	case *Union:
+		// Union branches come from distributing binds over the inputs of
+		// one collection (a multi-extent type or a partition fan-out), so
+		// every branch carries the same variables; the first branch is
+		// representative. Branches without env vars make the whole union
+		// raw data.
+		if len(x.Inputs) == 0 {
+			return nil
+		}
+		return envVars(x.Inputs[0])
 	case *Nest:
 		vars := make([]string, len(x.Groups))
 		for i, g := range x.Groups {

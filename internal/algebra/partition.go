@@ -1,0 +1,193 @@
+package algebra
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"disco/internal/types"
+)
+
+// Partitioning scheme kinds. A horizontally partitioned extent may declare
+// how rows are placed across its repositories; the optimizer uses the
+// declaration to prune shards that cannot contain rows a predicate asks for
+// and to build partition-wise joins between co-partitioned extents.
+const (
+	// PartHash places a row at shard HashValue(attr) mod n.
+	PartHash = "hash"
+	// PartRange places a row at the shard whose [Lo, Hi) interval contains
+	// the attribute value.
+	PartRange = "range"
+)
+
+// RangeBound is one shard's key interval for range partitioning: values v
+// with Lo <= v < Hi live at the shard. A nil Lo means unbounded below, a nil
+// Hi unbounded above (the ODL spellings ..10 and 20..).
+type RangeBound struct {
+	Lo, Hi types.Value
+}
+
+// String renders the bound in ODL syntax (..10, 10..20, 20..). The output
+// must reparse through the ODL lexer, which reads plain decimal numbers
+// only — floats render without exponent notation.
+func (r RangeBound) String() string {
+	var b strings.Builder
+	if r.Lo != nil {
+		b.WriteString(boundString(r.Lo))
+	}
+	b.WriteString("..")
+	if r.Hi != nil {
+		b.WriteString(boundString(r.Hi))
+	}
+	return b.String()
+}
+
+func boundString(v types.Value) string {
+	if f, ok := v.(types.Float); ok {
+		return strconv.FormatFloat(float64(f), 'f', -1, 64)
+	}
+	return v.String()
+}
+
+// PartitionSpec is the placement metadata of a horizontally partitioned
+// extent: which attribute routes rows and how (declared in ODL as
+// "partition by hash(attr)" or "partition by range(attr) (..10, 10..20,
+// 20..)"). The declaration is a contract: the DBA asserts rows are placed by
+// the scheme, and the optimizer prunes and partitions work under that
+// assumption.
+type PartitionSpec struct {
+	// Kind is PartHash or PartRange.
+	Kind string
+	// Attr is the mediator-side attribute that routes rows.
+	Attr string
+	// Ranges holds one interval per partition, in declaration order. Only
+	// set for PartRange, where its length equals the partition count.
+	Ranges []RangeBound
+}
+
+// String renders the scheme as its ODL clause (without the leading
+// "partition by").
+func (s *PartitionSpec) String() string {
+	if s.Kind == PartHash {
+		return fmt.Sprintf("hash(%s)", s.Attr)
+	}
+	parts := make([]string, len(s.Ranges))
+	for i, r := range s.Ranges {
+		parts[i] = r.String()
+	}
+	return fmt.Sprintf("range(%s) (%s)", s.Attr, strings.Join(parts, ", "))
+}
+
+// Equal reports whether two specs describe the same placement.
+func (s *PartitionSpec) Equal(o *PartitionSpec) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.Kind != o.Kind || s.Attr != o.Attr || len(s.Ranges) != len(o.Ranges) {
+		return false
+	}
+	for i, r := range s.Ranges {
+		if !boundEqual(r.Lo, o.Ranges[i].Lo) || !boundEqual(r.Hi, o.Ranges[i].Hi) {
+			return false
+		}
+	}
+	return true
+}
+
+func boundEqual(a, b types.Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.Equal(b)
+}
+
+// HashValue hashes a value for hash partitioning: FNV-1a over the canonical
+// key, so model-equal values (Int(2) and Float(2)) land on the same shard.
+// Data placement and query routing must use the same function; it is
+// exported so loaders can place rows where the optimizer will look.
+func HashValue(v types.Value) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(types.CanonicalKey(v)))
+	return h.Sum64()
+}
+
+// Locate returns the index of the shard that holds rows whose partition
+// attribute equals v, or -1 when no shard's interval contains it (possible
+// only for range schemes with uncovered key space). nparts is the extent's
+// partition count.
+func (s *PartitionSpec) Locate(v types.Value, nparts int) int {
+	switch s.Kind {
+	case PartHash:
+		if nparts <= 0 {
+			return -1
+		}
+		return int(HashValue(v) % uint64(nparts))
+	case PartRange:
+		for i, r := range s.Ranges {
+			in, err := r.contains(v)
+			if err != nil {
+				return -1
+			}
+			if in {
+				return i
+			}
+		}
+		return -1
+	default:
+		return -1
+	}
+}
+
+// contains reports whether v falls in [Lo, Hi). A comparison error (the
+// value's type does not order against the bounds) propagates so callers can
+// refuse to prune rather than route wrongly.
+func (r RangeBound) contains(v types.Value) (bool, error) {
+	if r.Lo != nil {
+		c, err := types.Compare(v, r.Lo)
+		if err != nil || c < 0 {
+			return false, err
+		}
+	}
+	if r.Hi != nil {
+		c, err := types.Compare(v, r.Hi)
+		if err != nil || c >= 0 {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Validate checks internal consistency against a partition count: range
+// schemes need exactly one interval per partition, each with Lo < Hi when
+// both are set.
+func (s *PartitionSpec) Validate(nparts int) error {
+	switch s.Kind {
+	case PartHash:
+		if len(s.Ranges) != 0 {
+			return fmt.Errorf("hash partitioning takes no ranges")
+		}
+		return nil
+	case PartRange:
+		if len(s.Ranges) != nparts {
+			return fmt.Errorf("range partitioning declares %d ranges for %d partitions", len(s.Ranges), nparts)
+		}
+		for i, r := range s.Ranges {
+			if r.Lo == nil && r.Hi == nil && nparts > 1 {
+				return fmt.Errorf("range %d (..) covers everything; other partitions are unreachable", i)
+			}
+			if r.Lo != nil && r.Hi != nil {
+				c, err := types.Compare(r.Lo, r.Hi)
+				if err != nil {
+					return fmt.Errorf("range %d bounds do not order: %v", i, err)
+				}
+				if c >= 0 {
+					return fmt.Errorf("range %d is empty (%s)", i, r)
+				}
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown partitioning kind %q", s.Kind)
+	}
+}

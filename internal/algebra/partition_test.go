@@ -1,0 +1,267 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+func rangeSpec() *PartitionSpec {
+	return &PartitionSpec{Kind: PartRange, Attr: "id", Ranges: []RangeBound{
+		{Hi: types.Int(10)},
+		{Lo: types.Int(10), Hi: types.Int(20)},
+		{Lo: types.Int(20)},
+	}}
+}
+
+func TestLocateRangeBoundaries(t *testing.T) {
+	s := rangeSpec()
+	cases := []struct {
+		v    types.Value
+		want int
+	}{
+		{types.Int(-5), 0},
+		{types.Int(9), 0},
+		{types.Int(10), 1}, // Lo inclusive: 10 belongs to 10..20
+		{types.Int(19), 1},
+		{types.Int(20), 2}, // Hi exclusive: 20 belongs to 20..
+		{types.Float(19.5), 1},
+		{types.Str("x"), -1}, // unorderable against int bounds
+	}
+	for _, c := range cases {
+		if got := s.Locate(c.v, 3); got != c.want {
+			t.Errorf("Locate(%s) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLocateHashDeterministic(t *testing.T) {
+	s := &PartitionSpec{Kind: PartHash, Attr: "id"}
+	for _, n := range []int{1, 2, 16} {
+		a := s.Locate(types.Int(42), n)
+		b := s.Locate(types.Int(42), n)
+		if a != b || a < 0 || a >= n {
+			t.Errorf("Locate over %d shards = %d then %d", n, a, b)
+		}
+	}
+	// Model-equal values land together.
+	if s.Locate(types.Int(2), 16) != s.Locate(types.Float(2), 16) {
+		t.Error("Int(2) and Float(2) should share a hash slot")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := rangeSpec().Validate(3); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := rangeSpec().Validate(2); err == nil {
+		t.Error("count mismatch accepted")
+	}
+	bad := &PartitionSpec{Kind: PartRange, Attr: "id", Ranges: []RangeBound{
+		{Lo: types.Int(5), Hi: types.Int(5)}, {Lo: types.Int(5)},
+	}}
+	if err := bad.Validate(2); err == nil {
+		t.Error("empty interval accepted")
+	}
+	all := &PartitionSpec{Kind: PartRange, Attr: "id", Ranges: []RangeBound{{}, {Lo: types.Int(0)}}}
+	if err := all.Validate(2); err == nil {
+		t.Error("catch-all interval alongside others accepted")
+	}
+	hashWithRanges := &PartitionSpec{Kind: PartHash, Attr: "id", Ranges: []RangeBound{{}}}
+	if err := hashWithRanges.Validate(1); err == nil {
+		t.Error("hash with ranges accepted")
+	}
+}
+
+// shardPlan builds the normalized branch shape select(pred, bind(x,
+// submit(r_i, get(e@r_i)))) for each shard of a 3-way range extent.
+func shardPlan(t *testing.T, pred string) Node {
+	t.Helper()
+	p, err := oql.ParseQuery(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := rangeSpec()
+	inputs := make([]Node, 3)
+	for i, repo := range []string{"r0", "r1", "r2"} {
+		inputs[i] = &Select{Pred: p, Input: &Bind{Var: "x", Input: &Submit{Repo: repo, Input: &Get{Ref: ExtentRef{
+			Extent: "e", Repo: repo, Source: "e", Attrs: []string{"id", "v"},
+			Partition: repo, PartSpec: spec, PartIndex: i, PartCount: 3,
+		}}}}}
+	}
+	return &Union{Inputs: inputs, Par: true}
+}
+
+func survivors(t *testing.T, pred string) (string, []string) {
+	t.Helper()
+	plan, pruned := PrunePartitions(shardPlan(t, pred))
+	plan = Normalize(plan)
+	var repos []string
+	for _, s := range Submits(plan) {
+		repos = append(repos, s.Repo)
+	}
+	return strings.Join(repos, ","), pruned
+}
+
+func TestPruneRangePredicates(t *testing.T) {
+	cases := []struct {
+		pred string
+		want string
+	}{
+		{`x.id = 10`, "r1"},
+		{`x.id = 9`, "r0"},
+		{`10 = x.id`, "r1"},
+		{`x.id < 10`, "r0"},
+		{`x.id <= 10`, "r0,r1"},
+		{`x.id > 20`, "r2"},
+		{`x.id >= 20`, "r2"},
+		{`x.id >= 10`, "r1,r2"},
+		{`30 < x.id`, "r2"},
+		{`x.id = -3`, "r0"},
+		{`x.id in bag(5, 25)`, "r0,r2"},
+		{`x.id = 5 or x.id = 15`, "r0,r1"},
+		// Non-partition attributes and opaque predicates keep every shard.
+		{`x.v = 10`, "r0,r1,r2"},
+		{`x.id != 10`, "r0,r1,r2"},
+		{`x.id = x.v`, "r0,r1,r2"},
+	}
+	for _, c := range cases {
+		got, _ := survivors(t, c.pred)
+		if got != c.want {
+			t.Errorf("survivors(%s) = %q, want %q", c.pred, got, c.want)
+		}
+	}
+}
+
+func TestPruneReportsQualifiedNames(t *testing.T) {
+	_, pruned := survivors(t, `x.id = 10`)
+	if strings.Join(pruned, ",") != "e@r0,e@r2" {
+		t.Errorf("pruned = %v", pruned)
+	}
+}
+
+func TestPruneStackedConjuncts(t *testing.T) {
+	// Normalization splits conjunctions into stacked selects; each level
+	// prunes independently.
+	plan := Normalize(shardPlan(t, `x.id >= 10 and x.id < 20`))
+	plan, _ = PrunePartitions(plan)
+	plan = Normalize(plan)
+	subs := Submits(plan)
+	if len(subs) != 1 || subs[0].Repo != "r1" {
+		t.Errorf("conjunction should isolate r1: %s", plan)
+	}
+}
+
+func TestPruneContradictionEmptiesPlan(t *testing.T) {
+	plan := Normalize(shardPlan(t, `x.id = 5 and x.id = 25`))
+	plan, _ = PrunePartitions(plan)
+	plan = Normalize(plan)
+	if len(Submits(plan)) != 0 {
+		t.Errorf("contradiction should remove every submit: %s", plan)
+	}
+	c, ok := plan.(*Const)
+	if !ok || c.Data.Len() != 0 {
+		t.Errorf("plan should collapse to the empty constant: %s", plan)
+	}
+}
+
+func TestPruneHashIgnoresOrderPredicates(t *testing.T) {
+	spec := &PartitionSpec{Kind: PartHash, Attr: "id"}
+	p, err := oql.ParseQuery(`x.id < 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	branch := &Select{Pred: p, Input: &Bind{Var: "x", Input: &Submit{Repo: "r0", Input: &Get{Ref: ExtentRef{
+		Extent: "e", Repo: "r0", Source: "e", Attrs: []string{"id"},
+		Partition: "r0", PartSpec: spec, PartIndex: 0, PartCount: 4,
+	}}}}}
+	out, pruned := PrunePartitions(branch)
+	if len(pruned) != 0 || !Equal(out, branch) {
+		t.Errorf("hash shards must not prune on order predicates: %s, pruned %v", out, pruned)
+	}
+}
+
+func TestPartitionWiseSkipsPrunedIndexes(t *testing.T) {
+	spec := &PartitionSpec{Kind: PartHash, Attr: "id"}
+	mkBranch := func(extent, v, repo string, idx int) Node {
+		return &Bind{Var: v, Input: &Submit{Repo: repo, Input: &Get{Ref: ExtentRef{
+			Extent: extent, Repo: repo, Source: extent, Attrs: []string{"id"},
+			Partition: repo, PartSpec: spec, PartIndex: idx, PartCount: 2,
+		}}}}
+	}
+	pred, err := oql.ParseQuery(`x.id = y.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The left side survived pruning only at shard 1.
+	j := &Join{
+		L:    mkBranch("a", "x", "r1", 1),
+		R:    &Union{Par: true, Inputs: []Node{mkBranch("b", "y", "r0", 0), mkBranch("b", "y", "r1", 1)}},
+		Pred: pred,
+	}
+	out, dropped := PartitionWiseJoins(j)
+	subs := Submits(out)
+	if len(subs) != 2 {
+		t.Fatalf("join should pair only shard 1: %s", out)
+	}
+	for _, s := range subs {
+		if s.Repo != "r1" {
+			t.Errorf("submit to %s; shard 0 should be dropped entirely: %s", s.Repo, out)
+		}
+	}
+	// The dropped counterpart is accounted for, so EXPLAIN can name every
+	// source the plan skips.
+	if strings.Join(dropped, ",") != "b@r0" {
+		t.Errorf("dropped = %v, want the skipped counterpart b@r0", dropped)
+	}
+}
+
+// TestPruneNeverFiresOnTypeMismatch: a comparand that does not order
+// against a range scheme's bounds must keep every shard (pruning all of
+// them would silently answer the empty bag for data a heterogeneous source
+// may legitimately hold).
+func TestPruneNeverFiresOnTypeMismatch(t *testing.T) {
+	for _, pred := range []string{`x.id = "m"`, `x.id in bag("m", "n")`} {
+		got, pruned := survivors(t, pred)
+		if got != "r0,r1,r2" || len(pruned) != 0 {
+			t.Errorf("survivors(%s) = %q pruned %v; type mismatches must not prune", pred, got, pruned)
+		}
+	}
+}
+
+// TestPruneUncoveredKeySpace: a constant that orders against the bounds
+// but falls in a declared gap excludes every shard — the placement
+// contract says no row can hold it.
+func TestPruneUncoveredKeySpace(t *testing.T) {
+	gap := &PartitionSpec{Kind: PartRange, Attr: "id", Ranges: []RangeBound{
+		{Hi: types.Int(10)},
+		{Lo: types.Int(20)},
+	}}
+	p, err := oql.ParseQuery(`x.id = 15`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inputs []Node
+	for i, repo := range []string{"r0", "r1"} {
+		inputs = append(inputs, &Select{Pred: p, Input: &Bind{Var: "x", Input: &Submit{Repo: repo, Input: &Get{Ref: ExtentRef{
+			Extent: "e", Repo: repo, Source: "e", Attrs: []string{"id"},
+			Partition: repo, PartSpec: gap, PartIndex: i, PartCount: 2,
+		}}}}})
+	}
+	plan, pruned := PrunePartitions(&Union{Inputs: inputs, Par: true})
+	if len(pruned) != 2 {
+		t.Errorf("gap value should prune both shards, pruned = %v:\n%s", pruned, plan)
+	}
+}
+
+// TestRangeBoundRendersWithoutExponent: bound rendering must stay within
+// the ODL lexer's plain-decimal number syntax or DumpODL output would not
+// reparse.
+func TestRangeBoundRendersWithoutExponent(t *testing.T) {
+	r := RangeBound{Lo: types.Float(1e6), Hi: types.Float(0.00001)}
+	if got := r.String(); got != "1000000..0.00001" {
+		t.Errorf("String = %q, want plain decimals", got)
+	}
+}

@@ -1,0 +1,424 @@
+package algebra
+
+import (
+	"sort"
+
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+// This file implements the two placement-aware rewrites the optimizer runs
+// on normalized plans:
+//
+//   - PrunePartitions removes partition-fan-out branches whose shard cannot
+//     contain rows satisfying the branch's predicate, so a point query over
+//     a hash-partitioned extent submits to exactly one repository;
+//   - PartitionWiseJoins rewrites a join between co-partitioned extents on
+//     their partition attribute into a parallel union of per-shard joins,
+//     replacing the all-pairs cross-shard join.
+//
+// Both rely on the placement contract of the ODL "partition by" clause: the
+// DBA asserts every row lives at the shard the scheme assigns to its
+// partition-attribute value.
+
+// PrunePartitions eliminates shards a normalized plan provably does not
+// need: any select whose predicate excludes every row its shard can hold
+// (by the shard's declared hash slot or key range) collapses to an empty
+// constant, which normalization then drops from the enclosing union. It
+// returns the rewritten plan and the qualified names (extent@repo) of the
+// pruned shards, for the optimizer report and EXPLAIN output.
+func PrunePartitions(n Node) (Node, []string) {
+	var pruned []string
+	out := Transform(n, func(m Node) Node {
+		sel, ok := m.(*Select)
+		if !ok {
+			return m
+		}
+		v, ref, ok := shardLeaf(sel)
+		if !ok {
+			return m
+		}
+		if shardMayMatch(sel.Pred, v, ref) {
+			return m
+		}
+		pruned = append(pruned, ref.QualifiedName())
+		return emptyConst()
+	})
+	sort.Strings(pruned)
+	return out, dedupeStrings(pruned)
+}
+
+func dedupeStrings(in []string) []string {
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// shardLeaf descends through a stack of selects to the canonical fan-out
+// branch shape bind(v, submit(repo, get(extent@repo))) and returns the bind
+// variable and the shard's extent ref, provided the extent declares a
+// partitioning scheme. Any other shape reports ok=false, and no pruning
+// happens.
+func shardLeaf(n Node) (string, *ExtentRef, bool) {
+	for {
+		switch x := n.(type) {
+		case *Select:
+			n = x.Input
+		case *Bind:
+			sub, ok := x.Input.(*Submit)
+			if !ok {
+				return "", nil, false
+			}
+			get, ok := sub.Input.(*Get)
+			if !ok || get.Ref.PartSpec == nil || get.Ref.PartCount <= 0 {
+				return "", nil, false
+			}
+			return x.Var, &get.Ref, true
+		default:
+			return "", nil, false
+		}
+	}
+}
+
+// shardMayMatch reports whether any row the shard can hold might satisfy
+// the predicate. It must only return false when exclusion is provable; any
+// unhandled predicate shape answers true (no pruning).
+func shardMayMatch(pred oql.Expr, v string, ref *ExtentRef) bool {
+	switch x := pred.(type) {
+	case *oql.Binary:
+		switch x.Op {
+		case oql.OpAnd:
+			// A row matches a conjunction only if it matches both sides.
+			return shardMayMatch(x.L, v, ref) && shardMayMatch(x.R, v, ref)
+		case oql.OpOr:
+			return shardMayMatch(x.L, v, ref) || shardMayMatch(x.R, v, ref)
+		case oql.OpEq:
+			if k, ok := keyComparand(x, v, ref.PartSpec.Attr); ok {
+				return shardMayHold(ref, k)
+			}
+		case oql.OpIn:
+			if !isPartAttrPath(x.L, v, ref.PartSpec.Attr) {
+				return true
+			}
+			elems, ok := literalElems(x.R)
+			if !ok {
+				return true
+			}
+			for _, e := range elems {
+				if shardMayHold(ref, e) {
+					return true
+				}
+			}
+			return false
+		case oql.OpLt, oql.OpLe, oql.OpGt, oql.OpGe:
+			// Order predicates prune range schemes only: hash placement
+			// scatters adjacent keys.
+			if ref.PartSpec.Kind != PartRange {
+				return true
+			}
+			op := x.Op
+			k, ok := literalValue(x.R)
+			if !ok || !isPartAttrPath(x.L, v, ref.PartSpec.Attr) {
+				// Try the flipped spelling, 10 < x.id.
+				k, ok = literalValue(x.L)
+				if !ok || !isPartAttrPath(x.R, v, ref.PartSpec.Attr) {
+					return true
+				}
+				op = flipCmp(op)
+			}
+			return rangeMayMatch(ref.PartSpec.Ranges[ref.PartIndex], op, k)
+		}
+	}
+	return true
+}
+
+// shardMayHold reports whether this shard can hold a row whose partition
+// attribute equals k. For range schemes a comparison error (the constant
+// does not order against the declared bounds) answers true for every
+// shard — never prune on a type mismatch — while a constant that orders
+// but falls outside the shard's interval excludes it.
+func shardMayHold(ref *ExtentRef, k types.Value) bool {
+	switch ref.PartSpec.Kind {
+	case PartHash:
+		return ref.PartSpec.Locate(k, ref.PartCount) == ref.PartIndex
+	case PartRange:
+		if ref.PartIndex < 0 || ref.PartIndex >= len(ref.PartSpec.Ranges) {
+			return true
+		}
+		in, err := ref.PartSpec.Ranges[ref.PartIndex].contains(k)
+		return err != nil || in
+	default:
+		return true
+	}
+}
+
+// keyComparand extracts the constant k from v.attr = k or k = v.attr.
+func keyComparand(x *oql.Binary, v, attr string) (types.Value, bool) {
+	if isPartAttrPath(x.L, v, attr) {
+		return literalValue(x.R)
+	}
+	if isPartAttrPath(x.R, v, attr) {
+		return literalValue(x.L)
+	}
+	return nil, false
+}
+
+// isPartAttrPath recognizes the v.attr path over the branch's bind variable.
+func isPartAttrPath(e oql.Expr, v, attr string) bool {
+	p, ok := e.(*oql.Path)
+	if !ok || p.Field != attr {
+		return false
+	}
+	base, ok := p.Base.(*oql.Ident)
+	return ok && !base.Star && base.Name == v
+}
+
+// literalValue extracts a constant scalar from an expression: a literal, or
+// a negated numeric literal.
+func literalValue(e oql.Expr) (types.Value, bool) {
+	switch x := e.(type) {
+	case *oql.Literal:
+		switch x.Val.(type) {
+		case types.Int, types.Float, types.Str, types.Bool:
+			return x.Val, true
+		}
+	case *oql.Unary:
+		if x.Op != oql.OpNeg {
+			return nil, false
+		}
+		inner, ok := literalValue(x.X)
+		if !ok {
+			return nil, false
+		}
+		switch n := inner.(type) {
+		case types.Int:
+			return types.Int(-int64(n)), true
+		case types.Float:
+			return types.Float(-float64(n)), true
+		}
+	}
+	return nil, false
+}
+
+// literalElems extracts the members of a constant collection: a collection
+// literal, or a bag/list/set constructor call over constant scalars.
+func literalElems(e oql.Expr) ([]types.Value, bool) {
+	switch x := e.(type) {
+	case *oql.Literal:
+		switch c := x.Val.(type) {
+		case *types.Bag:
+			return c.Elems(), true
+		case *types.List:
+			return c.Elems(), true
+		case *types.Set:
+			return c.Elems(), true
+		}
+	case *oql.Call:
+		if x.Fn != "bag" && x.Fn != "list" && x.Fn != "set" {
+			return nil, false
+		}
+		out := make([]types.Value, 0, len(x.Args))
+		for _, a := range x.Args {
+			v, ok := literalValue(a)
+			if !ok {
+				return nil, false
+			}
+			out = append(out, v)
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+func flipCmp(op oql.BinaryOp) oql.BinaryOp {
+	switch op {
+	case oql.OpLt:
+		return oql.OpGt
+	case oql.OpLe:
+		return oql.OpGe
+	case oql.OpGt:
+		return oql.OpLt
+	case oql.OpGe:
+		return oql.OpLe
+	default:
+		return op
+	}
+}
+
+// rangeMayMatch reports whether the shard interval [Lo, Hi) can contain a
+// value satisfying "value op k". Comparison errors (unorderable constant)
+// answer true: never prune on a type mismatch.
+func rangeMayMatch(r RangeBound, op oql.BinaryOp, k types.Value) bool {
+	cmp := func(a, b types.Value) (int, bool) {
+		c, err := types.Compare(a, b)
+		return c, err == nil
+	}
+	switch op {
+	case oql.OpLt:
+		// Some v in [Lo, Hi) with v < k requires Lo < k.
+		if r.Lo == nil {
+			return true
+		}
+		c, ok := cmp(r.Lo, k)
+		return !ok || c < 0
+	case oql.OpLe:
+		if r.Lo == nil {
+			return true
+		}
+		c, ok := cmp(r.Lo, k)
+		return !ok || c <= 0
+	case oql.OpGt, oql.OpGe:
+		// Some v in [Lo, Hi) with v >= k (or > k) requires k < Hi; the Hi
+		// bound is exclusive, so Hi = k leaves nothing at or above k.
+		if r.Hi == nil {
+			return true
+		}
+		c, ok := cmp(r.Hi, k)
+		return !ok || c > 0
+	default:
+		return true
+	}
+}
+
+// PartitionWiseJoins rewrites join(A, B, ... a.k = b.k ...) over
+// co-partitioned extents A and B (same scheme, same partition attribute,
+// same partition count) into a parallel union of per-shard joins: rows with
+// equal partition keys live at the same shard index on both sides, so
+// cross-shard pairs cannot produce output. Shards pruned from one side drop
+// their counterpart on the other; the dropped counterparts' qualified names
+// are returned so the optimizer report accounts for every skipped source.
+// The rewrite produces a plan the cost model prices with the parallel-union
+// max-not-sum rule, and each per-shard join becomes eligible for whole-join
+// pushdown when both extents share a repository.
+func PartitionWiseJoins(n Node) (Node, []string) {
+	var dropped []string
+	out := Transform(n, func(m Node) Node {
+		next, names := partitionWiseOnce(m)
+		dropped = append(dropped, names...)
+		return next
+	})
+	sort.Strings(dropped)
+	return out, dedupeStrings(dropped)
+}
+
+func partitionWiseOnce(n Node) (Node, []string) {
+	j, ok := n.(*Join)
+	if !ok || j.Pred == nil {
+		return n, nil
+	}
+	l, ok := shardSideOf(j.L)
+	if !ok {
+		return n, nil
+	}
+	r, ok := shardSideOf(j.R)
+	if !ok {
+		return n, nil
+	}
+	if !l.spec.Equal(r.spec) || l.count != r.count {
+		return n, nil
+	}
+	if !joinsOnPartitionAttr(j.Pred, l.varName, r.varName, l.spec.Attr) {
+		return n, nil
+	}
+	// Both sides full and single-sharded: the rewrite would be an identity.
+	if len(l.byIndex) == 1 && len(r.byIndex) == 1 && l.count == 1 {
+		return n, nil
+	}
+	inputs := make([]Node, 0, l.count)
+	var dropped []string
+	for idx := 0; idx < l.count; idx++ {
+		lb, lOK := l.byIndex[idx]
+		rb, rOK := r.byIndex[idx]
+		if lOK != rOK {
+			// The shard was pruned on one side: equal keys on the other
+			// side could only pair with it, so the pair contributes
+			// nothing; record the surviving side's branch as skipped.
+			surviving := lb
+			if rOK {
+				surviving = rb
+			}
+			if _, ref, ok := shardLeaf(surviving); ok {
+				dropped = append(dropped, ref.QualifiedName())
+			}
+			continue
+		}
+		if !lOK {
+			continue // pruned on both sides already
+		}
+		inputs = append(inputs, &Join{L: lb, R: rb, Pred: j.Pred})
+	}
+	switch len(inputs) {
+	case 0:
+		return emptyConst(), dropped
+	case 1:
+		return inputs[0], dropped
+	default:
+		return &Union{Inputs: inputs, Par: true}, dropped
+	}
+}
+
+// shardSide describes one join input made of partition fan-out branches.
+type shardSide struct {
+	spec    *PartitionSpec
+	count   int
+	varName string
+	byIndex map[int]Node
+}
+
+// shardSideOf recognizes a join input that is a parallel union of shard
+// branches (or a single branch, after pruning) of one partitioned extent.
+func shardSideOf(n Node) (*shardSide, bool) {
+	branches := []Node{n}
+	if u, ok := n.(*Union); ok {
+		if !u.Par {
+			return nil, false
+		}
+		branches = u.Inputs
+	}
+	side := &shardSide{byIndex: make(map[int]Node, len(branches))}
+	for _, b := range branches {
+		v, ref, ok := shardLeaf(b)
+		if !ok {
+			return nil, false
+		}
+		if side.spec == nil {
+			side.spec, side.count, side.varName = ref.PartSpec, ref.PartCount, v
+		} else if !side.spec.Equal(ref.PartSpec) || side.count != ref.PartCount || side.varName != v {
+			return nil, false
+		}
+		if _, dup := side.byIndex[ref.PartIndex]; dup {
+			return nil, false
+		}
+		side.byIndex[ref.PartIndex] = b
+	}
+	return side, side.spec != nil
+}
+
+// joinsOnPartitionAttr reports whether the predicate's conjuncts include
+// lv.attr = rv.attr (either order).
+func joinsOnPartitionAttr(pred oql.Expr, lv, rv, attr string) bool {
+	for _, c := range conjunctsOf(pred) {
+		bin, ok := c.(*oql.Binary)
+		if !ok || bin.Op != oql.OpEq {
+			continue
+		}
+		if isPartAttrPath(bin.L, lv, attr) && isPartAttrPath(bin.R, rv, attr) {
+			return true
+		}
+		if isPartAttrPath(bin.L, rv, attr) && isPartAttrPath(bin.R, lv, attr) {
+			return true
+		}
+	}
+	return false
+}
+
+func conjunctsOf(e oql.Expr) []oql.Expr {
+	if bin, ok := e.(*oql.Binary); ok && bin.Op == oql.OpAnd {
+		return append(conjunctsOf(bin.L), conjunctsOf(bin.R)...)
+	}
+	return []oql.Expr{e}
+}

@@ -63,6 +63,13 @@ type MetaExtent struct {
 	// the extent, in declaration order (extent e of T wrapper w at r0, r1).
 	// Empty or single-element for unpartitioned extents.
 	Repositories []string
+	// Scheme is the declared placement of rows over Repositories (ODL
+	// "partition by hash(attr)" / "partition by range(attr) (...)"); nil
+	// when the extent declares none. With a scheme the optimizer prunes
+	// shards that cannot answer a predicate and builds partition-wise
+	// joins between co-partitioned extents. The declaration is a contract:
+	// rows must actually be placed where the scheme says.
+	Scheme *algebra.PartitionSpec
 	// SourceName is the collection name at the data source; it defaults to
 	// Name and is overridden by the local transformation map's
 	// (source=extent) entry (§2.2.2).
@@ -257,6 +264,20 @@ func (c *Catalog) AddExtent(m *MetaExtent) error {
 			return fmt.Errorf("catalog: map names unknown attribute %q of %s", med, m.Iface)
 		}
 	}
+	if m.Scheme != nil {
+		if !m.Partitioned() {
+			// A scheme on a single repository would prune nothing and would
+			// not survive a DumpODL round trip (the clause belongs to the
+			// "at r0, r1, ..." form); reject rather than silently drop it.
+			return fmt.Errorf("catalog: extent %q declares a partitioning scheme over a single repository", m.Name)
+		}
+		if _, ok := c.schema.AttrOf(m.Iface, m.Scheme.Attr); !ok {
+			return fmt.Errorf("catalog: extent %q partitions by unknown attribute %q of %s", m.Name, m.Scheme.Attr, m.Iface)
+		}
+		if err := m.Scheme.Validate(len(m.Partitions())); err != nil {
+			return fmt.Errorf("catalog: extent %q: %v", m.Name, err)
+		}
+	}
 	c.extents[m.Name] = m
 	c.extOrder = append(c.extOrder, m.Name)
 	c.version++
@@ -430,12 +451,25 @@ func (c *Catalog) ExtentRef(m *MetaExtent) algebra.ExtentRef {
 }
 
 // PartitionRef is ExtentRef for one shard of a partitioned extent: the ref
-// reads the shard at the given repository and renders as extent@repo.
+// reads the shard at the given repository and renders as extent@repo. When
+// the extent declares a partitioning scheme, the ref carries the scheme and
+// the shard's index so the optimizer can prune it.
 func (c *Catalog) PartitionRef(m *MetaExtent, repo string) algebra.ExtentRef {
 	ref := c.ExtentRef(m)
 	ref.Repo = repo
 	if m.Partitioned() {
 		ref.Partition = repo
+	}
+	if m.Scheme != nil {
+		parts := m.Partitions()
+		for i, p := range parts {
+			if p == repo {
+				ref.PartSpec = m.Scheme
+				ref.PartIndex = i
+				ref.PartCount = len(parts)
+				break
+			}
+		}
 	}
 	return ref
 }

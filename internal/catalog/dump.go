@@ -98,6 +98,9 @@ func (c *Catalog) DumpODL() string {
 		m := c.extents[n]
 		if m.Partitioned() {
 			fmt.Fprintf(&b, "extent %s of %s wrapper %s at %s", m.Name, m.Iface, m.Wrapper, strings.Join(m.Repositories, ", "))
+			if m.Scheme != nil {
+				fmt.Fprintf(&b, "\n    partition by %s", m.Scheme)
+			}
 		} else {
 			fmt.Fprintf(&b, "extent %s of %s wrapper %s repository %s", m.Name, m.Iface, m.Wrapper, m.Repository)
 		}

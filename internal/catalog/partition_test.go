@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"disco/internal/algebra"
+	"disco/internal/odl"
 	"disco/internal/types"
 )
 
@@ -106,5 +108,111 @@ func TestPartitionedMetaExtentBag(t *testing.T) {
 	repo, _ := st.Get("repository")
 	if !repo.Equal(types.Str("r0,r1,r2")) {
 		t.Errorf("metaextent repository = %s", repo)
+	}
+}
+
+func TestAddExtentWithHashScheme(t *testing.T) {
+	c := partitionCatalog(t)
+	if err := c.AddExtent(&MetaExtent{
+		Name: "people", Iface: "Person", Wrapper: "w0",
+		Repositories: []string{"r0", "r1", "r2"},
+		Scheme:       &algebra.PartitionSpec{Kind: algebra.PartHash, Attr: "name"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := c.Extent("people")
+	ref := c.PartitionRef(m, "r1")
+	if ref.PartSpec == nil || ref.PartIndex != 1 || ref.PartCount != 3 {
+		t.Errorf("PartitionRef placement = spec:%v index:%d count:%d", ref.PartSpec, ref.PartIndex, ref.PartCount)
+	}
+}
+
+func TestAddExtentSchemeUnknownAttr(t *testing.T) {
+	c := partitionCatalog(t)
+	err := c.AddExtent(&MetaExtent{
+		Name: "people", Iface: "Person", Wrapper: "w0",
+		Repositories: []string{"r0", "r1"},
+		Scheme:       &algebra.PartitionSpec{Kind: algebra.PartHash, Attr: "zip"},
+	})
+	if err == nil || !strings.Contains(err.Error(), `unknown attribute "zip"`) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAddExtentRangeSchemeValidation(t *testing.T) {
+	c := partitionCatalog(t)
+	// Two ranges for three partitions.
+	err := c.AddExtent(&MetaExtent{
+		Name: "people", Iface: "Person", Wrapper: "w0",
+		Repositories: []string{"r0", "r1", "r2"},
+		Scheme: &algebra.PartitionSpec{Kind: algebra.PartRange, Attr: "name", Ranges: []algebra.RangeBound{
+			{Hi: types.Str("m")}, {Lo: types.Str("m")},
+		}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "3 partitions") {
+		t.Errorf("count mismatch err = %v", err)
+	}
+	// An empty interval.
+	err = c.AddExtent(&MetaExtent{
+		Name: "people2", Iface: "Person", Wrapper: "w0",
+		Repositories: []string{"r0", "r1"},
+		Scheme: &algebra.PartitionSpec{Kind: algebra.PartRange, Attr: "name", Ranges: []algebra.RangeBound{
+			{Hi: types.Str("m")}, {Lo: types.Str("z"), Hi: types.Str("a")},
+		}},
+	})
+	if err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("empty range err = %v", err)
+	}
+}
+
+// TestDumpODLRoundTripsPartitionScheme: the dumped catalog text reproduces
+// the partitioning scheme when reparsed.
+func TestDumpODLRoundTripsPartitionScheme(t *testing.T) {
+	c := partitionCatalog(t)
+	spec := &algebra.PartitionSpec{Kind: algebra.PartRange, Attr: "name", Ranges: []algebra.RangeBound{
+		{Hi: types.Str("m")},
+		{Lo: types.Str("m"), Hi: types.Str("t")},
+		{Lo: types.Str("t")},
+	}}
+	if err := c.AddExtent(&MetaExtent{
+		Name: "people", Iface: "Person", Wrapper: "w0",
+		Repositories: []string{"r0", "r1", "r2"},
+		Scheme:       spec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dump := c.DumpODL()
+	if !strings.Contains(dump, `partition by range(name) ("m".."t")`) &&
+		!strings.Contains(dump, `partition by range(name) (.."m", "m".."t", "t"..)`) {
+		t.Fatalf("dump misses the partition clause:\n%s", dump)
+	}
+	stmts, err := odl.Parse(dump)
+	if err != nil {
+		t.Fatalf("dump does not reparse: %v\n%s", err, dump)
+	}
+	found := false
+	for _, s := range stmts {
+		d, ok := s.(*odl.ExtentDecl)
+		if !ok || d.Name != "people" {
+			continue
+		}
+		found = true
+		if !d.Scheme.Equal(spec) {
+			t.Errorf("reparsed scheme = %+v, want %+v", d.Scheme, spec)
+		}
+	}
+	if !found {
+		t.Errorf("dump misses the extent:\n%s", dump)
+	}
+}
+
+func TestAddExtentSchemeNeedsPartitions(t *testing.T) {
+	c := partitionCatalog(t)
+	err := c.AddExtent(&MetaExtent{
+		Name: "person1", Iface: "Person", Wrapper: "w0", Repository: "r0",
+		Scheme: &algebra.PartitionSpec{Kind: algebra.PartHash, Attr: "name"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "single repository") {
+		t.Errorf("scheme over one repository should be rejected, err = %v", err)
 	}
 }

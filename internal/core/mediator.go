@@ -147,6 +147,7 @@ func (m *Mediator) Apply(stmt odl.Statement) error {
 			Wrapper:      s.Wrapper,
 			Repository:   s.Repository,
 			Repositories: s.Repositories,
+			Scheme:       s.Scheme,
 			SourceName:   s.SourceName,
 			AttrMap:      s.AttrMap,
 		})

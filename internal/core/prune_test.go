@@ -1,0 +1,437 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"disco/internal/algebra"
+	"disco/internal/source"
+	"disco/internal/types"
+)
+
+// countingEngine wraps an in-process engine and counts source calls, so
+// tests can assert exactly how many shards a query touched.
+type countingEngine struct {
+	inner source.Engine
+	mu    sync.Mutex
+	calls int
+}
+
+func (e *countingEngine) Query(q string) (*types.Bag, error) {
+	e.mu.Lock()
+	e.calls++
+	e.mu.Unlock()
+	return e.inner.Query(q)
+}
+
+func (e *countingEngine) Collections() []string { return e.inner.Collections() }
+
+func (e *countingEngine) count() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.calls
+}
+
+func resetCounts(engines []*countingEngine) {
+	for _, e := range engines {
+		e.mu.Lock()
+		e.calls = 0
+		e.mu.Unlock()
+	}
+}
+
+func totalCalls(engines []*countingEngine) int {
+	n := 0
+	for _, e := range engines {
+		n += e.count()
+	}
+	return n
+}
+
+// hashMediator builds a mediator over one extent hash-partitioned across n
+// shards, with rows id 0..rows-1 placed by the same hash the optimizer
+// routes with. It returns the mediator and the per-shard counting engines.
+func hashMediator(t *testing.T, shards, rows int) (*Mediator, []*countingEngine) {
+	t.Helper()
+	m := New(WithTimeout(2 * time.Second))
+	engines := make([]*countingEngine, shards)
+	stores := make([]*source.RelStore, shards)
+	var odl strings.Builder
+	var repos []string
+	for i := 0; i < shards; i++ {
+		stores[i] = source.NewRelStore()
+		if err := stores[i].CreateTable("people", "id", "name", "salary"); err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = &countingEngine{inner: stores[i]}
+		repo := fmt.Sprintf("r%d", i)
+		repos = append(repos, repo)
+		m.RegisterEngine(repo, engines[i])
+		fmt.Fprintf(&odl, "%s := Repository(address=%q);\n", repo, "mem:"+repo)
+	}
+	for id := 0; id < rows; id++ {
+		shard := int(algebra.HashValue(types.Int(int64(id))) % uint64(shards))
+		if err := stores[shard].Insert("people",
+			types.Int(int64(id)), types.Str(fmt.Sprintf("p%d", id)), types.Int(int64(id%97))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	odl.WriteString(`
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent people of Person wrapper w0 at ` + strings.Join(repos, ", ") + `
+		    partition by hash(id);
+	`)
+	if err := m.ExecODL(odl.String()); err != nil {
+		t.Fatal(err)
+	}
+	return m, engines
+}
+
+// TestHashPointQuerySubmitsOnce is the tentpole's headline property: a point
+// lookup on a hash-partitioned 16-shard extent contacts exactly one
+// repository, while a full scan still contacts all 16.
+func TestHashPointQuerySubmitsOnce(t *testing.T) {
+	m, engines := hashMediator(t, 16, 64)
+
+	resetCounts(engines)
+	v, err := m.Query(`select x.name from x in people where x.id = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := types.NewBag(types.Str("p7"))
+	if !v.Equal(want) {
+		t.Errorf("point query = %s, want %s", v, want)
+	}
+	if got := totalCalls(engines); got != 1 {
+		t.Errorf("point query made %d source calls, want exactly 1", got)
+	}
+	home := int(algebra.HashValue(types.Int(7)) % 16)
+	if engines[home].count() != 1 {
+		t.Errorf("the one call should hit shard %d (the hash slot of 7)", home)
+	}
+
+	resetCounts(engines)
+	v, err = m.Query(`select x.name from x in people`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bag, ok := v.(*types.Bag); !ok || bag.Len() != 64 {
+		t.Errorf("full scan returned %s, want 64 rows", v)
+	}
+	if got := totalCalls(engines); got != 16 {
+		t.Errorf("full scan made %d source calls, want 16", got)
+	}
+}
+
+// TestHashInListPrunesToMemberShards: an IN over constants contacts only the
+// member values' hash slots.
+func TestHashInListPrunesToMemberShards(t *testing.T) {
+	m, engines := hashMediator(t, 16, 64)
+	resetCounts(engines)
+	v, err := m.Query(`select x.name from x in people where x.id in bag(3, 11)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := types.NewBag(types.Str("p3"), types.Str("p11"))
+	if !v.Equal(want) {
+		t.Errorf("in-list query = %s, want %s", v, want)
+	}
+	shards := map[int]bool{
+		int(algebra.HashValue(types.Int(3)) % 16):  true,
+		int(algebra.HashValue(types.Int(11)) % 16): true,
+	}
+	if got := totalCalls(engines); got != len(shards) {
+		t.Errorf("in-list made %d source calls, want %d", got, len(shards))
+	}
+	for i, e := range engines {
+		if (e.count() > 0) != shards[i] {
+			t.Errorf("shard %d calls = %d, member shard = %v", i, e.count(), shards[i])
+		}
+	}
+}
+
+// rangeMediator builds a mediator over one extent range-partitioned as
+// (..10, 10..20, 20..) across three shards, rows placed accordingly.
+func rangeMediator(t *testing.T) (*Mediator, []*countingEngine) {
+	t.Helper()
+	m := New(WithTimeout(2 * time.Second))
+	engines := make([]*countingEngine, 3)
+	stores := make([]*source.RelStore, 3)
+	var odl strings.Builder
+	for i := 0; i < 3; i++ {
+		stores[i] = source.NewRelStore()
+		if err := stores[i].CreateTable("people", "id", "name", "salary"); err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = &countingEngine{inner: stores[i]}
+		repo := fmt.Sprintf("r%d", i)
+		m.RegisterEngine(repo, engines[i])
+		fmt.Fprintf(&odl, "%s := Repository(address=%q);\n", repo, "mem:"+repo)
+	}
+	spec := &algebra.PartitionSpec{Kind: algebra.PartRange, Attr: "id", Ranges: []algebra.RangeBound{
+		{Hi: types.Int(10)},
+		{Lo: types.Int(10), Hi: types.Int(20)},
+		{Lo: types.Int(20)},
+	}}
+	for _, id := range []int{5, 9, 10, 15, 20, 25} {
+		shard := spec.Locate(types.Int(int64(id)), 3)
+		if err := stores[shard].Insert("people",
+			types.Int(int64(id)), types.Str(fmt.Sprintf("p%d", id)), types.Int(int64(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	odl.WriteString(`
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent people of Person wrapper w0 at r0, r1, r2
+		    partition by range(id) (..10, 10..20, 20..);
+	`)
+	if err := m.ExecODL(odl.String()); err != nil {
+		t.Fatal(err)
+	}
+	return m, engines
+}
+
+// TestRangePruningBoundaries pins the interval semantics: Lo is inclusive,
+// Hi exclusive, so id = 10 lives in 10..20, not ..10.
+func TestRangePruningBoundaries(t *testing.T) {
+	m, engines := rangeMediator(t)
+	cases := []struct {
+		query string
+		want  *types.Bag
+		calls [3]int
+	}{
+		// The boundary value routes to the shard whose Lo it equals.
+		{`select x.name from x in people where x.id = 10`,
+			types.NewBag(types.Str("p10")), [3]int{0, 1, 0}},
+		{`select x.name from x in people where x.id = 9`,
+			types.NewBag(types.Str("p9")), [3]int{1, 0, 0}},
+		// Order predicates keep only shards whose interval intersects.
+		{`select x.name from x in people where x.id < 10`,
+			types.NewBag(types.Str("p5"), types.Str("p9")), [3]int{1, 0, 0}},
+		{`select x.name from x in people where x.id <= 10`,
+			types.NewBag(types.Str("p5"), types.Str("p9"), types.Str("p10")), [3]int{1, 1, 0}},
+		{`select x.name from x in people where x.id >= 20`,
+			types.NewBag(types.Str("p20"), types.Str("p25")), [3]int{0, 0, 1}},
+		{`select x.name from x in people where x.id > 20`,
+			types.NewBag(types.Str("p25")), [3]int{0, 0, 1}},
+		// id > 19 cannot prune 10..20: the schema says Short, but the
+		// pruner reasons over the declared interval's real endpoints (a
+		// 19.5 would belong to that shard), so it conservatively keeps it.
+		{`select x.name from x in people where x.id > 19`,
+			types.NewBag(types.Str("p20"), types.Str("p25")), [3]int{0, 1, 1}},
+		{`select x.name from x in people where x.id >= 10 and x.id < 20`,
+			types.NewBag(types.Str("p10"), types.Str("p15")), [3]int{0, 1, 0}},
+		// The flipped spelling prunes the same way.
+		{`select x.name from x in people where 20 <= x.id`,
+			types.NewBag(types.Str("p20"), types.Str("p25")), [3]int{0, 0, 1}},
+	}
+	for _, c := range cases {
+		resetCounts(engines)
+		v, err := m.Query(c.query)
+		if err != nil {
+			t.Fatalf("%s: %v", c.query, err)
+		}
+		if !v.Equal(c.want) {
+			t.Errorf("%s = %s, want %s", c.query, v, c.want)
+		}
+		for i, e := range engines {
+			if e.count() != c.calls[i] {
+				t.Errorf("%s: shard %d calls = %d, want %d", c.query, i, e.count(), c.calls[i])
+			}
+		}
+	}
+}
+
+// TestEmptySurvivorSetMakesNoCalls: contradictory conjuncts prune every
+// shard, and the query answers an empty bag without touching any source.
+func TestEmptySurvivorSetMakesNoCalls(t *testing.T) {
+	m, engines := rangeMediator(t)
+	resetCounts(engines)
+	v, err := m.Query(`select x.name from x in people where x.id = 5 and x.id = 15`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bag, ok := v.(*types.Bag); !ok || bag.Len() != 0 {
+		t.Errorf("contradiction = %s, want empty bag", v)
+	}
+	if got := totalCalls(engines); got != 0 {
+		t.Errorf("contradiction made %d source calls, want 0", got)
+	}
+
+	// An empty IN list excludes every shard too.
+	resetCounts(engines)
+	v, err = m.Query(`select x.name from x in people where x.id in bag()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bag, ok := v.(*types.Bag); !ok || bag.Len() != 0 {
+		t.Errorf("empty in-list = %s, want empty bag", v)
+	}
+	if got := totalCalls(engines); got != 0 {
+		t.Errorf("empty in-list made %d source calls, want 0", got)
+	}
+}
+
+// TestPrunedShardsNamedInReport: EXPLAIN names the shards pruning removed,
+// so the DBA can see which sources a query skips.
+func TestPrunedShardsNamedInReport(t *testing.T) {
+	m, _ := rangeMediator(t)
+	report, err := m.Explain(`select x.name from x in people where x.id = 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "pruned shards: people@r0, people@r2") {
+		t.Errorf("report should name the pruned shards:\n%s", report)
+	}
+}
+
+// coPartitionedMediator declares two extents hash-partitioned by the same
+// attribute over the same four repositories, with matching rows co-located.
+func coPartitionedMediator(t *testing.T) (*Mediator, []*countingEngine) {
+	t.Helper()
+	m := New(WithTimeout(2 * time.Second))
+	engines := make([]*countingEngine, 4)
+	var odl strings.Builder
+	for i := 0; i < 4; i++ {
+		s := source.NewRelStore()
+		if err := s.CreateTable("people", "id", "name", "salary"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CreateTable("bonus", "id", "amount"); err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = &countingEngine{inner: s}
+		repo := fmt.Sprintf("r%d", i)
+		m.RegisterEngine(repo, engines[i])
+		fmt.Fprintf(&odl, "%s := Repository(address=%q);\n", repo, "mem:"+repo)
+		// Co-partitioned placement: a person and its bonus land together.
+		for id := 0; id < 32; id++ {
+			if int(algebra.HashValue(types.Int(int64(id)))%4) != i {
+				continue
+			}
+			if err := s.Insert("people",
+				types.Int(int64(id)), types.Str(fmt.Sprintf("p%d", id)), types.Int(int64(id))); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Insert("bonus",
+				types.Int(int64(id)), types.Int(int64(id*10))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	odl.WriteString(`
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		interface Bonus (extent allbonus) {
+		    attribute Short id;
+		    attribute Short amount;
+		}
+		extent people of Person wrapper w0 at r0, r1, r2, r3
+		    partition by hash(id);
+		extent bonus of Bonus wrapper w0 at r0, r1, r2, r3
+		    partition by hash(id);
+	`)
+	if err := m.ExecODL(odl.String()); err != nil {
+		t.Fatal(err)
+	}
+	return m, engines
+}
+
+// TestPartitionWiseJoinRuntime: a co-partitioned equi-join answers the full
+// join while calling each repository once per extent (4 shards x 2 sides =
+// 8 calls), never the 4x4 all-pairs fan-out a cross-shard join would need.
+func TestPartitionWiseJoinRuntime(t *testing.T) {
+	m, engines := coPartitionedMediator(t)
+	resetCounts(engines)
+	v, err := m.Query(`select struct(name: x.name, amount: y.amount) from x in people, y in bonus where x.id = y.id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bag, ok := v.(*types.Bag)
+	if !ok || bag.Len() != 32 {
+		t.Fatalf("join = %s, want 32 rows", v)
+	}
+	for id := 0; id < 32; id += 13 {
+		probe := types.NewStruct(
+			types.Field{Name: "name", Value: types.Str(fmt.Sprintf("p%d", id))},
+			types.Field{Name: "amount", Value: types.Int(int64(id * 10))},
+		)
+		if types.Multiplicity(bag, probe) != 1 {
+			t.Errorf("join result misses %s", probe)
+		}
+	}
+	if got := totalCalls(engines); got > 8 {
+		t.Errorf("co-partitioned join made %d source calls, want at most 8 (one per shard per side)", got)
+	}
+	for i, e := range engines {
+		if e.count() > 2 {
+			t.Errorf("shard %d answered %d calls, want at most 2", i, e.count())
+		}
+	}
+}
+
+// TestPartitionWiseJoinWithPointPredicate: adding a point predicate on the
+// partition attribute prunes both sides to the key's home shard.
+func TestPartitionWiseJoinWithPointPredicate(t *testing.T) {
+	m, engines := coPartitionedMediator(t)
+	resetCounts(engines)
+	v, err := m.Query(`select struct(name: x.name, amount: y.amount) from x in people, y in bonus where x.id = y.id and x.id = 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := types.NewBag(types.NewStruct(
+		types.Field{Name: "name", Value: types.Str("p5")},
+		types.Field{Name: "amount", Value: types.Int(50)},
+	))
+	if !v.Equal(want) {
+		t.Errorf("point join = %s, want %s", v, want)
+	}
+	if got := totalCalls(engines); got > 2 {
+		t.Errorf("point join made %d source calls, want at most 2 (both sides at the home shard)", got)
+	}
+	home := int(algebra.HashValue(types.Int(5)) % 4)
+	for i, e := range engines {
+		if i != home && e.count() > 0 {
+			t.Errorf("shard %d was contacted; only home shard %d holds id 5", i, home)
+		}
+	}
+
+	// The report accounts for every skipped source: the people shards the
+	// point predicate pruned AND their bonus counterparts the partition-wise
+	// join dropped.
+	report, err := m.Explain(`select struct(name: x.name, amount: y.amount) from x in people, y in bonus where x.id = y.id and x.id = 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prunedLine := ""
+	for _, line := range strings.Split(report, "\n") {
+		if strings.HasPrefix(line, "pruned shards:") {
+			prunedLine = line
+		}
+	}
+	for _, shard := range []string{"people@", "bonus@"} {
+		for i := 0; i < 4; i++ {
+			name := fmt.Sprintf("%sr%d", shard, i)
+			if got, want := strings.Contains(prunedLine, name), i != home; got != want {
+				t.Errorf("pruned line lists %s = %v, want %v:\n%s", name, got, want, prunedLine)
+			}
+		}
+	}
+}

@@ -8,7 +8,9 @@
 //
 //	interface NAME [:SUPER] [(extent ENAME)] { attribute TYPE NAME; ... };
 //	extent NAME of IFACE wrapper W repository R [map ((a=b), ...)];
-//	extent NAME of IFACE wrapper W at R1, R2, ... [map ((a=b), ...)];
+//	extent NAME of IFACE wrapper W at R1, R2, ...
+//	    [partition by hash(ATTR) | partition by range(ATTR) (..B1, B1..B2, B2..)]
+//	    [map ((a=b), ...)];
 //	NAME := Repository(key="value", ...);
 //	NAME := WrapperKIND(key="value", ...);   -- e.g. WrapperPostgres()
 //	NAME := Wrapper("kind", key="value", ...);
@@ -18,8 +20,10 @@ package odl
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
+	"disco/internal/algebra"
 	"disco/internal/oql"
 	"disco/internal/types"
 )
@@ -50,6 +54,9 @@ type ExtentDecl struct {
 	Repository string
 	// Repositories is the full partition list (len > 1 when partitioned).
 	Repositories []string
+	// Scheme is the placement metadata from the optional "partition by"
+	// clause: how rows distribute over Repositories (nil when undeclared).
+	Scheme *algebra.PartitionSpec
 	// SourceName is the data-source collection name from the map clause
 	// (empty means same as Name).
 	SourceName string
@@ -166,7 +173,9 @@ func (p *parser) lex() error {
 			p.toks = append(p.toks, tok{kind: tIdent, text: src[start:i], off: start})
 		case isDigit(c):
 			start := i
-			for i < len(src) && (isDigit(src[i]) || src[i] == '.') {
+			// Stop before "..": in "10..20" the dots are the range operator
+			// of a partition-by clause, not a decimal point.
+			for i < len(src) && (isDigit(src[i]) || (src[i] == '.' && !(i+1 < len(src) && src[i+1] == '.'))) {
 				i++
 			}
 			p.toks = append(p.toks, tok{kind: tNumber, text: src[start:i], off: start})
@@ -191,6 +200,9 @@ func (p *parser) lex() error {
 			p.toks = append(p.toks, tok{kind: tString, text: b.String(), off: start})
 		case c == ':' && i+1 < len(src) && src[i+1] == '=':
 			p.toks = append(p.toks, tok{kind: tPunct, text: ":=", off: i})
+			i += 2
+		case c == '.' && i+1 < len(src) && src[i+1] == '.':
+			p.toks = append(p.toks, tok{kind: tPunct, text: "..", off: i})
 			i += 2
 		// The set includes OQL operator characters so that define bodies
 		// (sliced as raw text and reparsed by the OQL parser) lex through.
@@ -413,6 +425,16 @@ func (p *parser) parseExtent() (Statement, error) {
 	if len(d.Repositories) == 1 {
 		d.Repositories = nil
 	}
+	if p.accept("partition") {
+		if err := p.expect("by"); err != nil {
+			return nil, err
+		}
+		scheme, err := p.parsePartitionScheme()
+		if err != nil {
+			return nil, err
+		}
+		d.Scheme = scheme
+	}
 	if p.accept("map") {
 		if err := p.parseMap(d); err != nil {
 			return nil, err
@@ -422,6 +444,99 @@ func (p *parser) parseExtent() (Statement, error) {
 		return nil, err
 	}
 	return d, nil
+}
+
+// parsePartitionScheme parses the clause after "partition by":
+//
+//	hash(id)
+//	range(salary) (..100, 100..1000, 1000..)
+//
+// Range bounds are numbers (optionally negative) or strings; a missing
+// bound leaves the interval open on that side. Bounds are inclusive below
+// and exclusive above: 10 belongs to 10..20, not ..10.
+func (p *parser) parsePartitionScheme() (*algebra.PartitionSpec, error) {
+	kind, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if kind != algebra.PartHash && kind != algebra.PartRange {
+		return nil, p.errorf("partition by %q: want hash or range", kind)
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	attr, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	spec := &algebra.PartitionSpec{Kind: kind, Attr: attr}
+	if kind == algebra.PartHash {
+		return spec, nil
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		var r algebra.RangeBound
+		if !p.isPunct("..") {
+			lo, err := p.parseBoundValue()
+			if err != nil {
+				return nil, err
+			}
+			r.Lo = lo
+		}
+		if err := p.expect(".."); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(",") && !p.isPunct(")") {
+			hi, err := p.parseBoundValue()
+			if err != nil {
+				return nil, err
+			}
+			r.Hi = hi
+		}
+		spec.Ranges = append(spec.Ranges, r)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// parseBoundValue parses one range bound: a number, a negative number, or a
+// quoted string.
+func (p *parser) parseBoundValue() (types.Value, error) {
+	neg := p.accept("-")
+	t := p.cur()
+	switch {
+	case t.kind == tNumber:
+		p.advance()
+		if i, err := strconv.ParseInt(t.text, 10, 64); err == nil {
+			if neg {
+				i = -i
+			}
+			return types.Int(i), nil
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad range bound %q", t.text)
+		}
+		if neg {
+			f = -f
+		}
+		return types.Float(f), nil
+	case t.kind == tString && !neg:
+		p.advance()
+		return types.Str(t.text), nil
+	default:
+		return nil, p.errorf("expected range bound, found %q", t.text)
+	}
 }
 
 // parseMap parses map ((person0=personprime0),(name=n),(salary=s)). Each

@@ -3,6 +3,9 @@ package odl
 import (
 	"strings"
 	"testing"
+
+	"disco/internal/algebra"
+	"disco/internal/types"
 )
 
 // TestParsePartitionedExtent covers the "at r0, r1, ..." extension and the
@@ -72,5 +75,104 @@ func TestParseExtentMissingRepositoryClause(t *testing.T) {
 	if _, err := Parse(`extent people of Person wrapper w0;`); err == nil ||
 		!strings.Contains(err.Error(), `"repository" or "at"`) {
 		t.Errorf("err = %v", err)
+	}
+}
+
+func parseOne(t *testing.T, src string) Statement {
+	t.Helper()
+	stmts, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	if len(stmts) != 1 {
+		t.Fatalf("parse %q: %d statements", src, len(stmts))
+	}
+	return stmts[0]
+}
+
+func TestParsePartitionByHash(t *testing.T) {
+	s := parseOne(t, `extent people of Person wrapper w0 at r0, r1, r2 partition by hash(id);`)
+	d, ok := s.(*ExtentDecl)
+	if !ok {
+		t.Fatalf("statement = %T", s)
+	}
+	if d.Scheme == nil || d.Scheme.Kind != algebra.PartHash || d.Scheme.Attr != "id" {
+		t.Errorf("Scheme = %+v, want hash(id)", d.Scheme)
+	}
+	if len(d.Repositories) != 3 {
+		t.Errorf("Repositories = %v", d.Repositories)
+	}
+}
+
+func TestParsePartitionByRange(t *testing.T) {
+	s := parseOne(t, `extent people of Person wrapper w0 at r0, r1, r2
+		partition by range(salary) (..10, 10..20, 20..);`)
+	d := s.(*ExtentDecl)
+	if d.Scheme == nil || d.Scheme.Kind != algebra.PartRange || d.Scheme.Attr != "salary" {
+		t.Fatalf("Scheme = %+v, want range(salary)", d.Scheme)
+	}
+	want := []algebra.RangeBound{
+		{Hi: types.Int(10)},
+		{Lo: types.Int(10), Hi: types.Int(20)},
+		{Lo: types.Int(20)},
+	}
+	if len(d.Scheme.Ranges) != len(want) {
+		t.Fatalf("Ranges = %v", d.Scheme.Ranges)
+	}
+	for i, r := range d.Scheme.Ranges {
+		if r.String() != want[i].String() {
+			t.Errorf("range %d = %s, want %s", i, r, want[i])
+		}
+	}
+}
+
+func TestParsePartitionByRangeBoundKinds(t *testing.T) {
+	s := parseOne(t, `extent t of T wrapper w at r0, r1, r2
+		partition by range(k) (.. -1.5, -1.5.."m", "m"..);`)
+	d := s.(*ExtentDecl)
+	rs := d.Scheme.Ranges
+	if len(rs) != 3 {
+		t.Fatalf("Ranges = %v", rs)
+	}
+	if !rs[0].Hi.Equal(types.Float(-1.5)) || !rs[1].Lo.Equal(types.Float(-1.5)) {
+		t.Errorf("negative float bounds = %v", rs)
+	}
+	if !rs[1].Hi.Equal(types.Str("m")) || !rs[2].Lo.Equal(types.Str("m")) {
+		t.Errorf("string bounds = %v", rs)
+	}
+}
+
+func TestParsePartitionWithMapClause(t *testing.T) {
+	s := parseOne(t, `extent people of Person wrapper w0 at r0, r1
+		partition by hash(id) map ((folk=people),(name=n));`)
+	d := s.(*ExtentDecl)
+	if d.Scheme == nil || d.Scheme.Kind != algebra.PartHash {
+		t.Errorf("Scheme = %+v", d.Scheme)
+	}
+	if d.SourceName != "folk" || d.AttrMap["n"] != "name" {
+		t.Errorf("map clause lost: source=%q attrs=%v", d.SourceName, d.AttrMap)
+	}
+}
+
+func TestParsePartitionErrors(t *testing.T) {
+	for _, src := range []string{
+		`extent e of T wrapper w at r0, r1 partition by modulo(id);`,
+		`extent e of T wrapper w at r0, r1 partition by hash id;`,
+		`extent e of T wrapper w at r0, r1 partition by range(id) (10);`,
+		`extent e of T wrapper w at r0, r1 partition by range(id) (..x);`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parse %q should fail", src)
+		}
+	}
+}
+
+// TestNumberLexingUnaffected: adding the ".." token must not break decimal
+// literals in property lists.
+func TestNumberLexingUnaffected(t *testing.T) {
+	s := parseOne(t, `r0 := Repository(address="mem:r0", weight=1.5);`)
+	d, ok := s.(*RepositoryDecl)
+	if !ok || d.Props["weight"] != "1.5" {
+		t.Errorf("decimal property mis-lexed: %+v", s)
 	}
 }

@@ -126,10 +126,14 @@ func (c *costing) visit(n algebra.Node) float64 {
 		r := c.visit(x.R)
 		// Hash join for equi-predicates (l+r), nested loop otherwise (l*r);
 		// approximate with the cheaper form when a predicate exists since
-		// the implementation rules prefer hash joins.
+		// the implementation rules prefer hash joins. Emitting the merged
+		// output tuples is charged too: it is what makes a partition-wise
+		// union of per-shard joins (sum of l_i*r_i) beat one all-shards
+		// join ((sum l)*(sum r)) under equal transfer costs.
 		if x.Pred != nil {
-			c.cost.MediatorCPU += (l + r) * perRowCPU
-			return l * r * joinSelectivity
+			out := l * r * joinSelectivity
+			c.cost.MediatorCPU += (l + r + out) * perRowCPU
+			return out
 		}
 		c.cost.MediatorCPU += l * r * perRowCPU
 		return l * r

@@ -9,6 +9,7 @@ package optimizer
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"disco/internal/algebra"
@@ -27,6 +28,10 @@ type Candidate struct {
 	Options algebra.PushOptions
 	Plan    algebra.Node
 	Cost    Cost
+	// pruned names the shards the candidate's variant pruned; Report.Pruned
+	// reflects the chosen candidate so EXPLAIN never names a shard the
+	// executed plan still reads.
+	pruned []string
 }
 
 // Report describes an optimization decision, for EXPLAIN-style output and
@@ -35,6 +40,12 @@ type Report struct {
 	Candidates []Candidate
 	Chosen     int
 	CacheHit   bool
+	// Pruned lists the shards (extent@repo) partition pruning removed from
+	// the plan: repositories whose declared hash slot or key range cannot
+	// contain rows the query's predicates ask for. A partial answer's
+	// residual never needs them, and EXPLAIN shows the DBA which sources a
+	// query skips.
+	Pruned []string
 }
 
 // Chosen returns the selected candidate.
@@ -122,20 +133,43 @@ func (o *Optimizer) Optimize(plan algebra.Node, version int64) (algebra.Node, *R
 
 	norm := algebra.Normalize(plan)
 
+	// Placement-aware passes: partition pruning removes shards the
+	// predicates provably exclude (re-normalizing collapses the emptied
+	// union branches), then the partition-wise variant — when a join's two
+	// sides are co-partitioned on the join attribute — competes with the
+	// all-shards join under the cost model's max-of-survivors punion rule.
+	// The partition-wise rewrite is itself pruned again: splitting a join
+	// per shard lets normalization push single-side predicates into the
+	// shard branches, where they can exclude further shards.
+	type variant struct {
+		plan   algebra.Node
+		pruned []string
+	}
+	pruned, prunedShards := pruneFixpoint(norm)
+	variants := []variant{{plan: pruned, pruned: prunedShards}}
+	if pw, dropped := algebra.PartitionWiseJoins(pruned); !algebra.Equal(pw, pruned) {
+		pw, pwShards := pruneFixpoint(algebra.Normalize(pw))
+		all := mergeSorted(mergeSorted(prunedShards, dropped), pwShards)
+		variants = append(variants, variant{plan: pw, pruned: all})
+	}
+
 	seen := map[string]bool{}
 	report := &Report{}
-	for _, opt := range pushCombos {
-		candidate := algebra.Push(norm, o.caps, opt)
-		s := candidate.String()
-		if seen[s] {
-			continue
+	for _, v := range variants {
+		for _, opt := range pushCombos {
+			candidate := algebra.Push(v.plan, o.caps, opt)
+			s := candidate.String()
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			report.Candidates = append(report.Candidates, Candidate{
+				Options: opt,
+				Plan:    candidate,
+				Cost:    o.estimate(candidate),
+				pruned:  v.pruned,
+			})
 		}
-		seen[s] = true
-		report.Candidates = append(report.Candidates, Candidate{
-			Options: opt,
-			Plan:    candidate,
-			Cost:    o.estimate(candidate),
-		})
 	}
 	// Deterministic choice: lowest total cost, ties broken by most-pushed
 	// (fewest mediator-side operators, i.e. shortest plan string), then by
@@ -153,11 +187,48 @@ func (o *Optimizer) Optimize(plan algebra.Node, version int64) (algebra.Node, *R
 	})
 	report.Chosen = 0
 	chosen := report.Candidates[0].Plan
+	report.Pruned = report.Candidates[0].pruned
 
 	o.mu.Lock()
 	o.cache[key] = cached{plan: chosen, report: report}
 	o.mu.Unlock()
 	return chosen, report
+}
+
+// pruneFixpoint alternates partition pruning and normalization until the
+// plan is stable: dropping an emptied branch can expose new select-over-
+// branch shapes (and vice versa).
+func pruneFixpoint(n algebra.Node) (algebra.Node, []string) {
+	var pruned []string
+	for {
+		next, names := algebra.PrunePartitions(n)
+		if len(names) == 0 {
+			return n, pruned
+		}
+		pruned = mergeSorted(pruned, names)
+		n = algebra.Normalize(next)
+	}
+}
+
+// mergeSorted merges two sorted string slices, dropping duplicates.
+func mergeSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
 }
 
 // CacheStats reports plan-cache hits and misses.
@@ -178,6 +249,9 @@ func (o *Optimizer) InvalidateCache() {
 // String renders a report for EXPLAIN output.
 func (r *Report) String() string {
 	out := ""
+	if len(r.Pruned) > 0 {
+		out = fmt.Sprintf("pruned shards: %s\n", strings.Join(r.Pruned, ", "))
+	}
 	for i, c := range r.Candidates {
 		marker := "  "
 		if i == r.Chosen {

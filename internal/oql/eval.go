@@ -214,16 +214,14 @@ func ApplyBinary(op BinaryOp, lv, rv types.Value) (types.Value, error) {
 			return types.Bool(c >= 0), nil
 		}
 	case OpIn:
-		elems, err := types.Elements(rv)
-		if err != nil {
+		found := false
+		if err := types.RangeElements(rv, func(e types.Value) bool {
+			found = e.Equal(lv)
+			return !found
+		}); err != nil {
 			return nil, fmt.Errorf("right side of in: %w", err)
 		}
-		for _, e := range elems {
-			if e.Equal(lv) {
-				return types.Bool(true), nil
-			}
-		}
-		return types.Bool(false), nil
+		return types.Bool(found), nil
 	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
 		return applyArith(op, lv, rv)
 	default:
@@ -358,20 +356,20 @@ func ApplyCall(fn string, args []types.Value) (types.Value, error) {
 		if err := wantArgs(fn, args, 1); err != nil {
 			return nil, err
 		}
-		elems, err := types.Elements(args[0])
+		n, err := types.NumElements(args[0])
 		if err != nil {
 			return nil, fmt.Errorf("count: %w", err)
 		}
-		return types.Int(len(elems)), nil
+		return types.Int(n), nil
 	case "exists":
 		if err := wantArgs(fn, args, 1); err != nil {
 			return nil, err
 		}
-		elems, err := types.Elements(args[0])
+		n, err := types.NumElements(args[0])
 		if err != nil {
 			return nil, fmt.Errorf("exists: %w", err)
 		}
-		return types.Bool(len(elems) > 0), nil
+		return types.Bool(n > 0), nil
 	case "element":
 		if err := wantArgs(fn, args, 1); err != nil {
 			return nil, err
@@ -506,16 +504,14 @@ func evalSelect(x *Select, env *Env, r Resolver) (types.Value, error) {
 		if err != nil {
 			return err
 		}
-		elems, err := types.Elements(dom)
-		if err != nil {
+		var loopErr error
+		if err := types.RangeElements(dom, func(e types.Value) bool {
+			loopErr = loop(i+1, env.Bind(x.From[i].Var, e))
+			return loopErr == nil
+		}); err != nil {
 			return fmt.Errorf("from %s: %w", x.From[i].Var, err)
 		}
-		for _, e := range elems {
-			if err := loop(i+1, env.Bind(x.From[i].Var, e)); err != nil {
-				return err
-			}
-		}
-		return nil
+		return loopErr
 	}
 	if err := loop(0, env); err != nil {
 		return nil, err

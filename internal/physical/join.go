@@ -99,6 +99,7 @@ type HashJoin struct {
 	table   map[string][]*types.Struct
 	matches []*types.Struct
 	curLeft *types.Struct
+	keyer   types.Keyer
 }
 
 // Open implements Operator.
@@ -120,7 +121,7 @@ func (j *HashJoin) Open(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		k := types.CanonicalKey(key)
+		k := j.keyer.Key(key)
 		j.table[k] = append(j.table[k], st)
 	}
 	j.matches = nil
@@ -163,7 +164,7 @@ func (j *HashJoin) Next() (types.Value, error) {
 			return nil, err
 		}
 		j.curLeft = st
-		j.matches = j.table[types.CanonicalKey(key)]
+		j.matches = j.table[j.keyer.Key(key)]
 	}
 }
 

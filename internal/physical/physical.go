@@ -375,20 +375,22 @@ type MkDepend struct {
 	rt     *Runtime
 
 	pending []types.Value
+	cursor  int
 }
 
 // Open implements Operator.
 func (d *MkDepend) Open(ctx context.Context) error {
-	d.pending = nil
+	d.pending = d.pending[:0]
+	d.cursor = 0
 	return d.Input.Open(ctx)
 }
 
 // Next implements Operator.
 func (d *MkDepend) Next() (types.Value, error) {
 	for {
-		if len(d.pending) > 0 {
-			v := d.pending[0]
-			d.pending = d.pending[1:]
+		if d.cursor < len(d.pending) {
+			v := d.pending[d.cursor]
+			d.cursor++
 			return v, nil
 		}
 		env, err := d.Input.Next()
@@ -403,12 +405,13 @@ func (d *MkDepend) Next() (types.Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		elems, err := types.Elements(dom)
-		if err != nil {
-			return nil, fmt.Errorf("physical: dependent domain for %s: %w", d.Var, err)
-		}
-		for _, e := range elems {
+		d.pending = d.pending[:0]
+		d.cursor = 0
+		if err := types.RangeElements(dom, func(e types.Value) bool {
 			d.pending = append(d.pending, types.NewStruct(append(st.Fields(), types.Field{Name: d.Var, Value: e})...))
+			return true
+		}); err != nil {
+			return nil, fmt.Errorf("physical: dependent domain for %s: %w", d.Var, err)
 		}
 	}
 }
@@ -424,12 +427,14 @@ type MkUnion struct {
 	scalarInput []bool
 	cur         int
 	pending     []types.Value
+	cursor      int
 }
 
 // Open implements Operator.
 func (u *MkUnion) Open(ctx context.Context) error {
 	u.cur = 0
-	u.pending = nil
+	u.pending = u.pending[:0]
+	u.cursor = 0
 	for _, in := range u.Inputs {
 		if err := in.Open(ctx); err != nil {
 			return err
@@ -441,9 +446,9 @@ func (u *MkUnion) Open(ctx context.Context) error {
 // Next implements Operator.
 func (u *MkUnion) Next() (types.Value, error) {
 	for {
-		if len(u.pending) > 0 {
-			v := u.pending[0]
-			u.pending = u.pending[1:]
+		if u.cursor < len(u.pending) {
+			v := u.pending[u.cursor]
+			u.cursor++
 			return v, nil
 		}
 		if u.cur >= len(u.Inputs) {
@@ -458,11 +463,14 @@ func (u *MkUnion) Next() (types.Value, error) {
 			return nil, err
 		}
 		if u.scalarInput != nil && u.scalarInput[u.cur] {
-			elems, err := types.Elements(v)
-			if err != nil {
+			u.pending = u.pending[:0]
+			u.cursor = 0
+			if err := types.RangeElements(v, func(e types.Value) bool {
+				u.pending = append(u.pending, e)
+				return true
+			}); err != nil {
 				return nil, fmt.Errorf("physical: union operand: %w", err)
 			}
-			u.pending = elems
 			continue
 		}
 		return v, nil
@@ -484,6 +492,7 @@ func (u *MkUnion) Close() error {
 type MkDistinct struct {
 	Input Operator
 	seen  map[string]bool
+	keyer types.Keyer
 }
 
 // Open implements Operator.
@@ -499,7 +508,7 @@ func (d *MkDistinct) Next() (types.Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		k := types.CanonicalKey(v)
+		k := d.keyer.Key(v)
 		if !d.seen[k] {
 			d.seen[k] = true
 			return v, nil
@@ -510,35 +519,42 @@ func (d *MkDistinct) Next() (types.Value, error) {
 // Close implements Operator.
 func (d *MkDistinct) Close() error { return d.Input.Close() }
 
-// MkFlatten splices the elements of collection-valued elements.
+// MkFlatten splices the elements of collection-valued elements. The
+// pending buffer is reused across input elements (cursor + truncate), so
+// flattening does not re-copy every inner collection.
 type MkFlatten struct {
 	Input   Operator
 	pending []types.Value
+	cursor  int
 }
 
 // Open implements Operator.
 func (f *MkFlatten) Open(ctx context.Context) error {
-	f.pending = nil
+	f.pending = f.pending[:0]
+	f.cursor = 0
 	return f.Input.Open(ctx)
 }
 
 // Next implements Operator.
 func (f *MkFlatten) Next() (types.Value, error) {
 	for {
-		if len(f.pending) > 0 {
-			v := f.pending[0]
-			f.pending = f.pending[1:]
+		if f.cursor < len(f.pending) {
+			v := f.pending[f.cursor]
+			f.cursor++
 			return v, nil
 		}
 		v, err := f.Input.Next()
 		if err != nil {
 			return nil, err
 		}
-		elems, err := types.Elements(v)
-		if err != nil {
+		f.pending = f.pending[:0]
+		f.cursor = 0
+		if err := types.RangeElements(v, func(e types.Value) bool {
+			f.pending = append(f.pending, e)
+			return true
+		}); err != nil {
 			return nil, fmt.Errorf("physical: flatten: %w", err)
 		}
-		f.pending = elems
 	}
 }
 

@@ -40,7 +40,8 @@ type ScatterGather struct {
 	errMu sync.Mutex
 	err   error
 
-	seen map[string]bool
+	seen  map[string]bool
+	keyer types.Keyer
 }
 
 // Open implements Operator: it launches one goroutine per branch. Each
@@ -147,7 +148,9 @@ func (s *ScatterGather) Next() (types.Value, error) {
 			return nil, io.EOF
 		}
 		if s.Distinct {
-			k := types.CanonicalKey(v)
+			// Next is single-consumer, so the keyer's buffer reuse is safe
+			// even though branches produce concurrently.
+			k := s.keyer.Key(v)
 			if s.seen[k] {
 				continue
 			}

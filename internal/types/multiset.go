@@ -1,5 +1,7 @@
 package types
 
+import "bytes"
+
 // Bag algebra helpers. DISCO's answer model is multiset-based: "In DISCO,
 // the union of two bags is a bag" (paper §1.3). These operations implement
 // the collection semantics the runtime and the property tests rely on.
@@ -48,10 +50,11 @@ func BagFilter(b *Bag, pred func(Value) (bool, error)) (*Bag, error) {
 
 // BagDistinct returns a bag with one occurrence of each distinct element.
 func BagDistinct(b *Bag) *Bag {
+	var keyer Keyer
 	seen := make(map[string]bool, b.Len())
 	out := make([]Value, 0, b.Len())
 	for _, e := range b.elems {
-		k := CanonicalKey(e)
+		k := keyer.Key(e)
 		if !seen[k] {
 			seen[k] = true
 			out = append(out, e)
@@ -77,10 +80,12 @@ func Flatten(b *Bag) (*Bag, error) {
 
 // Multiplicity reports how many elements of b are model-equal to v.
 func Multiplicity(b *Bag, v Value) int {
-	key := CanonicalKey(v)
+	key := AppendCanonicalKey(nil, v)
+	var buf []byte
 	n := 0
 	for _, e := range b.elems {
-		if CanonicalKey(e) == key {
+		buf = AppendCanonicalKey(buf[:0], e)
+		if bytes.Equal(buf, key) {
 			n++
 		}
 	}

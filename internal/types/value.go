@@ -6,6 +6,7 @@
 package types
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"sort"
@@ -287,6 +288,17 @@ func (b *Bag) Elems() []Value {
 	return out
 }
 
+// Range calls f for each element in internal order, stopping early when f
+// returns false. It is the no-copy iteration path for operators on the hot
+// path; f must not mutate the bag.
+func (b *Bag) Range(f func(Value) bool) {
+	for _, e := range b.elems {
+		if !f(e) {
+			return
+		}
+	}
+}
+
 // At returns the i-th element in internal order; it exists for iteration and
 // must not be used to assign meaning to positions.
 func (b *Bag) At(i int) Value { return b.elems[i] }
@@ -329,6 +341,16 @@ func (l *List) Elems() []Value {
 	out := make([]Value, len(l.elems))
 	copy(out, l.elems)
 	return out
+}
+
+// Range calls f for each element in list order, stopping early when f
+// returns false. No-copy; f must not mutate the list.
+func (l *List) Range(f func(Value) bool) {
+	for _, e := range l.elems {
+		if !f(e) {
+			return
+		}
+	}
 }
 
 // At returns the i-th element.
@@ -378,6 +400,16 @@ func (s *Set) Elems() []Value {
 	out := make([]Value, len(s.elems))
 	copy(out, s.elems)
 	return out
+}
+
+// Range calls f for each element in internal order, stopping early when f
+// returns false. No-copy; f must not mutate the set.
+func (s *Set) Range(f func(Value) bool) {
+	for _, e := range s.elems {
+		if !f(e) {
+			return
+		}
+	}
 }
 
 // Contains reports whether the set contains an element equal to v.
@@ -505,7 +537,9 @@ func Truthy(v Value) (bool, error) {
 }
 
 // Elements returns the elements of any collection value, or an error for
-// non-collections. Bags and sets yield elements in internal order.
+// non-collections. Bags and sets yield elements in internal order. The
+// slice is a defensive copy; iteration-only callers should prefer
+// RangeElements, which does not allocate.
 func Elements(v Value) ([]Value, error) {
 	switch c := v.(type) {
 	case *Bag:
@@ -516,6 +550,40 @@ func Elements(v Value) ([]Value, error) {
 		return c.Elems(), nil
 	default:
 		return nil, fmt.Errorf("%s is not a collection", v.Kind())
+	}
+}
+
+// RangeElements iterates any collection value without copying its element
+// slice, stopping early when f returns false. It errors on non-collections
+// exactly as Elements does. f must not retain or mutate the collection.
+func RangeElements(v Value, f func(Value) bool) error {
+	switch c := v.(type) {
+	case *Bag:
+		c.Range(f)
+		return nil
+	case *List:
+		c.Range(f)
+		return nil
+	case *Set:
+		c.Range(f)
+		return nil
+	default:
+		return fmt.Errorf("%s is not a collection", v.Kind())
+	}
+}
+
+// NumElements reports the element count of any collection value without
+// copying.
+func NumElements(v Value) (int, error) {
+	switch c := v.(type) {
+	case *Bag:
+		return c.Len(), nil
+	case *List:
+		return c.Len(), nil
+	case *Set:
+		return c.Len(), nil
+	default:
+		return 0, fmt.Errorf("%s is not a collection", v.Kind())
 	}
 }
 
@@ -532,80 +600,101 @@ func canonicalOrder(elems []Value) []Value {
 
 // CanonicalKey returns a string that is identical for model-equal values and
 // (for practical purposes) distinct otherwise. It backs multiset equality,
-// set deduplication in hash contexts, and deterministic printing.
+// set deduplication in hash contexts, and deterministic printing. Hot loops
+// that key many values (distinct, hash-join probes) should use a Keyer,
+// which reuses one buffer across calls.
 func CanonicalKey(v Value) string {
-	var b strings.Builder
-	writeCanonical(&b, v)
-	return b.String()
+	return string(AppendCanonicalKey(nil, v))
 }
 
-func writeCanonical(b *strings.Builder, v Value) {
+// Keyer computes canonical keys with a reusable scratch buffer, so a
+// per-probe key costs one string allocation (the map key) instead of
+// rebuilding a strings.Builder from scratch each call. A Keyer is not safe
+// for concurrent use; give each operator its own.
+type Keyer struct {
+	buf []byte
+}
+
+// Key returns the canonical key of v.
+func (k *Keyer) Key(v Value) string {
+	k.buf = AppendCanonicalKey(k.buf[:0], v)
+	return string(k.buf)
+}
+
+// AppendCanonicalKey appends the canonical key of v to dst and returns the
+// extended buffer, in the manner of strconv.AppendInt.
+func AppendCanonicalKey(dst []byte, v Value) []byte {
 	switch x := v.(type) {
 	case Null:
-		b.WriteString("N")
+		return append(dst, 'N')
 	case Bool:
 		if x {
-			b.WriteString("b1")
-		} else {
-			b.WriteString("b0")
+			return append(dst, "b1"...)
 		}
+		return append(dst, "b0"...)
 	case Int:
 		// Numeric canonical form is shared between Int and Float so
 		// Int(2).Equal(Float(2)) pairs with equal keys.
-		fmt.Fprintf(b, "n%g", float64(x))
+		dst = append(dst, 'n')
+		return strconv.AppendFloat(dst, float64(x), 'g', -1, 64)
 	case Float:
-		fmt.Fprintf(b, "n%g", float64(x))
+		dst = append(dst, 'n')
+		return strconv.AppendFloat(dst, float64(x), 'g', -1, 64)
 	case Str:
-		fmt.Fprintf(b, "s%q", string(x))
+		dst = append(dst, 's')
+		return strconv.AppendQuote(dst, string(x))
 	case *Struct:
-		b.WriteString("t{")
+		dst = append(dst, "t{"...)
 		for _, f := range x.fields {
-			fmt.Fprintf(b, "%q=", f.Name)
-			writeCanonical(b, f.Value)
-			b.WriteByte(';')
+			dst = strconv.AppendQuote(dst, f.Name)
+			dst = append(dst, '=')
+			dst = AppendCanonicalKey(dst, f.Value)
+			dst = append(dst, ';')
 		}
-		b.WriteByte('}')
+		return append(dst, '}')
 	case *Bag:
-		writeCanonicalMulti(b, "B", x.elems)
+		return appendCanonicalMulti(dst, 'B', x.elems)
 	case *Set:
-		writeCanonicalMulti(b, "S", x.elems)
+		return appendCanonicalMulti(dst, 'S', x.elems)
 	case *List:
-		b.WriteString("L[")
+		dst = append(dst, "L["...)
 		for _, e := range x.elems {
-			writeCanonical(b, e)
-			b.WriteByte(';')
+			dst = AppendCanonicalKey(dst, e)
+			dst = append(dst, ';')
 		}
-		b.WriteByte(']')
+		return append(dst, ']')
 	default:
-		fmt.Fprintf(b, "?%T", v)
+		return append(dst, fmt.Sprintf("?%T", v)...)
 	}
 }
 
-func writeCanonicalMulti(b *strings.Builder, tag string, elems []Value) {
-	keys := make([]string, len(elems))
+// appendCanonicalMulti renders an unordered collection: element keys sort
+// so that model-equal collections produce identical renderings.
+func appendCanonicalMulti(dst []byte, tag byte, elems []Value) []byte {
+	keys := make([][]byte, len(elems))
 	for i, e := range elems {
-		keys[i] = CanonicalKey(e)
+		keys[i] = AppendCanonicalKey(nil, e)
 	}
-	sort.Strings(keys)
-	b.WriteString(tag)
-	b.WriteByte('[')
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	dst = append(dst, tag, '[')
 	for _, k := range keys {
-		b.WriteString(k)
-		b.WriteByte(';')
+		dst = append(dst, k...)
+		dst = append(dst, ';')
 	}
-	b.WriteByte(']')
+	return append(dst, ']')
 }
 
 func multisetEqual(a, b []Value) bool {
 	if len(a) != len(b) {
 		return false
 	}
+	var keyer Keyer
 	counts := make(map[string]int, len(a))
 	for _, e := range a {
-		counts[CanonicalKey(e)]++
+		counts[keyer.Key(e)]++
 	}
 	for _, e := range b {
-		k := CanonicalKey(e)
+		k := keyer.Key(e)
 		counts[k]--
 		if counts[k] < 0 {
 			return false
