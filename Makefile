@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test test-race bench build
+.PHONY: check fmt vet test test-race bench bench-compile build
 
 check: fmt vet test-race
 
@@ -25,12 +25,19 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# The perf trajectory: scatter-gather fan-out and partition pruning across
-# 1/4/16 partitions. The benchstat-compatible output lands in
-# BENCH_PR2.json so runs can be diffed across PRs
+# The perf trajectory: remote point-query throughput (pooled vs
+# dial-per-request wire connections at 1/4/16 concurrent clients),
+# prepared-statement hits vs full recompiles, scatter-gather fan-out and
+# partition pruning across 1/4/16 partitions. The benchstat-compatible
+# output lands in BENCH_PR3.json so runs can be diffed across PRs
 # (benchstat old.json new.json).
 bench:
-	$(GO) test -run xxx -bench 'ScatterGather|PartitionPruning' -benchmem . | tee BENCH_PR2.json
+	$(GO) test -run xxx -bench 'RemoteQuery|PreparedStatements|ScatterGather|PartitionPruning' -benchmem . | tee BENCH_PR3.json
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Compile-and-smoke every benchmark in every package (one iteration each)
+# so bench rot fails CI rather than lingering.
+bench-compile:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

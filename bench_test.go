@@ -10,6 +10,8 @@ package disco
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -23,6 +25,7 @@ import (
 	"disco/internal/physical"
 	"disco/internal/source"
 	"disco/internal/types"
+	"disco/internal/wire"
 )
 
 const paperQuery = `select x.name from x in person where x.salary > 10`
@@ -253,6 +256,12 @@ func BenchmarkPartitionPruning(b *testing.B) {
 			}
 			repos += repo
 		}
+		// A partitioning scheme is only declarable (and only useful) over
+		// more than one repository; the 1-partition baseline goes bare.
+		scheme := "\n    partition by hash(id)"
+		if parts == 1 {
+			scheme = ""
+		}
 		odl += `
 			w0 := WrapperPostgres();
 			interface Person (extent person) {
@@ -260,8 +269,7 @@ func BenchmarkPartitionPruning(b *testing.B) {
 			    attribute String name;
 			    attribute Short salary;
 			}
-			extent people of Person wrapper w0 at ` + repos + `
-			    partition by hash(id);`
+			extent people of Person wrapper w0 at ` + repos + scheme + `;`
 		if err := m.ExecODL(odl); err != nil {
 			b.Fatal(err)
 		}
@@ -280,6 +288,88 @@ func BenchmarkPartitionPruning(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRemoteQuery measures the wire layer itself: point queries over
+// real TCP from 1/4/16 concurrent client goroutines, pooled multiplexed
+// connections vs a fresh dial per request (the pre-pool baseline). The
+// pooled rows are the per-submit cost every remote scenario — federation,
+// sharding, partial answers — now pays.
+func BenchmarkRemoteQuery(b *testing.B) {
+	store := source.NewRelStore()
+	if err := source.GenPeople(store, "person0", 200, 0); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := wire.NewServer("127.0.0.1:0", core.EngineHandler{Engine: store})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	const q = `select name from person0 where id = 7`
+
+	for _, mode := range []string{"dial", "pooled"} {
+		for _, clients := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("%s/clients=%d", mode, clients), func(b *testing.B) {
+				var opts []wire.ClientOption
+				if mode == "dial" {
+					opts = append(opts, wire.WithDialPerRequest())
+				}
+				c := wire.NewClient(srv.Addr(), opts...)
+				defer c.Close()
+				b.ResetTimer()
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < clients; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for next.Add(1) <= int64(b.N) {
+							ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+							_, err := c.Query(ctx, wire.LangSQL, q)
+							cancel()
+							if err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkPreparedStatements measures the repeated-query fast path: the
+// first Prepare pays parse+expand+compile+optimize; every further Prepare
+// of the same text is one cache lookup.
+func BenchmarkPreparedStatements(b *testing.B) {
+	f, err := harness.NewPersonFleet(harness.FleetConfig{Sources: 4, RowsPerSource: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Distinct texts defeat the cache: full pipeline each time.
+			q := fmt.Sprintf("select x.name from x in person where x.salary > %d", i%1000)
+			if _, _, err := f.M.Prepare(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		if _, _, err := f.M.Prepare(paperQuery); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, tr, err := f.M.Prepare(paperQuery)
+			if err != nil || !tr.CacheHit {
+				b.Fatal("expected prepared-statement hit")
+			}
+		}
+	})
 }
 
 // BenchmarkPushdown sweeps wrapper capability (E3): the same query against

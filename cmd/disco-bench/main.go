@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exps  = flag.String("exp", "f1,f2,e1,e2,e3,e4,e5,e6,e7", "comma-separated experiment ids")
+		exps  = flag.String("exp", "f1,f2,e1,e2,e3,e4,e5,e6,e7,e8", "comma-separated experiment ids")
 		quick = flag.Bool("quick", false, "reduced problem sizes")
 	)
 	flag.Parse()
@@ -39,6 +39,8 @@ func run(ids []string, quick bool) error {
 	e5ns := []int{1, 2, 4, 8, 16, 32, 64}
 	e7rows := 1500
 	e7lat := []time.Duration{0, 10 * time.Millisecond, 40 * time.Millisecond}
+	e8clients := []int{1, 4, 16}
+	e8per := 200
 	if quick {
 		e1ns = []int{1, 2, 4, 8}
 		e1trials = 4
@@ -46,6 +48,8 @@ func run(ids []string, quick bool) error {
 		e5ns = []int{1, 4, 16}
 		e7rows = 300
 		e7lat = []time.Duration{0, 10 * time.Millisecond}
+		e8clients = []int{1, 4}
+		e8per = 50
 	}
 
 	for _, id := range ids {
@@ -72,6 +76,8 @@ func run(ids []string, quick bool) error {
 			table, err = harness.E6Modeling()
 		case "e7":
 			table, err = harness.E7WideArea(e7rows, e7lat)
+		case "e8":
+			table, err = harness.E8ConnectionScaling(e8clients, e8per)
 		case "":
 			continue
 		default:

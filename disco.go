@@ -85,6 +85,26 @@
 // directly to address one shard. See examples/sharding for the full
 // scenario.
 //
+// Underneath every remote scenario sits a persistent wire layer. The
+// mediator keeps one bounded pool of long-lived TCP connections per
+// repository address, shared by every wrapper instance and freshness check
+// that talks to it; concurrent submits multiplex over those connections
+// and are matched back to callers by frame ID, broken connections are
+// evicted and redialed transparently, and idle connections are reaped.
+// Servers execute each pipelined request on its own goroutine (responses
+// serialized per connection, answered in completion order), so a 16-shard
+// scatter-gather whose shards share one mediator connection runs its
+// shards concurrently instead of serializing behind the slowest one — and
+// the fault-injection semantics (unavailability, injected latency) apply
+// per request, exactly as the §4 timeout model assumes.
+//
+// Repeated queries skip recompilation entirely: Prepare results — parse,
+// view expansion, compilation and optimization — are cached per (query
+// text, catalog version), so a repeated query goes straight to execution.
+// Trace.CacheHit reports the hit (with all front-half stage timings at
+// zero) and any ODL change invalidates the cache, the paper's §3.3
+// cached-plan rule applied to the whole pipeline.
+//
 // See the examples directory for multi-source federations, wide-area
 // deployments over TCP, partial answers, mediator composition and sharding.
 package disco

@@ -8,7 +8,6 @@ import (
 	"disco/internal/algebra"
 	"disco/internal/partial"
 	"disco/internal/source"
-	"disco/internal/wire"
 )
 
 // This file implements the §4 staleness extension the paper sketches: "it
@@ -112,6 +111,7 @@ func (m *Mediator) sourceVersions(repo string) (map[string]int64, error) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
 	defer cancel()
-	client := wire.NewClient(strings.TrimPrefix(r.Address, "tcp://"))
-	return client.Versions(ctx)
+	// Reuse the mediator's pooled client for the address instead of
+	// building (and dialing) a throwaway one per check.
+	return m.clientFor(r.Address).Versions(ctx)
 }

@@ -20,6 +20,7 @@ import (
 	"disco/internal/odl"
 	"disco/internal/optimizer"
 	"disco/internal/source"
+	"disco/internal/wire"
 	"disco/internal/wrapper"
 )
 
@@ -43,6 +44,15 @@ type Mediator struct {
 	mu       sync.Mutex
 	engines  map[string]source.Engine   // in-process engines by mem: name
 	wrappers map[string]wrapper.Wrapper // instantiated per wrapper/repo pair
+	clients  map[string]*wire.Client    // pooled wire clients by address
+
+	// Prepared-statement cache: full Prepare pipelines (parse, view
+	// expansion, compile, optimize) keyed by query text, flushed whenever
+	// the catalog version moves (§3.3 invalidation for the whole pipeline).
+	prepMu     sync.Mutex
+	prepared   map[string]preparedPlan
+	prepOrder  []string
+	preparedAt int64
 }
 
 // Option configures a Mediator.
@@ -80,6 +90,7 @@ func New(opts ...Option) *Mediator {
 		timeout:  DefaultTimeout,
 		engines:  make(map[string]source.Engine),
 		wrappers: make(map[string]wrapper.Wrapper),
+		clients:  make(map[string]*wire.Client),
 	}
 	for _, o := range opts {
 		o(m)

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+
+	"disco/internal/algebra"
+	"disco/internal/wire"
+	"disco/internal/wrapper"
+)
+
+// maxPreparedPlans bounds the prepared-statement cache; beyond it the
+// oldest entries are evicted first.
+const maxPreparedPlans = 256
+
+// preparedPlan is one cached Prepare result: the optimized plan for a query
+// text, valid for the catalog version the cache was built against.
+type preparedPlan struct {
+	plan algebra.Node
+	str  string
+}
+
+// preparedLookup returns the cached plan for a query text if the cache is
+// still valid for the given catalog version. A version change flushes the
+// whole cache — the §3.3 invalidation rule applied to the full pipeline,
+// not just the optimize stage.
+func (m *Mediator) preparedLookup(src string, version int64) (algebra.Node, string, bool) {
+	m.prepMu.Lock()
+	defer m.prepMu.Unlock()
+	if version < m.preparedAt {
+		// The caller read the catalog version just before a concurrent
+		// change that the cache has already seen: a plain miss, without
+		// winding the cache back and flushing entries valid at the newer
+		// version (versions only grow).
+		return nil, "", false
+	}
+	if m.preparedAt != version {
+		m.prepared = nil
+		m.prepOrder = m.prepOrder[:0]
+		m.preparedAt = version
+		return nil, "", false
+	}
+	p, ok := m.prepared[src]
+	if !ok {
+		return nil, "", false
+	}
+	return p.plan, p.str, true
+}
+
+// preparedStore caches a successful Prepare result under the catalog
+// version it was compiled against. A result whose version the cache has
+// already moved past — a Prepare that started before a catalog change and
+// finished after it — is dropped rather than stored: storing it would
+// flush every entry valid at the newer version for a plan nobody can ever
+// look up again.
+func (m *Mediator) preparedStore(src string, version int64, plan algebra.Node, str string) {
+	m.prepMu.Lock()
+	defer m.prepMu.Unlock()
+	if version < m.preparedAt {
+		return
+	}
+	if m.preparedAt != version {
+		m.prepared = nil
+		m.prepOrder = m.prepOrder[:0]
+		m.preparedAt = version
+	}
+	if m.prepared == nil {
+		m.prepared = make(map[string]preparedPlan)
+	}
+	if _, ok := m.prepared[src]; ok {
+		return
+	}
+	for len(m.prepOrder) >= maxPreparedPlans {
+		delete(m.prepared, m.prepOrder[0])
+		m.prepOrder = m.prepOrder[1:]
+	}
+	m.prepared[src] = preparedPlan{plan: plan, str: str}
+	m.prepOrder = append(m.prepOrder, src)
+}
+
+// clientFor returns the mediator's pooled wire client for a repository
+// address, creating it on first use. Every wrapper instance bound to the
+// same address — and the freshness checker — shares one client, so source
+// connections persist across queries instead of being dialed per submit.
+func (m *Mediator) clientFor(addr string) *wire.Client {
+	addr = strings.TrimPrefix(addr, "tcp://")
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.clients[addr]
+	if !ok {
+		c = wire.NewClient(addr)
+		m.clients[addr] = c
+	}
+	return c
+}
+
+// Close releases the mediator's pooled source connections and drops the
+// wrapper instances holding them. The mediator stays usable: a later query
+// redials lazily.
+func (m *Mediator) Close() {
+	m.mu.Lock()
+	clients := m.clients
+	m.clients = make(map[string]*wire.Client)
+	m.wrappers = make(map[string]wrapper.Wrapper)
+	m.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPreparedStatementCacheHit: a repeated query skips the whole front
+// half of the pipeline — the second Prepare reports a cache hit with every
+// stage timing at zero, and returns the identical plan.
+func TestPreparedStatementCacheHit(t *testing.T) {
+	m := paperMediator(t)
+	const q = `select x.name from x in person where x.salary > 10`
+
+	plan1, cold, err := m.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit {
+		t.Fatal("first Prepare must miss")
+	}
+	plan2, warm, err := m.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Fatal("second Prepare must hit the prepared-statement cache")
+	}
+	if warm.Parse != 0 || warm.Expand != 0 || warm.Compile != 0 || warm.Optimize != 0 {
+		t.Errorf("hit ran pipeline stages: parse=%v expand=%v compile=%v optimize=%v",
+			warm.Parse, warm.Expand, warm.Compile, warm.Optimize)
+	}
+	if plan1 != plan2 {
+		t.Error("hit must return the cached plan instance")
+	}
+	if warm.Plan != cold.Plan {
+		t.Errorf("hit plan string %q != cold %q", warm.Plan, cold.Plan)
+	}
+	// The cached plan still executes.
+	if _, err := m.Query(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreparedStatementCacheInvalidation: any catalog change (here an
+// ExecODL extent drop) must flush the cache — the same query text
+// recompiles and reports CacheHit=false, and its answer reflects the new
+// catalog.
+func TestPreparedStatementCacheInvalidation(t *testing.T) {
+	m := paperMediator(t)
+	const q = `select x.name from x in person where x.salary > 10`
+
+	if _, tr, err := m.QueryTraced(q); err != nil || tr.CacheHit {
+		t.Fatalf("first run: err=%v hit=%v", err, tr != nil && tr.CacheHit)
+	}
+	if _, tr, err := m.QueryTraced(q); err != nil || !tr.CacheHit {
+		t.Fatalf("second run must hit")
+	}
+	if err := m.ExecODL(`drop extent person1;`); err != nil {
+		t.Fatal(err)
+	}
+	_, tr, err := m.QueryTraced(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CacheHit {
+		t.Error("catalog change must invalidate the prepared-statement cache")
+	}
+	// And the recompiled plan hits again afterwards.
+	if _, tr, err := m.QueryTraced(q); err != nil || !tr.CacheHit {
+		t.Fatalf("post-invalidation rerun must hit again (err=%v)", err)
+	}
+}
+
+// TestPreparedStatementCacheViewInvalidation: defining a view is a catalog
+// change too — cached plans compiled without it must not survive.
+func TestPreparedStatementCacheViewInvalidation(t *testing.T) {
+	m := paperMediator(t)
+	const q = `select x.name from x in person0`
+	if _, _, err := m.QueryTraced(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Define(`define rich as select y from y in person0 where y.salary > 100`); err != nil {
+		t.Fatal(err)
+	}
+	_, tr, err := m.QueryTraced(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CacheHit {
+		t.Error("view definition must invalidate the prepared-statement cache")
+	}
+}
+
+// TestPreparedStatementCacheBounded: the cache never grows past its bound;
+// old entries are evicted, not leaked.
+func TestPreparedStatementCacheBounded(t *testing.T) {
+	m := paperMediator(t)
+	for i := 0; i < maxPreparedPlans+20; i++ {
+		q := fmt.Sprintf(`select x.name from x in person0 where x.salary > %d`, i)
+		if _, _, err := m.Prepare(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.prepMu.Lock()
+	n := len(m.prepared)
+	order := len(m.prepOrder)
+	m.prepMu.Unlock()
+	if n > maxPreparedPlans || order > maxPreparedPlans {
+		t.Errorf("cache holds %d entries (%d in order), bound %d", n, order, maxPreparedPlans)
+	}
+	// The newest query is still cached.
+	q := fmt.Sprintf(`select x.name from x in person0 where x.salary > %d`, maxPreparedPlans+19)
+	if _, tr, err := m.Prepare(q); err != nil || !tr.CacheHit {
+		t.Errorf("newest entry evicted? err=%v", err)
+	}
+}
+
+// TestPreparedStoreStaleVersionDropped: a Prepare that started before a
+// catalog change and finishes after it must not flush the entries built at
+// the newer version — its result is simply dropped.
+func TestPreparedStoreStaleVersionDropped(t *testing.T) {
+	m := paperMediator(t)
+	const q = `select x.name from x in person where x.salary > 10`
+	if _, _, err := m.Prepare(q); err != nil {
+		t.Fatal(err)
+	}
+	v := m.Catalog().Version()
+	// Simulate the straggler: a store compiled against a superseded catalog.
+	m.preparedStore("straggler", v-1, nil, "")
+	if _, tr, err := m.Prepare(q); err != nil || !tr.CacheHit {
+		t.Fatalf("stale store flushed the warm cache (err=%v)", err)
+	}
+	// And a stale lookup neither hits nor rewinds the cache.
+	if _, _, ok := m.preparedLookup(q, v-1); ok {
+		t.Fatal("lookup at a superseded version must miss")
+	}
+	if _, tr, err := m.Prepare(q); err != nil || !tr.CacheHit {
+		t.Fatalf("stale lookup rewound the cache (err=%v)", err)
+	}
+}
+
+// TestPreparedStatementCacheConcurrent: concurrent Prepare/ExecODL must be
+// race-free and never serve a plan across a version change.
+func TestPreparedStatementCacheConcurrent(t *testing.T) {
+	m := paperMediator(t)
+	const q = `select x.name from x in person0 where x.salary > 10`
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			view := fmt.Sprintf(`define v%d as select y from y in person0`, i)
+			if err := m.Define(view); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, _, err := m.Prepare(q); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(60 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

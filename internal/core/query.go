@@ -25,7 +25,17 @@ type Trace struct {
 // Prepare runs the front half of the pipeline: parse, view expansion,
 // compilation and optimization. The returned plan can be executed multiple
 // times.
+//
+// Results are cached per (query text, catalog version): a repeated query
+// skips the whole front half — the returned Trace reports CacheHit with
+// every stage timing at zero. Any catalog change (ExecODL, Define, drops)
+// invalidates the cache.
 func (m *Mediator) Prepare(src string) (algebra.Node, *Trace, error) {
+	version := m.catalog.Version()
+	if plan, str, ok := m.preparedLookup(src, version); ok {
+		return plan, &Trace{Plan: str, CacheHit: true}, nil
+	}
+
 	tr := &Trace{}
 	t0 := time.Now()
 	expr, err := oql.ParseQuery(src)
@@ -49,10 +59,11 @@ func (m *Mediator) Prepare(src string) (algebra.Node, *Trace, error) {
 	tr.Compile = time.Since(t0)
 
 	t0 = time.Now()
-	optimized, report := m.opt.Optimize(plan, m.catalog.Version())
+	optimized, report := m.opt.Optimize(plan, version)
 	tr.Optimize = time.Since(t0)
 	tr.Plan = optimized.String()
 	tr.CacheHit = report.CacheHit
+	m.preparedStore(src, version, optimized, tr.Plan)
 	return optimized, tr, nil
 }
 

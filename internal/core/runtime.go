@@ -237,7 +237,7 @@ func (m *Mediator) instantiate(w *catalog.Wrapper, repo *catalog.Repository) (wr
 		if strings.HasPrefix(addr, "mem:") {
 			return nil, fmt.Errorf("mediator: mediator wrapper %s needs a network address", w.Name)
 		}
-		return &mediatorWrapper{client: wire.NewClient(addr)}, nil
+		return &mediatorWrapper{client: m.clientFor(addr)}, nil
 	default:
 		return nil, fmt.Errorf("mediator: unknown wrapper kind %q", w.Kind)
 	}
@@ -288,6 +288,7 @@ func (m *Mediator) querierFor(repo *catalog.Repository, lang string) (wrapper.Qu
 	if addr == "" {
 		return nil, fmt.Errorf("mediator: repository %s has no address", repo.Name)
 	}
-	addr = strings.TrimPrefix(addr, "tcp://")
-	return wrapper.RemoteQuerier{Client: wire.NewClient(addr), Lang: lang}, nil
+	// One pooled client per address, shared across wrapper instances and
+	// queries: submits reuse persistent connections instead of dialing.
+	return wrapper.RemoteQuerier{Client: m.clientFor(addr), Lang: lang}, nil
 }

@@ -1,14 +1,19 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"disco/internal/algebra"
+	"disco/internal/core"
+	"disco/internal/source"
 	"disco/internal/types"
+	"disco/internal/wire"
 )
 
 // paperQuery is the §1.2 query used throughout the experiments.
@@ -493,4 +498,89 @@ func E6Modeling() (*Table, error) {
 	}
 	t.Notes = append(t.Notes, "maps and views add only mediator-side rewriting; pushdown still applies underneath")
 	return t, nil
+}
+
+// E8ConnectionScaling measures the wire layer's persistent-connection win:
+// point queries against one TCP source from increasing numbers of
+// concurrent application threads, a fresh dial per request (the pre-pool
+// wire layer) vs one shared client with pooled, multiplexed connections.
+func E8ConnectionScaling(clients []int, queriesPerClient int) (*Table, error) {
+	if len(clients) == 0 {
+		clients = []int{1, 4, 16}
+	}
+	if queriesPerClient <= 0 {
+		queriesPerClient = 200
+	}
+	store := source.NewRelStore()
+	if err := source.GenPeople(store, "person0", 200, 0); err != nil {
+		return nil, err
+	}
+	srv, err := wire.NewServer("127.0.0.1:0", core.EngineHandler{Engine: store})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	t := &Table{
+		ID:     "E8",
+		Title:  fmt.Sprintf("connection reuse under concurrency (%d point queries per client)", queriesPerClient),
+		Header: []string{"clients", "dial-per-request q/s", "pooled q/s", "speedup"},
+	}
+	for _, n := range clients {
+		dialQPS, err := e8Throughput(srv.Addr(), n, queriesPerClient, true)
+		if err != nil {
+			return nil, err
+		}
+		poolQPS, err := e8Throughput(srv.Addr(), n, queriesPerClient, false)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", dialQPS),
+			fmt.Sprintf("%.0f", poolQPS),
+			fmt.Sprintf("%.2fx", poolQPS/dialQPS),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"pooled: one shared wire.Client, bounded persistent connections, requests multiplexed and matched by ID")
+	return t, nil
+}
+
+// e8Throughput runs clients*perClient point queries and returns the
+// aggregate queries/second.
+func e8Throughput(addr string, clients, perClient int, dialPerRequest bool) (float64, error) {
+	var opts []wire.ClientOption
+	if dialPerRequest {
+		opts = append(opts, wire.WithDialPerRequest())
+	}
+	c := wire.NewClient(addr, opts...)
+	defer c.Close()
+	const q = `select name from person0 where id = 7`
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				_, err := c.Query(ctx, wire.LangSQL, q)
+				cancel()
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return 0, err
+	}
+	return float64(clients*perClient) / elapsed.Seconds(), nil
 }

@@ -107,8 +107,9 @@ interface Person (extent person) {
 	return f, nil
 }
 
-// Close shuts down any TCP servers.
+// Close shuts down any TCP servers and the mediator's pooled connections.
 func (f *Fleet) Close() {
+	f.M.Close()
 	for _, s := range f.Servers {
 		if s != nil {
 			s.Close()

@@ -1,0 +1,598 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Connection-pool defaults. A mediator talks to each source over a small
+// set of long-lived connections; requests multiplex over them and are
+// matched back to callers by request ID, so one slow request never
+// head-of-line-blocks the others.
+const (
+	// DefaultPoolSize is the maximum number of live connections a Client
+	// keeps per address.
+	DefaultPoolSize = 4
+	// DefaultIdleTimeout is how long an unused connection survives before
+	// the pool reaps it.
+	DefaultIdleTimeout = 60 * time.Second
+	// maxFrameBytes bounds one protocol frame (shared with the server's
+	// read buffer).
+	maxFrameBytes = 64 * 1024 * 1024
+	// dialAttempts is how many times Do transparently redials after a
+	// pooled connection breaks under a request.
+	dialAttempts = 3
+)
+
+// ErrClientClosed is returned by calls on a Client after Close.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// Client issues wire requests to one server address. By default it keeps a
+// bounded pool of persistent connections and multiplexes concurrent
+// requests over them: responses are matched to callers by request ID,
+// broken connections are evicted and redialed transparently, and idle
+// connections are reaped. WithDialPerRequest restores the one-dial-per-
+// request behaviour (useful as a baseline and for callers that want the
+// simplest possible fault domain).
+//
+// A Client is safe for concurrent use and is meant to be shared: the
+// mediator keeps one per repository address.
+type Client struct {
+	addr           string
+	nextID         atomic.Int64
+	poolSize       int
+	idleTimeout    time.Duration
+	dialPerRequest bool
+
+	mu        sync.Mutex
+	cond      *sync.Cond // signaled when conns/dialing change
+	conns     []*clientConn
+	dialing   int // dials in flight, reserved against poolSize
+	reapTimer *time.Timer
+	closed    bool
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithPoolSize bounds the number of live connections the client keeps.
+func WithPoolSize(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.poolSize = n
+		}
+	}
+}
+
+// WithIdleTimeout sets how long an idle pooled connection survives.
+func WithIdleTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.idleTimeout = d
+		}
+	}
+}
+
+// WithDialPerRequest makes every call dial (and close) its own connection
+// instead of using the pool.
+func WithDialPerRequest() ClientOption {
+	return func(c *Client) { c.dialPerRequest = true }
+}
+
+// NewClient returns a client for the given server address.
+func NewClient(addr string, opts ...ClientOption) *Client {
+	c := &Client{
+		addr:        addr,
+		poolSize:    DefaultPoolSize,
+		idleTimeout: DefaultIdleTimeout,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Addr returns the target address.
+func (c *Client) Addr() string { return c.addr }
+
+// Close tears down the pool. In-flight requests fail; subsequent calls
+// return ErrClientClosed.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	conns := c.conns
+	c.conns = nil
+	if c.reapTimer != nil {
+		c.reapTimer.Stop()
+		c.reapTimer = nil
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	for _, cc := range conns {
+		cc.shutdown(ErrClientClosed)
+	}
+}
+
+// PoolStats reports the pool's live connection count and total in-flight
+// requests (tests and monitoring).
+func (c *Client) PoolStats() (conns, inflight int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cc := range c.conns {
+		inflight += int(cc.inflight.Load())
+	}
+	return len(c.conns), inflight
+}
+
+// Do sends one request and waits for the response carrying the same ID,
+// honoring the context deadline both for dialing and for the exchange. A
+// deadline exceeded error is how callers observe unavailable sources. If a
+// pooled connection breaks under the request, Do redials and retries
+// transparently (requests are queries — reads — so a retry is safe).
+func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
+	req.ID = c.nextID.Add(1)
+	if c.dialPerRequest {
+		return c.doDirect(ctx, req)
+	}
+	var lastErr error
+	for attempt := 0; attempt < dialAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("wire: %s: %w", c.addr, err)
+		}
+		cc, err := c.conn(ctx)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := cc.roundTrip(ctx, &req)
+		if err == nil {
+			if resp.ID != req.ID {
+				// Matching is by pending-map key, so this cannot fire
+				// unless the transport is corrupted; reject rather than
+				// hand a stray frame to the caller.
+				return nil, fmt.Errorf("wire: %s: response id %d does not match request id %d", c.addr, resp.ID, req.ID)
+			}
+			return resp, nil
+		}
+		var broken *brokenConnError
+		if errors.As(err, &broken) {
+			lastErr = broken.err
+			continue // the conn was evicted; redial on the next attempt
+		}
+		return nil, err
+	}
+	return nil, fmt.Errorf("wire: %s: connection broke repeatedly: %w", c.addr, lastErr)
+}
+
+// conn returns the least-loaded pooled connection, dialing a new one when
+// every existing connection is busy and the pool has room (in-flight dials
+// count against the bound). When the pool is at capacity with every slot
+// mid-dial, it waits for a dial to land. It also reaps connections that
+// have sat idle past the idle timeout.
+func (c *Client) conn(ctx context.Context) (*clientConn, error) {
+	// Wake waiters if the context dies while they block on the cond.
+	defer context.AfterFunc(ctx, func() { c.cond.Broadcast() })()
+
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClientClosed
+		}
+		if err := ctx.Err(); err != nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("wire: %s: %w", c.addr, err)
+		}
+		c.reapLocked(time.Now())
+		var best *clientConn
+		for _, cc := range c.conns {
+			if best == nil || cc.inflight.Load() < best.inflight.Load() {
+				best = cc
+			}
+		}
+		if best != nil && (best.inflight.Load() == 0 || len(c.conns)+c.dialing >= c.poolSize) {
+			best.touch()
+			c.mu.Unlock()
+			return best, nil
+		}
+		if len(c.conns)+c.dialing < c.poolSize {
+			c.dialing++
+			break
+		}
+		// Every slot is an in-flight dial and no established connection is
+		// usable yet: wait for a dial to complete (or the pool to change).
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", c.addr)
+	c.mu.Lock()
+	c.dialing--
+	if err != nil {
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, wrapCtx(ctx, err))
+	}
+	if c.closed {
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		nc.Close()
+		return nil, ErrClientClosed
+	}
+	cc := &clientConn{
+		c:       c,
+		nc:      nc,
+		pending: make(map[int64]chan *Response),
+		done:    make(chan struct{}),
+	}
+	cc.touch()
+	c.conns = append(c.conns, cc)
+	c.scheduleReapLocked()
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	go cc.readLoop()
+	return cc, nil
+}
+
+// reapLocked closes pooled connections idle past the idle timeout. Called
+// with c.mu held.
+func (c *Client) reapLocked(now time.Time) {
+	keep := c.conns[:0]
+	for _, cc := range c.conns {
+		if cc.inflight.Load() == 0 && now.Sub(cc.lastUsed()) > c.idleTimeout {
+			cc.shutdown(errors.New("wire: idle connection reaped"))
+			continue
+		}
+		keep = append(keep, cc)
+	}
+	if len(keep) != len(c.conns) {
+		c.conns = keep
+		c.cond.Broadcast()
+	}
+}
+
+// scheduleReapLocked arms a timer that reaps idle connections even when no
+// further request arrives to trigger reaping on acquisition — a client
+// that goes quiet must not pin sockets (and the server-side goroutines
+// behind them) forever. One timer at a time; it rearms itself while
+// connections remain. Called with c.mu held.
+func (c *Client) scheduleReapLocked() {
+	if c.closed || c.reapTimer != nil || len(c.conns) == 0 {
+		return
+	}
+	c.reapTimer = time.AfterFunc(c.idleTimeout/2, c.reapTick)
+}
+
+func (c *Client) reapTick() {
+	c.mu.Lock()
+	c.reapTimer = nil
+	if !c.closed {
+		c.reapLocked(time.Now())
+		c.scheduleReapLocked()
+	}
+	c.mu.Unlock()
+}
+
+// remove evicts a dead connection from the pool.
+func (c *Client) remove(cc *clientConn) {
+	c.mu.Lock()
+	for i, x := range c.conns {
+		if x == cc {
+			c.conns = append(c.conns[:i], c.conns[i+1:]...)
+			c.cond.Broadcast()
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+// doDirect is the dial-per-request path: one connection per call, closed
+// on return.
+func (c *Client) doDirect(ctx context.Context, req Request) (*Response, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("wire: set deadline: %w", err)
+		}
+	}
+	// Cancel the exchange if the context dies while we block on the read.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-stop:
+		}
+	}()
+
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal: %w", err)
+	}
+	buf = append(buf, '\n')
+	if _, err := conn.Write(buf); err != nil {
+		return nil, wrapCtx(ctx, fmt.Errorf("wire: write %s: %w", c.addr, err))
+	}
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), maxFrameBytes)
+	if !scanner.Scan() {
+		err := scanner.Err()
+		if err == nil {
+			err = fmt.Errorf("connection closed")
+		}
+		return nil, wrapCtx(ctx, fmt.Errorf("wire: read %s: %w", c.addr, err))
+	}
+	var resp Response
+	if err := json.Unmarshal(scanner.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("wire: decode response: %w", err)
+	}
+	if resp.ID != req.ID {
+		// A stale or misordered frame must not be accepted as the answer.
+		return nil, fmt.Errorf("wire: %s: response id %d does not match request id %d", c.addr, resp.ID, req.ID)
+	}
+	return &resp, nil
+}
+
+// brokenConnError marks transport failures on a pooled connection that make
+// the request eligible for a transparent retry on a fresh connection.
+type brokenConnError struct {
+	err error
+}
+
+func (e *brokenConnError) Error() string { return fmt.Sprintf("wire: connection broken: %v", e.err) }
+func (e *brokenConnError) Unwrap() error { return e.err }
+
+// clientConn is one pooled connection: a single TCP stream shared by many
+// in-flight requests, with a persistent read loop (one scanner and buffer
+// per connection, not per call) that routes response frames to waiters by
+// request ID.
+type clientConn struct {
+	c  *Client
+	nc net.Conn
+
+	writeMu sync.Mutex // serializes frame writes
+
+	inflight atomic.Int64
+	lastUse  atomic.Int64 // unix nanos of last acquisition/completion
+
+	mu      sync.Mutex
+	pending map[int64]chan *Response
+	closed  bool
+	err     error
+
+	done chan struct{} // closed by shutdown, after err is set
+}
+
+func (cc *clientConn) touch()              { cc.lastUse.Store(time.Now().UnixNano()) }
+func (cc *clientConn) lastUsed() time.Time { return time.Unix(0, cc.lastUse.Load()) }
+
+// shutdown marks the connection dead and unblocks every waiter. It does not
+// touch the pool's connection list (fail does).
+func (cc *clientConn) shutdown(err error) {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return
+	}
+	cc.closed = true
+	cc.err = err
+	cc.mu.Unlock()
+	cc.nc.Close()
+	close(cc.done)
+}
+
+// fail is shutdown plus eviction from the pool.
+func (cc *clientConn) fail(err error) {
+	cc.shutdown(err)
+	cc.c.remove(cc)
+}
+
+// roundTrip registers the request, writes its frame, and waits for the
+// matching response, the context, or the connection's death — whichever
+// comes first.
+func (cc *clientConn) roundTrip(ctx context.Context, req *Request) (*Response, error) {
+	ch := make(chan *Response, 1)
+	cc.mu.Lock()
+	if cc.closed {
+		err := cc.err
+		cc.mu.Unlock()
+		return nil, &brokenConnError{err: err}
+	}
+	cc.pending[req.ID] = ch
+	cc.mu.Unlock()
+	cc.inflight.Add(1)
+	defer func() {
+		cc.mu.Lock()
+		delete(cc.pending, req.ID)
+		cc.mu.Unlock()
+		cc.inflight.Add(-1)
+		cc.touch()
+	}()
+
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal: %w", err)
+	}
+	buf = append(buf, '\n')
+	cc.writeMu.Lock()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = cc.nc.SetWriteDeadline(deadline)
+	} else {
+		_ = cc.nc.SetWriteDeadline(time.Time{})
+	}
+	n, werr := cc.nc.Write(buf)
+	cc.writeMu.Unlock()
+	if werr != nil {
+		var ne net.Error
+		if n == 0 && (ctx.Err() != nil || (errors.As(werr, &ne) && ne.Timeout())) {
+			// Nothing left the buffer and the failure is the caller's own
+			// deadline — either ctx already expired, or the mirrored
+			// socket write deadline fired a moment before ctx.Err() flips
+			// (wrapCtx maps that skew to DeadlineExceeded). The stream is
+			// still correctly framed, so the connection shared with other
+			// in-flight requests stays up.
+			return nil, fmt.Errorf("wire: %s: %w", cc.c.addr, wrapCtx(ctx, werr))
+		}
+		// A partial write leaves the stream unframed for every request
+		// sharing it, and a zero-byte network failure means the transport
+		// is gone: kill the connection either way.
+		cc.fail(fmt.Errorf("wire: write %s: %w", cc.c.addr, werr))
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("wire: %s: %w", cc.c.addr, ctx.Err())
+		}
+		return nil, &brokenConnError{err: werr}
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-ctx.Done():
+		// The request stays written; the pending entry is dropped by the
+		// deferred cleanup, so a late response frame is discarded as stale
+		// rather than matched to a future request.
+		return nil, fmt.Errorf("wire: %s: %w", cc.c.addr, ctx.Err())
+	case <-cc.done:
+		return nil, &brokenConnError{err: cc.err}
+	}
+}
+
+// readLoop is the connection's demultiplexer: it owns the read side and its
+// buffers for the connection's whole life and hands each response frame to
+// the waiter registered under the frame's ID. Frames with no waiter (the
+// caller gave up, or the server misbehaved) are dropped, never delivered to
+// the wrong request.
+func (cc *clientConn) readLoop() {
+	scanner := bufio.NewScanner(cc.nc)
+	scanner.Buffer(make([]byte, 0, 64*1024), maxFrameBytes)
+	for scanner.Scan() {
+		var resp Response
+		if err := json.Unmarshal(scanner.Bytes(), &resp); err != nil {
+			cc.fail(fmt.Errorf("wire: %s: decode response: %w", cc.c.addr, err))
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[resp.ID]
+		if ok {
+			delete(cc.pending, resp.ID)
+		}
+		cc.mu.Unlock()
+		if ok {
+			r := resp
+			ch <- &r
+		}
+	}
+	err := scanner.Err()
+	if err == nil {
+		err = io.EOF
+	}
+	cc.fail(fmt.Errorf("wire: read %s: %w", cc.c.addr, err))
+}
+
+// Ping checks liveness within the context deadline.
+func (c *Client) Ping(ctx context.Context) error {
+	resp, err := c.Do(ctx, Request{Op: "ping"})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("wire: ping: %s", resp.Err)
+	}
+	return nil
+}
+
+// Query executes a query in the named language and returns the raw tagged
+// value payload. A partially-answering mediator surfaces as a
+// *PartialUpstreamError carrying its residual query.
+func (c *Client) Query(ctx context.Context, lang, text string) (json.RawMessage, error) {
+	resp, err := c.Do(ctx, Request{Op: "query", Lang: lang, Text: text})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Addr: c.addr, Msg: resp.Err}
+	}
+	if resp.Residual != "" {
+		return nil, &PartialUpstreamError{Addr: c.addr, Residual: resp.Residual, Unavailable: resp.Unavailable}
+	}
+	return resp.Value, nil
+}
+
+// Capability fetches the server's wrapper grammar text.
+func (c *Client) Capability(ctx context.Context) (string, error) {
+	resp, err := c.Do(ctx, Request{Op: "capability"})
+	if err != nil {
+		return "", err
+	}
+	if resp.Err != "" {
+		return "", &RemoteError{Addr: c.addr, Msg: resp.Err}
+	}
+	return resp.Grammar, nil
+}
+
+// Versions fetches the server's per-collection data versions; nil when the
+// source does not track them.
+func (c *Client) Versions(ctx context.Context) (map[string]int64, error) {
+	resp, err := c.Do(ctx, Request{Op: "versions"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Addr: c.addr, Msg: resp.Err}
+	}
+	return resp.Versions, nil
+}
+
+// Collections fetches the server's collection names.
+func (c *Client) Collections(ctx context.Context) ([]string, error) {
+	resp, err := c.Do(ctx, Request{Op: "collections"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Addr: c.addr, Msg: resp.Err}
+	}
+	return resp.Collections, nil
+}
+
+// RemoteError is an error reported by the remote server (as opposed to a
+// transport failure).
+type RemoteError struct {
+	Addr string
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return fmt.Sprintf("wire: %s: %s", e.Addr, e.Msg) }
+
+// wrapCtx prefers the context's error (deadline, cancel) over the raw
+// network error it caused, so callers can match context.DeadlineExceeded.
+// The connection deadline is set from the context's, so a net timeout maps
+// to DeadlineExceeded even when it fires a moment before ctx.Err() does.
+func wrapCtx(ctx context.Context, err error) error {
+	if ctx.Err() != nil {
+		return fmt.Errorf("%w (%v)", ctx.Err(), err)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w (%v)", context.DeadlineExceeded, err)
+	}
+	return err
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -59,8 +60,10 @@ func TestNoGoroutineLeakAfterClose(t *testing.T) {
 	t.Errorf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
 }
 
-// TestPipelinedRequestsOnOneConnection: the server answers a sequence of
-// frames on a single connection in order.
+// TestPipelinedRequestsOnOneConnection: the server answers every frame
+// pipelined on a single connection, each response carrying its request's
+// ID. Responses arrive in completion order, not arrival order, so the test
+// matches them by ID.
 func TestPipelinedRequestsOnOneConnection(t *testing.T) {
 	s := newTestServer(t)
 	conn, err := net.Dial("tcp", s.Addr())
@@ -81,23 +84,79 @@ func TestPipelinedRequestsOnOneConnection(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Read three responses, IDs in order.
+	// Read three responses, each answering the request its ID names.
 	dec := json.NewDecoder(conn)
-	for i := 1; i <= 3; i++ {
+	seen := map[int64]bool{}
+	for i := 0; i < 3; i++ {
 		var resp Response
 		if err := dec.Decode(&resp); err != nil {
 			t.Fatal(err)
 		}
-		if resp.ID != int64(i) {
-			t.Errorf("response %d has id %d", i, resp.ID)
+		if resp.ID < 1 || resp.ID > 3 || seen[resp.ID] {
+			t.Fatalf("unexpected response id %d (seen %v)", resp.ID, seen)
 		}
+		seen[resp.ID] = true
 		v, err := types.DecodeValue(resp.Value)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !v.Equal(types.Str(fmt.Sprintf("sql:q%d", i))) {
-			t.Errorf("response %d = %s", i, v)
+		if !v.Equal(types.Str(fmt.Sprintf("sql:q%d", resp.ID))) {
+			t.Errorf("response for id %d = %s", resp.ID, v)
 		}
+	}
+}
+
+// TestNoHeadOfLineBlocking: with per-request latency, requests pipelined on
+// one pooled connection wait it out concurrently — eight 150ms requests
+// complete in ~one latency, not eight. Against the old serialized server
+// this takes 1.2s+; the generous 4x-latency bound keeps the test stable
+// under race-detector and CI-scheduler slowdowns while still being far
+// below the serialized wall time.
+func TestNoHeadOfLineBlocking(t *testing.T) {
+	s := newTestServer(t)
+	const latency = 150 * time.Millisecond
+	s.SetLatency(latency)
+	c := NewClient(s.Addr(), WithPoolSize(1)) // force one shared connection
+	defer c.Close()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			raw, err := c.Query(ctx, LangSQL, fmt.Sprintf("q%d", i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			v, err := types.DecodeValue(raw)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !v.Equal(types.Str(fmt.Sprintf("sql:q%d", i))) {
+				errs <- fmt.Errorf("wrong answer %s for q%d", v, i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < latency {
+		t.Errorf("finished in %v, faster than one latency %v?", elapsed, latency)
+	}
+	if elapsed >= 4*latency {
+		t.Errorf("8 pipelined requests took %v — serialized behind each other (want ~%v)", elapsed, latency)
+	}
+	if conns, _ := c.PoolStats(); conns != 1 {
+		t.Errorf("pool grew to %d conns, want 1", conns)
 	}
 }
 

@@ -2,18 +2,26 @@
 // (Figure 1): newline-delimited JSON frames over TCP. Data-source servers
 // and mediator servers both speak it.
 //
+// Connections are persistent and multiplexed: a client keeps a bounded
+// pool of long-lived connections per server, many requests share one
+// connection in flight at a time, and the server executes each request on
+// its own goroutine (writes serialized per connection), matching responses
+// to requests by frame ID. One slow request therefore never head-of-line-
+// blocks the requests pipelined behind it.
+//
 // The package also provides the fault injection the paper's unavailability
 // semantics is about: a server can be made unavailable, in which case it
 // accepts connections but never answers — exactly the "data source does not
 // respond" behaviour that partial evaluation (§4) classifies by timeout —
-// and can be given artificial latency to model wide-area links.
+// and can be given artificial latency to model wide-area links. Both apply
+// per request, not per connection: requests already in flight when the
+// server flips keep the semantics they started with.
 package wire
 
 import (
 	"bufio"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -27,6 +35,11 @@ const (
 	LangDoc = "doc" // DocStore keyword language
 	LangOQL = "oql" // full OQL (mediator servers)
 )
+
+// maxConnInflight bounds how many requests one connection may have
+// executing concurrently on the server; beyond it the connection's read
+// loop pauses, which backpressures the client through TCP.
+const maxConnInflight = 64
 
 // Request is one client frame.
 type Request struct {
@@ -103,9 +116,15 @@ type Stats struct {
 	Queries  atomic.Int64
 	BytesIn  atomic.Int64
 	BytesOut atomic.Int64
+	// Malformed counts frames that failed to parse as requests.
+	Malformed atomic.Int64
 }
 
-// Server serves the wire protocol for a Handler.
+// Server serves the wire protocol for a Handler. Each request on a
+// connection is dispatched on its own goroutine (bounded per connection),
+// so pipelined requests — e.g. a scatter-gather whose shards share one
+// mediator connection — execute concurrently and answer in completion
+// order, not arrival order.
 type Server struct {
 	handler Handler
 
@@ -138,14 +157,16 @@ func (s *Server) Addr() string { return s.lis.Addr().String() }
 func (s *Server) Stats() *Stats { return &s.stats }
 
 // SetAvailable controls fault injection: an unavailable server accepts
-// connections and reads requests but never replies.
+// connections and reads requests but never replies. The check applies per
+// request at dispatch time.
 func (s *Server) SetAvailable(up bool) { s.unavailable.Store(!up) }
 
 // Available reports whether the server answers queries.
 func (s *Server) Available() bool { return !s.unavailable.Load() }
 
 // SetLatency injects a fixed delay before each reply, modeling link and
-// processing latency.
+// processing latency. The delay applies per request: pipelined requests
+// wait it out concurrently, as they would on a real wide-area link.
 func (s *Server) SetLatency(d time.Duration) { s.latencyNs.Store(int64(d)) }
 
 // Close stops the server and waits for connection goroutines to exit.
@@ -189,41 +210,80 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}()
 
+	var (
+		writeMu sync.Mutex     // serializes response frames
+		reqs    sync.WaitGroup // in-flight request goroutines
+	)
+	defer reqs.Wait() // flush in-flight responses before closing the conn
+	sem := make(chan struct{}, maxConnInflight)
+
 	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
-	enc := json.NewEncoder(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), maxFrameBytes)
 	for scanner.Scan() {
 		line := scanner.Bytes()
 		s.stats.BytesIn.Add(int64(len(line)) + 1)
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
-			// Malformed frame: answer once, then drop the connection.
-			_ = enc.Encode(Response{Err: "malformed request: " + err.Error()})
-			return
-		}
-		if s.unavailable.Load() {
-			// The source "does not respond": swallow the request. The
-			// client's deadline, not an error, ends the exchange.
-			continue
-		}
-		if d := time.Duration(s.latencyNs.Load()); d > 0 {
-			select {
-			case <-time.After(d):
-			case <-s.done:
-				return
+			// Malformed frame: answer once — echoing the request ID when
+			// the frame is well-formed enough to carry one, so the caller
+			// can match the error — then drop the connection, since the
+			// stream's framing can no longer be trusted.
+			s.stats.Malformed.Add(1)
+			var probe struct {
+				ID int64 `json:"id"`
 			}
-		}
-		resp := s.dispatch(&req)
-		buf, err := json.Marshal(resp)
-		if err != nil {
-			buf, _ = json.Marshal(Response{ID: req.ID, Err: "marshal response: " + err.Error()})
-		}
-		buf = append(buf, '\n')
-		n, err := conn.Write(buf)
-		s.stats.BytesOut.Add(int64(n))
-		if err != nil {
+			_ = json.Unmarshal(line, &probe)
+			s.writeResponse(conn, &writeMu, Response{ID: probe.ID, Err: "malformed request: " + err.Error()})
 			return
 		}
+		select {
+		case sem <- struct{}{}:
+		case <-s.done:
+			return
+		}
+		reqs.Add(1)
+		go func(req Request) {
+			defer reqs.Done()
+			defer func() { <-sem }()
+			s.handleRequest(conn, &writeMu, req)
+		}(req)
+	}
+}
+
+// handleRequest runs one request to completion: fault-injection checks,
+// dispatch, reply. It runs on its own goroutine so a slow request does not
+// stall the requests behind it on the same connection.
+func (s *Server) handleRequest(conn net.Conn, writeMu *sync.Mutex, req Request) {
+	if s.unavailable.Load() {
+		// The source "does not respond": swallow the request. The
+		// client's deadline, not an error, ends the exchange.
+		return
+	}
+	if d := time.Duration(s.latencyNs.Load()); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-s.done:
+			return
+		}
+	}
+	s.writeResponse(conn, writeMu, s.dispatch(&req))
+}
+
+// writeResponse marshals and writes one response frame under the
+// connection's write lock.
+func (s *Server) writeResponse(conn net.Conn, writeMu *sync.Mutex, resp Response) {
+	buf, err := json.Marshal(resp)
+	if err != nil {
+		buf, _ = json.Marshal(Response{ID: resp.ID, Err: "marshal response: " + err.Error()})
+	}
+	buf = append(buf, '\n')
+	writeMu.Lock()
+	n, werr := conn.Write(buf)
+	writeMu.Unlock()
+	s.stats.BytesOut.Add(int64(n))
+	if werr != nil {
+		// The write side is broken; closing wedges the read loop too.
+		conn.Close()
 	}
 }
 
@@ -266,160 +326,3 @@ func (s *Server) dispatch(req *Request) Response {
 	}
 	return resp
 }
-
-// Client issues wire requests. Each call dials a fresh connection, which
-// keeps fault handling simple (a hung server only ever blocks the call that
-// hit it) at the cost of a dial per request.
-type Client struct {
-	addr   string
-	nextID atomic.Int64
-}
-
-// NewClient returns a client for the given server address.
-func NewClient(addr string) *Client { return &Client{addr: addr} }
-
-// Addr returns the target address.
-func (c *Client) Addr() string { return c.addr }
-
-// Do sends one request and waits for the matching response, honoring the
-// context deadline both for dialing and for the exchange. A deadline
-// exceeded error is how callers observe unavailable sources.
-func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
-	req.ID = c.nextID.Add(1)
-
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
-	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
-	}
-	defer conn.Close()
-	if deadline, ok := ctx.Deadline(); ok {
-		if err := conn.SetDeadline(deadline); err != nil {
-			return nil, fmt.Errorf("wire: set deadline: %w", err)
-		}
-	}
-	// Cancel the exchange if the context dies while we block on the read.
-	stop := make(chan struct{})
-	defer close(stop)
-	go func() {
-		select {
-		case <-ctx.Done():
-			conn.Close()
-		case <-stop:
-		}
-	}()
-
-	buf, err := json.Marshal(req)
-	if err != nil {
-		return nil, fmt.Errorf("wire: marshal: %w", err)
-	}
-	buf = append(buf, '\n')
-	if _, err := conn.Write(buf); err != nil {
-		return nil, wrapCtx(ctx, fmt.Errorf("wire: write %s: %w", c.addr, err))
-	}
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
-	if !scanner.Scan() {
-		err := scanner.Err()
-		if err == nil {
-			err = fmt.Errorf("connection closed")
-		}
-		return nil, wrapCtx(ctx, fmt.Errorf("wire: read %s: %w", c.addr, err))
-	}
-	var resp Response
-	if err := json.Unmarshal(scanner.Bytes(), &resp); err != nil {
-		return nil, fmt.Errorf("wire: decode response: %w", err)
-	}
-	return &resp, nil
-}
-
-// wrapCtx prefers the context's error (deadline, cancel) over the raw
-// network error it caused, so callers can match context.DeadlineExceeded.
-// The connection deadline is set from the context's, so a net timeout maps
-// to DeadlineExceeded even when it fires a moment before ctx.Err() does.
-func wrapCtx(ctx context.Context, err error) error {
-	if ctx.Err() != nil {
-		return fmt.Errorf("%w (%v)", ctx.Err(), err)
-	}
-	var ne net.Error
-	if errors.As(err, &ne) && ne.Timeout() {
-		return fmt.Errorf("%w (%v)", context.DeadlineExceeded, err)
-	}
-	return err
-}
-
-// Ping checks liveness within the context deadline.
-func (c *Client) Ping(ctx context.Context) error {
-	resp, err := c.Do(ctx, Request{Op: "ping"})
-	if err != nil {
-		return err
-	}
-	if resp.Err != "" {
-		return fmt.Errorf("wire: ping: %s", resp.Err)
-	}
-	return nil
-}
-
-// Query executes a query in the named language and returns the raw tagged
-// value payload. A partially-answering mediator surfaces as a
-// *PartialUpstreamError carrying its residual query.
-func (c *Client) Query(ctx context.Context, lang, text string) (json.RawMessage, error) {
-	resp, err := c.Do(ctx, Request{Op: "query", Lang: lang, Text: text})
-	if err != nil {
-		return nil, err
-	}
-	if resp.Err != "" {
-		return nil, &RemoteError{Addr: c.addr, Msg: resp.Err}
-	}
-	if resp.Residual != "" {
-		return nil, &PartialUpstreamError{Addr: c.addr, Residual: resp.Residual, Unavailable: resp.Unavailable}
-	}
-	return resp.Value, nil
-}
-
-// Capability fetches the server's wrapper grammar text.
-func (c *Client) Capability(ctx context.Context) (string, error) {
-	resp, err := c.Do(ctx, Request{Op: "capability"})
-	if err != nil {
-		return "", err
-	}
-	if resp.Err != "" {
-		return "", &RemoteError{Addr: c.addr, Msg: resp.Err}
-	}
-	return resp.Grammar, nil
-}
-
-// Versions fetches the server's per-collection data versions; nil when the
-// source does not track them.
-func (c *Client) Versions(ctx context.Context) (map[string]int64, error) {
-	resp, err := c.Do(ctx, Request{Op: "versions"})
-	if err != nil {
-		return nil, err
-	}
-	if resp.Err != "" {
-		return nil, &RemoteError{Addr: c.addr, Msg: resp.Err}
-	}
-	return resp.Versions, nil
-}
-
-// Collections fetches the server's collection names.
-func (c *Client) Collections(ctx context.Context) ([]string, error) {
-	resp, err := c.Do(ctx, Request{Op: "collections"})
-	if err != nil {
-		return nil, err
-	}
-	if resp.Err != "" {
-		return nil, &RemoteError{Addr: c.addr, Msg: resp.Err}
-	}
-	return resp.Collections, nil
-}
-
-// RemoteError is an error reported by the remote server (as opposed to a
-// transport failure).
-type RemoteError struct {
-	Addr string
-	Msg  string
-}
-
-// Error implements the error interface.
-func (e *RemoteError) Error() string { return fmt.Sprintf("wire: %s: %s", e.Addr, e.Msg) }
