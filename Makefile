@@ -25,14 +25,15 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-# The perf trajectory: remote point-query throughput (pooled vs
-# dial-per-request wire connections at 1/4/16 concurrent clients),
-# prepared-statement hits vs full recompiles, scatter-gather fan-out and
-# partition pruning across 1/4/16 partitions. The benchstat-compatible
-# output lands in BENCH_PR3.json so runs can be diffed across PRs
-# (benchstat old.json new.json).
+# The perf trajectory: compiled vs tree-walking expression evaluation,
+# batched vs tuple-at-a-time Volcano iteration, remote point-query
+# throughput (pooled vs dial-per-request wire connections at 1/4/16
+# concurrent clients), prepared-statement hits vs full recompiles,
+# scatter-gather fan-out and partition pruning across 1/4/16 partitions.
+# The benchstat-compatible output lands in BENCH_PR4.json so runs can be
+# diffed across PRs (benchstat old.json new.json).
 bench:
-	$(GO) test -run xxx -bench 'RemoteQuery|PreparedStatements|ScatterGather|PartitionPruning' -benchmem . | tee BENCH_PR3.json
+	$(GO) test -run xxx -bench 'CompiledEval|Volcano|RemoteQuery|PreparedStatements|ScatterGather|PartitionPruning' -benchmem . | tee BENCH_PR4.json
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -500,6 +500,161 @@ func BenchmarkModelingTools(b *testing.B) {
 	}
 }
 
+// BenchmarkCompiledEval compares the two expression evaluators on a
+// select+project pipeline's per-tuple work: the tree-walking reference
+// (oql.Eval over an Env chain rebuilt per tuple, the pre-PR4 hot path) vs
+// the closure-compiled program (oql.Compile, tuples bound into a reusable
+// flat slot environment). The acceptance bar is ≥2x time and ≥50% allocs.
+func BenchmarkCompiledEval(b *testing.B) {
+	const tuples = 1024
+	rows := make([]*types.Struct, tuples)
+	for i := range rows {
+		rows[i] = types.NewStruct(types.Field{Name: "x", Value: types.NewStruct(
+			types.Field{Name: "id", Value: types.Int(int64(i))},
+			types.Field{Name: "name", Value: types.Str(fmt.Sprintf("p%d", i))},
+			types.Field{Name: "salary", Value: types.Int(int64(i % 977))},
+		)})
+	}
+	pred, err := oql.ParseQuery(`x.salary > 10 and x.name != "nobody"`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proj, err := oql.ParseQuery(`struct(name: x.name, pay: x.salary * 2)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("tree-walk", func(b *testing.B) {
+		// evalWith as the pre-PR4 operators ran it: each operator rebuilt
+		// the Env chain from the tuple's fields per expression evaluation
+		// (MkSelect for the predicate, MkProj for the projection).
+		evalWith := func(e oql.Expr, st *types.Struct) (types.Value, error) {
+			var env *oql.Env
+			for _, f := range st.Fields() {
+				env = env.Bind(f.Name, f.Value)
+			}
+			return oql.Eval(e, env, oql.EmptyResolver)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kept := 0
+			for _, st := range rows {
+				cond, err := evalWith(pred, st)
+				if err != nil {
+					b.Fatal(err)
+				}
+				keep, err := types.Truthy(cond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !keep {
+					continue
+				}
+				if _, err := evalWith(proj, st); err != nil {
+					b.Fatal(err)
+				}
+				kept++
+			}
+			if kept == 0 {
+				b.Fatal("predicate filtered everything")
+			}
+		}
+	})
+	b.Run("compiled", func(b *testing.B) {
+		predProg, err := oql.Compile(pred)
+		if err != nil {
+			b.Fatal(err)
+		}
+		projProg, err := oql.Compile(proj)
+		if err != nil {
+			b.Fatal(err)
+		}
+		predEnv := predProg.NewEnv(oql.EmptyResolver)
+		projEnv := projProg.NewEnv(oql.EmptyResolver)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kept := 0
+			for _, st := range rows {
+				predEnv.BindStruct(st)
+				cond, err := predProg.Eval(predEnv)
+				if err != nil {
+					b.Fatal(err)
+				}
+				keep, err := types.Truthy(cond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !keep {
+					continue
+				}
+				projEnv.BindStruct(st)
+				if _, err := projProg.Eval(projEnv); err != nil {
+					b.Fatal(err)
+				}
+				kept++
+			}
+			if kept == 0 {
+				b.Fatal("predicate filtered everything")
+			}
+		}
+	})
+}
+
+// BenchmarkVolcano measures the Volcano layer's batch ablation: the same
+// select+project operator pipeline over 8192 tuples driven with a
+// capacity-1 output batch (tuple-at-a-time iteration, one operator-stack
+// traversal per tuple) vs full types.BatchSize batches.
+func BenchmarkVolcano(b *testing.B) {
+	const n = 8192
+	rows := make([]types.Value, n)
+	for i := range rows {
+		rows[i] = types.NewStruct(
+			types.Field{Name: "id", Value: types.Int(int64(i))},
+			types.Field{Name: "name", Value: types.Str(fmt.Sprintf("p%d", i))},
+			types.Field{Name: "salary", Value: types.Int(int64(i % 977))},
+		)
+	}
+	bag := types.NewBag(rows...)
+	pred, err := oql.ParseQuery(`x.salary > 488`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		cap  int
+	}{{"tuple", 1}, {"batched", types.BatchSize}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				op := &physical.MkProj{
+					Cols: []algebra.Col{
+						{Name: "name", Expr: &oql.Path{Base: &oql.Ident{Name: "x"}, Field: "name"}},
+					},
+					Input: &physical.MkSelect{
+						Pred:  pred,
+						Input: &physical.MkBind{Var: "x", Input: &physical.ConstScan{Bag: bag}},
+					},
+				}
+				if err := op.Open(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				batch := types.NewBatch(mode.cap)
+				got := 0
+				for {
+					err := op.NextBatch(batch)
+					if err != nil {
+						break
+					}
+					got += batch.Len()
+				}
+				op.Close()
+				if got == 0 {
+					b.Fatal("pipeline produced nothing")
+				}
+			}
+		})
+	}
+}
+
 // --- ablations ---------------------------------------------------------------
 
 // BenchmarkJoinAlgorithms compares the two join implementations on the same

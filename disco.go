@@ -98,12 +98,36 @@
 // the fault-injection semantics (unavailability, injected latency) apply
 // per request, exactly as the §4 timeout model assumes.
 //
+// Pool health is not discovered by borrowers: connections that idle past a
+// health interval are pinged in the background, and one that stops
+// answering (half-open TCP, hung peer) is evicted before any query is
+// routed over it, so the next submit dials fresh instead of timing out on
+// a dead socket.
+//
 // Repeated queries skip recompilation entirely: Prepare results — parse,
 // view expansion, compilation and optimization — are cached per (query
 // text, catalog version), so a repeated query goes straight to execution.
 // Trace.CacheHit reports the hit (with all front-half stage timings at
 // zero) and any ODL change invalidates the cache, the paper's §3.3
 // cached-plan rule applied to the whole pipeline.
+//
+// The execution engine itself is compiled and batched. Every scalar
+// expression a plan evaluates per tuple — predicates, projections, join
+// keys, dependent domains — is lowered once into a tree of Go closures:
+// constants fold (a constant side of "in" becomes a prebuilt hash set),
+// variables resolve to fixed slots in a flat, reusable environment rather
+// than an allocated binding chain, and struct field accesses cache the
+// field offset they resolved and revalidate it with one name comparison
+// per tuple. The compiled programs ride the prepared-statement cache, so
+// re-executing a prepared query skips expression lowering too; the
+// tree-walking evaluator remains as the semantic reference, and the
+// compiled engine is differentially fuzzed against it. Operators exchange
+// data in batches of up to 1024 values through reusable buffers instead of
+// tuple-at-a-time calls: selections filter each batch through a selection
+// vector and compact it in place, hash joins key an entire probe batch per
+// pass, and the scatter-gather merge forwards whole batches from shard
+// goroutines through a recycling free list — one channel operation per
+// batch where it used to pay one per tuple.
 //
 // See the examples directory for multi-source federations, wide-area
 // deployments over TCP, partial answers, mediator composition and sharding.

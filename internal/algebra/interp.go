@@ -29,6 +29,14 @@ func (m CollectionsMap) Collection(name string) (*types.Bag, error) {
 // submitted expressions with exactly the mediator's operator semantics
 // (the paper stresses the two must match exactly, §3.2); the tests use it
 // as the executable specification the optimized runtime must agree with.
+//
+// Per-tuple expressions (select predicates, projections, join conditions,
+// dependent domains) run as closure-compiled programs (oql.Compile): the
+// expression lowers once per operator and each tuple binds into a flat
+// slot environment, instead of re-walking the AST over an allocated Env
+// chain per element — the same engine the mediator's physical layer uses,
+// so the semantics stay aligned by construction (the compiled evaluator is
+// differentially tested against oql.Eval).
 type Interp struct {
 	// Cols resolves Get leaves. Get nodes look up Ref.Extent, so plans
 	// translated with ToSource resolve source relation names and mediator
@@ -110,8 +118,12 @@ func (in *Interp) runBag(n Node) (*types.Bag, error) {
 		if err != nil {
 			return nil, err
 		}
+		eval, err := in.evaluator(x.Pred)
+		if err != nil {
+			return nil, err
+		}
 		return types.BagFilter(input, func(e types.Value) (bool, error) {
-			v, err := in.evalWith(x.Pred, e)
+			v, err := eval(e)
 			if err != nil {
 				return false, err
 			}
@@ -122,25 +134,23 @@ func (in *Interp) runBag(n Node) (*types.Bag, error) {
 		if err != nil {
 			return nil, err
 		}
-		return types.BagMap(input, func(e types.Value) (types.Value, error) {
-			fields := make([]types.Field, 0, len(x.Cols))
-			for _, c := range x.Cols {
-				v, err := in.evalWith(c.Expr, e)
-				if err != nil {
-					return nil, err
-				}
-				fields = append(fields, types.Field{Name: c.Name, Value: v})
-			}
-			return types.NewStruct(fields...), nil
-		})
+		// The whole column list compiles into one struct-constructor
+		// program, so each tuple binds its variables exactly once.
+		eval, err := in.evaluator(ProjCtor(x.Cols))
+		if err != nil {
+			return nil, err
+		}
+		return types.BagMap(input, eval)
 	case *Map:
 		input, err := in.runBag(x.Input)
 		if err != nil {
 			return nil, err
 		}
-		return types.BagMap(input, func(e types.Value) (types.Value, error) {
-			return in.evalWith(x.Expr, e)
-		})
+		eval, err := in.evaluator(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return types.BagMap(input, eval)
 	case *Join:
 		return in.runJoin(x)
 	case *Nest:
@@ -172,21 +182,30 @@ func (in *Interp) runBag(n Node) (*types.Bag, error) {
 		if err != nil {
 			return nil, err
 		}
+		eval, err := in.evaluator(x.Domain)
+		if err != nil {
+			return nil, err
+		}
 		var out []types.Value
-		for _, e := range input.Elems() {
-			dom, err := in.evalWith(x.Domain, e)
+		var rangeErr error
+		input.Range(func(e types.Value) bool {
+			dom, err := eval(e)
 			if err != nil {
-				return nil, err
-			}
-			elems, err := types.Elements(dom)
-			if err != nil {
-				return nil, fmt.Errorf("interp: dependent domain for %s: %w", x.Var, err)
+				rangeErr = err
+				return false
 			}
 			st := e.(*types.Struct)
-			for _, d := range elems {
-				fields := append(st.Fields(), types.Field{Name: x.Var, Value: d})
-				out = append(out, types.NewStruct(fields...))
+			if err := types.RangeElements(dom, func(d types.Value) bool {
+				out = append(out, types.ExtendStruct(st, types.Field{Name: x.Var, Value: d}))
+				return true
+			}); err != nil {
+				rangeErr = fmt.Errorf("interp: dependent domain for %s: %w", x.Var, err)
+				return false
 			}
+			return true
+		})
+		if rangeErr != nil {
+			return nil, rangeErr
 		}
 		return types.NewBag(out...), nil
 	case *Distinct:
@@ -238,20 +257,29 @@ func (in *Interp) runJoin(x *Join) (*types.Bag, error) {
 	if err != nil {
 		return nil, err
 	}
+	var eval func(types.Value) (types.Value, error)
+	if x.Pred != nil {
+		eval, err = in.evaluator(x.Pred)
+		if err != nil {
+			return nil, err
+		}
+	}
 	var out []types.Value
-	for _, l := range left.Elems() {
+	for i := 0; i < left.Len(); i++ {
+		l := left.At(i)
 		ls, ok := l.(*types.Struct)
 		if !ok {
 			return nil, fmt.Errorf("interp: join over %s elements", l.Kind())
 		}
-		for _, r := range right.Elems() {
+		for k := 0; k < right.Len(); k++ {
+			r := right.At(k)
 			rs, ok := r.(*types.Struct)
 			if !ok {
 				return nil, fmt.Errorf("interp: join over %s elements", r.Kind())
 			}
-			merged := types.NewStruct(append(ls.Fields(), rs.Fields()...)...)
-			if x.Pred != nil {
-				v, err := in.evalWith(x.Pred, merged)
+			merged := types.JoinStructs(ls, rs)
+			if eval != nil {
+				v, err := eval(merged)
 				if err != nil {
 					return nil, err
 				}
@@ -269,18 +297,38 @@ func (in *Interp) runJoin(x *Join) (*types.Bag, error) {
 	return types.NewBag(out...), nil
 }
 
-// evalWith evaluates an OQL expression with the element's struct fields
-// bound as variables.
-func (in *Interp) evalWith(e oql.Expr, elem types.Value) (types.Value, error) {
-	st, ok := elem.(*types.Struct)
-	if !ok {
-		return nil, fmt.Errorf("interp: expression %s over non-struct element %s", e, elem)
+// ProjCtor lowers a projection's column list into the single OQL struct
+// constructor its tuples evaluate. It is the one definition of that
+// lowering: both the reference interpreter and the physical layer's MkProj
+// compile exactly this expression, so the two engines cannot diverge on
+// projection semantics.
+func ProjCtor(cols []Col) *oql.StructCtor {
+	ctor := &oql.StructCtor{Fields: make([]oql.StructField, len(cols))}
+	for i, c := range cols {
+		ctor.Fields[i] = oql.StructField{Name: c.Name, Expr: c.Expr}
 	}
-	var env *oql.Env
-	for _, f := range st.Fields() {
-		env = env.Bind(f.Name, f.Value)
+	return ctor
+}
+
+// evaluator compiles an expression once and returns the per-tuple
+// evaluation function: the element's struct fields bind into the program's
+// flat slot environment (hoisted here, not per call). Compilation is per
+// operator loop — amortized over the bag, not memoized (plans arrive
+// freshly parsed, so their expression pointers would never hit a cache).
+func (in *Interp) evaluator(e oql.Expr) (func(types.Value) (types.Value, error), error) {
+	prog, err := oql.Compile(e)
+	if err != nil {
+		return nil, err
 	}
-	return oql.Eval(e, env, in.resolver())
+	env := prog.NewEnv(in.resolver())
+	return func(elem types.Value) (types.Value, error) {
+		st, ok := elem.(*types.Struct)
+		if !ok {
+			return nil, fmt.Errorf("interp: expression %s over non-struct element %s", e, elem)
+		}
+		env.BindStruct(st)
+		return prog.Eval(env)
+	}, nil
 }
 
 // ToSource translates a submit argument from the mediator namespace into

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"disco/internal/algebra"
+	"disco/internal/oql"
 	"disco/internal/wire"
 	"disco/internal/wrapper"
 )
@@ -13,17 +14,22 @@ import (
 const maxPreparedPlans = 256
 
 // preparedPlan is one cached Prepare result: the optimized plan for a query
-// text, valid for the catalog version the cache was built against.
+// text, valid for the catalog version the cache was built against, plus the
+// compiled expression programs of the plan's operators. The programs cache
+// rides the plan entry, so re-executing a prepared query skips expression
+// compilation along with parse/expand/compile/optimize, and is evicted and
+// invalidated with it.
 type preparedPlan struct {
-	plan algebra.Node
-	str  string
+	plan  algebra.Node
+	str   string
+	progs *oql.ProgramCache
 }
 
-// preparedLookup returns the cached plan for a query text if the cache is
-// still valid for the given catalog version. A version change flushes the
-// whole cache — the §3.3 invalidation rule applied to the full pipeline,
-// not just the optimize stage.
-func (m *Mediator) preparedLookup(src string, version int64) (algebra.Node, string, bool) {
+// preparedLookup returns the cached plan and its program cache for a query
+// text if the cache is still valid for the given catalog version. A version
+// change flushes the whole cache — the §3.3 invalidation rule applied to
+// the full pipeline, not just the optimize stage.
+func (m *Mediator) preparedLookup(src string, version int64) (preparedPlan, bool) {
 	m.prepMu.Lock()
 	defer m.prepMu.Unlock()
 	if version < m.preparedAt {
@@ -31,32 +37,30 @@ func (m *Mediator) preparedLookup(src string, version int64) (algebra.Node, stri
 		// change that the cache has already seen: a plain miss, without
 		// winding the cache back and flushing entries valid at the newer
 		// version (versions only grow).
-		return nil, "", false
+		return preparedPlan{}, false
 	}
 	if m.preparedAt != version {
 		m.prepared = nil
 		m.prepOrder = m.prepOrder[:0]
 		m.preparedAt = version
-		return nil, "", false
+		return preparedPlan{}, false
 	}
 	p, ok := m.prepared[src]
-	if !ok {
-		return nil, "", false
-	}
-	return p.plan, p.str, true
+	return p, ok
 }
 
 // preparedStore caches a successful Prepare result under the catalog
-// version it was compiled against. A result whose version the cache has
-// already moved past — a Prepare that started before a catalog change and
-// finished after it — is dropped rather than stored: storing it would
-// flush every entry valid at the newer version for a plan nobody can ever
-// look up again.
-func (m *Mediator) preparedStore(src string, version int64, plan algebra.Node, str string) {
+// version it was compiled against and returns the entry that ended up in
+// the cache (the already-stored one when racing Prepares tie). A result
+// whose version the cache has already moved past — a Prepare that started
+// before a catalog change and finished after it — is dropped rather than
+// stored: storing it would flush every entry valid at the newer version
+// for a plan nobody can ever look up again.
+func (m *Mediator) preparedStore(src string, version int64, entry preparedPlan) preparedPlan {
 	m.prepMu.Lock()
 	defer m.prepMu.Unlock()
 	if version < m.preparedAt {
-		return
+		return entry
 	}
 	if m.preparedAt != version {
 		m.prepared = nil
@@ -66,15 +70,16 @@ func (m *Mediator) preparedStore(src string, version int64, plan algebra.Node, s
 	if m.prepared == nil {
 		m.prepared = make(map[string]preparedPlan)
 	}
-	if _, ok := m.prepared[src]; ok {
-		return
+	if prev, ok := m.prepared[src]; ok {
+		return prev
 	}
 	for len(m.prepOrder) >= maxPreparedPlans {
 		delete(m.prepared, m.prepOrder[0])
 		m.prepOrder = m.prepOrder[1:]
 	}
-	m.prepared[src] = preparedPlan{plan: plan, str: str}
+	m.prepared[src] = entry
 	m.prepOrder = append(m.prepOrder, src)
+	return entry
 }
 
 // clientFor returns the mediator's pooled wire client for a repository

@@ -129,12 +129,12 @@ func TestPreparedStoreStaleVersionDropped(t *testing.T) {
 	}
 	v := m.Catalog().Version()
 	// Simulate the straggler: a store compiled against a superseded catalog.
-	m.preparedStore("straggler", v-1, nil, "")
+	m.preparedStore("straggler", v-1, preparedPlan{})
 	if _, tr, err := m.Prepare(q); err != nil || !tr.CacheHit {
 		t.Fatalf("stale store flushed the warm cache (err=%v)", err)
 	}
 	// And a stale lookup neither hits nor rewinds the cache.
-	if _, _, ok := m.preparedLookup(q, v-1); ok {
+	if _, ok := m.preparedLookup(q, v-1); ok {
 		t.Fatal("lookup at a superseded version must miss")
 	}
 	if _, tr, err := m.Prepare(q); err != nil || !tr.CacheHit {
@@ -181,4 +181,77 @@ func TestPreparedStatementCacheConcurrent(t *testing.T) {
 	time.Sleep(60 * time.Millisecond)
 	close(stop)
 	wg.Wait()
+}
+
+// TestPreparedPlanSharesCompiledPrograms: repeated executions of a prepared
+// query must share one compiled-program cache (expressions lower once per
+// prepared statement), and a catalog change must swap in a fresh one along
+// with the fresh plan.
+func TestPreparedPlanSharesCompiledPrograms(t *testing.T) {
+	m := paperMediator(t)
+	const q = `select x.name from x in person where x.salary > 10`
+	e1, _, err := m.prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.progs == nil {
+		t.Fatal("prepared entry carries no program cache")
+	}
+	e2, tr, err := m.prepare(q)
+	if err != nil || !tr.CacheHit {
+		t.Fatalf("second prepare: err=%v hit=%v", err, tr != nil && tr.CacheHit)
+	}
+	if e2.progs != e1.progs {
+		t.Error("prepared-statement hit must reuse the compiled programs")
+	}
+	// A query through the cached entry actually runs with those programs,
+	// and repeated executions must not grow the cache — projections
+	// synthesize their constructor expression per build, so a misplaced
+	// cache key would add an entry per execution (a leak).
+	if _, err := m.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	n1 := e1.progs.Len()
+	if n1 == 0 {
+		t.Fatal("execution compiled no programs into the prepared entry")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n2 := e1.progs.Len(); n2 != n1 {
+		t.Errorf("program cache grew across executions of one prepared plan: %d -> %d", n1, n2)
+	}
+	// Same property for a plan with an explicit struct projection: the
+	// Project operator synthesizes its constructor expression per build,
+	// so its program must be cached under the stable plan node.
+	const pq = `select struct(nm: x.name, pay: x.salary) from x in person where x.salary > 10`
+	pe, _, err := m.prepare(pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Query(pq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pn := pe.progs.Len()
+	if _, err := m.Query(pq); err != nil {
+		t.Fatal(err)
+	}
+	if pn2 := pe.progs.Len(); pn2 != pn {
+		t.Errorf("projection program cache grew across executions: %d -> %d", pn, pn2)
+	}
+	// Catalog change: new plan, new program cache.
+	if err := m.Define(`define fresh as select y from y in person0`); err != nil {
+		t.Fatal(err)
+	}
+	e3, _, err := m.prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.progs == e1.progs {
+		t.Error("catalog change must invalidate the compiled programs with the plan")
+	}
 }

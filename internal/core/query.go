@@ -31,30 +31,38 @@ type Trace struct {
 // every stage timing at zero. Any catalog change (ExecODL, Define, drops)
 // invalidates the cache.
 func (m *Mediator) Prepare(src string) (algebra.Node, *Trace, error) {
+	entry, tr, err := m.prepare(src)
+	return entry.plan, tr, err
+}
+
+// prepare is Prepare plus the plan's compiled-program cache: executions of
+// a prepared plan share it, so operator expressions compile once per
+// prepared statement rather than once per query.
+func (m *Mediator) prepare(src string) (preparedPlan, *Trace, error) {
 	version := m.catalog.Version()
-	if plan, str, ok := m.preparedLookup(src, version); ok {
-		return plan, &Trace{Plan: str, CacheHit: true}, nil
+	if entry, ok := m.preparedLookup(src, version); ok {
+		return entry, &Trace{Plan: entry.str, CacheHit: true}, nil
 	}
 
 	tr := &Trace{}
 	t0 := time.Now()
 	expr, err := oql.ParseQuery(src)
 	if err != nil {
-		return nil, tr, err
+		return preparedPlan{}, tr, err
 	}
 	tr.Parse = time.Since(t0)
 
 	t0 = time.Now()
 	expanded, err := m.expandViews(expr)
 	if err != nil {
-		return nil, tr, err
+		return preparedPlan{}, tr, err
 	}
 	tr.Expand = time.Since(t0)
 
 	t0 = time.Now()
 	plan, err := algebra.Compile(expanded, planResolver{m: m})
 	if err != nil {
-		return nil, tr, err
+		return preparedPlan{}, tr, err
 	}
 	tr.Compile = time.Since(t0)
 
@@ -63,8 +71,8 @@ func (m *Mediator) Prepare(src string) (algebra.Node, *Trace, error) {
 	tr.Optimize = time.Since(t0)
 	tr.Plan = optimized.String()
 	tr.CacheHit = report.CacheHit
-	m.preparedStore(src, version, optimized, tr.Plan)
-	return optimized, tr, nil
+	entry := m.preparedStore(src, version, preparedPlan{plan: optimized, str: tr.Plan, progs: oql.NewProgramCache()})
+	return entry, tr, nil
 }
 
 // Query evaluates an OQL query and returns its value. Unavailable sources
@@ -76,11 +84,11 @@ func (m *Mediator) Query(src string) (types.Value, error) {
 
 // QueryTraced is Query with pipeline stage timings.
 func (m *Mediator) QueryTraced(src string) (types.Value, *Trace, error) {
-	plan, tr, err := m.Prepare(src)
+	entry, tr, err := m.prepare(src)
 	if err != nil {
 		return nil, tr, err
 	}
-	p, err := m.buildPhysical(plan)
+	p, err := m.buildPhysical(entry.plan, entry.progs)
 	if err != nil {
 		return nil, tr, err
 	}
@@ -99,11 +107,12 @@ func (m *Mediator) QueryTraced(src string) (types.Value, *Trace, error) {
 // some sources do not answer before the deadline, the answer is another
 // query (§4).
 func (m *Mediator) QueryPartial(src string) (*partial.Answer, error) {
-	plan, _, err := m.Prepare(src)
+	entry, _, err := m.prepare(src)
 	if err != nil {
 		return nil, err
 	}
-	p, err := m.buildPhysical(plan)
+	plan := entry.plan
+	p, err := m.buildPhysical(plan, entry.progs)
 	if err != nil {
 		return nil, err
 	}

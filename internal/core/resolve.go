@@ -118,7 +118,9 @@ func (r valueResolver) Resolve(name string, star bool) (types.Value, error) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), r.m.timeout)
 	defer cancel()
-	p, err := r.m.buildPhysical(plan)
+	// Ad-hoc resolver plans are built per evaluation (their expression
+	// nodes are fresh each time), so there is no program cache to share.
+	p, err := r.m.buildPhysical(plan, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -12,18 +12,22 @@ import (
 	"disco/internal/algebra"
 	"disco/internal/capability"
 	"disco/internal/catalog"
+	"disco/internal/oql"
 	"disco/internal/physical"
 	"disco/internal/types"
 	"disco/internal/wire"
 	"disco/internal/wrapper"
 )
 
-// buildPhysical wires a logical plan to the mediator's runtime.
-func (m *Mediator) buildPhysical(plan algebra.Node) (*physical.Plan, error) {
+// buildPhysical wires a logical plan to the mediator's runtime. progs is
+// the plan's compiled-program cache (shared across executions of a
+// prepared plan); nil compiles per execution.
+func (m *Mediator) buildPhysical(plan algebra.Node, progs *oql.ProgramCache) (*physical.Plan, error) {
 	rt := &physical.Runtime{
 		Submit:    m.submit,
 		Resolver:  valueResolver{m: m},
 		MaxFanout: m.maxFanout,
+		Programs:  progs,
 	}
 	return physical.Build(plan, rt)
 }

@@ -1,0 +1,670 @@
+package oql
+
+import (
+	"fmt"
+	"sync"
+
+	"disco/internal/types"
+)
+
+// This file implements the compiled evaluator: Compile lowers an OQL AST
+// once into a tree of Go closures that the execution engine calls per tuple,
+// instead of re-walking the AST through Eval. The lowering performs
+//
+//   - constant folding: pure subtrees over literals collapse to their value
+//     at compile time (a constant and/or operand short-circuits the branch
+//     away entirely, and a constant right side of `in` becomes a prebuilt
+//     hash set probed by canonical key);
+//   - slot-indexed variable lookup: every free name and every select-bound
+//     variable gets a fixed slot in a flat, reusable FlatEnv slice, so
+//     binding a tuple writes array elements instead of allocating the
+//     linked Env chain nodes the tree-walker uses;
+//   - direct field-offset access: each Path node caches the field offset it
+//     resolved in the FlatEnv and re-validates it with one name comparison
+//     per tuple, falling back to the struct's index only when the tuple
+//     layout changes mid-stream.
+//
+// Programs are immutable and safe for concurrent use; all mutable state
+// (slots, offset caches, the canonical-key scratch buffer) lives in the
+// FlatEnv, of which each operator instance creates its own. The
+// tree-walking Eval stays as the semantic reference: the differential and
+// fuzz tests check that Compile agrees with it on value and error outcome.
+
+// compiledFn evaluates one compiled node against a FlatEnv.
+type compiledFn func(*FlatEnv) (types.Value, error)
+
+// Program is a compiled expression. It is created once per expression (at
+// plan build, cached with the prepared-statement pipeline) and evaluated
+// many times, each caller supplying its own FlatEnv.
+type Program struct {
+	expr   Expr
+	fn     compiledFn
+	names  []string // free-name slots, in slot order 0..len-1
+	nslots int      // free names plus the deepest select-binding nesting
+	ncache int      // Path field-offset cache slots
+}
+
+// Compile lowers an expression into a Program. The program's variable slots
+// are the expression's free names in FreeNames order; bind them per tuple
+// with FlatEnv.BindStruct (or individually with FlatEnv.Bind).
+func Compile(e Expr) (*Program, error) {
+	c := &compiler{}
+	c.names = append(c.names, FreeNames(e)...)
+	c.maxSlots = len(c.names)
+	n, err := c.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{
+		expr:   e,
+		fn:     n.fn,
+		names:  c.names[:len(c.names):len(c.names)],
+		nslots: c.maxSlots,
+		ncache: c.ncache,
+	}, nil
+}
+
+// Expr returns the source expression the program was compiled from.
+func (p *Program) Expr() Expr { return p.expr }
+
+// Names returns the program's free names in slot order.
+func (p *Program) Names() []string { return p.names }
+
+// NewEnv returns a fresh environment for evaluating the program. A nil
+// resolver means no free collection names resolve.
+func (p *Program) NewEnv(r Resolver) *FlatEnv {
+	if r == nil {
+		r = EmptyResolver
+	}
+	env := &FlatEnv{
+		prog:     p,
+		slots:    make([]types.Value, p.nslots),
+		cache:    make([]int32, p.ncache),
+		fieldIdx: make([]int32, len(p.names)),
+		resolver: r,
+	}
+	for i := range env.cache {
+		env.cache[i] = -1
+	}
+	for i := range env.fieldIdx {
+		env.fieldIdx[i] = -1
+	}
+	return env
+}
+
+// Eval runs the program. Like the tree-walking Eval, failures surface as
+// *EvalError annotated with the program's source expression.
+func (p *Program) Eval(env *FlatEnv) (types.Value, error) {
+	v, err := p.fn(env)
+	if err != nil {
+		if _, ok := err.(*EvalError); ok {
+			return nil, err
+		}
+		return nil, &EvalError{Expr: p.expr, Err: err}
+	}
+	return v, nil
+}
+
+// FlatEnv is the mutable evaluation state of one Program instance: a flat
+// slot array replacing the allocated Env chain, the per-Path field-offset
+// caches, and a reusable canonical-key scratch buffer. A FlatEnv is not
+// safe for concurrent use; each operator creates its own.
+type FlatEnv struct {
+	prog     *Program
+	slots    []types.Value
+	cache    []int32 // Path inline caches: last field offset, -1 = empty
+	fieldIdx []int32 // BindStruct inline caches per free-name slot
+	resolver Resolver
+	keyer    types.Keyer
+}
+
+// Bind sets the i-th free-name slot (order = Program.Names()). A nil value
+// unbinds the slot, sending lookups to the resolver.
+func (env *FlatEnv) Bind(i int, v types.Value) { env.slots[i] = v }
+
+// BindStruct binds every program variable present as a field of st and
+// unbinds the rest — the compiled equivalent of chaining one Env node per
+// struct field. Offsets resolved on earlier tuples are revalidated with a
+// single name comparison, so a homogeneous stream pays no map lookups.
+func (env *FlatEnv) BindStruct(st *types.Struct) {
+	for j, name := range env.prog.names {
+		if idx := env.fieldIdx[j]; idx >= 0 && int(idx) < st.Len() {
+			if f := st.FieldAt(int(idx)); f.Name == name {
+				env.slots[j] = f.Value
+				continue
+			}
+		}
+		if i, ok := st.IndexOf(name); ok {
+			env.fieldIdx[j] = int32(i)
+			env.slots[j] = st.FieldAt(i).Value
+		} else {
+			env.fieldIdx[j] = -1
+			env.slots[j] = nil
+		}
+	}
+}
+
+// ProgramCache memoizes Compile per expression node. The mediator attaches
+// one to each prepared plan, so re-executing a cached plan reuses the
+// compiled programs; it is safe for concurrent use (programs are immutable,
+// only the map is guarded).
+type ProgramCache struct {
+	mu sync.RWMutex
+	m  map[any]*Program
+}
+
+// NewProgramCache returns an empty cache.
+func NewProgramCache() *ProgramCache {
+	return &ProgramCache{m: make(map[any]*Program)}
+}
+
+// Get returns the compiled program for e, compiling on first use. A nil
+// cache compiles without memoizing.
+func (c *ProgramCache) Get(e Expr) (*Program, error) {
+	return c.GetKeyed(e, func() Expr { return e })
+}
+
+// GetKeyed returns the program cached under key, calling mk and compiling
+// its expression on first use. It exists for expressions synthesized at
+// plan-build time (a projection's struct constructor): the synthesized
+// node has a fresh pointer every build, so caching must key on the stable
+// plan node that produced it, or the cache would miss — and grow — on
+// every execution. A nil cache compiles without memoizing.
+func (c *ProgramCache) GetKeyed(key any, mk func() Expr) (*Program, error) {
+	if c == nil {
+		return Compile(mk())
+	}
+	c.mu.RLock()
+	p, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	p, err := Compile(mk())
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.m[key] = p
+	c.mu.Unlock()
+	return p, nil
+}
+
+// Len reports the number of cached programs (tests and monitoring).
+func (c *ProgramCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// --- compilation ------------------------------------------------------------
+
+// compiler carries the lexical scope (a stack of slot-assigned names) and
+// the cache-slot counter through one Compile run.
+type compiler struct {
+	names    []string // slot i holds names[i]; lookup scans innermost-first
+	maxSlots int
+	ncache   int
+}
+
+func (c *compiler) lookup(name string) (int, bool) {
+	for i := len(c.names) - 1; i >= 0; i-- {
+		if c.names[i] == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func (c *compiler) push(name string) int {
+	c.names = append(c.names, name)
+	if len(c.names) > c.maxSlots {
+		c.maxSlots = len(c.names)
+	}
+	return len(c.names) - 1
+}
+
+func (c *compiler) pop(n int) { c.names = c.names[:len(c.names)-n] }
+
+func (c *compiler) cacheSlot() int {
+	c.ncache++
+	return c.ncache - 1
+}
+
+// cnode is one compiled subtree; konst is non-nil when the subtree folded
+// to a constant.
+type cnode struct {
+	fn    compiledFn
+	konst types.Value
+}
+
+func constNode(v types.Value) cnode {
+	return cnode{fn: func(*FlatEnv) (types.Value, error) { return v, nil }, konst: v}
+}
+
+// errNode defers a compile-time-detected evaluation error to run time: the
+// tree-walker only fails when the faulty subtree is actually evaluated
+// (short-circuiting may skip it), and folding must not change that.
+func errNode(err error) cnode {
+	return cnode{fn: func(*FlatEnv) (types.Value, error) { return nil, err }}
+}
+
+func (c *compiler) compile(e Expr) (cnode, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return constNode(x.Val), nil
+	case *Ident:
+		return c.compileIdent(x), nil
+	case *Path:
+		return c.compilePath(x)
+	case *Unary:
+		return c.compileUnary(x)
+	case *Binary:
+		return c.compileBinary(x)
+	case *StructCtor:
+		return c.compileStructCtor(x)
+	case *Call:
+		return c.compileCall(x)
+	case *Select:
+		return c.compileSelect(x)
+	default:
+		return cnode{}, fmt.Errorf("cannot compile %T", e)
+	}
+}
+
+func (c *compiler) compileIdent(x *Ident) cnode {
+	name, star := x.Name, x.Star
+	if !star {
+		if slot, ok := c.lookup(name); ok {
+			return cnode{fn: func(env *FlatEnv) (types.Value, error) {
+				if v := env.slots[slot]; v != nil {
+					return v, nil
+				}
+				return env.resolver.Resolve(name, false)
+			}}
+		}
+	}
+	return cnode{fn: func(env *FlatEnv) (types.Value, error) {
+		return env.resolver.Resolve(name, star)
+	}}
+}
+
+func (c *compiler) compilePath(x *Path) (cnode, error) {
+	base, err := c.compile(x.Base)
+	if err != nil {
+		return cnode{}, err
+	}
+	field := x.Field
+	if base.konst != nil {
+		st, ok := base.konst.(*types.Struct)
+		if !ok {
+			return errNode(fmt.Errorf("cannot access .%s on %s", field, base.konst.Kind())), nil
+		}
+		v, ok := st.Get(field)
+		if !ok {
+			return errNode(fmt.Errorf("no attribute %q in %s", field, base.konst)), nil
+		}
+		return constNode(v), nil
+	}
+	slot := c.cacheSlot()
+	return cnode{fn: func(env *FlatEnv) (types.Value, error) {
+		bv, err := base.fn(env)
+		if err != nil {
+			return nil, err
+		}
+		st, ok := bv.(*types.Struct)
+		if !ok {
+			return nil, fmt.Errorf("cannot access .%s on %s", field, bv.Kind())
+		}
+		// Inline cache: reuse the offset resolved on the previous tuple when
+		// the layout still matches (one name comparison), else fall back to
+		// the struct index and remember the new offset.
+		if idx := env.cache[slot]; idx >= 0 && int(idx) < st.Len() {
+			if f := st.FieldAt(int(idx)); f.Name == field {
+				return f.Value, nil
+			}
+		}
+		i, ok := st.IndexOf(field)
+		if !ok {
+			env.cache[slot] = -1
+			return nil, fmt.Errorf("no attribute %q in %s", field, bv)
+		}
+		env.cache[slot] = int32(i)
+		return st.FieldAt(i).Value, nil
+	}}, nil
+}
+
+func (c *compiler) compileUnary(x *Unary) (cnode, error) {
+	sub, err := c.compile(x.X)
+	if err != nil {
+		return cnode{}, err
+	}
+	apply := func(v types.Value) (types.Value, error) {
+		switch x.Op {
+		case OpNot:
+			b, err := types.Truthy(v)
+			if err != nil {
+				return nil, err
+			}
+			return types.Bool(!b), nil
+		case OpNeg:
+			switch n := v.(type) {
+			case types.Int:
+				return types.Int(-n), nil
+			case types.Float:
+				return types.Float(-n), nil
+			default:
+				return nil, fmt.Errorf("cannot negate %s", v.Kind())
+			}
+		default:
+			return nil, fmt.Errorf("unknown unary operator")
+		}
+	}
+	if sub.konst != nil {
+		v, err := apply(sub.konst)
+		if err != nil {
+			return errNode(err), nil
+		}
+		return constNode(v), nil
+	}
+	return cnode{fn: func(env *FlatEnv) (types.Value, error) {
+		v, err := sub.fn(env)
+		if err != nil {
+			return nil, err
+		}
+		return apply(v)
+	}}, nil
+}
+
+func (c *compiler) compileBinary(x *Binary) (cnode, error) {
+	l, err := c.compile(x.L)
+	if err != nil {
+		return cnode{}, err
+	}
+	r, err := c.compile(x.R)
+	if err != nil {
+		return cnode{}, err
+	}
+	if x.Op == OpAnd || x.Op == OpOr {
+		return c.compileConnective(x.Op, l, r), nil
+	}
+	if x.Op == OpIn && l.konst == nil && r.konst != nil {
+		// Constant right side: prebuild the membership set keyed by canonical
+		// key (identical for model-equal values, so Int 2 matches Float 2
+		// exactly as Equal does) and probe it per tuple. A non-collection
+		// constant keeps the generic path so the error matches Eval's, and
+		// so does a set holding integers beyond float64's exact range,
+		// where canonical keys are coarser than Equal.
+		set := make(map[string]bool)
+		exact := true
+		if err := types.RangeElements(r.konst, func(e types.Value) bool {
+			exact = exact && canonicalKeyExact(e)
+			set[types.CanonicalKey(e)] = true
+			return exact
+		}); err == nil && exact {
+			return cnode{fn: func(env *FlatEnv) (types.Value, error) {
+				lv, err := l.fn(env)
+				if err != nil {
+					return nil, err
+				}
+				return types.Bool(set[env.keyer.Key(lv)]), nil
+			}}, nil
+		}
+	}
+	if l.konst != nil && r.konst != nil {
+		v, err := ApplyBinary(x.Op, l.konst, r.konst)
+		if err != nil {
+			return errNode(err), nil
+		}
+		return constNode(v), nil
+	}
+	op := x.Op
+	return cnode{fn: func(env *FlatEnv) (types.Value, error) {
+		lv, err := l.fn(env)
+		if err != nil {
+			return nil, err
+		}
+		rv, err := r.fn(env)
+		if err != nil {
+			return nil, err
+		}
+		return ApplyBinary(op, lv, rv)
+	}}, nil
+}
+
+// compileConnective lowers and/or with the tree-walker's short-circuit
+// semantics: a constant left operand either decides the result at compile
+// time or reduces the node to the right operand's truthiness.
+func (c *compiler) compileConnective(op BinaryOp, l, r cnode) cnode {
+	truthiness := func(n cnode) cnode {
+		if n.konst != nil {
+			b, err := types.Truthy(n.konst)
+			if err != nil {
+				return errNode(err)
+			}
+			return constNode(types.Bool(b))
+		}
+		return cnode{fn: func(env *FlatEnv) (types.Value, error) {
+			v, err := n.fn(env)
+			if err != nil {
+				return nil, err
+			}
+			b, err := types.Truthy(v)
+			if err != nil {
+				return nil, err
+			}
+			return types.Bool(b), nil
+		}}
+	}
+	if l.konst != nil {
+		lb, err := types.Truthy(l.konst)
+		if err != nil {
+			return errNode(err)
+		}
+		if (op == OpAnd && !lb) || (op == OpOr && lb) {
+			return constNode(types.Bool(lb))
+		}
+		return truthiness(r)
+	}
+	rt := truthiness(r)
+	return cnode{fn: func(env *FlatEnv) (types.Value, error) {
+		lv, err := l.fn(env)
+		if err != nil {
+			return nil, err
+		}
+		lb, err := types.Truthy(lv)
+		if err != nil {
+			return nil, err
+		}
+		if (op == OpAnd && !lb) || (op == OpOr && lb) {
+			return types.Bool(lb), nil
+		}
+		return rt.fn(env)
+	}}
+}
+
+// canonicalKeyExact reports whether canonical-key equality coincides with
+// model equality for v. Keys render numerics through float64, so integers
+// at or beyond 2^53 can collide with unequal neighbors; everything else
+// keys exactly.
+func canonicalKeyExact(v types.Value) bool {
+	const maxExact = types.Int(1) << 53
+	switch x := v.(type) {
+	case types.Int:
+		return x > -maxExact && x < maxExact
+	case *types.Struct:
+		for i := 0; i < x.Len(); i++ {
+			if !canonicalKeyExact(x.FieldAt(i).Value) {
+				return false
+			}
+		}
+		return true
+	case *types.Bag, *types.List, *types.Set:
+		exact := true
+		_ = types.RangeElements(x, func(e types.Value) bool {
+			exact = canonicalKeyExact(e)
+			return exact
+		})
+		return exact
+	default:
+		return true
+	}
+}
+
+func (c *compiler) compileStructCtor(x *StructCtor) (cnode, error) {
+	fns := make([]cnode, len(x.Fields))
+	names := make([]string, len(x.Fields))
+	allConst := true
+	for i, f := range x.Fields {
+		sub, err := c.compile(f.Expr)
+		if err != nil {
+			return cnode{}, err
+		}
+		fns[i] = sub
+		names[i] = f.Name
+		if sub.konst == nil {
+			allConst = false
+		}
+	}
+	if allConst {
+		fields := make([]types.Field, len(fns))
+		for i, sub := range fns {
+			fields[i] = types.Field{Name: names[i], Value: sub.konst}
+		}
+		return constNode(types.NewStruct(fields...)), nil
+	}
+	return cnode{fn: func(env *FlatEnv) (types.Value, error) {
+		fields := make([]types.Field, len(fns))
+		for i, sub := range fns {
+			v, err := sub.fn(env)
+			if err != nil {
+				return nil, err
+			}
+			fields[i] = types.Field{Name: names[i], Value: v}
+		}
+		return types.StructFromFields(fields), nil
+	}}, nil
+}
+
+func (c *compiler) compileCall(x *Call) (cnode, error) {
+	fns := make([]cnode, len(x.Args))
+	allConst := true
+	for i, a := range x.Args {
+		sub, err := c.compile(a)
+		if err != nil {
+			return cnode{}, err
+		}
+		fns[i] = sub
+		if sub.konst == nil {
+			allConst = false
+		}
+	}
+	fn := x.Fn
+	if allConst {
+		args := make([]types.Value, len(fns))
+		for i, sub := range fns {
+			args[i] = sub.konst
+		}
+		v, err := ApplyCall(fn, args)
+		if err != nil {
+			return errNode(err), nil
+		}
+		return constNode(v), nil
+	}
+	return cnode{fn: func(env *FlatEnv) (types.Value, error) {
+		args := make([]types.Value, len(fns))
+		for i, sub := range fns {
+			v, err := sub.fn(env)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return ApplyCall(fn, args)
+	}}, nil
+}
+
+func (c *compiler) compileSelect(x *Select) (cnode, error) {
+	domains := make([]cnode, len(x.From))
+	slots := make([]int, len(x.From))
+	vars := make([]string, len(x.From))
+	for i, b := range x.From {
+		// A domain may reference earlier bindings, so compile it before
+		// pushing its own variable.
+		sub, err := c.compile(b.Domain)
+		if err != nil {
+			c.pop(i)
+			return cnode{}, err
+		}
+		domains[i] = sub
+		slots[i] = c.push(b.Var)
+		vars[i] = b.Var
+	}
+	var where, proj cnode
+	var err error
+	if x.Where != nil {
+		where, err = c.compile(x.Where)
+		if err != nil {
+			c.pop(len(x.From))
+			return cnode{}, err
+		}
+	}
+	proj, err = c.compile(x.Proj)
+	c.pop(len(x.From))
+	if err != nil {
+		return cnode{}, err
+	}
+	distinct := x.Distinct
+	hasWhere := x.Where != nil
+	return cnode{fn: func(env *FlatEnv) (types.Value, error) {
+		var out []types.Value
+		var loop func(i int) error
+		loop = func(i int) error {
+			if i == len(domains) {
+				if hasWhere {
+					cond, err := where.fn(env)
+					if err != nil {
+						return err
+					}
+					keep, err := types.Truthy(cond)
+					if err != nil {
+						return err
+					}
+					if !keep {
+						return nil
+					}
+				}
+				v, err := proj.fn(env)
+				if err != nil {
+					return err
+				}
+				out = append(out, v)
+				return nil
+			}
+			dom, err := domains[i].fn(env)
+			if err != nil {
+				return err
+			}
+			var loopErr error
+			if err := types.RangeElements(dom, func(e types.Value) bool {
+				env.slots[slots[i]] = e
+				loopErr = loop(i + 1)
+				return loopErr == nil
+			}); err != nil {
+				return fmt.Errorf("from %s: %w", vars[i], err)
+			}
+			return loopErr
+		}
+		if err := loop(0); err != nil {
+			return nil, err
+		}
+		result := types.NewBag(out...)
+		if distinct {
+			result = types.BagDistinct(result)
+		}
+		return result, nil
+	}}, nil
+}

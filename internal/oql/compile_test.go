@@ -1,0 +1,305 @@
+package oql
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"disco/internal/types"
+)
+
+// runCompiled parses, compiles and evaluates src with the tuple's fields
+// bound as variables (nil tuple means no bindings).
+func runCompiled(t *testing.T, src string, tuple *types.Struct, r Resolver) (types.Value, error) {
+	t.Helper()
+	e, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	prog, err := Compile(e)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	env := prog.NewEnv(r)
+	if tuple != nil {
+		env.BindStruct(tuple)
+	}
+	return prog.Eval(env)
+}
+
+// runReference evaluates src the tree-walking way, with the tuple's fields
+// bound through an Env chain exactly as the physical layer's evalWith did.
+func runReference(t *testing.T, src string, tuple *types.Struct, r Resolver) (types.Value, error) {
+	t.Helper()
+	e, err := ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	var env *Env
+	if tuple != nil {
+		for _, f := range tuple.Fields() {
+			env = env.Bind(f.Name, f.Value)
+		}
+	}
+	return Eval(e, env, r)
+}
+
+// diffCompiled checks that the compiled evaluator agrees with the reference
+// on value (including kind) or on failing.
+func diffCompiled(t *testing.T, src string, tuple *types.Struct, r Resolver) {
+	t.Helper()
+	want, wantErr := runReference(t, src, tuple, r)
+	got, gotErr := runCompiled(t, src, tuple, r)
+	switch {
+	case (wantErr == nil) != (gotErr == nil):
+		t.Errorf("%q: reference err = %v, compiled err = %v", src, wantErr, gotErr)
+	case wantErr == nil:
+		if !got.Equal(want) || got.Kind() != want.Kind() {
+			t.Errorf("%q: reference = %s (%s), compiled = %s (%s)", src, want, want.Kind(), got, got.Kind())
+		}
+	}
+}
+
+func testTuple() *types.Struct {
+	return types.NewStruct(
+		types.Field{Name: "x", Value: types.NewStruct(
+			types.Field{Name: "id", Value: types.Int(1)},
+			types.Field{Name: "name", Value: types.Str("Mary")},
+			types.Field{Name: "salary", Value: types.Int(200)},
+		)},
+		types.Field{Name: "n", Value: types.Int(7)},
+		types.Field{Name: "f", Value: types.Float(2.5)},
+		types.Field{Name: "s", Value: types.Str("abc")},
+		types.Field{Name: "b", Value: types.Bool(true)},
+		types.Field{Name: "kids", Value: types.NewBag(types.Int(1), types.Int(2))},
+	)
+}
+
+// TestCompiledAgreesWithEval is the differential corpus: every expression
+// class, evaluated both ways over the same bindings and resolver.
+func TestCompiledAgreesWithEval(t *testing.T) {
+	exprs := []string{
+		// Scalars, arithmetic, folding candidates.
+		`1 + 2 * 3`,
+		`1 + 2.5`,
+		`7 / 2`, `7.0 / 2`, `7 mod 2`,
+		`"a" + "b"`,
+		`-(1 + 2)`, `-f`,
+		`1 / 0`, `1 mod 0`, `1.0 mod 2`, `"a" + 1`, `-"a"`,
+		// Variables and paths.
+		`n + 1`, `x.salary > 10`, `x.name`, `x.nosuch`, `n.field`,
+		`x.salary * 2 + n`,
+		// Comparisons and connectives.
+		`1 < 2`, `1 = 1.0`, `s != "abc"`, `b and n > 3`, `b or 1 = "x"`,
+		`false and (1 = "x")`, `true or (1 = "x")`, `1 and true`,
+		`not b`, `not n`,
+		// in, with constant and dynamic right sides.
+		`2 in bag(1, 2, 3)`, `5 in bag(1, 2, 3)`, `f in bag(1, 2.5)`,
+		`n in bag(1, 7)`, `n in kids`, `n in 6`, `1 in bag()`,
+		`x.id in bag(1, 2)`,
+		// Calls.
+		`count(kids)`, `sum(kids)`, `avg(kids)`, `min(kids)`, `max(kids)`,
+		`exists(kids)`, `element(bag(7))`, `element(kids)`,
+		`count(distinct(bag(1, 1, 2)))`,
+		`flatten(bag(bag(1), bag(2, 3)))`,
+		`union(bag(1), kids)`, `sort(kids)`, `contains(s, "bc")`,
+		`contains(s, n)`, `nosuchfn(1)`, `count(1)`,
+		// Struct construction.
+		`struct(a: 1 + 1, b: x.name)`, `struct(a: 1).a`, `struct(a: 1).b`,
+		// Selects: plain, filtered, distinct, dependent, nested, correlated.
+		`select k from k in kids`,
+		`select k * 2 from k in kids where k > 1`,
+		`select distinct k from k in bag(1, 1, 2)`,
+		`select m from g in groups, m in g.members`,
+		`select struct(nm: p.name, t: sum(select z.salary from z in person where z.name = p.name)) from p in person`,
+		`select (select k from k in bag(2)) from k in bag(1)`,
+		`select k from k in 5`,
+		`select k from k in kids where k`,
+		// Free names through the resolver, star form.
+		`count(person)`, `count(nosuchextent)`,
+		`select p.name from p in person* where p.salary > 60`,
+	}
+	groups := types.NewBag(
+		types.NewStruct(
+			types.Field{Name: "label", Value: types.Str("g1")},
+			types.Field{Name: "members", Value: types.NewBag(types.Str("a"), types.Str("b"))},
+		),
+	)
+	r := ResolverFunc(func(name string, star bool) (types.Value, error) {
+		if name == "groups" {
+			return groups, nil
+		}
+		return paperData().Resolve(name, star)
+	})
+	tuple := testTuple()
+	for _, src := range exprs {
+		diffCompiled(t, src, tuple, r)
+	}
+	// The same corpus with no bindings at all: every name goes through the
+	// resolver, errors included.
+	for _, src := range []string{`1 + 2`, `x.salary`, `count(person)`, `n in bag(1)`} {
+		diffCompiled(t, src, nil, r)
+	}
+}
+
+// TestCompiledConstantFolding: folded programs still defer evaluation
+// errors to run time, and short-circuit folding drops failing branches
+// exactly like the tree-walker.
+func TestCompiledConstantFolding(t *testing.T) {
+	// A pure constant expression needs no resolver and no bindings.
+	v, err := runCompiled(t, `(1 + 2) * 3 - count(bag(1, 1))`, nil, nil)
+	if err != nil || !v.Equal(types.Int(7)) {
+		t.Errorf("folded constant = %v, %v", v, err)
+	}
+	// Folding must not turn a runtime error into a compile error...
+	e, err := ParseQuery(`1 / 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(e)
+	if err != nil {
+		t.Fatalf("compile of 1/0 must succeed (error is a runtime property): %v", err)
+	}
+	// ...but evaluating it fails like the reference.
+	if _, err := prog.Eval(prog.NewEnv(nil)); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("eval of folded 1/0: err = %v", err)
+	}
+	// Short-circuit folding: the dead branch's error never surfaces.
+	v, err = runCompiled(t, `false and (1 / 0 = 1)`, nil, nil)
+	if err != nil || !v.Equal(types.Bool(false)) {
+		t.Errorf("short-circuit fold = %v, %v", v, err)
+	}
+}
+
+// TestCompiledFieldOffsetCache: the inline caches must survive tuples whose
+// layouts differ mid-stream (different field order, missing fields).
+func TestCompiledFieldOffsetCache(t *testing.T) {
+	e, err := ParseQuery(`x.a + x.b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := prog.NewEnv(nil)
+	mk := func(fields ...types.Field) *types.Struct { return types.NewStruct(fields...) }
+	tuples := []struct {
+		tuple *types.Struct
+		want  types.Value
+		fail  bool
+	}{
+		{mk(types.Field{Name: "x", Value: mk(
+			types.Field{Name: "a", Value: types.Int(1)},
+			types.Field{Name: "b", Value: types.Int(2)})}), types.Int(3), false},
+		// Reversed layout: cached offsets are stale and must re-resolve.
+		{mk(types.Field{Name: "x", Value: mk(
+			types.Field{Name: "b", Value: types.Int(20)},
+			types.Field{Name: "a", Value: types.Int(10)})}), types.Int(30), false},
+		// Field gone: must error, not serve a stale offset.
+		{mk(types.Field{Name: "x", Value: mk(
+			types.Field{Name: "a", Value: types.Int(1)})}), nil, true},
+		// And recover on the next well-formed tuple.
+		{mk(types.Field{Name: "x", Value: mk(
+			types.Field{Name: "a", Value: types.Int(5)},
+			types.Field{Name: "b", Value: types.Int(6)})}), types.Int(11), false},
+	}
+	for i, tt := range tuples {
+		env.BindStruct(tt.tuple)
+		v, err := prog.Eval(env)
+		if tt.fail {
+			if err == nil {
+				t.Errorf("tuple %d: expected error, got %s", i, v)
+			}
+			continue
+		}
+		if err != nil || !v.Equal(tt.want) {
+			t.Errorf("tuple %d: got %v, %v, want %s", i, v, err, tt.want)
+		}
+	}
+}
+
+// TestProgramConcurrentUse: one Program shared by many goroutines, each
+// with its own FlatEnv — the prepared-statement cache's sharing pattern.
+// Run under -race.
+func TestProgramConcurrentUse(t *testing.T) {
+	e, err := ParseQuery(`select k * n from k in kids where k in bag(1, 2, 3)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := testTuple()
+	want, err := runReference(t, `select k * n from k in kids where k in bag(1, 2, 3)`, tuple, EmptyResolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env := prog.NewEnv(EmptyResolver)
+			for i := 0; i < 200; i++ {
+				env.BindStruct(tuple)
+				v, err := prog.Eval(env)
+				if err != nil || !v.Equal(want) {
+					t.Errorf("concurrent eval = %v, %v", v, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestProgramCache: same expression node compiles once; distinct nodes get
+// distinct programs; the nil cache still compiles.
+func TestProgramCache(t *testing.T) {
+	cache := NewProgramCache()
+	e, err := ParseQuery(`n + 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := cache.Get(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := cache.Get(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("cache must return the memoized program")
+	}
+	var nilCache *ProgramCache
+	p3, err := nilCache.Get(e)
+	if err != nil || p3 == nil {
+		t.Errorf("nil cache Get = %v, %v", p3, err)
+	}
+}
+
+// TestCompiledSelectShadowing mirrors TestEnvShadowing for the slot-indexed
+// environment: an inner binding must shadow an outer slot of the same name
+// and a tuple-bound variable.
+func TestCompiledSelectShadowing(t *testing.T) {
+	tuple := types.NewStruct(types.Field{Name: "k", Value: types.Int(99)})
+	diffCompiled(t, `select (select k from k in bag(2)) from k in bag(1)`, tuple, EmptyResolver)
+	diffCompiled(t, `k + element(select k from k in bag(5))`, tuple, EmptyResolver)
+}
+
+// TestCompiledInBigIntegers: canonical keys render numerics as float64, so
+// the prebuilt-set fast path must back off for integers beyond 2^53 —
+// where key equality is coarser than Equal.
+func TestCompiledInBigIntegers(t *testing.T) {
+	for _, src := range []string{
+		`9007199254740993 in bag(9007199254740992)`, // 2^53+1 vs 2^53: unequal, keys collide
+		`9007199254740992 in bag(9007199254740992)`,
+		`n in bag(9007199254740992, 1)`,
+		`7 in bag(1, 7)`,
+	} {
+		diffCompiled(t, src, testTuple(), EmptyResolver)
+	}
+}

@@ -1,6 +1,10 @@
 package oql
 
-import "testing"
+import (
+	"testing"
+
+	"disco/internal/types"
+)
 
 // FuzzParseQuery checks that the parser never panics and that successful
 // parses satisfy the print/reparse closure property on arbitrary input.
@@ -40,6 +44,72 @@ func FuzzParseQuery(f *testing.F) {
 		}
 		if !Equal(e, back) {
 			t.Fatalf("round trip mismatch for %q:\n first  %s\n second %s", src, e, back)
+		}
+	})
+}
+
+// FuzzCompiledEval checks the compiled evaluator against the tree-walking
+// reference on arbitrary parseable expressions: same value (and kind) or
+// both fail. Run with `go test -fuzz=FuzzCompiledEval ./internal/oql`.
+func FuzzCompiledEval(f *testing.F) {
+	seeds := []string{
+		`select x.name from x in person where x.salary > 10`,
+		`x.salary * 2 + n`,
+		`n in bag(1, 7) and not b`,
+		`false and (1 / 0 = 1)`,
+		`struct(a: k + 1, b: s).a`,
+		`sum(select k from k in kids where k in bag(1, 2, 3))`,
+		`select (select k from k in bag(2)) from k in bag(1)`,
+		`count(person) + count(nosuch)`,
+		`1 / 0`,
+		`select m from g in groups, m in g.members`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	tuple := types.NewStruct(
+		types.Field{Name: "x", Value: types.NewStruct(
+			types.Field{Name: "name", Value: types.Str("Mary")},
+			types.Field{Name: "salary", Value: types.Int(200)},
+		)},
+		types.Field{Name: "n", Value: types.Int(7)},
+		types.Field{Name: "k", Value: types.Int(3)},
+		types.Field{Name: "s", Value: types.Str("abc")},
+		types.Field{Name: "b", Value: types.Bool(true)},
+		types.Field{Name: "kids", Value: types.NewBag(types.Int(1), types.Int(2))},
+	)
+	person := types.NewBag(tuple)
+	resolver := ResolverFunc(func(name string, _ bool) (types.Value, error) {
+		switch name {
+		case "person", "groups":
+			return person, nil
+		default:
+			return nil, errUnknown
+		}
+	})
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		var env *Env
+		for _, fl := range tuple.Fields() {
+			env = env.Bind(fl.Name, fl.Value)
+		}
+		want, wantErr := Eval(e, env, resolver)
+
+		prog, err := Compile(e)
+		if err != nil {
+			t.Fatalf("compile of parseable %q failed: %v", src, err)
+		}
+		fenv := prog.NewEnv(resolver)
+		fenv.BindStruct(tuple)
+		got, gotErr := prog.Eval(fenv)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("%q: reference err = %v, compiled err = %v", src, wantErr, gotErr)
+		}
+		if wantErr == nil && (!got.Equal(want) || got.Kind() != want.Kind()) {
+			t.Fatalf("%q: reference = %s (%s), compiled = %s (%s)", src, want, want.Kind(), got, got.Kind())
 		}
 	})
 }

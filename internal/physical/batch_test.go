@@ -1,0 +1,228 @@
+package physical
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"disco/internal/algebra"
+	"disco/internal/types"
+)
+
+// intBag builds a bag of 0..n-1 wrapped as {x: i} tuples.
+func intBag(n int) *types.Bag {
+	rows := make([]types.Value, n)
+	for i := range rows {
+		rows[i] = types.NewStruct(types.Field{Name: "x", Value: types.Int(int64(i))})
+	}
+	return types.NewBag(rows...)
+}
+
+// drainWithCap runs an operator to exhaustion using a caller batch of the
+// given capacity — exercising partial-batch and resume paths that the
+// default capacity never hits.
+func drainWithCap(t *testing.T, op Operator, capacity int) []types.Value {
+	t.Helper()
+	if err := op.Open(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer op.Close()
+	b := types.NewBatch(capacity)
+	var out []types.Value
+	for {
+		err := op.NextBatch(b)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() == 0 {
+			t.Fatal("NextBatch returned nil with an empty batch")
+		}
+		if b.Len() > capacity {
+			t.Fatalf("NextBatch produced %d values into a capacity-%d batch", b.Len(), capacity)
+		}
+		out = append(out, b.Values()...)
+	}
+}
+
+// TestBatchBoundaries runs the element-wise operator stack across inputs
+// that straddle batch boundaries (sizes around BatchSize) and output
+// capacities down to one — every operator must produce exactly the
+// tuple-at-a-time result regardless of batch geometry.
+func TestBatchBoundaries(t *testing.T) {
+	rt := &Runtime{}
+	pred := parseExpr(t, `x mod 3 = 0`)
+	for _, n := range []int{0, 1, 5, types.BatchSize - 1, types.BatchSize, types.BatchSize + 1, 2*types.BatchSize + 7} {
+		for _, capacity := range []int{1, 3, types.BatchSize} {
+			op := &MkMap{
+				Expr: parseExpr(t, `x * 2`),
+				Input: &MkSelect{
+					Pred:  pred,
+					Input: &ConstScan{Bag: intBag(n)},
+					rt:    rt,
+				},
+				rt: rt,
+			}
+			got := drainWithCap(t, op, capacity)
+			want := 0
+			for i := 0; i < n; i += 3 {
+				want++
+			}
+			if len(got) != want {
+				t.Fatalf("n=%d cap=%d: %d rows, want %d", n, capacity, len(got), want)
+			}
+		}
+	}
+}
+
+// TestBatchJoinsResumeAcrossCalls: joins whose output exceeds the batch
+// capacity must carry their scan position between NextBatch calls without
+// losing or duplicating pairs.
+func TestBatchJoinsResumeAcrossCalls(t *testing.T) {
+	rt := &Runtime{}
+	mkSide := func(varName string, n int) *types.Bag {
+		rows := make([]types.Value, n)
+		for i := range rows {
+			rows[i] = types.NewStruct(types.Field{Name: varName, Value: types.NewStruct(
+				types.Field{Name: "id", Value: types.Int(int64(i % 4))},
+			)})
+		}
+		return types.NewBag(rows...)
+	}
+	const n = 40
+	t.Run("hash", func(t *testing.T) {
+		op := &HashJoin{
+			L:    &ConstScan{Bag: mkSide("x", n)},
+			R:    &ConstScan{Bag: mkSide("y", n)},
+			LKey: parseExpr(t, `x.id`), RKey: parseExpr(t, `y.id`),
+			rt: rt,
+		}
+		got := drainWithCap(t, op, 7)
+		if len(got) != n*n/4 {
+			t.Errorf("hash join rows = %d, want %d", len(got), n*n/4)
+		}
+	})
+	t.Run("nested-loop", func(t *testing.T) {
+		op := &NLJoin{
+			L:    &ConstScan{Bag: mkSide("x", n)},
+			R:    &ConstScan{Bag: mkSide("y", n)},
+			Pred: parseExpr(t, `x.id = y.id`),
+			rt:   rt,
+		}
+		got := drainWithCap(t, op, 7)
+		if len(got) != n*n/4 {
+			t.Errorf("nested-loop rows = %d, want %d", len(got), n*n/4)
+		}
+	})
+	t.Run("cross-product", func(t *testing.T) {
+		op := &NLJoin{
+			L: &ConstScan{Bag: mkSide("x", 6)},
+			R: &ConstScan{Bag: mkSide("y", 5)},
+		}
+		got := drainWithCap(t, op, 4)
+		if len(got) != 30 {
+			t.Errorf("cross product rows = %d, want 30", len(got))
+		}
+	})
+}
+
+// TestScatterGatherBatchedMerge streams many values through many branches
+// under small consumer batches, with and without fused distinct. Run under
+// -race this checks the batch hand-off and free-list recycling: a branch
+// must never reuse a batch the consumer still reads.
+func TestScatterGatherBatchedMerge(t *testing.T) {
+	const shards = 8
+	const perShard = 500
+	rt := &Runtime{MaxFanout: 3}
+	rt.Submit = func(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
+		rows := make([]types.Value, perShard)
+		for i := range rows {
+			// Half the values collide across shards (the distinct case),
+			// half are unique per shard.
+			var v types.Value
+			if i%2 == 0 {
+				v = types.Int(int64(i))
+			} else {
+				v = types.Str(fmt.Sprintf("%s-%d", repo, i))
+			}
+			rows[i] = v
+		}
+		return types.NewBag(rows...), nil
+	}
+	repos := make([]string, shards)
+	for i := range repos {
+		repos[i] = fmt.Sprintf("r%d", i)
+	}
+	for _, distinct := range []bool{false, true} {
+		var logical algebra.Node = shardPlan("people", repos...)
+		if distinct {
+			logical = &algebra.Distinct{Input: logical}
+		}
+		p, err := Build(logical, rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		got, err := Drain(ctx, p.Root)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := shards * perShard
+		if distinct {
+			// perShard/2 shared ints appear once; each shard's perShard/2
+			// strings are unique.
+			want = perShard/2 + shards*perShard/2
+		}
+		if len(got) != want {
+			t.Errorf("distinct=%v: %d values, want %d", distinct, len(got), want)
+		}
+	}
+}
+
+// TestScatterGatherSmallConsumerBatch: incoming branch batches larger than
+// the consumer's capacity must spill across calls losslessly.
+func TestScatterGatherSmallConsumerBatch(t *testing.T) {
+	rt := &Runtime{}
+	rt.Submit = func(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
+		rows := make([]types.Value, 100)
+		for i := range rows {
+			rows[i] = types.Str(fmt.Sprintf("%s-%d", repo, i))
+		}
+		return types.NewBag(rows...), nil
+	}
+	p, err := Build(shardPlan("people", "r0", "r1"), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, ok := p.Root.(*ScatterGather)
+	if !ok {
+		t.Fatalf("root is %T", p.Root)
+	}
+	if err := sg.Open(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer sg.Close()
+	b := types.NewBatch(3)
+	total := 0
+	for {
+		err := sg.NextBatch(b)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() == 0 || b.Len() > 3 {
+			t.Fatalf("batch len %d with capacity 3", b.Len())
+		}
+		total += b.Len()
+	}
+	if total != 200 {
+		t.Errorf("merged %d values, want 200", total)
+	}
+}

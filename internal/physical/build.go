@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"disco/internal/algebra"
+	"disco/internal/oql"
 	"disco/internal/types"
 )
 
@@ -89,7 +90,19 @@ func (p *Plan) build(n algebra.Node, rt *Runtime) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &MkProj{Cols: x.Cols, Input: in, rt: rt}, nil
+		op := &MkProj{Cols: x.Cols, Input: in, rt: rt}
+		if rt != nil && rt.Programs != nil {
+			// The constructor expression is synthesized fresh per build, so
+			// cache its program under the stable logical Project node —
+			// otherwise every execution of a prepared plan would miss (and
+			// grow) the cache.
+			prog, err := rt.Programs.GetKeyed(x, func() oql.Expr { return algebra.ProjCtor(x.Cols) })
+			if err != nil {
+				return nil, err
+			}
+			op.ev.prog = prog
+		}
+		return op, nil
 	case *algebra.Map:
 		in, err := p.build(x.Input, rt)
 		if err != nil {

@@ -3,6 +3,7 @@ package physical
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"disco/internal/oql"
 	"disco/internal/types"
@@ -10,19 +11,29 @@ import (
 
 // NLJoin is the nested-loop join: it materializes the right input and scans
 // it once per left element. It handles arbitrary predicates (including
-// cross products when Pred is nil).
+// cross products when Pred is nil). The predicate is compiled once and the
+// left input streams in batches; output batches fill across left elements,
+// with the scan position carried between calls.
 type NLJoin struct {
 	L, R Operator
 	Pred oql.Expr
 	rt   *Runtime
 
-	right   []types.Value
+	ev      evaluator
+	right   []*types.Struct
+	left    *types.Batch
+	li      int
 	curLeft *types.Struct
 	ri      int
 }
 
 // Open implements Operator.
 func (j *NLJoin) Open(ctx context.Context) error {
+	if j.Pred != nil {
+		if err := j.ev.open(j.rt, j.Pred); err != nil {
+			return err
+		}
+	}
 	if err := j.L.Open(ctx); err != nil {
 		return err
 	}
@@ -30,51 +41,71 @@ func (j *NLJoin) Open(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	j.right = right
+	j.right = j.right[:0]
+	for _, v := range right {
+		st, ok := v.(*types.Struct)
+		if !ok {
+			return fmt.Errorf("physical: join over %s elements", v.Kind())
+		}
+		j.right = append(j.right, st)
+	}
+	if j.left == nil {
+		j.left = types.NewBatch(0)
+	}
+	j.left.Reset()
+	j.li = 0
 	j.curLeft = nil
 	j.ri = 0
 	return nil
 }
 
-// Next implements Operator.
-func (j *NLJoin) Next() (types.Value, error) {
-	for {
+// NextBatch implements Operator.
+func (j *NLJoin) NextBatch(out *types.Batch) error {
+	out.Reset()
+	for !out.Full() {
 		if j.curLeft == nil {
-			v, err := j.L.Next()
-			if err != nil {
-				return nil, err
+			if j.li >= j.left.Len() {
+				if err := j.L.NextBatch(j.left); err != nil {
+					if err == io.EOF && out.Len() > 0 {
+						return nil
+					}
+					return err
+				}
+				j.li = 0
 			}
+			v := j.left.At(j.li)
+			j.li++
 			st, ok := v.(*types.Struct)
 			if !ok {
-				return nil, fmt.Errorf("physical: join over %s elements", v.Kind())
+				return fmt.Errorf("physical: join over %s elements", v.Kind())
 			}
 			j.curLeft = st
 			j.ri = 0
 		}
-		for j.ri < len(j.right) {
-			rs, ok := j.right[j.ri].(*types.Struct)
-			if !ok {
-				return nil, fmt.Errorf("physical: join over %s elements", j.right[j.ri].Kind())
-			}
+		for j.ri < len(j.right) && !out.Full() {
+			rs := j.right[j.ri]
 			j.ri++
-			merged := types.NewStruct(append(j.curLeft.Fields(), rs.Fields()...)...)
+			merged := types.JoinStructs(j.curLeft, rs)
 			if j.Pred != nil {
-				cond, err := evalWith(j.Pred, merged, j.rt)
+				cond, err := j.ev.evalStruct(merged)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				keep, err := types.Truthy(cond)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if !keep {
 					continue
 				}
 			}
-			return merged, nil
+			out.Append(merged)
 		}
-		j.curLeft = nil
+		if j.ri >= len(j.right) {
+			j.curLeft = nil
+		}
 	}
+	return nil
 }
 
 // Close implements Operator.
@@ -89,21 +120,41 @@ func (j *NLJoin) Close() error {
 
 // HashJoin implements equi-joins: it builds a hash table over the right
 // input keyed by RKey and probes it with LKey per left element. Residual
-// carries any non-equi conjuncts evaluated after the probe.
+// carries any non-equi conjuncts evaluated after the probe. The probe is
+// batched: each left batch's keys are computed in one pass (reusing the
+// operator's key scratch), then matches stream out with the probe position
+// carried between calls.
 type HashJoin struct {
 	L, R       Operator
 	LKey, RKey oql.Expr
 	Residual   oql.Expr
 	rt         *Runtime
 
-	table   map[string][]*types.Struct
-	matches []*types.Struct
+	lkEv, rkEv, resEv evaluator
+	table             map[string][]*types.Struct
+	keyer             types.Keyer
+
+	left    *types.Batch
+	keys    []string
+	li      int
 	curLeft *types.Struct
-	keyer   types.Keyer
+	matches []*types.Struct
+	mi      int
 }
 
 // Open implements Operator.
 func (j *HashJoin) Open(ctx context.Context) error {
+	if err := j.lkEv.open(j.rt, j.LKey); err != nil {
+		return err
+	}
+	if err := j.rkEv.open(j.rt, j.RKey); err != nil {
+		return err
+	}
+	if j.Residual != nil {
+		if err := j.resEv.open(j.rt, j.Residual); err != nil {
+			return err
+		}
+	}
 	if err := j.L.Open(ctx); err != nil {
 		return err
 	}
@@ -117,55 +168,77 @@ func (j *HashJoin) Open(ctx context.Context) error {
 		if !ok {
 			return fmt.Errorf("physical: join over %s elements", v.Kind())
 		}
-		key, err := evalWith(j.RKey, st, j.rt)
+		key, err := j.rkEv.evalStruct(st)
 		if err != nil {
 			return err
 		}
 		k := j.keyer.Key(key)
 		j.table[k] = append(j.table[k], st)
 	}
-	j.matches = nil
+	if j.left == nil {
+		j.left = types.NewBatch(0)
+	}
+	j.left.Reset()
+	j.li = 0
 	j.curLeft = nil
+	j.matches = nil
+	j.mi = 0
 	return nil
 }
 
-// Next implements Operator.
-func (j *HashJoin) Next() (types.Value, error) {
-	for {
-		if len(j.matches) > 0 {
-			rs := j.matches[0]
-			j.matches = j.matches[1:]
-			merged := types.NewStruct(append(j.curLeft.Fields(), rs.Fields()...)...)
+// NextBatch implements Operator.
+func (j *HashJoin) NextBatch(out *types.Batch) error {
+	out.Reset()
+	for !out.Full() {
+		if j.mi < len(j.matches) {
+			rs := j.matches[j.mi]
+			j.mi++
+			merged := types.JoinStructs(j.curLeft, rs)
 			if j.Residual != nil {
-				cond, err := evalWith(j.Residual, merged, j.rt)
+				cond, err := j.resEv.evalStruct(merged)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				keep, err := types.Truthy(cond)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if !keep {
 					continue
 				}
 			}
-			return merged, nil
+			out.Append(merged)
+			continue
 		}
-		v, err := j.L.Next()
-		if err != nil {
-			return nil, err
+		if j.li >= j.left.Len() {
+			if err := j.L.NextBatch(j.left); err != nil {
+				if err == io.EOF && out.Len() > 0 {
+					return nil
+				}
+				return err
+			}
+			j.li = 0
+			// Batched probe: key the whole batch in one pass before any
+			// matches stream out.
+			j.keys = j.keys[:0]
+			for _, v := range j.left.Values() {
+				st, ok := v.(*types.Struct)
+				if !ok {
+					return fmt.Errorf("physical: join over %s elements", v.Kind())
+				}
+				key, err := j.lkEv.evalStruct(st)
+				if err != nil {
+					return err
+				}
+				j.keys = append(j.keys, j.keyer.Key(key))
+			}
 		}
-		st, ok := v.(*types.Struct)
-		if !ok {
-			return nil, fmt.Errorf("physical: join over %s elements", v.Kind())
-		}
-		key, err := evalWith(j.LKey, st, j.rt)
-		if err != nil {
-			return nil, err
-		}
-		j.curLeft = st
-		j.matches = j.table[j.keyer.Key(key)]
+		j.curLeft = j.left.At(j.li).(*types.Struct)
+		j.matches = j.table[j.keys[j.li]]
+		j.mi = 0
+		j.li++
 	}
+	return nil
 }
 
 // Close implements Operator.
@@ -270,4 +343,5 @@ var (
 	_ Operator = (*MkDistinct)(nil)
 	_ Operator = (*MkFlatten)(nil)
 	_ Operator = (*MkAgg)(nil)
+	_ Operator = (*ScatterGather)(nil)
 )

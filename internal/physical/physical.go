@@ -1,6 +1,14 @@
 // Package physical implements DISCO's physical algebra (paper §3.3): the
-// Volcano-style iterator operators the run-time system executes, including
-// the exec physical algorithm that implements the submit logical operator.
+// Volcano-style operators the run-time system executes, including the exec
+// physical algorithm that implements the submit logical operator.
+//
+// Operators are batch-at-a-time: NextBatch moves up to types.BatchSize
+// values per call through reusable buffers, so per-call overhead (interface
+// dispatch, predicate setup, channel operations in the scatter-gather
+// merge) amortizes over the batch instead of recurring per tuple. Scalar
+// expressions inside operators — predicates, projections, join keys — run
+// as closure-compiled programs (oql.Compile) bound to a per-operator
+// FlatEnv hoisted in Open, not rebuilt per tuple.
 //
 // exec calls "proceed in parallel; calls to available data sources succeed;
 // calls to unavailable data sources block" (§4) — every exec in a plan is
@@ -21,11 +29,13 @@ import (
 	"disco/internal/types"
 )
 
-// Operator is a Volcano-style iterator. Operators are single-use: Open,
-// Next until io.EOF, Close.
+// Operator is a Volcano-style batch iterator. Operators are single-use:
+// Open, NextBatch until io.EOF, Close. NextBatch resets the caller's batch
+// and fills it with one to Cap values; io.EOF means the stream is exhausted
+// and the batch holds nothing.
 type Operator interface {
 	Open(ctx context.Context) error
-	Next() (types.Value, error)
+	NextBatch(b *types.Batch) error
 	Close() error
 }
 
@@ -61,6 +71,10 @@ type Runtime struct {
 	// drains concurrently; 0 or negative means unbounded (every shard at
 	// once, the paper's §4 "calls proceed in parallel").
 	MaxFanout int
+	// Programs caches compiled expression programs. The mediator shares one
+	// per prepared plan, so re-executing a cached plan skips compilation;
+	// nil compiles per operator instance.
+	Programs *oql.ProgramCache
 }
 
 // resolver tolerates a nil receiver so operators constructed directly
@@ -72,6 +86,54 @@ func (rt *Runtime) resolver() oql.Resolver {
 	return rt.Resolver
 }
 
+// compileProg compiles (or fetches from the runtime's cache) the program
+// for one operator expression.
+func compileProg(rt *Runtime, e oql.Expr) (*oql.Program, error) {
+	if rt != nil && rt.Programs != nil {
+		return rt.Programs.Get(e)
+	}
+	return oql.Compile(e)
+}
+
+// evaluator is the per-operator state for one compiled scalar expression:
+// the shared immutable program plus this operator's private environment.
+// It is created in Open — never per tuple.
+type evaluator struct {
+	prog *oql.Program
+	env  *oql.FlatEnv
+}
+
+// open (re)builds the evaluator for an expression. The program compiles
+// once (or comes from the runtime cache); the environment is fresh per
+// Open so reopened operators carry no stale bindings.
+func (ev *evaluator) open(rt *Runtime, e oql.Expr) error {
+	if ev.prog == nil || ev.prog.Expr() != e {
+		prog, err := compileProg(rt, e)
+		if err != nil {
+			return err
+		}
+		ev.prog = prog
+	}
+	ev.env = ev.prog.NewEnv(rt.resolver())
+	return nil
+}
+
+// eval runs the program over one tuple's bindings.
+func (ev *evaluator) eval(elem types.Value) (types.Value, error) {
+	st, ok := elem.(*types.Struct)
+	if !ok {
+		return nil, fmt.Errorf("physical: expression %s over non-struct element %s", ev.prog.Expr(), elem)
+	}
+	ev.env.BindStruct(st)
+	return ev.prog.Eval(ev.env)
+}
+
+// evalStruct runs the program over an already-checked struct.
+func (ev *evaluator) evalStruct(st *types.Struct) (types.Value, error) {
+	ev.env.BindStruct(st)
+	return ev.prog.Eval(ev.env)
+}
+
 // --- exec -------------------------------------------------------------------
 
 type execResult struct {
@@ -80,7 +142,7 @@ type execResult struct {
 }
 
 // Exec is the physical algorithm for submit. Start launches the remote
-// call; Next streams the materialized result.
+// call; NextBatch streams the materialized result.
 type Exec struct {
 	Repo string
 	Expr algebra.Node // source-side logical expression, mediator namespace
@@ -149,18 +211,21 @@ func (e *Exec) Open(ctx context.Context) error {
 	return nil
 }
 
-// Next implements Operator.
-func (e *Exec) Next() (types.Value, error) {
+// NextBatch implements Operator.
+func (e *Exec) NextBatch(out *types.Batch) error {
 	bag, err := e.Wait()
 	if err != nil {
-		return nil, err
+		return err
 	}
+	out.Reset()
 	if e.idx >= bag.Len() {
-		return nil, io.EOF
+		return io.EOF
 	}
-	v := bag.At(e.idx)
-	e.idx++
-	return v, nil
+	for e.idx < bag.Len() && !out.Full() {
+		out.Append(bag.At(e.idx))
+		e.idx++
+	}
+	return nil
 }
 
 // Close implements Operator.
@@ -181,40 +246,50 @@ func (c *ConstScan) Open(context.Context) error {
 	return nil
 }
 
-// Next implements Operator.
-func (c *ConstScan) Next() (types.Value, error) {
+// NextBatch implements Operator.
+func (c *ConstScan) NextBatch(out *types.Batch) error {
+	out.Reset()
 	if c.idx >= c.Bag.Len() {
-		return nil, io.EOF
+		return io.EOF
 	}
-	v := c.Bag.At(c.idx)
-	c.idx++
-	return v, nil
+	for c.idx < c.Bag.Len() && !out.Full() {
+		out.Append(c.Bag.At(c.idx))
+		c.idx++
+	}
+	return nil
 }
 
 // Close implements Operator.
 func (c *ConstScan) Close() error { return nil }
 
-// EvalScan evaluates an arbitrary OQL expression with the reference
-// evaluator and yields the single resulting value.
+// EvalScan evaluates an arbitrary OQL expression (compiled) and yields the
+// single resulting value.
 type EvalScan struct {
 	Expr oql.Expr
 	rt   *Runtime
+	ev   evaluator
 	done bool
 }
 
 // Open implements Operator.
 func (s *EvalScan) Open(context.Context) error {
 	s.done = false
-	return nil
+	return s.ev.open(s.rt, s.Expr)
 }
 
-// Next implements Operator.
-func (s *EvalScan) Next() (types.Value, error) {
+// NextBatch implements Operator.
+func (s *EvalScan) NextBatch(out *types.Batch) error {
+	out.Reset()
 	if s.done {
-		return nil, io.EOF
+		return io.EOF
 	}
 	s.done = true
-	return oql.Eval(s.Expr, nil, s.rt.resolver())
+	v, err := s.ev.prog.Eval(s.ev.env)
+	if err != nil {
+		return err
+	}
+	out.Append(v)
+	return nil
 }
 
 // Close implements Operator.
@@ -222,7 +297,7 @@ func (s *EvalScan) Close() error { return nil }
 
 // --- element-wise operators ---------------------------------------------------
 
-// MkBind wraps each input element into a {var: elem} struct.
+// MkBind wraps each input element into a {var: elem} struct, in place.
 type MkBind struct {
 	Var   string
 	Input Operator
@@ -231,45 +306,72 @@ type MkBind struct {
 // Open implements Operator.
 func (b *MkBind) Open(ctx context.Context) error { return b.Input.Open(ctx) }
 
-// Next implements Operator.
-func (b *MkBind) Next() (types.Value, error) {
-	v, err := b.Input.Next()
-	if err != nil {
-		return nil, err
+// NextBatch implements Operator.
+func (b *MkBind) NextBatch(out *types.Batch) error {
+	if err := b.Input.NextBatch(out); err != nil {
+		return err
 	}
-	return types.NewStruct(types.Field{Name: b.Var, Value: v}), nil
+	vals := out.Values()
+	for i, v := range vals {
+		vals[i] = types.StructFromFields([]types.Field{{Name: b.Var, Value: v}})
+	}
+	return nil
 }
 
 // Close implements Operator.
 func (b *MkBind) Close() error { return b.Input.Close() }
 
-// MkSelect filters elements by a predicate.
+// MkSelect filters elements by a compiled predicate. Each input batch is
+// filtered through a reusable selection vector: survivor indices are
+// recorded, then the batch is compacted in place — no per-tuple output
+// bookkeeping and no allocation on the filter path.
 type MkSelect struct {
 	Pred  oql.Expr
 	Input Operator
 	rt    *Runtime
+
+	ev  evaluator
+	sel []int32
 }
 
 // Open implements Operator.
-func (s *MkSelect) Open(ctx context.Context) error { return s.Input.Open(ctx) }
+func (s *MkSelect) Open(ctx context.Context) error {
+	if err := s.ev.open(s.rt, s.Pred); err != nil {
+		return err
+	}
+	return s.Input.Open(ctx)
+}
 
-// Next implements Operator.
-func (s *MkSelect) Next() (types.Value, error) {
+// NextBatch implements Operator.
+func (s *MkSelect) NextBatch(out *types.Batch) error {
 	for {
-		v, err := s.Input.Next()
-		if err != nil {
-			return nil, err
+		if err := s.Input.NextBatch(out); err != nil {
+			return err
 		}
-		cond, err := evalWith(s.Pred, v, s.rt)
-		if err != nil {
-			return nil, err
+		vals := out.Values()
+		s.sel = s.sel[:0]
+		for i, v := range vals {
+			cond, err := s.ev.eval(v)
+			if err != nil {
+				return err
+			}
+			keep, err := types.Truthy(cond)
+			if err != nil {
+				return err
+			}
+			if keep {
+				s.sel = append(s.sel, int32(i))
+			}
 		}
-		keep, err := types.Truthy(cond)
-		if err != nil {
-			return nil, err
+		if len(s.sel) == len(vals) {
+			return nil // everything passed; no compaction needed
 		}
-		if keep {
-			return v, nil
+		for j, i := range s.sel {
+			vals[j] = vals[i]
+		}
+		out.Truncate(len(s.sel))
+		if out.Len() > 0 {
+			return nil
 		}
 	}
 }
@@ -277,59 +379,92 @@ func (s *MkSelect) Next() (types.Value, error) {
 // Close implements Operator.
 func (s *MkSelect) Close() error { return s.Input.Close() }
 
-// MkProj projects each element to a struct of named columns.
+// MkProj projects each element to a struct of named columns. The whole
+// column list compiles into one struct-constructor program, so a tuple
+// binds its variables once however many columns there are. Build presets
+// the program cached under the logical Project node (the synthesized
+// constructor expression has a fresh pointer per build, so it cannot be
+// the cache key itself); directly constructed operators compile on first
+// Open.
 type MkProj struct {
 	Cols  []algebra.Col
 	Input Operator
 	rt    *Runtime
+
+	ev evaluator
 }
 
 // Open implements Operator.
-func (p *MkProj) Open(ctx context.Context) error { return p.Input.Open(ctx) }
-
-// Next implements Operator.
-func (p *MkProj) Next() (types.Value, error) {
-	v, err := p.Input.Next()
-	if err != nil {
-		return nil, err
-	}
-	fields := make([]types.Field, 0, len(p.Cols))
-	for _, c := range p.Cols {
-		fv, err := evalWith(c.Expr, v, p.rt)
+func (p *MkProj) Open(ctx context.Context) error {
+	if p.ev.prog == nil {
+		// Direct construction (no Build): compile uncached — the fresh
+		// constructor pointer must not become a runtime-cache key.
+		prog, err := oql.Compile(algebra.ProjCtor(p.Cols))
 		if err != nil {
-			return nil, err
+			return err
 		}
-		fields = append(fields, types.Field{Name: c.Name, Value: fv})
+		p.ev.prog = prog
 	}
-	return types.NewStruct(fields...), nil
+	p.ev.env = p.ev.prog.NewEnv(p.rt.resolver())
+	return p.Input.Open(ctx)
+}
+
+// NextBatch implements Operator.
+func (p *MkProj) NextBatch(out *types.Batch) error {
+	if err := p.Input.NextBatch(out); err != nil {
+		return err
+	}
+	vals := out.Values()
+	for i, v := range vals {
+		fv, err := p.ev.eval(v)
+		if err != nil {
+			return err
+		}
+		vals[i] = fv
+	}
+	return nil
 }
 
 // Close implements Operator.
 func (p *MkProj) Close() error { return p.Input.Close() }
 
-// MkMap evaluates an arbitrary expression per element.
+// MkMap evaluates an arbitrary compiled expression per element, in place.
 type MkMap struct {
 	Expr  oql.Expr
 	Input Operator
 	rt    *Runtime
+
+	ev evaluator
 }
 
 // Open implements Operator.
-func (m *MkMap) Open(ctx context.Context) error { return m.Input.Open(ctx) }
-
-// Next implements Operator.
-func (m *MkMap) Next() (types.Value, error) {
-	v, err := m.Input.Next()
-	if err != nil {
-		return nil, err
+func (m *MkMap) Open(ctx context.Context) error {
+	if err := m.ev.open(m.rt, m.Expr); err != nil {
+		return err
 	}
-	return evalWith(m.Expr, v, m.rt)
+	return m.Input.Open(ctx)
+}
+
+// NextBatch implements Operator.
+func (m *MkMap) NextBatch(out *types.Batch) error {
+	if err := m.Input.NextBatch(out); err != nil {
+		return err
+	}
+	vals := out.Values()
+	for i, v := range vals {
+		fv, err := m.ev.eval(v)
+		if err != nil {
+			return err
+		}
+		vals[i] = fv
+	}
+	return nil
 }
 
 // Close implements Operator.
 func (m *MkMap) Close() error { return m.Input.Close() }
 
-// MkNest regroups flat joined tuples into per-variable structs.
+// MkNest regroups flat joined tuples into per-variable structs, in place.
 type MkNest struct {
 	Groups []algebra.NestGroup
 	Input  Operator
@@ -338,29 +473,32 @@ type MkNest struct {
 // Open implements Operator.
 func (n *MkNest) Open(ctx context.Context) error { return n.Input.Open(ctx) }
 
-// Next implements Operator.
-func (n *MkNest) Next() (types.Value, error) {
-	v, err := n.Input.Next()
-	if err != nil {
-		return nil, err
+// NextBatch implements Operator.
+func (n *MkNest) NextBatch(out *types.Batch) error {
+	if err := n.Input.NextBatch(out); err != nil {
+		return err
 	}
-	st, ok := v.(*types.Struct)
-	if !ok {
-		return nil, fmt.Errorf("physical: nest over %s", v.Kind())
-	}
-	outer := make([]types.Field, 0, len(n.Groups))
-	for _, g := range n.Groups {
-		inner := make([]types.Field, 0, len(g.Attrs))
-		for _, a := range g.Attrs {
-			fv, ok := st.Get(a)
-			if !ok {
-				return nil, fmt.Errorf("physical: nest attribute %q missing in %s", a, st)
-			}
-			inner = append(inner, types.Field{Name: a, Value: fv})
+	vals := out.Values()
+	for i, v := range vals {
+		st, ok := v.(*types.Struct)
+		if !ok {
+			return fmt.Errorf("physical: nest over %s", v.Kind())
 		}
-		outer = append(outer, types.Field{Name: g.Var, Value: types.NewStruct(inner...)})
+		outer := make([]types.Field, 0, len(n.Groups))
+		for _, g := range n.Groups {
+			inner := make([]types.Field, 0, len(g.Attrs))
+			for _, a := range g.Attrs {
+				fv, ok := st.Get(a)
+				if !ok {
+					return fmt.Errorf("physical: nest attribute %q missing in %s", a, st)
+				}
+				inner = append(inner, types.Field{Name: a, Value: fv})
+			}
+			outer = append(outer, types.Field{Name: g.Var, Value: types.NewStruct(inner...)})
+		}
+		vals[i] = types.NewStruct(outer...)
 	}
-	return types.NewStruct(outer...), nil
+	return nil
 }
 
 // Close implements Operator.
@@ -374,67 +512,89 @@ type MkDepend struct {
 	Input  Operator
 	rt     *Runtime
 
-	pending []types.Value
+	ev      evaluator
+	in      *types.Batch
 	cursor  int
+	pending []types.Value
+	pcur    int
 }
 
 // Open implements Operator.
 func (d *MkDepend) Open(ctx context.Context) error {
-	d.pending = d.pending[:0]
+	if err := d.ev.open(d.rt, d.Domain); err != nil {
+		return err
+	}
+	if d.in == nil {
+		d.in = types.NewBatch(0)
+	}
+	d.in.Reset()
 	d.cursor = 0
+	d.pending = d.pending[:0]
+	d.pcur = 0
 	return d.Input.Open(ctx)
 }
 
-// Next implements Operator.
-func (d *MkDepend) Next() (types.Value, error) {
-	for {
-		if d.cursor < len(d.pending) {
-			v := d.pending[d.cursor]
-			d.cursor++
-			return v, nil
+// NextBatch implements Operator.
+func (d *MkDepend) NextBatch(out *types.Batch) error {
+	out.Reset()
+	for !out.Full() {
+		if d.pcur < len(d.pending) {
+			out.Append(d.pending[d.pcur])
+			d.pcur++
+			continue
 		}
-		env, err := d.Input.Next()
-		if err != nil {
-			return nil, err
+		if d.cursor >= d.in.Len() {
+			if err := d.Input.NextBatch(d.in); err != nil {
+				if err == io.EOF && out.Len() > 0 {
+					return nil
+				}
+				return err
+			}
+			d.cursor = 0
 		}
+		env := d.in.At(d.cursor)
+		d.cursor++
 		st, ok := env.(*types.Struct)
 		if !ok {
-			return nil, fmt.Errorf("physical: depend over %s", env.Kind())
+			return fmt.Errorf("physical: depend over %s", env.Kind())
 		}
-		dom, err := evalWith(d.Domain, env, d.rt)
+		dom, err := d.ev.evalStruct(st)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		d.pending = d.pending[:0]
-		d.cursor = 0
+		d.pcur = 0
 		if err := types.RangeElements(dom, func(e types.Value) bool {
-			d.pending = append(d.pending, types.NewStruct(append(st.Fields(), types.Field{Name: d.Var, Value: e})...))
+			d.pending = append(d.pending, types.ExtendStruct(st, types.Field{Name: d.Var, Value: e}))
 			return true
 		}); err != nil {
-			return nil, fmt.Errorf("physical: dependent domain for %s: %w", d.Var, err)
+			return fmt.Errorf("physical: dependent domain for %s: %w", d.Var, err)
 		}
 	}
+	return nil
 }
 
 // Close implements Operator.
 func (d *MkDepend) Close() error { return d.Input.Close() }
 
-// MkUnion concatenates its inputs (bag union).
+// MkUnion concatenates its inputs (bag union), forwarding whole batches
+// from non-scalar inputs.
 type MkUnion struct {
 	Inputs []Operator
 	// scalar marks inputs whose single element is itself a collection to
 	// splice (aggregate results used as union operands).
 	scalarInput []bool
 	cur         int
+	scratch     *types.Batch
 	pending     []types.Value
-	cursor      int
+	pcur        int
 }
 
 // Open implements Operator.
 func (u *MkUnion) Open(ctx context.Context) error {
 	u.cur = 0
 	u.pending = u.pending[:0]
-	u.cursor = 0
+	u.pcur = 0
 	for _, in := range u.Inputs {
 		if err := in.Open(ctx); err != nil {
 			return err
@@ -443,37 +603,55 @@ func (u *MkUnion) Open(ctx context.Context) error {
 	return nil
 }
 
-// Next implements Operator.
-func (u *MkUnion) Next() (types.Value, error) {
+// NextBatch implements Operator.
+func (u *MkUnion) NextBatch(out *types.Batch) error {
+	out.Reset()
 	for {
-		if u.cursor < len(u.pending) {
-			v := u.pending[u.cursor]
-			u.cursor++
-			return v, nil
+		if u.pcur < len(u.pending) {
+			for u.pcur < len(u.pending) && !out.Full() {
+				out.Append(u.pending[u.pcur])
+				u.pcur++
+			}
+			if out.Len() > 0 {
+				return nil
+			}
 		}
 		if u.cur >= len(u.Inputs) {
-			return nil, io.EOF
+			if out.Len() > 0 {
+				return nil
+			}
+			return io.EOF
 		}
-		v, err := u.Inputs[u.cur].Next()
+		if u.scalarInput != nil && u.scalarInput[u.cur] {
+			if u.scratch == nil {
+				u.scratch = types.NewBatch(0)
+			}
+			err := u.Inputs[u.cur].NextBatch(u.scratch)
+			if err == io.EOF {
+				u.cur++
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			u.pending = u.pending[:0]
+			u.pcur = 0
+			for _, v := range u.scratch.Values() {
+				if err := types.RangeElements(v, func(e types.Value) bool {
+					u.pending = append(u.pending, e)
+					return true
+				}); err != nil {
+					return fmt.Errorf("physical: union operand: %w", err)
+				}
+			}
+			continue
+		}
+		err := u.Inputs[u.cur].NextBatch(out)
 		if err == io.EOF {
 			u.cur++
 			continue
 		}
-		if err != nil {
-			return nil, err
-		}
-		if u.scalarInput != nil && u.scalarInput[u.cur] {
-			u.pending = u.pending[:0]
-			u.cursor = 0
-			if err := types.RangeElements(v, func(e types.Value) bool {
-				u.pending = append(u.pending, e)
-				return true
-			}); err != nil {
-				return nil, fmt.Errorf("physical: union operand: %w", err)
-			}
-			continue
-		}
-		return v, nil
+		return err
 	}
 }
 
@@ -488,7 +666,7 @@ func (u *MkUnion) Close() error {
 	return first
 }
 
-// MkDistinct removes duplicates.
+// MkDistinct removes duplicates, compacting each batch in place.
 type MkDistinct struct {
 	Input Operator
 	seen  map[string]bool
@@ -501,17 +679,25 @@ func (d *MkDistinct) Open(ctx context.Context) error {
 	return d.Input.Open(ctx)
 }
 
-// Next implements Operator.
-func (d *MkDistinct) Next() (types.Value, error) {
+// NextBatch implements Operator.
+func (d *MkDistinct) NextBatch(out *types.Batch) error {
 	for {
-		v, err := d.Input.Next()
-		if err != nil {
-			return nil, err
+		if err := d.Input.NextBatch(out); err != nil {
+			return err
 		}
-		k := d.keyer.Key(v)
-		if !d.seen[k] {
-			d.seen[k] = true
-			return v, nil
+		vals := out.Values()
+		n := 0
+		for _, v := range vals {
+			k := d.keyer.Key(v)
+			if !d.seen[k] {
+				d.seen[k] = true
+				vals[n] = v
+				n++
+			}
+		}
+		out.Truncate(n)
+		if n > 0 {
+			return nil
 		}
 	}
 }
@@ -524,38 +710,54 @@ func (d *MkDistinct) Close() error { return d.Input.Close() }
 // flattening does not re-copy every inner collection.
 type MkFlatten struct {
 	Input   Operator
-	pending []types.Value
+	in      *types.Batch
 	cursor  int
+	pending []types.Value
+	pcur    int
 }
 
 // Open implements Operator.
 func (f *MkFlatten) Open(ctx context.Context) error {
-	f.pending = f.pending[:0]
+	if f.in == nil {
+		f.in = types.NewBatch(0)
+	}
+	f.in.Reset()
 	f.cursor = 0
+	f.pending = f.pending[:0]
+	f.pcur = 0
 	return f.Input.Open(ctx)
 }
 
-// Next implements Operator.
-func (f *MkFlatten) Next() (types.Value, error) {
-	for {
-		if f.cursor < len(f.pending) {
-			v := f.pending[f.cursor]
-			f.cursor++
-			return v, nil
+// NextBatch implements Operator.
+func (f *MkFlatten) NextBatch(out *types.Batch) error {
+	out.Reset()
+	for !out.Full() {
+		if f.pcur < len(f.pending) {
+			out.Append(f.pending[f.pcur])
+			f.pcur++
+			continue
 		}
-		v, err := f.Input.Next()
-		if err != nil {
-			return nil, err
+		if f.cursor >= f.in.Len() {
+			if err := f.Input.NextBatch(f.in); err != nil {
+				if err == io.EOF && out.Len() > 0 {
+					return nil
+				}
+				return err
+			}
+			f.cursor = 0
 		}
+		v := f.in.At(f.cursor)
+		f.cursor++
 		f.pending = f.pending[:0]
-		f.cursor = 0
+		f.pcur = 0
 		if err := types.RangeElements(v, func(e types.Value) bool {
 			f.pending = append(f.pending, e)
 			return true
 		}); err != nil {
-			return nil, fmt.Errorf("physical: flatten: %w", err)
+			return fmt.Errorf("physical: flatten: %w", err)
 		}
 	}
+	return nil
 }
 
 // Close implements Operator.
@@ -566,50 +768,46 @@ type MkAgg struct {
 	Fn    string
 	Input Operator
 	done  bool
+	in    *types.Batch
 }
 
 // Open implements Operator.
 func (a *MkAgg) Open(ctx context.Context) error {
 	a.done = false
+	if a.in == nil {
+		a.in = types.NewBatch(0)
+	}
 	return a.Input.Open(ctx)
 }
 
-// Next implements Operator.
-func (a *MkAgg) Next() (types.Value, error) {
+// NextBatch implements Operator.
+func (a *MkAgg) NextBatch(out *types.Batch) error {
+	out.Reset()
 	if a.done {
-		return nil, io.EOF
+		return io.EOF
 	}
 	a.done = true
 	var elems []types.Value
 	for {
-		v, err := a.Input.Next()
+		err := a.Input.NextBatch(a.in)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
-		elems = append(elems, v)
+		elems = append(elems, a.in.Values()...)
 	}
-	return oql.ApplyCall(a.Fn, []types.Value{types.NewBag(elems...)})
+	v, err := oql.ApplyCall(a.Fn, []types.Value{types.NewBag(elems...)})
+	if err != nil {
+		return err
+	}
+	out.Append(v)
+	return nil
 }
 
 // Close implements Operator.
 func (a *MkAgg) Close() error { return a.Input.Close() }
-
-// evalWith evaluates an expression with the element's struct fields bound
-// as variables.
-func evalWith(e oql.Expr, elem types.Value, rt *Runtime) (types.Value, error) {
-	st, ok := elem.(*types.Struct)
-	if !ok {
-		return nil, fmt.Errorf("physical: expression %s over non-struct element %s", e, elem)
-	}
-	var env *oql.Env
-	for _, f := range st.Fields() {
-		env = env.Bind(f.Name, f.Value)
-	}
-	return oql.Eval(e, env, rt.resolver())
-}
 
 // Drain runs an operator to exhaustion and returns its elements.
 func Drain(ctx context.Context, op Operator) ([]types.Value, error) {
@@ -617,15 +815,16 @@ func Drain(ctx context.Context, op Operator) ([]types.Value, error) {
 		return nil, err
 	}
 	defer op.Close()
+	b := types.NewBatch(0)
 	var out []types.Value
 	for {
-		v, err := op.Next()
+		err := op.NextBatch(b)
 		if errors.Is(err, io.EOF) {
 			return out, nil
 		}
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, v)
+		out = append(out, b.Values()...)
 	}
 }

@@ -13,6 +13,13 @@ import (
 // and merges their streams in arrival order — the physical operator behind
 // a parallel union over the shards of a horizontally partitioned extent.
 //
+// The merge is batch-at-a-time: branches hand whole batches (up to
+// types.BatchSize values) over the merge channel, so the per-tuple channel
+// operation of a tuple-at-a-time merge becomes one channel operation per
+// batch. Ownership of a batch transfers with the send; the consumer
+// recycles drained batches through a free list, so a steady-state fan-out
+// circulates a fixed set of buffers instead of allocating per send.
+//
 // Semantics:
 //   - every branch runs in its own goroutine, gated by a semaphore of
 //     MaxParallel slots (0 = unbounded), so a thousand-shard extent cannot
@@ -33,31 +40,37 @@ type ScatterGather struct {
 	// Distinct applies set semantics across the merged shard streams.
 	Distinct bool
 
-	ch       chan types.Value
+	ch       chan *types.Batch
+	free     chan *types.Batch
 	stop     chan struct{}
 	stopOnce sync.Once
 
 	errMu sync.Mutex
 	err   error
 
-	seen  map[string]bool
-	keyer types.Keyer
+	seen   map[string]bool
+	keyer  types.Keyer
+	cur    *types.Batch // incoming batch being copied out
+	cursor int
 }
 
 // Open implements Operator: it launches one goroutine per branch. Each
 // goroutine owns its branch operator (opens, drains and closes it), so no
 // operator is ever touched from two goroutines.
 func (s *ScatterGather) Open(ctx context.Context) error {
-	s.ch = make(chan types.Value, 16)
-	s.stop = make(chan struct{})
-	s.stopOnce = sync.Once{}
-	s.err = nil
-	if s.Distinct {
-		s.seen = make(map[string]bool)
-	}
 	bound := s.MaxParallel
 	if bound <= 0 || bound > len(s.Branches) {
 		bound = len(s.Branches)
+	}
+	s.ch = make(chan *types.Batch, bound)
+	s.free = make(chan *types.Batch, 2*bound+2)
+	s.stop = make(chan struct{})
+	s.stopOnce = sync.Once{}
+	s.err = nil
+	s.cur = nil
+	s.cursor = 0
+	if s.Distinct {
+		s.seen = make(map[string]bool)
 	}
 	sem := make(chan struct{}, bound)
 	var wg sync.WaitGroup
@@ -89,8 +102,27 @@ func (s *ScatterGather) Open(ctx context.Context) error {
 	return nil
 }
 
-// drainBranch runs one branch to exhaustion, streaming its values into the
-// merge channel.
+// takeBatch recycles a drained batch from the free list, or allocates one.
+func (s *ScatterGather) takeBatch() *types.Batch {
+	select {
+	case b := <-s.free:
+		return b
+	default:
+		return types.NewBatch(0)
+	}
+}
+
+// putBatch returns a batch to the free list (dropped if the list is full).
+func (s *ScatterGather) putBatch(b *types.Batch) {
+	select {
+	case s.free <- b:
+	default:
+	}
+}
+
+// drainBranch runs one branch to exhaustion, streaming its batches into the
+// merge channel. A sent batch is owned by the consumer until it reappears
+// on the free list.
 func (s *ScatterGather) drainBranch(ctx context.Context, br Operator) {
 	defer br.Close()
 	if err := br.Open(ctx); err != nil {
@@ -98,16 +130,23 @@ func (s *ScatterGather) drainBranch(ctx context.Context, br Operator) {
 		return
 	}
 	for {
-		v, err := br.Next()
+		b := s.takeBatch()
+		err := br.NextBatch(b)
 		if err == io.EOF {
+			s.putBatch(b)
 			return
 		}
 		if err != nil {
+			s.putBatch(b)
 			s.setErr(err)
 			return
 		}
+		if b.Len() == 0 {
+			s.putBatch(b)
+			continue
+		}
 		select {
-		case s.ch <- v:
+		case s.ch <- b:
 		case <-s.stop:
 			return
 		}
@@ -136,27 +175,60 @@ func isUnavailable(err error) bool {
 	return errors.As(err, &ue)
 }
 
-// Next implements Operator: it returns merged values in arrival order and,
-// once every branch has finished, the recorded error (if any) or io.EOF.
-func (s *ScatterGather) Next() (types.Value, error) {
+// NextBatch implements Operator: it returns merged values in arrival order
+// and, once every branch has finished, the recorded error (if any) or
+// io.EOF. It blocks only while empty-handed: once the output batch holds
+// data, a momentarily quiet merge channel returns the partial batch rather
+// than stalling the consumer on the slowest shard.
+func (s *ScatterGather) NextBatch(out *types.Batch) error {
+	out.Reset()
 	for {
-		v, ok := <-s.ch
+		if s.cur != nil {
+			vals := s.cur.Values()
+			for s.cursor < len(vals) && !out.Full() {
+				v := vals[s.cursor]
+				s.cursor++
+				if s.Distinct {
+					// NextBatch is single-consumer, so the keyer's buffer
+					// reuse is safe even though branches produce concurrently.
+					k := s.keyer.Key(v)
+					if s.seen[k] {
+						continue
+					}
+					s.seen[k] = true
+				}
+				out.Append(v)
+			}
+			if s.cursor >= len(vals) {
+				s.putBatch(s.cur)
+				s.cur = nil
+			}
+			if out.Full() {
+				return nil
+			}
+		}
+		if out.Len() > 0 {
+			select {
+			case b, ok := <-s.ch:
+				if !ok {
+					return nil // batch already holds data; EOF next call
+				}
+				s.cur = b
+				s.cursor = 0
+			default:
+				return nil
+			}
+			continue
+		}
+		b, ok := <-s.ch
 		if !ok {
 			if err := s.drainErr(); err != nil {
-				return nil, err
+				return err
 			}
-			return nil, io.EOF
+			return io.EOF
 		}
-		if s.Distinct {
-			// Next is single-consumer, so the keyer's buffer reuse is safe
-			// even though branches produce concurrently.
-			k := s.keyer.Key(v)
-			if s.seen[k] {
-				continue
-			}
-			s.seen[k] = true
-		}
-		return v, nil
+		s.cur = b
+		s.cursor = 0
 	}
 }
 

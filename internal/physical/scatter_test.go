@@ -329,7 +329,7 @@ func TestScatterGatherCloseEarly(t *testing.T) {
 	if err := p.Root.Open(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.Root.Next(); err != nil && err != io.EOF {
+	if err := p.Root.NextBatch(types.NewBatch(0)); err != nil && err != io.EOF {
 		t.Fatal(err)
 	}
 	if err := p.Root.Close(); err != nil {

@@ -1,0 +1,55 @@
+package types
+
+// BatchSize is the default number of values a batched operator moves per
+// NextBatch call. Batch-at-a-time execution amortizes per-call overhead
+// (interface dispatch, channel operations, predicate setup) over up to this
+// many tuples.
+const BatchSize = 1024
+
+// Batch is a reusable buffer of values flowing between batch-at-a-time
+// operators. A producer resets the batch and appends up to its capacity;
+// consumers read the live slice via Values. Batches are not safe for
+// concurrent use: ownership transfers whole (the scatter-gather operator
+// recycles batches through a free list rather than sharing them).
+type Batch struct {
+	vals []Value
+}
+
+// NewBatch returns an empty batch with the given capacity; capacity <= 0
+// means BatchSize.
+func NewBatch(capacity int) *Batch {
+	if capacity <= 0 {
+		capacity = BatchSize
+	}
+	return &Batch{vals: make([]Value, 0, capacity)}
+}
+
+// Reset empties the batch, keeping its buffer.
+func (b *Batch) Reset() { b.vals = b.vals[:0] }
+
+// Len reports the number of live values.
+func (b *Batch) Len() int { return len(b.vals) }
+
+// Cap reports the batch capacity.
+func (b *Batch) Cap() int { return cap(b.vals) }
+
+// Full reports whether the batch has reached its capacity.
+func (b *Batch) Full() bool { return len(b.vals) == cap(b.vals) }
+
+// At returns the i-th value.
+func (b *Batch) At(i int) Value { return b.vals[i] }
+
+// Set replaces the i-th value (in-place transforms).
+func (b *Batch) Set(i int, v Value) { b.vals[i] = v }
+
+// Append adds one value. Appending past the capacity grows the buffer;
+// producers honoring the batch protocol check Full first.
+func (b *Batch) Append(v Value) { b.vals = append(b.vals, v) }
+
+// Truncate drops all but the first n values (selection-vector compaction).
+func (b *Batch) Truncate(n int) { b.vals = b.vals[:n] }
+
+// Values returns the live value slice (length Len). The slice aliases the
+// batch's buffer: it is valid until the next Reset/Append/Truncate and may
+// be mutated in place by 1:1 operators.
+func (b *Batch) Values() []Value { return b.vals }

@@ -174,18 +174,57 @@ type Field struct {
 
 // Struct is an ordered sequence of named fields, as produced by the OQL
 // struct(...) constructor and by data sources returning tuples.
+//
+// Small structs (the common tuple case: a handful of attributes) resolve
+// field names by linear scan; only structs wider than structIndexThreshold
+// build a map index. This keeps tuple construction at two allocations on
+// the execution hot path.
 type Struct struct {
 	fields []Field
-	index  map[string]int
+	index  map[string]int // nil for small structs
 }
+
+// structIndexThreshold is the field count above which a struct builds a
+// map index instead of scanning linearly.
+const structIndexThreshold = 8
 
 // NewStruct constructs a struct value from fields in order. Duplicate field
 // names keep the last occurrence, mirroring struct construction in OQL.
+// The fields slice is copied; StructFromFields is the no-copy variant.
 func NewStruct(fields ...Field) *Struct {
-	s := &Struct{
-		fields: make([]Field, 0, len(fields)),
-		index:  make(map[string]int, len(fields)),
+	return StructFromFields(append(make([]Field, 0, len(fields)), fields...))
+}
+
+// StructFromFields constructs a struct value taking ownership of the
+// fields slice — the caller must not use it afterwards. Duplicate field
+// names keep the last occurrence, like NewStruct.
+func StructFromFields(fields []Field) *Struct {
+	if len(fields) > structIndexThreshold {
+		return newWideStruct(fields)
 	}
+	// Small struct: dedup in place. Writes trail reads, so reusing the
+	// backing array is safe.
+	out := fields[:0]
+	for _, f := range fields {
+		dup := false
+		for i := range out {
+			if out[i].Name == f.Name {
+				out[i].Value = f.Value
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, f)
+		}
+	}
+	return &Struct{fields: out}
+}
+
+// newWideStruct builds the map index alongside dedup for structs wide
+// enough that linear name scans would not pay.
+func newWideStruct(fields []Field) *Struct {
+	s := &Struct{fields: fields[:0], index: make(map[string]int, len(fields))}
 	for _, f := range fields {
 		if i, ok := s.index[f.Name]; ok {
 			s.fields[i].Value = f.Value
@@ -221,11 +260,50 @@ func (s *Struct) FieldNames() []string {
 
 // Get returns the value of the named field.
 func (s *Struct) Get(name string) (Value, bool) {
-	i, ok := s.index[name]
+	i, ok := s.IndexOf(name)
 	if !ok {
 		return nil, false
 	}
 	return s.fields[i].Value, true
+}
+
+// FieldAt returns the i-th field without copying the field list. Together
+// with IndexOf it gives compiled expressions direct field-offset access: an
+// evaluator caches the offset it resolved once and re-validates it with one
+// name comparison per tuple instead of a map lookup.
+func (s *Struct) FieldAt(i int) Field { return s.fields[i] }
+
+// IndexOf returns the declaration-order index of the named field.
+func (s *Struct) IndexOf(name string) (int, bool) {
+	if s.index != nil {
+		i, ok := s.index[name]
+		return i, ok
+	}
+	for i, f := range s.fields {
+		if f.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// JoinStructs returns a struct holding a's fields followed by b's — the
+// merged tuple of a join — without materializing intermediate field-list
+// copies. Duplicate names keep the last occurrence, like NewStruct.
+func JoinStructs(a, b *Struct) *Struct {
+	fields := make([]Field, 0, len(a.fields)+len(b.fields))
+	fields = append(fields, a.fields...)
+	fields = append(fields, b.fields...)
+	return StructFromFields(fields)
+}
+
+// ExtendStruct returns st with one extra field appended (a dependent-binding
+// extension), again without an intermediate field-list copy.
+func ExtendStruct(st *Struct, f Field) *Struct {
+	fields := make([]Field, 0, len(st.fields)+1)
+	fields = append(fields, st.fields...)
+	fields = append(fields, f)
+	return StructFromFields(fields)
 }
 
 // Equal implements Value. Structs are equal when they have the same field

@@ -24,6 +24,11 @@ const (
 	// DefaultIdleTimeout is how long an unused connection survives before
 	// the pool reaps it.
 	DefaultIdleTimeout = 60 * time.Second
+	// DefaultHealthInterval is how long a pooled connection may sit idle
+	// before the pool pings it. Health checks discover dead connections
+	// (half-open TCP, unresponsive peers) while they idle, so a borrower
+	// is not the one to find out.
+	DefaultHealthInterval = 15 * time.Second
 	// maxFrameBytes bounds one protocol frame (shared with the server's
 	// read buffer).
 	maxFrameBytes = 64 * 1024 * 1024
@@ -50,6 +55,7 @@ type Client struct {
 	nextID         atomic.Int64
 	poolSize       int
 	idleTimeout    time.Duration
+	healthInterval time.Duration
 	dialPerRequest bool
 
 	mu        sync.Mutex
@@ -87,12 +93,27 @@ func WithDialPerRequest() ClientOption {
 	return func(c *Client) { c.dialPerRequest = true }
 }
 
+// WithHealthCheckInterval sets how long a connection may idle before the
+// pool pings it (and how long that ping may take before the connection is
+// declared dead and evicted). d <= 0 disables health checks — for peers
+// whose legitimate response time exceeds any sensible ping deadline.
+func WithHealthCheckInterval(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.healthInterval = d
+		} else {
+			c.healthInterval = 0
+		}
+	}
+}
+
 // NewClient returns a client for the given server address.
 func NewClient(addr string, opts ...ClientOption) *Client {
 	c := &Client{
-		addr:        addr,
-		poolSize:    DefaultPoolSize,
-		idleTimeout: DefaultIdleTimeout,
+		addr:           addr,
+		poolSize:       DefaultPoolSize,
+		idleTimeout:    DefaultIdleTimeout,
+		healthInterval: DefaultHealthInterval,
 	}
 	for _, o := range opts {
 		o(c)
@@ -156,7 +177,7 @@ func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
 		if err != nil {
 			return nil, err
 		}
-		resp, err := cc.roundTrip(ctx, &req)
+		resp, err := cc.roundTrip(ctx, &req, true)
 		if err == nil {
 			if resp.ID != req.ID {
 				// Matching is by pending-map key, so this cannot fire
@@ -267,23 +288,74 @@ func (c *Client) reapLocked(now time.Time) {
 // scheduleReapLocked arms a timer that reaps idle connections even when no
 // further request arrives to trigger reaping on acquisition — a client
 // that goes quiet must not pin sockets (and the server-side goroutines
-// behind them) forever. One timer at a time; it rearms itself while
-// connections remain. Called with c.mu held.
+// behind them) forever. The same timer drives idle health checks, so it
+// fires at the finer of the two cadences. One timer at a time; it rearms
+// itself while connections remain. Called with c.mu held.
 func (c *Client) scheduleReapLocked() {
 	if c.closed || c.reapTimer != nil || len(c.conns) == 0 {
 		return
 	}
-	c.reapTimer = time.AfterFunc(c.idleTimeout/2, c.reapTick)
+	period := c.idleTimeout
+	if c.healthInterval > 0 && c.healthInterval < period {
+		period = c.healthInterval
+	}
+	c.reapTimer = time.AfterFunc(period/2, c.reapTick)
 }
 
 func (c *Client) reapTick() {
 	c.mu.Lock()
 	c.reapTimer = nil
 	if !c.closed {
-		c.reapLocked(time.Now())
+		now := time.Now()
+		c.reapLocked(now)
+		c.healthCheckLocked(now)
 		c.scheduleReapLocked()
 	}
 	c.mu.Unlock()
+}
+
+// healthCheckLocked pings connections that have idled past the health
+// interval, so a dead connection (half-open TCP, hung peer) is discovered
+// and evicted on the reap cadence instead of by the next borrower. Pings
+// run off the lock, one at a time per connection; a connection with
+// requests in flight is proving its own liveness and is skipped. Called
+// with c.mu held.
+func (c *Client) healthCheckLocked(now time.Time) {
+	if c.healthInterval <= 0 {
+		return
+	}
+	for _, cc := range c.conns {
+		if cc.inflight.Load() != 0 || now.Sub(cc.lastUsed()) < c.healthInterval {
+			continue
+		}
+		if !cc.pinging.CompareAndSwap(false, true) {
+			continue
+		}
+		go c.pingConn(cc)
+	}
+}
+
+// pingConn round-trips one ping on a pooled connection. Failure — timeout
+// included — kills and evicts the connection; the next borrower dials
+// fresh instead of inheriting a dead socket. The ping does not refresh the
+// idle clock: a connection nobody borrows must still age out.
+func (c *Client) pingConn(cc *clientConn) {
+	defer cc.pinging.Store(false)
+	ctx, cancel := context.WithTimeout(context.Background(), c.healthInterval)
+	defer cancel()
+	req := Request{ID: c.nextID.Add(1), Op: "ping"}
+	// Any response frame proves the peer alive; an application-level error
+	// (a server without a ping handler) is still an answer.
+	if _, err := cc.roundTrip(ctx, &req, false); err != nil {
+		if cc.inflight.Load() > 0 {
+			// A real request boarded the connection while the ping ran
+			// (a slow-but-live peer can outlast the ping deadline): let
+			// that request's own deadline judge the connection instead of
+			// killing it — and the rider with it — on the ping's verdict.
+			return
+		}
+		cc.fail(fmt.Errorf("wire: health check %s: %w", c.addr, err))
+	}
 }
 
 // remove evicts a dead connection from the pool.
@@ -373,6 +445,7 @@ type clientConn struct {
 
 	inflight atomic.Int64
 	lastUse  atomic.Int64 // unix nanos of last acquisition/completion
+	pinging  atomic.Bool  // a health ping is in flight
 
 	mu      sync.Mutex
 	pending map[int64]chan *Response
@@ -408,8 +481,10 @@ func (cc *clientConn) fail(err error) {
 
 // roundTrip registers the request, writes its frame, and waits for the
 // matching response, the context, or the connection's death — whichever
-// comes first.
-func (cc *clientConn) roundTrip(ctx context.Context, req *Request) (*Response, error) {
+// comes first. refreshIdle marks real traffic: health pings pass false so
+// probing an idle connection does not reset its idle clock (a connection
+// nobody borrows must still reach the idle timeout and be reaped).
+func (cc *clientConn) roundTrip(ctx context.Context, req *Request, refreshIdle bool) (*Response, error) {
 	ch := make(chan *Response, 1)
 	cc.mu.Lock()
 	if cc.closed {
@@ -425,7 +500,9 @@ func (cc *clientConn) roundTrip(ctx context.Context, req *Request) (*Response, e
 		delete(cc.pending, req.ID)
 		cc.mu.Unlock()
 		cc.inflight.Add(-1)
-		cc.touch()
+		if refreshIdle {
+			cc.touch()
+		}
 	}()
 
 	buf, err := json.Marshal(req)

@@ -437,3 +437,142 @@ func TestPerRequestAvailability(t *testing.T) {
 		t.Errorf("pool = %d conns, want the same single conn", conns)
 	}
 }
+
+// blackholeProxy forwards TCP bytes between clients and a backend and can
+// start silently discarding traffic while keeping connections open — the
+// half-open-connection failure mode that only a health check can discover
+// (nothing errors, nothing closes; the peer just never answers again).
+type blackholeProxy struct {
+	lis     net.Listener
+	backend string
+	drop    atomic.Bool
+}
+
+func newBlackholeProxy(t *testing.T, backend string) *blackholeProxy {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &blackholeProxy{lis: lis, backend: backend}
+	go p.acceptLoop()
+	t.Cleanup(func() { lis.Close() })
+	return p
+}
+
+func (p *blackholeProxy) Addr() string { return p.lis.Addr().String() }
+
+func (p *blackholeProxy) acceptLoop() {
+	for {
+		client, err := p.lis.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		forward := func(dst, src net.Conn) {
+			buf := make([]byte, 4096)
+			for {
+				n, err := src.Read(buf)
+				if n > 0 && !p.drop.Load() {
+					if _, werr := dst.Write(buf[:n]); werr != nil {
+						return
+					}
+				}
+				if err != nil {
+					return
+				}
+			}
+		}
+		go forward(server, client)
+		go forward(client, server)
+	}
+}
+
+// TestHealthCheckEvictsDeadIdleConnection: a connection whose peer goes
+// silent (open socket, no answers) must be discovered by the idle health
+// ping and evicted before any caller borrows it — and the next request
+// must succeed on a fresh dial once the path heals.
+func TestHealthCheckEvictsDeadIdleConnection(t *testing.T) {
+	s := newTestServer(t)
+	p := newBlackholeProxy(t, s.Addr())
+	c := NewClient(p.Addr(),
+		WithIdleTimeout(time.Minute), // idle reaping must not be the one evicting
+		WithHealthCheckInterval(40*time.Millisecond))
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Query(ctx, LangSQL, "warmup"); err != nil {
+		t.Fatal(err)
+	}
+	if conns, _ := c.PoolStats(); conns != 1 {
+		t.Fatalf("pool = %d conns after warmup", conns)
+	}
+
+	// The peer goes silent: the connection stays open but answers nothing.
+	p.drop.Store(true)
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if conns, _ := c.PoolStats(); conns == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			conns, _ := c.PoolStats()
+			t.Fatalf("health check never evicted the dead connection (pool = %d)", conns)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Path healed: the next query dials fresh and succeeds without the
+	// caller ever having seen the dead connection.
+	p.drop.Store(false)
+	raw, err := c.Query(ctx, LangSQL, "after-heal")
+	if err != nil {
+		t.Fatalf("query after heal: %v", err)
+	}
+	v, err := types.DecodeValue(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(types.Str("sql:after-heal")) {
+		t.Errorf("answer = %s", v)
+	}
+}
+
+// TestHealthCheckKeepsLiveConnection: a healthy idle connection must
+// survive health checks (no false-positive eviction) while remaining
+// subject to the idle timeout — pings must not refresh the idle clock.
+func TestHealthCheckKeepsLiveConnection(t *testing.T) {
+	s := newTestServer(t)
+	c := NewClient(s.Addr(),
+		WithIdleTimeout(450*time.Millisecond),
+		WithHealthCheckInterval(40*time.Millisecond))
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Query(ctx, LangSQL, "warmup"); err != nil {
+		t.Fatal(err)
+	}
+	// Well inside the idle timeout, across several health-check periods,
+	// the connection must still be there.
+	time.Sleep(200 * time.Millisecond)
+	if conns, _ := c.PoolStats(); conns != 1 {
+		t.Fatalf("healthy idle conn evicted by health checks (pool = %d)", conns)
+	}
+	// And the idle timeout still applies even though pings kept succeeding.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if conns, _ := c.PoolStats(); conns == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pinged connection never idled out; health checks must not refresh the idle clock")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
