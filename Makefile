@@ -29,11 +29,12 @@ test-race:
 # batched vs tuple-at-a-time Volcano iteration, remote point-query
 # throughput (pooled vs dial-per-request wire connections at 1/4/16
 # concurrent clients), prepared-statement hits vs full recompiles,
-# scatter-gather fan-out and partition pruning across 1/4/16 partitions.
-# The benchstat-compatible output lands in BENCH_PR4.json so runs can be
-# diffed across PRs (benchstat old.json new.json).
+# scatter-gather fan-out and partition pruning across 1/4/16 partitions,
+# and replica failover with a dead primary (breaker-warm vs the cold
+# timeout path). The benchstat-compatible output lands in BENCH_PR5.json
+# so runs can be diffed across PRs (benchstat old.json new.json).
 bench:
-	$(GO) test -run xxx -bench 'CompiledEval|Volcano|RemoteQuery|PreparedStatements|ScatterGather|PartitionPruning' -benchmem . | tee BENCH_PR4.json
+	$(GO) test -run xxx -bench 'CompiledEval|Volcano|RemoteQuery|PreparedStatements|ScatterGather|PartitionPruning|Failover' -benchmem . | tee BENCH_PR5.json
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem .

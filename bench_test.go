@@ -10,6 +10,7 @@ package disco
 import (
 	"context"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -821,6 +822,142 @@ func harnessUpper(b *testing.B, lowerAddr string) *core.Mediator {
 		b.Fatal(err)
 	}
 	return upper
+}
+
+// dropProxy forwards TCP bytes to a backend until drop flips, after which
+// it silently discards everything — a source that served traffic (and so
+// has cost history) and then went dark without closing anything, the
+// §4 unavailability whose timeout the circuit breaker exists to skip.
+type dropProxy struct {
+	lis     net.Listener
+	backend string
+	drop    atomic.Bool
+}
+
+func newDropProxy(b *testing.B, backend string) *dropProxy {
+	b.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := &dropProxy{lis: lis, backend: backend}
+	go func() {
+		for {
+			client, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			server, err := net.Dial("tcp", backend)
+			if err != nil {
+				client.Close()
+				continue
+			}
+			forward := func(dst, src net.Conn) {
+				buf := make([]byte, 4096)
+				for {
+					n, err := src.Read(buf)
+					if n > 0 && !p.drop.Load() {
+						if _, werr := dst.Write(buf[:n]); werr != nil {
+							return
+						}
+					}
+					if err != nil {
+						return
+					}
+				}
+			}
+			go forward(server, client)
+			go forward(client, server)
+		}
+	}()
+	b.Cleanup(func() { lis.Close() })
+	return p
+}
+
+// BenchmarkFailover measures a point query over a replicated extent whose
+// primary served traffic (so routing's cost history prefers it) and then
+// went dark. The cold row has the circuit breaker effectively disabled:
+// every query re-pays the dead primary's attempt share of the evaluation
+// deadline before failing over to the replica. The warm row primed the
+// breaker with one failed query, so routing skips the primary and goes
+// straight to the live replica. The gap is the failover story's headline
+// number.
+func BenchmarkFailover(b *testing.B) {
+	const timeout = 100 * time.Millisecond
+	const q = `select x.name from x in people where x.id = 7`
+	newMediator := func(b *testing.B, opts ...core.Option) (*core.Mediator, *dropProxy) {
+		b.Helper()
+		primary := source.NewRelStore()
+		replica := source.NewRelStore()
+		for _, s := range []*source.RelStore{primary, replica} {
+			if err := source.GenPeople(s, "people", 50, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		srv, err := wire.NewServer("127.0.0.1:0", core.EngineHandler{Engine: primary})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { srv.Close() })
+		proxy := newDropProxy(b, srv.Addr())
+		// The replica is a touch slower than the primary, so the learned
+		// cost history keeps preferring the (now dark) primary — the case
+		// where only the breaker, not history, can stop the bleeding.
+		repSrv, err := wire.NewServer("127.0.0.1:0", core.EngineHandler{Engine: replica})
+		if err != nil {
+			b.Fatal(err)
+		}
+		repSrv.SetLatency(2 * time.Millisecond)
+		b.Cleanup(func() { repSrv.Close() })
+		m := core.New(append([]core.Option{core.WithTimeout(timeout)}, opts...)...)
+		b.Cleanup(m.Close)
+		if err := m.ExecODL(`
+			r0 := Repository(address="` + proxy.lis.Addr().String() + `");
+			r0b := Repository(address="` + repSrv.Addr() + `");
+			w0 := WrapperPostgres();
+			interface Person (extent person) {
+			    attribute Short id;
+			    attribute String name;
+			    attribute Short salary;
+			}
+			extent people of Person wrapper w0 at r0|r0b;
+		`); err != nil {
+			b.Fatal(err)
+		}
+		// The primary answers a few queries first: the learned cost
+		// history now prefers it, as it would in any live deployment.
+		for i := 0; i < 3; i++ {
+			if _, err := m.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		proxy.drop.Store(true)
+		return m, proxy
+	}
+
+	b.Run("cold-timeout-path", func(b *testing.B) {
+		// Threshold too high to ever open: every iteration waits out the
+		// primary's share of the deadline, the pre-breaker behaviour.
+		m, _ := newMediator(b, core.WithBreaker(1<<30, time.Hour))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("breaker-warm", func(b *testing.B) {
+		m, _ := newMediator(b, core.WithBreaker(1, time.Hour))
+		if _, err := m.Query(q); err != nil { // prime: opens r0's breaker
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkOQLParse measures the front of the pipeline on a representative

@@ -73,16 +73,49 @@
 // shard's wrapper. Shards pruned from one side of the join drop their
 // counterpart on the other side.
 //
+// Each partition may also declare replicas — repositories holding a copy
+// of the same rows — by separating them with "|" in the placement list,
+// primary first:
+//
+//	extent people of Person wrapper w0 at r0|r0b, r1|r1b, r2;
+//
+// A submit that finds its shard's primary unavailable (timeout, refused
+// or failed dial) transparently retries the shard's replicas, splitting
+// the remaining evaluation deadline over the copies left to try, so even
+// a cold failover reaches a live replica before the deadline. The answer
+// stays complete — partial evaluation fires only when every copy of a
+// shard is down. The replica contract mirrors the partitioning one:
+// every repository of a group must hold the same rows.
+//
+// Routing among a shard's copies is fed by two signals. The learned cost
+// history orders live copies fastest-first (an unmeasured copy never
+// outranks a measured one). And every source carries a circuit breaker:
+// consecutive classified unavailabilities (WithBreaker's threshold,
+// default 3) open it, after which routing skips the dead copy without
+// re-paying its timeout; once the cooldown (default 5s) elapses, a
+// half-open probe — a background ping riding the next query that routes
+// around the copy — decides whether it closes again. The breaker is
+// advisory: when every copy of a shard is open, the mediator probes them
+// all anyway rather than declare unavailability without dialing, so a
+// breaker can delay but never forge a partial answer. The cost model
+// consults the breakers too, charging submits to open sources the
+// timeout they would burn, and Mediator.BreakerState exposes the state
+// per repository. A caller cancelling a query is classified as neither
+// an answer nor unavailability: it cannot degrade the query into a
+// partial answer, and it cannot poison a breaker.
+//
 // Partial answers compose with partitioning: if a shard fails to answer
-// before the deadline, QueryPartial keeps the answered shards' data and
-// returns a residual query over only the missing partitions, written with
-// the shard-addressing form extent@repository:
+// before the deadline (every replica, when it has them), QueryPartial
+// keeps the answered shards' data and returns a residual query over only
+// the missing partitions, written with the shard-addressing form
+// extent@repository:
 //
 //	union(select x.name from x in people@r2 where x.salary > 60, bag("Ben", "Mary"))
 //
-// Resubmitting that answer once r2 recovers touches only r2. The
-// extent@repository name is ordinary OQL here and can also be queried
-// directly to address one shard. See examples/sharding for the full
+// Resubmitting that answer once any copy of r2 recovers touches only
+// that shard. The extent@repository name is ordinary OQL here and can
+// also be queried directly to address one shard (replica names
+// canonicalize to their shard). See examples/sharding for the full
 // scenario.
 //
 // Underneath every remote scenario sits a persistent wire layer. The
@@ -166,6 +199,24 @@ var WithTimeout = core.WithTimeout
 // WithMaxFanout bounds how many partitions of a sharded extent the mediator
 // queries concurrently (0 = all at once).
 var WithMaxFanout = core.WithMaxFanout
+
+// WithBreaker tunes the per-source circuit breakers: a source opens after
+// threshold consecutive classified unavailabilities (replica routing then
+// skips it without re-paying its timeout) and is probed again after
+// cooldown. Zero values keep the defaults.
+var WithBreaker = core.WithBreaker
+
+// BreakerState is the state of one source's circuit breaker, as reported
+// by Mediator.BreakerState: closed (healthy), open (recently dead, routed
+// around), or half-open (one probe in flight).
+type BreakerState = core.BreakerState
+
+// Breaker states.
+const (
+	BreakerClosed   = core.BreakerClosed
+	BreakerOpen     = core.BreakerOpen
+	BreakerHalfOpen = core.BreakerHalfOpen
+)
 
 // Value is a runtime value of the DISCO data model: scalars, structs and
 // the bag/list/set collections.

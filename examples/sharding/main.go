@@ -1,13 +1,17 @@
 // Sharding — one logical extent horizontally partitioned across four
 // repositories. The mediator rewrites Get(people) into a parallel union of
 // per-partition submits, executes the fan-out with the bounded-concurrency
-// scatter-gather operator, and — when a shard dies — degrades to a §4
-// partial answer whose residual query names only the missing partition.
+// scatter-gather operator, and — when every copy of a shard dies —
+// degrades to a §4 partial answer whose residual query names only the
+// missing partition.
 //
 // The extent also declares its placement (partition by range(id)), so the
 // optimizer prunes shards a predicate provably excludes: a point query on
 // id routes to the key's home shard and the other three repositories are
-// never contacted.
+// never contacted. Shard r2 additionally declares a replica (r2|r2b): when
+// its primary dies, the mediator fails the submit over to the replica and
+// the answer stays complete — partial evaluation is the last resort, not
+// the first response.
 //
 //	go run ./examples/sharding
 package main
@@ -62,10 +66,37 @@ func run() error {
 	}
 	fmt.Printf("%d shard servers up\n", len(servers))
 
-	// --- one mediator, one partitioned extent ---------------------------
+	// --- a replica for shard r2: same rows, second server ---------------
+	// The replica contract: r2b holds exactly the rows of r2.
+	rep := disco.NewRelStore()
+	if err := rep.CreateTable("people", "id", "name", "salary"); err != nil {
+		return err
+	}
+	for j, r := range shards[2] {
+		if err := rep.Insert("people",
+			disco.Int(int64(2*10+j)), disco.Str(r[0].(string)), disco.Int(int64(r[1].(int)))); err != nil {
+			return err
+		}
+	}
+	repSrv, err := disco.ServeEngine("127.0.0.1:0", rep)
+	if err != nil {
+		return err
+	}
+	defer repSrv.Close()
+	fmt.Fprintf(&odl, "r2b := Repository(address=%q);\n", repSrv.Addr())
+	repos[2] = "r2|r2b"
+
+	// --- one mediator, one partitioned + replicated extent --------------
 	// The partition clause is the placement contract: shard i holds the
 	// ids in [10i, 10(i+1)), which is how the rows were inserted above.
-	m := disco.New(disco.WithTimeout(400 * time.Millisecond))
+	// WithBreaker tunes the per-source circuit breakers: one classified
+	// unavailability opens a source's breaker, so repeat queries skip the
+	// dead copy without re-paying its timeout until the 2s cooldown admits
+	// a probe.
+	m := disco.New(
+		disco.WithTimeout(400*time.Millisecond),
+		disco.WithBreaker(1, 2*time.Second),
+	)
 	odl.WriteString(`
 		w0 := WrapperPostgres();
 		interface Person (extent person) {
@@ -117,17 +148,29 @@ func run() error {
 	}
 	fmt.Printf("point query answered by 1 shard: %s\n", sorted(v))
 
-	// --- one shard dies: the query degrades, not fails ------------------
+	// --- the primary of r2 dies: failover keeps the answer whole --------
 	servers[2].SetAvailable(false)
 	ans, err := m.QueryPartial(`select x.name from x in people where x.salary > 60`)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("shard r2 down -> unavailable: %v\n", ans.Unavailable)
+	if !ans.Complete {
+		return fmt.Errorf("replica should have answered: %s", ans)
+	}
+	fmt.Printf("\nprimary r2 down -> replica r2b answers, still complete: %s\n", sorted(ans.Value))
+	fmt.Printf("breaker for r2 after the failed submit: %s\n", m.BreakerState("r2"))
+
+	// --- every copy of the shard dies: now the query degrades -----------
+	repSrv.SetAvailable(false)
+	ans, err = m.QueryPartial(`select x.name from x in people where x.salary > 60`)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replica r2b down too -> unavailable: %v\n", ans.Unavailable)
 	fmt.Printf("partial answer (a query): %s\n", ans)
 
-	// --- the shard recovers: resubmit the answer itself -----------------
-	servers[2].SetAvailable(true)
+	// --- one copy recovers: resubmit the answer itself ------------------
+	repSrv.SetAvailable(true)
 	re, err := m.QueryPartial(ans.String())
 	if err != nil {
 		return err

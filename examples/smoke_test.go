@@ -39,7 +39,9 @@ var smoke = map[string][]string{
 		`salary > 60 across all shards: ["Ben", "Mary", "Zoe"]`,
 		"pruned shards: people@r0, people@r1, people@r3",
 		`point query answered by 1 shard: ["Zoe"]`,
-		"shard r2 down -> unavailable: [r2]",
+		`primary r2 down -> replica r2b answers, still complete: ["Ben", "Mary", "Zoe"]`,
+		"breaker for r2 after the failed submit: open",
+		"replica r2b down too -> unavailable: [r2]",
 		`union(select x.name from x in people@r2 where x.salary > 60, bag("Ben", "Mary"))`,
 		`resubmitted after recovery: ["Ben", "Mary", "Zoe"]`,
 	},

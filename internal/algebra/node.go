@@ -52,6 +52,13 @@ type ExtentRef struct {
 	// render as extent@repo so a residual query can name exactly the shards
 	// that did not answer.
 	Partition string
+	// Replicas lists every repository holding a copy of this shard's data,
+	// primary first (the declared "at r0|r0b" replica group). Empty or
+	// single-element when the shard is unreplicated. Like PartSpec it does
+	// not render into the plan string: it is placement metadata the runtime
+	// uses to fail a submit over to a replica when the primary does not
+	// answer.
+	Replicas []string
 	// PartSpec is the extent's declared partitioning scheme (nil when none).
 	// It does not render into the plan string: the (Extent, Partition) pair
 	// already identifies the shard, and the scheme is catalog metadata.

@@ -11,7 +11,6 @@ package catalog
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 
 	"disco/internal/algebra"
@@ -61,8 +60,17 @@ type MetaExtent struct {
 	Repository string
 	// Repositories lists every repository holding a horizontal partition of
 	// the extent, in declaration order (extent e of T wrapper w at r0, r1).
-	// Empty or single-element for unpartitioned extents.
+	// Empty or single-element for unpartitioned extents. Each entry is the
+	// primary of its partition.
 	Repositories []string
+	// Replicas is the per-partition replica group, primary first, from the
+	// ODL "at r0|r0b, r1|r1b" form: Replicas[i] lists every repository
+	// holding a copy of partition i's rows. Nil when no partition declares
+	// replicas; single-element groups mark unreplicated partitions. The
+	// declaration is a contract: every repository of a group must hold the
+	// same rows, and the mediator reads a replica only when repositories
+	// earlier in the group do not answer.
+	Replicas [][]string
 	// Scheme is the declared placement of rows over Repositories (ODL
 	// "partition by hash(attr)" / "partition by range(attr) (...)"); nil
 	// when the extent declares none. With a scheme the optimizer prunes
@@ -90,17 +98,56 @@ func (m *MetaExtent) Partitions() []string {
 }
 
 // Partitioned reports whether the extent is split across more than one
-// repository.
+// partition (replicas of one partition do not count).
 func (m *MetaExtent) Partitioned() bool { return len(m.Repositories) > 1 }
 
-// HasPartition reports whether the extent stores data at the repository.
-func (m *MetaExtent) HasPartition(repo string) bool {
-	for _, p := range m.Partitions() {
-		if p == repo {
+// Replicated reports whether any partition declares a replica.
+func (m *MetaExtent) Replicated() bool {
+	for _, g := range m.Replicas {
+		if len(g) > 1 {
 			return true
 		}
 	}
 	return false
+}
+
+// ReplicaGroup returns every repository holding a copy of the partition
+// whose primary (or replica) is repo, primary first. Unreplicated
+// partitions return a single-element group; an unknown repository returns
+// nil.
+func (m *MetaExtent) ReplicaGroup(repo string) []string {
+	parts := m.Partitions()
+	for i, p := range parts {
+		if i < len(m.Replicas) {
+			for _, r := range m.Replicas[i] {
+				if r == repo {
+					return m.Replicas[i]
+				}
+			}
+			continue
+		}
+		if p == repo {
+			return []string{p}
+		}
+	}
+	return nil
+}
+
+// PrimaryFor canonicalizes a repository holding extent data to the primary
+// of its partition (a replica name maps to its shard's primary; a primary
+// maps to itself).
+func (m *MetaExtent) PrimaryFor(repo string) (string, bool) {
+	if g := m.ReplicaGroup(repo); g != nil {
+		return g[0], true
+	}
+	return "", false
+}
+
+// HasPartition reports whether the extent stores data at the repository —
+// as a partition primary or as one of its replicas.
+func (m *MetaExtent) HasPartition(repo string) bool {
+	_, ok := m.PrimaryFor(repo)
+	return ok
 }
 
 // ErrNotFound reports a missing catalog object.
@@ -255,6 +302,27 @@ func (c *Catalog) AddExtent(m *MetaExtent) error {
 	}
 	if _, ok := c.repos[m.Repository]; !ok {
 		return &ErrNotFound{Kind: "repository", Name: m.Repository}
+	}
+	if len(m.Replicas) > 0 {
+		parts := m.Partitions()
+		if len(m.Replicas) != len(parts) {
+			return fmt.Errorf("catalog: extent %q declares %d replica groups for %d partitions", m.Name, len(m.Replicas), len(parts))
+		}
+		seen := map[string]bool{}
+		for i, group := range m.Replicas {
+			if len(group) == 0 || group[0] != parts[i] {
+				return fmt.Errorf("catalog: extent %q replica group %d must start with its partition primary %q", m.Name, i, parts[i])
+			}
+			for _, r := range group {
+				if _, ok := c.repos[r]; !ok {
+					return &ErrNotFound{Kind: "repository", Name: r}
+				}
+				if seen[r] {
+					return fmt.Errorf("catalog: extent %q lists replica %q twice", m.Name, r)
+				}
+				seen[r] = true
+			}
+		}
 	}
 	if m.SourceName == "" {
 		m.SourceName = m.Name
@@ -440,7 +508,7 @@ func (c *Catalog) ExtentRef(m *MetaExtent) algebra.ExtentRef {
 	for i, a := range attrs {
 		names[i] = a.Name
 	}
-	return algebra.ExtentRef{
+	ref := algebra.ExtentRef{
 		Extent:  m.Name,
 		Repo:    m.Repository,
 		Source:  m.SourceName,
@@ -448,6 +516,10 @@ func (c *Catalog) ExtentRef(m *MetaExtent) algebra.ExtentRef {
 		Attrs:   names,
 		AttrMap: m.AttrMap,
 	}
+	if g := m.ReplicaGroup(m.Repository); len(g) > 1 {
+		ref.Replicas = g
+	}
+	return ref
 }
 
 // PartitionRef is ExtentRef for one shard of a partitioned extent: the ref
@@ -459,6 +531,11 @@ func (c *Catalog) PartitionRef(m *MetaExtent, repo string) algebra.ExtentRef {
 	ref.Repo = repo
 	if m.Partitioned() {
 		ref.Partition = repo
+	}
+	if g := m.ReplicaGroup(repo); len(g) > 1 {
+		ref.Replicas = g
+	} else {
+		ref.Replicas = nil
 	}
 	if m.Scheme != nil {
 		parts := m.Partitions()
@@ -494,7 +571,7 @@ func (c *Catalog) MetaExtentBag() *types.Bag {
 			types.Field{Name: "e", Value: types.Str(m.Name)},
 			types.Field{Name: "interface", Value: types.Str(m.Iface)},
 			types.Field{Name: "wrapper", Value: types.Str(m.Wrapper)},
-			types.Field{Name: "repository", Value: types.Str(strings.Join(m.Partitions(), ","))},
+			types.Field{Name: "repository", Value: types.Str(placementList(m, ","))},
 			types.Field{Name: "map", Value: types.NewSet(mapPairs...)},
 		))
 	}

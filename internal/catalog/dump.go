@@ -97,10 +97,12 @@ func (c *Catalog) DumpODL() string {
 	for _, n := range c.extOrder {
 		m := c.extents[n]
 		if m.Partitioned() {
-			fmt.Fprintf(&b, "extent %s of %s wrapper %s at %s", m.Name, m.Iface, m.Wrapper, strings.Join(m.Repositories, ", "))
+			fmt.Fprintf(&b, "extent %s of %s wrapper %s at %s", m.Name, m.Iface, m.Wrapper, placementList(m, ", "))
 			if m.Scheme != nil {
 				fmt.Fprintf(&b, "\n    partition by %s", m.Scheme)
 			}
+		} else if m.Replicated() {
+			fmt.Fprintf(&b, "extent %s of %s wrapper %s at %s", m.Name, m.Iface, m.Wrapper, placementList(m, ", "))
 		} else {
 			fmt.Fprintf(&b, "extent %s of %s wrapper %s repository %s", m.Name, m.Iface, m.Wrapper, m.Repository)
 		}
@@ -130,4 +132,20 @@ func (c *Catalog) DumpODL() string {
 		fmt.Fprintf(&b, "define %s as\n    %s;\n", n, c.views[n])
 	}
 	return b.String()
+}
+
+// placementList renders an extent's partition list (for the ODL "at"
+// clause and the metaextent bag), with replica groups joined by "|"
+// (r0|r0b, r1) and partitions joined by sep.
+func placementList(m *MetaExtent, sep string) string {
+	parts := m.Partitions()
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		if i < len(m.Replicas) && len(m.Replicas[i]) > 1 {
+			out[i] = strings.Join(m.Replicas[i], "|")
+		} else {
+			out[i] = p
+		}
+	}
+	return strings.Join(out, sep)
 }

@@ -1,0 +1,149 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"disco/internal/types"
+)
+
+// replicaCatalog registers repositories r0, r0b, r1, r1b and one wrapper.
+func replicaCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := New()
+	if err := c.DefineInterface(&types.Interface{
+		Name: "Person", ExtentName: "person",
+		Attrs: []types.Attribute{
+			{Name: "id", Type: types.ScalarAttr(types.TInt)},
+			{Name: "name", Type: types.ScalarAttr(types.TString)},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"r0", "r0b", "r1", "r1b"} {
+		if err := c.AddRepository(&Repository{Name: r, Address: "mem:" + r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AddWrapper(&Wrapper{Name: "w0", Kind: "sql"}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestReplicaGroupsAndRefs(t *testing.T) {
+	c := replicaCatalog(t)
+	if err := c.AddExtent(&MetaExtent{
+		Name: "people", Iface: "Person", Wrapper: "w0",
+		Repositories: []string{"r0", "r1"},
+		Replicas:     [][]string{{"r0", "r0b"}, {"r1"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := c.Extent("people")
+	if !m.Replicated() {
+		t.Error("extent with a replica group reports unreplicated")
+	}
+	if g := m.ReplicaGroup("r0b"); len(g) != 2 || g[0] != "r0" {
+		t.Errorf("ReplicaGroup(r0b) = %v", g)
+	}
+	if p, ok := m.PrimaryFor("r0b"); !ok || p != "r0" {
+		t.Errorf("PrimaryFor(r0b) = %q, %v", p, ok)
+	}
+	if !m.HasPartition("r0b") {
+		t.Error("HasPartition must accept a replica name")
+	}
+	if m.HasPartition("r1b") {
+		t.Error("r1b is not part of any declared group")
+	}
+	ref := c.PartitionRef(m, "r0")
+	if len(ref.Replicas) != 2 || ref.Replicas[0] != "r0" || ref.Replicas[1] != "r0b" {
+		t.Errorf("PartitionRef(r0).Replicas = %v", ref.Replicas)
+	}
+	if ref2 := c.PartitionRef(m, "r1"); len(ref2.Replicas) != 0 {
+		t.Errorf("unreplicated shard carries Replicas %v", ref2.Replicas)
+	}
+}
+
+func TestReplicaValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *MetaExtent
+		want string
+	}{
+		{
+			name: "unknown replica repository",
+			m: &MetaExtent{Name: "x", Iface: "Person", Wrapper: "w0",
+				Repositories: []string{"r0", "r1"},
+				Replicas:     [][]string{{"r0", "nope"}, {"r1"}}},
+			want: "not found",
+		},
+		{
+			name: "group count mismatch",
+			m: &MetaExtent{Name: "x", Iface: "Person", Wrapper: "w0",
+				Repositories: []string{"r0", "r1"},
+				Replicas:     [][]string{{"r0", "r0b"}}},
+			want: "replica groups",
+		},
+		{
+			name: "group must lead with its primary",
+			m: &MetaExtent{Name: "x", Iface: "Person", Wrapper: "w0",
+				Repositories: []string{"r0", "r1"},
+				Replicas:     [][]string{{"r0b", "r0"}, {"r1"}}},
+			want: "primary",
+		},
+		{
+			name: "replica listed twice",
+			m: &MetaExtent{Name: "x", Iface: "Person", Wrapper: "w0",
+				Repositories: []string{"r0", "r1"},
+				Replicas:     [][]string{{"r0", "r0b"}, {"r1", "r0b"}}},
+			want: "twice",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := replicaCatalog(t)
+			err := c.AddExtent(tc.m)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("AddExtent = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReplicaDumpRenders: the replica groups survive DumpODL in the
+// "r0|r0b" form, on partitioned and single-shard extents alike.
+func TestReplicaDumpRenders(t *testing.T) {
+	c := replicaCatalog(t)
+	if err := c.AddExtent(&MetaExtent{
+		Name: "people", Iface: "Person", Wrapper: "w0",
+		Repositories: []string{"r0", "r1"},
+		Replicas:     [][]string{{"r0", "r0b"}, {"r1", "r1b"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dump := c.DumpODL()
+	if !strings.Contains(dump, "at r0|r0b, r1|r1b") {
+		t.Errorf("dump misses the replica groups:\n%s", dump)
+	}
+
+	c2 := replicaCatalog(t)
+	if err := c2.AddExtent(&MetaExtent{
+		Name: "solo", Iface: "Person", Wrapper: "w0",
+		Repository: "r0",
+		Replicas:   [][]string{{"r0", "r0b"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if dump := c2.DumpODL(); !strings.Contains(dump, "at r0|r0b") {
+		t.Errorf("single-shard replicated dump:\n%s", dump)
+	}
+
+	// The metaextent bag shows the full placement too.
+	bag := c.MetaExtentBag()
+	st := bag.At(0).(*types.Struct)
+	repo, _ := st.Get("repository")
+	if !repo.Equal(types.Str("r0|r0b,r1|r1b")) {
+		t.Errorf("metaextent repository = %s", repo)
+	}
+}

@@ -23,12 +23,24 @@ func (timeoutErr) Temporary() bool { return true }
 
 // TestClassifySourceError is the regression suite for the unavailability
 // classifier: only "no answer" conditions (timeouts, refused or failed
-// dials, expired deadlines) may become partial answers. A source that was
-// reached and then failed mid-answer produced a genuine error — degrading
-// it silently into a partial answer hides real failures.
+// dials, expired evaluation deadlines) may become partial answers. A
+// source that was reached and then failed mid-answer produced a genuine
+// error — degrading it silently into a partial answer hides real failures.
+// And a call the caller itself ended (cancellation, a caller-imposed
+// deadline) is neither: it must classify as a plain error so it cannot
+// become a partial answer or trip the source's circuit breaker.
 func TestClassifySourceError(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	callerDeadline, cancelCD := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancelCD()
+	evalDeadline, cancelED := withEvalDeadline(context.Background(), time.Nanosecond)
+	defer cancelED()
+	<-evalDeadline.Done()
+
 	cases := []struct {
 		name        string
+		ctx         context.Context
 		err         error
 		unavailable bool
 	}{
@@ -38,8 +50,28 @@ func TestClassifySourceError(t *testing.T) {
 			unavailable: true,
 		},
 		{
-			name:        "wrapped cancellation",
+			name: "wrapped cancellation from within the source path",
+			err:  fmt.Errorf("exec: %w", context.Canceled),
+			// The caller's context is alive, so the cancel arose
+			// source-side: still no answer by the designated time.
+			unavailable: true,
+		},
+		{
+			name:        "caller cancellation",
+			ctx:         cancelled,
 			err:         fmt.Errorf("exec: %w", context.Canceled),
+			unavailable: false,
+		},
+		{
+			name:        "caller-imposed deadline",
+			ctx:         callerDeadline,
+			err:         fmt.Errorf("wire: %w", context.DeadlineExceeded),
+			unavailable: false,
+		},
+		{
+			name:        "mediator evaluation deadline",
+			ctx:         evalDeadline,
+			err:         fmt.Errorf("wire: %w", context.DeadlineExceeded),
 			unavailable: true,
 		},
 		{
@@ -85,7 +117,11 @@ func TestClassifySourceError(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got := classifySourceError("r0", tc.err)
+			ctx := tc.ctx
+			if ctx == nil {
+				ctx = context.Background()
+			}
+			got := classifySourceError(ctx, "r0", tc.err)
 			var ue *physical.UnavailableError
 			isUnavailable := errors.As(got, &ue)
 			if isUnavailable != tc.unavailable {

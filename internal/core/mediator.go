@@ -41,6 +41,13 @@ type Mediator struct {
 	// concurrently; 0 means unbounded.
 	maxFanout int
 
+	// breakers is the per-source circuit-breaker set fed by the
+	// availability classifier and consulted by replica routing and the
+	// cost model.
+	breakers         *Breakers
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
 	mu       sync.Mutex
 	engines  map[string]source.Engine   // in-process engines by mem: name
 	wrappers map[string]wrapper.Wrapper // instantiated per wrapper/repo pair
@@ -82,6 +89,17 @@ func WithMaxFanout(n int) Option {
 	}
 }
 
+// WithBreaker tunes the per-source circuit breakers: a source opens after
+// threshold consecutive classified unavailabilities and is probed again
+// (half-open) after cooldown. Zero values keep the defaults
+// (DefaultBreakerThreshold, DefaultBreakerCooldown).
+func WithBreaker(threshold int, cooldown time.Duration) Option {
+	return func(m *Mediator) {
+		m.breakerThreshold = threshold
+		m.breakerCooldown = cooldown
+	}
+}
+
 // New returns an empty mediator.
 func New(opts ...Option) *Mediator {
 	m := &Mediator{
@@ -95,8 +113,29 @@ func New(opts ...Option) *Mediator {
 	for _, o := range opts {
 		o(m)
 	}
+	m.breakers = NewBreakers(m.breakerThreshold, m.breakerCooldown)
 	m.opt = optimizer.NewWithCapabilities(&mediatorCaps{m: m}, m.history)
+	// The cost model consults the breakers: a submit to a source whose
+	// breaker is open is charged the evaluation timeout it would likely
+	// burn, and breaker transitions flush cached plan choices — the
+	// optimizer's plan cache and the prepared-statement cache both, since
+	// a prepared entry would otherwise keep serving an availability-
+	// penalized plan without ever re-optimizing.
+	m.opt.SetAvailability(
+		func(repo string) bool { return m.breakers.State(repo) != BreakerOpen },
+		float64(m.timeout)/float64(time.Millisecond),
+	)
+	m.breakers.SetNotify(func() {
+		m.opt.InvalidateCache()
+		m.flushPrepared()
+	})
 	return m
+}
+
+// BreakerState reports the circuit-breaker state the mediator holds for a
+// repository (monitoring, tests).
+func (m *Mediator) BreakerState(repo string) BreakerState {
+	return m.breakers.State(repo)
 }
 
 // Catalog exposes the mediator's internal database.
@@ -158,6 +197,7 @@ func (m *Mediator) Apply(stmt odl.Statement) error {
 			Wrapper:      s.Wrapper,
 			Repository:   s.Repository,
 			Repositories: s.Repositories,
+			Replicas:     s.Replicas,
 			Scheme:       s.Scheme,
 			SourceName:   s.SourceName,
 			AttrMap:      s.AttrMap,

@@ -92,7 +92,7 @@ func (m *Mediator) QueryTraced(src string) (types.Value, *Trace, error) {
 	if err != nil {
 		return nil, tr, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
+	ctx, cancel := withEvalDeadline(context.Background(), m.timeout)
 	defer cancel()
 	t0 := time.Now()
 	v, err := p.Run(ctx)
@@ -116,7 +116,7 @@ func (m *Mediator) QueryPartial(src string) (*partial.Answer, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
+	ctx, cancel := withEvalDeadline(context.Background(), m.timeout)
 	defer cancel()
 	ans, err := partial.Evaluate(ctx, p)
 	if err != nil {

@@ -35,10 +35,13 @@ func (r planResolver) ResolvePlan(name string, star bool) (algebra.Node, error) 
 		if err != nil {
 			return nil, err
 		}
-		if !me.HasPartition(repo) {
+		// A replica name canonicalizes to its shard's primary, so residuals
+		// written against any copy route (and fail over) like the original.
+		primary, ok := me.PrimaryFor(repo)
+		if !ok {
 			return nil, fmt.Errorf("mediator: extent %s has no partition at %q", ext, repo)
 		}
-		return &algebra.Submit{Repo: repo, Input: &algebra.Get{Ref: cat.PartitionRef(me, repo)}}, nil
+		return &algebra.Submit{Repo: primary, Input: &algebra.Get{Ref: cat.PartitionRef(me, primary)}}, nil
 	}
 	if name == MetaExtentName {
 		if star {
@@ -116,7 +119,7 @@ func (r valueResolver) Resolve(name string, star bool) (types.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), r.m.timeout)
+	ctx, cancel := withEvalDeadline(context.Background(), r.m.timeout)
 	defer cancel()
 	// Ad-hoc resolver plans are built per evaluation (their expression
 	// nodes are fresh each time), so there is no program cache to share.

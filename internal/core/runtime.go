@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -12,6 +13,7 @@ import (
 	"disco/internal/algebra"
 	"disco/internal/capability"
 	"disco/internal/catalog"
+	"disco/internal/costmodel"
 	"disco/internal/oql"
 	"disco/internal/physical"
 	"disco/internal/types"
@@ -32,12 +34,289 @@ func (m *Mediator) buildPhysical(plan algebra.Node, progs *oql.ProgramCache) (*p
 	return physical.Build(plan, rt)
 }
 
-// submit is the mediator side of the exec physical algorithm (§3.3): it
-// finds the wrapper serving the expression, translates the expression into
-// the source namespace via the local transformation maps, executes it,
-// renames and type-checks the results, and records the call in the cost
-// history.
+// submit is the mediator side of the exec physical algorithm (§3.3) with
+// replica failover: it executes the expression at the shard's primary and,
+// when the primary is classified unavailable, retries the shard's declared
+// replicas before giving up. Partial evaluation therefore fires only when
+// every copy of a shard is down. The per-source circuit breaker routes
+// around copies that recently failed (a warm breaker skips a dead primary
+// without re-paying its timeout) and the learned cost history orders the
+// healthy copies fastest-first.
 func (m *Mediator) submit(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
+	cands := m.submitCandidates(repo, expr)
+	if len(cands) == 1 {
+		bag, err := m.submitOnce(ctx, repo, expr)
+		m.noteOutcome(repo, err)
+		return bag, err
+	}
+	bag, err := m.submitFailover(ctx, repo, expr, m.orderCandidates(cands, expr))
+	// Half-open probes ride query traffic: copies this query routed around
+	// while their breaker was open are pinged in the background once their
+	// cooldown elapses, so a recovered primary rejoins without a user query
+	// paying for the discovery.
+	for _, cand := range cands {
+		m.maybeProbe(cand)
+	}
+	return bag, err
+}
+
+// maybeProbe launches one background liveness probe of a source whose
+// breaker is not closed and whose cooldown has elapsed. Allow claims the
+// half-open probe slot, so concurrent queries start at most one probe per
+// source. The probe's verdict follows noteOutcome's taxonomy: only an
+// answer closes the breaker, only unreachability (timeout, dead network)
+// re-arms it, and a mediator-side failure that never consulted the source
+// (catalog lookup, a closed client) merely returns the probe slot.
+func (m *Mediator) maybeProbe(repo string) {
+	if m.breakers.State(repo) == BreakerClosed || !m.breakers.Allow(repo) {
+		return
+	}
+	go func() {
+		switch err := m.pingRepo(repo); {
+		case err == nil:
+			m.breakers.Success(repo)
+		case errors.Is(err, context.DeadlineExceeded) || isUnavailableNetErr(err):
+			m.breakers.Failure(repo)
+		default:
+			m.breakers.Release(repo)
+		}
+	}()
+}
+
+// pingRepo checks a repository's liveness: in-process engines by registry
+// lookup, remote repositories by a wire ping within the evaluation
+// deadline.
+func (m *Mediator) pingRepo(repo string) error {
+	r, err := m.catalog.Repository(repo)
+	if err != nil {
+		return err
+	}
+	if name, ok := strings.CutPrefix(r.Address, "mem:"); ok {
+		m.mu.Lock()
+		_, found := m.engines[name]
+		m.mu.Unlock()
+		if !found {
+			return fmt.Errorf("mediator: no in-process engine %q", name)
+		}
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
+	defer cancel()
+	return m.clientFor(r.Address).Ping(ctx)
+}
+
+// submitFailover tries the shard's candidate copies in order: copies
+// whose breaker admits them first, then — only if none of those answered
+// — the copies whose breaker refused, as a last resort. The breaker may
+// therefore delay a copy behind the healthy ones, but it can never leave
+// a copy undialed while the shard goes unanswered ("a breaker can delay
+// but never forge a partial answer"). A real (answered) error aborts
+// immediately; classified unavailability moves on to the next copy.
+func (m *Mediator) submitFailover(ctx context.Context, shard string, expr algebra.Node, cands []string) (*types.Bag, error) {
+	remaining := len(cands)
+	attempted := 0
+	var lastUnavail error
+	// attempt runs one copy under its share of the remaining evaluation
+	// budget (so a cold failover still reaches a live replica before the
+	// query deadline instead of spending it all on the dead primary) and
+	// reports whether the outcome is final.
+	attempt := func(cand string) (*types.Bag, error, bool) {
+		actx, cancel := attemptCtx(ctx, remaining)
+		bag, err := m.submitOnce(actx, cand, expr)
+		m.noteOutcome(cand, err)
+		cancel()
+		remaining--
+		attempted++
+		if err == nil {
+			return bag, nil, true
+		}
+		if !isUnavailableErr(err) {
+			// The source answered with a genuine failure (or the caller
+			// ended the query): no replica may mask it.
+			return nil, err, true
+		}
+		lastUnavail = err
+		return nil, nil, false
+	}
+	var deferred []string
+	for _, cand := range cands {
+		if ctx.Err() != nil {
+			break
+		}
+		if !m.breakers.Allow(cand) {
+			deferred = append(deferred, cand)
+			continue
+		}
+		if bag, err, done := attempt(cand); done {
+			return bag, err
+		}
+	}
+	for _, cand := range deferred {
+		if ctx.Err() != nil {
+			break
+		}
+		if bag, err, done := attempt(cand); done {
+			return bag, err
+		}
+	}
+	if attempted == 0 {
+		// The caller's context died before any copy could be dialed.
+		err := ctx.Err()
+		if err == nil {
+			err = errors.New("no candidate attempted")
+		}
+		return nil, classifySourceError(ctx, shard, fmt.Errorf("mediator: submit to %s: %w", shard, err))
+	}
+	return nil, &physical.UnavailableError{
+		Repo: shard,
+		Err:  fmt.Errorf("no replica answered: %w", lastUnavail),
+	}
+}
+
+// attemptCtx derives the deadline for one failover attempt: an equal share
+// of the time left until the parent deadline, over this and the remaining
+// candidates. The last candidate (and deadline-free contexts) run under
+// the parent as-is.
+func attemptCtx(ctx context.Context, remaining int) (context.Context, context.CancelFunc) {
+	if remaining <= 1 {
+		return ctx, func() {}
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return ctx, func() {}
+	}
+	share := time.Until(deadline) / time.Duration(remaining)
+	if share <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithDeadline(ctx, time.Now().Add(share))
+}
+
+// submitCandidates returns the repositories holding a copy of everything
+// the submit expression reads, primary first: the intersection of the
+// replica groups of the expression's extent refs (an expression reading
+// two extents can only fail over to a repository holding both).
+func (m *Mediator) submitCandidates(repo string, expr algebra.Node) []string {
+	var cands []string
+	for _, ref := range exprRefs(expr) {
+		group := ref.Replicas
+		if len(group) == 0 {
+			if me, err := m.catalog.Extent(ref.Extent); err == nil {
+				group = me.ReplicaGroup(repo)
+			}
+		}
+		if len(group) == 0 {
+			group = []string{repo}
+		}
+		if cands == nil {
+			cands = group
+		} else {
+			cands = intersectOrdered(cands, group)
+		}
+	}
+	if len(cands) == 0 {
+		return []string{repo}
+	}
+	return cands
+}
+
+// intersectOrdered keeps the members of a that also appear in b, in a's
+// order.
+func intersectOrdered(a, b []string) []string {
+	in := make(map[string]bool, len(b))
+	for _, x := range b {
+		in[x] = true
+	}
+	out := a[:0:0]
+	for _, x := range a {
+		if in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// orderCandidates sorts a shard's copies for routing: breaker-healthy
+// copies first (closed before half-open before open), then by the learned
+// cost history's smoothed response time — the cost-model consult that
+// prefers the fastest live replica. Copies with no history sort after
+// measured ones (the optimizer's zero-time default would otherwise make
+// every unknown replica leapfrog a known-fast primary), and ties keep
+// declaration order, so the primary leads until the history says
+// otherwise.
+func (m *Mediator) orderCandidates(cands []string, expr algebra.Node) []string {
+	type ranked struct {
+		repo string
+		rank int
+		time time.Duration
+	}
+	rs := make([]ranked, len(cands))
+	for i, cand := range cands {
+		r := ranked{repo: cand}
+		switch m.breakers.State(cand) {
+		case BreakerClosed:
+			r.rank = 0
+		case BreakerHalfOpen:
+			r.rank = 1
+		default:
+			r.rank = 2
+		}
+		est := m.history.Estimate(cand, expr)
+		if est.Basis == costmodel.BasisDefault {
+			r.time = time.Duration(1<<63 - 1)
+		} else {
+			r.time = est.Time
+		}
+		rs[i] = r
+	}
+	sort.SliceStable(rs, func(i, j int) bool {
+		if rs[i].rank != rs[j].rank {
+			return rs[i].rank < rs[j].rank
+		}
+		return rs[i].time < rs[j].time
+	})
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.repo
+	}
+	return out
+}
+
+// noteOutcome feeds one submit attempt's result into the source's circuit
+// breaker: only a real answer counts as success (data, a remote error, or
+// an upstream mediator's partial answer — each proves the source alive),
+// only classified unavailability counts as failure, and everything else —
+// caller-side termination, mediator-side failures that never dialed the
+// source (wrapper lookup, translation) — records no verdict, merely
+// returning any half-open probe slot the attempt had claimed.
+func (m *Mediator) noteOutcome(repo string, err error) {
+	var upstream *wire.PartialUpstreamError
+	var remote *wire.RemoteError
+	switch {
+	case err == nil:
+		m.breakers.Success(repo)
+	case errors.As(err, &upstream), errors.As(err, &remote):
+		// Checked before the unavailability case: classify wraps an
+		// upstream partial answer in an UnavailableError for partial
+		// evaluation, but for the breaker that source answered.
+		m.breakers.Success(repo)
+	case isUnavailableErr(err):
+		m.breakers.Failure(repo)
+	default:
+		m.breakers.Release(repo)
+	}
+}
+
+func isUnavailableErr(err error) bool {
+	var ue *physical.UnavailableError
+	return errors.As(err, &ue)
+}
+
+// submitOnce executes a submit expression at one repository: it finds the
+// wrapper serving the expression, translates the expression into the
+// source namespace via the local transformation maps, executes it, renames
+// and type-checks the results, and records the call in the cost history.
+func (m *Mediator) submitOnce(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
 	w, err := m.wrapperForExpr(repo, expr)
 	if err != nil {
 		return nil, err
@@ -49,7 +328,7 @@ func (m *Mediator) submit(ctx context.Context, repo string, expr algebra.Node) (
 	start := time.Now()
 	bag, err := w.Execute(ctx, src)
 	if err != nil {
-		return nil, classifySourceError(repo, err)
+		return nil, classifySourceError(ctx, repo, err)
 	}
 	elapsed := time.Since(start)
 
@@ -92,10 +371,32 @@ func exprRefs(expr algebra.Node) []algebra.ExtentRef {
 	return refs
 }
 
+// evalDeadlineKey marks contexts whose deadline is the mediator's own
+// evaluation timer — the §4 "designated time" — as opposed to a deadline
+// the caller brought.
+type evalDeadlineKey struct{}
+
+// withEvalDeadline bounds ctx by the mediator's evaluation deadline and
+// tags it as such, so the error classifier can tell the §4 designated
+// time (source unavailability) from a caller-imposed bound (a failed
+// query from the caller's own impatience or cancellation).
+func withEvalDeadline(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.WithValue(ctx, evalDeadlineKey{}, true), d)
+}
+
+func hasEvalDeadline(ctx context.Context) bool {
+	v, _ := ctx.Value(evalDeadlineKey{}).(bool)
+	return v
+}
+
 // classifySourceError separates unavailability (no answer: timeouts,
 // refused connections) from genuine query failures reported by a live
-// source. Partial evaluation applies only to the former.
-func classifySourceError(repo string, err error) error {
+// source, and from calls the caller itself ended. Partial evaluation
+// applies only to the first kind; a user cancelling a query (or a
+// caller-imposed deadline firing) is neither an answer nor unavailability
+// — it must not degrade the query into a partial answer, and it must not
+// count against the source's circuit breaker.
+func classifySourceError(ctx context.Context, repo string, err error) error {
 	var already *physical.UnavailableError
 	if errors.As(err, &already) {
 		return err
@@ -110,6 +411,18 @@ func classifySourceError(repo string, err error) error {
 	var remote *wire.RemoteError
 	if errors.As(err, &remote) {
 		return err // the source answered: a real error
+	}
+	if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+		// The call died because the caller's context ended (the user
+		// cancelled, or the query already concluded): caller-side, not a
+		// verdict on the source.
+		return fmt.Errorf("mediator: source call to %s cancelled: %w", repo, err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) &&
+		errors.Is(ctx.Err(), context.DeadlineExceeded) && !hasEvalDeadline(ctx) {
+		// The deadline that fired came with the caller's context, not from
+		// the mediator's evaluation timer: caller-side as well.
+		return fmt.Errorf("mediator: source call to %s ended by caller deadline: %w", repo, err)
 	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):

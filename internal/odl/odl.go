@@ -8,7 +8,7 @@
 //
 //	interface NAME [:SUPER] [(extent ENAME)] { attribute TYPE NAME; ... };
 //	extent NAME of IFACE wrapper W repository R [map ((a=b), ...)];
-//	extent NAME of IFACE wrapper W at R1, R2, ...
+//	extent NAME of IFACE wrapper W at R1[|R1b...], R2[|R2b...], ...
 //	    [partition by hash(ATTR) | partition by range(ATTR) (..B1, B1..B2, B2..)]
 //	    [map ((a=b), ...)];
 //	NAME := Repository(key="value", ...);
@@ -42,9 +42,13 @@ func (*InterfaceDecl) stmt() {}
 //
 //	extent person0 of Person wrapper w0 repository r0 map ((name=n));
 //	extent person of Person wrapper w0 at r0, r1, r2;
+//	extent person of Person wrapper w0 at r0|r0b, r1|r1b;
 //
 // The "at" form declares a horizontally partitioned extent stored across
 // several repositories; "repository" also accepts a comma-separated list.
+// Within a partition, "|" separates replicas: the first repository is the
+// partition's primary and the rest hold copies of the same rows, read when
+// the primary does not answer.
 type ExtentDecl struct {
 	Name    string
 	Iface   string
@@ -53,7 +57,13 @@ type ExtentDecl struct {
 	// partitioned extent.
 	Repository string
 	// Repositories is the full partition list (len > 1 when partitioned).
+	// Each entry is the primary of its partition.
 	Repositories []string
+	// Replicas is the per-partition replica group, primary first, from the
+	// "r0|r0b" syntax. Nil when no partition declares a replica; otherwise
+	// len(Replicas) matches the partition count and single-element groups
+	// mark unreplicated partitions.
+	Replicas [][]string
 	// Scheme is the placement metadata from the optional "partition by"
 	// clause: how rows distribute over Repositories (nil when undeclared).
 	Scheme *algebra.PartitionSpec
@@ -206,7 +216,7 @@ func (p *parser) lex() error {
 			i += 2
 		// The set includes OQL operator characters so that define bodies
 		// (sliced as raw text and reparsed by the OQL parser) lex through.
-		case strings.IndexByte("{}():;,=<>*.+-/!", c) >= 0:
+		case strings.IndexByte("{}():;,=<>*.+-/!|", c) >= 0:
 			p.toks = append(p.toks, tok{kind: tPunct, text: string(c), off: i})
 			i++
 		default:
@@ -406,22 +416,40 @@ func (p *parser) parseExtent() (Statement, error) {
 	}
 	// "repository r0" for a single source, "at r0, r1, ..." for a
 	// horizontally partitioned extent; both accept a comma-separated list.
+	// Each list element is a replica group: "r0|r0b" places a copy of the
+	// partition at every named repository, primary first.
 	if !p.accept("repository") {
 		if err := p.expect("at"); err != nil {
 			return nil, p.errorf("expected \"repository\" or \"at\" after wrapper")
 		}
 	}
+	replicated := false
 	for {
 		repo, err := p.expectIdent()
 		if err != nil {
 			return nil, err
 		}
-		d.Repositories = append(d.Repositories, repo)
+		group := []string{repo}
+		for p.accept("|") {
+			rep, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			group = append(group, rep)
+		}
+		if len(group) > 1 {
+			replicated = true
+		}
+		d.Repositories = append(d.Repositories, group[0])
+		d.Replicas = append(d.Replicas, group)
 		if !p.accept(",") {
 			break
 		}
 	}
 	d.Repository = d.Repositories[0]
+	if !replicated {
+		d.Replicas = nil
+	}
 	if len(d.Repositories) == 1 {
 		d.Repositories = nil
 	}

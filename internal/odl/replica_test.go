@@ -1,0 +1,72 @@
+package odl
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseReplicatedExtent covers the "at r0|r0b, r1" replica-group
+// syntax: primaries land in Repositories, full groups in Replicas.
+func TestParseReplicatedExtent(t *testing.T) {
+	stmts, err := Parse(`
+		extent people of Person wrapper w0 at r0|r0b|r0c, r1, r2|r2b
+		    partition by hash(id);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := stmts[0].(*ExtentDecl)
+	if got := strings.Join(d.Repositories, ","); got != "r0,r1,r2" {
+		t.Errorf("Repositories = %q, want the primaries r0,r1,r2", got)
+	}
+	if len(d.Replicas) != 3 {
+		t.Fatalf("Replicas = %v, want 3 groups", d.Replicas)
+	}
+	for i, want := range []string{"r0|r0b|r0c", "r1", "r2|r2b"} {
+		if got := strings.Join(d.Replicas[i], "|"); got != want {
+			t.Errorf("group %d = %q, want %q", i, got, want)
+		}
+	}
+	if d.Scheme == nil || d.Scheme.Attr != "id" {
+		t.Errorf("scheme = %+v; partition by must compose with replicas", d.Scheme)
+	}
+}
+
+// TestParseUnreplicatedListStaysNil: without any "|", Replicas stays nil
+// so the unpartitioned/partitioned representations are unchanged.
+func TestParseUnreplicatedListStaysNil(t *testing.T) {
+	stmts, err := Parse(`extent people of Person wrapper w0 at r0, r1;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := stmts[0].(*ExtentDecl); d.Replicas != nil {
+		t.Errorf("Replicas = %v, want nil", d.Replicas)
+	}
+}
+
+// TestParseReplicatedSingleRepository: the "repository" form accepts a
+// replica group too (one shard, two copies).
+func TestParseReplicatedSingleRepository(t *testing.T) {
+	stmts, err := Parse(`extent solo of Person wrapper w0 repository r0|r0b;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := stmts[0].(*ExtentDecl)
+	if d.Repository != "r0" || d.Repositories != nil {
+		t.Errorf("decl = %+v, want unpartitioned with primary r0", d)
+	}
+	if len(d.Replicas) != 1 || strings.Join(d.Replicas[0], "|") != "r0|r0b" {
+		t.Errorf("Replicas = %v", d.Replicas)
+	}
+}
+
+func TestParseReplicaErrors(t *testing.T) {
+	for _, src := range []string{
+		`extent x of P wrapper w at r0|;`,
+		`extent x of P wrapper w at |r0;`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted a malformed replica group", src)
+		}
+	}
+}

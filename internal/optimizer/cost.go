@@ -46,15 +46,17 @@ const (
 // 0, data 1) applies, under which every source-side operation is free and
 // the optimizer pushes as much as wrapper grammars accept.
 func (o *Optimizer) estimate(plan algebra.Node) Cost {
-	c := &costing{history: o.history}
+	c := &costing{history: o.history, avail: o.avail, unavailPenalty: o.unavailPenalty}
 	c.visit(plan)
 	c.cost.Total = c.cost.SourceTime + c.cost.TransferValues*perValueNet + c.cost.MediatorCPU
 	return c.cost
 }
 
 type costing struct {
-	history *costmodel.History
-	cost    Cost
+	history        *costmodel.History
+	avail          func(repo string) bool
+	unavailPenalty float64
+	cost           Cost
 }
 
 // visit returns the estimated output cardinality of the node and
@@ -71,6 +73,11 @@ func (c *costing) visit(n algebra.Node) float64 {
 			width = float64(len(attrs))
 		}
 		c.cost.SourceTime += float64(est.Time) / float64(time.Millisecond)
+		if c.avail != nil && !c.avail(x.Repo) {
+			// The repository's circuit breaker is open: charge the timeout
+			// this call would likely burn waiting on a dead source.
+			c.cost.SourceTime += c.unavailPenalty
+		}
 		c.cost.TransferRows += est.Rows
 		c.cost.TransferValues += est.Rows * width
 		return est.Rows

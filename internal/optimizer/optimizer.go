@@ -56,11 +56,28 @@ type Optimizer struct {
 	caps    algebra.Capabilities
 	history *costmodel.History
 
+	// avail reports whether a repository is currently believed reachable
+	// (the mediator wires it to its per-source circuit breakers); nil
+	// means everything is. Submits to sources reported down are charged
+	// unavailPenalty milliseconds of source time — the timeout the call
+	// would likely burn before partial evaluation steps in.
+	avail          func(repo string) bool
+	unavailPenalty float64
+
 	mu      sync.Mutex
 	cache   map[string]cached
 	version int64
 	hits    int64
 	misses  int64
+}
+
+// SetAvailability installs the availability oracle the cost model consults
+// and the source-time penalty (in milliseconds) charged per submit to a
+// source reported down. Call it before the optimizer is shared across
+// goroutines; pair it with InvalidateCache when the oracle's answers move.
+func (o *Optimizer) SetAvailability(avail func(repo string) bool, penaltyMillis float64) {
+	o.avail = avail
+	o.unavailPenalty = penaltyMillis
 }
 
 type cached struct {

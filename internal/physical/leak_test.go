@@ -1,0 +1,128 @@
+package physical
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"disco/internal/algebra"
+	"disco/internal/types"
+)
+
+// waitGoroutines polls until the goroutine count falls back to within
+// slack of base, and reports the final count.
+func waitGoroutines(base, slack int) int {
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+slack || time.Now().After(deadline) {
+			return n
+		}
+		runtime.Gosched()
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// bigShardSubmit returns a submit function whose every shard yields enough
+// rows that each branch produces several batches — so branch goroutines
+// are guaranteed to block sending once the merge channel fills.
+func bigShardSubmit() SubmitFunc {
+	return func(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
+		elems := make([]types.Value, 8*types.BatchSize)
+		for i := range elems {
+			elems[i] = types.Str(repo)
+		}
+		return types.NewBag(elems...), nil
+	}
+}
+
+type failingOpen struct{}
+
+func (failingOpen) Open(context.Context) error   { return errors.New("boom: open failed") }
+func (failingOpen) NextBatch(*types.Batch) error { return errors.New("unreachable") }
+func (failingOpen) Close() error                 { return nil }
+
+// TestScatterGatherSiblingOpenFailureDoesNotLeak is the leak the audit
+// found: when a sibling operator fails to Open after a scatter-gather
+// already launched its branch goroutines, the plan must still close the
+// fan-out — otherwise branches block forever sending into a merge channel
+// nobody drains.
+func TestScatterGatherSiblingOpenFailureDoesNotLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rt := &Runtime{Submit: bigShardSubmit()}
+	repos := make([]string, 6)
+	for i := range repos {
+		repos[i] = fmt.Sprintf("r%d", i)
+	}
+	p, err := Build(shardPlan("people", repos...), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := &MkUnion{Inputs: []Operator{p.Root, failingOpen{}}}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := Drain(ctx, u); err == nil {
+		t.Fatal("Drain should surface the sibling's Open failure")
+	}
+	if n := waitGoroutines(base, 2); n > base+2 {
+		t.Errorf("goroutines leaked: %d before, %d after failed Open", base, n)
+	}
+}
+
+// TestScatterGatherEarlyCloseRecyclesAndStops: closing the fan-out while
+// branches are mid-stream (blocked sending recycled batches) must unblock
+// and drain every branch goroutine without double-recycling a buffer —
+// run under -race this is the early-close ownership check.
+func TestScatterGatherEarlyCloseRecyclesAndStops(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rt := &Runtime{Submit: bigShardSubmit()}
+	repos := make([]string, 8)
+	for i := range repos {
+		repos[i] = fmt.Sprintf("r%d", i)
+	}
+	p, err := Build(shardPlan("people", repos...), rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := p.Root.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Read one batch so the free list is live, then abandon the merge.
+	b := types.NewBatch(0)
+	if err := p.Root.NextBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Root.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := waitGoroutines(base, 2); n > base+2 {
+		t.Errorf("goroutines leaked after early Close: %d before, %d after", base, n)
+	}
+}
+
+// TestScatterGatherCloseBeforeOpen: Close on a never-opened operator is a
+// no-op (a sibling's failed Open cascades Close through unopened
+// subtrees).
+func TestScatterGatherCloseBeforeOpen(t *testing.T) {
+	s := &ScatterGather{Branches: []Operator{&ConstScan{Bag: types.NewBag()}}}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// And it must still be openable afterwards.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.NextBatch(types.NewBatch(0)); err == nil {
+		t.Fatal("empty fan-out should report EOF")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

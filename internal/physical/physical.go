@@ -809,9 +809,14 @@ func (a *MkAgg) NextBatch(out *types.Batch) error {
 // Close implements Operator.
 func (a *MkAgg) Close() error { return a.Input.Close() }
 
-// Drain runs an operator to exhaustion and returns its elements.
+// Drain runs an operator to exhaustion and returns its elements. The
+// operator is closed even when Open fails partway: a composite whose n-th
+// input failed to open may already have launched goroutines under inputs
+// 1..n-1 (a scatter-gather's branches), and only the Close cascade stops
+// them.
 func Drain(ctx context.Context, op Operator) ([]types.Value, error) {
 	if err := op.Open(ctx); err != nil {
+		op.Close()
 		return nil, err
 	}
 	defer op.Close()

@@ -235,8 +235,13 @@ func (s *ScatterGather) NextBatch(out *types.Batch) error {
 // Close implements Operator. It signals the branch goroutines to stop and
 // returns without waiting: a branch blocked on a silent shard holds no
 // resources beyond its context-bounded source call, which expires at the
-// evaluation deadline.
+// evaluation deadline. Closing an operator that was never opened is a
+// no-op — a sibling's failed Open cascades Close through subtrees in
+// arbitrary states.
 func (s *ScatterGather) Close() error {
+	if s.stop == nil {
+		return nil
+	}
 	s.stopOnce.Do(func() { close(s.stop) })
 	return nil
 }

@@ -178,6 +178,7 @@ func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
 			return nil, err
 		}
 		resp, err := cc.roundTrip(ctx, &req, true)
+		cc.leased.Add(-1)
 		if err == nil {
 			if resp.ID != req.ID {
 				// Matching is by pending-map key, so this cannot fire
@@ -217,13 +218,23 @@ func (c *Client) conn(ctx context.Context) (*clientConn, error) {
 			return nil, fmt.Errorf("wire: %s: %w", c.addr, err)
 		}
 		c.reapLocked(time.Now())
-		var best *clientConn
+		var best, probed *clientConn
 		for _, cc := range c.conns {
+			if cc.pinging.Load() {
+				// A health ping is probing this connection: its verdict is
+				// pending, so prefer any alternative (another connection, a
+				// fresh dial). It remains the last resort below.
+				if probed == nil || cc.inflight.Load() < probed.inflight.Load() {
+					probed = cc
+				}
+				continue
+			}
 			if best == nil || cc.inflight.Load() < best.inflight.Load() {
 				best = cc
 			}
 		}
 		if best != nil && (best.inflight.Load() == 0 || len(c.conns)+c.dialing >= c.poolSize) {
+			best.leased.Add(1)
 			best.touch()
 			c.mu.Unlock()
 			return best, nil
@@ -231,6 +242,16 @@ func (c *Client) conn(ctx context.Context) (*clientConn, error) {
 		if len(c.conns)+c.dialing < c.poolSize {
 			c.dialing++
 			break
+		}
+		if probed != nil {
+			// The pool is saturated and every usable connection is under a
+			// ping: ride one anyway rather than stall for the ping verdict.
+			// The lease spares the connection from a failing ping's kill, so
+			// the request's own deadline judges it.
+			probed.leased.Add(1)
+			probed.touch()
+			c.mu.Unlock()
+			return probed, nil
 		}
 		// Every slot is an in-flight dial and no established connection is
 		// usable yet: wait for a dial to complete (or the pool to change).
@@ -259,6 +280,7 @@ func (c *Client) conn(ctx context.Context) (*clientConn, error) {
 		pending: make(map[int64]chan *Response),
 		done:    make(chan struct{}),
 	}
+	cc.leased.Add(1)
 	cc.touch()
 	c.conns = append(c.conns, cc)
 	c.scheduleReapLocked()
@@ -325,7 +347,7 @@ func (c *Client) healthCheckLocked(now time.Time) {
 		return
 	}
 	for _, cc := range c.conns {
-		if cc.inflight.Load() != 0 || now.Sub(cc.lastUsed()) < c.healthInterval {
+		if cc.inflight.Load() != 0 || cc.leased.Load() != 0 || now.Sub(cc.lastUsed()) < c.healthInterval {
 			continue
 		}
 		if !cc.pinging.CompareAndSwap(false, true) {
@@ -338,20 +360,29 @@ func (c *Client) healthCheckLocked(now time.Time) {
 // pingConn round-trips one ping on a pooled connection. Failure — timeout
 // included — kills and evicts the connection; the next borrower dials
 // fresh instead of inheriting a dead socket. The ping does not refresh the
-// idle clock: a connection nobody borrows must still age out.
+// idle clock: a connection nobody borrows must still age out. While the
+// ping runs, conn() refuses to hand the connection out (and waiters are
+// woken when the verdict lands), so a kill can only hit a connection no
+// borrower holds — leases granted before the ping started disarm it.
 func (c *Client) pingConn(cc *clientConn) {
-	defer cc.pinging.Store(false)
+	defer func() {
+		cc.pinging.Store(false)
+		// Wake borrowers that skipped this connection while it was probed.
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}()
 	ctx, cancel := context.WithTimeout(context.Background(), c.healthInterval)
 	defer cancel()
 	req := Request{ID: c.nextID.Add(1), Op: "ping"}
 	// Any response frame proves the peer alive; an application-level error
 	// (a server without a ping handler) is still an answer.
 	if _, err := cc.roundTrip(ctx, &req, false); err != nil {
-		if cc.inflight.Load() > 0 {
-			// A real request boarded the connection while the ping ran
-			// (a slow-but-live peer can outlast the ping deadline): let
-			// that request's own deadline judge the connection instead of
-			// killing it — and the rider with it — on the ping's verdict.
+		if cc.inflight.Load() > 0 || cc.leased.Load() > 0 {
+			// A real request boarded the connection before the ping's
+			// verdict (a slow-but-live peer can outlast the ping deadline):
+			// let that request's own deadline judge the connection instead
+			// of killing it — and the rider with it — on the ping's say-so.
 			return
 		}
 		cc.fail(fmt.Errorf("wire: health check %s: %w", c.addr, err))
@@ -444,8 +475,13 @@ type clientConn struct {
 	writeMu sync.Mutex // serializes frame writes
 
 	inflight atomic.Int64
-	lastUse  atomic.Int64 // unix nanos of last acquisition/completion
-	pinging  atomic.Bool  // a health ping is in flight
+	// leased counts borrowers between conn() handing the connection out and
+	// their roundTrip returning. It covers the window before the borrower's
+	// request registers in inflight, so a concurrently failing health ping
+	// can never kill a connection a borrower is already holding.
+	leased  atomic.Int64
+	lastUse atomic.Int64 // unix nanos of last acquisition/completion
+	pinging atomic.Bool  // a health ping is in flight
 
 	mu      sync.Mutex
 	pending map[int64]chan *Response
