@@ -30,11 +30,13 @@ test-race:
 # throughput (pooled vs dial-per-request wire connections at 1/4/16
 # concurrent clients), prepared-statement hits vs full recompiles,
 # scatter-gather fan-out and partition pruning across 1/4/16 partitions,
-# and replica failover with a dead primary (breaker-warm vs the cold
-# timeout path). The benchstat-compatible output lands in BENCH_PR5.json
-# so runs can be diffed across PRs (benchstat old.json new.json).
+# replica failover with a dead primary (breaker-warm vs the cold timeout
+# path), the hedged-request tail cut with one slow copy (p99-ms, hedged vs
+# unhedged), and read throughput scaling across 1/2/4 load-balanced copies.
+# The benchstat-compatible output lands in BENCH_PR6.json so runs can be
+# diffed across PRs (benchstat old.json new.json).
 bench:
-	$(GO) test -run xxx -bench 'CompiledEval|Volcano|RemoteQuery|PreparedStatements|ScatterGather|PartitionPruning|Failover' -benchmem . | tee BENCH_PR5.json
+	$(GO) test -run xxx -bench 'CompiledEval|Volcano|RemoteQuery|PreparedStatements|ScatterGather|PartitionPruning|Failover|HedgedTail|ReplicaThroughput' -benchmem . | tee BENCH_PR6.json
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem .

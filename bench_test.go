@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -958,6 +959,177 @@ func BenchmarkFailover(b *testing.B) {
 			}
 		}
 	})
+}
+
+// latQuantile reports the q-quantile of the recorded per-query latencies.
+func latQuantile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// BenchmarkHedgedTail: one shard whose primary copy is consistently 20x
+// slower than its replica, read under load balancing. The balancer's weight
+// floor keeps ~5% of reads on the slow copy (it must stay measured to be
+// trusted again), so the unhedged p99 tracks the slow copy's 40ms. With
+// hedging, a read outlasting the healthy copies' p99 fires a backup submit
+// to the fast copy and the tail collapses to about twice the fast copy's
+// latency (one p99 trigger wait plus one fast service time). Compare the
+// p99-ms metric across the two sub-benchmarks.
+func BenchmarkHedgedTail(b *testing.B) {
+	const q = `select x.name from x in people where x.id = 7`
+	const fastLat = 2 * time.Millisecond
+	const slowLat = 40 * time.Millisecond
+	newMediator := func(b *testing.B, opts ...core.Option) *core.Mediator {
+		b.Helper()
+		odl := ""
+		for repo, lat := range map[string]time.Duration{"r0": slowLat, "r0b": fastLat} {
+			s := source.NewRelStore()
+			if err := source.GenPeople(s, "people", 50, 0); err != nil {
+				b.Fatal(err)
+			}
+			srv, err := wire.NewServer("127.0.0.1:0", core.EngineHandler{Engine: s})
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv.SetLatency(lat)
+			b.Cleanup(func() { srv.Close() })
+			odl += repo + ` := Repository(address="` + srv.Addr() + `");` + "\n"
+		}
+		m := core.New(append([]core.Option{
+			core.WithTimeout(2 * time.Second), core.WithLoadBalancing(),
+		}, opts...)...)
+		b.Cleanup(m.Close)
+		if err := m.ExecODL(odl + `
+			w0 := WrapperPostgres();
+			interface Person (extent person) {
+			    attribute Short id;
+			    attribute String name;
+			    attribute Short salary;
+			}
+			extent people of Person wrapper w0 at r0|r0b;
+		`); err != nil {
+			b.Fatal(err)
+		}
+		// Warm the latency windows: the balancer needs both copies measured
+		// to weight them, and the hedge trigger needs the fast copy's p99 —
+		// enough rounds that connection-setup noise rotates out of the
+		// sliding window and the p99 settles at the steady service time.
+		for i := 0; i < 80; i++ {
+			if _, err := m.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return m
+	}
+	run := func(b *testing.B, m *core.Mediator) {
+		lats := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			if _, err := m.Query(q); err != nil {
+				b.Fatal(err)
+			}
+			lats = append(lats, time.Since(start))
+		}
+		b.ReportMetric(float64(latQuantile(lats, 0.50))/1e6, "p50-ms")
+		b.ReportMetric(float64(latQuantile(lats, 0.99))/1e6, "p99-ms")
+	}
+	b.Run("unhedged", func(b *testing.B) {
+		run(b, newMediator(b))
+	})
+	b.Run("hedged", func(b *testing.B) {
+		run(b, newMediator(b, core.WithHedging(time.Millisecond)))
+	})
+}
+
+// serialEngine models a copy with capacity one query per service time: the
+// mutex serializes the sleep, so concurrent load queues behind it — unlike
+// delayEngine, whose sleeps overlap freely.
+type serialEngine struct {
+	inner source.Engine
+	mu    sync.Mutex
+	d     time.Duration
+}
+
+func (e *serialEngine) Query(q string) (*types.Bag, error) {
+	e.mu.Lock()
+	time.Sleep(e.d)
+	e.mu.Unlock()
+	return e.inner.Query(q)
+}
+
+func (e *serialEngine) Collections() []string { return e.inner.Collections() }
+
+// BenchmarkReplicaThroughput drives one extent with 16 concurrent readers
+// while its replica group grows from 1 to 4 copies, each copy serving one
+// query per 2ms. Load balancing spreads the reads, so ns/op should drop
+// roughly in proportion to the copy count — the aggregate read capacity
+// replication buys once reads stop pinning the primary.
+func BenchmarkReplicaThroughput(b *testing.B) {
+	const q = `select x.name from x in people where x.id = 7`
+	const service = 2 * time.Millisecond
+	const workers = 16
+	names := []string{"r0", "r0b", "r0c", "r0d"}
+	for _, copies := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("copies=%d", copies), func(b *testing.B) {
+			m := core.New(core.WithTimeout(10*time.Second), core.WithLoadBalancing())
+			b.Cleanup(m.Close)
+			odl := ""
+			group := ""
+			for i := 0; i < copies; i++ {
+				s := source.NewRelStore()
+				if err := source.GenPeople(s, "people", 50, 0); err != nil {
+					b.Fatal(err)
+				}
+				m.RegisterEngine(names[i], &serialEngine{inner: s, d: service})
+				odl += names[i] + ` := Repository(address="mem:` + names[i] + `");` + "\n"
+				if i > 0 {
+					group += "|"
+				}
+				group += names[i]
+			}
+			if err := m.ExecODL(odl + `
+				w0 := WrapperPostgres();
+				interface Person (extent person) {
+				    attribute Short id;
+				    attribute String name;
+				    attribute Short salary;
+				}
+				extent people of Person wrapper w0 at ` + group + `;
+			`); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 8*copies; i++ { // let the balancer measure every copy
+				if _, err := m.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if _, err := m.Query(q); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
 }
 
 // BenchmarkOQLParse measures the front of the pipeline on a representative

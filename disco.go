@@ -104,6 +104,24 @@
 // an answer nor unavailability: it cannot degrade the query into a
 // partial answer, and it cannot poison a breaker.
 //
+// Replicas also add read capacity, not just safety. WithLoadBalancing
+// spreads reads across a shard's breaker-healthy copies by weighted random
+// choice, each copy weighted by the inverse of its observed median latency
+// (a small floor keeps every copy measured, so a recovered copy earns its
+// share back), so aggregate throughput grows with the copy count instead
+// of pinning the primary. WithHedging cuts the latency tail the balancer
+// cannot: a submit that outlasts the healthy copies' observed 99th
+// percentile fires one backup submit to the next-ranked copy, the first
+// answer wins, and the loser is cancelled — a cancelled loser records
+// neither a cost-history observation nor a breaker verdict, so hedging
+// never distorts the signals routing runs on. Hedges are bounded by a
+// global budget (a small fraction of total submits) and a floor on the
+// trigger delay, so a mis-learned p99 cannot double the load. A hedged
+// mediator also hurries scatter-gather stragglers: when most partitions of
+// a fan-out have answered, the laggards' in-flight submits are told to
+// hedge immediately rather than wait out the trigger. Trace.HedgesFired
+// and Trace.HedgesWon report the hedging activity a query saw.
+//
 // Partial answers compose with partitioning: if a shard fails to answer
 // before the deadline (every replica, when it has them), QueryPartial
 // keeps the answered shards' data and returns a residual query over only
@@ -205,6 +223,19 @@ var WithMaxFanout = core.WithMaxFanout
 // skips it without re-paying its timeout) and is probed again after
 // cooldown. Zero values keep the defaults.
 var WithBreaker = core.WithBreaker
+
+// WithLoadBalancing spreads reads across a shard's breaker-healthy replicas
+// by weighted random choice, weighting each copy by the inverse of its
+// observed median latency. Off by default: replicas then serve only as
+// failover targets.
+var WithLoadBalancing = core.WithLoadBalancing
+
+// WithHedging enables hedged requests: a submit that outlasts the healthy
+// copies' observed p99 latency fires one backup submit to the next-ranked
+// replica and the first answer wins. floor bounds the trigger delay from
+// below (0 keeps the default); a global budget caps hedges at a small
+// fraction of total submits.
+var WithHedging = core.WithHedging
 
 // BreakerState is the state of one source's circuit breaker, as reported
 // by Mediator.BreakerState: closed (healthy), open (recently dead, routed

@@ -176,6 +176,48 @@ func run() error {
 		return err
 	}
 	fmt.Printf("resubmitted after recovery: %s\n", sorted(re.Value))
+
+	// --- replicas as capacity: load balancing + hedged reads ------------
+	// A second mediator turns the r2|r2b group into read capacity rather
+	// than a failover spare: WithLoadBalancing spreads reads across the
+	// breaker-healthy copies weighted by inverse observed latency, and
+	// WithHedging fires a backup submit to the other copy whenever a read
+	// outlasts the healthy copies' observed p99 — the first answer wins and
+	// the cancelled loser leaves no trace in the cost history or breakers.
+	servers[2].SetAvailable(true)
+	m2 := disco.New(
+		disco.WithTimeout(400*time.Millisecond),
+		disco.WithLoadBalancing(),
+		disco.WithHedging(0),
+	)
+	if err := m2.ExecODL(odl.String()); err != nil {
+		return err
+	}
+	base2, base2b := servers[2].Stats().Queries.Load(), repSrv.Stats().Queries.Load()
+	for i := 0; i < 40; i++ {
+		if _, err := m2.Query(pointQuery); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("\n40 point reads under load balancing: r2 served=%v r2b served=%v\n",
+		servers[2].Stats().Queries.Load() > base2, repSrv.Stats().Queries.Load() > base2b)
+
+	// Slow the primary copy without killing it — the failure mode breakers
+	// cannot see. The balancer still sends it a share (its history says it
+	// was fast), but each such read hedges to r2b and stays fast.
+	servers[2].SetLatency(120 * time.Millisecond)
+	var fired, won int64
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		_, tr, err := m2.QueryTraced(pointQuery)
+		if err != nil {
+			return err
+		}
+		fired += tr.HedgesFired
+		won += tr.HedgesWon
+	}
+	fmt.Printf("r2 slowed to 120ms -> 20 hedged reads in %v: hedges fired=%v won=%v\n",
+		time.Since(start).Round(time.Millisecond), fired > 0, won > 0)
 	return nil
 }
 

@@ -184,6 +184,28 @@ func (b *Breakers) Release(repo string) {
 	b.mu.Unlock()
 }
 
+// Admittable reports whether Allow would admit the source right now,
+// without claiming the half-open probe slot. Routing uses it to partition
+// a shard's copies into healthy and deferred before any of them is dialed
+// — the deadline split needs the healthy count first — leaving the actual
+// slot claim to the Allow call made when a copy is launched.
+func (b *Breakers) Admittable(repo string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.sources[repo]
+	if !ok {
+		return true
+	}
+	switch s.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return b.now().Sub(s.openedAt) >= b.cooldown
+	default: // BreakerHalfOpen
+		return !s.probing
+	}
+}
+
 // State returns the source's current breaker state without side effects
 // (an open breaker past its cooldown still reads Open until a router asks
 // Allow). Unknown sources read Closed.

@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"disco/internal/catalog"
@@ -27,6 +28,11 @@ import (
 // DefaultTimeout is the §4 "designated time" after which data sources that
 // have not answered are classified unavailable.
 const DefaultTimeout = 2 * time.Second
+
+// DefaultHedgeFloor is the minimum elapsed time before a submit may hedge:
+// below it a backup request saves nothing and a cold cost history (or a
+// microsecond-fast source) would otherwise hedge every call.
+const DefaultHedgeFloor = time.Millisecond
 
 // Mediator is a DISCO mediator instance. It is safe for concurrent use.
 type Mediator struct {
@@ -47,6 +53,31 @@ type Mediator struct {
 	breakers         *Breakers
 	breakerThreshold int
 	breakerCooldown  time.Duration
+
+	// loadBalance spreads reads across the breaker-healthy copies of a
+	// shard weighted by inverse estimated latency, instead of always
+	// routing to the front of the cost-ordered candidate list.
+	loadBalance bool
+	// hedge enables backup submits for calls that outlast the hedge
+	// trigger (and the scatter-gather straggler hook that rides it);
+	// hedgeFloor bounds the trigger from below.
+	hedge      bool
+	hedgeFloor time.Duration
+
+	// submits counts every source attempt; with hedgesFired it forms the
+	// global hedge budget (hedges are bounded to a fraction of traffic so
+	// a slow spell cannot stampede the replicas). hedgesWon feeds the
+	// Trace counters.
+	submits     atomic.Int64
+	hedgesFired atomic.Int64
+	hedgesWon   atomic.Int64
+
+	// probeMu/probeClosed/probeWG track the background half-open probes,
+	// so Close can refuse new ones and wait out those in flight instead
+	// of letting them dial through a released client pool.
+	probeMu     sync.Mutex
+	probeClosed bool
+	probeWG     sync.WaitGroup
 
 	mu       sync.Mutex
 	engines  map[string]source.Engine   // in-process engines by mem: name
@@ -100,15 +131,41 @@ func WithBreaker(threshold int, cooldown time.Duration) Option {
 	}
 }
 
+// WithLoadBalancing routes each read to a weighted-random breaker-healthy
+// copy of its shard — weight inverse to the copy's estimated latency, with
+// an exploration floor so even a slow copy keeps a trickle of traffic that
+// notices when it recovers. Without it replicas are a failover path only:
+// every read goes to the single best copy.
+func WithLoadBalancing() Option {
+	return func(m *Mediator) { m.loadBalance = true }
+}
+
+// WithHedging enables hedged requests: a submit that has outlasted the
+// best healthy copy's historical p99 (never less than floor; non-positive
+// floor keeps DefaultHedgeFloor) fires a backup submit to the next-ranked
+// replica and the first answer wins. A global budget bounds hedges to a
+// fraction of total traffic. Hedging also arms the scatter-gather
+// straggler hook: fan-out branches still running after most others
+// finished are hedged immediately.
+func WithHedging(floor time.Duration) Option {
+	return func(m *Mediator) {
+		m.hedge = true
+		if floor > 0 {
+			m.hedgeFloor = floor
+		}
+	}
+}
+
 // New returns an empty mediator.
 func New(opts ...Option) *Mediator {
 	m := &Mediator{
-		catalog:  catalog.New(),
-		history:  costmodel.New(),
-		timeout:  DefaultTimeout,
-		engines:  make(map[string]source.Engine),
-		wrappers: make(map[string]wrapper.Wrapper),
-		clients:  make(map[string]*wire.Client),
+		catalog:    catalog.New(),
+		history:    costmodel.New(),
+		timeout:    DefaultTimeout,
+		hedgeFloor: DefaultHedgeFloor,
+		engines:    make(map[string]source.Engine),
+		wrappers:   make(map[string]wrapper.Wrapper),
+		clients:    make(map[string]*wire.Client),
 	}
 	for _, o := range opts {
 		o(m)

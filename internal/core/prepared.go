@@ -110,9 +110,15 @@ func (m *Mediator) clientFor(addr string) *wire.Client {
 }
 
 // Close releases the mediator's pooled source connections and drops the
-// wrapper instances holding them. The mediator stays usable: a later query
-// redials lazily.
+// wrapper instances holding them. Background half-open probes are refused
+// from here on, and the in-flight ones are waited out before the clients
+// are released, so no probe ever dials through a released pool. The
+// mediator stays usable for queries: a later query redials lazily.
 func (m *Mediator) Close() {
+	m.probeMu.Lock()
+	m.probeClosed = true
+	m.probeMu.Unlock()
+	m.probeWG.Wait()
 	m.mu.Lock()
 	clients := m.clients
 	m.clients = make(map[string]*wire.Client)

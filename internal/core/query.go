@@ -20,6 +20,11 @@ type Trace struct {
 	Execute  time.Duration
 	Plan     string
 	CacheHit bool
+	// HedgesFired/HedgesWon count hedged backup submits launched, and won,
+	// during this query's execution window. The counters are mediator-wide,
+	// so concurrent queries see each other's hedges.
+	HedgesFired int64
+	HedgesWon   int64
 }
 
 // Prepare runs the front half of the pipeline: parse, view expansion,
@@ -94,9 +99,12 @@ func (m *Mediator) QueryTraced(src string) (types.Value, *Trace, error) {
 	}
 	ctx, cancel := withEvalDeadline(context.Background(), m.timeout)
 	defer cancel()
+	f0, w0 := m.hedgesFired.Load(), m.hedgesWon.Load()
 	t0 := time.Now()
 	v, err := p.Run(ctx)
 	tr.Execute = time.Since(t0)
+	tr.HedgesFired = m.hedgesFired.Load() - f0
+	tr.HedgesWon = m.hedgesWon.Load() - w0
 	if err != nil {
 		return nil, tr, err
 	}

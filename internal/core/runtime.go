@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"strings"
@@ -47,9 +48,18 @@ func (m *Mediator) submit(ctx context.Context, repo string, expr algebra.Node) (
 	if len(cands) == 1 {
 		bag, err := m.submitOnce(ctx, repo, expr)
 		m.noteOutcome(repo, err)
+		// A one-copy source gets the same background probe pass as a
+		// replica group: after an open breaker's cooldown, recovery is
+		// rediscovered by a ping instead of a user query re-paying the
+		// full timeout.
+		m.maybeProbe(repo)
 		return bag, err
 	}
-	bag, err := m.submitFailover(ctx, repo, expr, m.orderCandidates(cands, expr))
+	ordered := m.orderCandidates(cands, expr)
+	if m.loadBalance {
+		ordered = m.rebalance(ordered)
+	}
+	bag, err := m.submitFailover(ctx, repo, expr, ordered)
 	// Half-open probes ride query traffic: copies this query routed around
 	// while their breaker was open are pinged in the background once their
 	// cooldown elapses, so a recovered primary rejoins without a user query
@@ -60,6 +70,68 @@ func (m *Mediator) submit(ctx context.Context, repo string, expr algebra.Node) (
 	return bag, err
 }
 
+// rebalance spreads read traffic across a shard's healthy copies: the head
+// of the candidate list is drawn at weighted random from the leading run
+// of closed-breaker copies, weight inverse to the copy's recent median
+// latency. An unmeasured copy weighs as much as the fastest measured one
+// (new replicas must attract traffic to be learned at all), and every
+// weight is floored at 1/20 of the fastest so a slow copy keeps ~5% of the
+// traffic — the trickle that notices when it speeds up. Failover order
+// behind the head is untouched.
+func (m *Mediator) rebalance(cands []string) []string {
+	lead := 0
+	for _, c := range cands {
+		if m.breakers.State(c) != BreakerClosed {
+			break
+		}
+		lead++
+	}
+	if lead < 2 {
+		return cands
+	}
+	weights := make([]float64, lead)
+	maxW := 0.0
+	for i := 0; i < lead; i++ {
+		if p50, ok := m.history.Quantile(cands[i], 0.5); ok {
+			lat := p50
+			if lat < 100*time.Microsecond {
+				lat = 100 * time.Microsecond
+			}
+			weights[i] = 1 / float64(lat)
+			if weights[i] > maxW {
+				maxW = weights[i]
+			}
+		}
+	}
+	if maxW == 0 {
+		maxW = 1
+	}
+	total := 0.0
+	for i := range weights {
+		if weights[i] == 0 {
+			weights[i] = maxW
+		} else if weights[i] < maxW/20 {
+			weights[i] = maxW / 20
+		}
+		total += weights[i]
+	}
+	r := rand.Float64() * total
+	pick := 0
+	for i, w := range weights {
+		if r -= w; r < 0 {
+			pick = i
+			break
+		}
+	}
+	if pick == 0 {
+		return cands
+	}
+	out := make([]string, 0, len(cands))
+	out = append(out, cands[pick])
+	out = append(out, cands[:pick]...)
+	return append(out, cands[pick+1:]...)
+}
+
 // maybeProbe launches one background liveness probe of a source whose
 // breaker is not closed and whose cooldown has elapsed. Allow claims the
 // half-open probe slot, so concurrent queries start at most one probe per
@@ -67,11 +139,25 @@ func (m *Mediator) submit(ctx context.Context, repo string, expr algebra.Node) (
 // answer closes the breaker, only unreachability (timeout, dead network)
 // re-arms it, and a mediator-side failure that never consulted the source
 // (catalog lookup, a closed client) merely returns the probe slot.
+// Probes run on tracked goroutines: Close refuses new ones and waits for
+// those in flight, so no probe ever dials through a client pool Close has
+// already released.
 func (m *Mediator) maybeProbe(repo string) {
 	if m.breakers.State(repo) == BreakerClosed || !m.breakers.Allow(repo) {
 		return
 	}
+	m.probeMu.Lock()
+	if m.probeClosed {
+		m.probeMu.Unlock()
+		// Allow claimed the half-open probe slot; hand it back, or the
+		// breaker would stay pinned half-open with no probe in flight.
+		m.breakers.Release(repo)
+		return
+	}
+	m.probeWG.Add(1)
+	m.probeMu.Unlock()
 	go func() {
+		defer m.probeWG.Done()
 		switch err := m.pingRepo(repo); {
 		case err == nil:
 			m.breakers.Success(repo)
@@ -105,59 +191,66 @@ func (m *Mediator) pingRepo(repo string) error {
 	return m.clientFor(r.Address).Ping(ctx)
 }
 
-// submitFailover tries the shard's candidate copies in order: copies
-// whose breaker admits them first, then — only if none of those answered
-// — the copies whose breaker refused, as a last resort. The breaker may
-// therefore delay a copy behind the healthy ones, but it can never leave
-// a copy undialed while the shard goes unanswered ("a breaker can delay
-// but never forge a partial answer"). A real (answered) error aborts
-// immediately; classified unavailability moves on to the next copy.
+// submitFailover tries the shard's candidate copies: copies whose breaker
+// admits them first — raced, so an unavailable or straggling copy hands
+// over to the next without the shard waiting out every timeout in series —
+// then, only if none of those answered, the copies whose breaker refused,
+// as a last resort. The breaker may therefore delay a copy behind the
+// healthy ones, but it can never leave a copy undialed while the shard
+// goes unanswered ("a breaker can delay but never forge a partial
+// answer"). A real (answered) error aborts immediately; classified
+// unavailability moves on to the next copy.
+//
+// The evaluation budget splits over the healthy copies first; the
+// deferred ones re-split whatever is left only if reached. Splitting over
+// all copies up front would let a crowd of breaker-refused replicas
+// starve the first healthy one of deadline.
 func (m *Mediator) submitFailover(ctx context.Context, shard string, expr algebra.Node, cands []string) (*types.Bag, error) {
-	remaining := len(cands)
+	var healthy, deferred []string
+	for _, cand := range cands {
+		if m.breakers.Admittable(cand) {
+			healthy = append(healthy, cand)
+		} else {
+			deferred = append(deferred, cand)
+		}
+	}
+	// The deferred tail collectively reserves one deadline share: enough
+	// that the last resort is still dialable after the healthy copies
+	// burn their shares, without a crowd of refused copies starving the
+	// first healthy one.
+	reserve := 0
+	if len(deferred) > 0 {
+		reserve = 1
+	}
 	attempted := 0
 	var lastUnavail error
-	// attempt runs one copy under its share of the remaining evaluation
-	// budget (so a cold failover still reaches a live replica before the
-	// query deadline instead of spending it all on the dead primary) and
-	// reports whether the outcome is final.
-	attempt := func(cand string) (*types.Bag, error, bool) {
-		actx, cancel := attemptCtx(ctx, remaining)
+	if len(healthy) > 0 && ctx.Err() == nil {
+		bag, err, done := m.raceArms(ctx, expr, healthy, reserve, &attempted, &deferred)
+		if done {
+			return bag, err
+		}
+		if err != nil {
+			lastUnavail = err
+		}
+	}
+	for i, cand := range deferred {
+		if ctx.Err() != nil {
+			break
+		}
+		actx, cancel := attemptCtx(ctx, len(deferred)-i)
 		bag, err := m.submitOnce(actx, cand, expr)
 		m.noteOutcome(cand, err)
 		cancel()
-		remaining--
 		attempted++
 		if err == nil {
-			return bag, nil, true
+			return bag, nil
 		}
 		if !isUnavailableErr(err) {
 			// The source answered with a genuine failure (or the caller
 			// ended the query): no replica may mask it.
-			return nil, err, true
+			return nil, err
 		}
 		lastUnavail = err
-		return nil, nil, false
-	}
-	var deferred []string
-	for _, cand := range cands {
-		if ctx.Err() != nil {
-			break
-		}
-		if !m.breakers.Allow(cand) {
-			deferred = append(deferred, cand)
-			continue
-		}
-		if bag, err, done := attempt(cand); done {
-			return bag, err
-		}
-	}
-	for _, cand := range deferred {
-		if ctx.Err() != nil {
-			break
-		}
-		if bag, err, done := attempt(cand); done {
-			return bag, err
-		}
 	}
 	if attempted == 0 {
 		// The caller's context died before any copy could be dialed.
@@ -173,23 +266,170 @@ func (m *Mediator) submitFailover(ctx context.Context, shard string, expr algebr
 	}
 }
 
+// armResult carries one racing arm's outcome back to the coordinator.
+type armResult struct {
+	idx int
+	bag *types.Bag
+	err error
+}
+
+// raceArms drives a shard's healthy copies as racing arms. The first arm
+// launches immediately; another launches when the newest arm resolves
+// unavailable (plain failover), when it outlasts the hedge trigger
+// (hedged request), or when the scatter-gather straggler hook fires. The
+// first answer — or answered error — wins and the losers are cancelled. A
+// cancelled loser classifies as caller-side termination, so its breaker
+// verdict is a slot Release (neither success nor failure) and its cost
+// history records nothing: losing a race is not evidence about the
+// source.
+//
+// done=false means every arm resolved unavailable (err holds the last
+// unavailability) and the caller should fall through to the
+// breaker-deferred copies. Copies whose breaker refuses the launch-time
+// Allow (the state moved since partitioning) are appended to deferred.
+func (m *Mediator) raceArms(ctx context.Context, expr algebra.Node, healthy []string, reserve int, attempted *int, deferred *[]string) (*types.Bag, error, bool) {
+	results := make(chan armResult, len(healthy))
+	var cancels []context.CancelFunc
+	var isHedge []bool
+	next := 0
+	inflight := 0
+	launch := func(hedge bool) bool {
+		for next < len(healthy) {
+			cand := healthy[next]
+			remaining := len(healthy) - next + reserve
+			next++
+			if !m.breakers.Allow(cand) {
+				*deferred = append(*deferred, cand)
+				continue
+			}
+			actx, cancel := attemptCtx(ctx, remaining)
+			idx := len(cancels)
+			cancels = append(cancels, cancel)
+			isHedge = append(isHedge, hedge)
+			if hedge {
+				m.hedgesFired.Add(1)
+			}
+			inflight++
+			*attempted++
+			go func() {
+				bag, err := m.submitOnce(actx, cand, expr)
+				m.noteOutcome(cand, err)
+				results <- armResult{idx: idx, bag: bag, err: err}
+			}()
+			return true
+		}
+		return false
+	}
+	// cancels grows only in this goroutine, so the deferred sweep sees
+	// every arm; cancelling the winner's context after its result is
+	// already in hand is a no-op.
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+
+	var hedgeC <-chan time.Time
+	rearmHedge := func() {
+		hedgeC = nil
+		if m.hedge && next < len(healthy) {
+			hedgeC = time.After(m.hedgeDelay(healthy))
+		}
+	}
+	hurry := physical.HurryChan(ctx)
+	if !m.hedge {
+		hurry = nil
+	}
+
+	if !launch(false) {
+		return nil, nil, false
+	}
+	rearmHedge()
+
+	var lastUnavail error
+	for {
+		// inflight >= 1 here: after a result either a new arm launches or,
+		// when none is left, the race returns — so the select cannot block
+		// forever (every arm's context is bounded by the caller's).
+		select {
+		case r := <-results:
+			inflight--
+			if r.err == nil {
+				if isHedge[r.idx] {
+					m.hedgesWon.Add(1)
+				}
+				return r.bag, nil, true
+			}
+			if !isUnavailableErr(r.err) {
+				return nil, r.err, true
+			}
+			lastUnavail = r.err
+			if launch(false) {
+				rearmHedge()
+			} else if inflight == 0 {
+				return nil, lastUnavail, false
+			}
+		case <-hedgeC:
+			if m.allowHedge() && launch(true) {
+				rearmHedge()
+			} else {
+				hedgeC = nil
+			}
+		case <-hurry:
+			hurry = nil
+			if m.allowHedge() && launch(true) {
+				rearmHedge()
+			}
+		}
+	}
+}
+
+// hedgeDelay is the elapsed time past which a submit counts as in the
+// tail: the smallest historical p99 among the shard's healthy copies — a
+// call that has outlasted the best copy's p99 would almost surely have
+// finished there, so re-issuing is worth the duplicate work. The attempted
+// copy's own p99 would never rescue a copy that is consistently slow (its
+// own tail tracks its slowness). The hedge floor bounds the trigger from
+// below when the history is cold or the copies are microsecond-fast.
+func (m *Mediator) hedgeDelay(cands []string) time.Duration {
+	best := time.Duration(0)
+	for _, cand := range cands {
+		if p99, ok := m.history.Quantile(cand, 0.99); ok && (best == 0 || p99 < best) {
+			best = p99
+		}
+	}
+	if best > m.hedgeFloor {
+		return best
+	}
+	return m.hedgeFloor
+}
+
+// allowHedge is the global hedge budget: hedges may be at most ~1/8 of
+// total submit traffic (plus a small burst allowance for cold starts), so
+// a slow spell degrades into bounded duplicate work instead of a stampede
+// that doubles the load on already-struggling replicas.
+func (m *Mediator) allowHedge() bool {
+	return m.hedgesFired.Load()*8 < m.submits.Load()+64
+}
+
 // attemptCtx derives the deadline for one failover attempt: an equal share
 // of the time left until the parent deadline, over this and the remaining
-// candidates. The last candidate (and deadline-free contexts) run under
-// the parent as-is.
+// candidates of the same round. The share derives from a single clock
+// read — measuring "time left" and "now" separately would silently shrink
+// it. The last candidate (and deadline-free contexts) run under the parent
+// deadline; the context is always cancellable so a racing arm can be
+// called off.
 func attemptCtx(ctx context.Context, remaining int) (context.Context, context.CancelFunc) {
-	if remaining <= 1 {
-		return ctx, func() {}
-	}
 	deadline, ok := ctx.Deadline()
-	if !ok {
-		return ctx, func() {}
+	if !ok || remaining <= 1 {
+		return context.WithCancel(ctx)
 	}
-	share := time.Until(deadline) / time.Duration(remaining)
+	now := time.Now()
+	share := deadline.Sub(now) / time.Duration(remaining)
 	if share <= 0 {
-		return ctx, func() {}
+		return context.WithCancel(ctx)
 	}
-	return context.WithDeadline(ctx, time.Now().Add(share))
+	return context.WithDeadline(ctx, now.Add(share))
 }
 
 // submitCandidates returns the repositories holding a copy of everything
@@ -317,6 +557,7 @@ func isUnavailableErr(err error) bool {
 // source namespace via the local transformation maps, executes it, renames
 // and type-checks the results, and records the call in the cost history.
 func (m *Mediator) submitOnce(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
+	m.submits.Add(1) // hedge-budget denominator: every source attempt counts
 	w, err := m.wrapperForExpr(repo, expr)
 	if err != nil {
 		return nil, err

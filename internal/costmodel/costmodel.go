@@ -16,6 +16,8 @@
 package costmodel
 
 import (
+	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -68,8 +70,33 @@ type History struct {
 	mu      sync.Mutex
 	exact   map[string][]observation
 	shape   map[string][]observation
+	copies  map[string]*copyWindow
 	maxKeep int
 	alpha   float64
+	window  int
+}
+
+// DefaultWindow is how many recent latencies the per-copy sliding window
+// keeps for quantile estimation.
+const DefaultWindow = 64
+
+// copyWindow is one repository's sliding window of recent call latencies,
+// across every expression served by that copy. Quantiles over it — not the
+// smoothed mean — are what hedging and load balancing consult: a hedge
+// trigger needs the tail (p99), and the tail of a smoothed mean is the
+// mean.
+type copyWindow struct {
+	lat  []time.Duration // ring buffer, oldest overwritten first
+	next int
+}
+
+func (w *copyWindow) add(d time.Duration, size int) {
+	if len(w.lat) < size {
+		w.lat = append(w.lat, d)
+		return
+	}
+	w.lat[w.next] = d
+	w.next = (w.next + 1) % len(w.lat)
 }
 
 // Option configures a History.
@@ -95,14 +122,26 @@ func WithAlpha(a float64) Option {
 	}
 }
 
+// WithWindow sets how many recent latencies the per-copy sliding window
+// keeps for quantile estimation (default DefaultWindow).
+func WithWindow(n int) Option {
+	return func(h *History) {
+		if n > 0 {
+			h.window = n
+		}
+	}
+}
+
 // New returns an empty history. Defaults: 8 observations per signature,
-// smoothing factor 0.5.
+// smoothing factor 0.5, DefaultWindow latencies per copy.
 func New(opts ...Option) *History {
 	h := &History{
 		exact:   make(map[string][]observation),
 		shape:   make(map[string][]observation),
+		copies:  make(map[string]*copyWindow),
 		maxKeep: 8,
 		alpha:   0.5,
+		window:  DefaultWindow,
 	}
 	for _, o := range opts {
 		o(h)
@@ -119,6 +158,35 @@ func (h *History) Record(repo string, expr algebra.Node, elapsed time.Duration, 
 	defer h.mu.Unlock()
 	h.exact[ex] = appendBounded(h.exact[ex], obs, h.maxKeep)
 	h.shape[sh] = appendBounded(h.shape[sh], obs, h.maxKeep)
+	w, ok := h.copies[repo]
+	if !ok {
+		w = &copyWindow{}
+		h.copies[repo] = w
+	}
+	w.add(elapsed, h.window)
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the copy's recent call
+// latencies over the sliding window, across every expression the copy
+// served. ok is false when the copy has no recorded calls.
+func (h *History) Quantile(repo string, q float64) (time.Duration, bool) {
+	h.mu.Lock()
+	w, found := h.copies[repo]
+	if !found || len(w.lat) == 0 {
+		h.mu.Unlock()
+		return 0, false
+	}
+	lats := append([]time.Duration(nil), w.lat...)
+	h.mu.Unlock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := int(math.Ceil(q*float64(len(lats)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lats) {
+		idx = len(lats) - 1
+	}
+	return lats[idx], true
 }
 
 func appendBounded(obs []observation, o observation, max int) []observation {

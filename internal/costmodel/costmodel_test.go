@@ -208,3 +208,49 @@ func ExampleHistory_Estimate() {
 	// default
 	// exact
 }
+
+// TestQuantileSlidingWindow: the per-copy window tracks latency quantiles
+// across expressions (p50 near the bulk, p99 catching the tail) and slides —
+// once enough new observations arrive, old outliers fall out.
+func TestQuantileSlidingWindow(t *testing.T) {
+	h := New(WithWindow(100))
+	if _, ok := h.Quantile("r0", 0.99); ok {
+		t.Fatal("quantile over an empty window should report !ok")
+	}
+	// 99 fast calls and one slow one, spread over two expressions: the
+	// window is per copy, not per expression.
+	for i := 0; i < 99; i++ {
+		expr := get("a")
+		if i%2 == 1 {
+			expr = get("b")
+		}
+		h.Record("r0", expr, 2*time.Millisecond, 1)
+	}
+	h.Record("r0", get("a"), 200*time.Millisecond, 1)
+
+	p50, ok := h.Quantile("r0", 0.5)
+	if !ok || p50 != 2*time.Millisecond {
+		t.Errorf("p50 = %v, %v; want 2ms", p50, ok)
+	}
+	p99, ok := h.Quantile("r0", 0.99)
+	if !ok || p99 != 2*time.Millisecond {
+		t.Errorf("p99 = %v (99 of 100 calls are 2ms); want 2ms", p99)
+	}
+	p100, ok := h.Quantile("r0", 1.0)
+	if !ok || p100 != 200*time.Millisecond {
+		t.Errorf("p100 = %v, want the 200ms outlier", p100)
+	}
+
+	// Another copy's window is independent.
+	if _, ok := h.Quantile("r0b", 0.5); ok {
+		t.Error("r0b has no history; Quantile should report !ok")
+	}
+
+	// The window slides: 100 new 5ms observations push the outlier out.
+	for i := 0; i < 100; i++ {
+		h.Record("r0", get("a"), 5*time.Millisecond, 1)
+	}
+	if p100, _ := h.Quantile("r0", 1.0); p100 != 5*time.Millisecond {
+		t.Errorf("after sliding, max = %v, want 5ms", p100)
+	}
+}

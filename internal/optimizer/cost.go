@@ -59,22 +59,90 @@ type costing struct {
 	cost           Cost
 }
 
+// submitEstimate costs a submit at its cheapest breaker-admitted copy: a
+// shard whose primary breaker is open but whose replica is healthy costs
+// the replica's estimate — routing dials the healthy copy first, burning
+// nothing on the dead one — not the primary's estimate plus the timeout
+// penalty. Only a shard with no admitted copy at all reports penalized,
+// charging the timeout such a call would likely burn.
+func (c *costing) submitEstimate(x *algebra.Submit) (est costmodel.Estimate, penalized bool) {
+	estAt := func(repo string) costmodel.Estimate {
+		if c.history != nil {
+			return c.history.Estimate(repo, x.Input)
+		}
+		return costmodel.DefaultEstimate()
+	}
+	if c.avail == nil {
+		return estAt(x.Repo), false
+	}
+	found := false
+	for _, cand := range submitCopies(x) {
+		if !c.avail(cand) {
+			continue
+		}
+		e := estAt(cand)
+		if !found || e.Time < est.Time {
+			est, found = e, true
+		}
+	}
+	if found {
+		return est, false
+	}
+	return estAt(x.Repo), true
+}
+
+// submitCopies lists the repositories holding every extent the submit
+// expression reads — the intersection of its refs' declared replica
+// groups, or the submit's own repository when none are declared. The refs
+// carry the groups (the catalog stamps them at compile time), so costing
+// needs no catalog access.
+func submitCopies(x *algebra.Submit) []string {
+	var copies []string
+	algebra.Walk(x.Input, func(n algebra.Node) {
+		g, ok := n.(*algebra.Get)
+		if !ok {
+			return
+		}
+		group := g.Ref.Replicas
+		if len(group) == 0 {
+			group = []string{x.Repo}
+		}
+		if copies == nil {
+			// Copy: the in-place intersection below must not scribble on
+			// the ref's shared Replicas slice.
+			copies = append([]string(nil), group...)
+			return
+		}
+		keep := copies[:0]
+		for _, cand := range copies {
+			for _, other := range group {
+				if cand == other {
+					keep = append(keep, cand)
+					break
+				}
+			}
+		}
+		copies = keep
+	})
+	if len(copies) == 0 {
+		return []string{x.Repo}
+	}
+	return copies
+}
+
 // visit returns the estimated output cardinality of the node and
 // accumulates cost terms.
 func (c *costing) visit(n algebra.Node) float64 {
 	switch x := n.(type) {
 	case *algebra.Submit:
-		est := costmodel.DefaultEstimate()
-		if c.history != nil {
-			est = c.history.Estimate(x.Repo, x.Input)
-		}
+		est, penalized := c.submitEstimate(x)
 		width := defaultWidth
 		if attrs, ok := algebra.OutputAttrs(x.Input); ok {
 			width = float64(len(attrs))
 		}
 		c.cost.SourceTime += float64(est.Time) / float64(time.Millisecond)
-		if c.avail != nil && !c.avail(x.Repo) {
-			// The repository's circuit breaker is open: charge the timeout
+		if penalized {
+			// No copy of the shard is breaker-admitted: charge the timeout
 			// this call would likely burn waiting on a dead source.
 			c.cost.SourceTime += c.unavailPenalty
 		}

@@ -156,6 +156,7 @@ func (p *Plan) build(n algebra.Node, rt *Runtime) (Operator, error) {
 // Run leaves their launch to the operator's concurrency bound.
 func (p *Plan) buildScatterGather(u *algebra.Union, distinct bool, rt *Runtime) (Operator, error) {
 	branches := make([]Operator, len(u.Inputs))
+	branchExecs := make([][]*Exec, len(u.Inputs))
 	for i, in := range u.Inputs {
 		op, err := p.build(in, rt)
 		if err != nil {
@@ -166,6 +167,7 @@ func (p *Plan) buildScatterGather(u *algebra.Union, distinct bool, rt *Runtime) 
 			if sub, ok := n.(*algebra.Submit); ok {
 				if e := p.Execs[sub]; e != nil {
 					p.gated[e] = true
+					branchExecs[i] = append(branchExecs[i], e)
 				}
 			}
 		})
@@ -174,7 +176,7 @@ func (p *Plan) buildScatterGather(u *algebra.Union, distinct bool, rt *Runtime) 
 	if rt != nil {
 		maxPar = rt.MaxFanout
 	}
-	return &ScatterGather{Branches: branches, MaxParallel: maxPar, Distinct: distinct}, nil
+	return &ScatterGather{Branches: branches, BranchExecs: branchExecs, MaxParallel: maxPar, Distinct: distinct}, nil
 }
 
 // buildJoin picks hash join for equi-predicates and nested loops otherwise.

@@ -141,6 +141,20 @@ type execResult struct {
 	err error
 }
 
+// hurryKey carries a per-exec straggler signal through the context of a
+// submit call: the channel closes when the scatter-gather operator decides
+// the exec's branch is a straggler, and the mediator's submit may react by
+// firing an immediate hedge to a replica instead of waiting out the
+// per-copy p99 trigger.
+type hurryKey struct{}
+
+// HurryChan returns the straggler signal installed by Exec.Start, or nil
+// when the submit was not launched under a scatter-gather branch.
+func HurryChan(ctx context.Context) <-chan struct{} {
+	ch, _ := ctx.Value(hurryKey{}).(<-chan struct{})
+	return ch
+}
+
 // Exec is the physical algorithm for submit. Start launches the remote
 // call; NextBatch streams the materialized result.
 type Exec struct {
@@ -150,6 +164,8 @@ type Exec struct {
 	rt       *Runtime
 	startMu  sync.Mutex
 	resCh    chan execResult
+	hurryCh  chan struct{}
+	hurried  bool
 	waitOnce sync.Once
 	res      execResult
 	idx      int
@@ -168,10 +184,27 @@ func (e *Exec) Start(ctx context.Context) {
 		return
 	}
 	e.resCh = make(chan execResult, 1)
+	e.hurryCh = make(chan struct{})
+	ctx = context.WithValue(ctx, hurryKey{}, (<-chan struct{})(e.hurryCh))
 	go func() {
 		bag, err := e.rt.Submit(ctx, e.Repo, e.Expr)
 		e.resCh <- execResult{bag: bag, err: err}
 	}()
+}
+
+// Hurry flags the in-flight source call as a straggler: the submit's
+// HurryChan closes, inviting the runtime to speculatively re-submit the
+// call to a replica and keep whichever answers first. It is idempotent,
+// and a no-op on an exec that has not started (a branch still queued
+// behind the fan-out's concurrency bound is waiting, not straggling).
+func (e *Exec) Hurry() {
+	e.startMu.Lock()
+	defer e.startMu.Unlock()
+	if e.resCh == nil || e.hurried {
+		return
+	}
+	e.hurried = true
+	close(e.hurryCh)
 }
 
 // Wait blocks until the call completes (the submit function itself honors

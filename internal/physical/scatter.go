@@ -35,6 +35,12 @@ import (
 //     arrive (set semantics fused into the merge).
 type ScatterGather struct {
 	Branches []Operator
+	// BranchExecs lists, per branch, the source-call operators inside that
+	// branch's subtree. When most branches have finished, the execs of the
+	// ones still running are hurried (Exec.Hurry) so the runtime can
+	// speculatively re-submit a straggling shard to one of its replicas and
+	// keep whichever copy answers first. Nil disables straggler detection.
+	BranchExecs [][]*Exec
 	// MaxParallel bounds concurrently draining branches; 0 = all at once.
 	MaxParallel int
 	// Distinct applies set semantics across the merged shard streams.
@@ -44,6 +50,10 @@ type ScatterGather struct {
 	free     chan *types.Batch
 	stop     chan struct{}
 	stopOnce sync.Once
+
+	doneMu     sync.Mutex
+	branchDone []bool
+	finished   int
 
 	errMu sync.Mutex
 	err   error
@@ -72,11 +82,13 @@ func (s *ScatterGather) Open(ctx context.Context) error {
 	if s.Distinct {
 		s.seen = make(map[string]bool)
 	}
+	s.branchDone = make([]bool, len(s.Branches))
+	s.finished = 0
 	sem := make(chan struct{}, bound)
 	var wg sync.WaitGroup
-	for _, br := range s.Branches {
+	for i, br := range s.Branches {
 		wg.Add(1)
-		go func(br Operator) {
+		go func(i int, br Operator) {
 			defer wg.Done()
 			acquired := false
 			select {
@@ -93,7 +105,8 @@ func (s *ScatterGather) Open(ctx context.Context) error {
 				defer func() { <-sem }()
 			}
 			s.drainBranch(ctx, br)
-		}(br)
+			s.branchComplete(i)
+		}(i, br)
 	}
 	go func() {
 		wg.Wait()
@@ -151,6 +164,41 @@ func (s *ScatterGather) drainBranch(ctx context.Context, br Operator) {
 			return
 		}
 	}
+}
+
+// branchComplete marks one branch finished and, once the stragglers are
+// down to the last quarter of the fan-out (at least one), hurries the
+// in-flight execs of every unfinished branch. Hurry is idempotent and
+// skips unstarted execs, so repeated sweeps as the tail drains are cheap
+// and a branch still queued behind the concurrency bound is left alone.
+func (s *ScatterGather) branchComplete(i int) {
+	if s.BranchExecs == nil {
+		return
+	}
+	s.doneMu.Lock()
+	s.branchDone[i] = true
+	s.finished++
+	remaining := len(s.Branches) - s.finished
+	var hurry []*Exec
+	if remaining > 0 && remaining <= stragglerQuota(len(s.Branches)) {
+		for j, done := range s.branchDone {
+			if !done && j < len(s.BranchExecs) {
+				hurry = append(hurry, s.BranchExecs[j]...)
+			}
+		}
+	}
+	s.doneMu.Unlock()
+	for _, e := range hurry {
+		e.Hurry()
+	}
+}
+
+// stragglerQuota is how many trailing branches count as stragglers.
+func stragglerQuota(n int) int {
+	if q := n / 4; q > 1 {
+		return q
+	}
+	return 1
 }
 
 // setErr records the fan-out's error. A genuine source failure takes
