@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet test test-race bench bench-compile build
+.PHONY: check fmt vet test test-race bench bench-compile build chaos
 
 check: fmt vet test-race
 
@@ -32,11 +32,19 @@ test-race:
 # scatter-gather fan-out and partition pruning across 1/4/16 partitions,
 # replica failover with a dead primary (breaker-warm vs the cold timeout
 # path), the hedged-request tail cut with one slow copy (p99-ms, hedged vs
-# unhedged), and read throughput scaling across 1/2/4 load-balanced copies.
-# The benchstat-compatible output lands in BENCH_PR6.json so runs can be
-# diffed across PRs (benchstat old.json new.json).
+# unhedged), read throughput scaling across 1/2/4 load-balanced copies,
+# and overload protection (goodput-q/s, shed-%, admitted p99-ms at 1x/2x/4x
+# saturation). The benchstat-compatible output lands in BENCH_PR7.json so
+# runs can be diffed across PRs (benchstat old.json new.json).
 bench:
-	$(GO) test -run xxx -bench 'CompiledEval|Volcano|RemoteQuery|PreparedStatements|ScatterGather|PartitionPruning|Failover|HedgedTail|ReplicaThroughput' -benchmem . | tee BENCH_PR6.json
+	$(GO) test -run xxx -bench 'CompiledEval|Volcano|RemoteQuery|PreparedStatements|ScatterGather|PartitionPruning|Failover|HedgedTail|ReplicaThroughput|Overload' -benchmem . | tee BENCH_PR7.json
+
+# The seeded fault-injection suite: chaos-proxy unit tests, the admission
+# gate and retry-budget tests, and the chaos soak (overload -> partition ->
+# recovery) — all under the race detector. Deterministic: the chaos
+# timelines are seeded, so a failure replays.
+chaos:
+	$(GO) test -race -run 'TestChaosSoak|TestProxy|TestAdmission|TestRetryBudget|TestMediatorCloseWithQueriesQueued|TestQueryShed|TestClassifySourceError' ./internal/chaos/ ./internal/core/ ./internal/harness/
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchmem .

@@ -1132,6 +1132,92 @@ func BenchmarkReplicaThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkOverload measures overload protection at 1x/2x/4x saturation:
+// closed-loop clients at multiples of the admission gate's concurrency
+// limit. The metrics that matter are the custom ones — goodput-q/s should
+// hold near capacity as offered load grows, shed-% should absorb the
+// excess, and p99-ms of admitted queries should stay bounded instead of
+// climbing to the deadline (the collapse shedding prevents).
+func BenchmarkOverload(b *testing.B) {
+	const (
+		maxConcurrent = 4
+		slo           = 200 * time.Millisecond
+	)
+	for _, mult := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("load=%dx", mult), func(b *testing.B) {
+			f, err := harness.NewPersonFleet(harness.FleetConfig{
+				Sources: 2, RowsPerSource: 50, TCP: true,
+				Latency:       5 * time.Millisecond,
+				Timeout:       slo,
+				MaxConcurrent: maxConcurrent,
+				MaxQueued:     maxConcurrent,
+				MaxQueueWait:  slo / 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			for i := 0; i < 4; i++ {
+				if _, err := f.M.Query(paperQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+			clients := mult * maxConcurrent
+			var (
+				mu        sync.Mutex
+				latencies []time.Duration
+				shed      int64
+				errs      int64
+			)
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			start := time.Now()
+			for w := 0; w < clients; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						ctx, cancel := context.WithTimeout(context.Background(), slo)
+						t0 := time.Now()
+						_, err := f.M.QueryContext(ctx, paperQuery)
+						elapsed := time.Since(t0)
+						cancel()
+						mu.Lock()
+						switch {
+						case err == nil:
+							latencies = append(latencies, elapsed)
+						case core.IsOverloadError(err):
+							shed++
+						default:
+							errs++
+						}
+						mu.Unlock()
+						if err != nil {
+							// Back off after a shed, as OverloadError asks of
+							// callers — without it the shed clients busy-spin
+							// and the benchmark measures scheduler contention.
+							time.Sleep(2 * time.Millisecond)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start).Seconds()
+			if errs > int64(b.N)/100+1 {
+				b.Errorf("%d of %d queries failed with non-overload errors", errs, b.N)
+			}
+			b.ReportMetric(float64(len(latencies))/elapsed, "goodput-q/s")
+			b.ReportMetric(100*float64(shed)/float64(b.N), "shed-%")
+			if len(latencies) > 0 {
+				sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+				p99 := latencies[int(0.99*float64(len(latencies)-1))]
+				b.ReportMetric(float64(p99.Milliseconds()), "p99-ms")
+			}
+		})
+	}
+}
+
 // BenchmarkOQLParse measures the front of the pipeline on a representative
 // reconciliation view.
 func BenchmarkOQLParse(b *testing.B) {

@@ -1,6 +1,6 @@
 // Command disco-bench regenerates the experiment tables recorded in
 // EXPERIMENTS.md: the two paper figures run as living systems (F1, F2) and
-// the six experiments derived from the paper's claims (E1–E6), per the
+// the experiments derived from the paper's claims (E1–E9), per the
 // index in DESIGN.md.
 //
 // Usage:
@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exps  = flag.String("exp", "f1,f2,e1,e2,e3,e4,e5,e6,e7,e8", "comma-separated experiment ids")
+		exps  = flag.String("exp", "f1,f2,e1,e2,e3,e4,e5,e6,e7,e8,e9", "comma-separated experiment ids")
 		quick = flag.Bool("quick", false, "reduced problem sizes")
 	)
 	flag.Parse()
@@ -41,6 +41,7 @@ func run(ids []string, quick bool) error {
 	e7lat := []time.Duration{0, 10 * time.Millisecond, 40 * time.Millisecond}
 	e8clients := []int{1, 4, 16}
 	e8per := 200
+	e9 := harness.OverloadSweepConfig{Duration: 2 * time.Second}
 	if quick {
 		e1ns = []int{1, 2, 4, 8}
 		e1trials = 4
@@ -50,6 +51,8 @@ func run(ids []string, quick bool) error {
 		e7lat = []time.Duration{0, 10 * time.Millisecond}
 		e8clients = []int{1, 4}
 		e8per = 50
+		e9.Duration = 400 * time.Millisecond
+		e9.Multipliers = []int{1, 2}
 	}
 
 	for _, id := range ids {
@@ -78,6 +81,8 @@ func run(ids []string, quick bool) error {
 			table, err = harness.E7WideArea(e7rows, e7lat)
 		case "e8":
 			table, err = harness.E8ConnectionScaling(e8clients, e8per)
+		case "e9":
+			table, err = harness.E9Overload(e9)
 		case "":
 			continue
 		default:

@@ -155,6 +155,48 @@
 // routed over it, so the next submit dials fresh instead of timing out on
 // a dead socket.
 //
+// # Staying up
+//
+// Failover, partial answers and breakers protect a mediator from its
+// sources; overload protection protects it from its callers. WithAdmission
+// installs an admission gate in front of query execution: at most
+// maxConcurrent queries run, a bounded FIFO holds the next arrivals, and
+// everything past those bounds is shed immediately with an *OverloadError —
+// a typed verdict distinct from unavailability, because nothing is down and
+// a resubmission moments later may well be admitted (IsOverloadError tells
+// the two apart). A shed query performs zero source dials. The gate is
+// deadline-aware: it tracks the median service time of recent queries, and
+// a query whose remaining deadline cannot cover it is rejected on arrival
+// rather than queued to die — early rejection is what keeps the latency of
+// admitted queries bounded when offered load exceeds capacity. Bring
+// deadlines via QueryContext and QueryPartialContext; Trace.AdmissionWait
+// and Trace.Shed record what the gate did to a query.
+//
+// Servers shed too: a wire server refuses requests beyond its per-
+// connection cap (and optional server-wide cap, WithMaxServerInflight)
+// with an explicit overload frame instead of silently queueing them, so a
+// mediator learns of a saturated source while it can still act.
+//
+// Between shed-nothing and shed-everything sits the retry budget.
+// Transient source failures — a connection dropped mid-answer, a refused
+// dial with deadline to spare, an overload frame from a live server — earn
+// one budgeted retry with jittered backoff before degrading into ordinary
+// unavailability (and from there into failover or a partial answer). The
+// budget is a token bucket funded by submit traffic (roughly one retry per
+// ten submits), so under a healthy fleet a blip is retried invisibly,
+// while under collapse — when most submits fail — the budget exhausts and
+// the mediator degrades instead of doubling the load on whatever is left.
+// Trace.Retried and Trace.RetryBudgetExhausted expose the budget's
+// activity; Mediator.OverloadStats totals it.
+//
+// This degradation ladder is verified by seeded fault injection: the
+// internal chaos package proxies the wire transport and composes latency
+// spikes, mid-answer drops, partitions, corrupt frames and slow-drip
+// responses on a scripted timeline, and the harness soak tests assert the
+// contract under chaos — sheds are explicit, admitted queries stay fast,
+// partitions degrade to residuals rather than errors, and recovery is
+// complete once the faults lift.
+//
 // Repeated queries skip recompilation entirely: Prepare results — parse,
 // view expansion, compilation and optimization — are cached per (query
 // text, catalog version), so a repeated query goes straight to execution.
@@ -237,6 +279,23 @@ var WithLoadBalancing = core.WithLoadBalancing
 // fraction of total submits.
 var WithHedging = core.WithHedging
 
+// WithAdmission installs the overload-protection gate: at most
+// maxConcurrent queries execute, at most maxQueued wait FIFO behind them
+// (0 = default), and nothing waits past maxWait (0 = default) or past the
+// point where its own deadline could no longer cover the typical service
+// time. Queries beyond those bounds are shed with an *OverloadError
+// before any source is dialed.
+var WithAdmission = core.WithAdmission
+
+// OverloadError reports that the mediator (or a gate on its path) shed a
+// query to protect itself. Nothing is known to be down — the same query
+// resubmitted after a backoff may well be admitted.
+type OverloadError = core.OverloadError
+
+// IsOverloadError reports whether err is (or wraps) an overload shed, as
+// opposed to an unavailability or a genuine query failure.
+var IsOverloadError = core.IsOverloadError
+
 // BreakerState is the state of one source's circuit breaker, as reported
 // by Mediator.BreakerState: closed (healthy), open (recently dead, routed
 // around), or half-open (one probe in flight).
@@ -299,8 +358,20 @@ func NewDocStore() *DocStore { return source.NewDocStore() }
 // Server is a running wire-protocol server (data source or mediator).
 type Server = wire.Server
 
+// ServerOption configures a Server.
+type ServerOption = wire.ServerOption
+
+// WithMaxInflight caps concurrent request execution per server connection;
+// requests beyond the cap are shed with an explicit overload frame.
+var WithMaxInflight = wire.WithMaxInflight
+
+// WithMaxServerInflight caps concurrent request execution across all of a
+// server's connections (0 = no server-wide cap); requests beyond the cap
+// are shed with an explicit overload frame.
+var WithMaxServerInflight = wire.WithMaxServerInflight
+
 // ServeEngine exposes an engine as a networked data source on addr
 // (use "127.0.0.1:0" to pick a free port).
-func ServeEngine(addr string, e Engine) (*Server, error) {
-	return wire.NewServer(addr, core.EngineHandler{Engine: e})
+func ServeEngine(addr string, e Engine, opts ...ServerOption) (*Server, error) {
+	return wire.NewServer(addr, core.EngineHandler{Engine: e}, opts...)
 }

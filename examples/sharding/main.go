@@ -21,6 +21,7 @@ import (
 	"log"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"disco"
@@ -218,6 +219,59 @@ func run() error {
 	}
 	fmt.Printf("r2 slowed to 120ms -> 20 hedged reads in %v: hedges fired=%v won=%v\n",
 		time.Since(start).Round(time.Millisecond), fired > 0, won > 0)
+
+	// --- overload protection: admission control + load shedding ---------
+	// A third mediator carries an admission gate: 2 queries execute, 2 more
+	// may queue, nothing waits past 50ms. When a stampede of clients
+	// exceeds that, the excess is shed immediately with an OverloadError —
+	// a different verdict than unavailability (nothing is down; a shed
+	// query dialed no source) — so callers back off instead of piling onto
+	// a mediator that cannot serve them anyway.
+	servers[2].SetLatency(0)
+	for _, s := range servers {
+		s.SetLatency(40 * time.Millisecond) // make saturation reachable
+	}
+	m3 := disco.New(
+		disco.WithTimeout(400*time.Millisecond),
+		disco.WithAdmission(2, 2, 50*time.Millisecond),
+	)
+	if err := m3.ExecODL(odl.String()); err != nil {
+		return err
+	}
+	if _, err := m3.Query(pointQuery); err != nil { // warm the prepared plan
+		return err
+	}
+	var admitted, shedCount int64
+	var mu sync.Mutex
+	var stampede sync.WaitGroup
+	for c := 0; c < 16; c++ {
+		stampede.Add(1)
+		go func() {
+			defer stampede.Done()
+			for i := 0; i < 5; i++ {
+				_, err := m3.Query(pointQuery)
+				mu.Lock()
+				switch {
+				case err == nil:
+					admitted++
+				case disco.IsOverloadError(err):
+					shedCount++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	stampede.Wait()
+	fmt.Printf("\nstampede of 16 clients vs a 2-wide gate: admitted=%d shed=%d (sheds dial no source)\n",
+		admitted, shedCount)
+
+	// The stampede over, the same mediator admits instantly again —
+	// shedding protected it, it never fell over.
+	if _, tr, err := m3.QueryTraced(pointQuery); err != nil {
+		return err
+	} else if tr.Shed == 0 && tr.AdmissionWait == 0 {
+		fmt.Println("stampede over -> next query admitted with zero queue wait")
+	}
 	return nil
 }
 

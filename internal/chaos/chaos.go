@@ -1,0 +1,404 @@
+// Package chaos provides deterministic, scripted fault injection for wire
+// transports. A Proxy sits between a client (the mediator's pooled wire
+// connections) and a real server, forwarding bytes both ways while the
+// currently active Fault distorts them: added latency, connections cut
+// mid-answer, short network partitions, corrupted frames, responses that
+// trickle out too slowly to beat any deadline. Faults compose over time
+// through a Script — a seeded timeline of fault transitions — so a whole
+// outage-and-recovery scenario replays identically run after run.
+//
+// Unlike the wire.Server knobs (SetLatency, SetAvailable), which need the
+// server's cooperation and can only model "slow" and "silent", the proxy
+// injects faults at the transport where real networks fail, without the
+// endpoints' knowledge: the server believes it answered, the client sees
+// the torn connection. That is exactly the fault surface the mediator's
+// robustness layer — classified transients, retry budgets, replica
+// failover, partial evaluation — claims to absorb, and the chaos soak
+// tests hold it to that claim.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Fault is one transport distortion. The zero state (nil fault or Healthy)
+// forwards bytes unmodified.
+type Fault interface {
+	String() string
+}
+
+// Healthy forwards traffic unmodified.
+type Healthy struct{}
+
+// String implements Fault.
+func (Healthy) String() string { return "healthy" }
+
+// Latency delays each server->client chunk by D plus a seeded random
+// jitter in [0, Jitter) — a congested or wide-area link.
+type Latency struct {
+	D      time.Duration
+	Jitter time.Duration
+}
+
+// String implements Fault.
+func (f Latency) String() string { return fmt.Sprintf("latency %v±%v", f.D, f.Jitter) }
+
+// Flaky cuts every connection after DropAfter bytes of a response frame
+// have been forwarded — the classic mid-answer connection drop. DropAfter
+// of zero cuts at the first response byte.
+type Flaky struct {
+	DropAfter int
+}
+
+// String implements Fault.
+func (f Flaky) String() string { return fmt.Sprintf("flaky (drop after %dB)", f.DropAfter) }
+
+// Partition severs the network: live connections are killed and new ones
+// are accepted and immediately closed (the dialer reaches the socket, the
+// exchange dies before a byte moves — how a dropped route looks to a
+// client with an established ARP entry).
+type Partition struct{}
+
+// String implements Fault.
+func (Partition) String() string { return "partition" }
+
+// Corrupt flips bytes inside server->client frames (never the newline
+// framing), so the client's decoder sees garbage on an otherwise healthy
+// connection.
+type Corrupt struct{}
+
+// String implements Fault.
+func (Corrupt) String() string { return "corrupt" }
+
+// SlowDrip trickles server->client bytes Chunk at a time with PerChunk
+// between writes — a response that is arriving, honestly, but will not
+// finish inside any reasonable deadline. Chunk <= 0 means one byte.
+type SlowDrip struct {
+	Chunk    int
+	PerChunk time.Duration
+}
+
+// String implements Fault.
+func (f SlowDrip) String() string { return fmt.Sprintf("slow-drip %dB/%v", f.Chunk, f.PerChunk) }
+
+// Step is one scripted fault transition: After the offset from the
+// script's start, Fault becomes the active fault.
+type Step struct {
+	After time.Duration
+	Fault Fault
+}
+
+// Script is a seeded timeline of fault transitions. Steps must be ordered
+// by After; the seed drives every random choice the faults make (latency
+// jitter, corruption positions), so one seed replays one behaviour.
+type Script struct {
+	Seed  int64
+	Steps []Step
+}
+
+// Proxy is one chaos-injected TCP hop in front of a real server.
+type Proxy struct {
+	target string
+	lis    net.Listener
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	mu    sync.Mutex
+	fault Fault
+	rng   *rand.Rand
+	conns map[net.Conn]struct{} // live client<->proxy sockets, for partition kills
+}
+
+// NewProxy starts a proxy on a free localhost port forwarding to target.
+// The seed fixes every random choice the proxy will make.
+func NewProxy(target string, seed int64) (*Proxy, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	p := &Proxy{
+		target: target,
+		lis:    lis,
+		done:   make(chan struct{}),
+		fault:  Healthy{},
+		rng:    rand.New(rand.NewSource(seed)),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what the client should dial
+// instead of the real server.
+func (p *Proxy) Addr() string { return p.lis.Addr().String() }
+
+// Fault returns the currently active fault.
+func (p *Proxy) Fault() Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fault
+}
+
+// SetFault switches the active fault. Switching to Partition kills every
+// live connection; other transitions apply to traffic from the next chunk
+// on. SetFault is the primitive the Script driver runs on — tests that
+// need exact control call it directly.
+func (p *Proxy) SetFault(f Fault) {
+	if f == nil {
+		f = Healthy{}
+	}
+	p.mu.Lock()
+	p.fault = f
+	var kill []net.Conn
+	if _, isPartition := f.(Partition); isPartition {
+		for c := range p.conns {
+			kill = append(kill, c)
+		}
+	}
+	p.mu.Unlock()
+	for _, c := range kill {
+		c.Close()
+	}
+}
+
+// Run walks the script's timeline in real time: each step's fault becomes
+// active at its offset from now. It blocks until the last step has been
+// applied or stop is closed; either way the proxy keeps serving with the
+// last fault applied. Steps with non-increasing offsets apply immediately
+// in order.
+func (p *Proxy) Run(stop <-chan struct{}, s Script) {
+	start := time.Now()
+	for _, step := range s.Steps {
+		delay := step.After - time.Since(start)
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-stop:
+				t.Stop()
+				return
+			case <-p.done:
+				t.Stop()
+				return
+			}
+		}
+		p.SetFault(step.Fault)
+	}
+}
+
+// Close stops the proxy and waits for its connection goroutines.
+func (p *Proxy) Close() error {
+	select {
+	case <-p.done:
+		return nil
+	default:
+	}
+	close(p.done)
+	err := p.lis.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		if _, partitioned := p.Fault().(Partition); partitioned {
+			// The network is down: the dial reached the socket, nothing
+			// will cross it.
+			conn.Close()
+			continue
+		}
+		p.wg.Add(1)
+		go p.serve(conn)
+	}
+}
+
+// serve bridges one client connection to the target, applying the active
+// fault to the server->client direction (where answers — the thing the
+// faults are about — travel).
+func (p *Proxy) serve(client net.Conn) {
+	defer p.wg.Done()
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.track(client)
+	p.track(upstream)
+	defer p.untrack(client)
+	defer p.untrack(upstream)
+
+	var pair sync.WaitGroup
+	pair.Add(2)
+	// client -> server: requests pass through; a partition kills the pair.
+	go func() {
+		defer pair.Done()
+		defer client.Close()
+		defer upstream.Close()
+		buf := make([]byte, 16*1024)
+		for {
+			n, err := client.Read(buf)
+			if n > 0 {
+				if _, partitioned := p.Fault().(Partition); partitioned {
+					return
+				}
+				if _, werr := upstream.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	// server -> client: the fault-bearing direction.
+	go func() {
+		defer pair.Done()
+		defer client.Close()
+		defer upstream.Close()
+		p.forwardResponses(upstream, client)
+	}()
+	pair.Wait()
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+// forwardResponses copies server->client traffic chunk by chunk, applying
+// the active fault to each. respBytes tracks the bytes forwarded since the
+// current frame began (frames are newline-delimited), so Flaky can cut
+// mid-answer rather than between answers.
+func (p *Proxy) forwardResponses(upstream, client net.Conn) {
+	buf := make([]byte, 16*1024)
+	respBytes := 0
+	for {
+		n, err := upstream.Read(buf)
+		if n > 0 {
+			if !p.writeFaulted(client, buf[:n], &respBytes) {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// writeFaulted forwards one chunk under the active fault; false means the
+// connection pair should die.
+func (p *Proxy) writeFaulted(client net.Conn, chunk []byte, respBytes *int) bool {
+	switch f := p.Fault().(type) {
+	case Partition:
+		return false
+	case Latency:
+		d := f.D
+		if f.Jitter > 0 {
+			p.mu.Lock()
+			d += time.Duration(p.rng.Int63n(int64(f.Jitter)))
+			p.mu.Unlock()
+		}
+		if !p.sleep(d) {
+			return false
+		}
+	case Flaky:
+		// Forward up to the allowance of the current frame, then cut the
+		// connection mid-answer.
+		allowed := f.DropAfter - *respBytes
+		if allowed < 0 {
+			allowed = 0
+		}
+		if allowed < len(chunk) {
+			client.Write(chunk[:allowed])
+			return false
+		}
+	case Corrupt:
+		// Flip a few payload bytes (never the framing newline): the frame
+		// arrives whole and decodes to garbage.
+		corrupted := make([]byte, len(chunk))
+		copy(corrupted, chunk)
+		p.mu.Lock()
+		for i := 0; i < 3; i++ {
+			pos := p.rng.Intn(len(corrupted))
+			if corrupted[pos] != '\n' {
+				corrupted[pos] ^= 0x5a
+			}
+		}
+		p.mu.Unlock()
+		chunk = corrupted
+	case SlowDrip:
+		step := f.Chunk
+		if step <= 0 {
+			step = 1
+		}
+		for off := 0; off < len(chunk); off += step {
+			end := off + step
+			if end > len(chunk) {
+				end = len(chunk)
+			}
+			if !p.sleep(f.PerChunk) {
+				return false
+			}
+			if _, err := client.Write(chunk[off:end]); err != nil {
+				return false
+			}
+		}
+		p.account(chunk, respBytes)
+		return true
+	}
+	if _, err := client.Write(chunk); err != nil {
+		return false
+	}
+	p.account(chunk, respBytes)
+	return true
+}
+
+// account advances the current-frame byte counter, resetting at each
+// frame boundary.
+func (p *Proxy) account(chunk []byte, respBytes *int) {
+	*respBytes += len(chunk)
+	for i := len(chunk) - 1; i >= 0; i-- {
+		if chunk[i] == '\n' {
+			*respBytes = len(chunk) - 1 - i
+			break
+		}
+	}
+}
+
+// sleep waits d unless the proxy closes first; false means closing.
+func (p *Proxy) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-p.done:
+		return false
+	}
+}

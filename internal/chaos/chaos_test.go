@@ -1,0 +1,234 @@
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"disco/internal/wire"
+)
+
+// slowHandler answers queries with a fixed payload, padded so mid-answer
+// faults have bytes to land in.
+type slowHandler struct{}
+
+func (slowHandler) HandleQuery(ctx context.Context, lang, text string) (json.RawMessage, error) {
+	pad := strings.Repeat("x", 256)
+	return json.RawMessage(`"` + pad + `"`), nil
+}
+func (slowHandler) Capability() string    { return "grammar" }
+func (slowHandler) Collections() []string { return []string{"person"} }
+
+// rig is a client -> chaos proxy -> wire server chain.
+type rig struct {
+	srv   *wire.Server
+	proxy *Proxy
+	cli   *wire.Client
+}
+
+func newRig(t *testing.T, seed int64) *rig {
+	t.Helper()
+	srv, err := wire.NewServer("127.0.0.1:0", slowHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := NewProxy(srv.Addr(), seed)
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	cli := wire.NewClient(proxy.Addr())
+	t.Cleanup(func() {
+		cli.Close()
+		proxy.Close()
+		srv.Close()
+	})
+	return &rig{srv: srv, proxy: proxy, cli: cli}
+}
+
+func (r *rig) query(timeout time.Duration) (json.RawMessage, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return r.cli.Query(ctx, wire.LangSQL, "select * from person")
+}
+
+func TestProxyHealthyPassthrough(t *testing.T) {
+	r := newRig(t, 1)
+	val, err := r.query(2 * time.Second)
+	if err != nil {
+		t.Fatalf("healthy proxy broke the exchange: %v", err)
+	}
+	if len(val) == 0 {
+		t.Fatal("empty value through healthy proxy")
+	}
+}
+
+// TestProxyFlakyThenRecovers: a flaky link drops every answer mid-frame;
+// the client's transparent redials all break too, so the call fails — and
+// the moment the fault lifts, the same client succeeds again.
+func TestProxyFlakyThenRecovers(t *testing.T) {
+	r := newRig(t, 2)
+	r.proxy.SetFault(Flaky{DropAfter: 10})
+	if _, err := r.query(2 * time.Second); err == nil {
+		t.Fatal("query succeeded through a link dropping every answer mid-frame")
+	}
+	r.proxy.SetFault(Healthy{})
+	if _, err := r.query(2 * time.Second); err != nil {
+		t.Fatalf("no recovery after flaky fault lifted: %v", err)
+	}
+}
+
+func TestProxyPartitionThenRecovers(t *testing.T) {
+	r := newRig(t, 3)
+	if _, err := r.query(2 * time.Second); err != nil {
+		t.Fatalf("pre-partition query: %v", err)
+	}
+	r.proxy.SetFault(Partition{})
+	if _, err := r.query(500 * time.Millisecond); err == nil {
+		t.Fatal("query succeeded across a partition")
+	}
+	r.proxy.SetFault(Healthy{})
+	if _, err := r.query(2 * time.Second); err != nil {
+		t.Fatalf("no recovery after partition healed: %v", err)
+	}
+}
+
+// TestProxyCorruptFrames: corrupted response frames must fail decoding at
+// the client, not silently deliver garbage as an answer.
+func TestProxyCorruptFrames(t *testing.T) {
+	r := newRig(t, 4)
+	r.proxy.SetFault(Corrupt{})
+	if _, err := r.query(2 * time.Second); err == nil {
+		t.Fatal("corrupted frames decoded as a valid answer")
+	}
+	r.proxy.SetFault(Healthy{})
+	if _, err := r.query(2 * time.Second); err != nil {
+		t.Fatalf("no recovery after corruption stopped: %v", err)
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	r := newRig(t, 5)
+	r.proxy.SetFault(Latency{D: 100 * time.Millisecond})
+	start := time.Now()
+	if _, err := r.query(5 * time.Second); err != nil {
+		t.Fatalf("latency fault broke the exchange: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("latency fault not applied: round trip took %v", elapsed)
+	}
+}
+
+// TestProxySlowDrip: a response that trickles slower than the deadline is
+// indistinguishable from an unavailable source — the caller's deadline,
+// not an error frame, ends the exchange.
+func TestProxySlowDrip(t *testing.T) {
+	r := newRig(t, 6)
+	r.proxy.SetFault(SlowDrip{Chunk: 4, PerChunk: 50 * time.Millisecond})
+	_, err := r.query(300 * time.Millisecond)
+	if err == nil {
+		t.Fatal("slow-drip response beat a deadline it cannot meet")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("slow-drip should surface as the caller's deadline, got %v", err)
+	}
+}
+
+// TestProxyScriptTimeline: Run walks the scripted fault transitions in
+// order and leaves the last fault active.
+func TestProxyScriptTimeline(t *testing.T) {
+	r := newRig(t, 7)
+	stop := make(chan struct{})
+	defer close(stop)
+	script := Script{
+		Seed: 7,
+		Steps: []Step{
+			{After: 0, Fault: Latency{D: time.Millisecond}},
+			{After: 20 * time.Millisecond, Fault: Partition{}},
+			{After: 40 * time.Millisecond, Fault: Healthy{}},
+		},
+	}
+	done := make(chan struct{})
+	go func() {
+		r.proxy.Run(stop, script)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("script did not finish")
+	}
+	if _, ok := r.proxy.Fault().(Healthy); !ok {
+		t.Fatalf("after the script the proxy should be healthy, is %v", r.proxy.Fault())
+	}
+	if _, err := r.query(2 * time.Second); err != nil {
+		t.Fatalf("query after scripted recovery: %v", err)
+	}
+}
+
+// TestProxyRunStops: closing the stop channel abandons the rest of the
+// timeline promptly.
+func TestProxyRunStops(t *testing.T) {
+	r := newRig(t, 8)
+	stop := make(chan struct{})
+	script := Script{Steps: []Step{
+		{After: 0, Fault: Partition{}},
+		{After: time.Hour, Fault: Healthy{}},
+	}}
+	done := make(chan struct{})
+	go func() {
+		r.proxy.Run(stop, script)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return after stop")
+	}
+	if _, ok := r.proxy.Fault().(Partition); !ok {
+		t.Fatalf("stop should leave the last applied fault active, got %v", r.proxy.Fault())
+	}
+}
+
+// TestProxyCloseLeaksNothing: a proxy that carried live, faulted traffic
+// must shut down without leaving forwarding goroutines behind.
+func TestProxyCloseLeaksNothing(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, err := wire.NewServer("127.0.0.1:0", slowHandler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := NewProxy(srv.Addr(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := wire.NewClient(proxy.Addr())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	if _, err := cli.Query(ctx, wire.LangSQL, "q"); err != nil {
+		t.Fatalf("warm-up query: %v", err)
+	}
+	cancel()
+	// Leave a slow-drip transfer in flight when Close lands.
+	proxy.SetFault(SlowDrip{Chunk: 1, PerChunk: 20 * time.Millisecond})
+	dripCtx, dripCancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	cli.Query(dripCtx, wire.LangSQL, "q")
+	dripCancel()
+
+	cli.Close()
+	proxy.Close()
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after close", before, runtime.NumGoroutine())
+}

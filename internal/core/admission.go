@@ -1,0 +1,247 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Admission-gate defaults (WithAdmission zero values).
+const (
+	// DefaultMaxQueued bounds the admission FIFO when WithAdmission is
+	// given a non-positive queue bound.
+	DefaultMaxQueued = 64
+	// DefaultMaxQueueWait bounds how long a query may sit in the admission
+	// queue before it is shed.
+	DefaultMaxQueueWait = time.Second
+)
+
+// OverloadError reports that the mediator shed a query to protect itself:
+// the admission gate was at its concurrency limit and the query could not
+// (or should not) wait. It is distinct from an unavailability — no source
+// was dialed, nothing is known to be down, and the same query resubmitted
+// moments later may well be admitted. Callers that retry should do so with
+// backoff; callers that cannot should surface the overload.
+type OverloadError struct {
+	// Reason says why the query was shed: the queue was full, the queue
+	// wait bound elapsed, the query's remaining deadline could not cover
+	// the typical service time, or the gate was closed under it.
+	Reason string
+	// Queued is how long the query waited in the admission queue before
+	// being shed (zero when it was shed on arrival).
+	Queued time.Duration
+}
+
+// Error implements the error interface.
+func (e *OverloadError) Error() string {
+	if e.Queued > 0 {
+		return fmt.Sprintf("mediator overloaded: %s (queued %v)", e.Reason, e.Queued)
+	}
+	return "mediator overloaded: " + e.Reason
+}
+
+// IsOverloadError reports whether err is (or wraps) an admission shed.
+func IsOverloadError(err error) bool {
+	var oe *OverloadError
+	return errors.As(err, &oe)
+}
+
+// admitWaiter is one queued query: grant closes ready with granted set;
+// the waiter itself withdraws on timeout or context death.
+type admitWaiter struct {
+	ready   chan struct{}
+	granted bool
+	shedErr *OverloadError // set instead of granted when the gate sheds it
+}
+
+// admission is the mediator's weighted-semaphore admission gate: at most
+// maxConcurrent queries execute, at most maxQueued more wait in FIFO
+// order, and nothing waits past maxWait or past the point where its own
+// deadline could no longer cover the typical (p50) service time. Everything
+// beyond those bounds is shed immediately with an OverloadError — early
+// rejection is the mechanism that keeps the latency of *admitted* queries
+// bounded when offered load exceeds capacity.
+type admission struct {
+	maxConcurrent int
+	maxQueued     int
+	maxWait       time.Duration
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signaled when inflight drops to zero (drain)
+	inflight int
+	queue    []*admitWaiter
+
+	// serviceNS is a sliding window of recent admitted-query service times
+	// feeding the p50 the deadline-aware shed compares against.
+	serviceNS []int64
+	serviceAt int
+}
+
+// serviceWindow is how many recent service times the gate remembers.
+const serviceWindow = 64
+
+func newAdmission(maxConcurrent, maxQueued int, maxWait time.Duration) *admission {
+	if maxQueued <= 0 {
+		maxQueued = DefaultMaxQueued
+	}
+	if maxWait <= 0 {
+		maxWait = DefaultMaxQueueWait
+	}
+	a := &admission{
+		maxConcurrent: maxConcurrent,
+		maxQueued:     maxQueued,
+		maxWait:       maxWait,
+	}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// p50Locked returns the median of the recent service-time window (0 when
+// the window is empty). Called with a.mu held.
+func (a *admission) p50Locked() time.Duration {
+	n := len(a.serviceNS)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]int64, n)
+	copy(sorted, a.serviceNS)
+	// n <= serviceWindow, so insertion sort is cheap and allocation-free
+	// beyond the copy.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return time.Duration(sorted[n/2])
+}
+
+// observe records one admitted query's service time in the p50 window.
+func (a *admission) observe(d time.Duration) {
+	a.mu.Lock()
+	if len(a.serviceNS) < serviceWindow {
+		a.serviceNS = append(a.serviceNS, int64(d))
+	} else {
+		a.serviceNS[a.serviceAt] = int64(d)
+		a.serviceAt = (a.serviceAt + 1) % serviceWindow
+	}
+	a.mu.Unlock()
+}
+
+// acquire admits the query, queues it, or sheds it. deadline is the
+// query's evaluation deadline (zero when none): a query whose remaining
+// deadline cannot cover the historical p50 service time is shed on
+// arrival — queueing it would only let it burn a slot and die anyway.
+// The returned duration is the time spent queued (for Trace).
+func (a *admission) acquire(deadline time.Time) (time.Duration, *OverloadError) {
+	a.mu.Lock()
+	if a.inflight < a.maxConcurrent && len(a.queue) == 0 {
+		a.inflight++
+		a.mu.Unlock()
+		return 0, nil
+	}
+	// The gate is at capacity: decide between queueing and shedding.
+	if !deadline.IsZero() {
+		if p50 := a.p50Locked(); p50 > 0 && time.Until(deadline) < p50 {
+			a.mu.Unlock()
+			return 0, &OverloadError{Reason: fmt.Sprintf(
+				"remaining deadline %v cannot cover typical service time %v",
+				time.Until(deadline).Round(time.Millisecond), p50.Round(time.Millisecond))}
+		}
+	}
+	if len(a.queue) >= a.maxQueued {
+		a.mu.Unlock()
+		return 0, &OverloadError{Reason: fmt.Sprintf("admission queue full (%d waiting)", a.maxQueued)}
+	}
+	w := &admitWaiter{ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+
+	start := time.Now()
+	wait := a.maxWait
+	if !deadline.IsZero() {
+		if until := time.Until(deadline); until < wait {
+			wait = until
+		}
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		queued := time.Since(start)
+		if w.shedErr != nil {
+			w.shedErr.Queued = queued
+			return queued, w.shedErr
+		}
+		return queued, nil
+	case <-timer.C:
+	}
+	// Timed out: withdraw from the queue — unless a grant (or a gate-close
+	// shed) raced the timer, in which case honor it.
+	a.mu.Lock()
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			a.mu.Unlock()
+			queued := time.Since(start)
+			return queued, &OverloadError{
+				Reason: fmt.Sprintf("no slot within the queue wait bound %v", wait),
+				Queued: queued,
+			}
+		}
+	}
+	a.mu.Unlock()
+	<-w.ready // the grant/shed is already decided; collect it
+	queued := time.Since(start)
+	if w.shedErr != nil {
+		w.shedErr.Queued = queued
+		return queued, w.shedErr
+	}
+	return queued, nil
+}
+
+// release returns one slot and grants it to the queue head, FIFO.
+func (a *admission) release() {
+	a.mu.Lock()
+	if len(a.queue) > 0 {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		w.granted = true
+		close(w.ready)
+		// The slot transfers to the waiter; inflight is unchanged.
+		a.mu.Unlock()
+		return
+	}
+	a.inflight--
+	if a.inflight == 0 {
+		a.cond.Broadcast()
+	}
+	a.mu.Unlock()
+}
+
+// drain blocks until no admitted query remains in flight. Close calls it
+// after shedAll so the queries already past the gate finish against live
+// clients before the mediator releases them.
+func (a *admission) drain() {
+	a.mu.Lock()
+	for a.inflight > 0 {
+		a.cond.Wait()
+	}
+	a.mu.Unlock()
+}
+
+// shedAll sheds every queued waiter (Mediator.Close): each one returns
+// promptly with an OverloadError instead of waiting out its bound against
+// a mediator that is releasing its clients. Queries already admitted run
+// to completion; the gate stays usable afterwards (Close keeps the
+// mediator queryable).
+func (a *admission) shedAll() {
+	a.mu.Lock()
+	queue := a.queue
+	a.queue = nil
+	a.mu.Unlock()
+	for _, w := range queue {
+		w.shedErr = &OverloadError{Reason: "mediator closing"}
+		close(w.ready)
+	}
+}

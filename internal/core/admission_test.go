@@ -1,0 +1,483 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"disco/internal/chaos"
+	"disco/internal/wire"
+)
+
+// TestAdmissionFastPath: under the concurrency limit with nothing queued,
+// acquisition is immediate and release frees the slot.
+func TestAdmissionFastPath(t *testing.T) {
+	a := newAdmission(2, 4, time.Second)
+	for i := 0; i < 2; i++ {
+		if wait, shed := a.acquire(time.Time{}); shed != nil || wait != 0 {
+			t.Fatalf("acquire %d: wait=%v shed=%v", i, wait, shed)
+		}
+	}
+	a.release()
+	a.release()
+	if wait, shed := a.acquire(time.Time{}); shed != nil || wait != 0 {
+		t.Fatalf("reacquire after release: wait=%v shed=%v", wait, shed)
+	}
+	a.release()
+}
+
+// TestAdmissionQueueFullSheds: with the slot held and the queue at its
+// bound, the next arrival is shed immediately with the queue-full reason.
+func TestAdmissionQueueFullSheds(t *testing.T) {
+	a := newAdmission(1, 2, time.Second)
+	if _, shed := a.acquire(time.Time{}); shed != nil {
+		t.Fatal(shed)
+	}
+	// Two waiters fill the queue.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, shed := a.acquire(time.Time{}); shed != nil {
+				t.Errorf("queued waiter shed: %v", shed)
+				return
+			}
+			a.release()
+		}()
+	}
+	waitForQueue(t, a, 2)
+	_, shed := a.acquire(time.Time{})
+	if shed == nil {
+		t.Fatal("third arrival should shed: queue is full")
+	}
+	if !IsOverloadError(shed) {
+		t.Fatalf("shed error is not an OverloadError: %v", shed)
+	}
+	a.release() // grants waiter 1
+	wg.Wait()
+	a.release() // the slot the last waiter released transfers back
+}
+
+// TestAdmissionQueueWaitBound: a waiter that never gets a slot sheds once
+// the queue wait bound elapses — and withdraws from the queue.
+func TestAdmissionQueueWaitBound(t *testing.T) {
+	a := newAdmission(1, 4, 30*time.Millisecond)
+	if _, shed := a.acquire(time.Time{}); shed != nil {
+		t.Fatal(shed)
+	}
+	start := time.Now()
+	queued, shed := a.acquire(time.Time{})
+	if shed == nil {
+		t.Fatal("waiter should shed after the wait bound")
+	}
+	if queued < 20*time.Millisecond {
+		t.Fatalf("shed too early: queued %v", queued)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("shed too late: %v", elapsed)
+	}
+	a.mu.Lock()
+	qlen := len(a.queue)
+	a.mu.Unlock()
+	if qlen != 0 {
+		t.Fatalf("timed-out waiter left itself queued (%d waiting)", qlen)
+	}
+	a.release()
+}
+
+// TestAdmissionDeadlineAwareShed: when the gate is saturated and the
+// arriving query's remaining deadline cannot cover the observed p50
+// service time, it is shed on arrival — no queueing, no slot burned.
+func TestAdmissionDeadlineAwareShed(t *testing.T) {
+	a := newAdmission(1, 4, time.Second)
+	for i := 0; i < 8; i++ {
+		a.observe(100 * time.Millisecond)
+	}
+	if _, shed := a.acquire(time.Time{}); shed != nil {
+		t.Fatal(shed)
+	}
+	// 10ms of deadline cannot cover a 100ms p50.
+	queued, shed := a.acquire(time.Now().Add(10 * time.Millisecond))
+	if shed == nil {
+		t.Fatal("doomed query should shed on arrival")
+	}
+	if queued != 0 {
+		t.Fatalf("doomed query queued for %v before shedding", queued)
+	}
+	// A roomy deadline queues normally (and gets the slot on release).
+	done := make(chan error, 1)
+	go func() {
+		_, shed := a.acquire(time.Now().Add(time.Minute))
+		if shed != nil {
+			done <- shed
+			return
+		}
+		a.release()
+		done <- nil
+	}()
+	waitForQueue(t, a, 1)
+	a.release()
+	if err := <-done; err != nil {
+		t.Fatalf("roomy-deadline waiter shed: %v", err)
+	}
+}
+
+// TestAdmissionCloseShedsWaiters: shedAll (the Mediator.Close path) sheds
+// every queued waiter promptly instead of letting them wait out the bound,
+// and the gate stays usable afterwards.
+func TestAdmissionCloseShedsWaiters(t *testing.T) {
+	a := newAdmission(1, 8, time.Minute)
+	if _, shed := a.acquire(time.Time{}); shed != nil {
+		t.Fatal(shed)
+	}
+	const waiters = 4
+	sheds := make(chan *OverloadError, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			_, shed := a.acquire(time.Time{})
+			sheds <- shed
+		}()
+	}
+	waitForQueue(t, a, waiters)
+	start := time.Now()
+	a.shedAll()
+	for i := 0; i < waiters; i++ {
+		select {
+		case shed := <-sheds:
+			if shed == nil {
+				t.Fatal("waiter was granted a slot during shedAll")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter did not return after shedAll")
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("shedAll took %v; waiters should return promptly", elapsed)
+	}
+	a.release()
+	// The gate still admits after shedAll.
+	if _, shed := a.acquire(time.Time{}); shed != nil {
+		t.Fatalf("gate unusable after shedAll: %v", shed)
+	}
+	a.release()
+}
+
+// TestAdmissionQueueFlappingInvariant hammers the gate with acquirers
+// whose holds and deadlines vary, flapping the queue between full and
+// drained, and asserts the two invariants that make it a gate: executing
+// concurrency never exceeds the limit, and every acquisition is exactly
+// balanced by a release or a shed (no slot is lost or duplicated). Run
+// with -race; the goroutine-leak check catches abandoned waiters.
+func TestAdmissionQueueFlappingInvariant(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+	const limit = 3
+	a := newAdmission(limit, 2, 5*time.Millisecond)
+	var (
+		executing atomic.Int64
+		peak      atomic.Int64
+		admitted  atomic.Int64
+		shedCount atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 50; i++ {
+				var deadline time.Time
+				if r.Intn(2) == 0 {
+					deadline = time.Now().Add(time.Duration(r.Intn(20)) * time.Millisecond)
+				}
+				_, shed := a.acquire(deadline)
+				if shed != nil {
+					shedCount.Add(1)
+					continue
+				}
+				n := executing.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				if n > limit {
+					t.Errorf("%d queries executing; the limit is %d", n, limit)
+				}
+				time.Sleep(time.Duration(r.Intn(2)) * time.Millisecond)
+				executing.Add(-1)
+				admitted.Add(1)
+				a.observe(time.Millisecond)
+				a.release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if admitted.Load() == 0 {
+		t.Fatal("flapping run admitted nothing")
+	}
+	if shedCount.Load() == 0 {
+		t.Fatal("16 clients against 3 slots and 2 queue seats never shed")
+	}
+	a.mu.Lock()
+	inflight, qlen := a.inflight, len(a.queue)
+	a.mu.Unlock()
+	if inflight != 0 || qlen != 0 {
+		t.Fatalf("gate did not drain: inflight=%d queued=%d", inflight, qlen)
+	}
+	t.Logf("flapping: %d admitted, %d shed, peak concurrency %d",
+		admitted.Load(), shedCount.Load(), peak.Load())
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= goroutinesBefore {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", goroutinesBefore, runtime.NumGoroutine())
+}
+
+// TestMediatorCloseWithQueriesQueued: Close while queries wait at the gate
+// sheds them as OverloadErrors; it neither deadlocks nor grants them.
+func TestMediatorCloseWithQueriesQueued(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+	slowStore := shardStore(t, shardRows[0])
+	srv, err := wire.NewServer("127.0.0.1:0", EngineHandler{Engine: slowStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.SetLatency(200 * time.Millisecond)
+
+	m := New(WithTimeout(2*time.Second), WithAdmission(1, 8, time.Minute))
+	if err := m.ExecODL(fmt.Sprintf(`
+		r0 := Repository(address=%q);
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent people of Person wrapper w0 repository r0;
+	`, srv.Addr())); err != nil {
+		t.Fatal(err)
+	}
+
+	// One query holds the only slot (the server's latency keeps it there);
+	// more queue behind it.
+	results := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := m.Query(`select x.name from x in people`)
+			results <- err
+		}()
+	}
+	waitForQueue(t, m.admit, 3)
+
+	m.Close()
+	var sheds, successes int
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-results:
+			switch {
+			case err == nil:
+				successes++
+			case IsOverloadError(err):
+				sheds++
+			default:
+				t.Errorf("queued query failed with a non-overload error: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("query stuck after Close: waiters were not shed")
+		}
+	}
+	if sheds != 3 {
+		t.Errorf("Close shed %d queued queries, want 3 (the admitted one runs to completion)", sheds)
+	}
+	if successes != 1 {
+		t.Errorf("%d queries succeeded, want 1: the in-flight query finishes, the queued ones shed", successes)
+	}
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= goroutinesBefore {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", goroutinesBefore, runtime.NumGoroutine())
+}
+
+// TestQueryShedReturnsOverloadError: end to end through the public API, a
+// query refused by the gate surfaces as an *OverloadError with Shed marked
+// on its trace — and is distinguishable from unavailability.
+func TestQueryShedReturnsOverloadError(t *testing.T) {
+	m := shardedMediator(t, WithAdmission(1, 1, 20*time.Millisecond))
+	defer m.Close()
+
+	// Prime, then saturate the gate from goroutines and collect at least
+	// one shed.
+	if _, err := m.Query(`select x.name from x in people`); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg       sync.WaitGroup
+		shedSeen atomic.Int64
+	)
+	until := time.Now().Add(300 * time.Millisecond)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(until) {
+				_, tr, err := m.QueryTraced(`select x.name from x in people`)
+				if err == nil {
+					continue
+				}
+				var oe *OverloadError
+				if !errors.As(err, &oe) {
+					t.Errorf("saturated gate returned a non-overload error: %v", err)
+					return
+				}
+				if tr.Shed != 1 {
+					t.Error("OverloadError without Shed marked on the trace")
+					return
+				}
+				shedSeen.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if shedSeen.Load() == 0 {
+		t.Skip("no shed observed (machine too fast for 8 clients to saturate 1 slot)")
+	}
+	shed, _, _ := m.OverloadStats()
+	if shed < shedSeen.Load() {
+		t.Errorf("OverloadStats sheds %d < observed %d", shed, shedSeen.Load())
+	}
+}
+
+// TestRetryBudgetRatio pins the budget arithmetic: a cold mediator gets a
+// few free retries, the budget then refuses, and submit traffic earns more
+// (~10% of recent submits).
+func TestRetryBudgetRatio(t *testing.T) {
+	m := New()
+	free := 0
+	for m.allowRetry() {
+		m.retries.Add(1)
+		free++
+		if free > 1000 {
+			t.Fatal("retry budget never exhausts")
+		}
+	}
+	if free == 0 {
+		t.Fatal("a cold mediator should grant at least one retry")
+	}
+	if free > 10 {
+		t.Fatalf("a cold mediator granted %d free retries; the floor should be small", free)
+	}
+	m.submits.Add(1000)
+	granted := 0
+	for m.allowRetry() {
+		m.retries.Add(1)
+		granted++
+		if granted > 1000 {
+			t.Fatal("retry budget never exhausts after submits")
+		}
+	}
+	// retries*10 < submits+32: 1000 submits fund ~100 total retries.
+	if granted < 50 || granted > 150 {
+		t.Fatalf("1000 submits funded %d more retries; want ~10%%", granted)
+	}
+}
+
+// TestRetryBudgetExhaustion drives a mediator against a chaos link that
+// drops every answer mid-frame: the first transients earn budgeted
+// retries, and once the budget is spent further transients degrade
+// directly, counting RetryBudgetExhausted.
+func TestRetryBudgetExhaustion(t *testing.T) {
+	store := shardStore(t, shardRows[0])
+	srv, err := wire.NewServer("127.0.0.1:0", EngineHandler{Engine: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	proxy, err := chaos.NewProxy(srv.Addr(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	m := New(WithTimeout(300 * time.Millisecond))
+	defer m.Close()
+	if err := m.ExecODL(fmt.Sprintf(`
+		r0 := Repository(address=%q);
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent people of Person wrapper w0 repository r0;
+	`, proxy.Addr())); err != nil {
+		t.Fatal(err)
+	}
+
+	proxy.SetFault(chaos.Flaky{DropAfter: 10})
+	for i := 0; i < 12; i++ {
+		ans, err := m.QueryPartial(`select x.name from x in people`)
+		if err != nil {
+			t.Fatalf("query %d: transient faults must degrade to residuals, got error: %v", i, err)
+		}
+		if ans.Complete {
+			t.Fatalf("query %d: complete answer through a link dropping every frame", i)
+		}
+	}
+	_, retried, exhausted := m.OverloadStats()
+	if retried == 0 {
+		t.Error("no budgeted retries: transients should earn a retry while budget lasts")
+	}
+	if exhausted == 0 {
+		t.Error("budget never exhausted: 12 all-transient queries must outrun the cold budget")
+	}
+	t.Logf("retry budget: %d retried, %d refused", retried, exhausted)
+
+	// Recovery: a healthy link and a few successful submits refill the
+	// budget's denominator and answers become complete again.
+	proxy.SetFault(chaos.Healthy{})
+	recovered := false
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ans, err := m.QueryPartial(`select x.name from x in people`)
+		if err == nil && ans.Complete {
+			recovered = true
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("no recovery after the flaky link healed")
+	}
+}
+
+// waitForQueue blocks until the gate's queue holds n waiters.
+func waitForQueue(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		a.mu.Lock()
+		qlen := len(a.queue)
+		a.mu.Unlock()
+		if qlen >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached %d waiters", n)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"syscall"
@@ -12,6 +13,7 @@ import (
 
 	"disco/internal/physical"
 	"disco/internal/types"
+	"disco/internal/wire"
 )
 
 // timeoutErr is a minimal net.Error with Timeout() = true.
@@ -21,14 +23,23 @@ func (timeoutErr) Error() string   { return "i/o timeout" }
 func (timeoutErr) Timeout() bool   { return true }
 func (timeoutErr) Temporary() bool { return true }
 
-// TestClassifySourceError is the regression suite for the unavailability
-// classifier: only "no answer" conditions (timeouts, refused or failed
-// dials, expired evaluation deadlines) may become partial answers. A
-// source that was reached and then failed mid-answer produced a genuine
-// error — degrading it silently into a partial answer hides real failures.
-// And a call the caller itself ended (cancellation, a caller-imposed
-// deadline) is neither: it must classify as a plain error so it cannot
-// become a partial answer or trip the source's circuit breaker.
+// The three classifier verdicts (plus caller-side, folded into plain for
+// the "must not become a partial answer" property the table checks).
+const (
+	wantPlain       = "plain"
+	wantUnavailable = "unavailable"
+	wantTransient   = "transient"
+)
+
+// TestClassifySourceError is the regression suite for the three-way error
+// classifier. Unavailability ("no answer": timeouts, dead dials, expired
+// evaluation deadlines) may become partial answers. Transient failures
+// (mid-answer connection drops, refused dials with deadline to spare, an
+// overloaded server's shed) are eligible for one budgeted retry before
+// degrading to unavailability. Everything else — genuine errors a live
+// source answered with, and calls the caller itself ended — must stay a
+// plain error so it can neither become a partial answer nor trip the
+// source's circuit breaker.
 func TestClassifySourceError(t *testing.T) {
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -37,82 +48,118 @@ func TestClassifySourceError(t *testing.T) {
 	evalDeadline, cancelED := withEvalDeadline(context.Background(), time.Nanosecond)
 	defer cancelED()
 	<-evalDeadline.Done()
+	// An evaluation deadline with plenty of headroom: refused dials under
+	// it are worth a retry.
+	roomyDeadline, cancelRD := withEvalDeadline(context.Background(), time.Minute)
+	defer cancelRD()
 
 	cases := []struct {
-		name        string
-		ctx         context.Context
-		err         error
-		unavailable bool
+		name string
+		ctx  context.Context
+		err  error
+		want string
 	}{
 		{
-			name:        "deadline exceeded",
-			err:         context.DeadlineExceeded,
-			unavailable: true,
+			name: "deadline exceeded",
+			err:  context.DeadlineExceeded,
+			want: wantUnavailable,
 		},
 		{
 			name: "wrapped cancellation from within the source path",
 			err:  fmt.Errorf("exec: %w", context.Canceled),
 			// The caller's context is alive, so the cancel arose
 			// source-side: still no answer by the designated time.
-			unavailable: true,
+			want: wantUnavailable,
 		},
 		{
-			name:        "caller cancellation",
-			ctx:         cancelled,
-			err:         fmt.Errorf("exec: %w", context.Canceled),
-			unavailable: false,
+			name: "caller cancellation",
+			ctx:  cancelled,
+			err:  fmt.Errorf("exec: %w", context.Canceled),
+			want: wantPlain,
 		},
 		{
-			name:        "caller-imposed deadline",
-			ctx:         callerDeadline,
-			err:         fmt.Errorf("wire: %w", context.DeadlineExceeded),
-			unavailable: false,
+			name: "caller-imposed deadline",
+			ctx:  callerDeadline,
+			err:  fmt.Errorf("wire: %w", context.DeadlineExceeded),
+			want: wantPlain,
 		},
 		{
-			name:        "mediator evaluation deadline",
-			ctx:         evalDeadline,
-			err:         fmt.Errorf("wire: %w", context.DeadlineExceeded),
-			unavailable: true,
+			name: "mediator evaluation deadline",
+			ctx:  evalDeadline,
+			err:  fmt.Errorf("wire: %w", context.DeadlineExceeded),
+			want: wantUnavailable,
 		},
 		{
-			name:        "network timeout",
-			err:         timeoutErr{},
-			unavailable: true,
+			name: "network timeout",
+			err:  timeoutErr{},
+			want: wantUnavailable,
 		},
 		{
-			name: "connection refused at dial",
+			name: "connection refused with deadline to spare is transient",
+			ctx:  roomyDeadline,
 			err: &net.OpError{Op: "dial", Net: "tcp",
 				Err: os.NewSyscallError("connect", syscall.ECONNREFUSED)},
-			unavailable: true,
+			// A restarting server fixes a refused dial in milliseconds; with
+			// headroom the retry budget gets one shot before failover.
+			want: wantTransient,
+		},
+		{
+			name: "connection refused with the deadline nearly spent",
+			ctx:  evalDeadline,
+			err: &net.OpError{Op: "dial", Net: "tcp",
+				Err: os.NewSyscallError("connect", syscall.ECONNREFUSED)},
+			// No headroom for a backoff and redial: ordinary unavailability.
+			want: wantUnavailable,
 		},
 		{
 			name: "host unreachable at dial",
 			err: &net.OpError{Op: "dial", Net: "tcp",
 				Err: os.NewSyscallError("connect", syscall.EHOSTUNREACH)},
-			unavailable: true,
+			// Not a refused dial: routing problems do not clear in one
+			// backoff, so no retry is owed.
+			want: wantUnavailable,
 		},
 		{
-			name: "bare ECONNREFUSED",
+			name: "bare ECONNREFUSED with headroom",
+			ctx:  roomyDeadline,
 			err:  syscall.ECONNREFUSED,
 			// e.g. surfaced by a local proxy without the OpError wrapping.
-			unavailable: true,
+			want: wantTransient,
 		},
 		{
-			name: "reset mid-answer is a real failure",
+			name: "reset mid-answer is transient",
 			err: &net.OpError{Op: "read", Net: "tcp",
 				Err: os.NewSyscallError("read", syscall.ECONNRESET)},
-			unavailable: false,
+			// The source was reached and the exchange broke: one budgeted
+			// retry usually succeeds against a flaky link (the PR 1 choice
+			// of "plain error" predates retry budgets).
+			want: wantTransient,
 		},
 		{
 			name: "write failure on an established connection",
 			err: &net.OpError{Op: "write", Net: "tcp",
 				Err: os.NewSyscallError("write", syscall.EPIPE)},
-			unavailable: false,
+			want: wantTransient,
 		},
 		{
-			name:        "plain source error",
-			err:         errors.New("table people does not exist"),
-			unavailable: false,
+			name: "connection closed mid-answer",
+			err:  fmt.Errorf("wire: read 127.0.0.1:1: %w", io.EOF),
+			want: wantTransient,
+		},
+		{
+			name: "server shed the request (overload frame)",
+			err:  &wire.OverloadedError{Addr: "127.0.0.1:1"},
+			want: wantTransient,
+		},
+		{
+			name: "remote error from a live source",
+			err:  &wire.RemoteError{Addr: "127.0.0.1:1", Msg: "no such table"},
+			want: wantPlain,
+		},
+		{
+			name: "plain source error",
+			err:  errors.New("table people does not exist"),
+			want: wantPlain,
 		},
 	}
 	for _, tc := range cases {
@@ -123,15 +170,33 @@ func TestClassifySourceError(t *testing.T) {
 			}
 			got := classifySourceError(ctx, "r0", tc.err)
 			var ue *physical.UnavailableError
-			isUnavailable := errors.As(got, &ue)
-			if isUnavailable != tc.unavailable {
-				t.Errorf("classifySourceError(%v): unavailable = %v, want %v", tc.err, isUnavailable, tc.unavailable)
+			var te *TransientError
+			verdict := wantPlain
+			switch {
+			case errors.As(got, &ue):
+				verdict = wantUnavailable
+			case errors.As(got, &te):
+				verdict = wantTransient
 			}
-			if isUnavailable && ue.Repo != "r0" {
-				t.Errorf("UnavailableError.Repo = %q, want r0", ue.Repo)
+			if verdict != tc.want {
+				t.Errorf("classifySourceError(%v) = %v, want %v", tc.err, verdict, tc.want)
 			}
-			if !isUnavailable && !errors.Is(got, tc.err) {
-				t.Errorf("real error was rewrapped beyond recognition: %v", got)
+			switch verdict {
+			case wantUnavailable:
+				if ue.Repo != "r0" {
+					t.Errorf("UnavailableError.Repo = %q, want r0", ue.Repo)
+				}
+			case wantTransient:
+				if te.Repo != "r0" {
+					t.Errorf("TransientError.Repo = %q, want r0", te.Repo)
+				}
+				if !errors.Is(got, tc.err) {
+					t.Errorf("transient error lost its cause: %v", got)
+				}
+			default:
+				if !errors.Is(got, tc.err) {
+					t.Errorf("real error was rewrapped beyond recognition: %v", got)
+				}
 			}
 		})
 	}

@@ -64,6 +64,12 @@ type Mediator struct {
 	hedge      bool
 	hedgeFloor time.Duration
 
+	// admit, when non-nil, is the admission gate (WithAdmission): the
+	// overload-protection layer that bounds concurrent query execution,
+	// queues a bounded FIFO of waiters, and sheds the rest with a typed
+	// OverloadError before any source is dialed.
+	admit *admission
+
 	// submits counts every source attempt; with hedgesFired it forms the
 	// global hedge budget (hedges are bounded to a fraction of traffic so
 	// a slow spell cannot stampede the replicas). hedgesWon feeds the
@@ -71,6 +77,15 @@ type Mediator struct {
 	submits     atomic.Int64
 	hedgesFired atomic.Int64
 	hedgesWon   atomic.Int64
+
+	// Degradation counters surfaced through Trace and OverloadStats:
+	// sheds counts queries refused by the admission gate, retries counts
+	// transient source errors re-attempted under the retry budget, and
+	// retryExhausted counts transients that could not retry because the
+	// budget was spent.
+	sheds          atomic.Int64
+	retries        atomic.Int64
+	retryExhausted atomic.Int64
 
 	// probeMu/probeClosed/probeWG track the background half-open probes,
 	// so Close can refuse new ones and wait out those in flight instead
@@ -128,6 +143,24 @@ func WithBreaker(threshold int, cooldown time.Duration) Option {
 	return func(m *Mediator) {
 		m.breakerThreshold = threshold
 		m.breakerCooldown = cooldown
+	}
+}
+
+// WithAdmission installs the admission gate — the mediator's overload
+// protection. At most maxConcurrent queries execute at once; up to
+// maxQueued more wait in FIFO order for at most maxWait (non-positive
+// values keep DefaultMaxQueued / DefaultMaxQueueWait); everything beyond
+// that is shed immediately with an *OverloadError, before any source is
+// dialed. A query whose remaining deadline cannot cover the gate's
+// observed median service time is shed on arrival rather than queued to
+// die waiting. Shedding keeps the latency of admitted queries bounded
+// when offered load exceeds capacity — the callers that were answered
+// were answered within the SLO, and the rest learned it immediately.
+func WithAdmission(maxConcurrent, maxQueued int, maxWait time.Duration) Option {
+	return func(m *Mediator) {
+		if maxConcurrent > 0 {
+			m.admit = newAdmission(maxConcurrent, maxQueued, maxWait)
+		}
 	}
 }
 

@@ -115,6 +115,15 @@ func (m *Mediator) clientFor(addr string) *wire.Client {
 // are released, so no probe ever dials through a released pool. The
 // mediator stays usable for queries: a later query redials lazily.
 func (m *Mediator) Close() {
+	if m.admit != nil {
+		// Queued queries are shed promptly with an OverloadError instead of
+		// waiting out their queue bound against a mediator releasing its
+		// clients; admitted queries run to completion — drain waits for them
+		// (bounded by the evaluation deadline) before the clients go away —
+		// and the gate stays usable for later queries.
+		m.admit.shedAll()
+		m.admit.drain()
+	}
 	m.probeMu.Lock()
 	m.probeClosed = true
 	m.probeMu.Unlock()

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"disco/internal/algebra"
@@ -20,11 +21,56 @@ type Trace struct {
 	Execute  time.Duration
 	Plan     string
 	CacheHit bool
+	// AdmissionWait is the time this query spent queued at the admission
+	// gate before execution began (zero when admitted immediately, or when
+	// the mediator runs without WithAdmission).
+	AdmissionWait time.Duration
+	// Shed is 1 when the admission gate refused this query (the query then
+	// returned an *OverloadError and dialed no source).
+	Shed int64
 	// HedgesFired/HedgesWon count hedged backup submits launched, and won,
 	// during this query's execution window. The counters are mediator-wide,
 	// so concurrent queries see each other's hedges.
 	HedgesFired int64
 	HedgesWon   int64
+	// Retried counts transient source errors (mid-answer drops, refused
+	// dials with deadline to spare) that were re-attempted under the retry
+	// budget during this query's execution window; RetryBudgetExhausted
+	// counts transients that wanted a retry the budget refused. Like the
+	// hedge counters they are mediator-wide windows.
+	Retried              int64
+	RetryBudgetExhausted int64
+
+	// admittedAt marks when the admission gate granted the slot; the
+	// release path uses it to observe the query's service time.
+	admittedAt time.Time
+}
+
+// String renders the stage timings and degradation counters — why the
+// query was slow, shed, or retried — in one line per stage.
+func (tr *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "parse    %v\n", tr.Parse)
+	fmt.Fprintf(&b, "expand   %v\n", tr.Expand)
+	fmt.Fprintf(&b, "compile  %v\n", tr.Compile)
+	fmt.Fprintf(&b, "optimize %v\n", tr.Optimize)
+	if tr.CacheHit {
+		b.WriteString("(prepared-statement cache hit: front half skipped)\n")
+	}
+	if tr.AdmissionWait > 0 || tr.Shed > 0 {
+		fmt.Fprintf(&b, "admission wait %v\n", tr.AdmissionWait)
+	}
+	if tr.Shed > 0 {
+		b.WriteString("shed by admission gate (overload)\n")
+	}
+	fmt.Fprintf(&b, "execute  %v\n", tr.Execute)
+	if tr.HedgesFired > 0 {
+		fmt.Fprintf(&b, "hedges fired=%d won=%d\n", tr.HedgesFired, tr.HedgesWon)
+	}
+	if tr.Retried > 0 || tr.RetryBudgetExhausted > 0 {
+		fmt.Fprintf(&b, "transient retries=%d budget-refused=%d\n", tr.Retried, tr.RetryBudgetExhausted)
+	}
+	return b.String()
 }
 
 // Prepare runs the front half of the pipeline: parse, view expansion,
@@ -87,24 +133,45 @@ func (m *Mediator) Query(src string) (types.Value, error) {
 	return v, err
 }
 
+// QueryContext is Query bounded by the caller's context as well as the
+// evaluation deadline. A context that is cancelled (or whose deadline
+// fires) ends the query as a caller-side error — never a partial answer —
+// and a context whose remaining deadline cannot cover the typical service
+// time is shed immediately by the admission gate when one is installed.
+func (m *Mediator) QueryContext(ctx context.Context, src string) (types.Value, error) {
+	v, _, err := m.queryTraced(ctx, src)
+	return v, err
+}
+
 // QueryTraced is Query with pipeline stage timings.
 func (m *Mediator) QueryTraced(src string) (types.Value, *Trace, error) {
+	return m.queryTraced(context.Background(), src)
+}
+
+func (m *Mediator) queryTraced(ctx context.Context, src string) (types.Value, *Trace, error) {
 	entry, tr, err := m.prepare(src)
 	if err != nil {
 		return nil, tr, err
 	}
+	ctx, cancel := withEvalDeadline(ctx, m.timeout)
+	defer cancel()
+	if err := m.admitQuery(ctx, tr); err != nil {
+		return nil, tr, err
+	}
+	defer m.admitDone(tr)
 	p, err := m.buildPhysical(entry.plan, entry.progs)
 	if err != nil {
 		return nil, tr, err
 	}
-	ctx, cancel := withEvalDeadline(context.Background(), m.timeout)
-	defer cancel()
 	f0, w0 := m.hedgesFired.Load(), m.hedgesWon.Load()
+	r0, x0 := m.retries.Load(), m.retryExhausted.Load()
 	t0 := time.Now()
 	v, err := p.Run(ctx)
 	tr.Execute = time.Since(t0)
 	tr.HedgesFired = m.hedgesFired.Load() - f0
 	tr.HedgesWon = m.hedgesWon.Load() - w0
+	tr.Retried = m.retries.Load() - r0
+	tr.RetryBudgetExhausted = m.retryExhausted.Load() - x0
 	if err != nil {
 		return nil, tr, err
 	}
@@ -115,23 +182,72 @@ func (m *Mediator) QueryTraced(src string) (types.Value, *Trace, error) {
 // some sources do not answer before the deadline, the answer is another
 // query (§4).
 func (m *Mediator) QueryPartial(src string) (*partial.Answer, error) {
-	entry, _, err := m.prepare(src)
+	return m.QueryPartialContext(context.Background(), src)
+}
+
+// QueryPartialContext is QueryPartial bounded by the caller's context.
+// Admission applies before any source is dialed: a shed query returns an
+// *OverloadError, not a partial answer — shed and "source down" are
+// different verdicts and callers can tell them apart.
+func (m *Mediator) QueryPartialContext(ctx context.Context, src string) (*partial.Answer, error) {
+	entry, tr, err := m.prepare(src)
 	if err != nil {
 		return nil, err
 	}
 	plan := entry.plan
+	ctx, cancel := withEvalDeadline(ctx, m.timeout)
+	defer cancel()
+	if err := m.admitQuery(ctx, tr); err != nil {
+		return nil, err
+	}
+	defer m.admitDone(tr)
 	p, err := m.buildPhysical(plan, entry.progs)
 	if err != nil {
 		return nil, err
 	}
-	ctx, cancel := withEvalDeadline(context.Background(), m.timeout)
-	defer cancel()
 	ans, err := partial.Evaluate(ctx, p)
 	if err != nil {
 		return nil, err
 	}
 	m.snapshotPartial(plan, ans)
 	return ans, nil
+}
+
+// admitQuery passes the query through the admission gate (a no-op without
+// WithAdmission), recording the queue wait — and the shed, if the gate
+// refuses — on the trace. It must run before the physical plan is built:
+// a shed query performs zero source dials.
+func (m *Mediator) admitQuery(ctx context.Context, tr *Trace) error {
+	if m.admit == nil {
+		return nil
+	}
+	deadline, _ := ctx.Deadline()
+	wait, shed := m.admit.acquire(deadline)
+	tr.AdmissionWait = wait
+	if shed != nil {
+		tr.Shed = 1
+		m.sheds.Add(1)
+		return shed
+	}
+	tr.admittedAt = time.Now()
+	return nil
+}
+
+// admitDone releases the admission slot and feeds the query's service time
+// into the gate's p50 window (the signal deadline-aware shedding uses).
+func (m *Mediator) admitDone(tr *Trace) {
+	if m.admit == nil || tr.admittedAt.IsZero() {
+		return
+	}
+	m.admit.observe(time.Since(tr.admittedAt))
+	m.admit.release()
+}
+
+// OverloadStats reports the mediator-wide degradation counters: queries
+// shed by the admission gate, transient source errors retried under the
+// retry budget, and retries the exhausted budget refused.
+func (m *Mediator) OverloadStats() (shed, retried, retryBudgetExhausted int64) {
+	return m.sheds.Load(), m.retries.Load(), m.retryExhausted.Load()
 }
 
 // Explain returns the optimizer's report for a query: every candidate plan

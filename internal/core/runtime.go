@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sort"
@@ -552,11 +553,69 @@ func isUnavailableErr(err error) bool {
 	return errors.As(err, &ue)
 }
 
-// submitOnce executes a submit expression at one repository: it finds the
-// wrapper serving the expression, translates the expression into the
+// submitOnce is submitAttempt plus the retry budget: a classified
+// transient failure (the source was reached and then the exchange broke —
+// a mid-answer drop, a refused dial with deadline to spare, a shed by an
+// overloaded server) gets exactly one re-attempt after a jittered backoff,
+// provided the token-bucket retry budget admits it. The budget accrues
+// with submit traffic (~10% of recent submits, the hedging-budget
+// pattern), so retries help at low failure rates and self-disable under
+// collapse — when most submits fail, retrying each one would double the
+// load on sources already drowning. A transient that cannot be retried,
+// or whose retry fails transiently again, degrades to an UnavailableError
+// so replica failover and partial evaluation take over: the caller sees a
+// residual, not a torn connection.
+func (m *Mediator) submitOnce(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
+	bag, err := m.submitAttempt(ctx, repo, expr)
+	var tr *TransientError
+	if err == nil || !errors.As(err, &tr) {
+		return bag, err
+	}
+	if ctx.Err() == nil {
+		if m.allowRetry() {
+			m.retries.Add(1)
+			retryBackoff(ctx)
+			if ctx.Err() == nil {
+				bag, err = m.submitAttempt(ctx, repo, expr)
+				if err == nil {
+					return bag, nil
+				}
+			}
+		} else {
+			m.retryExhausted.Add(1)
+		}
+	}
+	if errors.As(err, &tr) {
+		return nil, &physical.UnavailableError{Repo: tr.Repo, Err: tr.Err}
+	}
+	return nil, err
+}
+
+// allowRetry is the retry budget: retries may be at most ~1/10 of total
+// submit traffic, plus a small burst allowance so a cold mediator can
+// still retry its first flakes.
+func (m *Mediator) allowRetry() bool {
+	return m.retries.Load()*10 < m.submits.Load()+32
+}
+
+// retryBackoff sleeps a short jittered delay before the one-shot retry, so
+// a source that dropped a burst of connections at once is not re-hit by
+// the whole burst in lockstep. Bounded by the attempt's context.
+func retryBackoff(ctx context.Context) {
+	d := 500*time.Microsecond + time.Duration(rand.Int63n(int64(2*time.Millisecond)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// submitAttempt executes a submit expression at one repository: it finds
+// the wrapper serving the expression, translates the expression into the
 // source namespace via the local transformation maps, executes it, renames
 // and type-checks the results, and records the call in the cost history.
-func (m *Mediator) submitOnce(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
+func (m *Mediator) submitAttempt(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
 	m.submits.Add(1) // hedge-budget denominator: every source attempt counts
 	w, err := m.wrapperForExpr(repo, expr)
 	if err != nil {
@@ -630,13 +689,43 @@ func hasEvalDeadline(ctx context.Context) bool {
 	return v
 }
 
-// classifySourceError separates unavailability (no answer: timeouts,
-// refused connections) from genuine query failures reported by a live
-// source, and from calls the caller itself ended. Partial evaluation
-// applies only to the first kind; a user cancelling a query (or a
-// caller-imposed deadline firing) is neither an answer nor unavailability
-// — it must not degrade the query into a partial answer, and it must not
-// count against the source's circuit breaker.
+// TransientError classifies a source failure as transient: the source was
+// reached (or is expected right back) and the exchange broke in a way a
+// prompt retry has a real chance of fixing — a connection dropped
+// mid-answer, a refused dial while the attempt still has deadline to
+// spare, an overloaded server shedding load. It never escapes the submit
+// path: submitOnce either retries it away under the retry budget or
+// degrades it to an UnavailableError so failover and partial evaluation
+// take over.
+type TransientError struct {
+	Repo string
+	Err  error
+}
+
+// Error implements the error interface.
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("transient failure at %s: %v", e.Repo, e.Err)
+}
+
+// Unwrap supports errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// refusedRetryFloor is the deadline headroom below which a refused dial is
+// not worth retrying: the backoff plus redial would eat what little
+// deadline remains, so classify it as plain unavailability instead.
+const refusedRetryFloor = 25 * time.Millisecond
+
+// classifySourceError separates three kinds of failure — plus the calls
+// the caller itself ended. Unavailability (no answer: timeouts, dead
+// dials) is what partial evaluation and replica failover react to.
+// Transient failures (mid-answer connection drops, refused dials with
+// deadline to spare, server-side load sheds) are retried once under the
+// retry budget before degrading to unavailability. Genuine query failures
+// reported by a live source stay errors — degrading them would hide real
+// failures in partial answers. And a user cancelling a query (or a
+// caller-imposed deadline firing) is none of these: it must not become a
+// partial answer and it must not count against the source's circuit
+// breaker.
 func classifySourceError(ctx context.Context, repo string, err error) error {
 	var already *physical.UnavailableError
 	if errors.As(err, &already) {
@@ -648,6 +737,12 @@ func classifySourceError(ctx context.Context, repo string, err error) error {
 		// unavailability, and this mediator's partial evaluation produces
 		// its own resubmittable answer.
 		return &physical.UnavailableError{Repo: repo, Err: err}
+	}
+	var overloaded *wire.OverloadedError
+	if errors.As(err, &overloaded) {
+		// The server shed the request to protect itself: it is alive, and
+		// a moment later it may well admit a retry.
+		return &TransientError{Repo: repo, Err: err}
 	}
 	var remote *wire.RemoteError
 	if errors.As(err, &remote) {
@@ -668,11 +763,69 @@ func classifySourceError(ctx context.Context, repo string, err error) error {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 		return &physical.UnavailableError{Repo: repo, Err: err}
+	case isTimeoutNetErr(err):
+		return &physical.UnavailableError{Repo: repo, Err: err}
+	case isRefusedErr(err):
+		// A refused dial means nothing is listening *right now* — which a
+		// restarting server fixes in milliseconds. With deadline to spare
+		// the retry budget gets a shot at it; otherwise it is ordinary
+		// unavailability.
+		if deadlineHeadroom(ctx) >= refusedRetryFloor {
+			return &TransientError{Repo: repo, Err: err}
+		}
+		return &physical.UnavailableError{Repo: repo, Err: err}
+	case isMidAnswerDropErr(err):
+		// The connection was established and then broke under the
+		// exchange: the source (or the path to it) flaked, not the query.
+		return &TransientError{Repo: repo, Err: err}
 	case isUnavailableNetErr(err):
 		return &physical.UnavailableError{Repo: repo, Err: err}
 	default:
 		return err
 	}
+}
+
+// deadlineHeadroom is the time left before ctx's deadline (effectively
+// infinite when it has none).
+func deadlineHeadroom(ctx context.Context) time.Duration {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Until(d)
+}
+
+// isTimeoutNetErr recognizes network-level timeouts (no answer within the
+// attempt deadline) — always unavailability, never transient: the retry
+// would wait out the same silence.
+func isTimeoutNetErr(err error) bool {
+	var netErr net.Error
+	return errors.As(err, &netErr) && netErr.Timeout()
+}
+
+// isRefusedErr recognizes refused dials (ECONNREFUSED in any wrapping).
+func isRefusedErr(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED)
+}
+
+// isMidAnswerDropErr recognizes connections that were established and then
+// broke during the exchange: resets, broken pipes, unexpected EOFs, and
+// read/write failures on a live connection. These are the classic
+// transient faults — a flaky link, a crashing-and-restarting peer, a
+// proxy cutting a long response — where one prompt retry usually
+// succeeds. (Timeouts are excluded by classification order.)
+func isMidAnswerDropErr(err error) bool {
+	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var opErr *net.OpError
+	if errors.As(err, &opErr) && (opErr.Op == "read" || opErr.Op == "write") {
+		return true
+	}
+	return false
 }
 
 // isUnavailableNetErr recognizes network errors that mean "no answer" —

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"disco/internal/chaos"
 	"disco/internal/core"
 	"disco/internal/source"
 	"disco/internal/wire"
@@ -20,6 +21,10 @@ import (
 type Fleet struct {
 	M       *core.Mediator
 	Servers []*wire.Server // nil entries when in-process
+	// Proxies are the chaos proxies in front of the servers (nil entries
+	// when the fleet was built without Chaos); the mediator dials the proxy,
+	// so faults injected there hit its live pooled connections.
+	Proxies []*chaos.Proxy
 	Stores  []*source.RelStore
 	// RowsPerSource is the number of person rows in each source.
 	RowsPerSource int
@@ -34,10 +39,23 @@ type FleetConfig struct {
 	// TCP serves each source over a real socket; otherwise sources are
 	// in-process engines.
 	TCP bool
+	// Chaos interposes a chaos.Proxy between the mediator and each TCP
+	// server; ChaosSeed fixes the proxies' random choices (proxy i gets
+	// ChaosSeed+i, so the proxies' draws are independent but reproducible).
+	Chaos     bool
+	ChaosSeed int64
 	// Latency is injected per TCP reply.
 	Latency time.Duration
 	// Timeout is the mediator's evaluation deadline.
 	Timeout time.Duration
+	// MaxConcurrent, when positive, installs the mediator's admission gate
+	// (core.WithAdmission) with the given queue bound and wait.
+	MaxConcurrent int
+	MaxQueued     int
+	MaxQueueWait  time.Duration
+	// MaxServerInflight caps concurrent request execution per TCP server
+	// (wire.WithMaxServerInflight); zero means no server-wide cap.
+	MaxServerInflight int
 	// WrapperODL overrides the wrapper declaration; default full SQL.
 	WrapperODL string
 }
@@ -54,8 +72,12 @@ func NewPersonFleet(cfg FleetConfig) (*Fleet, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * time.Second
 	}
+	opts := []core.Option{core.WithTimeout(cfg.Timeout)}
+	if cfg.MaxConcurrent > 0 {
+		opts = append(opts, core.WithAdmission(cfg.MaxConcurrent, cfg.MaxQueued, cfg.MaxQueueWait))
+	}
 	f := &Fleet{
-		M:             core.New(core.WithTimeout(cfg.Timeout)),
+		M:             core.New(opts...),
 		RowsPerSource: cfg.RowsPerSource,
 	}
 	wrapperODL := cfg.WrapperODL
@@ -83,7 +105,11 @@ interface Person (extent person) {
 
 		addr := fmt.Sprintf("mem:r%d", i)
 		if cfg.TCP {
-			srv, err := wire.NewServer("127.0.0.1:0", core.EngineHandler{Engine: store})
+			var srvOpts []wire.ServerOption
+			if cfg.MaxServerInflight > 0 {
+				srvOpts = append(srvOpts, wire.WithMaxServerInflight(cfg.MaxServerInflight))
+			}
+			srv, err := wire.NewServer("127.0.0.1:0", core.EngineHandler{Engine: store}, srvOpts...)
 			if err != nil {
 				f.Close()
 				return nil, err
@@ -93,8 +119,20 @@ interface Person (extent person) {
 			}
 			f.Servers = append(f.Servers, srv)
 			addr = srv.Addr()
+			if cfg.Chaos {
+				proxy, err := chaos.NewProxy(addr, cfg.ChaosSeed+int64(i))
+				if err != nil {
+					f.Close()
+					return nil, err
+				}
+				f.Proxies = append(f.Proxies, proxy)
+				addr = proxy.Addr()
+			} else {
+				f.Proxies = append(f.Proxies, nil)
+			}
 		} else {
 			f.Servers = append(f.Servers, nil)
+			f.Proxies = append(f.Proxies, nil)
 			f.M.RegisterEngine(fmt.Sprintf("r%d", i), store)
 		}
 		fmt.Fprintf(&odl, "r%d := Repository(address=%q);\n", i, addr)
@@ -107,9 +145,15 @@ interface Person (extent person) {
 	return f, nil
 }
 
-// Close shuts down any TCP servers and the mediator's pooled connections.
+// Close shuts down any TCP servers, chaos proxies, and the mediator's
+// pooled connections.
 func (f *Fleet) Close() {
 	f.M.Close()
+	for _, p := range f.Proxies {
+		if p != nil {
+			p.Close()
+		}
+	}
 	for _, s := range f.Servers {
 		if s != nil {
 			s.Close()
@@ -129,6 +173,32 @@ func (f *Fleet) AllAvailable() {
 	for i := range f.Servers {
 		f.SetAvailable(i, true)
 	}
+}
+
+// SetFault injects a chaos fault on the link to source i (Chaos fleets
+// only).
+func (f *Fleet) SetFault(i int, fault chaos.Fault) {
+	if f.Proxies[i] != nil {
+		f.Proxies[i].SetFault(fault)
+	}
+}
+
+// AllHealthy clears every injected chaos fault.
+func (f *Fleet) AllHealthy() {
+	for i := range f.Proxies {
+		f.SetFault(i, chaos.Healthy{})
+	}
+}
+
+// TotalShed sums the requests the sources refused with an overload frame.
+func (f *Fleet) TotalShed() int64 {
+	var total int64
+	for _, s := range f.Servers {
+		if s != nil {
+			total += s.Stats().Shed.Load()
+		}
+	}
+	return total
 }
 
 // TotalBytesOut sums the bytes every source shipped to the mediator.

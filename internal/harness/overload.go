@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"disco/internal/core"
+)
+
+// OverloadPoint is one measured load level of the overload sweep.
+type OverloadPoint struct {
+	// Multiplier is the offered load relative to saturation (1x means as
+	// many closed-loop clients as the gate admits concurrently).
+	Multiplier int
+	// Clients is the closed-loop client count that produced the load.
+	Clients int
+	// OfferedPerSec and GoodputPerSec are attempted and successful
+	// queries per second.
+	OfferedPerSec float64
+	GoodputPerSec float64
+	// ShedRate is the fraction of attempts the admission gate refused.
+	ShedRate float64
+	// Errors counts attempts that failed with anything other than a shed.
+	Errors int64
+	// P99 is the 99th-percentile latency of successful (admitted) queries.
+	P99 time.Duration
+}
+
+// OverloadSweepConfig configures RunOverloadSweep.
+type OverloadSweepConfig struct {
+	// Sources and RowsPerSource shape the fleet (defaults 4 and 50).
+	Sources       int
+	RowsPerSource int
+	// MaxConcurrent is the admission gate's concurrency limit (default 8);
+	// saturation is defined as MaxConcurrent closed-loop clients.
+	MaxConcurrent int
+	// SLO is the per-query deadline clients bring (default 250ms). It is
+	// also the evaluation timeout, so the deadline-aware shed has a real
+	// deadline to compare against the gate's observed p50.
+	SLO time.Duration
+	// Duration is how long each load level runs (default 500ms).
+	Duration time.Duration
+	// Multipliers are the offered-load levels relative to saturation
+	// (default 1x, 2x, 4x).
+	Multipliers []int
+}
+
+// RunOverloadSweep drives a closed-loop overload generator against an
+// admission-gated fleet at several multiples of saturation and measures
+// what graceful degradation is supposed to deliver: goodput that holds
+// (rather than collapsing) as offered load exceeds capacity, an explicit
+// shed rate absorbing the excess, and a bounded p99 for the queries that
+// were admitted.
+func RunOverloadSweep(cfg OverloadSweepConfig) ([]OverloadPoint, error) {
+	if cfg.Sources <= 0 {
+		cfg.Sources = 4
+	}
+	if cfg.RowsPerSource <= 0 {
+		cfg.RowsPerSource = 50
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 8
+	}
+	if cfg.SLO <= 0 {
+		cfg.SLO = 250 * time.Millisecond
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 500 * time.Millisecond
+	}
+	if len(cfg.Multipliers) == 0 {
+		cfg.Multipliers = []int{1, 2, 4}
+	}
+
+	f, err := NewPersonFleet(FleetConfig{
+		Sources:       cfg.Sources,
+		RowsPerSource: cfg.RowsPerSource,
+		TCP:           true,
+		Timeout:       cfg.SLO,
+		MaxConcurrent: cfg.MaxConcurrent,
+		MaxQueued:     cfg.MaxConcurrent,
+		MaxQueueWait:  cfg.SLO / 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	// Warm the prepared-statement cache and the gate's service-time window
+	// so the measured levels exercise steady-state behaviour.
+	for i := 0; i < 4; i++ {
+		if _, err := f.M.Query(paperQuery); err != nil {
+			return nil, fmt.Errorf("overload warm-up: %w", err)
+		}
+	}
+
+	points := make([]OverloadPoint, 0, len(cfg.Multipliers))
+	for _, mult := range cfg.Multipliers {
+		p := runOverloadLevel(f.M, mult, cfg.MaxConcurrent*mult, cfg.SLO, cfg.Duration)
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// runOverloadLevel runs one load level: clients closed-loop workers, each
+// issuing the paper query back-to-back under the SLO deadline.
+func runOverloadLevel(m *core.Mediator, mult, clients int, slo, duration time.Duration) OverloadPoint {
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		attempts  int64
+		shed      int64
+		errCount  int64
+	)
+	var wg sync.WaitGroup
+	start := time.Now()
+	stopAt := start.Add(duration)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stopAt) {
+				ctx, cancel := context.WithTimeout(context.Background(), slo)
+				t0 := time.Now()
+				_, err := m.QueryContext(ctx, paperQuery)
+				elapsed := time.Since(t0)
+				cancel()
+				mu.Lock()
+				attempts++
+				switch {
+				case err == nil:
+					latencies = append(latencies, elapsed)
+				case core.IsOverloadError(err):
+					shed++
+				default:
+					errCount++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	point := OverloadPoint{
+		Multiplier:    mult,
+		Clients:       clients,
+		OfferedPerSec: float64(attempts) / elapsed,
+		GoodputPerSec: float64(len(latencies)) / elapsed,
+		Errors:        errCount,
+		P99:           quantileDuration(latencies, 0.99),
+	}
+	if attempts > 0 {
+		point.ShedRate = float64(shed) / float64(attempts)
+	}
+	return point
+}
+
+// quantileDuration returns the q-quantile of ds (0 when empty).
+func quantileDuration(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// E9Overload is the overload-protection experiment: offered load at 1x,
+// 2x, and 4x saturation against an admission-gated federation. The claim
+// the table demonstrates: goodput holds near capacity while the shed rate
+// absorbs the excess, and admitted-query p99 stays bounded near the SLO —
+// load shedding converts "everyone times out" into "most succeed fast,
+// the rest learn immediately".
+func E9Overload(cfg OverloadSweepConfig) (*Table, error) {
+	points, err := RunOverloadSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "E9",
+		Title:  "overload protection: goodput and shed rate vs offered load",
+		Header: []string{"load", "clients", "offered q/s", "goodput q/s", "shed %", "errors", "p99 admitted"},
+		Notes: []string{
+			"closed-loop clients at multiples of the admission gate's concurrency limit",
+			"shed queries return OverloadError without dialing any source",
+		},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx", p.Multiplier),
+			fmt.Sprintf("%d", p.Clients),
+			fmt.Sprintf("%.0f", p.OfferedPerSec),
+			fmt.Sprintf("%.0f", p.GoodputPerSec),
+			fmt.Sprintf("%.1f", p.ShedRate*100),
+			fmt.Sprintf("%d", p.Errors),
+			p.P99.Round(time.Millisecond).String(),
+		})
+	}
+	return t, nil
+}

@@ -186,6 +186,12 @@ func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
 				// hand a stray frame to the caller.
 				return nil, fmt.Errorf("wire: %s: response id %d does not match request id %d", c.addr, resp.ID, req.ID)
 			}
+			if resp.Code == CodeOverloaded {
+				// The server shed the request at an in-flight cap: a typed
+				// error, so callers can tell "shed by a live server" from
+				// both "source down" and "query failed".
+				return nil, &OverloadedError{Addr: c.addr, Msg: resp.Err}
+			}
 			return resp, nil
 		}
 		var broken *brokenConnError
@@ -452,6 +458,9 @@ func (c *Client) doDirect(ctx context.Context, req Request) (*Response, error) {
 		// A stale or misordered frame must not be accepted as the answer.
 		return nil, fmt.Errorf("wire: %s: response id %d does not match request id %d", c.addr, resp.ID, req.ID)
 	}
+	if resp.Code == CodeOverloaded {
+		return nil, &OverloadedError{Addr: c.addr, Msg: resp.Err}
+	}
 	return &resp, nil
 }
 
@@ -593,11 +602,15 @@ func (cc *clientConn) roundTrip(ctx context.Context, req *Request, refreshIdle b
 // caller gave up, or the server misbehaved) are dropped, never delivered to
 // the wrong request.
 func (cc *clientConn) readLoop() {
-	scanner := bufio.NewScanner(cc.nc)
-	scanner.Buffer(make([]byte, 0, 64*1024), maxFrameBytes)
-	for scanner.Scan() {
+	r := bufio.NewReaderSize(cc.nc, 64*1024)
+	for {
+		line, err := readFrame(r)
+		if err != nil {
+			cc.fail(fmt.Errorf("wire: read %s: %w", cc.c.addr, err))
+			return
+		}
 		var resp Response
-		if err := json.Unmarshal(scanner.Bytes(), &resp); err != nil {
+		if err := json.Unmarshal(line, &resp); err != nil {
 			cc.fail(fmt.Errorf("wire: %s: decode response: %w", cc.c.addr, err))
 			return
 		}
@@ -608,15 +621,38 @@ func (cc *clientConn) readLoop() {
 		}
 		cc.mu.Unlock()
 		if ok {
-			r := resp
-			ch <- &r
+			rr := resp
+			ch <- &rr
 		}
 	}
-	err := scanner.Err()
-	if err == nil {
-		err = io.EOF
+}
+
+// readFrame reads one newline-terminated frame, bounded by maxFrameBytes.
+// A connection that dies mid-frame reports io.ErrUnexpectedEOF — a frame
+// without its terminator is a mid-answer drop, not a (truncated) answer,
+// and must never reach the JSON decoder looking like in-stream garbage:
+// the two classify differently (transient vs plain failure).
+func readFrame(r *bufio.Reader) ([]byte, error) {
+	var frame []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		frame = append(frame, chunk...)
+		switch err {
+		case nil:
+			return frame[:len(frame)-1], nil
+		case bufio.ErrBufferFull:
+			if len(frame) > maxFrameBytes {
+				return nil, fmt.Errorf("frame exceeds %d bytes", maxFrameBytes)
+			}
+		case io.EOF:
+			if len(frame) > 0 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, io.EOF
+		default:
+			return nil, err
+		}
 	}
-	cc.fail(fmt.Errorf("wire: read %s: %w", cc.c.addr, err))
 }
 
 // Ping checks liveness within the context deadline.
@@ -694,6 +730,23 @@ type RemoteError struct {
 
 // Error implements the error interface.
 func (e *RemoteError) Error() string { return fmt.Sprintf("wire: %s: %s", e.Addr, e.Msg) }
+
+// OverloadedError reports that the server shed the request at one of its
+// in-flight caps (CodeOverloaded). The server is alive — this is neither a
+// transport failure nor a query error — and a retry moments later may be
+// admitted; the mediator classifies it as a retryable transient.
+type OverloadedError struct {
+	Addr string
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *OverloadedError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("wire: %s: %s", e.Addr, e.Msg)
+	}
+	return fmt.Sprintf("wire: %s: server overloaded", e.Addr)
+}
 
 // wrapCtx prefers the context's error (deadline, cancel) over the raw
 // network error it caused, so callers can match context.DeadlineExceeded.

@@ -36,10 +36,19 @@ const (
 	LangOQL = "oql" // full OQL (mediator servers)
 )
 
-// maxConnInflight bounds how many requests one connection may have
-// executing concurrently on the server; beyond it the connection's read
-// loop pauses, which backpressures the client through TCP.
-const maxConnInflight = 64
+// DefaultMaxInflight bounds how many requests one connection may have
+// executing concurrently on the server; requests beyond it are shed with
+// an explicit overload frame (CodeOverloaded) rather than silently
+// queued — the caller learns immediately and can back off, retry
+// elsewhere, or surface the overload.
+const DefaultMaxInflight = 64
+
+// CodeOverloaded marks a response frame that reports a shed: the server
+// refused to execute the request because an in-flight cap was reached.
+// It is an explicit overload signal, distinct from both transport
+// failures (the server is up) and query errors (the query was never
+// looked at).
+const CodeOverloaded = "overloaded"
 
 // Request is one client frame.
 type Request struct {
@@ -54,6 +63,9 @@ type Request struct {
 type Response struct {
 	ID  int64  `json:"id"`
 	Err string `json:"err,omitempty"`
+	// Code carries a machine-readable error class; CodeOverloaded marks
+	// requests the server shed at an in-flight cap.
+	Code string `json:"code,omitempty"`
 	// Value is the tagged encoding of the query result (op "query").
 	Value json.RawMessage `json:"value,omitempty"`
 	// Residual carries a partial answer-as-query when the server is a
@@ -118,6 +130,9 @@ type Stats struct {
 	BytesOut atomic.Int64
 	// Malformed counts frames that failed to parse as requests.
 	Malformed atomic.Int64
+	// Shed counts requests refused with an overload frame because a
+	// per-connection or per-server in-flight cap was reached.
+	Shed atomic.Int64
 }
 
 // Server serves the wire protocol for a Handler. Each request on a
@@ -135,16 +150,53 @@ type Server struct {
 	unavailable atomic.Bool
 	latencyNs   atomic.Int64
 
+	// maxConnInflight caps concurrent requests per connection; srvSem,
+	// when non-nil, caps them across the whole server. Requests beyond
+	// either cap are shed with an overload frame, not queued.
+	maxConnInflight int
+	srvSem          chan struct{}
+
 	stats Stats
 }
 
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithMaxInflight caps how many requests one connection may have executing
+// concurrently; beyond it the server sheds with an overload frame instead
+// of silently stalling the connection's read loop (the pre-overload-frame
+// behaviour). Non-positive keeps DefaultMaxInflight.
+func WithMaxInflight(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxConnInflight = n
+		}
+	}
+}
+
+// WithMaxServerInflight caps concurrent request execution across every
+// connection of the server — the admission bound that keeps a popular
+// source from running an unbounded number of query goroutines. Requests
+// past the cap are shed with an overload frame. Zero (the default) means
+// no server-wide cap.
+func WithMaxServerInflight(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.srvSem = make(chan struct{}, n)
+		}
+	}
+}
+
 // NewServer starts a server on addr ("127.0.0.1:0" picks a free port).
-func NewServer(addr string, h Handler) (*Server, error) {
+func NewServer(addr string, h Handler, opts ...ServerOption) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
 	}
-	s := &Server{handler: h, lis: lis, done: make(chan struct{})}
+	s := &Server{handler: h, lis: lis, done: make(chan struct{}), maxConnInflight: DefaultMaxInflight}
+	for _, o := range opts {
+		o(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -215,7 +267,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		reqs    sync.WaitGroup // in-flight request goroutines
 	)
 	defer reqs.Wait() // flush in-flight responses before closing the conn
-	sem := make(chan struct{}, maxConnInflight)
+	sem := make(chan struct{}, s.maxConnInflight)
 
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), maxFrameBytes)
@@ -236,18 +288,45 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.writeResponse(conn, &writeMu, Response{ID: probe.ID, Err: "malformed request: " + err.Error()})
 			return
 		}
+		// Admission: both caps shed with an explicit overload frame rather
+		// than stalling the read loop. The caller finds out now — while it
+		// can still act on it — instead of discovering a silent queue when
+		// its deadline fires.
 		select {
 		case sem <- struct{}{}:
-		case <-s.done:
-			return
+		default:
+			s.shedRequest(conn, &writeMu, req.ID, fmt.Sprintf("connection at its in-flight cap (%d)", s.maxConnInflight))
+			continue
+		}
+		if s.srvSem != nil {
+			select {
+			case s.srvSem <- struct{}{}:
+			default:
+				<-sem
+				s.shedRequest(conn, &writeMu, req.ID, fmt.Sprintf("server at its in-flight cap (%d)", cap(s.srvSem)))
+				continue
+			}
 		}
 		reqs.Add(1)
 		go func(req Request) {
 			defer reqs.Done()
-			defer func() { <-sem }()
+			defer func() {
+				<-sem
+				if s.srvSem != nil {
+					<-s.srvSem
+				}
+			}()
 			s.handleRequest(conn, &writeMu, req)
 		}(req)
 	}
+}
+
+// shedRequest answers one request with the overload frame and counts it.
+// The connection stays healthy: shedding is per request, and the requests
+// pipelined behind the shed one proceed normally.
+func (s *Server) shedRequest(conn net.Conn, writeMu *sync.Mutex, id int64, reason string) {
+	s.stats.Shed.Add(1)
+	s.writeResponse(conn, writeMu, Response{ID: id, Err: "server overloaded: " + reason, Code: CodeOverloaded})
 }
 
 // handleRequest runs one request to completion: fault-injection checks,
