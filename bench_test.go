@@ -9,6 +9,7 @@ package disco
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -1228,5 +1229,129 @@ func BenchmarkOQLParse(b *testing.B) {
 		if _, err := oql.ParseQuery(src); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCancellation measures what end-to-end cancellation buys under a
+// workload that abandons most of its requests — the hedge-loser / impatient-
+// caller regime. One source with a small server-side in-flight cap and 20ms
+// of injected latency serves two populations: "abandoner" clients whose 4ms
+// deadlines lapse on every call, and "survivor" clients with generous
+// deadlines that retry overload sheds until they succeed. Goodput is the
+// survivors' completion rate.
+//
+// With cancel propagation (the default), an abandoned request frees its
+// server slot as soon as the cancel frame lands — the latency sleep aborts
+// and the handler never runs — so zombies occupy a fraction of the cap and
+// survivors get through. The WithoutCancelPropagation baseline is the
+// pre-cancellation protocol: every abandoned request holds its slot for the
+// full 20ms and executes for nobody, and the cap stays saturated with dead
+// work. wasted-exec counts handler executions whose caller had already
+// walked away (the work cancellation exists to avoid).
+func BenchmarkCancellation(b *testing.B) {
+	const (
+		serverCap   = 4
+		latency     = 20 * time.Millisecond
+		abandoners  = 6
+		abandonWait = 4 * time.Millisecond
+		survivors   = 2
+	)
+	for _, variant := range []struct {
+		name string
+		opts []wire.ClientOption
+	}{
+		{name: "propagate-cancel", opts: nil},
+		{name: "no-cancel-baseline", opts: []wire.ClientOption{wire.WithoutCancelPropagation()}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			store := source.NewRelStore()
+			if err := source.GenPeople(store, "people", 20, 1); err != nil {
+				b.Fatal(err)
+			}
+			srv, err := wire.NewServer("127.0.0.1:0", core.EngineHandler{Engine: store},
+				wire.WithMaxServerInflight(serverCap))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			srv.SetLatency(latency)
+
+			abandonC := wire.NewClient(srv.Addr(), variant.opts...)
+			defer abandonC.Close()
+			surviveC := wire.NewClient(srv.Addr(), variant.opts...)
+			defer surviveC.Close()
+
+			// Offered zombie load: each abandoner issues a doomed request,
+			// waits out its 4ms budget, pauses, repeats. The pacing keeps the
+			// zombie arrival rate fixed across variants, so the only variable
+			// is how long each zombie holds its server slot.
+			stop := make(chan struct{})
+			var awg sync.WaitGroup
+			for w := 0; w < abandoners; w++ {
+				awg.Add(1)
+				go func() {
+					defer awg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						ctx, cancel := context.WithTimeout(context.Background(), abandonWait)
+						_, _ = abandonC.Query(ctx, wire.LangSQL, "SELECT id FROM people")
+						cancel()
+						time.Sleep(8 * time.Millisecond)
+					}
+				}()
+			}
+
+			handlerRunsBefore := srv.Stats().Queries.Load()
+			var completed, sheds atomic.Int64
+			var next atomic.Int64
+			var swg sync.WaitGroup
+			b.ResetTimer()
+			start := time.Now()
+			for w := 0; w < survivors; w++ {
+				swg.Add(1)
+				go func() {
+					defer swg.Done()
+					for next.Add(1) <= int64(b.N) {
+						for {
+							ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+							_, err := surviveC.Query(ctx, wire.LangSQL, "SELECT id FROM people")
+							cancel()
+							if err == nil {
+								completed.Add(1)
+								break
+							}
+							var oe *wire.OverloadedError
+							if !errors.As(err, &oe) {
+								b.Errorf("survivor query: %v", err)
+								return
+							}
+							// Shed at the cap: back off briefly and retry, as
+							// the overload frame asks. Time spent here is the
+							// cost of the cap being full of zombies.
+							sheds.Add(1)
+							time.Sleep(time.Millisecond)
+						}
+					}
+				}()
+			}
+			swg.Wait()
+			elapsed := time.Since(start).Seconds()
+			b.StopTimer()
+			close(stop)
+			awg.Wait()
+
+			handlerRuns := srv.Stats().Queries.Load() - handlerRunsBefore
+			wasted := handlerRuns - completed.Load()
+			if wasted < 0 {
+				wasted = 0
+			}
+			b.ReportMetric(float64(completed.Load())/elapsed, "goodput-q/s")
+			b.ReportMetric(float64(sheds.Load())/float64(b.N), "sheds/op")
+			b.ReportMetric(float64(wasted)/float64(b.N), "wasted-exec/op")
+		})
 	}
 }

@@ -189,6 +189,25 @@
 // Trace.Retried and Trace.RetryBudgetExhausted expose the budget's
 // activity; Mediator.OverloadStats totals it.
 //
+// Abandoned work is reclaimed, not merely ignored. A caller's deadline
+// rides every wire request as its remaining millisecond budget, so a
+// source derives each handler's context from the budget that actually
+// remains and rejects a request whose budget is already spent without
+// executing it at all. Cancellation propagates the other way on a
+// dedicated fire-and-forget protocol frame: when a caller walks away from
+// an in-flight call — a hedge race resolved against it, the caller's
+// context ended, the pool was torn down, the connection died — the client
+// tells the server, the matching handler context is cancelled, and the
+// engine stops at its next batch boundary with the response suppressed.
+// The guarantee is deliberately asymmetric: expired-on-arrival rejection
+// is exact (the handler never runs), while cancel frames are best-effort —
+// a cancel racing the response loses benignly, and a frame that cannot be
+// written is backstopped by the server cancelling everything in flight
+// when the connection dies. Either way a cancelled call is a caller-side
+// verdict: it never trips a breaker, never records a cost observation,
+// and never becomes a partial answer. Trace.CancelsSent and the wire
+// Stats (Cancelled, ExpiredOnArrival) expose the traffic.
+//
 // This degradation ladder is verified by seeded fault injection: the
 // internal chaos package proxies the wire transport and composes latency
 // spikes, mid-answer drops, partitions, corrupt frames and slow-drip

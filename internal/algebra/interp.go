@@ -1,6 +1,7 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 
 	"disco/internal/oql"
@@ -47,6 +48,23 @@ type Interp struct {
 	Resolver oql.Resolver
 	// Submitter executes submit nodes. Nil means submits are an error.
 	Submitter func(repo string, expr Node) (types.Value, error)
+	// Ctx, when non-nil, bounds the evaluation: the interpreter checks it
+	// at every operator boundary and periodically inside join loops, so a
+	// cancelled or expired request stops burning CPU promptly. Data-source
+	// servers set it to the wire server's per-request context; a nil Ctx
+	// evaluates unbounded (the reference-interpreter default).
+	Ctx context.Context
+}
+
+// ctxErr reports the context's error, if a context is installed and done.
+func (in *Interp) ctxErr() error {
+	if in.Ctx == nil {
+		return nil
+	}
+	if err := in.Ctx.Err(); err != nil {
+		return fmt.Errorf("interp: evaluation stopped: %w", err)
+	}
+	return nil
 }
 
 func (in *Interp) resolver() oql.Resolver {
@@ -74,6 +92,12 @@ func (in *Interp) Run(n Node) (types.Value, error) {
 }
 
 func (in *Interp) runBag(n Node) (*types.Bag, error) {
+	// One check per operator: evaluation is a post-order walk, so a
+	// cancelled context stops the plan between operators — the interpreter
+	// equivalent of the physical layer's batch-boundary checks.
+	if err := in.ctxErr(); err != nil {
+		return nil, err
+	}
 	switch x := n.(type) {
 	case *Get:
 		if in.Cols == nil {
@@ -266,6 +290,15 @@ func (in *Interp) runJoin(x *Join) (*types.Bag, error) {
 	}
 	var out []types.Value
 	for i := 0; i < left.Len(); i++ {
+		// The nested loop is the interpreter's only superlinear operator, so
+		// it re-checks the context as it goes — every 64 outer rows, which
+		// bounds the overrun after a cancel without paying the check on
+		// every tuple.
+		if i%64 == 0 {
+			if err := in.ctxErr(); err != nil {
+				return nil, err
+			}
+		}
 		l := left.At(i)
 		ls, ok := l.(*types.Struct)
 		if !ok {

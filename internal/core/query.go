@@ -40,6 +40,13 @@ type Trace struct {
 	// hedge counters they are mediator-wide windows.
 	Retried              int64
 	RetryBudgetExhausted int64
+	// CancelsSent counts best-effort cancel frames the mediator's wire
+	// clients wrote during this query's execution window — abandoned
+	// source calls (hedge losers, lapsed deadlines, torn-down pools) being
+	// reported to their servers so the work stops. Like the hedge and
+	// retry counters it is a mediator-wide window, so concurrent queries
+	// see each other's cancels.
+	CancelsSent int64
 
 	// admittedAt marks when the admission gate granted the slot; the
 	// release path uses it to observe the query's service time.
@@ -69,6 +76,9 @@ func (tr *Trace) String() string {
 	}
 	if tr.Retried > 0 || tr.RetryBudgetExhausted > 0 {
 		fmt.Fprintf(&b, "transient retries=%d budget-refused=%d\n", tr.Retried, tr.RetryBudgetExhausted)
+	}
+	if tr.CancelsSent > 0 {
+		fmt.Fprintf(&b, "source cancels sent=%d\n", tr.CancelsSent)
 	}
 	return b.String()
 }
@@ -165,6 +175,7 @@ func (m *Mediator) queryTraced(ctx context.Context, src string) (types.Value, *T
 	}
 	f0, w0 := m.hedgesFired.Load(), m.hedgesWon.Load()
 	r0, x0 := m.retries.Load(), m.retryExhausted.Load()
+	c0 := m.wireCancelsSent()
 	t0 := time.Now()
 	v, err := p.Run(ctx)
 	tr.Execute = time.Since(t0)
@@ -172,6 +183,9 @@ func (m *Mediator) queryTraced(ctx context.Context, src string) (types.Value, *T
 	tr.HedgesWon = m.hedgesWon.Load() - w0
 	tr.Retried = m.retries.Load() - r0
 	tr.RetryBudgetExhausted = m.retryExhausted.Load() - x0
+	if tr.CancelsSent = m.wireCancelsSent() - c0; tr.CancelsSent < 0 {
+		tr.CancelsSent = 0 // client pool replaced mid-window (Close)
+	}
 	if err != nil {
 		return nil, tr, err
 	}

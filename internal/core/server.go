@@ -25,12 +25,15 @@ var (
 	_ wire.PartialHandler = Handler{}
 )
 
-// HandleQuery implements wire.Handler.
-func (h Handler) HandleQuery(_ context.Context, lang, text string) (json.RawMessage, error) {
+// HandleQuery implements wire.Handler. The wire server's request context
+// bounds the evaluation: a cancel frame from the querying mediator (or its
+// connection dying) stops this mediator's own source calls, so abandonment
+// propagates down a mediator-over-mediator tower.
+func (h Handler) HandleQuery(ctx context.Context, lang, text string) (json.RawMessage, error) {
 	if lang != wire.LangOQL {
 		return nil, fmt.Errorf("mediator serves %s, got %q", wire.LangOQL, lang)
 	}
-	v, err := h.M.Query(text)
+	v, err := h.M.QueryContext(ctx, text)
 	if err != nil {
 		return nil, err
 	}
@@ -42,11 +45,11 @@ func (h Handler) HandleQuery(_ context.Context, lang, text string) (json.RawMess
 // the querying mediator treats as (partial) unavailability of this source
 // — partial answers compose across mediator levels because answers are
 // queries.
-func (h Handler) HandleQueryPartial(_ context.Context, lang, text string) (json.RawMessage, string, []string, error) {
+func (h Handler) HandleQueryPartial(ctx context.Context, lang, text string) (json.RawMessage, string, []string, error) {
 	if lang != wire.LangOQL {
 		return nil, "", nil, fmt.Errorf("mediator serves %s, got %q", wire.LangOQL, lang)
 	}
-	ans, err := h.M.QueryPartial(text)
+	ans, err := h.M.QueryPartialContext(ctx, text)
 	if err != nil {
 		return nil, "", nil, err
 	}
@@ -90,8 +93,11 @@ type EngineHandler struct {
 
 var _ wire.Handler = EngineHandler{}
 
-// HandleQuery implements wire.Handler.
-func (h EngineHandler) HandleQuery(_ context.Context, lang, text string) (json.RawMessage, error) {
+// HandleQuery implements wire.Handler. Engines that honor a context
+// (source.ContextEngine) get the wire server's request context, so a
+// cancelled or expired request stops the engine's interpreter loop instead
+// of evaluating an answer nobody will read.
+func (h EngineHandler) HandleQuery(ctx context.Context, lang, text string) (json.RawMessage, error) {
 	if len(h.Langs) > 0 {
 		ok := false
 		for _, l := range h.Langs {
@@ -104,7 +110,13 @@ func (h EngineHandler) HandleQuery(_ context.Context, lang, text string) (json.R
 			return nil, fmt.Errorf("source serves %v, got %q", h.Langs, lang)
 		}
 	}
-	b, err := h.Engine.Query(text)
+	var b *types.Bag
+	var err error
+	if ce, ok := h.Engine.(source.ContextEngine); ok {
+		b, err = ce.QueryContext(ctx, text)
+	} else {
+		b, err = h.Engine.Query(text)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,163 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"disco/internal/chaos"
+	"disco/internal/core"
+	"disco/internal/source"
+	"disco/internal/wire"
+)
+
+// waitUntil polls cond until it holds or the timeout lapses.
+func waitUntil(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}
+
+// TestChaosSoakHedgeLoserReclaimed soaks the hedge-loser cancellation path
+// under seeded chaos: one replicated extent whose primary copy is both slow
+// to serve (server latency keeps the loser's work in flight server-side)
+// and behind a chaos proxy slow-dripping its responses (so even a reply
+// that does get written crawls back). Every read of that shard hedges to
+// the fast replica and wins there; the contract under test is that each
+// race's loser is actively reclaimed — a cancel frame cancels its handler
+// context and the slow server's in-flight gauge returns to zero promptly
+// after the race resolves, instead of accumulating one zombie per race.
+//
+// The reclamation bound asserted (250ms per race) is far stricter than the
+// client pool's reap cadence: reclamation must come from the cancel frame
+// aborting the work, not from connection teardown finding it later.
+//
+// Cancels are a caller-side verdict, so they must leave the control loops
+// untouched: with a breaker threshold of 1, a single cancelled loser
+// misread as "source unavailable" would quarantine the slow copy — the
+// closed breakers at the end prove no misreads happened. The soak is
+// goroutine-leak-checked, and the chaos seed makes the proxy's choices
+// reproducible.
+func TestChaosSoakHedgeLoserReclaimed(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+
+	const chaosSeed = 11
+	servers := map[string]*wire.Server{}
+	var closers []func()
+	closeAll := func() {
+		for _, c := range closers {
+			c()
+		}
+		closers = nil
+	}
+	defer closeAll()
+	var odl strings.Builder
+	for shard := 0; shard < 2; shard++ {
+		for _, suffix := range []string{"", "b"} {
+			repo := fmt.Sprintf("r%d%s", shard, suffix)
+			store := source.NewRelStore()
+			// Primary and replica of a shard share a seed: identical rows,
+			// the replica contract.
+			if err := source.GenPeople(store, "people", 20, int64(shard)); err != nil {
+				t.Fatal(err)
+			}
+			srv, err := wire.NewServer("127.0.0.1:0", core.EngineHandler{Engine: store})
+			if err != nil {
+				t.Fatal(err)
+			}
+			closers = append(closers, func() { srv.Close() })
+			servers[repo] = srv
+			addr := srv.Addr()
+			if repo == "r0" {
+				// The slow copy answers through a seeded slow-drip proxy.
+				// Chaos faults apply to the server->client direction only, so
+				// cancel frames still reach the server cleanly — as they
+				// would on a real link that is slow, not severed.
+				proxy, err := chaos.NewProxy(addr, chaosSeed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				closers = append(closers, func() { proxy.Close() })
+				proxy.SetFault(chaos.SlowDrip{Chunk: 64, PerChunk: 5 * time.Millisecond})
+				addr = proxy.Addr()
+			}
+			fmt.Fprintf(&odl, "%s := Repository(address=%q);\n", repo, addr)
+		}
+	}
+	odl.WriteString(`
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent people of Person wrapper w0 at r0|r0b, r1|r1b;
+	`)
+	// Server latency on the slow copy is what keeps the loser's request in
+	// flight server-side while the race resolves at the replica.
+	servers["r0"].SetLatency(80 * time.Millisecond)
+
+	m := core.New(
+		core.WithTimeout(800*time.Millisecond),
+		core.WithHedging(5*time.Millisecond),
+		core.WithBreaker(1, time.Minute),
+	)
+	defer m.Close()
+	if err := m.ExecODL(odl.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	const races = 25
+	var want string
+	var hedges int64
+	for i := 0; i < races; i++ {
+		v, tr, err := m.QueryTraced(`select x from x in people`)
+		if err != nil {
+			t.Fatalf("race %d: %v", i, err)
+		}
+		if want == "" {
+			want = v.String()
+		} else if got := v.String(); got != want {
+			t.Fatalf("race %d: answer drifted under chaos:\n got %s\nwant %s", i, got, want)
+		}
+		hedges += tr.HedgesFired
+		// The race resolved; the loser's server-side slot must drain within
+		// the bound, not pile up.
+		if !waitUntil(250*time.Millisecond, func() bool { return servers["r0"].Inflight() == 0 }) {
+			t.Fatalf("race %d: slow copy inflight = %d, abandoned loser not reclaimed", i, servers["r0"].Inflight())
+		}
+	}
+	if hedges == 0 {
+		t.Fatal("no hedges fired against an 80ms straggler; the soak exercised nothing")
+	}
+	// Cancel frames are sent asynchronously after the abandoning caller has
+	// already returned, so the proof of propagation is the server-side
+	// counter, not per-query trace windows.
+	if !waitUntil(time.Second, func() bool { return servers["r0"].Stats().Cancelled.Load() > 0 }) {
+		t.Error("slow copy counted no cancelled handlers")
+	}
+	for _, repo := range []string{"r0", "r0b", "r1", "r1b"} {
+		if got := m.BreakerState(repo); got != core.BreakerClosed {
+			t.Errorf("breaker %s = %v, want closed: cancelled losers poisoned it", repo, got)
+		}
+	}
+
+	m.Close()
+	closeAll()
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(leakDeadline) {
+		if runtime.NumGoroutine() <= goroutinesBefore {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked through the cancellation soak: %d before, %d after",
+		goroutinesBefore, runtime.NumGoroutine())
+}

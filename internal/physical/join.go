@@ -20,6 +20,7 @@ type NLJoin struct {
 	rt   *Runtime
 
 	ev      evaluator
+	ctx     context.Context
 	right   []*types.Struct
 	left    *types.Batch
 	li      int
@@ -29,6 +30,7 @@ type NLJoin struct {
 
 // Open implements Operator.
 func (j *NLJoin) Open(ctx context.Context) error {
+	j.ctx = ctx
 	if j.Pred != nil {
 		if err := j.ev.open(j.rt, j.Pred); err != nil {
 			return err
@@ -65,6 +67,12 @@ func (j *NLJoin) NextBatch(out *types.Batch) error {
 	for !out.Full() {
 		if j.curLeft == nil {
 			if j.li >= j.left.Len() {
+				// Per-left-batch cancellation check: the nested loop does
+				// O(|L|·|R|) work below this point, and a cancelled caller
+				// must not pay for the rest of it.
+				if err := cancelErr(j.ctx); err != nil {
+					return err
+				}
 				if err := j.L.NextBatch(j.left); err != nil {
 					if err == io.EOF && out.Len() > 0 {
 						return nil
@@ -131,6 +139,7 @@ type HashJoin struct {
 	rt         *Runtime
 
 	lkEv, rkEv, resEv evaluator
+	ctx               context.Context
 	table             map[string][]*types.Struct
 	keyer             types.Keyer
 
@@ -144,6 +153,7 @@ type HashJoin struct {
 
 // Open implements Operator.
 func (j *HashJoin) Open(ctx context.Context) error {
+	j.ctx = ctx
 	if err := j.lkEv.open(j.rt, j.LKey); err != nil {
 		return err
 	}
@@ -211,6 +221,10 @@ func (j *HashJoin) NextBatch(out *types.Batch) error {
 			continue
 		}
 		if j.li >= j.left.Len() {
+			// Per-left-batch cancellation check, mirroring NLJoin's.
+			if err := cancelErr(j.ctx); err != nil {
+				return err
+			}
 			if err := j.L.NextBatch(j.left); err != nil {
 				if err == io.EOF && out.Len() > 0 {
 					return nil

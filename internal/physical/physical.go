@@ -802,11 +802,13 @@ type MkAgg struct {
 	Input Operator
 	done  bool
 	in    *types.Batch
+	ctx   context.Context
 }
 
 // Open implements Operator.
 func (a *MkAgg) Open(ctx context.Context) error {
 	a.done = false
+	a.ctx = ctx
 	if a.in == nil {
 		a.in = types.NewBatch(0)
 	}
@@ -822,6 +824,11 @@ func (a *MkAgg) NextBatch(out *types.Batch) error {
 	a.done = true
 	var elems []types.Value
 	for {
+		// The aggregate's inner drain bypasses Drain's loop, so it carries
+		// its own batch-boundary cancellation check.
+		if err := cancelErr(a.ctx); err != nil {
+			return err
+		}
 		err := a.Input.NextBatch(a.in)
 		if err == io.EOF {
 			break
@@ -842,11 +849,29 @@ func (a *MkAgg) NextBatch(out *types.Batch) error {
 // Close implements Operator.
 func (a *MkAgg) Close() error { return a.Input.Close() }
 
+// cancelErr reports the context's error when the context was cancelled —
+// and stays nil when (only) a deadline fired. The distinction is
+// load-bearing for partial evaluation: the mediator's own evaluation
+// deadline (§4) must reach the in-flight exec calls and come back as
+// per-source UnavailableErrors, the trigger for partial answers, so
+// operator loops abort eagerly only on true cancellation — a caller that
+// walked away, a hedge loser, a plan being torn down — where nobody wants
+// any answer at all.
+func cancelErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil // operator constructed and driven directly, no context
+	}
+	if err := ctx.Err(); err == context.Canceled {
+		return err
+	}
+	return nil
+}
+
 // Drain runs an operator to exhaustion and returns its elements. The
 // operator is closed even when Open fails partway: a composite whose n-th
 // input failed to open may already have launched goroutines under inputs
 // 1..n-1 (a scatter-gather's branches), and only the Close cascade stops
-// them.
+// them. A cancelled context stops the loop at the next batch boundary.
 func Drain(ctx context.Context, op Operator) ([]types.Value, error) {
 	if err := op.Open(ctx); err != nil {
 		op.Close()
@@ -856,6 +881,9 @@ func Drain(ctx context.Context, op Operator) ([]types.Value, error) {
 	b := types.NewBatch(0)
 	var out []types.Value
 	for {
+		if err := cancelErr(ctx); err != nil {
+			return nil, err
+		}
 		err := op.NextBatch(b)
 		if errors.Is(err, io.EOF) {
 			return out, nil

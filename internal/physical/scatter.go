@@ -50,6 +50,14 @@ type ScatterGather struct {
 	free     chan *types.Batch
 	stop     chan struct{}
 	stopOnce sync.Once
+	// branchCancel cancels the context the branches (and their source
+	// calls) run under. Close fires it so an early-aborting consumer
+	// actively reclaims the capacity its still-running sibling branches
+	// hold at the sources — their in-flight submits observe the cancel and
+	// the wire clients send cancel frames — instead of leaving them to run
+	// out their deadlines. On a normally drained fan-out every branch has
+	// already finished and the cancel is a no-op.
+	branchCancel context.CancelFunc
 
 	doneMu     sync.Mutex
 	branchDone []bool
@@ -84,6 +92,8 @@ func (s *ScatterGather) Open(ctx context.Context) error {
 	}
 	s.branchDone = make([]bool, len(s.Branches))
 	s.finished = 0
+	bctx, bcancel := context.WithCancel(ctx)
+	s.branchCancel = bcancel
 	sem := make(chan struct{}, bound)
 	var wg sync.WaitGroup
 	for i, br := range s.Branches {
@@ -96,7 +106,7 @@ func (s *ScatterGather) Open(ctx context.Context) error {
 				acquired = true
 			case <-s.stop:
 				return
-			case <-ctx.Done():
+			case <-bctx.Done():
 				// Deadline passed while queued: run anyway — the branch's
 				// submit observes the dead context and reports its shard
 				// unavailable, which partial evaluation needs on record.
@@ -104,7 +114,7 @@ func (s *ScatterGather) Open(ctx context.Context) error {
 			if acquired {
 				defer func() { <-sem }()
 			}
-			s.drainBranch(ctx, br)
+			s.drainBranch(bctx, br)
 			s.branchComplete(i)
 		}(i, br)
 	}
@@ -143,6 +153,10 @@ func (s *ScatterGather) drainBranch(ctx context.Context, br Operator) {
 		return
 	}
 	for {
+		if err := cancelErr(ctx); err != nil {
+			s.setErr(err)
+			return
+		}
 		b := s.takeBatch()
 		err := br.NextBatch(b)
 		if err == io.EOF {
@@ -290,6 +304,12 @@ func (s *ScatterGather) Close() error {
 	if s.stop == nil {
 		return nil
 	}
-	s.stopOnce.Do(func() { close(s.stop) })
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		// Cancel the branch contexts too: stop only unblocks branches
+		// parked on the merge channel, while the cancel reaches the ones
+		// still inside a source call, whose servers then stop the work.
+		s.branchCancel()
+	})
 	return nil
 }

@@ -14,6 +14,7 @@
 package source
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -31,6 +32,16 @@ type Engine interface {
 	Query(q string) (*types.Bag, error)
 	// Collections returns the collection (table) names, sorted.
 	Collections() []string
+}
+
+// ContextEngine is implemented by engines whose query execution honors a
+// context: a cancelled or expired context stops evaluation at the next
+// operator (batch) boundary instead of computing an answer nobody will
+// read. Serving layers prefer it over Engine.Query when present, passing
+// the per-request context the wire server derived from the caller's
+// propagated deadline and cancel frames.
+type ContextEngine interface {
+	QueryContext(ctx context.Context, q string) (*types.Bag, error)
 }
 
 // Versioned is implemented by engines that timestamp their collections:
@@ -57,7 +68,10 @@ type RelStore struct {
 	tables map[string]*Table
 }
 
-var _ Engine = (*RelStore)(nil)
+var (
+	_ Engine        = (*RelStore)(nil)
+	_ ContextEngine = (*RelStore)(nil)
+)
 
 // NewRelStore returns an empty store.
 func NewRelStore() *RelStore {
@@ -197,11 +211,18 @@ func (s *RelStore) Collection(name string) (*types.Bag, error) {
 // interpreter, which guarantees the engine's comparison and join semantics
 // are identical to the mediator's.
 func (s *RelStore) Query(q string) (*types.Bag, error) {
+	return s.QueryContext(context.Background(), q)
+}
+
+// QueryContext implements ContextEngine: Query, with the interpreter
+// checking the context at operator and join-loop boundaries so a cancelled
+// request stops burning this store's CPU promptly.
+func (s *RelStore) QueryContext(ctx context.Context, q string) (*types.Bag, error) {
 	plan, err := ParseSQL(q)
 	if err != nil {
 		return nil, err
 	}
-	in := &algebra.Interp{Cols: s}
+	in := &algebra.Interp{Cols: s, Ctx: ctx}
 	v, err := in.Run(plan)
 	if err != nil {
 		return nil, fmt.Errorf("relstore: %w", err)

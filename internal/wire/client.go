@@ -57,6 +57,12 @@ type Client struct {
 	idleTimeout    time.Duration
 	healthInterval time.Duration
 	dialPerRequest bool
+	// noCancelPropagation disables deadline stamping and cancel frames
+	// (WithoutCancelPropagation) — the pre-cancellation protocol, kept as a
+	// benchmark baseline.
+	noCancelPropagation bool
+
+	stats ClientStats
 
 	mu        sync.Mutex
 	cond      *sync.Cond // signaled when conns/dialing change
@@ -64,6 +70,22 @@ type Client struct {
 	dialing   int // dials in flight, reserved against poolSize
 	reapTimer *time.Timer
 	closed    bool
+}
+
+// ClientStats counts request-abandonment traffic on the client side of the
+// cancellation protocol. The counters are best-effort (a teardown racing a
+// caller's own abandonment may count the same request once from each
+// side); they answer "is abandoned work being reported to the server", not
+// "exactly how much".
+type ClientStats struct {
+	// Abandoned counts in-flight requests the client walked away from: the
+	// caller's context ended before the response arrived, or the pool tore
+	// the connection down (Close, idle reap, transport failure) with
+	// requests still pending on it.
+	Abandoned atomic.Int64
+	// CancelsSent counts best-effort cancel frames successfully written
+	// for abandoned requests, telling the server to stop working on them.
+	CancelsSent atomic.Int64
 }
 
 // ClientOption configures a Client.
@@ -91,6 +113,15 @@ func WithIdleTimeout(d time.Duration) ClientOption {
 // instead of using the pool.
 func WithDialPerRequest() ClientOption {
 	return func(c *Client) { c.dialPerRequest = true }
+}
+
+// WithoutCancelPropagation stops the client from stamping the caller's
+// remaining deadline onto requests and from sending cancel frames when
+// callers abandon in-flight calls — the pre-cancellation protocol, where
+// an abandoned request runs to completion on the server. It exists as the
+// baseline the cancellation benchmark measures against.
+func WithoutCancelPropagation() ClientOption {
+	return func(c *Client) { c.noCancelPropagation = true }
 }
 
 // WithHealthCheckInterval sets how long a connection may idle before the
@@ -124,6 +155,31 @@ func NewClient(addr string, opts ...ClientOption) *Client {
 
 // Addr returns the target address.
 func (c *Client) Addr() string { return c.addr }
+
+// Stats exposes the client's abandonment counters.
+func (c *Client) Stats() *ClientStats { return &c.stats }
+
+// stampDeadline copies the context's remaining budget onto the request as
+// a relative millisecond count, rounded up so any positive remaining
+// budget encodes as at least 1 (a sub-millisecond budget must not read as
+// "no deadline" at the server). A spent budget stamps -1: the server
+// rejects it as expired-on-arrival, which is also what the caller's own
+// ctx.Err() check is about to conclude.
+func (c *Client) stampDeadline(ctx context.Context, req *Request) {
+	if c.noCancelPropagation {
+		return
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return
+	}
+	rem := time.Until(dl)
+	if rem <= 0 {
+		req.DeadlineMillis = -1
+		return
+	}
+	req.DeadlineMillis = (int64(rem) + int64(time.Millisecond) - 1) / int64(time.Millisecond)
+}
 
 // Close tears down the pool. In-flight requests fail; subsequent calls
 // return ErrClientClosed.
@@ -173,6 +229,9 @@ func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("wire: %s: %w", c.addr, err)
 		}
+		// Re-stamped per attempt: a redial after a broken connection ships
+		// the budget that actually remains, not the one at first send.
+		c.stampDeadline(ctx, &req)
 		cc, err := c.conn(ctx)
 		if err != nil {
 			return nil, err
@@ -191,6 +250,13 @@ func (c *Client) Do(ctx context.Context, req Request) (*Response, error) {
 				// error, so callers can tell "shed by a live server" from
 				// both "source down" and "query failed".
 				return nil, &OverloadedError{Addr: c.addr, Msg: resp.Err}
+			}
+			if resp.Code == CodeExpired {
+				// The server judged the propagated budget spent before the
+				// handler ran. Surface it as the deadline error the caller's
+				// own context is about to (or already did) report, not as a
+				// remote query failure.
+				return nil, fmt.Errorf("wire: %s: %w (rejected by server: %s)", c.addr, context.DeadlineExceeded, resp.Err)
 			}
 			return resp, nil
 		}
@@ -411,6 +477,7 @@ func (c *Client) remove(cc *clientConn) {
 // doDirect is the dial-per-request path: one connection per call, closed
 // on return.
 func (c *Client) doDirect(ctx context.Context, req Request) (*Response, error) {
+	c.stampDeadline(ctx, &req)
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
@@ -461,6 +528,9 @@ func (c *Client) doDirect(ctx context.Context, req Request) (*Response, error) {
 	if resp.Code == CodeOverloaded {
 		return nil, &OverloadedError{Addr: c.addr, Msg: resp.Err}
 	}
+	if resp.Code == CodeExpired {
+		return nil, fmt.Errorf("wire: %s: %w (rejected by server: %s)", c.addr, context.DeadlineExceeded, resp.Err)
+	}
 	return &resp, nil
 }
 
@@ -504,7 +574,14 @@ func (cc *clientConn) touch()              { cc.lastUse.Store(time.Now().UnixNan
 func (cc *clientConn) lastUsed() time.Time { return time.Unix(0, cc.lastUse.Load()) }
 
 // shutdown marks the connection dead and unblocks every waiter. It does not
-// touch the pool's connection list (fail does).
+// touch the pool's connection list (fail does). Requests still pending on
+// the connection are abandoned: before the socket closes, each gets a
+// best-effort cancel frame so a deliberate teardown (Client.Close, idle
+// reap) tells the server to stop the work instead of silently orphaning it.
+// (Idle reaping only touches connections with zero in-flight requests, so
+// its teardowns write nothing; the frames matter for Close and for
+// transport failures, where the write usually fails and the server's
+// connection-death path cancels the same handlers.)
 func (cc *clientConn) shutdown(err error) {
 	cc.mu.Lock()
 	if cc.closed {
@@ -513,7 +590,17 @@ func (cc *clientConn) shutdown(err error) {
 	}
 	cc.closed = true
 	cc.err = err
+	orphans := make([]int64, 0, len(cc.pending))
+	for id := range cc.pending {
+		orphans = append(orphans, id)
+	}
 	cc.mu.Unlock()
+	if len(orphans) > 0 {
+		cc.c.stats.Abandoned.Add(int64(len(orphans)))
+		if !cc.c.noCancelPropagation {
+			cc.sendCancels(orphans)
+		}
+	}
 	cc.nc.Close()
 	close(cc.done)
 }
@@ -589,10 +676,49 @@ func (cc *clientConn) roundTrip(ctx context.Context, req *Request, refreshIdle b
 	case <-ctx.Done():
 		// The request stays written; the pending entry is dropped by the
 		// deferred cleanup, so a late response frame is discarded as stale
-		// rather than matched to a future request.
+		// rather than matched to a future request. A best-effort cancel
+		// frame tells the server to stop working on it — this is the hedge
+		// loser, timed-out caller, and abandoned-call path.
+		cc.abandon(req.ID)
 		return nil, fmt.Errorf("wire: %s: %w", cc.c.addr, ctx.Err())
 	case <-cc.done:
 		return nil, &brokenConnError{err: cc.err}
+	}
+}
+
+// abandon notes that the caller walked away from an in-flight request and,
+// unless cancel propagation is off, tells the server — asynchronously, so
+// the abandoning caller's error return is not held up behind the
+// connection's write lock.
+func (cc *clientConn) abandon(id int64) {
+	cc.c.stats.Abandoned.Add(1)
+	if cc.c.noCancelPropagation {
+		return
+	}
+	go cc.sendCancels([]int64{id})
+}
+
+// sendCancels writes fire-and-forget cancel frames for abandoned request
+// IDs, all in one write so a teardown with many pending requests costs one
+// syscall. Best-effort: a short write deadline bounds the attempt, and a
+// failure (the connection is usually dying at this point) is not reported
+// — the server's own connection-death path cancels the same handlers.
+func (cc *clientConn) sendCancels(ids []int64) {
+	buf := make([]byte, 0, 32*len(ids))
+	for _, id := range ids {
+		b, err := json.Marshal(Request{ID: id, Op: OpCancel})
+		if err != nil {
+			return
+		}
+		buf = append(buf, b...)
+		buf = append(buf, '\n')
+	}
+	cc.writeMu.Lock()
+	_ = cc.nc.SetWriteDeadline(time.Now().Add(time.Second))
+	_, werr := cc.nc.Write(buf)
+	cc.writeMu.Unlock()
+	if werr == nil {
+		cc.c.stats.CancelsSent.Add(int64(len(ids)))
 	}
 }
 

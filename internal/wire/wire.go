@@ -16,6 +16,18 @@
 // and can be given artificial latency to model wide-area links. Both apply
 // per request, not per connection: requests already in flight when the
 // server flips keep the semantics they started with.
+//
+// Cancellation and deadline propagation: a Request may carry the caller's
+// remaining time budget (DeadlineMillis), and the protocol has a
+// fire-and-forget "cancel" op whose ID names an earlier in-flight request.
+// The server derives each handler's context from the propagated budget,
+// rejects requests whose budget is already spent without invoking the
+// handler (Stats.ExpiredOnArrival), and keeps a per-connection registry of
+// in-flight request contexts so a cancel frame — or the connection dying —
+// cancels the matching handlers (Stats.Cancelled). Clients send a cancel
+// frame whenever a caller abandons an in-flight call (context done, pool
+// teardown), so abandoned work is reclaimed at the source instead of
+// running to completion for nobody.
 package wire
 
 import (
@@ -50,13 +62,31 @@ const DefaultMaxInflight = 64
 // looked at).
 const CodeOverloaded = "overloaded"
 
+// CodeExpired marks a response frame for a request whose propagated
+// deadline had already passed when the server would have executed it: the
+// handler was never invoked (deadline-aware server-side admission).
+const CodeExpired = "expired"
+
+// OpCancel is the fire-and-forget cancellation op: its ID names an earlier
+// request on the same connection whose handler context should be cancelled.
+// A cancel frame never receives a response — by the time it lands the
+// caller has already walked away.
+const OpCancel = "cancel"
+
 // Request is one client frame.
 type Request struct {
 	ID int64  `json:"id"`
-	Op string `json:"op"` // "query", "capability", "collections", "ping"
+	Op string `json:"op"` // "query", "capability", "collections", "ping", "cancel"
 	// Lang and Text carry the query for Op == "query".
 	Lang string `json:"lang,omitempty"`
 	Text string `json:"text,omitempty"`
+	// DeadlineMillis is the caller's remaining time budget in milliseconds
+	// at send time (rounded up, so any positive remaining budget encodes as
+	// at least 1). Zero means no deadline; negative means the budget was
+	// already spent, and the server rejects the request without invoking
+	// the handler. A relative budget survives clock skew between the two
+	// ends, which an absolute deadline timestamp would not.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 }
 
 // Response is one server frame. Payload fields are op-specific.
@@ -133,6 +163,15 @@ type Stats struct {
 	// Shed counts requests refused with an overload frame because a
 	// per-connection or per-server in-flight cap was reached.
 	Shed atomic.Int64
+	// Cancelled counts in-flight handler contexts the server cancelled
+	// before their request completed — by an explicit cancel frame, or by
+	// the connection dying with requests still executing.
+	Cancelled atomic.Int64
+	// ExpiredOnArrival counts requests rejected without invoking the
+	// handler because their propagated deadline had already passed (an
+	// expired budget on the frame, or a budget that lapsed before the
+	// handler could run).
+	ExpiredOnArrival atomic.Int64
 }
 
 // Server serves the wire protocol for a Handler. Each request on a
@@ -147,6 +186,11 @@ type Server struct {
 	wg   sync.WaitGroup
 	done chan struct{}
 
+	// baseCtx parents every handler context; baseCancel fires on Close so
+	// in-flight handlers stop instead of outliving the server.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	unavailable atomic.Bool
 	latencyNs   atomic.Int64
 
@@ -156,7 +200,8 @@ type Server struct {
 	maxConnInflight int
 	srvSem          chan struct{}
 
-	stats Stats
+	inflight atomic.Int64
+	stats    Stats
 }
 
 // ServerOption configures a Server.
@@ -194,6 +239,7 @@ func NewServer(addr string, h Handler, opts ...ServerOption) (*Server, error) {
 		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
 	}
 	s := &Server{handler: h, lis: lis, done: make(chan struct{}), maxConnInflight: DefaultMaxInflight}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for _, o := range opts {
 		o(s)
 	}
@@ -207,6 +253,12 @@ func (s *Server) Addr() string { return s.lis.Addr().String() }
 
 // Stats exposes the traffic counters.
 func (s *Server) Stats() *Stats { return &s.stats }
+
+// Inflight reports how many requests are executing right now, across every
+// connection. It is the gauge the cancellation tests watch: after a caller
+// abandons its requests, the count must drain back down instead of
+// accumulating abandoned work.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
 
 // SetAvailable controls fault injection: an unavailable server accepts
 // connections and reads requests but never replies. The check applies per
@@ -229,6 +281,10 @@ func (s *Server) Close() error {
 	default:
 	}
 	close(s.done)
+	// Cancel in-flight handler contexts so a handler mid-query observes the
+	// shutdown at its next cancellation check instead of running on against
+	// a closed server.
+	s.baseCancel()
 	err := s.lis.Close()
 	s.wg.Wait()
 	return err
@@ -244,6 +300,72 @@ func (s *Server) acceptLoop() {
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
+}
+
+// inflightRegistry tracks the cancel funcs of one connection's in-flight
+// request contexts, keyed by request ID. A cancel frame (or the connection
+// dying) cancels the matching entries; a handler completing removes its
+// own entry, and the removal doubles as the "was I cancelled?" check that
+// suppresses the response frame for a cancelled request.
+type inflightRegistry struct {
+	mu sync.Mutex
+	m  map[int64]context.CancelFunc
+}
+
+func newInflightRegistry() *inflightRegistry {
+	return &inflightRegistry{m: make(map[int64]context.CancelFunc)}
+}
+
+// add registers a request's cancel func. A duplicate ID (a misbehaving
+// client reusing IDs) cancels the stale entry rather than leaking it.
+func (r *inflightRegistry) add(id int64, cancel context.CancelFunc) {
+	r.mu.Lock()
+	prev := r.m[id]
+	r.m[id] = cancel
+	r.mu.Unlock()
+	if prev != nil {
+		prev()
+	}
+}
+
+// cancel fires and removes the entry for id, reporting whether one was
+// still in flight.
+func (r *inflightRegistry) cancel(id int64) bool {
+	r.mu.Lock()
+	c, ok := r.m[id]
+	delete(r.m, id)
+	r.mu.Unlock()
+	if ok {
+		c()
+	}
+	return ok
+}
+
+// complete removes the entry for id without firing it, reporting whether
+// it was still present — false means the request was cancelled and its
+// response must not be written.
+func (r *inflightRegistry) complete(id int64) bool {
+	r.mu.Lock()
+	_, ok := r.m[id]
+	delete(r.m, id)
+	r.mu.Unlock()
+	return ok
+}
+
+// cancelAll fires every remaining entry — the connection died with
+// requests in flight — and returns how many it cancelled.
+func (r *inflightRegistry) cancelAll() int {
+	r.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(r.m))
+	for id, c := range r.m {
+		cancels = append(cancels, c)
+		delete(r.m, id)
+	}
+	r.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	return len(cancels)
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -266,7 +388,12 @@ func (s *Server) serveConn(conn net.Conn) {
 		writeMu sync.Mutex     // serializes response frames
 		reqs    sync.WaitGroup // in-flight request goroutines
 	)
+	reg := newInflightRegistry()
 	defer reqs.Wait() // flush in-flight responses before closing the conn
+	// Runs before reqs.Wait (LIFO): a dead connection cancels its in-flight
+	// handlers — nobody is left to read their answers — so the Wait above
+	// drains promptly instead of letting abandoned work run to completion.
+	defer func() { s.stats.Cancelled.Add(int64(reg.cancelAll())) }()
 	sem := make(chan struct{}, s.maxConnInflight)
 
 	scanner := bufio.NewScanner(conn)
@@ -288,6 +415,23 @@ func (s *Server) serveConn(conn net.Conn) {
 			s.writeResponse(conn, &writeMu, Response{ID: probe.ID, Err: "malformed request: " + err.Error()})
 			return
 		}
+		if req.Op == OpCancel {
+			// Fire-and-forget: cancel the matching in-flight handler, no
+			// response. A miss (the request already completed, or never
+			// existed) is the expected race, not an error.
+			if reg.cancel(req.ID) {
+				s.stats.Cancelled.Add(1)
+			}
+			continue
+		}
+		if req.DeadlineMillis < 0 {
+			// Deadline-aware admission: the caller's budget was spent before
+			// the frame was even written. Rejecting here costs nothing; the
+			// handler is never invoked and no in-flight slot is consumed.
+			s.stats.ExpiredOnArrival.Add(1)
+			s.writeResponse(conn, &writeMu, Response{ID: req.ID, Err: "deadline expired before execution", Code: CodeExpired})
+			continue
+		}
 		// Admission: both caps shed with an explicit overload frame rather
 		// than stalling the read loop. The caller finds out now — while it
 		// can still act on it — instead of discovering a silent queue when
@@ -307,17 +451,31 @@ func (s *Server) serveConn(conn net.Conn) {
 				continue
 			}
 		}
+		// The handler context carries the propagated budget and registers in
+		// the connection's in-flight registry so a later cancel frame (or the
+		// connection dying) reaches it.
+		var rctx context.Context
+		var cancel context.CancelFunc
+		if req.DeadlineMillis > 0 {
+			rctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(req.DeadlineMillis)*time.Millisecond)
+		} else {
+			rctx, cancel = context.WithCancel(s.baseCtx)
+		}
+		reg.add(req.ID, cancel)
+		s.inflight.Add(1)
 		reqs.Add(1)
-		go func(req Request) {
+		go func(req Request, rctx context.Context, cancel context.CancelFunc) {
 			defer reqs.Done()
+			defer s.inflight.Add(-1)
+			defer cancel()
 			defer func() {
 				<-sem
 				if s.srvSem != nil {
 					<-s.srvSem
 				}
 			}()
-			s.handleRequest(conn, &writeMu, req)
-		}(req)
+			s.handleRequest(conn, &writeMu, req, rctx, reg)
+		}(req, rctx, cancel)
 	}
 }
 
@@ -331,21 +489,44 @@ func (s *Server) shedRequest(conn net.Conn, writeMu *sync.Mutex, id int64, reaso
 
 // handleRequest runs one request to completion: fault-injection checks,
 // dispatch, reply. It runs on its own goroutine so a slow request does not
-// stall the requests behind it on the same connection.
-func (s *Server) handleRequest(conn net.Conn, writeMu *sync.Mutex, req Request) {
+// stall the requests behind it on the same connection. The request's
+// registry entry doubles as the cancellation check: a request cancelled
+// mid-flight has lost its entry, and its response is suppressed — the
+// caller already walked away, and writing a frame nobody matches only
+// burns bandwidth.
+func (s *Server) handleRequest(conn net.Conn, writeMu *sync.Mutex, req Request, rctx context.Context, reg *inflightRegistry) {
 	if s.unavailable.Load() {
 		// The source "does not respond": swallow the request. The
 		// client's deadline, not an error, ends the exchange.
+		reg.complete(req.ID)
 		return
 	}
 	if d := time.Duration(s.latencyNs.Load()); d > 0 {
 		select {
 		case <-time.After(d):
+		case <-rctx.Done():
+			// Cancelled or expired while "on the wire": fall through to the
+			// pre-execution check below instead of sleeping out the link.
 		case <-s.done:
+			reg.complete(req.ID)
 			return
 		}
 	}
-	s.writeResponse(conn, writeMu, s.dispatch(&req))
+	if rctx.Err() != nil {
+		// The budget lapsed between arrival and execution (scheduling under
+		// load, injected link latency): reject without invoking the handler.
+		// When the entry is gone a cancel frame got here first — already
+		// counted, nothing to write.
+		if reg.complete(req.ID) {
+			s.stats.ExpiredOnArrival.Add(1)
+			s.writeResponse(conn, writeMu, Response{ID: req.ID, Err: "deadline expired before execution", Code: CodeExpired})
+		}
+		return
+	}
+	resp := s.dispatch(rctx, &req)
+	if reg.complete(req.ID) {
+		s.writeResponse(conn, writeMu, resp)
+	}
 }
 
 // writeResponse marshals and writes one response frame under the
@@ -366,7 +547,7 @@ func (s *Server) writeResponse(conn net.Conn, writeMu *sync.Mutex, resp Response
 	}
 }
 
-func (s *Server) dispatch(req *Request) Response {
+func (s *Server) dispatch(ctx context.Context, req *Request) Response {
 	resp := Response{ID: req.ID}
 	switch req.Op {
 	case "ping":
@@ -374,7 +555,7 @@ func (s *Server) dispatch(req *Request) Response {
 	case "query":
 		s.stats.Queries.Add(1)
 		if ph, ok := s.handler.(PartialHandler); ok {
-			value, residual, unavailable, err := ph.HandleQueryPartial(context.Background(), req.Lang, req.Text)
+			value, residual, unavailable, err := ph.HandleQueryPartial(ctx, req.Lang, req.Text)
 			switch {
 			case err != nil:
 				resp.Err = err.Error()
@@ -386,7 +567,7 @@ func (s *Server) dispatch(req *Request) Response {
 			}
 			break
 		}
-		value, err := s.handler.HandleQuery(context.Background(), req.Lang, req.Text)
+		value, err := s.handler.HandleQuery(ctx, req.Lang, req.Text)
 		if err != nil {
 			resp.Err = err.Error()
 		} else {

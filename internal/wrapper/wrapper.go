@@ -46,8 +46,13 @@ type EngineQuerier struct {
 	Engine source.Engine
 }
 
-// Query implements Querier.
-func (q EngineQuerier) Query(_ context.Context, text string) (*types.Bag, error) {
+// Query implements Querier, passing the context through to engines that
+// honor one (source.ContextEngine), so in-process sources observe caller
+// cancellation just like remote ones.
+func (q EngineQuerier) Query(ctx context.Context, text string) (*types.Bag, error) {
+	if ce, ok := q.Engine.(source.ContextEngine); ok {
+		return ce.QueryContext(ctx, text)
+	}
 	return q.Engine.Query(text)
 }
 
