@@ -44,16 +44,19 @@ test-race:
 # path), the hedged-request tail cut with one slow copy (p99-ms, hedged vs
 # unhedged), read throughput scaling across 1/2/4 load-balanced copies,
 # overload protection (goodput-q/s, shed-%, admitted p99-ms at 1x/2x/4x
-# saturation), and end-to-end cancellation (survivor goodput with cancel
-# propagation vs the no-cancel baseline, plus wasted handler executions).
-# The benchstat-compatible output lands in BENCH_PR8.json so runs can be
+# saturation), end-to-end cancellation (survivor goodput with cancel
+# propagation vs the no-cancel baseline, plus wasted handler executions),
+# and live shard migration (read p50/p99 before, during dual-read, and
+# after cutover, plus reader errors across the cutover itself).
+# The benchstat-compatible output lands in BENCH_PR9.json so runs can be
 # diffed across PRs (benchstat old.json new.json).
 bench:
-	$(GO) test -run xxx -bench 'CompiledEval|Volcano|RemoteQuery|PreparedStatements|ScatterGather|PartitionPruning|Failover|HedgedTail|ReplicaThroughput|Overload|Cancellation' -benchmem . | tee BENCH_PR8.json
+	$(GO) test -run xxx -bench 'CompiledEval|Volcano|RemoteQuery|PreparedStatements|ScatterGather|PartitionPruning|Failover|HedgedTail|ReplicaThroughput|Overload|Cancellation|LiveMigration' -benchmem . | tee BENCH_PR9.json
 
 # The seeded fault-injection suite: chaos-proxy unit tests, the admission
 # gate and retry-budget tests, the chaos soaks (overload -> partition ->
-# recovery, and hedge-loser cancellation reclaim), and the end-to-end
+# recovery, hedge-loser cancellation reclaim, and the migration soak that
+# faults a live shard move at every phase boundary), and the end-to-end
 # cancellation tests — all under the race detector. Deterministic: the
 # chaos timelines are seeded, so a failure replays.
 chaos:

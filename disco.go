@@ -136,6 +136,38 @@
 // canonicalize to their shard). See examples/sharding for the full
 // scenario.
 //
+// Placement is not fixed at declaration time: a shard can move to another
+// repository, split at a range bound, or merge into its neighbor while
+// queries keep running. A migration is a catalog-driven state machine —
+// BeginShardMove (or BeginShardSplit / BeginShardMerge) records the intent,
+// and each AdvanceMigration call performs one phase transition:
+//
+//	declared -> copying    -> dual-read -> cutover -> done
+//	                      \_ aborted (AbortMigration, from any live phase)
+//
+// The copying step bulk-copies the shard's rows into the destination;
+// during dual-read the planner rewrites the migrating shard's read into a
+// distinct union over both placements, so a destination that dies
+// mid-migration degrades reads to the old copy rather than a partial
+// answer; cutover swaps the placement in one catalog version bump, which
+// the prepared-plan cache observes like any other catalog change — new
+// plans read the new placement, in-flight plans drain against the old one
+// before its rows are released. Every transition is itself one version
+// bump, every resting phase survives DumpODL round trips (the record is
+// emitted as a migrate clause), and a failed transition leaves the prior
+// resting state intact, so crashing at any boundary never duplicates or
+// drops a tuple: retry AdvanceMigration, or AbortMigration to roll the
+// placement back to a consistent version. MoveShard, SplitShard and
+// MergeShards wrap the begin-advance loop end to end.
+//
+// Where to rebalance comes from the traffic history: every shard read
+// bumps a per-shard counter (ShardTraffic; Trace.ShardReads has the
+// per-query slice), HotShards flags shards drawing a disproportionate
+// share, and Explain surfaces the skew as "hot shards: people@r1 (42%)"
+// lines with a concrete rebalance recommendation the migration calls
+// above can act on. See examples/sharding for a live move under
+// concurrent readers.
+//
 // Underneath every remote scenario sits a persistent wire layer. The
 // mediator keeps one bounded pool of long-lived TCP connections per
 // repository address, shared by every wrapper instance and freshness check

@@ -67,6 +67,13 @@ type ExtentRef struct {
 	// shard's position in the declared repository list and the total number
 	// of partitions. Meaningful only when PartSpec is set.
 	PartIndex, PartCount int
+	// Standby marks the new-placement branch of a dual-read during live
+	// migration: the copy at the destination repository before cutover makes
+	// it authoritative. Like Replicas it does not render into the plan
+	// string. The runtime treats an unavailable standby as an empty answer
+	// rather than a residual — the old placement still holds every row, so
+	// a dead new copy degrades the migration, not the query.
+	Standby bool
 }
 
 // QualifiedName is the OQL-level name of the extent this ref reads: the

@@ -100,6 +100,13 @@ func normalizeOnce(n Node) Node {
 			}
 			return &Union{Inputs: out, Par: u.Par}
 		}
+		if d, ok := x.Input.(*Distinct); ok {
+			// Binding wraps each element in a one-field struct — injective —
+			// so dedup-then-wrap equals wrap-then-dedup. Pulling the distinct
+			// outward lets the bind keep distributing into a dual-read union
+			// so each placement branch stays a pushable submit.
+			return &Distinct{Input: &Bind{Var: x.Var, Input: d.Input}}
+		}
 		return x
 	case *Select:
 		return normalizeSelect(x)
@@ -136,6 +143,11 @@ func normalizeOnce(n Node) Node {
 	case *Distinct:
 		if isEmptyConst(x.Input) {
 			return emptyConst()
+		}
+		if d, ok := x.Input.(*Distinct); ok {
+			// Dedup is idempotent; stacked distincts (a distinct query over a
+			// dual-read union) collapse to one.
+			return d
 		}
 		return x
 	case *Flatten:
@@ -181,6 +193,13 @@ func normalizeSelect(x *Select) Node {
 			out[i] = &Select{Pred: x.Pred, Input: c}
 		}
 		return &Union{Inputs: out, Par: in.Par}
+	case *Distinct:
+		// Filtering commutes with dedup (a predicate never distinguishes
+		// duplicates), so the select sinks under a dual-read distinct and
+		// keeps pushing toward the per-placement submits. Map and Project do
+		// NOT sink: projecting before a dedup could collapse rows the dedup
+		// must keep apart.
+		return &Distinct{Input: &Select{Pred: x.Pred, Input: in.Input}}
 	case *Select:
 		// Canonical stacking order (by predicate text) so equal plans
 		// normalize identically.

@@ -172,17 +172,22 @@ type Catalog struct {
 	extOrder []string
 	views    map[string]oql.Expr
 	vOrder   []string
-	version  int64
+	// migrations holds the in-flight live-migration record per extent (at
+	// most one each); migOrder preserves begin order for listing and dump.
+	migrations map[string]*Migration
+	migOrder   []string
+	version    int64
 }
 
 // New returns an empty catalog.
 func New() *Catalog {
 	return &Catalog{
-		schema:   types.NewSchema(),
-		repos:    make(map[string]*Repository),
-		wrappers: make(map[string]*Wrapper),
-		extents:  make(map[string]*MetaExtent),
-		views:    make(map[string]oql.Expr),
+		schema:     types.NewSchema(),
+		repos:      make(map[string]*Repository),
+		wrappers:   make(map[string]*Wrapper),
+		extents:    make(map[string]*MetaExtent),
+		views:      make(map[string]oql.Expr),
+		migrations: make(map[string]*Migration),
 	}
 }
 
@@ -359,6 +364,10 @@ func (c *Catalog) DropExtent(name string) error {
 	defer c.mu.Unlock()
 	if _, ok := c.extents[name]; !ok {
 		return &ErrNotFound{Kind: "extent", Name: name}
+	}
+	if _, ok := c.migrations[name]; ok {
+		// An in-flight migration dies with its extent.
+		c.removeMigrationLocked(name)
 	}
 	delete(c.extents, name)
 	for i, n := range c.extOrder {

@@ -3,7 +3,10 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+
+	"disco/internal/types"
 )
 
 // DumpODL renders the catalog's current state as ODL text that, applied to
@@ -124,6 +127,24 @@ func (c *Catalog) DumpODL() string {
 		b.WriteString(";\n")
 	}
 
+	// In-flight migrations, in begin order: a dump taken mid-migration
+	// restores both the placement (the extent declarations above already
+	// reflect the recorded phase) and the migration's resting state.
+	if len(c.migOrder) > 0 {
+		b.WriteString("\n")
+	}
+	for _, n := range c.migOrder {
+		mig := c.migrations[n]
+		switch mig.Kind {
+		case MigrateMove:
+			fmt.Fprintf(&b, "migrate %s move %s to %s phase %q;\n", mig.Extent, mig.From, mig.To, mig.Phase)
+		case MigrateSplit:
+			fmt.Fprintf(&b, "migrate %s split %s at %s to %s phase %q;\n", mig.Extent, mig.From, dumpBound(mig.SplitAt), mig.To, mig.Phase)
+		case MigrateMerge:
+			fmt.Fprintf(&b, "migrate %s merge %s into %s phase %q;\n", mig.Extent, mig.From, mig.To, mig.Phase)
+		}
+	}
+
 	// Views, in definition order.
 	if len(c.vOrder) > 0 {
 		b.WriteString("\n")
@@ -132,6 +153,16 @@ func (c *Catalog) DumpODL() string {
 		fmt.Fprintf(&b, "define %s as\n    %s;\n", n, c.views[n])
 	}
 	return b.String()
+}
+
+// dumpBound renders a split bound the way range bounds render in a partition
+// clause, so the migrate statement re-parses to the same value: floats in
+// plain decimal notation, strings quoted, integers bare.
+func dumpBound(v types.Value) string {
+	if f, ok := v.(types.Float); ok {
+		return strconv.FormatFloat(float64(f), 'f', -1, 64)
+	}
+	return v.String()
 }
 
 // placementList renders an extent's partition list (for the ODL "at"

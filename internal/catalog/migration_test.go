@@ -1,0 +1,352 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"disco/internal/algebra"
+	"disco/internal/types"
+)
+
+// migrationCatalog is partitionCatalog plus spare repositories and one
+// range-partitioned extent (..10, 10..20, 20..) over r0, r1, r2.
+func migrationCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c := New()
+	if err := c.DefineInterface(&types.Interface{
+		Name: "Person", ExtentName: "person",
+		Attrs: []types.Attribute{
+			{Name: "id", Type: types.ScalarAttr(types.TInt)},
+			{Name: "name", Type: types.ScalarAttr(types.TString)},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddWrapper(&Wrapper{Name: "w0", Kind: "sql"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"r0", "r1", "r2", "r3", "r4"} {
+		if err := c.AddRepository(&Repository{Name: r, Address: "mem:" + r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AddExtent(&MetaExtent{
+		Name: "people", Iface: "Person", Wrapper: "w0",
+		Repositories: []string{"r0", "r1", "r2"},
+		Scheme: &algebra.PartitionSpec{Kind: algebra.PartRange, Attr: "id", Ranges: []algebra.RangeBound{
+			{Hi: types.Int(10)},
+			{Lo: types.Int(10), Hi: types.Int(20)},
+			{Lo: types.Int(20)},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMigrationPhaseTransitions(t *testing.T) {
+	c := migrationCatalog(t)
+	if err := c.BeginMigration(&Migration{Extent: "people", Kind: MigrateMove, From: "r1", To: "r3"}); err != nil {
+		t.Fatal(err)
+	}
+	mig, ok := c.MigrationOf("people")
+	if !ok || mig.Phase != PhaseDeclared {
+		t.Fatalf("after begin: %+v", mig)
+	}
+	// Illegal jumps are refused from declared.
+	if err := c.SetMigrationPhase("people", PhaseDualRead); err == nil {
+		t.Error("declared -> dual-read should be illegal")
+	}
+	if err := c.CutoverMigration("people"); err == nil {
+		t.Error("declared -> cutover should be illegal")
+	}
+	if err := c.FinishMigration("people"); err == nil {
+		t.Error("finish before cutover should be illegal")
+	}
+	if err := c.ClearMigration("people"); err == nil {
+		t.Error("clear of a non-aborted migration should be illegal")
+	}
+	if err := c.SetMigrationPhase("people", PhaseCopying); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMigrationPhase("people", PhaseCopying); err == nil {
+		t.Error("copying -> copying should be illegal")
+	}
+	if err := c.SetMigrationPhase("people", PhaseDualRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AbortMigration("people"); err != nil {
+		t.Fatal(err)
+	}
+	// Abort is idempotent; placement never changed.
+	if err := c.AbortMigration("people"); err != nil {
+		t.Errorf("re-abort should be a no-op: %v", err)
+	}
+	me, _ := c.Extent("people")
+	if got := strings.Join(me.Partitions(), ","); got != "r0,r1,r2" {
+		t.Errorf("aborted migration changed placement: %s", got)
+	}
+	if err := c.ClearMigration("people"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.MigrationOf("people"); ok {
+		t.Error("cleared record still present")
+	}
+	if err := c.ClearMigration("people"); err != nil {
+		t.Errorf("clearing a missing record should be a no-op: %v", err)
+	}
+}
+
+func TestMigrationAbortAfterCutoverRefused(t *testing.T) {
+	c := migrationCatalog(t)
+	if err := c.BeginMigration(&Migration{Extent: "people", Kind: MigrateMove, From: "r1", To: "r3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMigrationPhase("people", PhaseCopying); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMigrationPhase("people", PhaseDualRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CutoverMigration("people"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AbortMigration("people"); err == nil {
+		t.Error("abort past cutover should be refused")
+	}
+	if err := c.FinishMigration("people"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigrationCutoverCloneIsolation: cutover swaps in a deep clone; a reader
+// holding the pre-cutover MetaExtent keeps seeing the old placement.
+func TestMigrationCutoverCloneIsolation(t *testing.T) {
+	c := migrationCatalog(t)
+	before, _ := c.Extent("people")
+	if err := c.BeginMigration(&Migration{Extent: "people", Kind: MigrateSplit, From: "r1", To: "r3", SplitAt: types.Int(15)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMigrationPhase("people", PhaseCopying); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMigrationPhase("people", PhaseDualRead); err != nil {
+		t.Fatal(err)
+	}
+	version := c.Version()
+	if err := c.CutoverMigration("people"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() <= version {
+		t.Error("cutover did not bump the catalog version")
+	}
+	if got := strings.Join(before.Partitions(), ","); got != "r0,r1,r2" {
+		t.Errorf("pre-cutover snapshot mutated: %s", got)
+	}
+	if got := before.Scheme.String(); got != "range(id) (..10, 10..20, 20..)" {
+		t.Errorf("pre-cutover scheme mutated: %s", got)
+	}
+	after, _ := c.Extent("people")
+	if got := strings.Join(after.Partitions(), ","); got != "r0,r1,r3,r2" {
+		t.Errorf("post-split placement = %s", got)
+	}
+	if got := after.Scheme.String(); got != "range(id) (..10, 10..15, 15..20, 20..)" {
+		t.Errorf("post-split scheme = %s", got)
+	}
+}
+
+// TestMigrationMergeCutoverPlacement covers both merge directions and the
+// merge-to-one-partition degeneration.
+func TestMigrationMergeCutoverPlacement(t *testing.T) {
+	runMerge := func(t *testing.T, c *Catalog, from, to string) {
+		t.Helper()
+		if err := c.BeginMigration(&Migration{Extent: "people", Kind: MigrateMerge, From: from, To: to}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetMigrationPhase("people", PhaseCopying); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CutoverMigration("people"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.FinishMigration("people"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Absorb upward: r1 (10..20) into r2 (20..).
+	c := migrationCatalog(t)
+	runMerge(t, c, "r1", "r2")
+	me, _ := c.Extent("people")
+	if got := strings.Join(me.Partitions(), ","); got != "r0,r2" {
+		t.Errorf("upward merge placement = %s", got)
+	}
+	if got := me.Scheme.String(); got != "range(id) (..10, 10..)" {
+		t.Errorf("upward merge scheme = %s", got)
+	}
+
+	// Absorb downward: r1 (10..20) into r0 (..10).
+	c = migrationCatalog(t)
+	runMerge(t, c, "r1", "r0")
+	me, _ = c.Extent("people")
+	if got := strings.Join(me.Partitions(), ","); got != "r0,r2" {
+		t.Errorf("downward merge placement = %s", got)
+	}
+	if got := me.Scheme.String(); got != "range(id) (..20, 20..)" {
+		t.Errorf("downward merge scheme = %s", got)
+	}
+
+	// Merging down to one partition drops the scheme entirely.
+	runMerge(t, c, "r2", "r0")
+	me, _ = c.Extent("people")
+	if me.Partitioned() || me.Scheme != nil || me.Repository != "r0" {
+		t.Errorf("merge-to-one extent = repositories %v scheme %v repository %s, want plain r0",
+			me.Repositories, me.Scheme, me.Repository)
+	}
+}
+
+// TestMigrationDualReadSkippedForMerge: merge has no dual-read phase — the
+// absorbed shard stays authoritative until placement merges.
+func TestMigrationDualReadSkippedForMerge(t *testing.T) {
+	c := migrationCatalog(t)
+	if err := c.BeginMigration(&Migration{Extent: "people", Kind: MigrateMerge, From: "r1", To: "r2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMigrationPhase("people", PhaseCopying); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMigrationPhase("people", PhaseDualRead); err == nil {
+		t.Error("merge must not enter dual-read")
+	}
+}
+
+func TestMigrationBeginRetriesAborted(t *testing.T) {
+	c := migrationCatalog(t)
+	mv := &Migration{Extent: "people", Kind: MigrateMove, From: "r1", To: "r3"}
+	if err := c.BeginMigration(mv); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AbortMigration("people"); err != nil {
+		t.Fatal(err)
+	}
+	// A different change may not replace the aborted record (its cleanup is
+	// still owed), but the same change may retry.
+	if err := c.BeginMigration(&Migration{Extent: "people", Kind: MigrateMove, From: "r1", To: "r4"}); err == nil {
+		t.Error("different target should not replace an aborted record")
+	}
+	if err := c.BeginMigration(mv); err != nil {
+		t.Errorf("same target should retry an aborted migration: %v", err)
+	}
+	mig, ok := c.MigrationOf("people")
+	if !ok || mig.Phase != PhaseDeclared {
+		t.Errorf("retried record = %+v, want phase declared", mig)
+	}
+}
+
+func TestMigrationReplicatedShardCutover(t *testing.T) {
+	c := migrationCatalog(t)
+	if err := c.AddExtent(&MetaExtent{
+		Name: "crew", Iface: "Person", Wrapper: "w0",
+		Repositories: []string{"r0", "r1"},
+		Replicas:     [][]string{{"r0", "r2"}, {"r1"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BeginMigration(&Migration{Extent: "crew", Kind: MigrateMove, From: "r1", To: "r3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMigrationPhase("crew", PhaseCopying); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMigrationPhase("crew", PhaseDualRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CutoverMigration("crew"); err != nil {
+		t.Fatal(err)
+	}
+	me, _ := c.Extent("crew")
+	if got := strings.Join(me.Partitions(), ","); got != "r0,r3" {
+		t.Errorf("placement = %s", got)
+	}
+	// The moved shard's replica group collapses to its new single home; the
+	// untouched shard keeps its group.
+	if g := me.ReplicaGroup("r3"); strings.Join(g, ",") != "r3" {
+		t.Errorf("moved shard group = %v", g)
+	}
+	if g := me.ReplicaGroup("r0"); strings.Join(g, ",") != "r0,r2" {
+		t.Errorf("untouched shard group = %v", g)
+	}
+}
+
+func TestMigrationDropExtentRemovesRecord(t *testing.T) {
+	c := migrationCatalog(t)
+	if err := c.BeginMigration(&Migration{Extent: "people", Kind: MigrateMove, From: "r1", To: "r3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropExtent("people"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.MigrationOf("people"); ok {
+		t.Error("dropping the extent should remove its migration record")
+	}
+	if got := c.Migrations(); len(got) != 0 {
+		t.Errorf("Migrations() = %v, want empty", got)
+	}
+}
+
+func TestMigrationRestore(t *testing.T) {
+	c := migrationCatalog(t)
+	if err := c.RestoreMigration(&Migration{
+		Extent: "people", Kind: MigrateSplit, From: "r1", To: "r3",
+		SplitAt: types.Int(15), Phase: PhaseDualRead,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mig, ok := c.MigrationOf("people")
+	if !ok || mig.Phase != PhaseDualRead || !mig.SplitAt.Equal(types.Int(15)) {
+		t.Errorf("restored = %+v", mig)
+	}
+	if err := c.RestoreMigration(&Migration{Extent: "people", Kind: "shuffle", From: "r1", To: "r3", Phase: PhaseCopying}); err == nil {
+		t.Error("unknown kind should be refused")
+	}
+	if err := c.RestoreMigration(&Migration{Extent: "people", Kind: MigrateMove, From: "r1", To: "r3", Phase: "warming"}); err == nil {
+		t.Error("unknown phase should be refused")
+	}
+	if err := c.RestoreMigration(&Migration{Extent: "people", Kind: MigrateSplit, From: "r1", To: "r3", Phase: PhaseCopying}); err == nil {
+		t.Error("split without a split point should be refused")
+	}
+	if err := c.RestoreMigration(&Migration{Extent: "ghosts", Kind: MigrateMove, From: "r1", To: "r3", Phase: PhaseCopying}); err == nil {
+		t.Error("unknown extent should be refused")
+	}
+}
+
+func TestMigrationTargetVisibility(t *testing.T) {
+	c := migrationCatalog(t)
+	if err := c.BeginMigration(&Migration{Extent: "people", Kind: MigrateMove, From: "r1", To: "r3"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.IsMigrationTarget("people", "r3") {
+		t.Error("declared migration should not yet open the target for reads")
+	}
+	if err := c.SetMigrationPhase("people", PhaseCopying); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsMigrationTarget("people", "r3") {
+		t.Error("copying migration target should accept loads and reads")
+	}
+	if c.IsMigrationTarget("people", "r4") {
+		t.Error("non-target repo reported as migration target")
+	}
+	if err := c.SetMigrationPhase("people", PhaseDualRead); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsMigrationTarget("people", "r3") {
+		t.Error("dual-read migration target should accept reads")
+	}
+	if err := c.CutoverMigration("people"); err != nil {
+		t.Fatal(err)
+	}
+	if c.IsMigrationTarget("people", "r3") {
+		t.Error("past cutover the target is ordinary placement, not a migration target")
+	}
+}

@@ -87,6 +87,22 @@ type Mediator struct {
 	retries        atomic.Int64
 	retryExhausted atomic.Int64
 
+	// epoch/readers implement the migration cutover drain: every query
+	// executes inside the reader epoch current when it started, and
+	// destructive migration cleanup (clearing a released shard) first flips
+	// the epoch and waits for the old one to empty. A plan resolved against
+	// the pre-cutover catalog therefore finishes before the shard it still
+	// reads is wiped — the cleanup can never turn an in-flight dual-read
+	// answer into silent row loss.
+	epoch   atomic.Int64
+	readers [2]atomic.Int64
+
+	// shardMu guards shardReads: logical reads per shard (extent@repo),
+	// counted once per submit regardless of failover/hedge attempts — the
+	// traffic denominator hotspot detection divides by.
+	shardMu    sync.Mutex
+	shardReads map[string]int64
+
 	// probeMu/probeClosed/probeWG track the background half-open probes,
 	// so Close can refuse new ones and wait out those in flight instead
 	// of letting them dial through a released client pool.
@@ -199,6 +215,7 @@ func New(opts ...Option) *Mediator {
 		engines:    make(map[string]source.Engine),
 		wrappers:   make(map[string]wrapper.Wrapper),
 		clients:    make(map[string]*wire.Client),
+		shardReads: make(map[string]int64),
 	}
 	for _, o := range opts {
 		o(m)
@@ -296,6 +313,11 @@ func (m *Mediator) Apply(stmt odl.Statement) error {
 		return m.catalog.DefineView(s.Name, s.Query)
 	case *odl.DropExtentDecl:
 		return m.catalog.DropExtent(s.Name)
+	case *odl.MigrateDecl:
+		return m.catalog.RestoreMigration(&catalog.Migration{
+			Extent: s.Extent, Kind: s.Kind, From: s.From, To: s.To,
+			SplitAt: s.SplitAt, Phase: s.Phase,
+		})
 	default:
 		return fmt.Errorf("mediator: unknown statement %T", stmt)
 	}

@@ -1,0 +1,730 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"disco/internal/algebra"
+	"disco/internal/catalog"
+	"disco/internal/source"
+	"disco/internal/types"
+)
+
+// migMediator builds the live-migration fixture: one extent range-partitioned
+// (..10, 10..20, 20..) across r0, r1, r2 plus two spare repositories r3, r4
+// declared but holding nothing — the destinations migrations move shards to.
+func migMediator(t *testing.T) (*Mediator, []*countingEngine, []*source.RelStore) {
+	t.Helper()
+	m := New(WithTimeout(2 * time.Second))
+	engines := make([]*countingEngine, 5)
+	stores := make([]*source.RelStore, 5)
+	var odl strings.Builder
+	for i := 0; i < 5; i++ {
+		stores[i] = source.NewRelStore()
+		engines[i] = &countingEngine{inner: stores[i]}
+		repo := "r" + string(rune('0'+i))
+		m.RegisterEngine(repo, engines[i])
+		odl.WriteString(repo + ` := Repository(address="mem:` + repo + `");` + "\n")
+	}
+	for i := 0; i < 3; i++ {
+		if err := stores[i].CreateTable("people", "id", "name", "salary"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spec := &algebra.PartitionSpec{Kind: algebra.PartRange, Attr: "id", Ranges: []algebra.RangeBound{
+		{Hi: types.Int(10)},
+		{Lo: types.Int(10), Hi: types.Int(20)},
+		{Lo: types.Int(20)},
+	}}
+	for _, id := range []int{5, 9, 10, 15, 20, 25} {
+		shard := spec.Locate(types.Int(int64(id)), 3)
+		if err := stores[shard].Insert("people",
+			types.Int(int64(id)), types.Str("p"+itoa(id)), types.Int(int64(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	odl.WriteString(`
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent people of Person wrapper w0 at r0, r1, r2
+		    partition by range(id) (..10, 10..20, 20..);
+	`)
+	if err := m.ExecODL(odl.String()); err != nil {
+		t.Fatal(err)
+	}
+	return m, engines, stores
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// migBaseline is every query the lifecycle tests replay at each resting
+// state, with the answer the unmigrated layout gives.
+var migBaseline = []struct {
+	query string
+	want  *types.Bag
+}{
+	{`select x.name from x in people`, types.NewBag(
+		types.Str("p5"), types.Str("p9"), types.Str("p10"),
+		types.Str("p15"), types.Str("p20"), types.Str("p25"))},
+	{`select x.name from x in people where x.id >= 10 and x.id < 20`,
+		types.NewBag(types.Str("p10"), types.Str("p15"))},
+	{`count(people)`, types.NewBag()}, // filled in checkBaseline: count answers Int
+}
+
+// checkBaseline asserts the mediator still answers exactly the pre-migration
+// result set — complete and duplicate-free — at the current resting state.
+func checkBaseline(t *testing.T, m *Mediator, label string) {
+	t.Helper()
+	for _, c := range migBaseline[:2] {
+		got, err := m.Query(c.query)
+		if err != nil {
+			t.Fatalf("%s: %s: %v", label, c.query, err)
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("%s: %s = %s, want %s", label, c.query, got, c.want)
+		}
+	}
+	if got := m.MustQuery(`count(people)`); !got.Equal(types.Int(6)) {
+		t.Errorf("%s: count(people) = %s, want 6", label, got)
+	}
+}
+
+// advance steps the migration once and checks the phase it rests in.
+func advance(t *testing.T, m *Mediator, extent, wantPhase string, wantDone bool) {
+	t.Helper()
+	phase, done, err := m.AdvanceMigration(context.Background(), extent)
+	if err != nil {
+		t.Fatalf("advance to %s: %v", wantPhase, err)
+	}
+	if phase != wantPhase || done != wantDone {
+		t.Fatalf("advance = (%s, %v), want (%s, %v)", phase, done, wantPhase, wantDone)
+	}
+}
+
+// TestMigrationMoveLifecycle walks a shard move through every resting state:
+// each transition bumps the catalog version, every state answers the
+// baseline, and the finished layout serves the moved shard from its new home
+// with the old collection emptied.
+func TestMigrationMoveLifecycle(t *testing.T) {
+	m, engines, stores := migMediator(t)
+	checkBaseline(t, m, "before")
+
+	if err := m.BeginShardMove("people", "r1", "r3"); err != nil {
+		t.Fatal(err)
+	}
+	version := m.Catalog().Version()
+	for _, step := range []struct {
+		phase string
+		done  bool
+	}{
+		{catalog.PhaseCopying, false},
+		{catalog.PhaseDualRead, false},
+		{catalog.PhaseCutover, false},
+		{catalog.PhaseCutover, true},
+	} {
+		advance(t, m, "people", step.phase, step.done)
+		if v := m.Catalog().Version(); v <= version {
+			t.Errorf("phase %s did not bump the catalog version (%d -> %d)", step.phase, version, v)
+		} else {
+			version = v
+		}
+		checkBaseline(t, m, step.phase)
+	}
+
+	me, err := m.Catalog().Extent("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(me.Partitions(), ","); got != "r0,r3,r2" {
+		t.Errorf("post-move placement = %s, want r0,r3,r2", got)
+	}
+	if _, ok := m.Catalog().MigrationOf("people"); ok {
+		t.Error("migration record should be gone after finish")
+	}
+	// The moved shard answers from its new home only.
+	resetCounts(engines)
+	got := m.MustQuery(`select x.name from x in people where x.id = 15`)
+	if !got.Equal(types.NewBag(types.Str("p15"))) {
+		t.Errorf("moved shard answers %s", got)
+	}
+	if engines[3].count() != 1 || totalCalls(engines) != 1 {
+		t.Errorf("post-move point query calls = %d total, r3 = %d; want 1/1", totalCalls(engines), engines[3].count())
+	}
+	// Cleanup emptied the old collection.
+	rows, err := stores[1].Rows("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 0 {
+		t.Errorf("old shard still holds %d rows after cleanup", rows.Len())
+	}
+}
+
+// TestMigrationDualReadPlanShape: during dual-read the migrating shard's
+// branch is a distinct-fused parallel union over old and new placement, and
+// Explain surfaces the in-flight migration.
+func TestMigrationDualReadPlanShape(t *testing.T) {
+	m, _, _ := migMediator(t)
+	if err := m.BeginShardMove("people", "r1", "r3"); err != nil {
+		t.Fatal(err)
+	}
+	advance(t, m, "people", catalog.PhaseCopying, false)
+	advance(t, m, "people", catalog.PhaseDualRead, false)
+
+	plan, _, err := m.Prepare(`select x.name from x in people`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.String()
+	if !strings.Contains(s, "distinct(") {
+		t.Errorf("dual-read plan lacks the distinct fuse: %s", s)
+	}
+	subs := algebra.Submits(plan)
+	if len(subs) != 4 {
+		t.Fatalf("dual-read plan has %d submits, want 4 (r0, r1, r3, r2): %s", len(subs), s)
+	}
+	repos := map[string]int{}
+	standbys := 0
+	for _, sub := range subs {
+		repos[sub.Repo]++
+		for _, ref := range exprRefs(sub.Input) {
+			if ref.Standby {
+				standbys++
+				if sub.Repo != "r3" {
+					t.Errorf("standby branch submits to %s, want r3", sub.Repo)
+				}
+			}
+		}
+	}
+	for _, r := range []string{"r0", "r1", "r2", "r3"} {
+		if repos[r] != 1 {
+			t.Errorf("dual-read plan submits to %s %d times, want 1: %s", r, repos[r], s)
+		}
+	}
+	if standbys != 1 {
+		t.Errorf("dual-read plan has %d standby refs, want 1: %s", standbys, s)
+	}
+}
+
+// TestMigrationDualReadPrunes is the pruning satellite: a query whose
+// predicate excludes the migrating shard dials neither its old nor its new
+// placement, and a query it keeps dials both.
+func TestMigrationDualReadPrunes(t *testing.T) {
+	m, engines, _ := migMediator(t)
+	if err := m.BeginShardMove("people", "r1", "r3"); err != nil {
+		t.Fatal(err)
+	}
+	advance(t, m, "people", catalog.PhaseCopying, false)
+	advance(t, m, "people", catalog.PhaseDualRead, false)
+
+	// id = 5 lives on r0: the pruned migrating shard dials neither placement.
+	resetCounts(engines)
+	got, err := m.Query(`select x.name from x in people where x.id = 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(types.NewBag(types.Str("p5"))) {
+		t.Errorf("pruned query = %s", got)
+	}
+	if totalCalls(engines) != 1 || engines[0].count() != 1 {
+		t.Errorf("pruned dual-read query made %d calls (r1=%d, r3=%d), want 1 to r0 only",
+			totalCalls(engines), engines[1].count(), engines[3].count())
+	}
+
+	// id = 15 lives on the migrating shard: both placements answer.
+	resetCounts(engines)
+	got, err = m.Query(`select x.name from x in people where x.id = 15`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(types.NewBag(types.Str("p15"))) {
+		t.Errorf("dual-read point query = %s", got)
+	}
+	if engines[1].count() != 1 || engines[3].count() != 1 || totalCalls(engines) != 2 {
+		t.Errorf("dual-read point query calls: r1=%d r3=%d total=%d, want exactly both placements",
+			engines[1].count(), engines[3].count(), totalCalls(engines))
+	}
+}
+
+// downEngine fails every query with a timeout-classified error while down.
+type downEngine struct {
+	inner source.Engine
+	mu    sync.Mutex
+	down  bool
+}
+
+func (e *downEngine) setDown(down bool) {
+	e.mu.Lock()
+	e.down = down
+	e.mu.Unlock()
+}
+
+func (e *downEngine) Query(q string) (*types.Bag, error) {
+	e.mu.Lock()
+	down := e.down
+	e.mu.Unlock()
+	if down {
+		return nil, context.DeadlineExceeded
+	}
+	return e.inner.Query(q)
+}
+
+func (e *downEngine) Collections() []string { return e.inner.Collections() }
+
+func (e *downEngine) LoadRows(collection string, cols []string, clear source.ClearSpec, rows []types.Value) error {
+	e.mu.Lock()
+	down := e.down
+	e.mu.Unlock()
+	if down {
+		return context.DeadlineExceeded
+	}
+	return e.inner.(source.Loader).LoadRows(collection, cols, clear, rows)
+}
+
+// LoadRows lets migration loads pass through the counting wrapper. Loads are
+// not source calls from a query, so they are deliberately not counted.
+func (e *countingEngine) LoadRows(collection string, cols []string, clear source.ClearSpec, rows []types.Value) error {
+	return e.inner.(source.Loader).LoadRows(collection, cols, clear, rows)
+}
+
+// TestMigrationDeadStandbyDegrades: a dead *new* copy mid-migration degrades
+// to the old placement — complete answers, no error, no residual.
+func TestMigrationDeadStandbyDegrades(t *testing.T) {
+	m, _, stores := migMediator(t)
+	dead := &downEngine{inner: stores[3]}
+	m.RegisterEngine("r3", dead)
+	if err := m.BeginShardMove("people", "r1", "r3"); err != nil {
+		t.Fatal(err)
+	}
+	advance(t, m, "people", catalog.PhaseCopying, false)
+	advance(t, m, "people", catalog.PhaseDualRead, false)
+
+	dead.setDown(true)
+	checkBaseline(t, m, "dead standby")
+	ans, err := m.QueryPartial(`select x.name from x in people`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ans.Complete {
+		t.Errorf("dead standby must not leave a residual: %s", ans.Residual)
+	}
+
+	// The standby recovering lets the migration proceed to completion.
+	dead.setDown(false)
+	advance(t, m, "people", catalog.PhaseCutover, false)
+	advance(t, m, "people", catalog.PhaseCutover, true)
+	checkBaseline(t, m, "after recovery cutover")
+}
+
+// TestMigrationSplitLifecycle splits the 10..20 shard at 15: every resting
+// state answers the baseline (the cutover guard hides the not-yet-cleaned
+// rows), the final scheme has four ranges with the split point as an
+// inclusive lower bound, and boundary rows route to the new shard only.
+func TestMigrationSplitLifecycle(t *testing.T) {
+	m, engines, stores := migMediator(t)
+	if err := m.BeginShardSplit("people", "r1", types.Int(15), "r3"); err != nil {
+		t.Fatal(err)
+	}
+	advance(t, m, "people", catalog.PhaseCopying, false)
+	checkBaseline(t, m, "copying")
+	advance(t, m, "people", catalog.PhaseDualRead, false)
+	checkBaseline(t, m, "dual-read")
+	advance(t, m, "people", catalog.PhaseCutover, false)
+	// Placement swapped but r1 still holds the moved-away p15: the cutover
+	// guard keeps it out of answers until cleanup.
+	rows, err := stores[1].Rows("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("pre-cleanup old shard holds %d rows, want 2 (p10, p15)", rows.Len())
+	}
+	checkBaseline(t, m, "cutover before cleanup")
+	advance(t, m, "people", catalog.PhaseCutover, true)
+	checkBaseline(t, m, "done")
+
+	me, err := m.Catalog().Extent("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(me.Partitions(), ","); got != "r0,r1,r3,r2" {
+		t.Errorf("post-split placement = %s, want r0,r1,r3,r2", got)
+	}
+	if got := me.Scheme.String(); got != "range(id) (..10, 10..15, 15..20, 20..)" {
+		t.Errorf("post-split scheme = %s", got)
+	}
+	// The split bound is inclusive-below: id = 15 lives on the new shard.
+	resetCounts(engines)
+	if got := m.MustQuery(`select x.name from x in people where x.id = 15`); !got.Equal(types.NewBag(types.Str("p15"))) {
+		t.Errorf("split boundary row = %s", got)
+	}
+	if engines[3].count() != 1 || totalCalls(engines) != 1 {
+		t.Errorf("boundary row query calls r3=%d total=%d, want 1/1", engines[3].count(), totalCalls(engines))
+	}
+	// Cleanup removed the moved-away half from the old shard.
+	rows, err = stores[1].Rows("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 {
+		t.Errorf("post-cleanup old shard holds %d rows, want 1 (p10)", rows.Len())
+	}
+}
+
+// TestMigrationMergeLifecycle folds the 10..20 shard into its 20.. neighbor.
+// A repeated copy while still in phase copying models a crash-resume: the
+// survivor's range guard keeps the copied rows out of answers until the
+// instant the ranges merge.
+func TestMigrationMergeLifecycle(t *testing.T) {
+	m, _, stores := migMediator(t)
+	if err := m.BeginShardMerge("people", "r1", "r2"); err != nil {
+		t.Fatal(err)
+	}
+	advance(t, m, "people", catalog.PhaseCopying, false)
+	checkBaseline(t, m, "copying")
+
+	// Crash-resume: the copy ran, the driver died before cutover, and the
+	// copy re-runs on resume. The survivor now physically holds the absorbed
+	// rows; answers must not double-count them.
+	mig, ok := m.Catalog().MigrationOf("people")
+	if !ok {
+		t.Fatal("migration record missing")
+	}
+	for i := 0; i < 2; i++ {
+		if err := m.copyShard(context.Background(), &mig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := stores[2].Rows("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 4 {
+		t.Fatalf("survivor holds %d rows after copy, want 4 (own 2 + absorbed 2)", rows.Len())
+	}
+	checkBaseline(t, m, "copied, pre-cutover")
+
+	advance(t, m, "people", catalog.PhaseCutover, false)
+	checkBaseline(t, m, "cutover")
+	advance(t, m, "people", catalog.PhaseCutover, true)
+	checkBaseline(t, m, "done")
+
+	me, err := m.Catalog().Extent("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(me.Partitions(), ","); got != "r0,r2" {
+		t.Errorf("post-merge placement = %s, want r0,r2", got)
+	}
+	if got := me.Scheme.String(); got != "range(id) (..10, 10..)" {
+		t.Errorf("post-merge scheme = %s", got)
+	}
+	rows, err = stores[1].Rows("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 0 {
+		t.Errorf("absorbed shard holds %d rows after cleanup", rows.Len())
+	}
+}
+
+// TestMigrationAbortRetry: aborting mid-migration rolls back to a consistent
+// catalog (placement never changed), wipes the partial copy, and the same
+// migration can then be retried to completion.
+func TestMigrationAbortRetry(t *testing.T) {
+	m, _, stores := migMediator(t)
+	if err := m.BeginShardMove("people", "r1", "r3"); err != nil {
+		t.Fatal(err)
+	}
+	advance(t, m, "people", catalog.PhaseCopying, false)
+	advance(t, m, "people", catalog.PhaseDualRead, false)
+
+	if err := m.AbortMigration(context.Background(), "people"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Catalog().MigrationOf("people"); ok {
+		t.Error("aborted migration record should be cleared after cleanup")
+	}
+	me, err := m.Catalog().Extent("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(me.Partitions(), ","); got != "r0,r1,r2" {
+		t.Errorf("post-abort placement = %s, want the original r0,r1,r2", got)
+	}
+	rows, err := stores[3].Rows("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 0 {
+		t.Errorf("abort left %d rows at the destination", rows.Len())
+	}
+	checkBaseline(t, m, "after abort")
+
+	// The same move retries cleanly end to end.
+	if err := m.MoveShard(context.Background(), "people", "r1", "r3"); err != nil {
+		t.Fatal(err)
+	}
+	checkBaseline(t, m, "after retried move")
+	me, err = m.Catalog().Extent("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(me.Partitions(), ","); got != "r0,r3,r2" {
+		t.Errorf("retried move placement = %s, want r0,r3,r2", got)
+	}
+}
+
+// TestMigrationAbortedCleanupFailureKeepsRecord: when abort cleanup cannot
+// reach the destination the aborted record survives, and a later
+// AdvanceMigration retries the cleanup and clears it.
+func TestMigrationAbortedCleanupFailureKeepsRecord(t *testing.T) {
+	m, _, stores := migMediator(t)
+	dead := &downEngine{inner: stores[3]}
+	m.RegisterEngine("r3", dead)
+	if err := m.BeginShardMove("people", "r1", "r3"); err != nil {
+		t.Fatal(err)
+	}
+	advance(t, m, "people", catalog.PhaseCopying, false)
+	advance(t, m, "people", catalog.PhaseDualRead, false)
+
+	dead.setDown(true)
+	if err := m.AbortMigration(context.Background(), "people"); err == nil {
+		t.Fatal("abort cleanup against a dead destination should fail")
+	}
+	mig, ok := m.Catalog().MigrationOf("people")
+	if !ok || mig.Phase != catalog.PhaseAborted {
+		t.Fatalf("record after failed cleanup = %+v, want phase aborted", mig)
+	}
+	checkBaseline(t, m, "aborted, cleanup pending")
+
+	dead.setDown(false)
+	advance(t, m, "people", catalog.PhaseAborted, true)
+	if _, ok := m.Catalog().MigrationOf("people"); ok {
+		t.Error("record should clear once cleanup succeeds")
+	}
+	rows, err := stores[3].Rows("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 0 {
+		t.Errorf("retried cleanup left %d rows at the destination", rows.Len())
+	}
+}
+
+// TestMigrationMoveUnpartitionedExtent: a single-repository extent moves too
+// (the degenerate one-shard case).
+func TestMigrationMoveUnpartitionedExtent(t *testing.T) {
+	m := New(WithTimeout(2 * time.Second))
+	src := source.NewRelStore()
+	if err := src.CreateTable("people", "id", "name", "salary"); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Insert("people", types.Int(1), types.Str("Mary"), types.Int(200)); err != nil {
+		t.Fatal(err)
+	}
+	dst := source.NewRelStore()
+	m.RegisterEngine("r0", src)
+	m.RegisterEngine("r1", dst)
+	if err := m.ExecODL(`
+		r0 := Repository(address="mem:r0");
+		r1 := Repository(address="mem:r1");
+		w0 := WrapperPostgres();
+		interface Person (extent person) {
+		    attribute Short id;
+		    attribute String name;
+		    attribute Short salary;
+		}
+		extent people of Person wrapper w0 repository r0;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MoveShard(context.Background(), "people", "r0", "r1"); err != nil {
+		t.Fatal(err)
+	}
+	got := m.MustQuery(`select x.name from x in people`)
+	if !got.Equal(types.NewBag(types.Str("Mary"))) {
+		t.Errorf("moved extent answers %s", got)
+	}
+	me, err := m.Catalog().Extent("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if me.Repository != "r1" || me.Partitioned() {
+		t.Errorf("post-move extent placement = %+v, want repository r1", me)
+	}
+}
+
+// remount builds a fresh mediator over the same stores and applies a dump.
+func remount(t *testing.T, dump string, stores []*source.RelStore) *Mediator {
+	t.Helper()
+	m2 := New(WithTimeout(2 * time.Second))
+	for i, s := range stores {
+		m2.RegisterEngine("r"+string(rune('0'+i)), s)
+	}
+	if err := m2.ExecODL(dump); err != nil {
+		t.Fatalf("reapplying dump: %v\n%s", err, dump)
+	}
+	return m2
+}
+
+// TestMigrationDumpRoundTrips: a DumpODL taken at any resting state restores
+// both the placement and the migration record, and the restored mediator
+// answers the same baseline — dual-read fusing, cutover guards and all.
+func TestMigrationDumpRoundTrips(t *testing.T) {
+	m, _, stores := migMediator(t)
+	if err := m.BeginShardSplit("people", "r1", types.Int(15), "r3"); err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		phase string
+		done  bool
+	}{
+		{catalog.PhaseCopying, false},
+		{catalog.PhaseDualRead, false},
+		{catalog.PhaseCutover, false},
+	}
+	wantLine := `migrate people split r1 at 15 to r3 phase %q;`
+	check := func(phase string) {
+		t.Helper()
+		dump := m.DumpODL()
+		line := strings.ReplaceAll(wantLine, "%q", `"`+phase+`"`)
+		if !strings.Contains(dump, line) {
+			t.Fatalf("dump at %s lacks %q:\n%s", phase, line, dump)
+		}
+		m2 := remount(t, dump, stores)
+		mig, ok := m2.Catalog().MigrationOf("people")
+		if !ok {
+			t.Fatalf("restored catalog has no migration record at %s", phase)
+		}
+		orig, _ := m.Catalog().MigrationOf("people")
+		if mig != orig {
+			t.Errorf("restored record %+v, want %+v", mig, orig)
+		}
+		checkBaseline(t, m2, "restored at "+phase)
+		// The restored dump is stable: dumping again reproduces it.
+		if re := m2.DumpODL(); re != dump {
+			t.Errorf("restored dump differs at %s:\n--- original\n%s\n--- restored\n%s", phase, dump, re)
+		}
+	}
+	check(catalog.PhaseDeclared)
+	for _, step := range steps {
+		advance(t, m, "people", step.phase, step.done)
+		check(step.phase)
+	}
+	advance(t, m, "people", catalog.PhaseCutover, true)
+
+	// Completed split: the new range bounds (split point inclusive-below)
+	// survive a round trip with no migrate statement left.
+	dump := m.DumpODL()
+	if strings.Contains(dump, "migrate ") {
+		t.Errorf("finished migration still dumped:\n%s", dump)
+	}
+	if !strings.Contains(dump, "(..10, 10..15, 15..20, 20..)") {
+		t.Errorf("dump lacks the split ranges:\n%s", dump)
+	}
+	m2 := remount(t, dump, stores)
+	checkBaseline(t, m2, "post-split round trip")
+	me, err := m2.Catalog().Extent("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := me.Scheme.String(); got != "range(id) (..10, 10..15, 15..20, 20..)" {
+		t.Errorf("round-tripped scheme = %s", got)
+	}
+}
+
+// TestMigrationAbortedDumpRoundTrips: an aborted record (cleanup pending)
+// survives the dump, so a restored mediator can still retry or clean up.
+func TestMigrationAbortedDumpRoundTrips(t *testing.T) {
+	m, _, stores := migMediator(t)
+	if err := m.BeginShardMove("people", "r1", "r3"); err != nil {
+		t.Fatal(err)
+	}
+	advance(t, m, "people", catalog.PhaseCopying, false)
+	if err := m.Catalog().AbortMigration("people"); err != nil {
+		t.Fatal(err)
+	}
+	dump := m.DumpODL()
+	if !strings.Contains(dump, `migrate people move r1 to r3 phase "aborted";`) {
+		t.Fatalf("dump lacks the aborted record:\n%s", dump)
+	}
+	m2 := remount(t, dump, stores)
+	advance(t, m2, "people", catalog.PhaseAborted, true)
+	if _, ok := m2.Catalog().MigrationOf("people"); ok {
+		t.Error("restored aborted migration should clear after cleanup")
+	}
+	checkBaseline(t, m2, "restored aborted")
+}
+
+// TestMigrationMergeDumpRoundTrips: merged range bounds survive the round
+// trip — the survivor's range covers both halves, inclusive-below and
+// exclusive-above preserved.
+func TestMigrationMergeDumpRoundTrips(t *testing.T) {
+	m, _, stores := migMediator(t)
+	if err := m.MergeShards(context.Background(), "people", "r1", "r0"); err != nil {
+		t.Fatal(err)
+	}
+	dump := m.DumpODL()
+	if !strings.Contains(dump, "(..20, 20..)") {
+		t.Errorf("dump lacks the merged ranges:\n%s", dump)
+	}
+	m2 := remount(t, dump, stores)
+	checkBaseline(t, m2, "post-merge round trip")
+	// Bound semantics preserved: 20 belongs to the upper shard.
+	got := m2.MustQuery(`select x.name from x in people where x.id = 20`)
+	if !got.Equal(types.NewBag(types.Str("p20"))) {
+		t.Errorf("boundary row after round trip = %s", got)
+	}
+}
+
+// TestMigrationBeginValidation: the state machine refuses ill-formed
+// migrations and concurrent migrations of one extent.
+func TestMigrationBeginValidation(t *testing.T) {
+	m, _, _ := migMediator(t)
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"move to a holding repo", m.BeginShardMove("people", "r1", "r2")},
+		{"move from a non-member", m.BeginShardMove("people", "r4", "r3")},
+		{"move unknown extent", m.BeginShardMove("ghosts", "r1", "r3")},
+		{"split outside the range", m.BeginShardSplit("people", "r1", types.Int(25), "r3")},
+		{"split at the lower bound", m.BeginShardSplit("people", "r1", types.Int(10), "r3")},
+		{"merge non-adjacent", m.BeginShardMerge("people", "r0", "r2")},
+		{"merge into itself", m.BeginShardMerge("people", "r1", "r1")},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if err := m.BeginShardMove("people", "r1", "r3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BeginShardMove("people", "r0", "r4"); err == nil {
+		t.Error("second concurrent migration of one extent should be refused")
+	}
+	var nf *catalog.ErrNotFound
+	if _, _, err := m.AdvanceMigration(context.Background(), "ghosts"); !errors.As(err, &nf) {
+		t.Errorf("advancing a missing migration = %v, want ErrNotFound", err)
+	}
+}

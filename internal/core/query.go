@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -47,6 +48,11 @@ type Trace struct {
 	// retry counters it is a mediator-wide window, so concurrent queries
 	// see each other's cancels.
 	CancelsSent int64
+	// ShardReads counts the logical shard reads this query's execution
+	// window added, keyed extent@repo — the per-query view of the traffic
+	// counters hotspot detection aggregates. Mediator-wide like the other
+	// window counters, so concurrent queries see each other's reads.
+	ShardReads map[string]int64
 
 	// admittedAt marks when the admission gate granted the slot; the
 	// release path uses it to observe the query's service time.
@@ -79,6 +85,18 @@ func (tr *Trace) String() string {
 	}
 	if tr.CancelsSent > 0 {
 		fmt.Fprintf(&b, "source cancels sent=%d\n", tr.CancelsSent)
+	}
+	if len(tr.ShardReads) > 0 {
+		shards := make([]string, 0, len(tr.ShardReads))
+		for s := range tr.ShardReads {
+			shards = append(shards, s)
+		}
+		sort.Strings(shards)
+		b.WriteString("shard reads")
+		for _, s := range shards {
+			fmt.Fprintf(&b, " %s=%d", s, tr.ShardReads[s])
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }
@@ -159,6 +177,7 @@ func (m *Mediator) QueryTraced(src string) (types.Value, *Trace, error) {
 }
 
 func (m *Mediator) queryTraced(ctx context.Context, src string) (types.Value, *Trace, error) {
+	defer m.enterReadEpoch()()
 	entry, tr, err := m.prepare(src)
 	if err != nil {
 		return nil, tr, err
@@ -176,6 +195,7 @@ func (m *Mediator) queryTraced(ctx context.Context, src string) (types.Value, *T
 	f0, w0 := m.hedgesFired.Load(), m.hedgesWon.Load()
 	r0, x0 := m.retries.Load(), m.retryExhausted.Load()
 	c0 := m.wireCancelsSent()
+	s0 := m.ShardTraffic()
 	t0 := time.Now()
 	v, err := p.Run(ctx)
 	tr.Execute = time.Since(t0)
@@ -183,6 +203,12 @@ func (m *Mediator) queryTraced(ctx context.Context, src string) (types.Value, *T
 	tr.HedgesWon = m.hedgesWon.Load() - w0
 	tr.Retried = m.retries.Load() - r0
 	tr.RetryBudgetExhausted = m.retryExhausted.Load() - x0
+	tr.ShardReads = map[string]int64{}
+	for shard, n := range m.ShardTraffic() {
+		if d := n - s0[shard]; d > 0 {
+			tr.ShardReads[shard] = d
+		}
+	}
 	if tr.CancelsSent = m.wireCancelsSent() - c0; tr.CancelsSent < 0 {
 		tr.CancelsSent = 0 // client pool replaced mid-window (Close)
 	}
@@ -204,6 +230,7 @@ func (m *Mediator) QueryPartial(src string) (*partial.Answer, error) {
 // *OverloadError, not a partial answer — shed and "source down" are
 // different verdicts and callers can tell them apart.
 func (m *Mediator) QueryPartialContext(ctx context.Context, src string) (*partial.Answer, error) {
+	defer m.enterReadEpoch()()
 	entry, tr, err := m.prepare(src)
 	if err != nil {
 		return nil, err
@@ -280,7 +307,14 @@ func (m *Mediator) Explain(src string) (string, error) {
 		return "", err
 	}
 	_, report := m.opt.Optimize(plan, m.catalog.Version())
-	return report.String(), nil
+	out := report.String()
+	if hot := m.hotShardReport(); hot != "" {
+		if !strings.HasSuffix(out, "\n") {
+			out += "\n"
+		}
+		out += hot
+	}
+	return out, nil
 }
 
 // ExplainPlan returns the chosen plan for a query rendered as an indented

@@ -41,7 +41,7 @@ func (r planResolver) ResolvePlan(name string, star bool) (algebra.Node, error) 
 		if !ok {
 			return nil, fmt.Errorf("mediator: extent %s has no partition at %q", ext, repo)
 		}
-		return &algebra.Submit{Repo: primary, Input: &algebra.Get{Ref: cat.PartitionRef(me, primary)}}, nil
+		return r.shardBranch(me, primary), nil
 	}
 	if name == MetaExtentName {
 		if star {
@@ -89,14 +89,102 @@ func (r planResolver) ResolvePlan(name string, star bool) (algebra.Node, error) 
 func (r planResolver) extentPlan(me *catalog.MetaExtent) algebra.Node {
 	parts := me.Partitions()
 	if len(parts) == 1 {
-		ref := r.m.catalog.ExtentRef(me)
-		return &algebra.Submit{Repo: parts[0], Input: &algebra.Get{Ref: ref}}
+		return r.shardBranch(me, parts[0])
 	}
 	inputs := make([]algebra.Node, len(parts))
 	for i, repo := range parts {
-		inputs[i] = &algebra.Submit{Repo: repo, Input: &algebra.Get{Ref: r.m.catalog.PartitionRef(me, repo)}}
+		inputs[i] = r.shardBranch(me, repo)
 	}
 	return &algebra.Union{Inputs: inputs, Par: true}
+}
+
+// shardBranch returns the access plan for one shard, rewriting it when a
+// live migration of the extent is in flight:
+//
+//   - dual-read (move/split): the shard reads a distinct-fused parallel
+//     union of its old and new placement. The new-placement branch is marked
+//     Standby, so its unavailability degrades to the old placement alone
+//     (empty answer, no residual), and it carries the old shard's partition
+//     metadata, so pruning that skips the shard dials neither placement.
+//   - split at cutover: placement has swapped but the old shard's collection
+//     still holds the moved-away rows until cleanup; a mediator-side range
+//     guard (attr < split point) keeps them out of answers.
+//   - merge before cutover: the surviving shard's collection accumulates the
+//     absorbed shard's rows while the absorbed shard is still authoritative;
+//     a guard restricted to the survivor's own declared range prevents
+//     double counting. Aborted merges keep the guard until cleanup clears
+//     the copied rows (ClearMigration removes the record only then).
+//
+// Every phase transition bumps the catalog version, so the prepared-plan
+// cache never serves a plan from a different phase.
+func (r planResolver) shardBranch(me *catalog.MetaExtent, repo string) algebra.Node {
+	cat := r.m.catalog
+	var ref algebra.ExtentRef
+	if me.Partitioned() {
+		ref = cat.PartitionRef(me, repo)
+	} else {
+		ref = cat.ExtentRef(me)
+	}
+	sub := &algebra.Submit{Repo: repo, Input: &algebra.Get{Ref: ref}}
+	mig, ok := cat.MigrationOf(me.Name)
+	if !ok {
+		return sub
+	}
+	switch {
+	case mig.DualRead() && mig.From == repo:
+		aux := ref
+		aux.Repo = mig.To
+		aux.Partition = mig.To
+		aux.Replicas = nil
+		aux.Standby = true
+		standby := &algebra.Submit{Repo: mig.To, Input: &algebra.Get{Ref: aux}}
+		return &algebra.Distinct{Input: &algebra.Union{Inputs: []algebra.Node{sub, standby}, Par: true}}
+	case mig.Kind == catalog.MigrateSplit && mig.Phase == catalog.PhaseCutover && mig.From == repo:
+		// Rows >= SplitAt now live (and are read) at To; the copies still
+		// sitting in From's collection are filtered out until cleanup.
+		pred := &oql.Binary{Op: oql.OpLt, L: &oql.Ident{Name: me.Scheme.Attr}, R: &oql.Literal{Val: mig.SplitAt}}
+		return &algebra.Select{Pred: pred, Input: sub}
+	case mig.Kind == catalog.MigrateMerge && mig.Phase != catalog.PhaseCutover && mig.To == repo && me.Scheme != nil:
+		if pred := rangeGuard(me, repo); pred != nil {
+			return &algebra.Select{Pred: pred, Input: sub}
+		}
+	}
+	return sub
+}
+
+// rangeGuard builds the predicate confining a shard's answer to its own
+// declared range (Lo <= attr < Hi, open bounds omitted); nil when the range
+// is unbounded on both sides or unknown.
+func rangeGuard(me *catalog.MetaExtent, repo string) oql.Expr {
+	if me.Scheme == nil || me.Scheme.Kind != algebra.PartRange {
+		return nil
+	}
+	parts := me.Partitions()
+	idx := -1
+	for i, p := range parts {
+		if p == repo {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || idx >= len(me.Scheme.Ranges) {
+		return nil
+	}
+	rng := me.Scheme.Ranges[idx]
+	attr := &oql.Ident{Name: me.Scheme.Attr}
+	var pred oql.Expr
+	if rng.Lo != nil {
+		pred = &oql.Binary{Op: oql.OpGe, L: attr, R: &oql.Literal{Val: rng.Lo}}
+	}
+	if rng.Hi != nil {
+		hi := &oql.Binary{Op: oql.OpLt, L: attr, R: &oql.Literal{Val: rng.Hi}}
+		if pred == nil {
+			pred = hi
+		} else {
+			pred = &oql.Binary{Op: oql.OpAnd, L: pred, R: hi}
+		}
+	}
+	return pred
 }
 
 // valueResolver implements oql.Resolver for the reference evaluation of

@@ -45,6 +45,51 @@ func (m *Mediator) buildPhysical(plan algebra.Node, progs *oql.ProgramCache) (*p
 // without re-paying its timeout) and the learned cost history orders the
 // healthy copies fastest-first.
 func (m *Mediator) submit(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
+	refs := exprRefs(expr)
+	m.countShardReads(refs)
+	bag, err := m.submitShard(ctx, repo, expr)
+	if err != nil && isUnavailableErr(err) && allStandby(refs) {
+		// The unreachable copy is the *new* placement of a migrating shard
+		// (the standby branch of a dual-read). The old placement branch still
+		// holds every row, so the standby degrades to an empty answer instead
+		// of poisoning the query with a residual. The breaker has already
+		// recorded the failure; the migration driver sees it before cutover.
+		return types.NewBag(), nil
+	}
+	return bag, err
+}
+
+// countShardReads bumps the per-shard traffic counters, one per logical
+// shard read. Standby (dual-read new placement) branches are skipped: they
+// duplicate a counted read of the same shard.
+func (m *Mediator) countShardReads(refs []algebra.ExtentRef) {
+	m.shardMu.Lock()
+	for _, r := range refs {
+		if r.Standby {
+			continue
+		}
+		m.shardReads[r.QualifiedName()]++
+	}
+	m.shardMu.Unlock()
+}
+
+// allStandby reports whether every extent the expression reads is a
+// dual-read standby copy (and there is at least one).
+func allStandby(refs []algebra.ExtentRef) bool {
+	if len(refs) == 0 {
+		return false
+	}
+	for _, r := range refs {
+		if !r.Standby {
+			return false
+		}
+	}
+	return true
+}
+
+// submitShard routes one shard read through failover, load balancing and
+// hedging.
+func (m *Mediator) submitShard(ctx context.Context, repo string, expr algebra.Node) (*types.Bag, error) {
 	cands := m.submitCandidates(repo, expr)
 	if len(cands) == 1 {
 		bag, err := m.submitOnce(ctx, repo, expr)
@@ -863,7 +908,12 @@ func (m *Mediator) wrapperForExpr(repo string, expr algebra.Node) (wrapper.Wrapp
 		if err != nil {
 			return nil, err
 		}
-		if !me.HasPartition(repo) {
+		if !me.HasPartition(repo) && !m.catalog.IsMigrationEndpoint(ref.Extent, repo) {
+			// A live migration's endpoints accept reads while its record
+			// exists: the destination before placement lists it (copying,
+			// dual-read) and the released source after cutover, until the
+			// pre-cutover readers drain and the record clears. Anything
+			// else is a routing bug.
 			return nil, fmt.Errorf("mediator: extent %s lives at %s, not %s", ref.Extent, strings.Join(me.Partitions(), ","), repo)
 		}
 		if wrapperName == "" {

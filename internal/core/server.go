@@ -123,6 +123,29 @@ func (h EngineHandler) HandleQuery(ctx context.Context, lang, text string) (json
 	return types.EncodeValue(b)
 }
 
+// HandleLoad implements wire.LoadHandler when the engine accepts migration
+// bulk loads (source.Loader); other engines reject the frame.
+func (h EngineHandler) HandleLoad(ctx context.Context, req *wire.LoadRequest) error {
+	ld, ok := h.Engine.(source.Loader)
+	if !ok {
+		return fmt.Errorf("source engine does not accept loads")
+	}
+	rows, err := wire.DecodeLoadRows(req.Rows)
+	if err != nil {
+		return err
+	}
+	lo, err := wire.DecodeLoadBound(req.Clear.Lo)
+	if err != nil {
+		return err
+	}
+	hi, err := wire.DecodeLoadBound(req.Clear.Hi)
+	if err != nil {
+		return err
+	}
+	clear := source.ClearSpec{All: req.Clear.All, Attr: req.Clear.Attr, Lo: lo, Hi: hi}
+	return ld.LoadRows(req.Collection, req.Cols, clear, rows)
+}
+
 // Capability implements wire.Handler.
 func (h EngineHandler) Capability() string { return h.Grammar }
 

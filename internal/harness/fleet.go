@@ -12,6 +12,7 @@ import (
 	"disco/internal/chaos"
 	"disco/internal/core"
 	"disco/internal/source"
+	"disco/internal/types"
 	"disco/internal/wire"
 )
 
@@ -138,6 +139,128 @@ interface Person (extent person) {
 		fmt.Fprintf(&odl, "r%d := Repository(address=%q);\n", i, addr)
 		fmt.Fprintf(&odl, "extent %s of Person wrapper w0 repository r%d;\n", table, i)
 	}
+	if err := f.M.ExecODL(odl.String()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// ShardedFleetConfig configures NewShardedFleet.
+type ShardedFleetConfig struct {
+	// Shards is the number of range partitions holding data.
+	Shards int
+	// Spares is the number of empty repositories declared alongside — the
+	// destinations live migrations move, split, or merge shards to.
+	Spares int
+	// Rows is the total people row count across all shards; ids run
+	// 0..Rows-1 and shard boundaries divide the range evenly.
+	Rows int
+	// TCP / Chaos / ChaosSeed / Latency / Timeout as in FleetConfig.
+	TCP       bool
+	Chaos     bool
+	ChaosSeed int64
+	Latency   time.Duration
+	Timeout   time.Duration
+}
+
+// NewShardedFleet builds a fleet whose single extent "people" is
+// range-partitioned on id across cfg.Shards repositories, with cfg.Spares
+// more repositories declared but holding nothing. It is the live-migration
+// soak fixture: the spares are where shards move, and with Chaos set every
+// link — including the links migration copies travel over — sits behind a
+// seeded fault proxy. Repository index i < Shards serves shard i; index
+// i >= Shards is the (i-Shards)'th spare.
+func NewShardedFleet(cfg ShardedFleetConfig) (*Fleet, error) {
+	if cfg.Shards <= 1 {
+		return nil, fmt.Errorf("harness: sharded fleet needs at least two shards")
+	}
+	if cfg.Rows <= 0 {
+		cfg.Rows = 60
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	f := &Fleet{
+		M:             core.New(core.WithTimeout(cfg.Timeout)),
+		RowsPerSource: cfg.Rows / cfg.Shards,
+	}
+
+	var odl strings.Builder
+	odl.WriteString(`w0 := WrapperPostgres();
+interface Person (extent person) {
+    attribute Short id;
+    attribute String name;
+    attribute Short salary;
+}
+`)
+	bound := func(i int) int { return i * cfg.Rows / cfg.Shards }
+	total := cfg.Shards + cfg.Spares
+	for i := 0; i < total; i++ {
+		store := source.NewRelStore()
+		if i < cfg.Shards {
+			if err := store.CreateTable("people", "id", "name", "salary"); err != nil {
+				f.Close()
+				return nil, err
+			}
+			for id := bound(i); id < bound(i+1); id++ {
+				if err := store.Insert("people",
+					types.Int(int64(id)),
+					types.Str(fmt.Sprintf("p%d", id)),
+					types.Int(int64(id%1000)),
+				); err != nil {
+					f.Close()
+					return nil, err
+				}
+			}
+		}
+		f.Stores = append(f.Stores, store)
+
+		addr := fmt.Sprintf("mem:r%d", i)
+		if cfg.TCP {
+			srv, err := wire.NewServer("127.0.0.1:0", core.EngineHandler{Engine: store})
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			if cfg.Latency > 0 {
+				srv.SetLatency(cfg.Latency)
+			}
+			f.Servers = append(f.Servers, srv)
+			addr = srv.Addr()
+			if cfg.Chaos {
+				proxy, err := chaos.NewProxy(addr, cfg.ChaosSeed+int64(i))
+				if err != nil {
+					f.Close()
+					return nil, err
+				}
+				f.Proxies = append(f.Proxies, proxy)
+				addr = proxy.Addr()
+			} else {
+				f.Proxies = append(f.Proxies, nil)
+			}
+		} else {
+			f.Servers = append(f.Servers, nil)
+			f.Proxies = append(f.Proxies, nil)
+			f.M.RegisterEngine(fmt.Sprintf("r%d", i), store)
+		}
+		fmt.Fprintf(&odl, "r%d := Repository(address=%q);\n", i, addr)
+	}
+
+	var parts, ranges []string
+	for i := 0; i < cfg.Shards; i++ {
+		parts = append(parts, fmt.Sprintf("r%d", i))
+		switch {
+		case i == 0:
+			ranges = append(ranges, fmt.Sprintf("..%d", bound(1)))
+		case i == cfg.Shards-1:
+			ranges = append(ranges, fmt.Sprintf("%d..", bound(i)))
+		default:
+			ranges = append(ranges, fmt.Sprintf("%d..%d", bound(i), bound(i+1)))
+		}
+	}
+	fmt.Fprintf(&odl, "extent people of Person wrapper w0 at %s\n    partition by range(id) (%s);\n",
+		strings.Join(parts, ", "), strings.Join(ranges, ", "))
 	if err := f.M.ExecODL(odl.String()); err != nil {
 		f.Close()
 		return nil, err

@@ -1,0 +1,355 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"disco/internal/catalog"
+	"disco/internal/chaos"
+	"disco/internal/oql"
+	"disco/internal/types"
+)
+
+// migScanQuery and migRangeQuery are the two reader queries the soak keeps
+// in flight: a full scan (touches every shard, including both copies during
+// dual-read) and a range query that lands inside the migrating shard.
+const (
+	migScanQuery  = `select x.name from x in people`
+	migRangeQuery = `select x.name from x in people where x.id >= 12 and x.id < 24`
+)
+
+// migWant builds the no-migration baseline for a soak fleet of n rows:
+// the multiset of names a scan must answer regardless of migration state.
+func migWant(lo, hi int) *types.Bag {
+	var vals []types.Value
+	for i := lo; i < hi; i++ {
+		vals = append(vals, types.Str(fmt.Sprintf("p%d", i)))
+	}
+	return types.NewBag(vals...)
+}
+
+// migReaders starts n closed-loop readers that query the fleet until stop
+// closes. Every complete answer must be multiset-equal to the no-migration
+// baseline — a migration that duplicates or drops a tuple fails here — and
+// every residual must parse. Returned channel carries the first few
+// divergences.
+func migReaders(f *Fleet, n, rows int, stop <-chan struct{}) (*sync.WaitGroup, chan error) {
+	scanWant := migWant(0, rows)
+	rangeWant := migWant(12, 24)
+	errs := make(chan error, 64)
+	report := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				query, want := migScanQuery, scanWant
+				if (c+i)%2 == 1 {
+					query, want = migRangeQuery, rangeWant
+				}
+				ans, err := f.M.QueryPartial(query)
+				if err != nil {
+					report(fmt.Errorf("reader %d: %v", c, err))
+					return
+				}
+				if ans.Complete {
+					if !ans.Value.Equal(want) {
+						mig, ok := f.M.Catalog().MigrationOf("people")
+						report(fmt.Errorf("reader %d: %s = %s, want %s (catalog version %d, migration %+v %v)",
+							c, query, ans.Value, want, f.M.Catalog().Version(), mig, ok))
+					}
+				} else if _, perr := oql.ParseQuery(ans.Residual.String()); perr != nil {
+					report(fmt.Errorf("reader %d: malformed residual %q: %v", c, ans.Residual, perr))
+				}
+			}
+		}(c)
+	}
+	return &wg, errs
+}
+
+// migrationSoakScenario is one scripted fault at one phase boundary: drive
+// the move to `atPhase`, inject the fault, attempt the next transition
+// (which may fail — the catalog must then still hold the old resting
+// state), heal, and retry to completion.
+type migrationSoakScenario struct {
+	name    string
+	atPhase string // resting phase at which the fault strikes
+	victim  int    // repository index the fault lands on
+	inject  func(f *Fleet, victim int)
+	heal    func(f *Fleet, victim int)
+}
+
+// TestChaosSoakMigrationPhaseBoundaries kills, partitions, or times out a
+// live shard move at every phase boundary of the migration state machine,
+// under continuous concurrent readers. The contract at every point:
+//
+//   - readers never see an error, a duplicate, or a dropped tuple — every
+//     complete answer is multiset-equal to the no-migration baseline;
+//   - a failed transition leaves the catalog in the prior resting state
+//     (same phase, same placement), and retrying after the fault heals
+//     drives the same migration to completion;
+//   - the finished move has the destination in the placement, the source
+//     released, and no migration record left behind.
+//
+// The chaos proxies are seeded, so a failure replays.
+func TestChaosSoakMigrationPhaseBoundaries(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+
+	const (
+		shards  = 3
+		spares  = 2
+		rows    = 36
+		from    = "r1" // shard holding ids 12..24
+		fromIdx = 1
+		dest    = "r3" // first spare
+		destIdx = 3
+		readers = 4
+	)
+	partition := func(f *Fleet, v int) { f.SetFault(v, chaos.Partition{}) }
+	healProxy := func(f *Fleet, v int) { f.SetFault(v, chaos.Healthy{}) }
+	scenarios := []migrationSoakScenario{
+		// declared -> copying is a catalog-only flip; the partition proves
+		// readers ride through a dead destination before any copy starts.
+		{"partition-dest-at-declared", catalog.PhaseDeclared, destIdx, partition, healProxy},
+		// copying -> dual-read runs the copy; a destination stuck behind
+		// latency beyond the evaluation deadline times the copy out.
+		{"timeout-dest-at-copying", catalog.PhaseCopying, destIdx,
+			func(f *Fleet, v int) { f.SetFault(v, chaos.Latency{D: 2 * time.Second}) }, healProxy},
+		// dual-read -> cutover with the new copy killed outright: reads
+		// must degrade to the old placement, not to a residual.
+		{"kill-dest-at-dual-read", catalog.PhaseDualRead, destIdx,
+			func(f *Fleet, v int) { f.Servers[v].SetAvailable(false) },
+			func(f *Fleet, v int) { f.Servers[v].SetAvailable(true) }},
+		// cutover -> done clears the released source; partitioning it
+		// blocks the cleanup but never the reads (they moved at cutover).
+		{"partition-source-at-cutover", catalog.PhaseCutover, fromIdx, partition, healProxy},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			f, err := NewShardedFleet(ShardedFleetConfig{
+				Shards: shards, Spares: spares, Rows: rows,
+				TCP: true, Chaos: true, ChaosSeed: 1137,
+				Timeout: 500 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			versionBefore := f.M.Catalog().Version()
+
+			stop := make(chan struct{})
+			wg, errs := migReaders(f, readers, rows, stop)
+
+			if err := f.M.BeginShardMove("people", from, dest); err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			phase := catalog.PhaseDeclared
+			done := false
+			for !done {
+				if phase == sc.atPhase {
+					sc.inject(f, sc.victim)
+					// The faulted transition: either it rides through the
+					// fault, or it fails and must have left the resting
+					// state untouched for the retry.
+					if _, _, err := f.M.AdvanceMigration(ctx, "people"); err != nil {
+						mig, ok := f.M.Catalog().MigrationOf("people")
+						if !ok || mig.Phase != sc.atPhase {
+							t.Fatalf("failed transition out of %s left phase %q (record %v)", sc.atPhase, mig.Phase, ok)
+						}
+					}
+					sc.heal(f, sc.victim)
+				}
+				// Retry until the transition lands: the heal is synchronous
+				// at the proxy but the client pool rediscovers sockets
+				// asynchronously.
+				deadline := time.Now().Add(15 * time.Second)
+				for {
+					p, d, err := f.M.AdvanceMigration(ctx, "people")
+					if err == nil {
+						phase, done = p, d
+						break
+					}
+					if !time.Now().Before(deadline) {
+						t.Fatalf("transition out of %s never recovered: %v", phase, err)
+					}
+					time.Sleep(50 * time.Millisecond)
+				}
+			}
+
+			close(stop)
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+
+			if _, ok := f.M.Catalog().MigrationOf("people"); ok {
+				t.Error("migration record survived completion")
+			}
+			if v := f.M.Catalog().Version(); v <= versionBefore {
+				t.Errorf("catalog version %d did not advance past %d", v, versionBefore)
+			}
+			me, err := f.M.Catalog().Extent("people")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := strings.Join(me.Partitions(), ","); got != "r0,r3,r2" {
+				t.Errorf("final placement %s, want r0,r3,r2", got)
+			}
+			// The moved-to layout answers the same baseline, completely.
+			assertCompleteBaseline(t, f, rows)
+		})
+	}
+
+	// Goroutine hygiene across all scenarios: chaos, killed servers, and
+	// failed copies must not leave forwarders or waiters behind.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= goroutinesBefore {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked through the migration soak: %d before, %d after",
+		goroutinesBefore, runtime.NumGoroutine())
+}
+
+// TestChaosSoakMigrationAbortRetry aborts a move at dual-read while the
+// destination is partitioned — so even the abort's cleanup fails — then
+// heals, finishes the cleanup, and retries the same move to completion,
+// with readers in flight throughout.
+func TestChaosSoakMigrationAbortRetry(t *testing.T) {
+	const (
+		rows    = 36
+		destIdx = 3
+	)
+	f, err := NewShardedFleet(ShardedFleetConfig{
+		Shards: 3, Spares: 2, Rows: rows,
+		TCP: true, Chaos: true, ChaosSeed: 2291,
+		Timeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	stop := make(chan struct{})
+	wg, errs := migReaders(f, 4, rows, stop)
+
+	ctx := context.Background()
+	if err := f.M.BeginShardMove("people", "r1", "r3"); err != nil {
+		t.Fatal(err)
+	}
+	mustAdvance := func(wantPhase string) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			p, _, err := f.M.AdvanceMigration(ctx, "people")
+			if err == nil {
+				if p != wantPhase {
+					t.Fatalf("advanced to %s, want %s", p, wantPhase)
+				}
+				return
+			}
+			if !time.Now().Before(deadline) {
+				t.Fatalf("advance to %s never succeeded: %v", wantPhase, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	mustAdvance(catalog.PhaseCopying)
+	mustAdvance(catalog.PhaseDualRead)
+
+	// Abort behind a partitioned destination: the placement rolls back
+	// immediately (dual-read ends), the cleanup stays owed, the record
+	// stays aborted so the debt is visible.
+	f.SetFault(destIdx, chaos.Partition{})
+	if err := f.M.AbortMigration(ctx, "people"); err == nil {
+		t.Fatal("abort with a partitioned destination should report the failed cleanup")
+	}
+	mig, ok := f.M.Catalog().MigrationOf("people")
+	if !ok || mig.Phase != catalog.PhaseAborted {
+		t.Fatalf("aborted migration record = %+v (present %v)", mig, ok)
+	}
+	me, err := f.M.Catalog().Extent("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(me.Partitions(), ","); got != "r0,r1,r2" {
+		t.Errorf("aborted placement %s, want the original r0,r1,r2", got)
+	}
+
+	// Heal; the owed cleanup completes and clears the record.
+	f.SetFault(destIdx, chaos.Healthy{})
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, _, err := f.M.AdvanceMigration(ctx, "people"); err == nil {
+			break
+		} else if !time.Now().Before(deadline) {
+			t.Fatalf("aborted cleanup never recovered: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if _, ok := f.M.Catalog().MigrationOf("people"); ok {
+		t.Fatal("aborted record survived its cleanup")
+	}
+
+	// The same move retries cleanly end to end.
+	if err := f.M.MoveShard(ctx, "people", "r1", "r3"); err != nil {
+		t.Fatalf("retrying the aborted move: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	me, err = f.M.Catalog().Extent("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(me.Partitions(), ","); got != "r0,r3,r2" {
+		t.Errorf("retried move placement %s, want r0,r3,r2", got)
+	}
+	assertCompleteBaseline(t, f, rows)
+}
+
+// assertCompleteBaseline retries the full scan until the answer is complete
+// again (breakers may still be cooling down from the injected faults) and
+// asserts it equals the no-migration multiset.
+func assertCompleteBaseline(t *testing.T, f *Fleet, rows int) {
+	t.Helper()
+	want := migWant(0, rows)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ans, err := f.M.QueryPartial(migScanQuery)
+		if err == nil && ans.Complete {
+			if !ans.Value.Equal(want) {
+				t.Errorf("post-migration scan = %s, want %s", ans.Value, want)
+			}
+			return
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("scan never returned a complete answer after healing (err %v)", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,61 @@
+package odl
+
+import (
+	"testing"
+
+	"disco/internal/types"
+)
+
+func TestParseMigrateMove(t *testing.T) {
+	d, ok := parseOne(t, `migrate people move r1 to r3 phase "dual-read";`).(*MigrateDecl)
+	if !ok {
+		t.Fatal("not a MigrateDecl")
+	}
+	want := MigrateDecl{Extent: "people", Kind: "move", From: "r1", To: "r3", Phase: "dual-read"}
+	if *d != want {
+		t.Errorf("parsed %+v, want %+v", *d, want)
+	}
+}
+
+func TestParseMigrateSplit(t *testing.T) {
+	d := parseOne(t, `migrate people split r1 at 15 to r3 phase "copying";`).(*MigrateDecl)
+	if d.Kind != "split" || d.From != "r1" || d.To != "r3" || d.Phase != "copying" {
+		t.Errorf("parsed %+v", d)
+	}
+	if !d.SplitAt.Equal(types.Int(15)) {
+		t.Errorf("split at %s, want 15", d.SplitAt)
+	}
+	// Bounds take the same forms as partition range bounds.
+	d = parseOne(t, `migrate people split r1 at -2.5 to r3 phase "declared";`).(*MigrateDecl)
+	if !d.SplitAt.Equal(types.Float(-2.5)) {
+		t.Errorf("split at %s, want -2.5", d.SplitAt)
+	}
+	d = parseOne(t, `migrate people split r1 at "m" to r3 phase "declared";`).(*MigrateDecl)
+	if !d.SplitAt.Equal(types.Str("m")) {
+		t.Errorf("split at %s, want \"m\"", d.SplitAt)
+	}
+}
+
+func TestParseMigrateMerge(t *testing.T) {
+	d := parseOne(t, `migrate people merge r1 into r2 phase "declared";`).(*MigrateDecl)
+	want := MigrateDecl{Extent: "people", Kind: "merge", From: "r1", To: "r2", Phase: "declared"}
+	if *d != want {
+		t.Errorf("parsed %+v, want %+v", *d, want)
+	}
+}
+
+func TestParseMigrateErrors(t *testing.T) {
+	bad := []string{
+		`migrate people shuffle r1 to r3 phase "copying";`, // unknown kind
+		`migrate people move r1 to r3 phase dual-read;`,    // unquoted phase
+		`migrate people move r1 to r3;`,                    // missing phase
+		`migrate people split r1 to r3 phase "copying";`,   // split without at
+		`migrate people merge r1 to r2 phase "copying";`,   // merge wants into
+		`migrate people move r1 to r3 phase "copying"`,     // missing semicolon
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error", src)
+		}
+	}
+}

@@ -16,6 +16,9 @@
 //	NAME := Wrapper("kind", key="value", ...);
 //	define NAME as OQL-QUERY;
 //	drop extent NAME;
+//	migrate NAME move FROM to TO phase "PHASE";
+//	migrate NAME split FROM at BOUND to TO phase "PHASE";
+//	migrate NAME merge FROM into TO phase "PHASE";
 package odl
 
 import (
@@ -108,6 +111,27 @@ type DropExtentDecl struct {
 }
 
 func (*DropExtentDecl) stmt() {}
+
+// MigrateDecl records an in-flight live shard migration at a resting phase:
+//
+//	migrate people move r1 to r3 phase "dual-read";
+//	migrate people split r1 at 15 to r3 phase "copying";
+//	migrate people merge r1 into r2 phase "declared";
+//
+// The statement restores migration state (a DumpODL taken mid-migration
+// round-trips); it does not start or advance the migration itself. The phase
+// is a quoted string because "dual-read" is not one identifier.
+type MigrateDecl struct {
+	Extent string
+	Kind   string // move, split or merge
+	From   string
+	To     string
+	// SplitAt is the split bound (split only): rows >= SplitAt move to To.
+	SplitAt types.Value
+	Phase   string
+}
+
+func (*MigrateDecl) stmt() {}
 
 // Error is an ODL parse error with its byte offset.
 type Error struct {
@@ -296,6 +320,8 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDefine()
 	case p.isIdent("drop"):
 		return p.parseDrop()
+	case p.isIdent("migrate"):
+		return p.parseMigrate()
 	case p.cur().kind == tIdent && p.toks[p.i+1].kind == tPunct && p.toks[p.i+1].text == ":=":
 		return p.parseAssign()
 	default:
@@ -744,4 +770,63 @@ func (p *parser) parseDrop() (Statement, error) {
 		return nil, err
 	}
 	return &DropExtentDecl{Name: name}, nil
+}
+
+func (p *parser) parseMigrate() (Statement, error) {
+	p.advance() // migrate
+	d := &MigrateDecl{}
+	var err error
+	if d.Extent, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if d.Kind, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	switch d.Kind {
+	case "move":
+		if d.From, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("to"); err != nil {
+			return nil, err
+		}
+	case "split":
+		if d.From, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("at"); err != nil {
+			return nil, err
+		}
+		if d.SplitAt, err = p.parseBoundValue(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("to"); err != nil {
+			return nil, err
+		}
+	case "merge":
+		if d.From, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("into"); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errorf("migrate %s: unknown kind %q (want move, split or merge)", d.Extent, d.Kind)
+	}
+	if d.To, err = p.expectIdent(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("phase"); err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind != tString {
+		return nil, p.errorf("expected quoted migration phase, found %q", t.text)
+	}
+	d.Phase = t.text
+	p.advance()
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return d, nil
 }

@@ -885,7 +885,11 @@ func Drain(ctx context.Context, op Operator) ([]types.Value, error) {
 			return nil, err
 		}
 		err := op.NextBatch(b)
-		if errors.Is(err, io.EOF) {
+		if err == io.EOF {
+			// End-of-stream is the bare sentinel, compared by identity: a
+			// transport failure that *wraps* io.EOF (a peer hanging up
+			// mid-answer) must surface as the error it is, not silently
+			// truncate the stream into a smaller complete answer.
 			return out, nil
 		}
 		if err != nil {

@@ -1,0 +1,126 @@
+// Bulk-load support for live shard migration. A migration copy must be
+// idempotent — the copying phase can be killed and re-run — so every load is
+// clear-then-insert under one lock: LoadRows wipes the rows the migration is
+// responsible for (all of them, or a key range) and installs the new batch
+// atomically with respect to concurrent queries.
+package source
+
+import (
+	"fmt"
+
+	"disco/internal/types"
+)
+
+// ClearSpec selects the rows LoadRows removes before inserting. The zero
+// value clears nothing. It is structured rather than a SQL string so the
+// same request crosses the wire to any engine kind without dialect
+// rendering.
+type ClearSpec struct {
+	// All clears the whole collection.
+	All bool
+	// Attr, when All is false and Attr is non-empty, clears rows whose
+	// attribute value v satisfies Lo <= v < Hi — the same inclusive-below,
+	// exclusive-above convention as range partitioning. A nil bound leaves
+	// that side open.
+	Attr   string
+	Lo, Hi types.Value
+}
+
+// matches reports whether a row falls in the spec's clear set.
+func (c ClearSpec) matches(row types.Value) (bool, error) {
+	if c.All {
+		return true, nil
+	}
+	if c.Attr == "" {
+		return false, nil
+	}
+	st, ok := row.(*types.Struct)
+	if !ok {
+		return false, fmt.Errorf("loader: row is %s, not struct", row.Kind())
+	}
+	v, ok := st.Get(c.Attr)
+	if !ok {
+		return false, fmt.Errorf("loader: row has no attribute %q", c.Attr)
+	}
+	if c.Lo != nil {
+		cmp, err := types.Compare(v, c.Lo)
+		if err != nil {
+			return false, err
+		}
+		if cmp < 0 {
+			return false, nil
+		}
+	}
+	if c.Hi != nil {
+		cmp, err := types.Compare(v, c.Hi)
+		if err != nil {
+			return false, err
+		}
+		if cmp >= 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Loader is implemented by engines that accept migration bulk loads: clear
+// the spec'd rows of the collection (creating it with the given columns if
+// missing) and insert rows, as one atomic mutation.
+type Loader interface {
+	LoadRows(collection string, cols []string, clear ClearSpec, rows []types.Value) error
+}
+
+var _ Loader = (*RelStore)(nil)
+
+// LoadRows implements Loader. Rows are structs; each is projected onto the
+// table's column order (missing attributes load as Nothing would — an
+// error, to keep the migration copy honest about schema drift).
+func (s *RelStore) LoadRows(collection string, cols []string, clear ClearSpec, rows []types.Value) error {
+	if collection == "" {
+		return fmt.Errorf("relstore: load needs a collection name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[collection]
+	if !ok {
+		if len(cols) == 0 {
+			if len(rows) == 0 {
+				// A pure clear of a table that never existed: nothing to
+				// clear. Abort cleanup hits this when the copy never ran.
+				return nil
+			}
+			return fmt.Errorf("relstore: load into missing table %q needs columns", collection)
+		}
+		t = &Table{Name: collection, Cols: append([]string(nil), cols...)}
+		s.tables[collection] = t
+	}
+	kept := make([]types.Value, 0, len(t.rows))
+	for _, row := range t.rows {
+		match, err := clear.matches(row)
+		if err != nil {
+			return err
+		}
+		if !match {
+			kept = append(kept, row)
+		}
+	}
+	loaded := make([]types.Value, 0, len(rows))
+	for _, row := range rows {
+		st, ok := row.(*types.Struct)
+		if !ok {
+			return fmt.Errorf("relstore: load row is %s, not struct", row.Kind())
+		}
+		fields := make([]types.Field, len(t.Cols))
+		for i, col := range t.Cols {
+			v, ok := st.Get(col)
+			if !ok {
+				return fmt.Errorf("relstore: load row lacks column %q of table %q", col, collection)
+			}
+			fields[i] = types.Field{Name: col, Value: v}
+		}
+		loaded = append(loaded, types.NewStruct(fields...))
+	}
+	t.rows = append(kept, loaded...)
+	t.version++
+	return nil
+}

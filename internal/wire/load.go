@@ -1,0 +1,89 @@
+// The "load" op: migration bulk loads over the wire. A mediator copying a
+// shard to a TCP source ships the rows in one idempotent clear-then-insert
+// frame; servers whose engine implements source.Loader accept it via
+// LoadHandler.
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"disco/internal/types"
+)
+
+// LoadClear is the wire form of a clear specification: remove everything, or
+// the rows whose Attr value falls in [Lo, Hi) (tagged value encoding; a
+// missing bound leaves that side open).
+type LoadClear struct {
+	All  bool            `json:"all,omitempty"`
+	Attr string          `json:"attr,omitempty"`
+	Lo   json.RawMessage `json:"lo,omitempty"`
+	Hi   json.RawMessage `json:"hi,omitempty"`
+}
+
+// LoadRequest is the payload of a load frame: atomically clear the spec'd
+// rows of Collection (creating it with Cols if missing) and insert Rows (the
+// tagged encoding of a list of structs).
+type LoadRequest struct {
+	Collection string          `json:"collection"`
+	Cols       []string        `json:"cols,omitempty"`
+	Clear      LoadClear       `json:"clear"`
+	Rows       json.RawMessage `json:"rows,omitempty"`
+}
+
+// LoadHandler is implemented by handlers whose engine accepts migration bulk
+// loads. The server rejects load frames for handlers that do not.
+type LoadHandler interface {
+	HandleLoad(ctx context.Context, req *LoadRequest) error
+}
+
+// EncodeLoadRows encodes rows for LoadRequest.Rows.
+func EncodeLoadRows(rows []types.Value) (json.RawMessage, error) {
+	return types.EncodeValue(types.NewList(rows...))
+}
+
+// DecodeLoadRows decodes LoadRequest.Rows back into row values. A missing
+// payload is an empty load (clear only).
+func DecodeLoadRows(raw json.RawMessage) ([]types.Value, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	v, err := types.DecodeValue(raw)
+	if err != nil {
+		return nil, err
+	}
+	l, ok := v.(*types.List)
+	if !ok {
+		return nil, fmt.Errorf("wire: load rows payload is %s, not list", v.Kind())
+	}
+	return l.Elems(), nil
+}
+
+// EncodeLoadBound encodes one clear bound; nil stays nil (open).
+func EncodeLoadBound(v types.Value) (json.RawMessage, error) {
+	if v == nil {
+		return nil, nil
+	}
+	return types.EncodeValue(v)
+}
+
+// DecodeLoadBound decodes one clear bound; empty stays nil (open).
+func DecodeLoadBound(raw json.RawMessage) (types.Value, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	return types.DecodeValue(raw)
+}
+
+// Load ships a bulk load to the server and waits for its ack.
+func (c *Client) Load(ctx context.Context, req *LoadRequest) error {
+	resp, err := c.Do(ctx, Request{Op: "load", Load: req})
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return &RemoteError{Addr: c.addr, Msg: resp.Err}
+	}
+	return nil
+}

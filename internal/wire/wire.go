@@ -87,6 +87,8 @@ type Request struct {
 	// the handler. A relative budget survives clock skew between the two
 	// ends, which an absolute deadline timestamp would not.
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+	// Load carries the migration bulk-load payload for Op == "load".
+	Load *LoadRequest `json:"load,omitempty"`
 }
 
 // Response is one server frame. Payload fields are op-specific.
@@ -572,6 +574,19 @@ func (s *Server) dispatch(ctx context.Context, req *Request) Response {
 			resp.Err = err.Error()
 		} else {
 			resp.Value = value
+		}
+	case "load":
+		lh, ok := s.handler.(LoadHandler)
+		if !ok {
+			resp.Err = "server does not accept loads"
+			break
+		}
+		if req.Load == nil {
+			resp.Err = "load frame without payload"
+			break
+		}
+		if err := lh.HandleLoad(ctx, req.Load); err != nil {
+			resp.Err = err.Error()
 		}
 	case "capability":
 		resp.Grammar = s.handler.Capability()
