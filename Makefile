@@ -3,7 +3,13 @@
 
 GO ?= go
 
-.PHONY: check fmt vet lint test test-race bench bench-compile build chaos
+# The staticcheck release both CI and local runs must use. Pinning keeps
+# "make lint here" and "lint job there" analyzing with the same checks:
+# an unpinned @latest drifts silently and the two disagree about what is
+# clean. CI reads this via `make print-staticcheck-version`.
+STATICCHECK_VERSION ?= 2025.1.1
+
+.PHONY: check fmt vet lint disco-lint print-staticcheck-version test test-race bench bench-compile build chaos
 
 check: fmt lint test-race
 
@@ -19,15 +25,36 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# Static analysis beyond vet. staticcheck is optional locally (the CI lint
-# job installs it); when absent the target degrades to vet alone rather
-# than failing machines that don't have it.
-lint: vet
+# Static analysis beyond vet: the project's own invariant suite
+# (cmd/disco-lint, always runs — it builds from this repo) plus
+# staticcheck. staticcheck is optional locally (the CI lint job installs
+# the pinned release); when absent the skip is loud and names the version
+# to install, and when present a version other than the pin fails rather
+# than silently analyzing with different checks.
+lint: vet disco-lint
 	@if command -v staticcheck >/dev/null 2>&1; then \
+		got="$$(staticcheck -version 2>/dev/null | sed -n 's/^staticcheck \([^ ]*\).*/\1/p')"; \
+		if [ "$$got" != "$(STATICCHECK_VERSION)" ]; then \
+			echo "staticcheck version $$got does not match pinned $(STATICCHECK_VERSION)"; \
+			echo "install with: go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
+			exit 1; \
+		fi; \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping (go vet ran)"; \
+		echo "staticcheck not installed; SKIPPING staticcheck (go vet and disco-lint ran)"; \
+		echo "install with: go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
 	fi
+
+# The project-specific analyzers (internal/lint): eofidentity, ctxflow,
+# gotrack, locksend, traceexplain. Mechanizes the bug classes the chaos
+# harness keeps rediscovering; see the "Correctness invariants" section
+# in disco.go.
+disco-lint:
+	$(GO) run ./cmd/disco-lint ./...
+
+# Used by CI to install the exact staticcheck release the Makefile pins.
+print-staticcheck-version:
+	@echo $(STATICCHECK_VERSION)
 
 test:
 	$(GO) test ./...

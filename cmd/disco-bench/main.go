@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -26,13 +28,17 @@ func main() {
 		quick = flag.Bool("quick", false, "reduced problem sizes")
 	)
 	flag.Parse()
-	if err := run(strings.Split(*exps, ","), *quick); err != nil {
+	// The process root context: ^C cancels the in-flight experiment's
+	// generators instead of killing them mid-measurement.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, strings.Split(*exps, ","), *quick); err != nil {
 		fmt.Fprintln(os.Stderr, "disco-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ids []string, quick bool) error {
+func run(ctx context.Context, ids []string, quick bool) error {
 	e1ns := []int{1, 2, 4, 8, 16, 32}
 	e1trials := 10
 	e3rows := 4000
@@ -80,9 +86,9 @@ func run(ids []string, quick bool) error {
 		case "e7":
 			table, err = harness.E7WideArea(e7rows, e7lat)
 		case "e8":
-			table, err = harness.E8ConnectionScaling(e8clients, e8per)
+			table, err = harness.E8ConnectionScaling(ctx, e8clients, e8per)
 		case "e9":
-			table, err = harness.E9Overload(e9)
+			table, err = harness.E9Overload(ctx, e9)
 		case "":
 			continue
 		default:

@@ -1,22 +1,24 @@
 package main
 
-import "testing"
+import (
+	"testing"
+)
 
 func TestRunQuickSubset(t *testing.T) {
 	// The fast experiments run end to end at quick sizes.
-	if err := run([]string{"f2", "e5", "e6"}, true); err != nil {
+	if err := run(t.Context(), []string{"f2", "e5", "e6"}, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"e99"}, true); err == nil {
+	if err := run(t.Context(), []string{"e99"}, true); err == nil {
 		t.Error("unknown experiment id should fail")
 	}
 }
 
 func TestRunEmptyIDsSkipped(t *testing.T) {
-	if err := run([]string{""}, true); err != nil {
+	if err := run(t.Context(), []string{""}, true); err != nil {
 		t.Fatal(err)
 	}
 }

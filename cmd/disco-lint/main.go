@@ -1,0 +1,115 @@
+// Command disco-lint runs disco's project-specific invariant analyzers
+// (internal/lint) over Go packages — a multichecker in the mold of
+// golang.org/x/tools/go/analysis/multichecker, built on the standard
+// library so the module stays dependency-free.
+//
+// Usage:
+//
+//	disco-lint [-list] [packages...]
+//
+// With no packages, ./... is analyzed. Findings print one per line as
+// file:line:col: analyzer: message, and any finding makes the exit status
+// 1 — this is the `make lint` / CI gate. Suppress a deliberate exception
+// in place with a justified allow comment on or directly above the
+// flagged line:
+//
+//	//lint:allow <analyzer> <why this site is a legitimate exception>
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"disco/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := run(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disco-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range findings {
+		fmt.Println(d)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "disco-lint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// listedPackage is the slice of `go list -json` output the driver needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+}
+
+func run(patterns []string) ([]lint.Diagnostic, error) {
+	pkgs, err := listPackages(patterns)
+	if err != nil {
+		return nil, err
+	}
+	analyzers := lint.Analyzers()
+	var findings []lint.Diagnostic
+	for _, pkg := range pkgs {
+		fset := token.NewFileSet()
+		var files []*ast.File
+		// Non-test files only: the invariants guard production code
+		// paths; tests legitimately detach contexts and fire goroutines.
+		for _, name := range pkg.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(pkg.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		diags, err := lint.RunPackage(fset, files, pkg.ImportPath, analyzers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pkg.ImportPath, err)
+		}
+		findings = append(findings, diags...)
+	}
+	return findings, nil
+}
+
+func listPackages(patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-json=Dir,ImportPath,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []listedPackage
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -248,6 +248,40 @@
 // partitions degrade to residuals rather than errors, and recovery is
 // complete once the faults lift.
 //
+// # Correctness invariants
+//
+// Several of the guarantees above are lexical properties of the code, not
+// runtime behaviors — and each was once violated by a real bug the chaos
+// harness caught. They are now enforced mechanically by the project's own
+// analyzer suite (internal/lint, run via cmd/disco-lint, "make lint", and
+// a dedicated CI job):
+//
+//   - eofidentity: io.EOF must be compared with err == io.EOF, never
+//     errors.Is(err, io.EOF). Wrapped EOFs from a dropped connection are
+//     NOT end-of-stream — treating them as one silently truncated answers
+//     mid-drain (the PR 9 truncation bug). Sites that deliberately
+//     classify wrapped EOFs as transport failures annotate themselves.
+//   - ctxflow: no context.Background()/TODO() on request paths. A
+//     detached context cannot carry the caller's deadline or
+//     cancellation, which is how abandoned work escapes reclamation.
+//     Deliberate detachments (server lifetime roots, background probes)
+//     carry an annotation naming what bounds them instead.
+//   - gotrack: every goroutine started in core, physical or wire must be
+//     lexically tied to a WaitGroup, a close-signal channel, or a
+//     context — an untracked goroutine is a leak the next soak finds.
+//   - locksend: no blocking channel operation while a mutex is held; a
+//     full peer turns that into a deadlock that holds the lock forever.
+//   - traceexplain: every exported core.Trace field must be rendered by
+//     the explain output, so observability cannot silently rot as fields
+//     are added.
+//
+// A finding is suppressed only by an inline annotation that names the
+// analyzer and justifies the exception:
+//
+//	//lint:allow ctxflow server lifetime root; bounded by Server.Close
+//
+// The justification is mandatory — a bare allow is itself a finding.
+//
 // Repeated queries skip recompilation entirely: Prepare results — parse,
 // view expansion, compilation and optimization — are cached per (query
 // text, catalog version), so a repeated query goes straight to execution.

@@ -19,8 +19,11 @@ import (
 // resubmitting the answer would mix stale data with fresh.
 
 // snapshotPartial records, on a partial answer, the data versions of every
-// collection the plan read from the sources that did answer.
-func (m *Mediator) snapshotPartial(plan algebra.Node, ans *partial.Answer) {
+// collection the plan read from the sources that did answer. ctx is the
+// caller's context — not the (usually already-expired) evaluation context
+// the partial answer came out of: the snapshot gets its own timeout but
+// must still die with the caller.
+func (m *Mediator) snapshotPartial(ctx context.Context, plan algebra.Node, ans *partial.Answer) {
 	if ans.Complete {
 		return
 	}
@@ -45,7 +48,7 @@ func (m *Mediator) snapshotPartial(plan algebra.Node, ans *partial.Answer) {
 	}
 	snapshot := map[string]map[string]int64{}
 	for repo, colls := range read {
-		versions, err := m.sourceVersions(repo)
+		versions, err := m.sourceVersions(ctx, repo)
 		if err != nil || versions == nil {
 			continue // unversioned or unreachable: nothing to record
 		}
@@ -69,9 +72,17 @@ func (m *Mediator) snapshotPartial(plan algebra.Node, ans *partial.Answer) {
 // partial answer was produced. An empty result means every source that
 // contributed data is unchanged (or does not track versions).
 func (m *Mediator) CheckFresh(ans *partial.Answer) ([]string, error) {
+	//lint:allow ctxflow compat shim for the context-free public API; context-aware callers use CheckFreshContext
+	return m.CheckFreshContext(context.Background(), ans)
+}
+
+// CheckFreshContext is CheckFresh bounded by the caller's context: each
+// over-the-wire version read gets the mediator's timeout but dies with
+// the caller.
+func (m *Mediator) CheckFreshContext(ctx context.Context, ans *partial.Answer) ([]string, error) {
 	var stale []string
 	for repo, snap := range ans.Snapshot {
-		current, err := m.sourceVersions(repo)
+		current, err := m.sourceVersions(ctx, repo)
 		if err != nil {
 			return nil, err
 		}
@@ -88,8 +99,9 @@ func (m *Mediator) CheckFresh(ans *partial.Answer) ([]string, error) {
 
 // sourceVersions reads the current collection versions of a repository's
 // source: directly for in-process engines, over the wire otherwise. A nil
-// map means the source does not track versions.
-func (m *Mediator) sourceVersions(repo string) (map[string]int64, error) {
+// map means the source does not track versions. The wire read gets the
+// mediator's timeout within whatever budget ctx still carries.
+func (m *Mediator) sourceVersions(ctx context.Context, repo string) (map[string]int64, error) {
 	r, err := m.catalog.Repository(repo)
 	if err != nil {
 		return nil, err
@@ -109,7 +121,7 @@ func (m *Mediator) sourceVersions(repo string) (map[string]int64, error) {
 	if r.Address == "" || strings.HasPrefix(r.Address, "file:") {
 		return nil, nil
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
+	ctx, cancel := context.WithTimeout(ctx, m.timeout)
 	defer cancel()
 	// Reuse the mediator's pooled client for the address instead of
 	// building (and dialing) a throwaway one per check.

@@ -70,6 +70,9 @@ func (tr *Trace) String() string {
 	if tr.CacheHit {
 		b.WriteString("(prepared-statement cache hit: front half skipped)\n")
 	}
+	if tr.Plan != "" {
+		fmt.Fprintf(&b, "plan     %s\n", tr.Plan)
+	}
 	if tr.AdmissionWait > 0 || tr.Shed > 0 {
 		fmt.Fprintf(&b, "admission wait %v\n", tr.AdmissionWait)
 	}
@@ -173,6 +176,7 @@ func (m *Mediator) QueryContext(ctx context.Context, src string) (types.Value, e
 
 // QueryTraced is Query with pipeline stage timings.
 func (m *Mediator) QueryTraced(src string) (types.Value, *Trace, error) {
+	//lint:allow ctxflow compat shim for the context-free public API; context-aware callers use QueryContext
 	return m.queryTraced(context.Background(), src)
 }
 
@@ -222,6 +226,7 @@ func (m *Mediator) queryTraced(ctx context.Context, src string) (types.Value, *T
 // some sources do not answer before the deadline, the answer is another
 // query (§4).
 func (m *Mediator) QueryPartial(src string) (*partial.Answer, error) {
+	//lint:allow ctxflow compat shim for the context-free public API; context-aware callers use QueryPartialContext
 	return m.QueryPartialContext(context.Background(), src)
 }
 
@@ -236,9 +241,12 @@ func (m *Mediator) QueryPartialContext(ctx context.Context, src string) (*partia
 		return nil, err
 	}
 	plan := entry.plan
-	ctx, cancel := withEvalDeadline(ctx, m.timeout)
+	// The evaluation context gets the §4 deadline; the caller's ctx stays
+	// unwrapped for the post-evaluation version snapshot, which runs after
+	// the evaluation budget is (by definition of a partial answer) spent.
+	ectx, cancel := withEvalDeadline(ctx, m.timeout)
 	defer cancel()
-	if err := m.admitQuery(ctx, tr); err != nil {
+	if err := m.admitQuery(ectx, tr); err != nil {
 		return nil, err
 	}
 	defer m.admitDone(tr)
@@ -246,11 +254,11 @@ func (m *Mediator) QueryPartialContext(ctx context.Context, src string) (*partia
 	if err != nil {
 		return nil, err
 	}
-	ans, err := partial.Evaluate(ctx, p)
+	ans, err := partial.Evaluate(ectx, p)
 	if err != nil {
 		return nil, err
 	}
-	m.snapshotPartial(plan, ans)
+	m.snapshotPartial(ctx, plan, ans)
 	return ans, nil
 }
 

@@ -207,6 +207,7 @@ func (r valueResolver) Resolve(name string, star bool) (types.Value, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow ctxflow the oql.Resolver interface carries no context; this reference-evaluation path is bounded by the mediator's own §4 evaluation deadline
 	ctx, cancel := withEvalDeadline(context.Background(), r.m.timeout)
 	defer cancel()
 	// Ad-hoc resolver plans are built per evaluation (their expression

@@ -232,6 +232,7 @@ func (m *Mediator) pingRepo(repo string) error {
 		}
 		return nil
 	}
+	//lint:allow ctxflow breaker probes deliberately outlive the query that triggered them (probeWG-tracked, bounded by the mediator timeout): a caller walking away must not strand the breaker half-open
 	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
 	defer cancel()
 	return m.clientFor(r.Address).Ping(ctx)
@@ -863,6 +864,7 @@ func isMidAnswerDropErr(err error) bool {
 	if errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
 		return true
 	}
+	//lint:allow eofidentity classification site: asks whether a transport error is EOF-shaped (wrapped EOFs included), not whether a stream ended
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 		return true
 	}

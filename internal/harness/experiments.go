@@ -504,7 +504,7 @@ func E6Modeling() (*Table, error) {
 // point queries against one TCP source from increasing numbers of
 // concurrent application threads, a fresh dial per request (the pre-pool
 // wire layer) vs one shared client with pooled, multiplexed connections.
-func E8ConnectionScaling(clients []int, queriesPerClient int) (*Table, error) {
+func E8ConnectionScaling(ctx context.Context, clients []int, queriesPerClient int) (*Table, error) {
 	if len(clients) == 0 {
 		clients = []int{1, 4, 16}
 	}
@@ -527,11 +527,11 @@ func E8ConnectionScaling(clients []int, queriesPerClient int) (*Table, error) {
 		Header: []string{"clients", "dial-per-request q/s", "pooled q/s", "speedup"},
 	}
 	for _, n := range clients {
-		dialQPS, err := e8Throughput(srv.Addr(), n, queriesPerClient, true)
+		dialQPS, err := e8Throughput(ctx, srv.Addr(), n, queriesPerClient, true)
 		if err != nil {
 			return nil, err
 		}
-		poolQPS, err := e8Throughput(srv.Addr(), n, queriesPerClient, false)
+		poolQPS, err := e8Throughput(ctx, srv.Addr(), n, queriesPerClient, false)
 		if err != nil {
 			return nil, err
 		}
@@ -548,8 +548,9 @@ func E8ConnectionScaling(clients []int, queriesPerClient int) (*Table, error) {
 }
 
 // e8Throughput runs clients*perClient point queries and returns the
-// aggregate queries/second.
-func e8Throughput(addr string, clients, perClient int, dialPerRequest bool) (float64, error) {
+// aggregate queries/second. Each query gets its own deadline within
+// whatever budget ctx still carries.
+func e8Throughput(ctx context.Context, addr string, clients, perClient int, dialPerRequest bool) (float64, error) {
 	var opts []wire.ClientOption
 	if dialPerRequest {
 		opts = append(opts, wire.WithDialPerRequest())
@@ -566,8 +567,8 @@ func e8Throughput(addr string, clients, perClient int, dialPerRequest bool) (flo
 		go func() {
 			defer wg.Done()
 			for j := 0; j < perClient; j++ {
-				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-				_, err := c.Query(ctx, wire.LangSQL, q)
+				qctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+				_, err := c.Query(qctx, wire.LangSQL, q)
 				cancel()
 				if err != nil {
 					errCh <- err

@@ -53,8 +53,9 @@ type OverloadSweepConfig struct {
 // what graceful degradation is supposed to deliver: goodput that holds
 // (rather than collapsing) as offered load exceeds capacity, an explicit
 // shed rate absorbing the excess, and a bounded p99 for the queries that
-// were admitted.
-func RunOverloadSweep(cfg OverloadSweepConfig) ([]OverloadPoint, error) {
+// were admitted. ctx bounds the whole sweep: cancelling it stops the
+// generators at their next per-query deadline.
+func RunOverloadSweep(ctx context.Context, cfg OverloadSweepConfig) ([]OverloadPoint, error) {
 	if cfg.Sources <= 0 {
 		cfg.Sources = 4
 	}
@@ -91,22 +92,23 @@ func RunOverloadSweep(cfg OverloadSweepConfig) ([]OverloadPoint, error) {
 	// Warm the prepared-statement cache and the gate's service-time window
 	// so the measured levels exercise steady-state behaviour.
 	for i := 0; i < 4; i++ {
-		if _, err := f.M.Query(paperQuery); err != nil {
+		if _, err := f.M.QueryContext(ctx, paperQuery); err != nil {
 			return nil, fmt.Errorf("overload warm-up: %w", err)
 		}
 	}
 
 	points := make([]OverloadPoint, 0, len(cfg.Multipliers))
 	for _, mult := range cfg.Multipliers {
-		p := runOverloadLevel(f.M, mult, cfg.MaxConcurrent*mult, cfg.SLO, cfg.Duration)
+		p := runOverloadLevel(ctx, f.M, mult, cfg.MaxConcurrent*mult, cfg.SLO, cfg.Duration)
 		points = append(points, p)
 	}
 	return points, nil
 }
 
 // runOverloadLevel runs one load level: clients closed-loop workers, each
-// issuing the paper query back-to-back under the SLO deadline.
-func runOverloadLevel(m *core.Mediator, mult, clients int, slo, duration time.Duration) OverloadPoint {
+// issuing the paper query back-to-back under the SLO deadline (within
+// whatever budget the sweep's ctx still carries).
+func runOverloadLevel(ctx context.Context, m *core.Mediator, mult, clients int, slo, duration time.Duration) OverloadPoint {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
@@ -122,9 +124,9 @@ func runOverloadLevel(m *core.Mediator, mult, clients int, slo, duration time.Du
 		go func() {
 			defer wg.Done()
 			for time.Now().Before(stopAt) {
-				ctx, cancel := context.WithTimeout(context.Background(), slo)
+				qctx, cancel := context.WithTimeout(ctx, slo)
 				t0 := time.Now()
-				_, err := m.QueryContext(ctx, paperQuery)
+				_, err := m.QueryContext(qctx, paperQuery)
 				elapsed := time.Since(t0)
 				cancel()
 				mu.Lock()
@@ -176,8 +178,8 @@ func quantileDuration(ds []time.Duration, q float64) time.Duration {
 // absorbs the excess, and admitted-query p99 stays bounded near the SLO —
 // load shedding converts "everyone times out" into "most succeed fast,
 // the rest learn immediately".
-func E9Overload(cfg OverloadSweepConfig) (*Table, error) {
-	points, err := RunOverloadSweep(cfg)
+func E9Overload(ctx context.Context, cfg OverloadSweepConfig) (*Table, error) {
+	points, err := RunOverloadSweep(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

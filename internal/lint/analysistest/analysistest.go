@@ -1,0 +1,107 @@
+// Package analysistest runs lint analyzers over fixture packages and
+// checks their findings against expectations written in the fixtures
+// themselves, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the standard library alone.
+//
+// A fixture is a directory of Go files under testdata/src/<name>/. Lines
+// expected to produce a finding carry a want comment whose Go-quoted
+// regular expression must match the finding's message:
+//
+//	if errors.Is(err, io.EOF) { // want `compare the end-of-stream sentinel by identity`
+//
+// A line with a want comment but no finding, or a finding on a line with
+// no want comment, fails the test. Fixtures run through lint.RunPackage —
+// the same pipeline cmd/disco-lint and CI run — so allow-comment
+// filtering is exercised too: negative fixtures prove the escape hatch
+// works, and malformed allow comments surface as "allow" findings that
+// can themselves be matched with want comments.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"disco/internal/lint"
+)
+
+// wantRe matches "// want" comments; the expectation is the
+// backquoted regular expression.
+var wantRe = regexp.MustCompile("//\\s*want\\s+`([^`]*)`")
+
+// Run analyzes the fixture package in dir as though it had the given
+// import path (so the analyzer's package filter applies exactly as in
+// production) and reports every mismatch between findings and want
+// comments as test errors.
+func Run(t *testing.T, dir, importPath string, a *lint.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var files []*ast.File
+	wants := map[lineKey]*wantExpectation{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture: %v", err)
+		}
+		files = append(files, f)
+		for i, line := range strings.Split(string(src), "\n") {
+			if m := wantRe.FindStringSubmatch(line); m != nil {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[1], err)
+				}
+				wants[lineKey{file: path, line: i + 1}] = &wantExpectation{re: re}
+			}
+		}
+	}
+	if a.Match != nil && !a.Match(importPath) {
+		t.Fatalf("analyzer %s does not match import path %s; fixture would be vacuous", a.Name, importPath)
+	}
+	diags, err := lint.RunPackage(fset, files, importPath, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		w := wants[lineKey{file: d.Pos.Filename, line: d.Pos.Line}]
+		switch {
+		case w == nil:
+			t.Errorf("%s: unexpected finding: %s", a.Name, d)
+		case !w.re.MatchString(d.Message):
+			t.Errorf("%s: finding at %s does not match want %q: %s", a.Name, d.Pos, w.re, d.Message)
+		default:
+			w.matched = true
+		}
+	}
+	for k, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no finding at %s:%d matching %q", a.Name, k.file, k.line, w.re)
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type wantExpectation struct {
+	re      *regexp.Regexp
+	matched bool
+}

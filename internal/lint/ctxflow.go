@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxFlow guards end-to-end cancellation (PR 8): a context.Background()
+// or context.TODO() in a serving-path package detaches everything beneath
+// it from the caller's deadline and cancellation — the work keeps burning
+// source capacity after the caller walked away, and the propagated-budget
+// wire protocol never sees the real deadline. Request paths must thread
+// the caller's ctx. Deliberate detachments exist — a server's lifetime
+// root, a background health ping with no caller, a public non-context API
+// shim — and each carries an allow comment explaining why it is one.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "flags context.Background()/context.TODO() in serving-path packages: request paths must thread the caller's " +
+		"context; annotate deliberate detachments with //lint:allow ctxflow <why>",
+	Match: matchPrefixes(
+		"disco/internal/core",
+		"disco/internal/wire",
+		"disco/internal/physical",
+		"disco/internal/source",
+		"disco/internal/harness",
+	),
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 0 {
+				return true
+			}
+			for _, name := range [...]string{"Background", "TODO"} {
+				if isPkgCall(call.Fun, "context", name) {
+					pass.Reportf(call.Pos(),
+						"context.%s() detaches this call from the caller's deadline and cancellation — abandoned work "+
+							"keeps running and the wire protocol's propagated budget is lost; thread the caller's "+
+							"context, or mark a deliberate detachment with //lint:allow ctxflow <why>", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// EOFIdentity mechanizes the PR 9 silent-truncation class. The physical
+// layer's batch drains used errors.Is(err, io.EOF) to detect end of
+// stream; a transport failure that *wraps* io.EOF (a peer hanging up
+// mid-answer surfaces as an error chain ending in EOF) matched too, so a
+// dying shard read as a clean, shorter stream and fan-outs silently
+// truncated into smaller "complete" answers. End-of-stream is a sentinel
+// handed back by our own operators, never wrapped, so it must be compared
+// by identity: err == io.EOF. Genuine error-classification sites — code
+// asking "did the transport die in an EOF-shaped way?", like
+// isMidAnswerDropErr in internal/core/runtime.go — are exactly the places
+// errors.Is is correct, and carry an allow comment saying so.
+var EOFIdentity = &Analyzer{
+	Name: "eofidentity",
+	Doc: "flags errors.Is(err, io.EOF) end-of-stream checks: wrapped transport EOFs match and silently truncate streams; " +
+		"compare by identity (err == io.EOF), or annotate a genuine classification site with //lint:allow eofidentity <why>",
+	Run: runEOFIdentity,
+}
+
+func runEOFIdentity(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				return true
+			}
+			if !isPkgCall(call.Fun, "errors", "Is") {
+				return true
+			}
+			if sel, ok := call.Args[1].(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == "io" && sel.Sel.Name == "EOF" {
+					pass.Reportf(call.Pos(),
+						"errors.Is(err, io.EOF) also matches transport errors that wrap io.EOF, turning a mid-answer "+
+							"disconnect into a clean end-of-stream (the PR 9 silent-truncation bug); compare the "+
+							"end-of-stream sentinel by identity (err == io.EOF), or mark a genuine error-classification "+
+							"site with //lint:allow eofidentity <why>")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPkgCall reports whether fun is the selector pkg.name (a call into a
+// package by its conventional import name — syntactic, so a renamed
+// import sidesteps it; the codebase does not rename these).
+func isPkgCall(fun ast.Expr, pkg, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg
+}

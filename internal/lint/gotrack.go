@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// GoTrack mechanizes the goroutine-leak class: PR 5's scatter-gather
+// branches blocked forever on a merge channel after a sibling's Open
+// failed, and PR 6's breaker probes dialed through client pools that
+// Close had already released — both goroutines nothing owned. Every go
+// statement in the runtime packages must be lexically tied to a shutdown
+// mechanism visible in the enclosing function:
+//
+//   - the goroutine body calls Done/Wait on something (WaitGroup
+//     accounting, or parking on a ctx.Done()),
+//   - the body closes a channel or blocks on a receive (a close-signal
+//     unparks it),
+//   - the body sends its result on a channel made by an enclosing
+//     function (completion-signal pattern: the maker owns the drain), or
+//   - a named-function goroutine (go s.loop()) is preceded by a
+//     WaitGroup Add in the enclosing function.
+//
+// The check is lexical by design: tracking that only a reviewer can see
+// is tracking the next refactor deletes. A goroutine whose lifecycle is
+// genuinely owned elsewhere carries an allow comment naming the owner.
+var GoTrack = &Analyzer{
+	Name: "gotrack",
+	Doc: "flags go statements not lexically tied to a WaitGroup Add/Done pair, a close-signal channel, or a context " +
+		"cancel in the enclosing function; annotate deliberately detached goroutines with //lint:allow gotrack <owner>",
+	Match: matchPrefixes(
+		"disco/internal/core",
+		"disco/internal/physical",
+		"disco/internal/wire",
+	),
+	Run: runGoTrack,
+}
+
+func runGoTrack(pass *Pass) error {
+	for _, f := range pass.Files {
+		var stack []ast.Node // enclosing FuncDecl/FuncLit chain
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case nil:
+				return false
+			case *ast.FuncDecl, *ast.FuncLit:
+				stack = append(stack, x)
+				// Pop on post-order visit: Inspect signals it with nil,
+				// but we need per-node pops, so walk children manually.
+				defer func() { stack = stack[:len(stack)-1] }()
+				for _, c := range childrenOf(x) {
+					runGoTrackWalk(pass, c, &stack)
+				}
+				return false
+			case *ast.GoStmt:
+				checkGoStmt(pass, x, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// runGoTrackWalk continues the traversal below a function node with the
+// stack snapshot live (defer-based popping needs explicit recursion).
+func runGoTrackWalk(pass *Pass, n ast.Node, stack *[]ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case nil:
+			return false
+		case *ast.FuncLit:
+			*stack = append(*stack, x)
+			for _, c := range childrenOf(x) {
+				runGoTrackWalk(pass, c, stack)
+			}
+			*stack = (*stack)[:len(*stack)-1]
+			return false
+		case *ast.GoStmt:
+			checkGoStmt(pass, x, *stack)
+		}
+		return true
+	})
+}
+
+func childrenOf(fn ast.Node) []ast.Node {
+	switch x := fn.(type) {
+	case *ast.FuncDecl:
+		if x.Body != nil {
+			return []ast.Node{x.Body}
+		}
+	case *ast.FuncLit:
+		return []ast.Node{x.Body}
+	}
+	return nil
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt, stack []ast.Node) {
+	if len(stack) == 0 {
+		return // go at top level cannot happen in valid Go
+	}
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		if trackedGoBody(lit.Body, stack) {
+			return
+		}
+	} else if addBefore(stack, g.Pos(), pass) {
+		return
+	}
+	pass.Reportf(g.Pos(),
+		"goroutine is not lexically tied to a WaitGroup Add/Done pair, a close-signal channel, or a context cancel "+
+			"in the enclosing function — nothing owns its shutdown (the PR 5 scatter-gather leak / PR 6 untracked-probe "+
+			"class); tie it to its owner's lifecycle, or mark a deliberately detached goroutine with //lint:allow gotrack <owner>")
+}
+
+// trackedGoBody reports whether a go func literal's body carries a
+// visible shutdown tie.
+func trackedGoBody(body *ast.BlockStmt, stack []ast.Node) bool {
+	made := madeChans(stack)
+	tracked := false
+	inspectSkipFuncLit(body, func(n ast.Node) bool {
+		if tracked {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if _, ok := selCall(x, "Done", "Wait"); ok {
+				tracked = true // WaitGroup accounting, or parking on ctx.Done()
+			}
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "close" {
+				tracked = true // closer goroutine: someone blocks on this signal
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				tracked = true // blocked on a channel: a close/send unparks it
+			}
+		case *ast.SendStmt:
+			if ch := exprString(x.Chan); ch != "" && made[ch] {
+				tracked = true // completion signal on a channel the maker drains
+			}
+		}
+		return true
+	})
+	return tracked
+}
+
+// addBefore reports whether any enclosing function contains a WaitGroup
+// Add call lexically before pos (the wg.Add(1); go s.loop() idiom). What
+// makes an Add receiver a WaitGroup rather than an atomic counter —
+// atomics spell Add too — is a Done or Wait on the same group somewhere
+// in the package: accounting nobody ever drains is not tracking. Groups
+// are matched by the spine's final component ("connWG" for both
+// c.connWG.Add and cc.c.connWG.Done), since different methods reach the
+// same field through different receivers.
+func addBefore(stack []ast.Node, pos token.Pos, pass *Pass) bool {
+	found := false
+	drained := drainedSpines(pass)
+	for _, fn := range stack {
+		ast.Inspect(fn, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && call.Pos() < pos {
+				if recv, ok := selCall(call, "Add"); ok && drained[lastComponent(recv)] {
+					found = true
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// drainedSpines collects the final spine component of every Done/Wait
+// call in the package ("wg" for s.wg.Done()).
+func drainedSpines(pass *Pass) map[string]bool {
+	if pass.drained != nil {
+		return pass.drained
+	}
+	drained := map[string]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if recv, ok := selCall(call, "Done", "Wait"); ok && recv != "" {
+					drained[lastComponent(recv)] = true
+				}
+			}
+			return true
+		})
+	}
+	pass.drained = drained
+	return drained
+}
+
+func lastComponent(spine string) string {
+	if i := strings.LastIndexByte(spine, '.'); i >= 0 {
+		return spine[i+1:]
+	}
+	return spine
+}
+
+// madeChans collects the spines of channels created by make in any
+// enclosing function (ch := make(chan T), s.resCh = make(chan T, 1)).
+func madeChans(stack []ast.Node) map[string]bool {
+	made := map[string]bool{}
+	for _, fn := range stack {
+		ast.Inspect(fn, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" {
+					continue
+				}
+				if _, ok := call.Args[0].(*ast.ChanType); !ok {
+					continue
+				}
+				if s := exprString(as.Lhs[i]); s != "" {
+					made[s] = true
+				}
+			}
+			return true
+		})
+	}
+	return made
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// exprString renders the identifier/selector spine of an expression
+// ("m.mu", "c.cond.L") for matching receivers and channels across
+// statements. Expressions with no stable spine render as "".
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.StarExpr:
+		return exprString(x.X)
+	case *ast.IndexExpr:
+		base := exprString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "[]"
+	}
+	return ""
+}
+
+// selCall unpacks a method-call expression into its receiver spine and
+// method name ("m.mu", "Lock"); ok is false for anything else.
+func selCall(call *ast.CallExpr, names ...string) (recv string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return exprString(sel.X), true
+		}
+	}
+	return "", false
+}
+
+// inspectSkipFuncLit walks n calling f on every node, but does not
+// descend into function literals: their bodies execute on a different
+// goroutine (or later), so lexical state like "lock held" or "go body"
+// must not leak across the boundary.
+func inspectSkipFuncLit(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+			return false
+		}
+		return f(m)
+	})
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockSend mechanizes the probe-slot/stall class: blocking channel work
+// performed while a mutex is held couples everyone contending on that
+// lock to whoever is supposed to unblock the channel — and when the
+// unblocking party needs the same lock (PR 6's probe-slot accounting came
+// one refactor away from exactly this), the deadlock only shows under
+// load. While any Lock/RLock is lexically held, the analyzer flags
+// channel sends, channel receives, and selects without a default: each
+// can block indefinitely. Non-blocking forms (selects with a default,
+// close, sync.Cond use) pass. Lock tracking is per-function and lexical:
+// holds entered in a branch do not leak past it, deferred Unlocks hold to
+// function end, and function literals start lock-free (they run on their
+// own goroutine or later).
+var LockSend = &Analyzer{
+	Name: "locksend",
+	Doc: "flags blocking channel operations (send, receive, select without default) while a mutex is lexically held; " +
+		"move the channel work off the lock, or annotate with //lint:allow locksend <why>",
+	Match: matchPrefixes(
+		"disco/internal/core",
+		"disco/internal/physical",
+		"disco/internal/wire",
+		"disco/internal/source",
+	),
+	Run: runLockSend,
+}
+
+func runLockSend(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					scanLocked(pass, x.Body.List, map[string]bool{})
+				}
+			case *ast.FuncLit:
+				scanLocked(pass, x.Body.List, map[string]bool{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// scanLocked walks a statement list in order, tracking which mutexes are
+// held, and reports blocking channel operations that occur under one.
+// Nested blocks get a copy of the held set: a lock taken inside a branch
+// conservatively does not count as held after it.
+func scanLocked(pass *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		scanStmt(pass, s, held)
+	}
+}
+
+func scanStmt(pass *Pass, s ast.Stmt, held map[string]bool) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if recv, ok := selCall(call, "Lock", "RLock"); ok && recv != "" {
+				held[recv] = true
+				return
+			}
+			if recv, ok := selCall(call, "Unlock", "RUnlock"); ok && recv != "" {
+				delete(held, recv)
+				return
+			}
+		}
+		checkExpr(pass, x.X, held)
+	case *ast.SendStmt:
+		report(pass, x.Pos(), "channel send", held)
+		checkExpr(pass, x.Value, held)
+	case *ast.DeferStmt:
+		if _, ok := selCall(x.Call, "Unlock", "RUnlock"); ok {
+			return // lock now held to function end: keep it in the set
+		}
+		for _, a := range x.Call.Args {
+			checkExpr(pass, a, held) // defer args evaluate now
+		}
+	case *ast.GoStmt:
+		for _, a := range x.Call.Args {
+			checkExpr(pass, a, held) // go args evaluate now; the body runs elsewhere
+		}
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			checkExpr(pass, e, held)
+		}
+		for _, e := range x.Lhs {
+			checkExpr(pass, e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			checkExpr(pass, e, held)
+		}
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.LabeledStmt:
+		if l, ok := x.(*ast.LabeledStmt); ok {
+			scanStmt(pass, l.Stmt, held)
+			return
+		}
+		checkExpr(pass, x.(ast.Node), held)
+	case *ast.BlockStmt:
+		scanLocked(pass, x.List, clone(held))
+	case *ast.IfStmt:
+		scanStmt(pass, x.Init, held)
+		checkExpr(pass, x.Cond, held)
+		scanLocked(pass, x.Body.List, clone(held))
+		scanStmt(pass, x.Else, clone(held))
+	case *ast.ForStmt:
+		scanStmt(pass, x.Init, held)
+		checkExpr(pass, x.Cond, held)
+		inner := clone(held)
+		scanLocked(pass, x.Body.List, inner)
+		scanStmt(pass, x.Post, inner)
+	case *ast.RangeStmt:
+		checkExpr(pass, x.X, held)
+		scanLocked(pass, x.Body.List, clone(held))
+	case *ast.SwitchStmt:
+		scanStmt(pass, x.Init, held)
+		checkExpr(pass, x.Tag, held)
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					checkExpr(pass, e, held)
+				}
+				scanLocked(pass, cc.Body, clone(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		scanStmt(pass, x.Init, held)
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				scanLocked(pass, cc.Body, clone(held))
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			report(pass, x.Pos(), "select without a default case", held)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				scanLocked(pass, cc.Body, clone(held))
+			}
+		}
+	}
+}
+
+// checkExpr reports channel receives inside an expression evaluated while
+// locks are held, without descending into function literals.
+func checkExpr(pass *Pass, e ast.Node, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	inspectSkipFuncLit(e, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			report(pass, u.Pos(), "channel receive", held)
+		}
+		return true
+	})
+}
+
+func report(pass *Pass, pos token.Pos, what string, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	lock := ""
+	for l := range held {
+		if lock == "" || l < lock {
+			lock = l
+		}
+	}
+	pass.Reportf(pos,
+		"%s while %s is held can block every goroutine contending on the lock (and deadlocks outright if the "+
+			"unblocking party needs it); move the channel work off the critical section, or mark a proven-non-blocking "+
+			"site with //lint:allow locksend <why>", what, lock)
+}
+
+func clone(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+// Fixture: detached contexts in serving-path code (the PR 8 class: work
+// that keeps burning source capacity after the caller walked away).
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+type client struct{ timeout time.Duration }
+
+func (c *client) ping(ctx context.Context) error { return ctx.Err() }
+
+// detached is the bug shape: the caller's deadline and cancellation are
+// thrown away, so the propagated wire budget never sees them.
+func detached(c *client) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout) // want `thread the caller's context`
+	defer cancel()
+	return c.ping(ctx)
+}
+
+// todoDetached: context.TODO is the same detachment with a softer name.
+func todoDetached(c *client) error {
+	return c.ping(context.TODO()) // want `thread the caller's context`
+}
+
+// threaded is the fixed shape: the caller's ctx bounds the call.
+func threaded(ctx context.Context, c *client) error {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	return c.ping(ctx)
+}
+
+// lifetimeRoot is a deliberate detachment — a server's lifetime root has
+// no caller to inherit from — and carries the justified escape.
+func lifetimeRoot(c *client) (context.Context, context.CancelFunc) {
+	//lint:allow ctxflow server lifetime root: there is no caller context to inherit
+	return context.WithCancel(context.Background())
+}

@@ -1,0 +1,37 @@
+// Fixture: the allow-comment escape for genuine error-classification
+// sites (the isMidAnswerDropErr shape from internal/core/runtime.go),
+// and the malformed allow comments that must themselves be findings.
+package fixture
+
+import (
+	"errors"
+	"io"
+)
+
+// isMidAnswerDrop asks whether the transport died in an EOF-shaped way —
+// exactly the question errors.Is exists to answer. The justified allow
+// comment suppresses the finding.
+func isMidAnswerDrop(err error) bool {
+	//lint:allow eofidentity classification site: asks whether a transport error is EOF-shaped, not whether a stream ended
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	return false
+}
+
+// suppressedSameLine proves the same-line escape form.
+func suppressedSameLine(err error) bool {
+	return errors.Is(err, io.EOF) //lint:allow eofidentity classification site, same-line form
+}
+
+// badAllows proves that malformed allow comments cannot silently disarm
+// the invariant: a missing justification and an unknown analyzer name are
+// both findings, and the errors.Is they fail to cover still fires.
+func badAllows(err error) bool {
+	//lint:allow eofidentity // want `needs a justification`
+	if errors.Is(err, io.EOF) { // want `compare the end-of-stream sentinel by identity`
+		return true
+	}
+	//lint:allow eofidentityy typo in the analyzer name // want `unknown analyzer`
+	return errors.Is(err, io.EOF) // want `compare the end-of-stream sentinel by identity`
+}

@@ -1,0 +1,74 @@
+// Fixture: the PR 9 silent-truncation regression, reproduced verbatim.
+// Before the fix, physical.Drain detected end-of-stream with
+// errors.Is(err, io.EOF); a transport error wrapping io.EOF (a peer
+// hanging up mid-answer) matched it, and the fan-out silently truncated
+// into a smaller "complete" answer.
+package fixture
+
+import (
+	"context"
+	"errors"
+	"io"
+)
+
+type operator interface {
+	Open(ctx context.Context) error
+	NextBatch(b *batch) error
+	Close() error
+}
+
+type batch struct{}
+
+func (b *batch) values() []any { return nil }
+
+// drainBuggy is the pre-fix PR 9 code path.
+func drainBuggy(ctx context.Context, op operator) ([]any, error) {
+	if err := op.Open(ctx); err != nil {
+		op.Close()
+		return nil, err
+	}
+	defer op.Close()
+	b := &batch{}
+	var out []any
+	for {
+		err := op.NextBatch(b)
+		if errors.Is(err, io.EOF) { // want `compare the end-of-stream sentinel by identity`
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b.values()...)
+	}
+}
+
+// drainFixed is the post-fix code path: identity comparison cannot match
+// a wrapped transport EOF.
+func drainFixed(ctx context.Context, op operator) ([]any, error) {
+	if err := op.Open(ctx); err != nil {
+		op.Close()
+		return nil, err
+	}
+	defer op.Close()
+	b := &batch{}
+	var out []any
+	for {
+		err := op.NextBatch(b)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b.values()...)
+	}
+}
+
+// classify shows the other errors.Is uses the analyzer must leave alone:
+// non-EOF targets, and EOF identity comparisons.
+func classify(err error) bool {
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	return errors.Is(err, context.DeadlineExceeded)
+}

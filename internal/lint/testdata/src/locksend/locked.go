@@ -1,0 +1,103 @@
+// Fixture: blocking channel work under a mutex (the probe-slot/stall
+// class). While a Lock/RLock is lexically held, sends, receives, and
+// selects without a default can block every goroutine contending on the
+// lock.
+package fixture
+
+import "sync"
+
+type pool struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	ch   chan int
+}
+
+// sendUnderLock is the bug shape.
+func (p *pool) sendUnderLock(v int) {
+	p.mu.Lock()
+	p.ch <- v // want `channel send while p.mu is held`
+	p.mu.Unlock()
+}
+
+// sendUnderDeferredUnlock: a deferred Unlock holds the lock to function
+// end, so the send is still under it.
+func (p *pool) sendUnderDeferredUnlock(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ch <- v // want `channel send while p.mu is held`
+}
+
+// receiveUnderRLock: receives block too.
+func (p *pool) receiveUnderRLock() int {
+	p.rw.RLock()
+	defer p.rw.RUnlock()
+	return <-p.ch // want `channel receive while p.rw is held`
+}
+
+// selectUnderLock: a select without a default blocks until a case fires.
+func (p *pool) selectUnderLock(stop chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select { // want `select without a default case while p.mu is held`
+	case v := <-p.ch:
+		_ = v
+	case <-stop:
+	}
+}
+
+// sendAfterUnlock is the fixed shape: the channel work moved off the
+// critical section.
+func (p *pool) sendAfterUnlock(v int) {
+	p.mu.Lock()
+	p.mu.Unlock()
+	p.ch <- v
+}
+
+// nonBlockingUnderLock: a select with a default cannot block — this is
+// the sanctioned try-send idiom.
+func (p *pool) nonBlockingUnderLock(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case p.ch <- v:
+	default:
+	}
+}
+
+// condUnderLock: sync.Cond is the sanctioned way to wait under a mutex.
+func (p *pool) condUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cond.Wait()
+	p.cond.Broadcast()
+}
+
+// branchScoped: a lock taken inside a branch does not poison the
+// statements after the branch.
+func (p *pool) branchScoped(locked bool, v int) {
+	if locked {
+		p.mu.Lock()
+		p.mu.Unlock()
+	}
+	p.ch <- v
+}
+
+// literalUnderLock: a function literal defined under the lock runs on its
+// own goroutine (or later) and starts lock-free.
+func (p *pool) literalUnderLock() func() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return func() {
+		p.ch <- 1
+	}
+}
+
+// allowed: a send proven non-blocking (buffered, sole sender) carries the
+// justified escape.
+func (p *pool) allowed(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//lint:allow locksend buffered result channel with exactly one send; cannot block
+	p.ch <- v
+}

@@ -1,0 +1,37 @@
+// Fixture: Trace/renderer drift (the check PRs 7 and 8 did by hand).
+// Every exported Trace field must be rendered by the explain surface.
+package fixture
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Trace mirrors core.Trace's shape: stage timings plus degradation
+// counters.
+type Trace struct {
+	Parse   time.Duration
+	Execute time.Duration
+	// Shed is rendered below.
+	Shed int64
+	// Dropped is collected but never rendered — the drift bug.
+	Dropped int64 // want `Trace.Dropped is collected but never rendered`
+	// admittedAt is unexported bookkeeping; the invariant covers only the
+	// exported surface.
+	admittedAt time.Time
+	// DebugSeq is deliberately internal and carries the escape.
+	//lint:allow traceexplain internal sequence number for test ordering; not a degradation signal
+	DebugSeq int64
+}
+
+// String is the explain surface.
+func (tr *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "parse    %v\n", tr.Parse)
+	fmt.Fprintf(&b, "execute  %v\n", tr.Execute)
+	if tr.Shed > 0 {
+		b.WriteString("shed by admission gate (overload)\n")
+	}
+	return b.String()
+}

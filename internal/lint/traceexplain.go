@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// TraceExplain mechanizes the drift check PRs 7 and 8 did by hand: every
+// degradation signal added to core.Trace (admission waits, sheds, hedges,
+// retries, cancels, shard reads) must also be rendered by the trace's
+// explain surface — (*Trace).String and the package's Explain functions —
+// or operators debugging a slow query simply cannot see it. A counter
+// that is collected but never rendered is drift: the field exists, tests
+// pass, and the one person who needs it at 3am reads an explain output
+// that silently omits it.
+var TraceExplain = &Analyzer{
+	Name: "traceexplain",
+	Doc: "flags exported core.Trace fields that the explain surface ((*Trace).String / Explain) never renders; " +
+		"render the field, or annotate intentionally internal ones with //lint:allow traceexplain <why>",
+	Match: matchPrefixes("disco/internal/core"),
+	Run:   runTraceExplain,
+}
+
+func runTraceExplain(pass *Pass) error {
+	type field struct {
+		name string
+		pos  ast.Node
+	}
+	var fields []field
+	rendered := map[string]bool{}
+	foundRenderer := false
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.TypeSpec:
+				st, ok := x.Type.(*ast.StructType)
+				if !ok || x.Name.Name != "Trace" {
+					return true
+				}
+				for _, fl := range st.Fields.List {
+					for _, name := range fl.Names {
+						if name.IsExported() {
+							fields = append(fields, field{name: name.Name, pos: name})
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if x.Body == nil {
+					return true
+				}
+				if !isTraceRenderer(x) {
+					return true
+				}
+				foundRenderer = true
+				ast.Inspect(x.Body, func(n ast.Node) bool {
+					if sel, ok := n.(*ast.SelectorExpr); ok {
+						rendered[sel.Sel.Name] = true
+					}
+					return true
+				})
+				return false
+			}
+			return true
+		})
+	}
+
+	if len(fields) == 0 {
+		return nil
+	}
+	if !foundRenderer {
+		pass.Reportf(fields[0].pos.Pos(),
+			"Trace has exported fields but no renderer ((*Trace).String or an Explain function) in the package")
+		return nil
+	}
+	for _, fl := range fields {
+		if !rendered[fl.name] {
+			pass.Reportf(fl.pos.Pos(),
+				"Trace.%s is collected but never rendered by the explain surface ((*Trace).String / Explain) — a "+
+					"degradation signal nobody can see; render it, or mark an intentionally internal field with "+
+					"//lint:allow traceexplain <why>", fl.name)
+		}
+	}
+	return nil
+}
+
+// isTraceRenderer reports whether fn is part of the trace's explain
+// surface: a method named String or Explain on Trace/*Trace, or any
+// function named Explain.
+func isTraceRenderer(fn *ast.FuncDecl) bool {
+	if fn.Name.Name == "Explain" {
+		return true
+	}
+	if fn.Name.Name != "String" || fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return false
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "Trace"
+}

@@ -211,6 +211,7 @@ func (s *RelStore) Collection(name string) (*types.Bag, error) {
 // interpreter, which guarantees the engine's comparison and join semantics
 // are identical to the mediator's.
 func (s *RelStore) Query(q string) (*types.Bag, error) {
+	//lint:allow ctxflow compat shim for the context-free Engine interface; context-aware callers (the mediator included) use QueryContext via ContextEngine
 	return s.QueryContext(context.Background(), q)
 }
 

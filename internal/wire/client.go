@@ -70,6 +70,14 @@ type Client struct {
 	dialing   int // dials in flight, reserved against poolSize
 	reapTimer *time.Timer
 	closed    bool
+
+	// connWG and pingWG track the pool's background goroutines — one
+	// readLoop per pooled connection, plus in-flight health pings — so
+	// Close drains them instead of letting them outlive the pool. Both
+	// Add under c.mu with closed checked, so no Add can race Close's
+	// Wait.
+	connWG sync.WaitGroup
+	pingWG sync.WaitGroup
 }
 
 // ClientStats counts request-abandonment traffic on the client side of the
@@ -201,6 +209,11 @@ func (c *Client) Close() {
 	for _, cc := range conns {
 		cc.shutdown(ErrClientClosed)
 	}
+	// Drain the pool's background goroutines: shutdown closed every
+	// conn's socket (unblocking its readLoop) and its done channel
+	// (unblocking any in-flight health ping), so both Waits are prompt.
+	c.connWG.Wait()
+	c.pingWG.Wait()
 }
 
 // PoolStats reports the pool's live connection count and total in-flight
@@ -357,6 +370,7 @@ func (c *Client) conn(ctx context.Context) (*clientConn, error) {
 	c.conns = append(c.conns, cc)
 	c.scheduleReapLocked()
 	c.cond.Broadcast()
+	c.connWG.Add(1) // under c.mu, after the closed check: Close will wait
 	c.mu.Unlock()
 	go cc.readLoop()
 	return cc, nil
@@ -425,7 +439,13 @@ func (c *Client) healthCheckLocked(now time.Time) {
 		if !cc.pinging.CompareAndSwap(false, true) {
 			continue
 		}
-		go c.pingConn(cc)
+		// Add under c.mu (reapTick checked closed), Done in the launcher —
+		// not in pingConn, which tests also call synchronously.
+		c.pingWG.Add(1)
+		go func() {
+			defer c.pingWG.Done()
+			c.pingConn(cc)
+		}()
 	}
 }
 
@@ -444,6 +464,7 @@ func (c *Client) pingConn(cc *clientConn) {
 		c.cond.Broadcast()
 		c.mu.Unlock()
 	}()
+	//lint:allow ctxflow background health ping with no caller: the reap timer launches it, bounded by the health interval
 	ctx, cancel := context.WithTimeout(context.Background(), c.healthInterval)
 	defer cancel()
 	req := Request{ID: c.nextID.Add(1), Op: "ping"}
@@ -695,6 +716,7 @@ func (cc *clientConn) abandon(id int64) {
 	if cc.c.noCancelPropagation {
 		return
 	}
+	//lint:allow gotrack fire-and-forget by design: a best-effort cancel frame bounded by a short write deadline; the server's connection-death path covers the loss
 	go cc.sendCancels([]int64{id})
 }
 
@@ -728,6 +750,7 @@ func (cc *clientConn) sendCancels(ids []int64) {
 // caller gave up, or the server misbehaved) are dropped, never delivered to
 // the wrong request.
 func (cc *clientConn) readLoop() {
+	defer cc.c.connWG.Done()
 	r := bufio.NewReaderSize(cc.nc, 64*1024)
 	for {
 		line, err := readFrame(r)

@@ -241,6 +241,7 @@ func NewServer(addr string, h Handler, opts ...ServerOption) (*Server, error) {
 		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
 	}
 	s := &Server{handler: h, lis: lis, done: make(chan struct{}), maxConnInflight: DefaultMaxInflight}
+	//lint:allow ctxflow server lifetime root: there is no caller context to inherit; per-request contexts derive from it with the propagated budget
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	for _, o := range opts {
 		o(s)
